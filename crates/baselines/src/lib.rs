@@ -1,0 +1,34 @@
+//! # causer-baselines
+//!
+//! The comparison models of Table IV, all built on the same autodiff
+//! substrate as Causer so that relative comparisons are apples-to-apples:
+//!
+//! - [`bpr`] — BPR-MF (pairwise implicit-feedback matrix factorization);
+//! - [`ncf`] — NCF/NeuMF (GMF + MLP fusion);
+//! - [`mod@gru4rec`] — GRU over the session;
+//! - [`mod@narm`] — GRU + global/local attention;
+//! - [`mod@stamp`] — short-term attention/memory priority;
+//! - [`mod@sasrec`] — causal self-attention (also hosts MMSARec, the
+//!   side-information variant);
+//! - [`mod@vtrnn`] — GRU with raw-feature-fused inputs.
+//!
+//! All models implement [`causer_core::SeqRecommender`]; the neural
+//! sequential ones share the generic trainer in [`common`].
+
+pub mod bpr;
+pub mod common;
+pub mod gru4rec;
+pub mod narm;
+pub mod ncf;
+pub mod sasrec;
+pub mod stamp;
+pub mod vtrnn;
+
+pub use bpr::BprRecommender;
+pub use common::{BaselineTrainConfig, NeuralRecommender, SeqEncoder};
+pub use gru4rec::gru4rec;
+pub use narm::narm;
+pub use ncf::NcfRecommender;
+pub use sasrec::{mmsarec, sasrec};
+pub use stamp::stamp;
+pub use vtrnn::vtrnn;

@@ -1,0 +1,211 @@
+//! NCF / NeuMF (He et al., 2017): neural collaborative filtering — a fusion
+//! of generalized matrix factorization (GMF) and an MLP over concatenated
+//! user/item embeddings, trained pointwise with sampled negatives.
+
+use causer_core::SeqRecommender;
+use causer_data::{EvalCase, LeaveLastOut, NegativeSampler};
+use causer_tensor::{
+    init, Adam, GradStore, Graph, Matrix, NodeId, Optimizer, ParamId, ParamSet,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+pub struct NcfRecommender {
+    pub dim: usize,
+    pub epochs: usize,
+    pub lr: f64,
+    pub neg_samples: usize,
+    pub batch_size: usize,
+    pub seed: u64,
+    params: ParamSet,
+    ids: Option<Ids>,
+    epoch_losses: Vec<f64>,
+}
+
+struct Ids {
+    p_gmf: ParamId,
+    q_gmf: ParamId,
+    p_mlp: ParamId,
+    q_mlp: ParamId,
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+    h: ParamId,
+}
+
+impl NcfRecommender {
+    pub fn new(dim: usize, epochs: usize, seed: u64) -> Self {
+        NcfRecommender {
+            dim,
+            epochs,
+            lr: 5e-3,
+            neg_samples: 3,
+            batch_size: 256,
+            seed,
+            params: ParamSet::new(),
+            ids: None,
+            epoch_losses: Vec::new(),
+        }
+    }
+
+    pub fn epoch_losses(&self) -> &[f64] {
+        &self.epoch_losses
+    }
+
+    /// Fused GMF+MLP logits for a whole batch of (user, item) pairs at
+    /// once — one node set per batch rather than per pair.
+    fn batch_logits(&self, g: &mut Graph, ids: &Ids, users: &[usize], items: &[usize]) -> NodeId {
+        debug_assert_eq!(users.len(), items.len());
+        let ps = &self.params;
+        let pg = g.param(ps, ids.p_gmf);
+        let qg = g.param(ps, ids.q_gmf);
+        let pm = g.param(ps, ids.p_mlp);
+        let qm = g.param(ps, ids.q_mlp);
+        let pu = g.select_rows(pg, users); // c × d
+        let qi = g.select_rows(qg, items);
+        let gmf = g.mul(pu, qi); // c × d
+        let pum = g.select_rows(pm, users);
+        let qim = g.select_rows(qm, items);
+        let cat = g.concat_cols(pum, qim); // c × 2d
+        let w1 = g.param(ps, ids.w1);
+        let b1 = g.param(ps, ids.b1);
+        let h1 = g.matmul(cat, w1);
+        let h1 = g.add_row(h1, b1);
+        let h1 = g.relu(h1);
+        let w2 = g.param(ps, ids.w2);
+        let b2 = g.param(ps, ids.b2);
+        let h2 = g.matmul(h1, w2);
+        let h2 = g.add_row(h2, b2);
+        let h2 = g.relu(h2); // c × d/2
+        let fused = g.concat_cols(gmf, h2); // c × (d + d/2)
+        let h = g.param(ps, ids.h);
+        g.matmul(fused, h) // c × 1
+    }
+}
+
+impl SeqRecommender for NcfRecommender {
+    fn name(&self) -> String {
+        "NCF".into()
+    }
+
+    fn fit(&mut self, split: &LeaveLastOut) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let d = self.dim;
+        let half = (d / 2).max(1);
+        let mut ps = ParamSet::new();
+        let ids = Ids {
+            p_gmf: ps.add("p_gmf", init::normal(&mut rng, split.num_users, d, 0.1)),
+            q_gmf: ps.add("q_gmf", init::normal(&mut rng, split.num_items, d, 0.1)),
+            p_mlp: ps.add("p_mlp", init::normal(&mut rng, split.num_users, d, 0.1)),
+            q_mlp: ps.add("q_mlp", init::normal(&mut rng, split.num_items, d, 0.1)),
+            w1: ps.add("w1", init::xavier(&mut rng, 2 * d, d)),
+            b1: ps.add("b1", Matrix::zeros(1, d)),
+            w2: ps.add("w2", init::xavier(&mut rng, d, half)),
+            b2: ps.add("b2", Matrix::zeros(1, half)),
+            h: ps.add("h", init::xavier(&mut rng, d + half, 1)),
+        };
+        self.params = ps;
+        self.ids = Some(ids);
+
+        let sampler =
+            NegativeSampler::from_interactions(&crate::common::train_interactions(split));
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for h in &split.train {
+            for step in &h.steps {
+                for &i in step {
+                    pairs.push((h.user, i));
+                }
+            }
+        }
+        let mut opt = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            pairs.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in pairs.chunks(self.batch_size) {
+                let mut g = Graph::new();
+                let ids = self.ids.as_ref().expect("initialized above");
+                let mut users = Vec::with_capacity(chunk.len() * (1 + self.neg_samples));
+                let mut items = Vec::with_capacity(users.capacity());
+                let mut targets = Vec::with_capacity(users.capacity());
+                for &(u, i) in chunk {
+                    users.push(u);
+                    items.push(i);
+                    targets.push(1.0);
+                    for j in sampler.sample_excluding(&mut rng, self.neg_samples, &[i]) {
+                        users.push(u);
+                        items.push(j);
+                        targets.push(0.0);
+                    }
+                }
+                let logits = self.batch_logits(&mut g, ids, &users, &items);
+                let t = Matrix::from_vec(targets.len(), 1, targets);
+                let loss = g.bce_with_logits(logits, &t);
+                epoch_loss += g.value(loss).item();
+                batches += 1;
+                let mut gs = GradStore::new(&self.params);
+                g.backward(loss, &mut gs);
+                drop(g);
+                gs.clip_global_norm(5.0);
+                opt.step(&mut self.params, &mut gs);
+            }
+            self.epoch_losses.push(if batches > 0 { epoch_loss / batches as f64 } else { 0.0 });
+        }
+    }
+
+    fn scores(&self, case: &EvalCase) -> Vec<f64> {
+        // Plain-matrix batch forward over the whole catalog.
+        let ids = self.ids.as_ref().expect("fit() must run before scores()");
+        let ps = &self.params;
+        let u = case.user;
+        let n = ps.value(ids.q_gmf).rows();
+        let pu = ps.value(ids.p_gmf).select_rows(&[u]);
+        let qg = ps.value(ids.q_gmf);
+        // GMF part: row-wise p_u ∘ q_i for all items.
+        let mut gmf = Matrix::zeros(n, self.dim);
+        for i in 0..n {
+            for (o, (&p, &q)) in gmf.row_mut(i).iter_mut().zip(pu.row(0).iter().zip(qg.row(i))) {
+                *o = p * q;
+            }
+        }
+        // MLP part.
+        let pum = ps.value(ids.p_mlp).select_rows(&[u]);
+        let qm = ps.value(ids.q_mlp);
+        let mut cat = Matrix::zeros(n, 2 * self.dim);
+        for i in 0..n {
+            cat.row_mut(i)[..self.dim].copy_from_slice(pum.row(0));
+            cat.row_mut(i)[self.dim..].copy_from_slice(qm.row(i));
+        }
+        let mut h1 = cat.matmul(ps.value(ids.w1));
+        causer_core::clustering::add_row_inplace(&mut h1, ps.value(ids.b1));
+        h1.map_inplace(|v| v.max(0.0));
+        let mut h2 = h1.matmul(ps.value(ids.w2));
+        causer_core::clustering::add_row_inplace(&mut h2, ps.value(ids.b2));
+        h2.map_inplace(|v| v.max(0.0));
+        let fused = Matrix::hstack(&[&gmf, &h2]);
+        fused.matmul(ps.value(ids.h)).col(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causer_core::{evaluate, RandomRecommender};
+    use causer_data::{simulate, DatasetKind, DatasetProfile};
+
+    #[test]
+    fn ncf_trains_and_beats_random() {
+        let profile = DatasetProfile::paper(DatasetKind::Patio).scaled(0.05);
+        let split = simulate(&profile, 31).interactions.leave_last_out();
+        let mut ncf = NcfRecommender::new(8, 6, 3);
+        ncf.fit(&split);
+        assert!(ncf.epoch_losses()[2] < ncf.epoch_losses()[0]);
+        let mut rnd = RandomRecommender::new(4);
+        rnd.fit(&split);
+        let n = evaluate(&ncf, &split.test, 5, 150);
+        let r = evaluate(&rnd, &split.test, 5, 150);
+        assert!(n.ndcg >= r.ndcg, "ncf {} vs random {}", n.ndcg, r.ndcg);
+    }
+}

@@ -1,0 +1,125 @@
+//! STAMP (Liu et al., 2018): short-term attention/memory priority — no
+//! recurrence; a trilinear attention over history item embeddings with the
+//! session mean (`m_s`, long-term) and the last item (`m_t`, short-term),
+//! combined through two MLPs and a Hadamard product.
+
+use crate::common::{BaselineTrainConfig, NeuralRecommender, SeqEncoder};
+use causer_data::Step;
+use causer_tensor::{init, Graph, Matrix, NodeId, ParamId, ParamSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub struct StampEncoder {
+    emb: ParamId,
+    out: ParamId,
+    w1: ParamId,
+    w2: ParamId,
+    w3: ParamId,
+    ba: ParamId,
+    w0: ParamId,
+    ws: ParamId,
+    bs: ParamId,
+    wt: ParamId,
+    bt: ParamId,
+}
+
+impl StampEncoder {
+    pub fn build(num_items: usize, dim: usize, seed: u64) -> (Self, ParamSet) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamSet::new();
+        let emb = ps.add("emb", init::normal(&mut rng, num_items, dim, 0.1));
+        let out = ps.add("out", init::normal(&mut rng, num_items, dim, 0.1));
+        let w1 = ps.add("w1", init::xavier(&mut rng, dim, dim));
+        let w2 = ps.add("w2", init::xavier(&mut rng, dim, dim));
+        let w3 = ps.add("w3", init::xavier(&mut rng, dim, dim));
+        let ba = ps.add("ba", Matrix::zeros(1, dim));
+        let w0 = ps.add("w0", init::xavier(&mut rng, dim, 1));
+        let ws = ps.add("ws", init::xavier(&mut rng, dim, dim));
+        let bs = ps.add("bs", Matrix::zeros(1, dim));
+        let wt = ps.add("wt", init::xavier(&mut rng, dim, dim));
+        let bt = ps.add("bt", Matrix::zeros(1, dim));
+        (StampEncoder { emb, out, w1, w2, w3, ba, w0, ws, bs, wt, bt }, ps)
+    }
+}
+
+impl SeqEncoder for StampEncoder {
+    fn label(&self) -> String {
+        "STAMP".into()
+    }
+
+    fn repr(&self, g: &mut Graph, ps: &ParamSet, _user: usize, history: &[Step]) -> NodeId {
+        let emb = g.param(ps, self.emb);
+        // Per-step embeddings: multi-hot steps summed (as in the paper's
+        // multi-item extension of the protocol).
+        let bags: Vec<Vec<usize>> = history.to_vec();
+        let x = g.embed_bag(emb, &bags, false); // T × d
+        let t_len = history.len();
+        // m_s: session mean; m_t: last step.
+        let ones = g.constant(Matrix::full(1, t_len, 1.0 / t_len as f64));
+        let m_s = g.matmul(ones, x); // 1 × d
+        let m_t = g.select_rows(x, &[t_len - 1]); // 1 × d
+
+        // a_i = w0^T sigmoid(x_i W1 + m_t W2 + m_s W3 + b)
+        let w1 = g.param(ps, self.w1);
+        let w2 = g.param(ps, self.w2);
+        let w3 = g.param(ps, self.w3);
+        let ba = g.param(ps, self.ba);
+        let xw = g.matmul(x, w1); // T × d
+        let tw = g.matmul(m_t, w2); // 1 × d
+        let sw = g.matmul(m_s, w3); // 1 × d
+        let tsw = g.add(tw, sw); // 1 × d
+        let tswb = g.add(tsw, ba); // 1 × d (bias is 1×d too)
+        let pre = g.add_row(xw, tswb); // T × d broadcast
+        let act = g.sigmoid(pre);
+        let w0 = g.param(ps, self.w0);
+        let a = g.matmul(act, w0); // T × 1 (unnormalized, as in STAMP)
+        let at = g.transpose(a); // 1 × T
+        let m_a = g.matmul(at, x); // 1 × d
+
+        // h_s = tanh(m_a Ws + bs); h_t = tanh(m_t Wt + bt); repr = h_s ∘ h_t
+        let ws = g.param(ps, self.ws);
+        let bs = g.param(ps, self.bs);
+        let wt = g.param(ps, self.wt);
+        let bt = g.param(ps, self.bt);
+        let hs = g.matmul(m_a, ws);
+        let hs = g.add(hs, bs);
+        let hs = g.tanh(hs);
+        let ht = g.matmul(m_t, wt);
+        let ht = g.add(ht, bt);
+        let ht = g.tanh(ht);
+        g.mul(hs, ht)
+    }
+
+    fn out_emb(&self) -> ParamId {
+        self.out
+    }
+}
+
+/// Construct a ready-to-fit STAMP recommender.
+pub fn stamp(
+    num_items: usize,
+    cfg: BaselineTrainConfig,
+    seed: u64,
+) -> NeuralRecommender<StampEncoder> {
+    let (enc, ps) = StampEncoder::build(num_items, 24, seed);
+    NeuralRecommender::new(enc, ps, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causer_core::SeqRecommender;
+    use causer_data::{simulate, DatasetKind, DatasetProfile};
+
+    #[test]
+    fn stamp_trains_and_scores() {
+        let profile = DatasetProfile::paper(DatasetKind::Patio).scaled(0.008);
+        let split = simulate(&profile, 14).interactions.leave_last_out();
+        let mut model =
+            stamp(split.num_items, BaselineTrainConfig { epochs: 3, ..Default::default() }, 4);
+        model.fit(&split);
+        assert!(model.epoch_losses[2] < model.epoch_losses[0]);
+        let s = model.scores(&split.test[0]);
+        assert_eq!(s.len(), split.num_items);
+    }
+}

@@ -1,0 +1,89 @@
+//! Cross-model integration checks for the baselines crate.
+
+use causer_baselines::*;
+use causer_core::SeqRecommender;
+use causer_data::{simulate, DatasetKind, DatasetProfile};
+
+fn toy() -> (causer_data::SimulatedDataset, causer_data::LeaveLastOut) {
+    let profile = DatasetProfile::paper(DatasetKind::Patio).scaled(0.01);
+    let sim = simulate(&profile, 77);
+    let split = sim.interactions.leave_last_out();
+    (sim, split)
+}
+
+#[test]
+fn every_model_scores_every_item_finite() {
+    let (sim, split) = toy();
+    let cfg = BaselineTrainConfig { epochs: 1, ..Default::default() };
+    let mut models: Vec<Box<dyn SeqRecommender>> = vec![
+        Box::new(BprRecommender::new(8, 2, 1)),
+        Box::new(NcfRecommender::new(8, 1, 1)),
+        Box::new(gru4rec(split.num_items, cfg.clone(), 1)),
+        Box::new(narm(split.num_items, cfg.clone(), 1)),
+        Box::new(stamp(split.num_items, cfg.clone(), 1)),
+        Box::new(sasrec(split.num_items, cfg.clone(), 1)),
+        Box::new(vtrnn(split.num_items, sim.features.clone(), cfg.clone(), 1)),
+        Box::new(mmsarec(split.num_items, sim.features.clone(), cfg, 1)),
+    ];
+    for model in &mut models {
+        model.fit(&split);
+        for case in split.test.iter().take(3) {
+            let scores = model.scores(case);
+            assert_eq!(scores.len(), split.num_items, "{}", model.name());
+            assert!(scores.iter().all(|s| s.is_finite()), "{}", model.name());
+        }
+    }
+}
+
+#[test]
+fn side_information_changes_the_model() {
+    // MMSARec with different feature matrices must produce different scores
+    // (the side projection is live, not dead weight).
+    let (sim, split) = toy();
+    let cfg = BaselineTrainConfig { epochs: 2, ..Default::default() };
+    let mut a = mmsarec(split.num_items, sim.features.clone(), cfg.clone(), 5);
+    let zeros = causer_tensor::Matrix::zeros(sim.features.rows(), sim.features.cols());
+    let mut b = mmsarec(split.num_items, zeros, cfg, 5);
+    a.fit(&split);
+    b.fit(&split);
+    let case = &split.test[0];
+    let sa = a.scores(case);
+    let sb = b.scores(case);
+    let diff: f64 = sa.iter().zip(&sb).map(|(x, y)| (x - y).abs()).sum();
+    assert!(diff > 1e-6, "side features had no effect");
+}
+
+#[test]
+fn sequence_order_matters_for_sequential_models() {
+    let (_sim, split) = toy();
+    let cfg = BaselineTrainConfig { epochs: 2, ..Default::default() };
+    let mut model = gru4rec(split.num_items, cfg, 9);
+    model.fit(&split);
+    // Find a case with at least 2 distinct history steps and reverse it.
+    let case = split
+        .test
+        .iter()
+        .find(|c| c.history.len() >= 2 && c.history[0] != c.history[c.history.len() - 1])
+        .expect("need a multi-step case");
+    let forward = model.scores(case);
+    let mut reversed = case.clone();
+    reversed.history.reverse();
+    let backward = model.scores(&reversed);
+    let diff: f64 = forward.iter().zip(&backward).map(|(x, y)| (x - y).abs()).sum();
+    assert!(diff > 1e-9, "GRU4Rec is order-invariant, which is wrong");
+}
+
+#[test]
+fn bpr_is_order_invariant_as_expected() {
+    // Sanity check on the *non*-sequential baseline: scores depend on the
+    // user, not the order of the history.
+    let (_sim, split) = toy();
+    let mut model = BprRecommender::new(8, 2, 3);
+    model.fit(&split);
+    let case = split.test.iter().find(|c| c.history.len() >= 2).unwrap();
+    let forward = model.scores(case);
+    let mut reversed = case.clone();
+    reversed.history.reverse();
+    let backward = model.scores(&reversed);
+    assert_eq!(forward, backward);
+}

@@ -1,0 +1,12 @@
+//! Regenerates the §III-C efficiency comparison.
+use causer_eval::config::ExperimentScale;
+fn main() {
+    std::env::var("CAUSER_SCALE").ok().or_else(|| {
+        std::env::set_var("CAUSER_SCALE", "0.15");
+        std::env::set_var("CAUSER_EPOCHS", "8");
+        None
+    });
+    let scale = ExperimentScale::from_env();
+    let (_res, report) = causer_eval::experiments::efficiency::run(&scale);
+    println!("{report}");
+}

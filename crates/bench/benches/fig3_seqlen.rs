@@ -1,0 +1,4 @@
+//! Regenerates Figure 3 (sequence-length distributions).
+fn main() {
+    println!("{}", causer_eval::experiments::fig3::run(42));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 4 (sweep over the number of latent clusters K).
+use causer_eval::config::ExperimentScale;
+use causer_eval::experiments::sweeps::{run, SweepParam};
+fn main() {
+    std::env::var("CAUSER_SCALE").ok().or_else(|| {
+        std::env::set_var("CAUSER_SCALE", "0.15");
+        std::env::set_var("CAUSER_EPOCHS", "8");
+        None
+    });
+    let scale = ExperimentScale::from_env();
+    let (_points, report) = run(SweepParam::K, &SweepParam::K.default_grid(), &scale);
+    println!("{report}");
+}

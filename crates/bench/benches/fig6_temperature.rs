@@ -1,0 +1,13 @@
+//! Regenerates Figure 6 (sweep over the assignment temperature η).
+use causer_eval::config::ExperimentScale;
+use causer_eval::experiments::sweeps::{run, SweepParam};
+fn main() {
+    std::env::var("CAUSER_SCALE").ok().or_else(|| {
+        std::env::set_var("CAUSER_SCALE", "0.15");
+        std::env::set_var("CAUSER_EPOCHS", "8");
+        None
+    });
+    let scale = ExperimentScale::from_env();
+    let (_points, report) = run(SweepParam::Eta, &SweepParam::Eta.default_grid(), &scale);
+    println!("{report}");
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 7 (quantitative explanation evaluation).
+use causer_eval::config::ExperimentScale;
+fn main() {
+    std::env::var("CAUSER_SCALE").ok().or_else(|| {
+        std::env::set_var("CAUSER_SCALE", "0.2");
+        std::env::set_var("CAUSER_EPOCHS", "10");
+        None
+    });
+    let scale = ExperimentScale::from_env();
+    let (_results, report) = causer_eval::experiments::fig7::run(&scale);
+    println!("{report}");
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 8 (qualitative explanation case studies).
+use causer_eval::config::ExperimentScale;
+fn main() {
+    std::env::var("CAUSER_SCALE").ok().or_else(|| {
+        std::env::set_var("CAUSER_SCALE", "0.15");
+        std::env::set_var("CAUSER_EPOCHS", "8");
+        None
+    });
+    let scale = ExperimentScale::from_env();
+    let (_cases, report) = causer_eval::experiments::fig8::run(&scale, 4);
+    println!("{report}");
+}

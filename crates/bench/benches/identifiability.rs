@@ -1,0 +1,11 @@
+//! Empirical Theorem 1: MEC/structure recovery.
+use causer_eval::config::ExperimentScale;
+fn main() {
+    std::env::var("CAUSER_SCALE").ok().or_else(|| {
+        std::env::set_var("CAUSER_SCALE", "0.2");
+        std::env::set_var("CAUSER_EPOCHS", "8");
+        None
+    });
+    let scale = ExperimentScale::from_env();
+    println!("{}", causer_eval::experiments::identifiability::run(&scale));
+}

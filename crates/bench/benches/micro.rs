@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks of the substrate hot paths: matrix multiply,
+//! matrix exponential / acyclicity, one autodiff GRU training step, and
+//! full-catalog Causer inference.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use causer_core::{CauserConfig, CauserModel};
+use causer_data::{simulate, DatasetKind, DatasetProfile};
+use causer_tensor::{init, linalg, GradStore, Graph, Matrix, ParamSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = init::uniform(&mut rng, 128, 128, 1.0);
+    let b = init::uniform(&mut rng, 128, 128, 1.0);
+    c.bench_function("matmul_128x128", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b)));
+    });
+}
+
+fn bench_expm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let w = init::uniform(&mut rng, 32, 32, 0.3);
+    c.bench_function("expm_32", |bench| {
+        bench.iter(|| std::hint::black_box(linalg::expm(&w)));
+    });
+    c.bench_function("acyclicity_grad_32", |bench| {
+        bench.iter(|| std::hint::black_box(linalg::acyclicity_with_grad(&w)));
+    });
+}
+
+fn bench_autodiff_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ps = ParamSet::new();
+    let cell = causer_core::Cell::new(
+        causer_core::RnnKind::Gru,
+        &mut ps,
+        "gru",
+        32,
+        32,
+        &mut rng,
+    );
+    let x = init::uniform(&mut rng, 1, 32, 1.0);
+    c.bench_function("gru_train_step_len8", |bench| {
+        bench.iter_batched(
+            Graph::new,
+            |mut g| {
+                let mut state = cell.init_state(&mut g, 1);
+                for _ in 0..8 {
+                    let xn = g.constant(x.clone());
+                    state = cell.step(&mut g, &ps, xn, &state);
+                }
+                let sq = g.mul(state.h, state.h);
+                let loss = g.sum_all(sq);
+                let mut gs = GradStore::new(&ps);
+                g.backward(loss, &mut gs);
+                gs
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let profile = DatasetProfile::paper(DatasetKind::Patio).scaled(0.1);
+    let sim = simulate(&profile, 4);
+    let cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+    let model = CauserModel::new(cfg, sim.features.clone(), 5);
+    let ic = model.inference_cache();
+    let history: Vec<Vec<usize>> = sim.interactions.sequences[0].clone();
+    c.bench_function("causer_score_all_catalog", |bench| {
+        bench.iter(|| std::hint::black_box(model.score_all(&ic, 0, &history)));
+    });
+    let _ = Matrix::zeros(1, 1);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_matmul, bench_expm, bench_autodiff_step, bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! `cargo bench -p causer-bench --bench table2_stats` — regenerates Table II.
+fn main() {
+    println!("{}", causer_eval::experiments::table2::run(42));
+}

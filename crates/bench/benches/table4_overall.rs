@@ -1,0 +1,14 @@
+//! Regenerates Table IV (overall comparison). Resize via CAUSER_SCALE /
+//! CAUSER_EPOCHS / CAUSER_EVAL_USERS; the bench default is a reduced scale
+//! so the full `cargo bench --workspace` finishes in reasonable time.
+use causer_eval::config::ExperimentScale;
+fn main() {
+    std::env::var("CAUSER_SCALE").ok().or_else(|| {
+        std::env::set_var("CAUSER_SCALE", "0.15");
+        std::env::set_var("CAUSER_EPOCHS", "8");
+        None
+    });
+    let scale = ExperimentScale::from_env();
+    let (_cells, report) = causer_eval::experiments::table4::run(&scale);
+    println!("{report}");
+}

@@ -1,0 +1,1 @@
+//! Library stub: all content lives in the bench targets (`benches/`).

@@ -1,0 +1,305 @@
+//! Directed-graph representation with acyclicity utilities.
+
+use causer_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A directed graph over `n` nodes stored as a dense boolean adjacency
+/// matrix: `adj[i*n + j] == true` means edge `i -> j` ("i causes j").
+///
+/// ```
+/// use causer_causal::DiGraph;
+/// let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+/// assert!(g.is_dag());
+/// assert_eq!(g.topological_order().unwrap().len(), 3);
+/// assert!(g.d_separated(0, 2, &[1])); // chain is blocked by its middle
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiGraph {
+    n: usize,
+    adj: Vec<bool>,
+}
+
+impl DiGraph {
+    /// An empty graph over `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        DiGraph { n, adj: vec![false; n * n] }
+    }
+
+    /// Build from an explicit edge list.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = DiGraph::empty(n);
+        for &(i, j) in edges {
+            g.add_edge(i, j);
+        }
+        g
+    }
+
+    /// Binarize a weighted matrix: edge where `|w[i][j]| > threshold`.
+    /// The diagonal is always ignored.
+    pub fn from_weighted(w: &Matrix, threshold: f64) -> Self {
+        assert_eq!(w.rows(), w.cols(), "adjacency must be square");
+        let n = w.rows();
+        let mut g = DiGraph::empty(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && w.get(i, j).abs() > threshold {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn has_edge(&self, i: usize, j: usize) -> bool {
+        self.adj[i * self.n + j]
+    }
+
+    pub fn add_edge(&mut self, i: usize, j: usize) {
+        assert!(i < self.n && j < self.n, "edge endpoint out of range");
+        assert_ne!(i, j, "self-loops are not allowed");
+        self.adj[i * self.n + j] = true;
+    }
+
+    pub fn remove_edge(&mut self, i: usize, j: usize) {
+        self.adj[i * self.n + j] = false;
+    }
+
+    /// All edges as `(from, to)` pairs.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if self.has_edge(i, j) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().filter(|&&b| b).count()
+    }
+
+    /// Nodes with an edge into `j`.
+    pub fn parents(&self, j: usize) -> Vec<usize> {
+        (0..self.n).filter(|&i| self.has_edge(i, j)).collect()
+    }
+
+    /// Nodes `j` with an edge from `i`.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        (0..self.n).filter(|&j| self.has_edge(i, j)).collect()
+    }
+
+    /// Nodes adjacent to `i` in either direction.
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&j| j != i && (self.has_edge(i, j) || self.has_edge(j, i)))
+            .collect()
+    }
+
+    /// Kahn's algorithm: `Some(order)` if acyclic, `None` otherwise.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let mut indeg = vec![0usize; self.n];
+        for (_, j) in self.edges() {
+            indeg[j] += 1;
+        }
+        let mut queue: Vec<usize> = (0..self.n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for j in self.children(i) {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        (order.len() == self.n).then_some(order)
+    }
+
+    pub fn is_dag(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// Ancestors of `j` (excluding `j`), by reverse DFS.
+    pub fn ancestors(&self, j: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.n];
+        let mut stack = self.parents(j);
+        while let Some(i) = stack.pop() {
+            if !seen[i] {
+                seen[i] = true;
+                stack.extend(self.parents(i));
+            }
+        }
+        (0..self.n).filter(|&i| seen[i]).collect()
+    }
+
+    /// Dense 0/1 adjacency matrix.
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_fn(self.n, self.n, |i, j| if self.has_edge(i, j) { 1.0 } else { 0.0 })
+    }
+
+    /// d-separation test: are `x` and `y` d-separated by the set `z`?
+    ///
+    /// Uses the standard reachability ("Bayes ball") formulation over the
+    /// DAG; only valid when `self` is a DAG.
+    pub fn d_separated(&self, x: usize, y: usize, z: &[usize]) -> bool {
+        assert!(self.is_dag(), "d-separation requires a DAG");
+        if x == y {
+            return false;
+        }
+        let in_z = {
+            let mut v = vec![false; self.n];
+            for &i in z {
+                v[i] = true;
+            }
+            v
+        };
+        // Nodes in Z or with a descendant in Z (for collider openings).
+        let mut anc_of_z = in_z.clone();
+        loop {
+            let mut changed = false;
+            for (i, j) in self.edges() {
+                if anc_of_z[j] && !anc_of_z[i] {
+                    anc_of_z[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // BFS over (node, direction) where direction is whether we arrived
+        // via an edge pointing into the node (true) or out of it (false).
+        let mut visited = vec![[false; 2]; self.n];
+        let mut queue: Vec<(usize, bool)> = vec![(x, false)]; // start "leaving" x
+        while let Some((node, arrived_via_incoming)) = queue.pop() {
+            if node == y {
+                return false;
+            }
+            let dir = usize::from(arrived_via_incoming);
+            if visited[node][dir] {
+                continue;
+            }
+            visited[node][dir] = true;
+            if !arrived_via_incoming {
+                // Trail continues from a non-collider position.
+                if !in_z[node] {
+                    for c in self.children(node) {
+                        queue.push((c, true));
+                    }
+                    for p in self.parents(node) {
+                        queue.push((p, false));
+                    }
+                }
+            } else {
+                // Arrived via edge into `node`.
+                if !in_z[node] {
+                    for c in self.children(node) {
+                        queue.push((c, true));
+                    }
+                }
+                if anc_of_z[node] {
+                    // Collider opened by conditioning (node or descendant in Z).
+                    for p in self.parents(node) {
+                        queue.push((p, false));
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// chain 0 -> 1 -> 2, plus fork 1 -> 3.
+    fn chain_fork() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 1), (1, 2), (1, 3)])
+    }
+
+    #[test]
+    fn edges_and_degrees() {
+        let g = chain_fork();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.parents(1), vec![0]);
+        assert_eq!(g.children(1), vec![2, 3]);
+        assert_eq!(g.neighbors(1), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = chain_fork();
+        let order = g.topological_order().unwrap();
+        let pos: Vec<usize> =
+            (0..4).map(|i| order.iter().position(|&x| x == i).unwrap()).collect();
+        for (i, j) in g.edges() {
+            assert!(pos[i] < pos[j], "{i} must precede {j}");
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(!g.is_dag());
+        assert!(g.topological_order().is_none());
+    }
+
+    #[test]
+    fn ancestors_transitive() {
+        let g = chain_fork();
+        assert_eq!(g.ancestors(2), vec![0, 1]);
+        assert_eq!(g.ancestors(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn from_weighted_thresholds() {
+        let mut w = Matrix::zeros(3, 3);
+        w.set(0, 1, 0.5);
+        w.set(1, 2, -0.2);
+        w.set(2, 2, 9.0); // diagonal ignored
+        let g = DiGraph::from_weighted(&w, 0.3);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn d_separation_chain() {
+        // 0 -> 1 -> 2: 0 ⟂ 2 | 1, but not marginally.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!g.d_separated(0, 2, &[]));
+        assert!(g.d_separated(0, 2, &[1]));
+    }
+
+    #[test]
+    fn d_separation_fork() {
+        // 1 <- 0 -> 2 (common cause): 1 ⟂ 2 | 0 only.
+        let g = DiGraph::from_edges(3, &[(0, 1), (0, 2)]);
+        assert!(!g.d_separated(1, 2, &[]));
+        assert!(g.d_separated(1, 2, &[0]));
+    }
+
+    #[test]
+    fn d_separation_collider() {
+        // 0 -> 2 <- 1 (v-structure): 0 ⟂ 1 marginally, dependent given 2.
+        let g = DiGraph::from_edges(3, &[(0, 2), (1, 2)]);
+        assert!(g.d_separated(0, 1, &[]));
+        assert!(!g.d_separated(0, 1, &[2]));
+    }
+
+    #[test]
+    fn d_separation_collider_descendant() {
+        // 0 -> 2 <- 1, 2 -> 3: conditioning on descendant 3 opens the collider.
+        let g = DiGraph::from_edges(4, &[(0, 2), (1, 2), (2, 3)]);
+        assert!(g.d_separated(0, 1, &[]));
+        assert!(!g.d_separated(0, 1, &[3]));
+    }
+}

@@ -1,0 +1,34 @@
+//! # causer-causal
+//!
+//! Causal-discovery substrate for the Causer reproduction:
+//!
+//! - [`dag`]: directed graphs, topological sorting, d-separation;
+//! - [`graph_gen`]: random DAGs and linear-SEM sampling;
+//! - [`mod@notears`]: the differentiable structure learner of eq. (3)
+//!   (Zheng et al., 2018) used by the paper, solved with an augmented
+//!   Lagrangian;
+//! - [`mod@pc`]: the constraint-based PC algorithm (partial-correlation CI
+//!   tests, PC-stable skeleton, Meek rules) as an independent comparator;
+//! - [`mec`]: skeletons, v-structures, the Markov-equivalence test of
+//!   Definition 1, and CPDAGs;
+//! - [`mod@shd`]: structural Hamming distance and edge precision/recall.
+//!
+//! The matrix exponential and the acyclicity function
+//! `h(W) = tr(e^{W∘W}) − n` live in [`causer_tensor::linalg`] (re-exported
+//! here as [`expm`]/[`acyclicity`]) so the autodiff graph can fuse them.
+
+pub mod dag;
+pub mod graph_gen;
+pub mod mec;
+pub mod notears;
+pub mod pc;
+pub mod shd;
+pub mod stability;
+
+pub use causer_tensor::linalg::{acyclicity, acyclicity_with_grad, expm, trace_expm};
+pub use dag::DiGraph;
+pub use mec::{cpdag, markov_equivalent, skeleton, v_structures, Cpdag};
+pub use notears::{notears, NotearsConfig, NotearsResult};
+pub use pc::{cpdag_to_dag, pc, PcConfig, PcResult};
+pub use shd::{edge_scores, shd, EdgeScores};
+pub use stability::{bootstrap_notears, StabilityResult};

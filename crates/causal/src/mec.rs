@@ -1,0 +1,159 @@
+//! Markov-equivalence machinery: skeletons, v-structures, and the
+//! equivalence test of Definition 1 in the paper (Verma & Pearl, 1990: two
+//! DAGs are Markov equivalent iff they share skeleton and v-structures).
+
+use crate::dag::DiGraph;
+use std::collections::BTreeSet;
+
+/// Undirected skeleton as a sorted set of `(min, max)` pairs.
+pub fn skeleton(g: &DiGraph) -> BTreeSet<(usize, usize)> {
+    let mut s = BTreeSet::new();
+    for (i, j) in g.edges() {
+        s.insert((i.min(j), i.max(j)));
+    }
+    s
+}
+
+/// V-structures `i -> k <- j` (with `i`, `j` non-adjacent), normalized so
+/// `i < j`; returned as `(i, k, j)` triples.
+pub fn v_structures(g: &DiGraph) -> BTreeSet<(usize, usize, usize)> {
+    let skel = skeleton(g);
+    let mut vs = BTreeSet::new();
+    for k in 0..g.n() {
+        let parents = g.parents(k);
+        for (a, &i) in parents.iter().enumerate() {
+            for &j in parents.iter().skip(a + 1) {
+                let (lo, hi) = (i.min(j), i.max(j));
+                if !skel.contains(&(lo, hi)) {
+                    vs.insert((lo, k, hi));
+                }
+            }
+        }
+    }
+    vs
+}
+
+/// Definition 1: same skeleton and same v-structures.
+pub fn markov_equivalent(g1: &DiGraph, g2: &DiGraph) -> bool {
+    g1.n() == g2.n() && skeleton(g1) == skeleton(g2) && v_structures(g1) == v_structures(g2)
+}
+
+/// A partially directed graph representing a Markov equivalence class:
+/// compelled edges are directed, reversible edges undirected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cpdag {
+    pub n: usize,
+    /// Directed (compelled) edges.
+    pub directed: BTreeSet<(usize, usize)>,
+    /// Undirected (reversible) edges, stored as `(min, max)`.
+    pub undirected: BTreeSet<(usize, usize)>,
+}
+
+/// Build the CPDAG of a DAG: direct the v-structure edges, then apply the
+/// first Meek rule repeatedly (enough for the graph sizes in this project;
+/// the Markov-equivalence *test* above is exact regardless).
+pub fn cpdag(g: &DiGraph) -> Cpdag {
+    let skel = skeleton(g);
+    let mut directed: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (i, k, j) in v_structures(g) {
+        // v-structure i -> k <- j; both edges are compelled.
+        directed.insert((i, k));
+        directed.insert((j, k));
+    }
+    // Meek rule 1: if a -> b and b - c with a, c non-adjacent, orient b -> c.
+    loop {
+        let mut added = Vec::new();
+        for &(a, b) in &directed {
+            for c in 0..g.n() {
+                if c == a || c == b {
+                    continue;
+                }
+                let bc = (b.min(c), b.max(c));
+                let ac = (a.min(c), a.max(c));
+                if skel.contains(&bc)
+                    && !skel.contains(&ac)
+                    && !directed.contains(&(b, c))
+                    && !directed.contains(&(c, b))
+                {
+                    added.push((b, c));
+                }
+            }
+        }
+        if added.is_empty() {
+            break;
+        }
+        directed.extend(added);
+    }
+    let undirected: BTreeSet<(usize, usize)> = skel
+        .iter()
+        .filter(|&&(a, b)| !directed.contains(&(a, b)) && !directed.contains(&(b, a)))
+        .copied()
+        .collect();
+    Cpdag { n: g.n(), directed, undirected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skeleton_ignores_direction() {
+        let g1 = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let g2 = DiGraph::from_edges(3, &[(1, 0), (2, 1)]);
+        assert_eq!(skeleton(&g1), skeleton(&g2));
+    }
+
+    #[test]
+    fn chain_and_fork_are_equivalent() {
+        // 0 -> 1 -> 2, 0 <- 1 -> 2, 0 <- 1 <- 2 are all Markov equivalent.
+        let chain = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let fork = DiGraph::from_edges(3, &[(1, 0), (1, 2)]);
+        let rev = DiGraph::from_edges(3, &[(2, 1), (1, 0)]);
+        assert!(markov_equivalent(&chain, &fork));
+        assert!(markov_equivalent(&chain, &rev));
+    }
+
+    #[test]
+    fn collider_is_not_equivalent_to_chain() {
+        let chain = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let collider = DiGraph::from_edges(3, &[(0, 1), (2, 1)]);
+        assert!(!markov_equivalent(&chain, &collider));
+        assert_eq!(v_structures(&collider).len(), 1);
+        assert!(v_structures(&chain).is_empty());
+    }
+
+    #[test]
+    fn shielded_collider_is_not_a_v_structure() {
+        // 0 -> 2 <- 1 with 0 -> 1: parents adjacent, so no v-structure.
+        let g = DiGraph::from_edges(3, &[(0, 2), (1, 2), (0, 1)]);
+        assert!(v_structures(&g).is_empty());
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_and_symmetric() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (2, 1), (1, 3)]);
+        assert!(markov_equivalent(&g, &g));
+        let h = DiGraph::from_edges(4, &[(0, 1), (2, 1), (3, 1)]);
+        assert_eq!(markov_equivalent(&g, &h), markov_equivalent(&h, &g));
+    }
+
+    #[test]
+    fn cpdag_orients_v_structure_and_meek1() {
+        // 0 -> 2 <- 1, 2 - 3 in skeleton via 2 -> 3.
+        // V-structure compels 0->2, 1->2; Meek rule 1 then compels 2->3.
+        let g = DiGraph::from_edges(4, &[(0, 2), (1, 2), (2, 3)]);
+        let c = cpdag(&g);
+        assert!(c.directed.contains(&(0, 2)));
+        assert!(c.directed.contains(&(1, 2)));
+        assert!(c.directed.contains(&(2, 3)));
+        assert!(c.undirected.is_empty());
+    }
+
+    #[test]
+    fn cpdag_of_chain_is_fully_undirected() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let c = cpdag(&g);
+        assert!(c.directed.is_empty());
+        assert_eq!(c.undirected.len(), 2);
+    }
+}

@@ -1,0 +1,541 @@
+//! The PC algorithm (Spirtes & Glymour) — the *constraint-based* causal
+//! discovery family the paper contrasts with score-based methods (§IV).
+//!
+//! Implements PC-stable skeleton search with Gaussian conditional
+//! independence tests (partial correlation + Fisher z-transform),
+//! v-structure orientation from separating sets, and Meek rules 1–3.
+//! Output is a CPDAG (compelled edges directed, reversible edges
+//! undirected), comparable against NOTEARS via
+//! [`crate::mec::markov_equivalent`] on any consistent DAG extension.
+
+use crate::dag::DiGraph;
+use crate::mec::Cpdag;
+use causer_tensor::Matrix;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of the PC run.
+#[derive(Clone, Debug)]
+pub struct PcConfig {
+    /// Significance level of the CI test (edges are removed when the
+    /// absolute z-statistic is below the `1 − α/2` normal quantile).
+    pub alpha: f64,
+    /// Largest conditioning-set size to try.
+    pub max_condition_size: usize,
+}
+
+impl Default for PcConfig {
+    fn default() -> Self {
+        PcConfig { alpha: 0.05, max_condition_size: 3 }
+    }
+}
+
+/// Result: the estimated CPDAG plus the separating sets found.
+#[derive(Clone, Debug)]
+pub struct PcResult {
+    pub cpdag: Cpdag,
+    /// For each removed pair `(i, j)` (i < j), the set that separated them.
+    pub separating_sets: BTreeMap<(usize, usize), BTreeSet<usize>>,
+    /// Number of CI tests performed.
+    pub tests_run: usize,
+}
+
+/// Run PC-stable on an `n × d` data matrix.
+pub fn pc(data: &Matrix, config: &PcConfig) -> PcResult {
+    let n = data.rows();
+    let d = data.cols();
+    assert!(n > 3, "need more than 3 samples");
+    let corr = correlation_matrix(data);
+    // z-threshold for the two-sided test at level alpha.
+    let z_crit = normal_quantile(1.0 - config.alpha / 2.0);
+
+    // Adjacency of the evolving skeleton.
+    let mut adj: Vec<BTreeSet<usize>> = (0..d)
+        .map(|i| (0..d).filter(|&j| j != i).collect())
+        .collect();
+    let mut sepsets: BTreeMap<(usize, usize), BTreeSet<usize>> = BTreeMap::new();
+    let mut tests_run = 0usize;
+
+    for l in 0..=config.max_condition_size {
+        // PC-stable: freeze the neighbourhoods for this level.
+        let frozen = adj.clone();
+        let mut to_remove: Vec<(usize, usize, BTreeSet<usize>)> = Vec::new();
+        for i in 0..d {
+            for &j in frozen[i].iter().filter(|&&j| j > i) {
+                let mut candidates: Vec<usize> =
+                    frozen[i].iter().copied().filter(|&k| k != j).collect();
+                candidates.extend(frozen[j].iter().copied().filter(|&k| k != i));
+                candidates.sort_unstable();
+                candidates.dedup();
+                if candidates.len() < l {
+                    continue;
+                }
+                let mut found = None;
+                for subset in subsets_of_size(&candidates, l) {
+                    tests_run += 1;
+                    let r = partial_correlation(&corr, i, j, &subset);
+                    let z = fisher_z(r, n, subset.len());
+                    if z.abs() < z_crit {
+                        found = Some(subset.into_iter().collect::<BTreeSet<usize>>());
+                        break;
+                    }
+                }
+                if let Some(s) = found {
+                    to_remove.push((i, j, s));
+                }
+            }
+        }
+        for (i, j, s) in to_remove {
+            adj[i].remove(&j);
+            adj[j].remove(&i);
+            sepsets.insert((i, j), s);
+        }
+    }
+
+    // Orient v-structures: for i - k - j with i, j non-adjacent and
+    // k ∉ sepset(i, j), orient i -> k <- j.
+    let mut directed: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for k in 0..d {
+        let neigh: Vec<usize> = adj[k].iter().copied().collect();
+        for (a, &i) in neigh.iter().enumerate() {
+            for &j in neigh.iter().skip(a + 1) {
+                if adj[i].contains(&j) {
+                    continue; // shielded
+                }
+                let key = (i.min(j), i.max(j));
+                let sep = sepsets.get(&key);
+                if sep.map(|s| !s.contains(&k)).unwrap_or(false) {
+                    directed.insert((i, k));
+                    directed.insert((j, k));
+                }
+            }
+        }
+    }
+
+    // Meek rules 1–3 to propagate orientations.
+    let skeleton: BTreeSet<(usize, usize)> = (0..d)
+        .flat_map(|i| adj[i].iter().filter(move |&&j| j > i).map(move |&j| (i, j)))
+        .collect();
+    meek_closure(d, &skeleton, &mut directed);
+
+    let undirected: BTreeSet<(usize, usize)> = skeleton
+        .iter()
+        .filter(|&&(a, b)| !directed.contains(&(a, b)) && !directed.contains(&(b, a)))
+        .copied()
+        .collect();
+    PcResult {
+        cpdag: Cpdag { n: d, directed, undirected },
+        separating_sets: sepsets,
+        tests_run,
+    }
+}
+
+/// Orient edges using Meek rules 1–3 until fixpoint.
+fn meek_closure(
+    d: usize,
+    skeleton: &BTreeSet<(usize, usize)>,
+    directed: &mut BTreeSet<(usize, usize)>,
+) {
+    let has_skel =
+        |a: usize, b: usize| skeleton.contains(&(a.min(b), a.max(b)));
+    loop {
+        let mut added: Vec<(usize, usize)> = Vec::new();
+        let is_directed = |dir: &BTreeSet<(usize, usize)>, a: usize, b: usize| dir.contains(&(a, b));
+        let is_undirected = |dir: &BTreeSet<(usize, usize)>, a: usize, b: usize| {
+            has_skel(a, b) && !dir.contains(&(a, b)) && !dir.contains(&(b, a))
+        };
+        for b in 0..d {
+            for c in 0..d {
+                if b == c || !is_undirected(directed, b, c) {
+                    continue;
+                }
+                // Rule 1: a -> b, b - c, a and c non-adjacent => b -> c.
+                for a in 0..d {
+                    if a != c && is_directed(directed, a, b) && !has_skel(a, c) {
+                        added.push((b, c));
+                    }
+                }
+                // Rule 2: b -> a -> c and b - c => b -> c.
+                for a in 0..d {
+                    if a != b
+                        && a != c
+                        && is_directed(directed, b, a)
+                        && is_directed(directed, a, c)
+                    {
+                        added.push((b, c));
+                    }
+                }
+                // Rule 3: b - a1 -> c, b - a2 -> c, a1 and a2 non-adjacent
+                // => b -> c.
+                for a1 in 0..d {
+                    for a2 in (a1 + 1)..d {
+                        if a1 == b || a2 == b || a1 == c || a2 == c {
+                            continue;
+                        }
+                        if is_undirected(directed, b, a1)
+                            && is_undirected(directed, b, a2)
+                            && is_directed(directed, a1, c)
+                            && is_directed(directed, a2, c)
+                            && !has_skel(a1, a2)
+                        {
+                            added.push((b, c));
+                        }
+                    }
+                }
+            }
+        }
+        let before = directed.len();
+        for (a, b) in added {
+            if !directed.contains(&(b, a)) {
+                directed.insert((a, b));
+            }
+        }
+        if directed.len() == before {
+            break;
+        }
+    }
+}
+
+/// Pearson correlation matrix of the columns of `data`.
+pub fn correlation_matrix(data: &Matrix) -> Matrix {
+    let n = data.rows();
+    let d = data.cols();
+    let mut means = vec![0.0; d];
+    for i in 0..n {
+        for (j, m) in means.iter_mut().enumerate() {
+            *m += data.get(i, j);
+        }
+    }
+
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    let mut cov = Matrix::zeros(d, d);
+    #[allow(clippy::needless_range_loop)] // upper-triangular accumulation
+    for i in 0..n {
+        for a in 0..d {
+            let xa = data.get(i, a) - means[a];
+            for b in a..d {
+                let xb = data.get(i, b) - means[b];
+                cov.set(a, b, cov.get(a, b) + xa * xb);
+            }
+        }
+    }
+    let mut corr = Matrix::eye(d);
+    #[allow(clippy::needless_range_loop)] // symmetric fill needs both indices
+    for a in 0..d {
+        for b in (a + 1)..d {
+            let denom = (cov.get(a, a) * cov.get(b, b)).sqrt();
+            let r = if denom > 0.0 { cov.get(a, b) / denom } else { 0.0 };
+            corr.set(a, b, r);
+            corr.set(b, a, r);
+        }
+    }
+    corr
+}
+
+/// Partial correlation of `i` and `j` given `cond`, via inversion of the
+/// corresponding correlation submatrix (precision-matrix formula).
+pub fn partial_correlation(corr: &Matrix, i: usize, j: usize, cond: &[usize]) -> f64 {
+    if cond.is_empty() {
+        return corr.get(i, j);
+    }
+    let mut vars = vec![i, j];
+    vars.extend_from_slice(cond);
+    let m = vars.len();
+    let sub = Matrix::from_fn(m, m, |a, b| corr.get(vars[a], vars[b]));
+    match invert(&sub) {
+        Some(prec) => {
+            let denom = (prec.get(0, 0) * prec.get(1, 1)).sqrt();
+            if denom > 0.0 {
+                -prec.get(0, 1) / denom
+            } else {
+                0.0
+            }
+        }
+        None => 0.0, // singular: treat as independent
+    }
+}
+
+/// Fisher z-statistic for a (partial) correlation with `n` samples and
+/// conditioning-set size `k`.
+pub fn fisher_z(r: f64, n: usize, k: usize) -> f64 {
+    let r = r.clamp(-0.999_999, 0.999_999);
+    let denom = (n as f64 - k as f64 - 3.0).max(1.0);
+    0.5 * ((1.0 + r) / (1.0 - r)).ln() * denom.sqrt()
+}
+
+/// Standard normal quantile (Acklam's rational approximation).
+#[allow(clippy::excessive_precision)] // published coefficients kept verbatim
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "p in (0,1)");
+    // Coefficients for the central and tail regions.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Gauss–Jordan inversion with partial pivoting; `None` when singular.
+pub fn invert(m: &Matrix) -> Option<Matrix> {
+    assert_eq!(m.rows(), m.cols());
+    let n = m.rows();
+    let mut a = m.clone();
+    let mut inv = Matrix::eye(n);
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for r in (col + 1)..n {
+            if a.get(r, col).abs() > a.get(pivot, col).abs() {
+                pivot = r;
+            }
+        }
+        if a.get(pivot, col).abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            swap_rows(&mut a, pivot, col);
+            swap_rows(&mut inv, pivot, col);
+        }
+        let p = a.get(col, col);
+        for c in 0..n {
+            a.set(col, c, a.get(col, c) / p);
+            inv.set(col, c, inv.get(col, c) / p);
+        }
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let f = a.get(r, col);
+            if f == 0.0 {
+                continue;
+            }
+            for c in 0..n {
+                a.set(r, c, a.get(r, c) - f * a.get(col, c));
+                inv.set(r, c, inv.get(r, c) - f * inv.get(col, c));
+            }
+        }
+    }
+    Some(inv)
+}
+
+fn swap_rows(m: &mut Matrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    for c in 0..m.cols() {
+        let tmp = m.get(a, c);
+        m.set(a, c, m.get(b, c));
+        m.set(b, c, tmp);
+    }
+}
+
+/// All subsets of `items` of exactly `size` elements.
+fn subsets_of_size(items: &[usize], size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(size);
+    fn rec(
+        items: &[usize],
+        size: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if current.len() == size {
+            out.push(current.clone());
+            return;
+        }
+        for idx in start..items.len() {
+            current.push(items[idx]);
+            rec(items, size, idx + 1, current, out);
+            current.pop();
+        }
+    }
+    rec(items, size, 0, &mut current, &mut out);
+    out
+}
+
+/// Any consistent DAG extension of a CPDAG (orient undirected edges by node
+/// order, which cannot create cycles when applied to a valid CPDAG of a
+/// DAG). Used to compare PC output with DAG-valued learners.
+pub fn cpdag_to_dag(c: &Cpdag) -> DiGraph {
+    let mut g = DiGraph::empty(c.n);
+    for &(a, b) in &c.directed {
+        g.add_edge(a, b);
+    }
+    for &(a, b) in &c.undirected {
+        // Orient low -> high unless it creates a cycle; otherwise flip.
+        g.add_edge(a, b);
+        if !g.is_dag() {
+            g.remove_edge(a, b);
+            g.add_edge(b, a);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_gen::{random_weights, sample_linear_sem};
+    use crate::mec::{cpdag, markov_equivalent};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sem_data(edges: &[(usize, usize)], d: usize, n: usize, seed: u64) -> (DiGraph, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = DiGraph::from_edges(d, edges);
+        let w = random_weights(&mut rng, &dag, 1.0, 1.8);
+        let x = sample_linear_sem(&mut rng, &w, &dag, n, 1.0);
+        (dag, x)
+    }
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.5) - 0.0).abs() < 1e-9);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn invert_identity_and_known() {
+        let i3 = Matrix::eye(3);
+        assert_eq!(invert(&i3).unwrap(), i3);
+        let m = Matrix::from_vec(2, 2, vec![4.0, 7.0, 2.0, 6.0]);
+        let inv = invert(&m).unwrap();
+        let prod = m.matmul(&inv);
+        for (a, b) in prod.data().iter().zip(Matrix::eye(2).data()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        // Singular matrix.
+        let s = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(invert(&s).is_none());
+    }
+
+    #[test]
+    fn partial_correlation_removes_mediator() {
+        // Chain 0 -> 1 -> 2: corr(0,2) strong, pcorr(0,2 | 1) ≈ 0.
+        let (_dag, x) = sem_data(&[(0, 1), (1, 2)], 3, 3000, 5);
+        let corr = correlation_matrix(&x);
+        assert!(corr.get(0, 2).abs() > 0.3);
+        let pc02 = partial_correlation(&corr, 0, 2, &[1]);
+        assert!(pc02.abs() < 0.08, "pcorr {pc02}");
+    }
+
+    #[test]
+    fn pc_recovers_collider() {
+        // 0 -> 2 <- 1: fully identifiable (the only graph in its MEC).
+        let (_dag, x) = sem_data(&[(0, 2), (1, 2)], 3, 2000, 7);
+        let res = pc(&x, &PcConfig::default());
+        assert!(res.cpdag.directed.contains(&(0, 2)), "{:?}", res.cpdag);
+        assert!(res.cpdag.directed.contains(&(1, 2)), "{:?}", res.cpdag);
+        assert!(res.cpdag.undirected.is_empty());
+    }
+
+    #[test]
+    fn pc_leaves_chain_unoriented() {
+        // 0 -> 1 -> 2 is Markov equivalent to its reversals: skeleton only.
+        let (_dag, x) = sem_data(&[(0, 1), (1, 2)], 3, 2000, 8);
+        let res = pc(&x, &PcConfig::default());
+        assert!(res.cpdag.directed.is_empty(), "{:?}", res.cpdag);
+        assert_eq!(res.cpdag.undirected.len(), 2);
+        // And 0, 2 were separated by {1}.
+        assert_eq!(
+            res.separating_sets.get(&(0, 2)),
+            Some(&std::iter::once(1).collect())
+        );
+    }
+
+    #[test]
+    fn pc_matches_true_cpdag_on_random_dags() {
+        let mut hits = 0;
+        let total = 5;
+        for seed in 0..total {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let dag = crate::graph_gen::random_dag(&mut rng, 6, 0.3);
+            let w = random_weights(&mut rng, &dag, 1.0, 1.8);
+            let x = sample_linear_sem(&mut rng, &w, &dag, 4000, 1.0);
+            let res = pc(&x, &PcConfig::default());
+            let truth = cpdag(&dag);
+            // Compare skeletons; orientations may differ in edge cases.
+            let learned_skel: BTreeSet<(usize, usize)> = res
+                .cpdag
+                .directed
+                .iter()
+                .map(|&(a, b)| (a.min(b), a.max(b)))
+                .chain(res.cpdag.undirected.iter().copied())
+                .collect();
+            let true_skel: BTreeSet<(usize, usize)> = truth
+                .directed
+                .iter()
+                .map(|&(a, b)| (a.min(b), a.max(b)))
+                .chain(truth.undirected.iter().copied())
+                .collect();
+            let diff = learned_skel.symmetric_difference(&true_skel).count();
+            assert!(diff <= 3, "seed {seed}: skeleton off by {diff} edges");
+            if diff == 0 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 1, "skeleton never recovered exactly ({hits}/{total})");
+    }
+
+    #[test]
+    fn cpdag_to_dag_is_acyclic_and_equivalent() {
+        let (dag, x) = sem_data(&[(0, 1), (1, 2), (0, 3)], 4, 3000, 9);
+        let res = pc(&x, &PcConfig::default());
+        let ext = cpdag_to_dag(&res.cpdag);
+        assert!(ext.is_dag());
+        // The extension should usually be Markov equivalent to the truth.
+        if crate::mec::skeleton(&ext) == crate::mec::skeleton(&dag) {
+            assert!(
+                markov_equivalent(&ext, &dag)
+                    || crate::mec::v_structures(&dag).is_empty()
+            );
+        }
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let s = subsets_of_size(&[1, 2, 3], 2);
+        assert_eq!(s, vec![vec![1, 2], vec![1, 3], vec![2, 3]]);
+        assert_eq!(subsets_of_size(&[1, 2], 0), vec![Vec::<usize>::new()]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Structural comparison metrics between a learned and a true graph.
+
+use crate::dag::DiGraph;
+
+/// Structural Hamming distance: number of edge operations (add, delete,
+/// reverse) needed to turn `learned` into `truth`. A reversed edge counts
+/// as one operation.
+pub fn shd(truth: &DiGraph, learned: &DiGraph) -> usize {
+    assert_eq!(truth.n(), learned.n(), "graph size mismatch");
+    let n = truth.n();
+    let mut dist = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let t = (truth.has_edge(i, j), truth.has_edge(j, i));
+            let l = (learned.has_edge(i, j), learned.has_edge(j, i));
+            if t != l {
+                dist += 1;
+            }
+        }
+    }
+    dist
+}
+
+/// Precision/recall/F1 of directed edge recovery.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeScores {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub true_positives: usize,
+    pub false_positives: usize,
+    pub false_negatives: usize,
+}
+
+/// Score directed edges of `learned` against `truth`.
+pub fn edge_scores(truth: &DiGraph, learned: &DiGraph) -> EdgeScores {
+    assert_eq!(truth.n(), learned.n(), "graph size mismatch");
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut fneg = 0;
+    for i in 0..truth.n() {
+        for j in 0..truth.n() {
+            if i == j {
+                continue;
+            }
+            match (truth.has_edge(i, j), learned.has_edge(i, j)) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fneg += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fneg == 0 { 0.0 } else { tp as f64 / (tp + fneg) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    EdgeScores { precision, recall, f1, true_positives: tp, false_positives: fp, false_negatives: fneg }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shd_zero_for_identical() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (0, 3)]);
+        assert_eq!(shd(&g, &g), 0);
+    }
+
+    #[test]
+    fn shd_counts_reversal_once() {
+        let t = DiGraph::from_edges(2, &[(0, 1)]);
+        let l = DiGraph::from_edges(2, &[(1, 0)]);
+        assert_eq!(shd(&t, &l), 1);
+    }
+
+    #[test]
+    fn shd_counts_additions_and_deletions() {
+        let t = DiGraph::from_edges(3, &[(0, 1)]);
+        let l = DiGraph::from_edges(3, &[(1, 2)]); // missing (0,1), extra (1,2)
+        assert_eq!(shd(&t, &l), 2);
+    }
+
+    #[test]
+    fn edge_scores_hand_computed() {
+        let t = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let l = DiGraph::from_edges(3, &[(0, 1), (0, 2)]);
+        let s = edge_scores(&t, &l);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.false_negatives, 1);
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+        assert!((s.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graphs_give_zero_scores_without_panic() {
+        let t = DiGraph::empty(3);
+        let l = DiGraph::empty(3);
+        let s = edge_scores(&t, &l);
+        assert_eq!(s.f1, 0.0);
+        assert_eq!(shd(&t, &l), 0);
+    }
+}

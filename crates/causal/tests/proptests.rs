@@ -1,0 +1,131 @@
+//! Property tests for DAG utilities and Markov-equivalence machinery.
+
+use causer_causal::{
+    dag::DiGraph, graph_gen, markov_equivalent, mec, shd::shd, skeleton, v_structures,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_dag_from_seed(seed: u64, n: usize, p: f64) -> DiGraph {
+    graph_gen::random_dag(&mut StdRng::seed_from_u64(seed), n, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_graphs_are_dags(seed in 0u64..10_000, n in 2usize..15, p in 0.0f64..0.9) {
+        let g = random_dag_from_seed(seed, n, p);
+        prop_assert!(g.is_dag());
+    }
+
+    #[test]
+    fn topological_order_is_a_permutation(seed in 0u64..10_000, n in 2usize..12) {
+        let g = random_dag_from_seed(seed, n, 0.4);
+        let order = g.topological_order().unwrap();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn acyclicity_agrees_with_kahn(seed in 0u64..10_000, n in 2usize..8, p in 0.0f64..0.8) {
+        // Random *digraph* (not necessarily acyclic): flip each off-diagonal.
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut g = DiGraph::empty(n);
+        let mut w = causer_tensor::Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && rng.gen::<f64>() < p {
+                    g.add_edge(i, j);
+                    w.set(i, j, 1.0);
+                }
+            }
+        }
+        let h = causer_causal::acyclicity(&w);
+        if g.is_dag() {
+            prop_assert!(h.abs() < 1e-6, "DAG but h = {h}");
+        } else {
+            prop_assert!(h > 1e-6, "cyclic but h = {h}");
+        }
+    }
+
+    #[test]
+    fn markov_equivalence_is_reflexive(seed in 0u64..10_000, n in 2usize..10) {
+        let g = random_dag_from_seed(seed, n, 0.4);
+        prop_assert!(markov_equivalent(&g, &g));
+    }
+
+    #[test]
+    fn equivalent_graphs_have_equal_shd_zero_only_if_identical(
+        seed in 0u64..10_000, n in 3usize..10,
+    ) {
+        let g = random_dag_from_seed(seed, n, 0.4);
+        prop_assert_eq!(shd(&g, &g), 0);
+    }
+
+    #[test]
+    fn reversing_one_nonvstructure_edge_preserves_skeleton(seed in 0u64..10_000, n in 3usize..10) {
+        let g = random_dag_from_seed(seed, n, 0.4);
+        let edges = g.edges();
+        prop_assume!(!edges.is_empty());
+        let (i, j) = edges[seed as usize % edges.len()];
+        let mut rev = g.clone();
+        rev.remove_edge(i, j);
+        rev.add_edge(j, i);
+        prop_assert_eq!(skeleton(&g), skeleton(&rev));
+        // And SHD counts exactly the one reversal.
+        prop_assert_eq!(shd(&g, &rev), 1);
+    }
+
+    #[test]
+    fn covered_edge_reversal_preserves_markov_equivalence(seed in 0u64..10_000, n in 3usize..9) {
+        // Chickering: reversing a covered edge (parents(j) = parents(i) ∪ {i})
+        // keeps the DAG in the same MEC — the classic characterization.
+        let g = random_dag_from_seed(seed, n, 0.45);
+        for (i, j) in g.edges() {
+            let mut pi = g.parents(i);
+            pi.push(i);
+            pi.sort_unstable();
+            let pj = g.parents(j);
+            if pi == pj {
+                let mut rev = g.clone();
+                rev.remove_edge(i, j);
+                rev.add_edge(j, i);
+                if rev.is_dag() {
+                    prop_assert!(
+                        markov_equivalent(&g, &rev),
+                        "covered edge ({i},{j}) reversal left the MEC"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cpdag_partitions_skeleton(seed in 0u64..10_000, n in 3usize..10) {
+        let g = random_dag_from_seed(seed, n, 0.4);
+        let c = mec::cpdag(&g);
+        let skel = skeleton(&g);
+        let mut covered = std::collections::BTreeSet::new();
+        for &(a, b) in &c.directed {
+            covered.insert((a.min(b), a.max(b)));
+        }
+        for &e in &c.undirected {
+            covered.insert(e);
+        }
+        prop_assert_eq!(covered, skel);
+    }
+
+    #[test]
+    fn v_structures_parents_nonadjacent(seed in 0u64..10_000, n in 3usize..10) {
+        let g = random_dag_from_seed(seed, n, 0.5);
+        let skel = skeleton(&g);
+        for (i, k, j) in v_structures(&g) {
+            prop_assert!(g.has_edge(i, k) && g.has_edge(j, k));
+            prop_assert!(!skel.contains(&(i.min(j), i.max(j))));
+        }
+    }
+}

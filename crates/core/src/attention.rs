@@ -1,0 +1,119 @@
+//! The bilinear local attention of eq. (10):
+//! `α_t = softmax_t( h_t^T A h_{j−1} )`,
+//! applied to the causally filtered history to discriminate the importance
+//! of items that are already causes of the target.
+
+use causer_tensor::{init, Graph, Matrix, NodeId, ParamId, ParamSet};
+use rand::Rng;
+
+/// Learned bilinear attention with projection `A ∈ R^{d_h × d_h}`.
+#[derive(Clone, Debug)]
+pub struct BilinearAttention {
+    pub a: ParamId,
+    pub hidden_dim: usize,
+}
+
+impl BilinearAttention {
+    pub fn new<R: Rng + ?Sized>(
+        ps: &mut ParamSet,
+        prefix: &str,
+        hidden_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let a = ps.add(&format!("{prefix}.A"), init::xavier(rng, hidden_dim, hidden_dim));
+        BilinearAttention { a, hidden_dim }
+    }
+
+    /// Autodiff weights: `hs` is the stacked history `T × d_h`, `query` the
+    /// summary state `1 × d_h`. Returns `T × 1` attention weights.
+    pub fn weights(&self, g: &mut Graph, ps: &ParamSet, hs: NodeId, query: NodeId) -> NodeId {
+        let a = g.param(ps, self.a);
+        let qt = g.transpose(query); // d_h × 1
+        let aq = g.matmul(a, qt); // d_h × 1
+        let scores = g.matmul(hs, aq); // T × 1
+        let st = g.transpose(scores); // 1 × T
+        let sm = g.softmax_rows(st);
+        g.transpose(sm) // T × 1
+    }
+
+    /// Plain-matrix attention weights for inference.
+    pub fn weights_plain(&self, ps: &ParamSet, hs: &Matrix, query: &Matrix) -> Vec<f64> {
+        let aq = ps.value(self.a).matmul(&query.transpose()); // d_h × 1
+        let scores = hs.matmul(&aq); // T × 1
+        softmax(scores.data())
+    }
+}
+
+/// Stable softmax over a slice.
+pub fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causer_tensor::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn graph_and_plain_agree() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps = ParamSet::new();
+        let att = BilinearAttention::new(&mut ps, "att", 4, &mut rng);
+        let hs = init::uniform(&mut rng, 3, 4, 1.0);
+        let q = init::uniform(&mut rng, 1, 4, 1.0);
+        let mut g = Graph::new();
+        let hsn = g.constant(hs.clone());
+        let qn = g.constant(q.clone());
+        let w = att.weights(&mut g, &ps, hsn, qn);
+        let plain = att.weights_plain(&ps, &hs, &q);
+        assert_eq!(g.shape(w), (3, 1));
+        for (a, b) in g.value(w).data().iter().zip(plain.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_form_distribution() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ps = ParamSet::new();
+        let att = BilinearAttention::new(&mut ps, "att", 3, &mut rng);
+        let hs = init::uniform(&mut rng, 5, 3, 2.0);
+        let q = init::uniform(&mut rng, 1, 3, 2.0);
+        let w = att.weights_plain(&ps, &hs, &q);
+        assert_eq!(w.len(), 5);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gradient_flows_through_attention() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ps = ParamSet::new();
+        let att = BilinearAttention::new(&mut ps, "att", 3, &mut rng);
+        let hsm = init::uniform(&mut rng, 4, 3, 1.0);
+        let qm = init::uniform(&mut rng, 1, 3, 1.0);
+        gradcheck::check_gradients(&mut ps, 1e-4, |g, ps| {
+            let hs = g.constant(hsm.clone());
+            let q = g.constant(qm.clone());
+            let w = att.weights(g, ps, hs, q);
+            // Weighted sum of hidden states, then a quadratic loss.
+            let wt = g.transpose(w);
+            let pooled = g.matmul(wt, hs);
+            let sq = g.mul(pooled, pooled);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn softmax_of_uniform_scores_is_uniform() {
+        let w = softmax(&[0.3, 0.3, 0.3]);
+        for v in w {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The cluster-level causal graph `W^c ∈ R^{K×K}` and the induced
+//! item-level relations of eq. (9): `W_ab = ā^T W^c b̄`.
+//!
+//! `W^c` is a trainable parameter regularized by the NOTEARS acyclicity
+//! constraint (the `acyclicity` op) and an L1 sparsity penalty; the
+//! item-level matrix is never materialized — columns `W_{·b}` are computed
+//! on demand from the cached products.
+
+use causer_causal::DiGraph;
+use causer_tensor::{init, Graph, Matrix, NodeId, ParamId, ParamSet};
+use rand::Rng;
+
+/// Trainable cluster-level causal graph.
+#[derive(Clone, Debug)]
+pub struct ClusterCausalGraph {
+    pub k: usize,
+    pub wc: ParamId,
+}
+
+impl ClusterCausalGraph {
+    pub fn new<R: Rng + ?Sized>(ps: &mut ParamSet, prefix: &str, k: usize, rng: &mut R) -> Self {
+        // Near-zero init: relations start below any tuned ε, so every
+        // candidate initially takes the unfiltered Ŵ≡1 fallback path (see
+        // `CauserModel::sequence_logits`), and the structure-fitting pass
+        // grows the *correctly oriented* relations before the acyclicity
+        // penalty starts locking in edge directions. (A dense positive init
+        // makes the acyclicity penalty pick arbitrary orientations before
+        // the data has spoken.)
+        let wc = ps.add(&format!("{prefix}.Wc"), init::uniform(rng, k, k, 0.01));
+        ClusterCausalGraph { k, wc }
+    }
+
+    /// The off-diagonal-masked `W^c` node (self-causation is excluded).
+    pub fn node(&self, g: &mut Graph, ps: &ParamSet) -> NodeId {
+        let w = g.param(ps, self.wc);
+        let mask = g.constant(offdiag_mask(self.k));
+        g.mul(w, mask)
+    }
+
+    /// Plain masked `W^c` value.
+    pub fn value(&self, ps: &ParamSet) -> Matrix {
+        ps.value(self.wc).hadamard(&offdiag_mask(self.k))
+    }
+
+    /// L1 sparsity penalty `λ ||W^c||₁` as a graph node.
+    pub fn l1_penalty(&self, g: &mut Graph, ps: &ParamSet, lambda: f64) -> NodeId {
+        let w = self.node(g, ps);
+        let l1 = g.l1(w);
+        g.scale(l1, lambda)
+    }
+
+    /// Acyclicity residual `b(W^c) = tr(e^{W^c∘W^c}) − K` as a graph node.
+    pub fn acyclicity_node(&self, g: &mut Graph, ps: &ParamSet) -> NodeId {
+        let w = self.node(g, ps);
+        g.acyclicity(w)
+    }
+
+    /// Plain acyclicity residual.
+    pub fn acyclicity_value(&self, ps: &ParamSet) -> f64 {
+        causer_causal::acyclicity(&self.value(ps))
+    }
+
+    /// Binarized cluster DAG at threshold `epsilon`.
+    pub fn binarized(&self, ps: &ParamSet, epsilon: f64) -> DiGraph {
+        DiGraph::from_weighted(&self.value(ps), epsilon)
+    }
+}
+
+/// `1 − I`, the mask that removes self-causation.
+pub fn offdiag_mask(k: usize) -> Matrix {
+    Matrix::from_fn(k, k, |i, j| if i == j { 0.0 } else { 1.0 })
+}
+
+/// Per-epoch cache of the item-level causal relations (Algorithm 1 line 7):
+/// holds the plain assignment matrix `Ā (|V|×K)` and the product
+/// `P = Ā · W^c (|V|×K)`, from which `W_ab = P_a · Ā_b` in `O(K)`.
+#[derive(Clone, Debug)]
+pub struct ItemRelationCache {
+    pub assignments: Matrix,
+    pub p: Matrix,
+}
+
+impl ItemRelationCache {
+    pub fn build(assignments: Matrix, wc: &Matrix) -> Self {
+        let p = assignments.matmul(wc);
+        ItemRelationCache { assignments, p }
+    }
+
+    pub fn num_items(&self) -> usize {
+        self.assignments.rows()
+    }
+
+    /// Item-level causal strength `W_ab` (eq. 9).
+    #[inline]
+    pub fn w_ab(&self, a: usize, b: usize) -> f64 {
+        self.p
+            .row(a)
+            .iter()
+            .zip(self.assignments.row(b))
+            .map(|(&x, &y)| x * y)
+            .sum()
+    }
+
+    /// Column `W_{·b}` for all items `a` at once (`|V|` values).
+    pub fn column(&self, b: usize) -> Vec<f64> {
+        let bb = self.assignments.row(b);
+        (0..self.num_items())
+            .map(|a| self.p.row(a).iter().zip(bb).map(|(&x, &y)| x * y).sum())
+            .collect()
+    }
+
+    /// Causal strength from item `a` toward *cluster* `c` — used at
+    /// inference where candidate masks are grouped by hard cluster
+    /// (footnote 5: η controls assignment hardness, so the hard-cluster
+    /// mask is the η→0 limit of the soft one).
+    #[inline]
+    pub fn w_a_to_cluster(&self, a: usize, c: usize) -> f64 {
+        self.p.get(a, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diagonal_is_masked() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut ps = ParamSet::new();
+        let g = ClusterCausalGraph::new(&mut ps, "cg", 4, &mut rng);
+        let v = g.value(&ps);
+        for i in 0..4 {
+            assert_eq!(v.get(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn eq9_matches_direct_computation() {
+        // Hand check W_ab = Σ_ij ā_i W^c_ij b̄_j.
+        let assign = Matrix::from_vec(2, 2, vec![0.8, 0.2, 0.3, 0.7]);
+        let wc = Matrix::from_vec(2, 2, vec![0.0, 0.9, 0.1, 0.0]);
+        let cache = ItemRelationCache::build(assign.clone(), &wc);
+        let mut expected = 0.0;
+        for i in 0..2 {
+            for j in 0..2 {
+                expected += assign.get(0, i) * wc.get(i, j) * assign.get(1, j);
+            }
+        }
+        assert!((cache.w_ab(0, 1) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hard_assignments_give_cluster_relation_exactly() {
+        // η → 0 case from the paper: one-hot assignments make item relations
+        // equal to the underlying cluster relation.
+        let assign = Matrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+        let mut wc = Matrix::zeros(3, 3);
+        wc.set(0, 2, 0.77);
+        let cache = ItemRelationCache::build(assign, &wc);
+        assert!((cache.w_ab(0, 1) - 0.77).abs() < 1e-12);
+        assert!((cache.w_ab(1, 0) - 0.0).abs() < 1e-12);
+        assert!((cache.w_a_to_cluster(0, 2) - 0.77).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_matches_scalar_queries() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let assign = init::uniform(&mut rng, 5, 3, 1.0).map(|v| v.abs());
+        let wc = init::uniform(&mut rng, 3, 3, 1.0);
+        let cache = ItemRelationCache::build(assign, &wc);
+        let col = cache.column(2);
+        for a in 0..5 {
+            assert!((col[a] - cache.w_ab(a, 2)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn acyclicity_penalty_positive_for_cyclic_init() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(43);
+        let cg = ClusterCausalGraph::new(&mut ps, "cg", 3, &mut rng);
+        // Force a strong 2-cycle.
+        let mut w = Matrix::zeros(3, 3);
+        w.set(0, 1, 1.0);
+        w.set(1, 0, 1.0);
+        ps.set_value(cg.wc, w);
+        assert!(cg.acyclicity_value(&ps) > 0.5);
+        let dag = cg.binarized(&ps, 0.5);
+        assert!(!dag.is_dag());
+    }
+
+    #[test]
+    fn l1_penalty_scales_with_lambda() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(44);
+        let cg = ClusterCausalGraph::new(&mut ps, "cg", 3, &mut rng);
+        let mut g = Graph::new();
+        let p1 = cg.l1_penalty(&mut g, &ps, 1.0);
+        let p2 = cg.l1_penalty(&mut g, &ps, 2.0);
+        assert!((g.value(p2).item() - 2.0 * g.value(p1).item()).abs() < 1e-12);
+    }
+}

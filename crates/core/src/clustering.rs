@@ -1,0 +1,295 @@
+//! The encoder–decoder item clustering of §III-A (eqs. 6–8).
+//!
+//! Each item's raw features `ṽ ∈ R^d` are encoded into an embedding
+//! `v* = V₂ σ(V₁ ṽ + b₁) + b₂` (eq. 6); a free parameter matrix `a` defines
+//! per-item soft cluster assignments `v̄ = softmax(a / η)` over `K` latent
+//! cluster centers `m_k` (eq. 7, the temperature relaxation); a decoder
+//! reconstructs the raw features (eq. 8). Two auxiliary losses pull item
+//! embeddings toward convex combinations of the cluster centers and keep
+//! them informative of the raw features.
+
+use causer_tensor::{init, Graph, Matrix, NodeId, ParamId, ParamSet};
+use rand::Rng;
+
+/// The cluster module's parameters (the paper's `Θ_a`).
+#[derive(Clone, Debug)]
+pub struct ClusterModule {
+    pub num_items: usize,
+    pub feature_dim: usize,
+    pub d1: usize,
+    /// Embedding dimensionality `d2` — also the item input embedding size.
+    pub d2: usize,
+    pub k: usize,
+    /// Softmax temperature η.
+    pub eta: f64,
+    v1: ParamId,
+    b1: ParamId,
+    v2: ParamId,
+    b2: ParamId,
+    v3: ParamId,
+    b3: ParamId,
+    v4: ParamId,
+    b4: ParamId,
+    /// Cluster centers `m_k`, stacked `K × d2`.
+    centers: ParamId,
+    /// Free assignment logits `a`, one row per item (`|V| × K`).
+    logits: ParamId,
+}
+
+impl ClusterModule {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + ?Sized>(
+        ps: &mut ParamSet,
+        prefix: &str,
+        num_items: usize,
+        feature_dim: usize,
+        d1: usize,
+        d2: usize,
+        k: usize,
+        eta: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(k >= 2, "need at least two clusters");
+        assert!(eta > 0.0, "temperature must be positive");
+        let v1 = ps.add(&format!("{prefix}.V1"), init::xavier(rng, feature_dim, d1));
+        let b1 = ps.add(&format!("{prefix}.b1"), Matrix::zeros(1, d1));
+        let v2 = ps.add(&format!("{prefix}.V2"), init::xavier(rng, d1, d2));
+        let b2 = ps.add(&format!("{prefix}.b2"), Matrix::zeros(1, d2));
+        let v3 = ps.add(&format!("{prefix}.V3"), init::xavier(rng, d2, d1));
+        let b3 = ps.add(&format!("{prefix}.b3"), Matrix::zeros(1, d1));
+        let v4 = ps.add(&format!("{prefix}.V4"), init::xavier(rng, d1, feature_dim));
+        let b4 = ps.add(&format!("{prefix}.b4"), Matrix::zeros(1, feature_dim));
+        let centers = ps.add(&format!("{prefix}.centers"), init::normal(rng, k, d2, 0.5));
+        let logits = ps.add(&format!("{prefix}.logits"), init::uniform(rng, num_items, k, 0.1));
+        ClusterModule {
+            num_items,
+            feature_dim,
+            d1,
+            d2,
+            k,
+            eta,
+            v1,
+            b1,
+            v2,
+            b2,
+            v3,
+            b3,
+            v4,
+            b4,
+            centers,
+            logits,
+        }
+    }
+
+    /// Eq. (6): encode raw features (`|V| × d`) into embeddings (`|V| × d2`).
+    pub fn encode(&self, g: &mut Graph, ps: &ParamSet, features: NodeId) -> NodeId {
+        let v1 = g.param(ps, self.v1);
+        let b1 = g.param(ps, self.b1);
+        let v2 = g.param(ps, self.v2);
+        let b2 = g.param(ps, self.b2);
+        let h = g.matmul(features, v1);
+        let h = g.add_row(h, b1);
+        let h = g.sigmoid(h);
+        let e = g.matmul(h, v2);
+        g.add_row(e, b2)
+    }
+
+    /// Plain-matrix encoder for inference.
+    pub fn encode_plain(&self, ps: &ParamSet, features: &Matrix) -> Matrix {
+        let mut h = features.matmul(ps.value(self.v1));
+        add_row_inplace(&mut h, ps.value(self.b1));
+        let h = h.map(causer_tensor::stable_sigmoid);
+        let mut e = h.matmul(ps.value(self.v2));
+        add_row_inplace(&mut e, ps.value(self.b2));
+        e
+    }
+
+    /// Eq. (8) decoder: reconstruct raw features from embeddings.
+    pub fn decode(&self, g: &mut Graph, ps: &ParamSet, embeddings: NodeId) -> NodeId {
+        let v3 = g.param(ps, self.v3);
+        let b3 = g.param(ps, self.b3);
+        let v4 = g.param(ps, self.v4);
+        let b4 = g.param(ps, self.b4);
+        let h = g.matmul(embeddings, v3);
+        let h = g.add_row(h, b3);
+        let h = g.sigmoid(h);
+        let r = g.matmul(h, v4);
+        g.add_row(r, b4)
+    }
+
+    /// Eq. (7) relaxation: soft cluster assignments `softmax(a / η)`,
+    /// `|V| × K`, rows on the simplex.
+    pub fn assignments(&self, g: &mut Graph, ps: &ParamSet) -> NodeId {
+        let a = g.param(ps, self.logits);
+        let scaled = g.scale(a, 1.0 / self.eta);
+        g.softmax_rows(scaled)
+    }
+
+    /// Plain-matrix assignments for inference/mask computation.
+    pub fn assignments_plain(&self, ps: &ParamSet) -> Matrix {
+        let a = ps.value(self.logits);
+        let mut out = Matrix::zeros(a.rows(), a.cols());
+        for i in 0..a.rows() {
+            let scaled: Vec<f64> = a.row(i).iter().map(|&v| v / self.eta).collect();
+            let sm = crate::attention::softmax(&scaled);
+            out.row_mut(i).copy_from_slice(&sm);
+        }
+        out
+    }
+
+    /// Eq. (7) objective: `Σ_v ||v* − Σ_k v̄_k m_k||²` (mean over items).
+    pub fn clustering_loss(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        embeddings: NodeId,
+        assignments: NodeId,
+    ) -> NodeId {
+        let m = g.param(ps, self.centers);
+        let recon = g.matmul(assignments, m); // |V| × d2
+        let diff = g.sub(embeddings, recon);
+        let sq = g.mul(diff, diff);
+        g.mean_all(sq)
+    }
+
+    /// Eq. (8) objective: `Σ_v ||v̂ − ṽ||²` (mean over items).
+    pub fn reconstruction_loss(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        embeddings: NodeId,
+        features: &Matrix,
+    ) -> NodeId {
+        let decoded = self.decode(g, ps, embeddings);
+        g.mse_loss(decoded, features)
+    }
+
+    /// Hard cluster of every item (argmax of assignment logits).
+    pub fn hard_clusters(&self, ps: &ParamSet) -> Vec<usize> {
+        let a = ps.value(self.logits);
+        (0..a.rows())
+            .map(|i| {
+                a.row(i)
+                    .iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.partial_cmp(y.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(k, _)| k)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Broadcast-add a `1×n` row to every row of `m` (shared plain-matrix helper).
+pub fn add_row_inplace(m: &mut Matrix, row: &Matrix) {
+    for i in 0..m.rows() {
+        for (v, &b) in m.row_mut(i).iter_mut().zip(row.row(0)) {
+            *v += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causer_tensor::{gradcheck, GradStore};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn module(eta: f64) -> (ParamSet, ClusterModule, Matrix) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut ps = ParamSet::new();
+        let m = ClusterModule::new(&mut ps, "clu", 6, 4, 5, 3, 3, eta, &mut rng);
+        let features = init::uniform(&mut rng, 6, 4, 1.0);
+        (ps, m, features)
+    }
+
+    #[test]
+    fn assignment_rows_are_simplex() {
+        let (ps, m, _) = module(1.0);
+        let a = m.assignments_plain(&ps);
+        assert_eq!(a.shape(), (6, 3));
+        for i in 0..6 {
+            let s: f64 = a.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(a.row(i).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn small_temperature_hardens_assignments() {
+        let (ps, mut m, _) = module(1.0);
+        let soft = m.assignments_plain(&ps);
+        m.eta = 1e-6;
+        let hard = m.assignments_plain(&ps);
+        let max_soft = soft.row(0).iter().cloned().fold(0.0, f64::max);
+        let max_hard = hard.row(0).iter().cloned().fold(0.0, f64::max);
+        assert!(max_hard > 0.999, "hard max {max_hard}");
+        assert!(max_hard >= max_soft);
+    }
+
+    #[test]
+    fn encode_graph_matches_plain() {
+        let (ps, m, features) = module(1.0);
+        let mut g = Graph::new();
+        let f = g.constant(features.clone());
+        let e = m.encode(&mut g, &ps, f);
+        let plain = m.encode_plain(&ps, &features);
+        for (a, b) in g.value(e).data().iter().zip(plain.data()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn losses_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut ps = ParamSet::new();
+        let m = ClusterModule::new(&mut ps, "clu", 4, 3, 4, 2, 2, 0.7, &mut rng);
+        let features = init::uniform(&mut rng, 4, 3, 1.0);
+        gradcheck::check_gradients(&mut ps, 2e-4, |g, ps| {
+            let f = g.constant(features.clone());
+            let e = m.encode(g, ps, f);
+            let a = m.assignments(g, ps);
+            let lc = m.clustering_loss(g, ps, e, a);
+            let lr = m.reconstruction_loss(g, ps, e, &features);
+            g.add(lc, lr)
+        });
+    }
+
+    #[test]
+    fn joint_training_recovers_planted_clusters() {
+        // Items 0..10 near center A, 10..20 near center B: after training the
+        // clustering objective, hard assignments should separate them.
+        use causer_tensor::{Adam, Optimizer};
+        let mut rng = StdRng::seed_from_u64(33);
+        let n = 20;
+        let features = Matrix::from_fn(n, 4, |i, j| {
+            let base = if i < 10 { 1.5 } else { -1.5 };
+            base + 0.2 * ((i * 4 + j) as f64).sin()
+        });
+        let mut ps = ParamSet::new();
+        let m = ClusterModule::new(&mut ps, "clu", n, 4, 6, 3, 2, 0.5, &mut rng);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..150 {
+            let mut g = Graph::new();
+            let f = g.constant(features.clone());
+            let e = m.encode(&mut g, &ps, f);
+            let a = m.assignments(&mut g, &ps);
+            let lc = m.clustering_loss(&mut g, &ps, e, a);
+            let lr = m.reconstruction_loss(&mut g, &ps, e, &features);
+            let loss = g.add(lc, lr);
+            let mut gs = GradStore::new(&ps);
+            g.backward(loss, &mut gs);
+            opt.step(&mut ps, &mut gs);
+        }
+        let hard = m.hard_clusters(&ps);
+        // All of group 1 same label, all of group 2 the other.
+        let first = &hard[..10];
+        let second = &hard[10..];
+        let first_mode = first[0];
+        assert!(first.iter().filter(|&&c| c == first_mode).count() >= 9, "{hard:?}");
+        let second_mode = second[0];
+        assert!(second.iter().filter(|&&c| c == second_mode).count() >= 9, "{hard:?}");
+        assert_ne!(first_mode, second_mode, "{hard:?}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Dynamic causal graphs — the first future-work direction of §VI: "an
+//! interesting direction is to introduce dynamic causal graph into our
+//! model, where the causal relation can be altered when the interaction
+//! times are different."
+//!
+//! This module fits a *separate* cluster-level transition graph per
+//! sequence phase (early / middle / late thirds of each user's history, or
+//! any number of buckets) with closed-form ridge regression of each step's
+//! cluster-indicator vector on its recency-discounted history context, and
+//! quantifies how much the causal structure drifts over time (edge churn).
+
+use causer_causal::pc::invert;
+use causer_causal::DiGraph;
+use causer_data::LeaveLastOut;
+use causer_tensor::Matrix;
+
+/// Configuration of the dynamic-graph fit.
+#[derive(Clone, Debug)]
+pub struct DynamicGraphConfig {
+    /// Number of sequence-phase buckets.
+    pub buckets: usize,
+    /// Recency discount of the history context.
+    pub gamma: f64,
+    /// Ridge regularization strength.
+    pub ridge: f64,
+    /// Threshold for binarizing the fitted transition weights.
+    pub threshold: f64,
+}
+
+impl Default for DynamicGraphConfig {
+    fn default() -> Self {
+        DynamicGraphConfig { buckets: 3, gamma: 0.7, ridge: 1.0, threshold: 0.08 }
+    }
+}
+
+/// Result: one fitted weighted graph per bucket plus drift statistics.
+#[derive(Clone, Debug)]
+pub struct DynamicGraphs {
+    /// Fitted `K × K` transition weights per bucket (diagonal zeroed).
+    pub weights: Vec<Matrix>,
+    /// Binarized graphs at the configured threshold.
+    pub graphs: Vec<DiGraph>,
+    /// Number of regression rows per bucket.
+    pub rows: Vec<usize>,
+}
+
+impl DynamicGraphs {
+    /// Jaccard distance between consecutive buckets' edge sets — 0 means a
+    /// static causal structure, 1 a complete change.
+    pub fn edge_churn(&self) -> Vec<f64> {
+        self.graphs
+            .windows(2)
+            .map(|w| {
+                let a: std::collections::BTreeSet<_> = w[0].edges().into_iter().collect();
+                let b: std::collections::BTreeSet<_> = w[1].edges().into_iter().collect();
+                let union = a.union(&b).count();
+                if union == 0 {
+                    0.0
+                } else {
+                    1.0 - a.intersection(&b).count() as f64 / union as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Fit per-bucket transition graphs from the training split.
+///
+/// `assignments` is the `|V| × K` (soft or hard) cluster-assignment matrix;
+/// use the ground-truth one-hot matrix for analysis of simulated data or a
+/// trained model's [`crate::ClusterModule::assignments_plain`].
+pub fn fit_dynamic_graphs(
+    split: &LeaveLastOut,
+    assignments: &Matrix,
+    config: &DynamicGraphConfig,
+) -> DynamicGraphs {
+    let k = assignments.cols();
+    assert!(config.buckets >= 1, "need at least one bucket");
+    // Per bucket: accumulate XᵀX (with intercept column) and XᵀY.
+    let dim = k + 1; // context + intercept
+    let mut xtx = vec![Matrix::zeros(dim, dim); config.buckets];
+    let mut xty = vec![Matrix::zeros(dim, k); config.buckets];
+    let mut rows = vec![0usize; config.buckets];
+
+    for hist in &split.train {
+        let steps = &hist.steps;
+        if steps.len() < 2 {
+            continue;
+        }
+        let mut ctx = vec![0.0f64; k];
+        // Initialize context with the first step.
+        accumulate_step(&mut ctx, assignments, &steps[0], 1.0);
+        for t in 1..steps.len() {
+            let bucket =
+                ((t - 1) * config.buckets / (steps.len() - 1).max(1)).min(config.buckets - 1);
+            let mut target = vec![0.0f64; k];
+            accumulate_step(&mut target, assignments, &steps[t], 1.0);
+            // Design row: [ctx, 1].
+            let mut x = ctx.clone();
+            x.push(1.0);
+            let (xx, xy) = (&mut xtx[bucket], &mut xty[bucket]);
+            for a in 0..dim {
+                for b in 0..dim {
+                    xx.set(a, b, xx.get(a, b) + x[a] * x[b]);
+                }
+                for (c, &t) in target.iter().enumerate() {
+                    xy.set(a, c, xy.get(a, c) + x[a] * t);
+                }
+            }
+            rows[bucket] += 1;
+            for v in ctx.iter_mut() {
+                *v *= config.gamma;
+            }
+            accumulate_step(&mut ctx, assignments, &steps[t], 1.0);
+        }
+    }
+
+    let mut weights = Vec::with_capacity(config.buckets);
+    let mut graphs = Vec::with_capacity(config.buckets);
+    for b in 0..config.buckets {
+        let mut reg = xtx[b].clone();
+        for i in 0..dim {
+            reg.set(i, i, reg.get(i, i) + config.ridge);
+        }
+        let w_full = match invert(&reg) {
+            Some(inv) => inv.matmul(&xty[b]), // (K+1) × K, last row = intercept
+            None => Matrix::zeros(dim, k),
+        };
+        // Drop the intercept row and the diagonal.
+        let mut w = Matrix::from_fn(k, k, |i, j| if i == j { 0.0 } else { w_full.get(i, j) });
+        for v in w.data_mut() {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+        }
+        graphs.push(DiGraph::from_weighted(&w, config.threshold));
+        weights.push(w);
+    }
+    DynamicGraphs { weights, graphs, rows }
+}
+
+fn accumulate_step(ctx: &mut [f64], assignments: &Matrix, step: &[usize], scale: f64) {
+    for &item in step {
+        for (o, &a) in ctx.iter_mut().zip(assignments.row(item)) {
+            *o += a * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causer_data::{simulate, DatasetKind, DatasetProfile};
+
+    fn one_hot_assignments(clusters: &[usize], k: usize) -> Matrix {
+        Matrix::from_fn(clusters.len(), k, |i, j| if clusters[i] == j { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn static_generator_yields_low_churn() {
+        // The simulator's graph is static, so buckets should agree broadly.
+        let profile = DatasetProfile::paper(DatasetKind::Patio).scaled(0.2);
+        let sim = simulate(&profile, 3);
+        let split = sim.interactions.leave_last_out();
+        let assign = one_hot_assignments(&sim.item_clusters, profile.true_clusters);
+        let fit = fit_dynamic_graphs(&split, &assign, &DynamicGraphConfig::default());
+        assert_eq!(fit.weights.len(), 3);
+        assert!(fit.rows.iter().all(|&r| r > 0));
+        let churn = fit.edge_churn();
+        assert_eq!(churn.len(), 2);
+        // Not a strict zero (sampling noise), but clearly below full churn.
+        assert!(churn.iter().all(|&c| c < 0.9), "churn {churn:?}");
+    }
+
+    #[test]
+    fn fitted_weights_prefer_true_edges() {
+        let profile = DatasetProfile::paper(DatasetKind::Baby).scaled(0.2);
+        let sim = simulate(&profile, 7);
+        let split = sim.interactions.leave_last_out();
+        let k = profile.true_clusters;
+        let assign = one_hot_assignments(&sim.item_clusters, k);
+        let fit = fit_dynamic_graphs(
+            &split,
+            &assign,
+            &DynamicGraphConfig { buckets: 1, ..Default::default() },
+        );
+        let w = &fit.weights[0];
+        let mut edge_sum = 0.0;
+        let mut edge_n = 0;
+        let mut non_sum = 0.0;
+        let mut non_n = 0;
+        for i in 0..k {
+            for j in 0..k {
+                if i == j {
+                    continue;
+                }
+                if sim.cluster_graph.has_edge(i, j) {
+                    edge_sum += w.get(i, j);
+                    edge_n += 1;
+                } else {
+                    non_sum += w.get(i, j);
+                    non_n += 1;
+                }
+            }
+        }
+        let edge_mean = edge_sum / edge_n.max(1) as f64;
+        let non_mean = non_sum / non_n.max(1) as f64;
+        assert!(
+            edge_mean > non_mean + 0.02,
+            "true-edge mean {edge_mean} vs non-edge {non_mean}"
+        );
+    }
+
+    #[test]
+    fn single_bucket_equals_static_fit() {
+        let profile = DatasetProfile::paper(DatasetKind::Epinions).scaled(0.2);
+        let sim = simulate(&profile, 5);
+        let split = sim.interactions.leave_last_out();
+        let assign = one_hot_assignments(&sim.item_clusters, profile.true_clusters);
+        let fit = fit_dynamic_graphs(
+            &split,
+            &assign,
+            &DynamicGraphConfig { buckets: 1, ..Default::default() },
+        );
+        assert_eq!(fit.weights.len(), 1);
+        assert!(fit.edge_churn().is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Counterfactual explanations: beyond the paper's `Ŵ·α` scores (§V-E),
+//! this module measures each history item's *interventional* importance —
+//! how much the target's score drops when that item is removed from the
+//! history. "Determining their causal relations may depend on whether the
+//! absent of one item can lead to the disappearance of the other one"
+//! (§II-B) — this is that counterfactual, evaluated through the model.
+
+use crate::model::{CauserModel, InferenceCache};
+use causer_data::Step;
+
+impl CauserModel {
+    /// Score a single candidate item for a history (plain-matrix path).
+    pub fn score_item(
+        &self,
+        ic: &InferenceCache,
+        user: usize,
+        history: &[Step],
+        item: usize,
+    ) -> f64 {
+        // Full-catalog scoring is already grouped by cluster; for a single
+        // item just reuse it on the item's score slot. The cost is bounded
+        // by one filtered RNN run (the item's cluster group).
+        self.score_all(ic, user, history)[item]
+    }
+
+    /// Counterfactual explanation scores for a single-item-per-step
+    /// history: `score(b | H) − score(b | H \ {t})` per position `t`.
+    /// Positive values mean removing the item *hurts* the prediction —
+    /// i.e., the model treats it as a cause.
+    pub fn counterfactual_scores(
+        &self,
+        ic: &InferenceCache,
+        user: usize,
+        history_items: &[usize],
+        target: usize,
+    ) -> Vec<f64> {
+        let full_history: Vec<Step> = history_items.iter().map(|&i| vec![i]).collect();
+        let base = self.score_item(ic, user, &full_history, target);
+        (0..history_items.len())
+            .map(|t| {
+                let ablated: Vec<Step> = history_items
+                    .iter()
+                    .enumerate()
+                    .filter(|&(s, _)| s != t)
+                    .map(|(_, &i)| vec![i])
+                    .collect();
+                if ablated.is_empty() {
+                    return 0.0;
+                }
+                base - self.score_item(ic, user, &ablated, target)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CauserConfig;
+    use crate::variants::CauserVariant;
+    use causer_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_model(variant: CauserVariant) -> CauserModel {
+        let mut cfg = CauserConfig::new(4, 12, 6);
+        cfg.variant = variant;
+        cfg.k = 3;
+        cfg.d1 = 8;
+        cfg.d2 = 6;
+        cfg.user_dim = 4;
+        cfg.hidden_dim = 8;
+        cfg.item_out_dim = 6;
+        let mut rng = StdRng::seed_from_u64(123);
+        let features = init::uniform(&mut rng, 12, 6, 1.0);
+        CauserModel::new(cfg, features, 9)
+    }
+
+    #[test]
+    fn score_item_matches_score_all() {
+        let model = toy_model(CauserVariant::Full);
+        let ic = model.inference_cache();
+        let history = vec![vec![0], vec![3, 4], vec![7]];
+        let all = model.score_all(&ic, 1, &history);
+        for item in [0usize, 5, 11] {
+            assert_eq!(model.score_item(&ic, 1, &history, item), all[item]);
+        }
+    }
+
+    #[test]
+    fn counterfactual_scores_shape_and_finiteness() {
+        for variant in [CauserVariant::Full, CauserVariant::NoCausal] {
+            let model = toy_model(variant);
+            let ic = model.inference_cache();
+            let s = model.counterfactual_scores(&ic, 0, &[1, 5, 9], 2);
+            assert_eq!(s.len(), 3);
+            assert!(s.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn single_item_history_counterfactual_is_zero() {
+        let model = toy_model(CauserVariant::Full);
+        let ic = model.inference_cache();
+        let s = model.counterfactual_scores(&ic, 0, &[4], 2);
+        assert_eq!(s, vec![0.0]);
+    }
+}

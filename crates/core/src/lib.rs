@@ -1,0 +1,56 @@
+//! # causer-core
+//!
+//! The paper's primary contribution: **Causer**, a sequential recommender
+//! with a jointly-learned cluster-level causal graph (ICDE 2023).
+//!
+//! Module map (→ paper sections):
+//! - [`clustering`] — encoder–decoder item clustering, eqs. (6)–(8);
+//! - [`causal_graph`] — `W^c`, the item-level relations of eq. (9), L1 and
+//!   NOTEARS acyclicity penalties;
+//! - [`rnn`] — the GRU/LSTM architectures `g`;
+//! - [`attention`] — the bilinear local attention α;
+//! - [`model`] — eq. (10): causal history filtering, causal-effect × local
+//!   attention scoring, full-catalog inference, explanation scores;
+//! - [`mod@train`] — Algorithm 1: augmented-Lagrangian joint training;
+//! - [`variants`] — the Table V ablations;
+//! - [`recommender`] — the [`SeqRecommender`] trait shared with baselines,
+//!   plus evaluation, popularity and random floors;
+//! - [`causer_rec`] — the packaged, fit-and-score adapter.
+//!
+//! ```no_run
+//! use causer_core::{CauserConfig, CauserRecommender, TrainConfig, SeqRecommender, evaluate};
+//! use causer_data::{simulate, DatasetKind, DatasetProfile};
+//!
+//! let profile = DatasetProfile::paper(DatasetKind::Baby).scaled(0.05);
+//! let sim = simulate(&profile, 42);
+//! let split = sim.interactions.leave_last_out();
+//! let cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+//! let mut model = CauserRecommender::new(cfg, sim.features.clone(), TrainConfig::default(), 7);
+//! model.fit(&split);
+//! let report = evaluate(&model, &split.test, 5, usize::MAX);
+//! println!("F1@5 = {:.4}, NDCG@5 = {:.4}", report.f1, report.ndcg);
+//! ```
+
+pub mod attention;
+pub mod causal_graph;
+pub mod causer_rec;
+pub mod clustering;
+pub mod dynamic;
+pub mod explain;
+pub mod model;
+pub mod persistence;
+pub mod recommender;
+pub mod rnn;
+pub mod train;
+pub mod variants;
+
+pub use causal_graph::{ClusterCausalGraph, ItemRelationCache};
+pub use dynamic::{fit_dynamic_graphs, DynamicGraphConfig, DynamicGraphs};
+pub use causer_rec::CauserRecommender;
+pub use clustering::ClusterModule;
+pub use model::{CauserConfig, CauserModel, InferenceCache};
+pub use persistence::{load_model, save_model};
+pub use recommender::{evaluate, PopRecommender, RandomRecommender, SeqRecommender};
+pub use rnn::{Cell, RnnKind};
+pub use train::{train, TrainConfig, TrainReport};
+pub use variants::CauserVariant;

@@ -1,0 +1,858 @@
+//! The Causer model (§III): a sequential recommender whose history is
+//! causally filtered by a learned cluster-level causal graph.
+//!
+//! Implements eq. (10):
+//!
+//! ```text
+//! h_{t+1} = g(h_t, v⃗_t ⊙ 1(W_{·b} > ε), u)
+//! f(b | H, u) = σ( e_b^T ( V Σ_t Ŵ_{v⃗_t b} α_t h_t ) )
+//! ```
+//!
+//! with `W` induced from the cluster graph by eq. (9). Training uses the
+//! autodiff substrate; inference and explanation use plain-matrix forwards
+//! with candidate items **grouped by their hard cluster** so the whole
+//! catalog is scored with at most `K` filtered RNN runs (this is why the
+//! paper's inference overhead is only ~1.16× the base model — the η→0 hard
+//! limit of footnote 5).
+
+use crate::attention::BilinearAttention;
+use crate::causal_graph::{ClusterCausalGraph, ItemRelationCache};
+use crate::clustering::ClusterModule;
+use crate::rnn::{Cell, RnnKind};
+use crate::variants::CauserVariant;
+use causer_data::Step;
+use causer_tensor::{init, Graph, Matrix, NodeId, ParamId, ParamSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hyper-parameters of a Causer model (Table III ranges; defaults are the
+/// tuned values used by the experiment harness).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct CauserConfig {
+    pub rnn: RnnKind,
+    pub variant: CauserVariant,
+    pub num_users: usize,
+    pub num_items: usize,
+    pub feature_dim: usize,
+    /// Encoder hidden width (eq. 6).
+    pub d1: usize,
+    /// Item embedding size `d2` (encoder output, part of the RNN input).
+    pub d2: usize,
+    /// Free (identity) item input embedding size, concatenated with the
+    /// encoder output — the paper's `Θ_e` item embeddings.
+    pub item_in_dim: usize,
+    pub user_dim: usize,
+    pub hidden_dim: usize,
+    /// Output item embedding size `d_e`.
+    pub item_out_dim: usize,
+    /// Number of latent clusters `K`.
+    pub k: usize,
+    /// Assignment softmax temperature η.
+    pub eta: f64,
+    /// Causal filter threshold ε.
+    pub epsilon: f64,
+    /// L1 sparsity coefficient λ on `W^c`.
+    pub lambda: f64,
+    /// History window fed to the RNN.
+    pub max_history: usize,
+}
+
+impl CauserConfig {
+    /// Reasonable defaults for the scaled experiments.
+    pub fn new(num_users: usize, num_items: usize, feature_dim: usize) -> Self {
+        CauserConfig {
+            rnn: RnnKind::Gru,
+            variant: CauserVariant::Full,
+            num_users,
+            num_items,
+            feature_dim,
+            d1: 32,
+            d2: 24,
+            item_in_dim: 16,
+            user_dim: 8,
+            hidden_dim: 32,
+            item_out_dim: 24,
+            k: 8,
+            eta: 0.02,
+            epsilon: 0.1,
+            lambda: 1e-4,
+            max_history: 12,
+        }
+    }
+}
+
+/// The Causer model: parameters plus the raw item features it encodes.
+pub struct CauserModel {
+    pub config: CauserConfig,
+    pub params: ParamSet,
+    pub cluster: ClusterModule,
+    pub causal: ClusterCausalGraph,
+    pub cell: Cell,
+    pub attention: BilinearAttention,
+    /// `V ∈ R^{d_h × d_e}` adapting hidden states to the embedding space.
+    v: ParamId,
+    /// Independent output item embeddings `e_b` (`|V| × d_e`).
+    item_out: ParamId,
+    /// Free item *input* embeddings (`|V| × item_in_dim`).
+    item_in: ParamId,
+    /// Learnable per-item output bias (captures popularity).
+    item_bias: ParamId,
+    /// Intercept of the structure-fitting regression (`1 × K`): absorbs
+    /// cluster base rates so `W^c` captures *transitions*, not popularity.
+    struct_bias: ParamId,
+    /// User embeddings (`|U| × user_dim`).
+    user_emb: ParamId,
+    /// Constant raw item features (`|V| × feature_dim`).
+    pub features: Matrix,
+}
+
+/// Shared per-graph nodes reused by every sequence in a batch.
+pub struct SharedNodes {
+    pub item_embs: NodeId,
+    pub item_in: NodeId,
+    pub assignments: NodeId,
+    pub wc: NodeId,
+    pub item_out: NodeId,
+    pub item_bias: NodeId,
+    pub v: NodeId,
+    pub user_emb: NodeId,
+}
+
+/// One scored candidate: its logit node and binary target.
+pub struct CandidateLogit {
+    pub logit: NodeId,
+    pub target: f64,
+}
+
+/// Plain-matrix state reused across inference calls.
+pub struct InferenceCache {
+    pub item_embs: Matrix,
+    pub rel: ItemRelationCache,
+    pub hard_clusters: Vec<usize>,
+    pub wc: Matrix,
+}
+
+impl CauserModel {
+    pub fn new(config: CauserConfig, features: Matrix, seed: u64) -> Self {
+        assert_eq!(features.rows(), config.num_items, "feature rows must match num_items");
+        assert_eq!(features.cols(), config.feature_dim, "feature dim mismatch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamSet::new();
+        let cluster = ClusterModule::new(
+            &mut ps,
+            "cluster",
+            config.num_items,
+            config.feature_dim,
+            config.d1,
+            config.d2,
+            config.k,
+            config.eta,
+            &mut rng,
+        );
+        let causal = ClusterCausalGraph::new(&mut ps, "causal", config.k, &mut rng);
+        let cell = Cell::new(
+            config.rnn,
+            &mut ps,
+            "rnn",
+            config.d2 + config.item_in_dim + config.user_dim,
+            config.hidden_dim,
+            &mut rng,
+        );
+        let attention = BilinearAttention::new(&mut ps, "att", config.hidden_dim, &mut rng);
+        let v = ps.add("V", init::xavier(&mut rng, config.hidden_dim, config.item_out_dim));
+        let item_out = ps.add(
+            "item_out",
+            init::normal(&mut rng, config.num_items, config.item_out_dim, 0.1),
+        );
+        let item_in =
+            ps.add("item_in", init::normal(&mut rng, config.num_items, config.item_in_dim, 0.1));
+        let item_bias = ps.add("item_bias", Matrix::zeros(config.num_items, 1));
+        let struct_bias = ps.add("struct_bias", Matrix::zeros(1, config.k));
+        let user_emb =
+            ps.add("user_emb", init::normal(&mut rng, config.num_users, config.user_dim, 0.1));
+        CauserModel {
+            config,
+            params: ps,
+            cluster,
+            causal,
+            cell,
+            attention,
+            v,
+            item_in,
+            item_out,
+            item_bias,
+            struct_bias,
+            user_emb,
+            features,
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.params.num_scalars()
+    }
+
+    /// Parameter ids of `Θ_a ∪ {W^c}` — frozen in the "slow update"
+    /// efficiency mode of §III-C.
+    pub fn slow_update_params(&self) -> Vec<ParamId> {
+        let mut ids: Vec<ParamId> = self
+            .params
+            .iter()
+            .filter(|(_, name, _)| name.starts_with("cluster.") || name.starts_with("causal."))
+            .map(|(id, _, _)| id)
+            .collect();
+        ids.dedup();
+        ids
+    }
+
+    /// Start-of-epoch item relation cache (Algorithm 1, line 7).
+    pub fn relation_cache(&self) -> ItemRelationCache {
+        let assign = self.cluster.assignments_plain(&self.params);
+        let wc = self.causal.value(&self.params);
+        ItemRelationCache::build(assign, &wc)
+    }
+
+    /// Plain-matrix caches for inference.
+    pub fn inference_cache(&self) -> InferenceCache {
+        let item_embs = self.cluster.encode_plain(&self.params, &self.features);
+        let rel = self.relation_cache();
+        let hard_clusters = self.cluster.hard_clusters(&self.params);
+        let wc = self.causal.value(&self.params);
+        InferenceCache { item_embs, rel, hard_clusters, wc }
+    }
+
+    /// Register the per-graph shared nodes.
+    pub fn shared_nodes(&self, g: &mut Graph) -> SharedNodes {
+        let features = g.constant(self.features.clone());
+        let item_embs = self.cluster.encode(g, &self.params, features);
+        let assignments = self.cluster.assignments(g, &self.params);
+        let wc = self.causal.node(g, &self.params);
+        let item_in = g.param(&self.params, self.item_in);
+        let item_out = g.param(&self.params, self.item_out);
+        let item_bias = g.param(&self.params, self.item_bias);
+        let v = g.param(&self.params, self.v);
+        let user_emb = g.param(&self.params, self.user_emb);
+        SharedNodes { item_embs, item_in, assignments, wc, item_out, item_bias, v, user_emb }
+    }
+
+    /// Causal filter for candidate `b`: per history step, the items `a`
+    /// with `W_ab > ε` (eq. 10's `v⃗_t ⊙ 1(W_{·b} > ε)`).
+    pub fn filter_history(
+        &self,
+        cache: &ItemRelationCache,
+        history: &[Step],
+        b: usize,
+    ) -> Vec<Vec<usize>> {
+        if !self.config.variant.use_causal() {
+            return history.to_vec();
+        }
+        history
+            .iter()
+            .map(|step| {
+                step.iter()
+                    .copied()
+                    .filter(|&a| cache.w_ab(a, b) > self.config.epsilon)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Run the RNN over the non-empty filtered steps of a history; returns
+    /// `(stacked hidden states T×d_h, attention α T×1, cluster bags T×K)`
+    /// or `None` when every step was filtered out.
+    fn run_filtered_history(
+        &self,
+        g: &mut Graph,
+        shared: &SharedNodes,
+        user: usize,
+        kept: &[Vec<usize>],
+    ) -> Option<(NodeId, NodeId, NodeId)> {
+        let bags: Vec<Vec<usize>> = kept.iter().filter(|s| !s.is_empty()).cloned().collect();
+        if bags.is_empty() {
+            return None;
+        }
+        let user_row = g.select_rows(shared.user_emb, &[user]);
+        let mut state = self.cell.init_state(g, 1);
+        let mut hs = Vec::with_capacity(bags.len());
+        for bag in &bags {
+            let x_enc = g.embed_bag(shared.item_embs, std::slice::from_ref(bag), false);
+            let x_free = g.embed_bag(shared.item_in, std::slice::from_ref(bag), false);
+            let x_items = g.concat_cols(x_enc, x_free);
+            let x = g.concat_cols(x_items, user_row);
+            state = self.cell.step(g, &self.params, x, &state);
+            hs.push(state.h);
+        }
+        let h_stack = g.vstack(&hs);
+        let alpha = if self.config.variant.use_attention() {
+            self.attention.weights(g, &self.params, h_stack, state.h)
+        } else {
+            g.constant(Matrix::ones(bags.len(), 1))
+        };
+        let s_bags = g.embed_bag(shared.assignments, &bags, false);
+        Some((h_stack, alpha, s_bags))
+    }
+
+    /// Score one candidate against a prepared history run. `what_const`
+    /// replaces the causal effect Ŵ with a constant: `Some(1.0)` for the
+    /// `-causal` ablation, `Some(ε)` for the empty-filter fallback (ε keeps
+    /// the fallback's logit amplitude commensurate with the filtered path,
+    /// whose Ŵ values hover just above ε).
+    fn candidate_logit(
+        &self,
+        g: &mut Graph,
+        shared: &SharedNodes,
+        run: &(NodeId, NodeId, NodeId),
+        b: usize,
+        what_const: Option<f64>,
+    ) -> NodeId {
+        let (h_stack, alpha, s_bags) = *run;
+        let what = match what_const {
+            None => {
+                let b_assign = g.select_rows(shared.assignments, &[b]); // 1×K
+                let bt = g.transpose(b_assign); // K×1
+                let wcb = g.matmul(shared.wc, bt); // K×1
+                g.matmul(s_bags, wcb) // T×1: Ŵ_{v⃗_t b}
+            }
+            Some(w) => {
+                let (t, _) = g.shape(alpha);
+                g.constant(Matrix::full(t, 1, w))
+            }
+        };
+        let w = g.mul(what, alpha); // T×1
+        // Normalize Ŵ·α to a convex combination: raw Ŵ magnitudes differ
+        // across candidates (and vs. the Ŵ≡const fallback), which would make
+        // the context term's *scale* — not its content — drive cross-
+        // candidate ranking. Normalizing preserves which steps each
+        // candidate attends to while making scores comparable.
+        let wsum = g.sum_all(w);
+        let wsum = g.add_scalar(wsum, 1e-8);
+        let w = g.div_scalar(w, wsum);
+        let wt = g.transpose(w); // 1×T
+        let weighted = g.matmul(wt, h_stack); // 1×d_h
+        let vh = g.matmul(weighted, shared.v); // 1×d_e
+        let e_b = g.select_rows(shared.item_out, &[b]); // 1×d_e
+        let dot = g.dot_rows(vh, e_b); // 1×1
+        let bias = g.select_rows(shared.item_bias, &[b]);
+        g.add(dot, bias)
+    }
+
+    /// Build the BCE logit terms for one training sequence: for each step
+    /// `j ≥ 1` predict its items from the (causally filtered) prefix, with
+    /// `negatives[j]` as sampled negatives. Candidates sharing a filter
+    /// pattern share one RNN run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sequence_logits(
+        &self,
+        g: &mut Graph,
+        shared: &SharedNodes,
+        cache: &ItemRelationCache,
+        user: usize,
+        steps: &[Step],
+        target_positions: &[usize],
+        negatives: &[Vec<usize>],
+    ) -> Vec<CandidateLogit> {
+        let mut out = Vec::new();
+        for (pos_idx, &j) in target_positions.iter().enumerate() {
+            debug_assert!(j >= 1 && j < steps.len());
+            let start = j.saturating_sub(self.config.max_history);
+            let history = &steps[start..j];
+            let mut candidates: Vec<(usize, f64)> =
+                steps[j].iter().map(|&b| (b, 1.0)).collect();
+            candidates.extend(negatives[pos_idx].iter().map(|&b| (b, 0.0)));
+
+            // Group candidates by filter pattern: same kept items => same RNN.
+            type Group = (Vec<Vec<usize>>, Vec<(usize, f64)>);
+            let mut groups: Vec<Group> = Vec::new();
+            for (b, target) in candidates {
+                let kept = self.filter_history(cache, history, b);
+                match groups.iter_mut().find(|(k, _)| *k == kept) {
+                    Some((_, members)) => members.push((b, target)),
+                    None => groups.push((kept, vec![(b, target)])),
+                }
+            }
+            // The unfiltered run is shared by every candidate whose filter
+            // empties the history (the Ŵ≡1 fallback) — built lazily.
+            let mut unfiltered_run = None;
+            for (kept, members) in groups {
+                match self.run_filtered_history(g, shared, user, &kept) {
+                    Some(run) => {
+                        let what_const = if self.config.variant.use_causal() {
+                            None
+                        } else {
+                            Some(1.0)
+                        };
+                        for (b, target) in members {
+                            let logit =
+                                self.candidate_logit(g, shared, &run, b, what_const);
+                            out.push(CandidateLogit { logit, target });
+                        }
+                    }
+                    None => {
+                        // Every step was filtered out. The paper only defines
+                        // skipping *steps*; for a fully-empty history we fall
+                        // back to the unfiltered history with Ŵ ≡ 1 (the
+                        // "-causal" path), which keeps root-cluster items
+                        // recommendable instead of degenerating to σ(0).
+                        if unfiltered_run.is_none() {
+                            unfiltered_run =
+                                self.run_filtered_history(g, shared, user, history);
+                        }
+                        match &unfiltered_run {
+                            Some(run) => {
+                                for (b, target) in members {
+                                    // Ŵ ≡ 1: normalization makes the constant
+                                    // cancel, leaving pure attention weights.
+                                    let logit =
+                                        self.candidate_logit(g, shared, run, b, Some(1.0));
+                                    out.push(CandidateLogit { logit, target });
+                                }
+                            }
+                            None => {
+                                // History itself is empty: uniform (Remark 2).
+                                for (_, target) in members {
+                                    let logit = g.constant(Matrix::scalar(0.0));
+                                    out.push(CandidateLogit { logit, target });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Combine candidate logits into the mean BCE loss of eq. (11).
+    pub fn bce_from_logits(&self, g: &mut Graph, logits: &[CandidateLogit]) -> Option<NodeId> {
+        if logits.is_empty() {
+            return None;
+        }
+        let nodes: Vec<NodeId> = logits.iter().map(|c| c.logit).collect();
+        let stacked = g.vstack(&nodes);
+        let targets =
+            Matrix::from_vec(logits.len(), 1, logits.iter().map(|c| c.target).collect());
+        Some(g.bce_with_logits(stacked, &targets))
+    }
+
+    /// Node for the structure-regression intercept (used by the training
+    /// loop's dedicated structure pass).
+    pub fn struct_bias_node(&self, g: &mut Graph) -> NodeId {
+        g.param(&self.params, self.struct_bias)
+    }
+
+    /// Parameter id of the structure-regression intercept.
+    pub fn struct_bias_id(&self) -> ParamId {
+        self.struct_bias
+    }
+
+    /// NOTEARS-style structure-fitting term on one behaviour sequence: the
+    /// cluster-indicator vector of each step is regressed on a
+    /// recency-discounted sum of its history's cluster vectors through
+    /// `W^c` — eq. (3)'s `||x_j − x^T W_{·j}||²` applied at the cluster
+    /// level to sequential data. This is what ties `W^c` to the *direction*
+    /// of behaviour transitions (parents precede children); the BCE path
+    /// alone is sign-degenerate in `Ŵ` because `e_b^T V h_t` can absorb any
+    /// rescaling.
+    pub fn structure_fit_loss(
+        &self,
+        g: &mut Graph,
+        shared: &SharedNodes,
+        steps: &[Step],
+    ) -> Option<NodeId> {
+        if steps.len() < 2 || !self.config.variant.use_causal() {
+            return None;
+        }
+        let gamma = 0.7; // recency discount of the history context
+        let s = g.embed_bag(shared.assignments, steps, false); // T × K
+        let bias = g.param(&self.params, self.struct_bias); // 1 × K intercept
+        let mut ctx = g.select_rows(s, &[0]); // 1 × K
+        let mut total: Option<NodeId> = None;
+        for t in 1..steps.len() {
+            let trans = g.matmul(ctx, shared.wc); // 1 × K
+            let pred = g.add(trans, bias);
+            let target = g.select_rows(s, &[t]);
+            let diff = g.sub(target, pred);
+            let sq = g.mul(diff, diff);
+            let loss_t = g.sum_all(sq);
+            total = Some(match total {
+                None => loss_t,
+                Some(acc) => g.add(acc, loss_t),
+            });
+            let decayed = g.scale(ctx, gamma);
+            ctx = g.add(decayed, target);
+        }
+        total.map(|t| g.scale(t, 1.0 / (steps.len() - 1) as f64))
+    }
+
+    /// The auxiliary losses of eq. (11): `λ||W^c||₁ + recon + cluster`
+    /// plus the augmented-Lagrangian acyclicity terms `β₁ b + (β₂/2) b²`.
+    pub fn regularizer(
+        &self,
+        g: &mut Graph,
+        shared: &SharedNodes,
+        beta1: f64,
+        beta2: f64,
+        aux_weight: f64,
+    ) -> NodeId {
+        let mut total = self.causal.l1_penalty(g, &self.params, self.config.lambda);
+        if self.config.variant.use_cluster_loss() {
+            let lc =
+                self.cluster.clustering_loss(g, &self.params, shared.item_embs, shared.assignments);
+            let lc = g.scale(lc, aux_weight);
+            total = g.add(total, lc);
+        }
+        if self.config.variant.use_reconstruction_loss() {
+            let lr =
+                self.cluster.reconstruction_loss(g, &self.params, shared.item_embs, &self.features);
+            let lr = g.scale(lr, aux_weight);
+            total = g.add(total, lr);
+        }
+        let h = self.causal.acyclicity_node(g, &self.params);
+        let lin = g.scale(h, beta1);
+        let hsq = g.mul(h, h);
+        let quad = g.scale(hsq, beta2 / 2.0);
+        let total = g.add(total, lin);
+        g.add(total, quad)
+    }
+
+    /// Score every item in the catalog for one evaluation case. Returned
+    /// scores are pre-sigmoid logits (monotone in probability).
+    pub fn score_all(&self, ic: &InferenceCache, user: usize, history: &[Step]) -> Vec<f64> {
+        let cfg = &self.config;
+        let n = cfg.num_items;
+        let hist: Vec<Step> = history
+            .iter()
+            .skip(history.len().saturating_sub(cfg.max_history))
+            .cloned()
+            .collect();
+        if hist.is_empty() {
+            return vec![0.0; n];
+        }
+        let mut scores = vec![0.0f64; n];
+        let e_out = self.params.value(self.item_out);
+        let bias = self.params.value(self.item_bias);
+
+        if !cfg.variant.use_causal() {
+            // Single unfiltered pattern, Ŵ ≡ 1.
+            if let Some((c_mat, _, alpha)) = self.plain_history_run(ic, user, &hist, None) {
+                // vh = Σ_t α_t (h_t V) / Σ α_t, shared by all candidates.
+                let denom: f64 = alpha.iter().sum::<f64>().max(1e-8);
+                let vh = c_mat.sum_rows().scale(1.0 / denom); // 1×d_e
+                for (b, slot) in scores.iter_mut().enumerate() {
+                    *slot = bias.get(b, 0)
+                        + e_out.row(b).iter().zip(vh.row(0)).map(|(&e, &x)| e * x).sum::<f64>();
+                }
+            }
+            return scores;
+        }
+
+        // Group candidates by hard cluster: candidates of cluster c share the
+        // filter mask `P[a, c] > ε`, so at most K RNN runs score the catalog.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); cfg.k];
+        for (b, &c) in ic.hard_clusters.iter().enumerate() {
+            members[c].push(b);
+        }
+        // Unfiltered fallback (Ŵ ≡ 1) for clusters whose filter empties the
+        // history — computed lazily, shared by all such clusters.
+        let mut fallback_vh: Option<Option<Vec<f64>>> = None;
+        for (c, cand) in members.iter().enumerate() {
+            if cand.is_empty() {
+                continue;
+            }
+            let Some((c_mat, s_bags, alpha)) = self.plain_history_run(ic, user, &hist, Some(c))
+            else {
+                // All steps filtered: fall back to the unfiltered history
+                // with Ŵ ≡ 1, as in training.
+                let vh = fallback_vh
+                    .get_or_insert_with(|| {
+                        self.plain_history_run(ic, user, &hist, None).map(|(c_mat, _, alpha)| {
+                            // Ŵ ≡ 1 with normalization: weights reduce to α,
+                            // which already sums to 1 when attention is on.
+                            let denom: f64 = alpha.iter().sum::<f64>().max(1e-8);
+                            c_mat.sum_rows().row(0).iter().map(|&v| v / denom).collect()
+                        })
+                    })
+                    .clone();
+                if let Some(vh) = vh {
+                    for &b in cand {
+                        scores[b] = bias.get(b, 0)
+                            + e_out.row(b).iter().zip(vh.iter()).map(|(&e, &x)| e * x).sum::<f64>();
+                    }
+                }
+                continue;
+            };
+            // B = S · W^c (T×K); Ŵ_{t,b} = B_t · ā_b.
+            let b_mat = s_bags.matmul(&ic.wc); // T×K
+            for &b in cand {
+                let ab = ic.rel.assignments.row(b);
+                // vh = Σ_t Ŵ_t c_t / Σ_t Ŵ_t α_t (normalized combination).
+                let mut vh = vec![0.0f64; cfg.item_out_dim];
+                let mut denom = 1e-8;
+                #[allow(clippy::needless_range_loop)] // t indexes three parallel structures
+                for t in 0..b_mat.rows() {
+                    let what: f64 = b_mat.row(t).iter().zip(ab).map(|(&x, &y)| x * y).sum();
+                    if what == 0.0 {
+                        continue;
+                    }
+                    denom += what * alpha[t];
+                    for (o, &cv) in vh.iter_mut().zip(c_mat.row(t)) {
+                        *o += what * cv;
+                    }
+                }
+                scores[b] = bias.get(b, 0)
+                    + e_out.row(b).iter().zip(vh.iter()).map(|(&e, &x)| e * x).sum::<f64>()
+                        / denom;
+            }
+        }
+        scores
+    }
+
+    /// Plain forward over a history with an optional hard-cluster filter.
+    /// Returns `(C, S, α)` where `C_t = α_t (h_t V) ∈ R^{d_e}`, `S_t` is the
+    /// summed assignment row of the kept items of step `t`, and `α` the raw
+    /// attention weights (needed to renormalize Ŵ·α per candidate).
+    fn plain_history_run(
+        &self,
+        ic: &InferenceCache,
+        user: usize,
+        history: &[Step],
+        filter_cluster: Option<usize>,
+    ) -> Option<(Matrix, Matrix, Vec<f64>)> {
+        let cfg = &self.config;
+        let eps = cfg.epsilon;
+        let kept: Vec<Vec<usize>> = history
+            .iter()
+            .map(|step| match filter_cluster {
+                Some(c) => step
+                    .iter()
+                    .copied()
+                    .filter(|&a| ic.rel.w_a_to_cluster(a, c) > eps)
+                    .collect(),
+                None => step.clone(),
+            })
+            .filter(|s: &Vec<usize>| !s.is_empty())
+            .collect();
+        if kept.is_empty() {
+            return None;
+        }
+        let user_row = self.params.value(self.user_emb).select_rows(&[user]);
+        let mut state = self.cell.init_plain_state(1);
+        let mut h_rows: Vec<Matrix> = Vec::with_capacity(kept.len());
+        let mut s = Matrix::zeros(kept.len(), cfg.k);
+        let free = self.params.value(self.item_in);
+        for (t, bag) in kept.iter().enumerate() {
+            let mut x_item = Matrix::zeros(1, cfg.d2);
+            let mut x_free = Matrix::zeros(1, cfg.item_in_dim);
+            for &a in bag {
+                for (o, &e) in x_item.row_mut(0).iter_mut().zip(ic.item_embs.row(a)) {
+                    *o += e;
+                }
+                for (o, &e) in x_free.row_mut(0).iter_mut().zip(free.row(a)) {
+                    *o += e;
+                }
+                for (o, &w) in s.row_mut(t).iter_mut().zip(ic.rel.assignments.row(a)) {
+                    *o += w;
+                }
+            }
+            let x = Matrix::hstack(&[&x_item, &x_free, &user_row]);
+            state = self.cell.step_plain(&self.params, &x, &state);
+            h_rows.push(state.h.clone());
+        }
+        let h_stack = Matrix::vstack(&h_rows.iter().collect::<Vec<_>>());
+        let alpha: Vec<f64> = if cfg.variant.use_attention() {
+            self.attention.weights_plain(&self.params, &h_stack, &state.h)
+        } else {
+            vec![1.0; kept.len()]
+        };
+        let mut c_mat = h_stack.matmul(self.params.value(self.v)); // T×d_e
+        for (t, &a) in alpha.iter().enumerate() {
+            for v in c_mat.row_mut(t) {
+                *v *= a;
+            }
+        }
+        Some((c_mat, s, alpha))
+    }
+
+    /// Explanation scores of §V-E for a single-item-per-step history:
+    /// `Ŵ·α` for the full model, `Ŵ` for Causer(-att), `α` for
+    /// Causer(-causal). Returns one score per original history position
+    /// (filtered-out positions score 0).
+    pub fn explanation_scores(
+        &self,
+        ic: &InferenceCache,
+        user: usize,
+        history_items: &[usize],
+        target: usize,
+    ) -> Vec<f64> {
+        let cfg = &self.config;
+        let eps = cfg.epsilon;
+        let n = history_items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Soft per-item relation toward the concrete target (exact eq. 9).
+        let w: Vec<f64> =
+            history_items.iter().map(|&a| ic.rel.w_ab(a, target)).collect();
+        let mut causal_scores = cfg.variant.use_causal();
+        let mut kept: Vec<usize> = if causal_scores {
+            (0..n).filter(|&t| w[t] > eps).collect()
+        } else {
+            (0..n).collect()
+        };
+        if kept.is_empty() {
+            // Same fallback as scoring: with everything filtered, degrade to
+            // the attention-only explanation over the full history.
+            kept = (0..n).collect();
+            causal_scores = false;
+        }
+        let user_row = self.params.value(self.user_emb).select_rows(&[user]);
+        let mut state = self.cell.init_plain_state(1);
+        let mut h_rows = Vec::with_capacity(kept.len());
+        let free = self.params.value(self.item_in);
+        for &t in &kept {
+            let x_item = ic.item_embs.select_rows(&[history_items[t]]);
+            let x_free = free.select_rows(&[history_items[t]]);
+            let x = Matrix::hstack(&[&x_item, &x_free, &user_row]);
+            state = self.cell.step_plain(&self.params, &x, &state);
+            h_rows.push(state.h.clone());
+        }
+        let h_stack = Matrix::vstack(&h_rows.iter().collect::<Vec<_>>());
+        let alpha: Vec<f64> = if cfg.variant.use_attention() {
+            self.attention.weights_plain(&self.params, &h_stack, &state.h)
+        } else {
+            vec![1.0; kept.len()]
+        };
+        let mut scores = vec![0.0f64; n];
+        for (idx, &t) in kept.iter().enumerate() {
+            let causal_part = if causal_scores { w[t] } else { 1.0 };
+            scores[t] = causal_part * alpha[idx];
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causer_tensor::GradStore;
+
+    fn toy_model(variant: CauserVariant, rnn: RnnKind) -> CauserModel {
+        let mut cfg = CauserConfig::new(4, 10, 6);
+        cfg.variant = variant;
+        cfg.rnn = rnn;
+        cfg.k = 3;
+        cfg.d1 = 8;
+        cfg.d2 = 6;
+        cfg.user_dim = 4;
+        cfg.hidden_dim = 8;
+        cfg.item_out_dim = 6;
+        let mut rng = StdRng::seed_from_u64(99);
+        let features = init::uniform(&mut rng, 10, 6, 1.0);
+        CauserModel::new(cfg, features, 5)
+    }
+
+    fn toy_history() -> Vec<Step> {
+        vec![vec![0], vec![1, 2], vec![3]]
+    }
+
+    #[test]
+    fn training_graph_builds_and_backprops() {
+        for rnn in [RnnKind::Gru, RnnKind::Lstm] {
+            let model = toy_model(CauserVariant::Full, rnn);
+            let cache = model.relation_cache();
+            let mut g = Graph::new();
+            let shared = model.shared_nodes(&mut g);
+            let steps = toy_history();
+            let logits = model.sequence_logits(
+                &mut g,
+                &shared,
+                &cache,
+                1,
+                &steps,
+                &[1, 2],
+                &[vec![5, 6], vec![7]],
+            );
+            assert_eq!(logits.len(), 2 + 2 + 1 + 1); // step1: 2 pos? no: step1 has 2 items? steps[1] = [1,2]
+            let bce = model.bce_from_logits(&mut g, &logits).unwrap();
+            let reg = model.regularizer(&mut g, &shared, 0.1, 1.0, 1.0);
+            let loss = g.add(bce, reg);
+            let mut gs = GradStore::new(&model.params);
+            g.backward(loss, &mut gs);
+            // Gradients must reach the causal graph and the cluster logits.
+            assert!(gs.get(model.causal.wc).is_some());
+        }
+    }
+
+    #[test]
+    fn score_all_returns_full_catalog() {
+        for variant in CauserVariant::ALL {
+            let model = toy_model(variant, RnnKind::Gru);
+            let ic = model.inference_cache();
+            let scores = model.score_all(&ic, 2, &toy_history());
+            assert_eq!(scores.len(), 10);
+            assert!(scores.iter().all(|s| s.is_finite()));
+        }
+    }
+
+    #[test]
+    fn empty_history_scores_uniform() {
+        let model = toy_model(CauserVariant::Full, RnnKind::Gru);
+        let ic = model.inference_cache();
+        let scores = model.score_all(&ic, 0, &[]);
+        assert!(scores.iter().all(|&s| s == 0.0), "uniform ⇒ all-equal logits");
+    }
+
+    #[test]
+    fn explanation_scores_have_history_length() {
+        for variant in CauserVariant::ALL {
+            let model = toy_model(variant, RnnKind::Gru);
+            let ic = model.inference_cache();
+            let s = model.explanation_scores(&ic, 1, &[0, 3, 7], 2);
+            assert_eq!(s.len(), 3);
+            assert!(s.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn filter_respects_epsilon() {
+        let mut model = toy_model(CauserVariant::Full, RnnKind::Gru);
+        let cache = model.relation_cache();
+        let history = toy_history();
+        // Impossible threshold filters everything.
+        model.config.epsilon = f64::INFINITY;
+        let kept = model.filter_history(&cache, &history, 4);
+        assert!(kept.iter().all(|s| s.is_empty()));
+        // Permissive threshold keeps everything with non-negative relations.
+        model.config.epsilon = f64::NEG_INFINITY;
+        let kept = model.filter_history(&cache, &history, 4);
+        assert_eq!(kept, history);
+    }
+
+    #[test]
+    fn nocausal_variant_ignores_filtering() {
+        let model = toy_model(CauserVariant::NoCausal, RnnKind::Gru);
+        let cache = model.relation_cache();
+        let history = toy_history();
+        assert_eq!(model.filter_history(&cache, &history, 0), history);
+    }
+
+    #[test]
+    fn slow_update_params_cover_cluster_and_graph() {
+        let model = toy_model(CauserVariant::Full, RnnKind::Gru);
+        let ids = model.slow_update_params();
+        assert!(!ids.is_empty());
+        for id in &ids {
+            let name = model.params.name(*id);
+            assert!(name.starts_with("cluster.") || name.starts_with("causal."));
+        }
+        // Wc itself must be included.
+        assert!(ids.contains(&model.causal.wc));
+    }
+
+    #[test]
+    fn parameter_count_is_sane() {
+        let model = toy_model(CauserVariant::Full, RnnKind::Gru);
+        let n = model.num_parameters();
+        assert!(n > 500 && n < 100_000, "{n}");
+    }
+}

@@ -1,0 +1,161 @@
+//! The shared recommender interface used by the Causer model, every
+//! baseline, and the evaluation harness.
+
+use causer_data::{EvalCase, LeaveLastOut};
+use causer_metrics::{RankingAccumulator, RankingReport};
+use causer_tensor::Matrix;
+use std::collections::HashSet;
+
+/// A sequential recommender that can be fit on a split and score the whole
+/// catalog for an evaluation case.
+pub trait SeqRecommender {
+    /// Human-readable name used in result tables.
+    fn name(&self) -> String;
+
+    /// Fit on the training split.
+    fn fit(&mut self, split: &LeaveLastOut);
+
+    /// Score every item (higher = more likely next interaction).
+    fn scores(&self, case: &EvalCase) -> Vec<f64>;
+}
+
+/// Evaluate a recommender over evaluation cases with top-`z` metrics,
+/// optionally subsampling users (deterministically, by stride) to bound
+/// wall-clock on the bigger datasets.
+pub fn evaluate(
+    model: &dyn SeqRecommender,
+    cases: &[EvalCase],
+    z: usize,
+    max_users: usize,
+) -> RankingReport {
+    let mut acc = RankingAccumulator::new(z);
+    let stride = (cases.len().div_ceil(max_users)).max(1);
+    for case in cases.iter().step_by(stride) {
+        let scores = model.scores(case);
+        let rec = Matrix::top_k_indices(&scores, z);
+        let truth: HashSet<usize> = case.target.iter().copied().collect();
+        acc.add(&rec, &truth);
+    }
+    acc.report()
+}
+
+/// A non-personalized popularity recommender — the sanity floor every
+/// learned model must beat.
+#[derive(Default)]
+pub struct PopRecommender {
+    scores: Vec<f64>,
+}
+
+impl SeqRecommender for PopRecommender {
+    fn name(&self) -> String {
+        "Pop".to_string()
+    }
+
+    fn fit(&mut self, split: &LeaveLastOut) {
+        let mut counts = vec![0.0f64; split.num_items];
+        for h in &split.train {
+            for step in &h.steps {
+                for &i in step {
+                    counts[i] += 1.0;
+                }
+            }
+        }
+        self.scores = counts;
+    }
+
+    fn scores(&self, _case: &EvalCase) -> Vec<f64> {
+        self.scores.clone()
+    }
+}
+
+/// A uniformly random recommender (seeded per case for determinism).
+pub struct RandomRecommender {
+    pub seed: u64,
+    num_items: usize,
+}
+
+impl RandomRecommender {
+    pub fn new(seed: u64) -> Self {
+        RandomRecommender { seed, num_items: 0 }
+    }
+}
+
+impl SeqRecommender for RandomRecommender {
+    fn name(&self) -> String {
+        "Random".to_string()
+    }
+
+    fn fit(&mut self, split: &LeaveLastOut) {
+        self.num_items = split.num_items;
+    }
+
+    fn scores(&self, case: &EvalCase) -> Vec<f64> {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (case.user as u64).wrapping_mul(0x9e37));
+        (0..self.num_items).map(|_| rng.gen()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causer_data::{simulate, DatasetKind, DatasetProfile};
+
+    fn split() -> LeaveLastOut {
+        let profile = DatasetProfile::paper(DatasetKind::Patio).scaled(0.01);
+        simulate(&profile, 21).interactions.leave_last_out()
+    }
+
+    #[test]
+    fn pop_recommender_orders_by_frequency() {
+        let s = split();
+        let mut pop = PopRecommender::default();
+        pop.fit(&s);
+        let case = &s.test[0];
+        let scores = pop.scores(case);
+        assert_eq!(scores.len(), s.num_items);
+        // The top item should be the global most-frequent item.
+        let top = Matrix::top_k_indices(&scores, 1)[0];
+        let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(scores[top], max);
+    }
+
+    #[test]
+    fn evaluate_produces_bounded_metrics() {
+        let s = split();
+        let mut pop = PopRecommender::default();
+        pop.fit(&s);
+        let report = evaluate(&pop, &s.test, 5, usize::MAX);
+        assert!(report.f1 >= 0.0 && report.f1 <= 1.0);
+        assert!(report.ndcg >= 0.0 && report.ndcg <= 1.0);
+        assert_eq!(report.num_users, s.test.len());
+    }
+
+    #[test]
+    fn subsampling_reduces_user_count() {
+        let s = split();
+        let mut pop = PopRecommender::default();
+        pop.fit(&s);
+        let full = evaluate(&pop, &s.test, 5, usize::MAX);
+        let sub = evaluate(&pop, &s.test, 5, 5);
+        assert!(sub.num_users <= full.num_users);
+        assert!(sub.num_users >= 1);
+    }
+
+    #[test]
+    fn pop_beats_random_on_skewed_data() {
+        let s = split();
+        let mut pop = PopRecommender::default();
+        pop.fit(&s);
+        let mut random = RandomRecommender::new(5);
+        random.fit(&s);
+        let p = evaluate(&pop, &s.test, 5, usize::MAX);
+        let r = evaluate(&random, &s.test, 5, usize::MAX);
+        assert!(
+            p.ndcg >= r.ndcg,
+            "popularity ({}) should beat random ({})",
+            p.ndcg,
+            r.ndcg
+        );
+    }
+}

@@ -1,0 +1,467 @@
+//! GRU and LSTM cells, the two sequential architectures `g` the paper
+//! implements Causer with (§III-B).
+//!
+//! Each cell exposes two forward paths:
+//! - [`GruCell::step`] / [`LstmCell::step`]: autodiff-graph steps used in
+//!   training;
+//! - [`GruCell::step_plain`] / [`LstmCell::step_plain`]: allocation-light
+//!   plain-matrix steps used at inference time, where no gradients are
+//!   needed and the model scores the whole catalog.
+//!
+//! Tests verify that the two paths agree to machine precision.
+
+use causer_tensor::{init, Graph, Matrix, NodeId, ParamId, ParamSet};
+use rand::Rng;
+
+/// Which recurrent architecture to use for `g`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RnnKind {
+    Gru,
+    Lstm,
+}
+
+impl RnnKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            RnnKind::Gru => "GRU",
+            RnnKind::Lstm => "LSTM",
+        }
+    }
+}
+
+/// Gated recurrent unit (Chung et al., 2014).
+#[derive(Clone, Debug)]
+pub struct GruCell {
+    pub input_dim: usize,
+    pub hidden_dim: usize,
+    wz: ParamId,
+    uz: ParamId,
+    bz: ParamId,
+    wr: ParamId,
+    ur: ParamId,
+    br: ParamId,
+    wh: ParamId,
+    uh: ParamId,
+    bh: ParamId,
+}
+
+impl GruCell {
+    pub fn new<R: Rng + ?Sized>(
+        ps: &mut ParamSet,
+        prefix: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut w = |name: &str, r: usize, c: usize| ps.add(&format!("{prefix}.{name}"), init::xavier(rng, r, c));
+        let wz = w("wz", input_dim, hidden_dim);
+        let uz = w("uz", hidden_dim, hidden_dim);
+        let wr = w("wr", input_dim, hidden_dim);
+        let ur = w("ur", hidden_dim, hidden_dim);
+        let wh = w("wh", input_dim, hidden_dim);
+        let uh = w("uh", hidden_dim, hidden_dim);
+        let bz = ps.add(&format!("{prefix}.bz"), Matrix::zeros(1, hidden_dim));
+        let br = ps.add(&format!("{prefix}.br"), Matrix::zeros(1, hidden_dim));
+        let bh = ps.add(&format!("{prefix}.bh"), Matrix::zeros(1, hidden_dim));
+        GruCell { input_dim, hidden_dim, wz, uz, bz, wr, ur, br, wh, uh, bh }
+    }
+
+    /// One autodiff step: `x (B×in)`, `h (B×hidden)` → next hidden.
+    pub fn step(&self, g: &mut Graph, ps: &ParamSet, x: NodeId, h: NodeId) -> NodeId {
+        let (wz, uz, bz) = (g.param(ps, self.wz), g.param(ps, self.uz), g.param(ps, self.bz));
+        let (wr, ur, br) = (g.param(ps, self.wr), g.param(ps, self.ur), g.param(ps, self.br));
+        let (wh, uh, bh) = (g.param(ps, self.wh), g.param(ps, self.uh), g.param(ps, self.bh));
+
+        let xz = g.matmul(x, wz);
+        let hz = g.matmul(h, uz);
+        let z_pre = g.add(xz, hz);
+        let z_pre = g.add_row(z_pre, bz);
+        let z = g.sigmoid(z_pre);
+
+        let xr = g.matmul(x, wr);
+        let hr = g.matmul(h, ur);
+        let r_pre = g.add(xr, hr);
+        let r_pre = g.add_row(r_pre, br);
+        let r = g.sigmoid(r_pre);
+
+        let rh = g.mul(r, h);
+        let xh = g.matmul(x, wh);
+        let rhu = g.matmul(rh, uh);
+        let cand_pre = g.add(xh, rhu);
+        let cand_pre = g.add_row(cand_pre, bh);
+        let cand = g.tanh(cand_pre);
+
+        // h' = (1 − z) ∘ h + z ∘ cand
+        let zh = g.mul(z, cand);
+        let neg_z = g.neg(z);
+        let one_minus_z = g.add_scalar(neg_z, 1.0);
+        let keep = g.mul(one_minus_z, h);
+        g.add(keep, zh)
+    }
+
+    /// Plain-matrix forward step (inference path).
+    pub fn step_plain(&self, ps: &ParamSet, x: &Matrix, h: &Matrix) -> Matrix {
+        let affine = |w: ParamId, u: ParamId, b: ParamId, hv: &Matrix| {
+            let mut m = x.matmul(ps.value(w));
+            m.add_scaled(&hv.matmul(ps.value(u)), 1.0);
+            let bias = ps.value(b);
+            for i in 0..m.rows() {
+                for (v, &bv) in m.row_mut(i).iter_mut().zip(bias.row(0)) {
+                    *v += bv;
+                }
+            }
+            m
+        };
+        let z = affine(self.wz, self.uz, self.bz, h).map(causer_tensor::stable_sigmoid);
+        let r = affine(self.wr, self.ur, self.br, h).map(causer_tensor::stable_sigmoid);
+        let rh = r.hadamard(h);
+        let mut cand = x.matmul(ps.value(self.wh));
+        cand.add_scaled(&rh.matmul(ps.value(self.uh)), 1.0);
+        let bias = ps.value(self.bh);
+        for i in 0..cand.rows() {
+            for (v, &bv) in cand.row_mut(i).iter_mut().zip(bias.row(0)) {
+                *v += bv;
+            }
+        }
+        let cand = cand.map(f64::tanh);
+        z.zip_map(h, |zi, hi| (1.0 - zi) * hi).add(&z.hadamard(&cand))
+    }
+}
+
+/// Long short-term memory (Hochreiter & Schmidhuber, 1997).
+#[derive(Clone, Debug)]
+pub struct LstmCell {
+    pub input_dim: usize,
+    pub hidden_dim: usize,
+    wi: ParamId,
+    ui: ParamId,
+    bi: ParamId,
+    wf: ParamId,
+    uf: ParamId,
+    bf: ParamId,
+    wo: ParamId,
+    uo: ParamId,
+    bo: ParamId,
+    wc: ParamId,
+    uc: ParamId,
+    bc: ParamId,
+}
+
+impl LstmCell {
+    pub fn new<R: Rng + ?Sized>(
+        ps: &mut ParamSet,
+        prefix: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut w = |name: &str, r: usize, c: usize| ps.add(&format!("{prefix}.{name}"), init::xavier(rng, r, c));
+        let wi = w("wi", input_dim, hidden_dim);
+        let ui = w("ui", hidden_dim, hidden_dim);
+        let wf = w("wf", input_dim, hidden_dim);
+        let uf = w("uf", hidden_dim, hidden_dim);
+        let wo = w("wo", input_dim, hidden_dim);
+        let uo = w("uo", hidden_dim, hidden_dim);
+        let wc = w("wc", input_dim, hidden_dim);
+        let uc = w("uc", hidden_dim, hidden_dim);
+        let bi = ps.add(&format!("{prefix}.bi"), Matrix::zeros(1, hidden_dim));
+        // Forget-gate bias starts at 1 (standard trick for gradient flow).
+        let bf = ps.add(&format!("{prefix}.bf"), Matrix::ones(1, hidden_dim));
+        let bo = ps.add(&format!("{prefix}.bo"), Matrix::zeros(1, hidden_dim));
+        let bc = ps.add(&format!("{prefix}.bc"), Matrix::zeros(1, hidden_dim));
+        LstmCell { input_dim, hidden_dim, wi, ui, bi, wf, uf, bf, wo, uo, bo, wc, uc, bc }
+    }
+
+    /// One autodiff step: returns `(h', c')`.
+    pub fn step(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        x: NodeId,
+        h: NodeId,
+        c: NodeId,
+    ) -> (NodeId, NodeId) {
+        let gate = |g: &mut Graph, w: ParamId, u: ParamId, b: ParamId| {
+            let wn = g.param(ps, w);
+            let un = g.param(ps, u);
+            let bn = g.param(ps, b);
+            let xw = g.matmul(x, wn);
+            let hu = g.matmul(h, un);
+            let s = g.add(xw, hu);
+            g.add_row(s, bn)
+        };
+        let i_pre = gate(g, self.wi, self.ui, self.bi);
+        let i = g.sigmoid(i_pre);
+        let f_pre = gate(g, self.wf, self.uf, self.bf);
+        let f = g.sigmoid(f_pre);
+        let o_pre = gate(g, self.wo, self.uo, self.bo);
+        let o = g.sigmoid(o_pre);
+        let cand_pre = gate(g, self.wc, self.uc, self.bc);
+        let cand = g.tanh(cand_pre);
+        let fc = g.mul(f, c);
+        let ic = g.mul(i, cand);
+        let c_next = g.add(fc, ic);
+        let tc = g.tanh(c_next);
+        let h_next = g.mul(o, tc);
+        (h_next, c_next)
+    }
+
+    /// Plain-matrix forward step (inference path).
+    pub fn step_plain(&self, ps: &ParamSet, x: &Matrix, h: &Matrix, c: &Matrix) -> (Matrix, Matrix) {
+        let gate = |w: ParamId, u: ParamId, b: ParamId| {
+            let mut m = x.matmul(ps.value(w));
+            m.add_scaled(&h.matmul(ps.value(u)), 1.0);
+            let bias = ps.value(b);
+            for i in 0..m.rows() {
+                for (v, &bv) in m.row_mut(i).iter_mut().zip(bias.row(0)) {
+                    *v += bv;
+                }
+            }
+            m
+        };
+        let i = gate(self.wi, self.ui, self.bi).map(causer_tensor::stable_sigmoid);
+        let f = gate(self.wf, self.uf, self.bf).map(causer_tensor::stable_sigmoid);
+        let o = gate(self.wo, self.uo, self.bo).map(causer_tensor::stable_sigmoid);
+        let cand = gate(self.wc, self.uc, self.bc).map(f64::tanh);
+        let c_next = f.hadamard(c).add(&i.hadamard(&cand));
+        let h_next = o.hadamard(&c_next.map(f64::tanh));
+        (h_next, c_next)
+    }
+}
+
+/// A unified recurrent cell over [`RnnKind`].
+#[derive(Clone, Debug)]
+pub enum Cell {
+    Gru(GruCell),
+    Lstm(LstmCell),
+}
+
+/// Recurrent state: hidden (and cell state for LSTM) node ids.
+#[derive(Clone, Copy, Debug)]
+pub struct State {
+    pub h: NodeId,
+    pub c: Option<NodeId>,
+}
+
+/// Plain-matrix recurrent state.
+#[derive(Clone, Debug)]
+pub struct PlainState {
+    pub h: Matrix,
+    pub c: Option<Matrix>,
+}
+
+impl Cell {
+    pub fn new<R: Rng + ?Sized>(
+        kind: RnnKind,
+        ps: &mut ParamSet,
+        prefix: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        match kind {
+            RnnKind::Gru => Cell::Gru(GruCell::new(ps, prefix, input_dim, hidden_dim, rng)),
+            RnnKind::Lstm => Cell::Lstm(LstmCell::new(ps, prefix, input_dim, hidden_dim, rng)),
+        }
+    }
+
+    pub fn hidden_dim(&self) -> usize {
+        match self {
+            Cell::Gru(c) => c.hidden_dim,
+            Cell::Lstm(c) => c.hidden_dim,
+        }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        match self {
+            Cell::Gru(c) => c.input_dim,
+            Cell::Lstm(c) => c.input_dim,
+        }
+    }
+
+    /// Zero initial state for a batch of size `batch`.
+    pub fn init_state(&self, g: &mut Graph, batch: usize) -> State {
+        let h = g.constant(Matrix::zeros(batch, self.hidden_dim()));
+        let c = match self {
+            Cell::Gru(_) => None,
+            Cell::Lstm(_) => Some(g.constant(Matrix::zeros(batch, self.hidden_dim()))),
+        };
+        State { h, c }
+    }
+
+    pub fn init_plain_state(&self, batch: usize) -> PlainState {
+        PlainState {
+            h: Matrix::zeros(batch, self.hidden_dim()),
+            c: match self {
+                Cell::Gru(_) => None,
+                Cell::Lstm(_) => Some(Matrix::zeros(batch, self.hidden_dim())),
+            },
+        }
+    }
+
+    pub fn step(&self, g: &mut Graph, ps: &ParamSet, x: NodeId, state: &State) -> State {
+        match self {
+            Cell::Gru(c) => State { h: c.step(g, ps, x, state.h), c: None },
+            Cell::Lstm(c) => {
+                let (h, cc) = c.step(g, ps, x, state.h, state.c.expect("LSTM state"));
+                State { h, c: Some(cc) }
+            }
+        }
+    }
+
+    pub fn step_plain(&self, ps: &ParamSet, x: &Matrix, state: &PlainState) -> PlainState {
+        match self {
+            Cell::Gru(c) => PlainState { h: c.step_plain(ps, x, &state.h), c: None },
+            Cell::Lstm(c) => {
+                let (h, cc) =
+                    c.step_plain(ps, x, &state.h, state.c.as_ref().expect("LSTM state"));
+                PlainState { h, c: Some(cc) }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causer_tensor::{gradcheck, GradStore};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn gru_graph_and_plain_agree() {
+        let mut r = rng();
+        let mut ps = ParamSet::new();
+        let cell = GruCell::new(&mut ps, "gru", 3, 5, &mut r);
+        let x = init::uniform(&mut r, 2, 3, 1.0);
+        let h0 = init::uniform(&mut r, 2, 5, 1.0);
+        let mut g = Graph::new();
+        let xn = g.constant(x.clone());
+        let hn = g.constant(h0.clone());
+        let out = cell.step(&mut g, &ps, xn, hn);
+        let plain = cell.step_plain(&ps, &x, &h0);
+        for (a, b) in g.value(out).data().iter().zip(plain.data()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lstm_graph_and_plain_agree() {
+        let mut r = rng();
+        let mut ps = ParamSet::new();
+        let cell = LstmCell::new(&mut ps, "lstm", 4, 6, &mut r);
+        let x = init::uniform(&mut r, 1, 4, 1.0);
+        let h0 = init::uniform(&mut r, 1, 6, 1.0);
+        let c0 = init::uniform(&mut r, 1, 6, 1.0);
+        let mut g = Graph::new();
+        let xn = g.constant(x.clone());
+        let hn = g.constant(h0.clone());
+        let cn = g.constant(c0.clone());
+        let (h1, c1) = cell.step(&mut g, &ps, xn, hn, cn);
+        let (ph, pc) = cell.step_plain(&ps, &x, &h0, &c0);
+        for (a, b) in g.value(h1).data().iter().zip(ph.data()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in g.value(c1).data().iter().zip(pc.data()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gru_gradients_check_out() {
+        let mut r = rng();
+        let mut ps = ParamSet::new();
+        let cell = GruCell::new(&mut ps, "gru", 2, 3, &mut r);
+        let x = init::uniform(&mut r, 1, 2, 1.0);
+        gradcheck::check_gradients(&mut ps, 1e-4, |g, ps| {
+            let xn = g.constant(x.clone());
+            let h0 = g.constant(Matrix::zeros(1, 3));
+            let h1 = cell.step(g, ps, xn, h0);
+            let h2 = cell.step(g, ps, xn, h1);
+            let sq = g.mul(h2, h2);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn lstm_gradients_check_out() {
+        let mut r = rng();
+        let mut ps = ParamSet::new();
+        let cell = Cell::new(RnnKind::Lstm, &mut ps, "lstm", 2, 3, &mut r);
+        let x = init::uniform(&mut r, 1, 2, 1.0);
+        gradcheck::check_gradients(&mut ps, 1e-4, |g, ps| {
+            let xn = g.constant(x.clone());
+            let s0 = cell.init_state(g, 1);
+            let s1 = cell.step(g, ps, xn, &s0);
+            let s2 = cell.step(g, ps, xn, &s1);
+            let sq = g.mul(s2.h, s2.h);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn state_propagates_information() {
+        // Feeding different inputs must produce different hidden states.
+        let mut r = rng();
+        let mut ps = ParamSet::new();
+        let cell = Cell::new(RnnKind::Gru, &mut ps, "g", 2, 4, &mut r);
+        let run = |x_val: f64, ps: &ParamSet| -> Matrix {
+            let mut g = Graph::new();
+            let x = g.constant(Matrix::full(1, 2, x_val));
+            let s0 = cell.init_state(&mut g, 1);
+            let s1 = cell.step(&mut g, ps, x, &s0);
+            g.value(s1.h).clone()
+        };
+        let a = run(0.5, &ps);
+        let b = run(-0.5, &ps);
+        assert!(a.sub(&b).max_abs() > 1e-6);
+    }
+
+    #[test]
+    fn training_reduces_loss_through_rnn() {
+        // Tiny seq2one task: predict sign of the input sum.
+        use causer_tensor::{Adam, Optimizer};
+        let mut r = rng();
+        let mut ps = ParamSet::new();
+        let cell = Cell::new(RnnKind::Gru, &mut ps, "g", 1, 4, &mut r);
+        let wout = ps.add("wout", init::xavier(&mut r, 4, 1));
+        let seqs: Vec<(Vec<f64>, f64)> = vec![
+            (vec![1.0, 1.0, 1.0], 1.0),
+            (vec![-1.0, -1.0, -1.0], 0.0),
+            (vec![1.0, 1.0, -0.2], 1.0),
+            (vec![-1.0, 0.2, -1.0], 0.0),
+        ];
+        let mut opt = Adam::new(0.05);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let mut g = Graph::new();
+            let mut total = None;
+            for (xs, t) in &seqs {
+                let mut state = cell.init_state(&mut g, 1);
+                for &x in xs {
+                    let xn = g.constant(Matrix::scalar(x));
+                    state = cell.step(&mut g, &ps, xn, &state);
+                }
+                let w = g.param(&ps, wout);
+                let logit = g.matmul(state.h, w);
+                let loss = g.bce_with_logits(logit, &Matrix::scalar(*t));
+                total = Some(match total {
+                    None => loss,
+                    Some(acc) => g.add(acc, loss),
+                });
+            }
+            let loss = total.unwrap();
+            last = g.value(loss).item();
+            first.get_or_insert(last);
+            let mut gs = GradStore::new(&ps);
+            g.backward(loss, &mut gs);
+            opt.step(&mut ps, &mut gs);
+        }
+        assert!(last < first.unwrap() * 0.3, "loss {last} vs {}", first.unwrap());
+    }
+}

@@ -1,0 +1,399 @@
+//! Algorithm 1: joint training of the recommender and the cluster-level
+//! causal graph with the augmented Lagrangian acyclicity constraint.
+
+use crate::model::CauserModel;
+use causer_data::{LeaveLastOut, NegativeSampler, UserHistory};
+use causer_tensor::{Adam, GradStore, Graph, Optimizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Optimization hyper-parameters (Algorithm 1 inputs).
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub lr: f64,
+    /// Negative samples per positive item.
+    pub neg_samples: usize,
+    /// Initial Lagrange multiplier β₁.
+    pub beta1: f64,
+    /// Initial penalty β₂.
+    pub beta2: f64,
+    /// Penalty growth κ₁ > 1 (line 15).
+    pub kappa1: f64,
+    /// Required shrink factor κ₂ < 1 (line 15).
+    pub kappa2: f64,
+    /// Weight of the clustering/reconstruction losses per batch.
+    pub aux_weight: f64,
+    /// Weight of the NOTEARS-style structure-fitting term on behaviour
+    /// sequences (ties `W^c` to transition directions).
+    pub struct_weight: f64,
+    /// Global gradient-norm clip.
+    pub clip: f64,
+    /// Adam weight decay (L2).
+    pub weight_decay: f64,
+    /// Cap on target steps per user per epoch (bounds Foursquare-length
+    /// sequences; the most recent steps are kept).
+    pub max_targets_per_user: usize,
+    /// §III-C efficiency mode: update `Θ_a` and `W^c` only every `n`-th
+    /// epoch. `None` updates them every epoch.
+    pub slow_update_every: Option<usize>,
+    pub seed: u64,
+    /// Print a one-line progress report per epoch.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            lr: 5e-3,
+            neg_samples: 4,
+            beta1: 0.1,
+            beta2: 1.0,
+            kappa1: 3.0,
+            kappa2: 0.75,
+            aux_weight: 1.0,
+            struct_weight: 3.0,
+            clip: 5.0,
+            weight_decay: 1e-4,
+            max_targets_per_user: 8,
+            slow_update_every: None,
+            seed: 17,
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch and final training statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    pub epoch_losses: Vec<f64>,
+    /// Acyclicity residual per epoch.
+    pub epoch_h: Vec<f64>,
+    pub wall_seconds: f64,
+}
+
+/// Train a [`CauserModel`] on the training split (Algorithm 1).
+pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -> TrainReport {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let sampler = NegativeSampler::from_interactions(&to_interactions(split));
+    let mut opt = Adam::new(cfg.lr);
+    opt.weight_decay = cfg.weight_decay;
+    // Dedicated optimizer for the per-epoch structure-fitting pass on W^c
+    // (Algorithm 1 line 11 iterates parameter groups separately; fitting
+    // W^c on large sequence batches keeps its gradient signal-to-noise
+    // high enough to survive the L1/acyclicity pulls).
+    let mut struct_opt = Adam::new(0.02);
+    let mut report = TrainReport::default();
+
+    let mut beta1 = cfg.beta1;
+    let mut beta2 = cfg.beta2;
+    let mut h_prev = f64::INFINITY;
+
+    let slow_ids = model.slow_update_params();
+    let mut order: Vec<usize> = (0..split.train.len()).collect();
+
+    // W^c and the structure intercept are trained exclusively by the
+    // dedicated structure pass: the BCE path's gradient through Ŵ is
+    // sign-degenerate (e_b^T V h_t can absorb any rescaling), so letting
+    // the main loop update W^c turns it into a random walk that drowns the
+    // structure signal. The main loop still *uses* W^c (filtering and Ŵ).
+    let graph_ids = [model.causal.wc, model.struct_bias_id()];
+
+    let eta_final = model.config.eta;
+    for epoch in 0..cfg.epochs {
+        // Temperature annealing: start with soft assignments (η = 1) so the
+        // clustering can organize, and harden geometrically toward the
+        // configured η over the first two thirds of training (footnote 5:
+        // assignment hardness is controlled through η). Fixing a hard η
+        // from the start collapses cluster purity (winner-take-all).
+        if eta_final < 1.0 {
+            let progress =
+                (epoch as f64 / (cfg.epochs as f64 * 2.0 / 3.0).max(1.0)).min(1.0);
+            model.cluster.eta = eta_final.powf(progress);
+        }
+        // §III-C slow-update mode: freeze Θ_a and W^c except every n-th epoch.
+        if let Some(every) = cfg.slow_update_every {
+            let frozen = epoch % every != 0;
+            for &id in &slow_ids {
+                model.params.set_frozen(id, frozen);
+            }
+        }
+        // Line 7–8: fix the item-level relations (and thus the filters) for
+        // the epoch.
+        let cache = model.relation_cache();
+        order.shuffle(&mut rng);
+        for &id in &graph_ids {
+            model.params.set_frozen(id, true);
+        }
+
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let mut g = Graph::new();
+            let shared = model.shared_nodes(&mut g);
+            let mut logits = Vec::new();
+            for &idx in chunk {
+                let user_hist: &UserHistory = &split.train[idx];
+                let steps = &user_hist.steps;
+                if steps.len() < 2 {
+                    continue;
+                }
+                let first = if steps.len() > cfg.max_targets_per_user {
+                    steps.len() - cfg.max_targets_per_user
+                } else {
+                    1
+                };
+                let positions: Vec<usize> = (first.max(1)..steps.len()).collect();
+                let negatives: Vec<Vec<usize>> = positions
+                    .iter()
+                    .map(|&j| {
+                        sampler.sample_excluding(
+                            &mut rng,
+                            cfg.neg_samples * steps[j].len(),
+                            &steps[j],
+                        )
+                    })
+                    .collect();
+                logits.extend(model.sequence_logits(
+                    &mut g,
+                    &shared,
+                    &cache,
+                    user_hist.user,
+                    steps,
+                    &positions,
+                    &negatives,
+                ));
+            }
+            let Some(bce) = model.bce_from_logits(&mut g, &logits) else { continue };
+            let reg = model.regularizer(&mut g, &shared, beta1, beta2, cfg.aux_weight);
+            let loss = g.add(bce, reg);
+            epoch_loss += g.value(loss).item();
+            batches += 1;
+            let mut gs = GradStore::new(&model.params);
+            g.backward(loss, &mut gs);
+            drop(g);
+            gs.clip_global_norm(cfg.clip);
+            opt.step(&mut model.params, &mut gs);
+        }
+
+        // Dedicated structure-fitting pass for W^c over large batches with
+        // the current (constant) assignments.
+        let struct_frozen = cfg
+            .slow_update_every
+            .map(|every| epoch % every != 0)
+            .unwrap_or(false);
+        if cfg.struct_weight > 0.0 && !struct_frozen && model.config.variant.use_causal() {
+            for &id in &graph_ids {
+                model.params.set_frozen(id, false);
+            }
+            structure_pass(model, split, cfg, &mut struct_opt, beta1, beta2, &mut rng);
+        }
+
+        // Lines 14–15: dual updates on the acyclicity residual. A short
+        // warm-up lets the structure fit orient edges before the penalty
+        // starts locking directions in.
+        let h = model.causal.acyclicity_value(&model.params);
+        if epoch >= 2 {
+            beta1 += beta2 * h;
+            if h.abs() >= cfg.kappa2 * h_prev.abs() && beta2 < 1e12 {
+                beta2 *= cfg.kappa1;
+            }
+        }
+        h_prev = h;
+
+        let mean_loss = if batches > 0 { epoch_loss / batches as f64 } else { 0.0 };
+        report.epoch_losses.push(mean_loss);
+        report.epoch_h.push(h);
+        if cfg.verbose {
+            eprintln!("epoch {epoch:>3}: loss {mean_loss:.4}  h(Wc) {h:.3e}  beta2 {beta2:.1e}");
+        }
+    }
+    // Unfreeze everything before handing the model back.
+    for &id in &slow_ids {
+        model.params.set_frozen(id, false);
+    }
+    for &id in &graph_ids {
+        model.params.set_frozen(id, false);
+    }
+    model.cluster.eta = eta_final;
+    report.wall_seconds = start.elapsed().as_secs_f64();
+    report
+}
+
+/// One pass of NOTEARS-style structure fitting: regress each step's
+/// cluster-indicator vector on the discounted history context through
+/// `W^c`, over large sequence batches, updating only `W^c` and the
+/// regression intercept (assignments enter as constants).
+fn structure_pass(
+    model: &mut CauserModel,
+    split: &LeaveLastOut,
+    cfg: &TrainConfig,
+    opt: &mut Adam,
+    beta1: f64,
+    beta2: f64,
+    rng: &mut StdRng,
+) {
+    let assign = model.cluster.assignments_plain(&model.params);
+    let mut order: Vec<usize> = (0..split.train.len()).collect();
+    order.shuffle(rng);
+    for chunk in order.chunks(256) {
+        let mut g = Graph::new();
+        let a = g.constant(assign.clone());
+        let wc = model.causal.node(&mut g, &model.params);
+        let bias = model.struct_bias_node(&mut g);
+        let mut acc: Option<causer_tensor::NodeId> = None;
+        let mut steps_total = 0usize;
+        for &idx in chunk {
+            let seq = &split.train[idx].steps;
+            if seq.len() < 2 {
+                continue;
+            }
+            let s = g.embed_bag(a, seq, false);
+            let mut ctx = g.select_rows(s, &[0]);
+            for t in 1..seq.len() {
+                let trans = g.matmul(ctx, wc);
+                let pred = g.add(trans, bias);
+                let target = g.select_rows(s, &[t]);
+                let diff = g.sub(target, pred);
+                let sq = g.mul(diff, diff);
+                let l = g.sum_all(sq);
+                acc = Some(match acc {
+                    None => l,
+                    Some(prev) => g.add(prev, l),
+                });
+                steps_total += 1;
+                let dec = g.scale(ctx, 0.7);
+                ctx = g.add(dec, target);
+            }
+        }
+        let Some(acc) = acc else { continue };
+        let fit = g.scale(acc, cfg.struct_weight / steps_total.max(1) as f64);
+        let l1 = model.causal.l1_penalty(&mut g, &model.params, model.config.lambda);
+        let h = model.causal.acyclicity_node(&mut g, &model.params);
+        let lin = g.scale(h, beta1);
+        let hsq = g.mul(h, h);
+        let quad = g.scale(hsq, beta2 / 2.0);
+        let loss = g.add(fit, l1);
+        let loss = g.add(loss, lin);
+        let loss = g.add(loss, quad);
+        let mut gs = GradStore::new(&model.params);
+        g.backward(loss, &mut gs);
+        drop(g);
+        opt.step(&mut model.params, &mut gs);
+    }
+}
+
+/// Rebuild an `Interactions` view over the training split (for popularity
+/// counting in the negative sampler).
+fn to_interactions(split: &LeaveLastOut) -> causer_data::Interactions {
+    causer_data::Interactions {
+        num_users: split.num_users,
+        num_items: split.num_items,
+        sequences: {
+            let mut seqs = vec![Vec::new(); split.num_users];
+            for h in &split.train {
+                seqs[h.user] = h.steps.clone();
+            }
+            seqs
+        },
+    }
+}
+
+/// Convenience: sample `n` distinct target positions for long sequences.
+pub fn sample_positions<R: Rng + ?Sized>(rng: &mut R, len: usize, n: usize) -> Vec<usize> {
+    let mut all: Vec<usize> = (1..len).collect();
+    all.shuffle(rng);
+    all.truncate(n);
+    all.sort_unstable();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CauserConfig, CauserModel};
+    use crate::variants::CauserVariant;
+    use causer_data::{simulate, DatasetKind, DatasetProfile};
+
+    fn tiny_setup(variant: CauserVariant) -> (CauserModel, causer_data::LeaveLastOut) {
+        let mut profile = DatasetProfile::paper(DatasetKind::Baby).scaled(0.004);
+        profile.p_basket = 0.0;
+        let sim = simulate(&profile, 11);
+        let split = sim.interactions.leave_last_out();
+        let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+        cfg.variant = variant;
+        cfg.k = 4;
+        cfg.d1 = 12;
+        cfg.d2 = 10;
+        cfg.hidden_dim = 12;
+        cfg.item_out_dim = 10;
+        cfg.user_dim = 4;
+        let model = CauserModel::new(cfg, sim.features.clone(), 3);
+        (model, split)
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let (mut model, split) = tiny_setup(CauserVariant::Full);
+        let cfg = TrainConfig { epochs: 6, batch_size: 16, lr: 0.01, ..Default::default() };
+        let report = train(&mut model, &split, &cfg);
+        assert_eq!(report.epoch_losses.len(), 6);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn acyclicity_residual_stays_controlled() {
+        let (mut model, split) = tiny_setup(CauserVariant::Full);
+        let cfg = TrainConfig { epochs: 8, batch_size: 16, ..Default::default() };
+        let report = train(&mut model, &split, &cfg);
+        let final_h = *report.epoch_h.last().unwrap();
+        assert!(final_h.abs() < 0.1, "h did not stay controlled: {final_h}");
+    }
+
+    #[test]
+    fn slow_update_freezes_and_unfreezes() {
+        let (mut model, split) = tiny_setup(CauserVariant::Full);
+        let wc_before = model.causal.value(&model.params);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            slow_update_every: Some(10), // only epoch 0 updates Wc
+            ..Default::default()
+        };
+        let _ = train(&mut model, &split, &cfg);
+        // After training everything must be unfrozen again.
+        for id in model.slow_update_params() {
+            assert!(!model.params.is_frozen(id));
+        }
+        // Wc still moved (epoch 0 was an update epoch).
+        let wc_after = model.causal.value(&model.params);
+        assert!(wc_before.sub(&wc_after).max_abs() > 0.0);
+    }
+
+    #[test]
+    fn all_variants_train_without_panic() {
+        for variant in CauserVariant::ALL {
+            let (mut model, split) = tiny_setup(variant);
+            let cfg = TrainConfig { epochs: 1, batch_size: 16, ..Default::default() };
+            let report = train(&mut model, &split, &cfg);
+            assert!(report.epoch_losses[0].is_finite(), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn sample_positions_sorted_distinct() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = sample_positions(&mut rng, 20, 5);
+        assert_eq!(p.len(), 5);
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+        assert!(p.iter().all(|&x| x >= 1 && x < 20));
+    }
+}

@@ -1,0 +1,94 @@
+//! The ablation variants of Table V.
+
+use serde::{Deserialize, Serialize};
+
+/// Which components of the full Causer model are active.
+///
+/// - [`CauserVariant::NoClusterLoss`] — "Causer (-clus)": drop eq. (7);
+/// - [`CauserVariant::NoReconstructionLoss`] — "Causer (-rec)": drop eq. (8);
+/// - [`CauserVariant::NoAttention`] — "Causer (-att)": α_t ≡ 1;
+/// - [`CauserVariant::NoCausal`] — "Causer (-causal)": drop Ŵ and the
+///   history filtering, leaving a plain attentive RNN.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CauserVariant {
+    Full,
+    NoClusterLoss,
+    NoReconstructionLoss,
+    NoAttention,
+    NoCausal,
+}
+
+impl CauserVariant {
+    pub const ALL: [CauserVariant; 5] = [
+        CauserVariant::Full,
+        CauserVariant::NoClusterLoss,
+        CauserVariant::NoReconstructionLoss,
+        CauserVariant::NoAttention,
+        CauserVariant::NoCausal,
+    ];
+
+    /// Use the local attention α_t?
+    pub fn use_attention(&self) -> bool {
+        !matches!(self, CauserVariant::NoAttention)
+    }
+
+    /// Use the causal filter and the global causal effect Ŵ?
+    pub fn use_causal(&self) -> bool {
+        !matches!(self, CauserVariant::NoCausal)
+    }
+
+    /// Include the clustering loss of eq. (7)?
+    pub fn use_cluster_loss(&self) -> bool {
+        !matches!(self, CauserVariant::NoClusterLoss)
+    }
+
+    /// Include the reconstruction loss of eq. (8)?
+    pub fn use_reconstruction_loss(&self) -> bool {
+        !matches!(self, CauserVariant::NoReconstructionLoss)
+    }
+
+    /// Display label matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CauserVariant::Full => "Causer",
+            CauserVariant::NoClusterLoss => "Causer (-clus)",
+            CauserVariant::NoReconstructionLoss => "Causer (-rec)",
+            CauserVariant::NoAttention => "Causer (-att)",
+            CauserVariant::NoCausal => "Causer (-causal)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_uses_everything() {
+        let f = CauserVariant::Full;
+        assert!(f.use_attention() && f.use_causal());
+        assert!(f.use_cluster_loss() && f.use_reconstruction_loss());
+    }
+
+    #[test]
+    fn each_ablation_disables_exactly_one_component() {
+        for v in CauserVariant::ALL {
+            let flags = [
+                v.use_attention(),
+                v.use_causal(),
+                v.use_cluster_loss(),
+                v.use_reconstruction_loss(),
+            ];
+            let disabled = flags.iter().filter(|&&f| !f).count();
+            let expected = usize::from(v != CauserVariant::Full);
+            assert_eq!(disabled, expected, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            CauserVariant::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(labels.len(), CauserVariant::ALL.len());
+    }
+}

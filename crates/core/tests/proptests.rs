@@ -1,0 +1,159 @@
+//! Property tests for the Causer model's invariants.
+
+use causer_core::{CauserConfig, CauserModel, CauserVariant, RnnKind};
+use causer_tensor::{init, Graph, GradStore, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+type ModelSpec = (usize, usize, usize, bool, u64);
+
+fn model_strategy() -> impl Strategy<Value = ModelSpec> {
+    (2usize..6, 8usize..20, 2usize..5, prop::bool::ANY, 0u64..1000)
+}
+
+fn build(spec: ModelSpec) -> (CauserModel, u64) {
+    let (k, items, users, gru, seed) = spec;
+    let mut cfg = CauserConfig::new(users, items, 5);
+    cfg.k = k;
+    cfg.d1 = 6;
+    cfg.d2 = 5;
+    cfg.user_dim = 3;
+    cfg.hidden_dim = 6;
+    cfg.item_out_dim = 5;
+    cfg.rnn = if gru { RnnKind::Gru } else { RnnKind::Lstm };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features = init::uniform(&mut rng, items, 5, 1.0);
+    (CauserModel::new(cfg, features, seed), seed)
+}
+
+fn history_strategy(num_items: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..num_items, 1..3)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn score_all_is_finite_and_full_length(spec in model_strategy()) {
+        let (model, seed) = build(spec);
+        let ic = model.inference_cache();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let history: Vec<Vec<usize>> = (0..3)
+            .map(|_| vec![rand::Rng::gen_range(&mut rng, 0..model.config.num_items)])
+            .collect();
+        let scores = model.score_all(&ic, 0, &history);
+        prop_assert_eq!(scores.len(), model.config.num_items);
+        prop_assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn filter_is_monotone_in_epsilon(spec in model_strategy()) {
+        let (mut model, seed) = build(spec);
+        let cache = model.relation_cache();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xcafe);
+        let history: Vec<Vec<usize>> = (0..3)
+            .map(|_| vec![rand::Rng::gen_range(&mut rng, 0..model.config.num_items)])
+            .collect();
+        let b = rand::Rng::gen_range(&mut rng, 0..model.config.num_items);
+        model.config.epsilon = 0.0;
+        let loose = model.filter_history(&cache, &history, b);
+        model.config.epsilon = 0.2;
+        let tight = model.filter_history(&cache, &history, b);
+        for (l, t) in loose.iter().zip(tight.iter()) {
+            // Tight filter keeps a subset of the loose filter.
+            prop_assert!(t.iter().all(|x| l.contains(x)));
+        }
+    }
+
+    #[test]
+    fn sequence_logits_one_per_candidate(spec in model_strategy()) {
+        let (model, seed) = build(spec);
+        let cache = model.relation_cache();
+        let mut g = Graph::new();
+        let shared = model.shared_nodes(&mut g);
+        let n = model.config.num_items;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        let steps: Vec<Vec<usize>> = (0..4)
+            .map(|_| vec![rand::Rng::gen_range(&mut rng, 0..n)])
+            .collect();
+        let negatives = vec![vec![(0 + 1) % n, (2 + 3) % n]; 2];
+        let logits = model.sequence_logits(&mut g, &shared, &cache, 0, &steps, &[1, 3], &negatives);
+        // Positives: 1 per target step; negatives: 2 each.
+        prop_assert_eq!(logits.len(), 2 * (1 + 2));
+        // Loss must be buildable and back-propagable.
+        let loss = model.bce_from_logits(&mut g, &logits).unwrap();
+        let mut gs = GradStore::new(&model.params);
+        g.backward(loss, &mut gs);
+        prop_assert!(g.value(loss).item().is_finite());
+    }
+
+    #[test]
+    fn explanation_scores_nonnegative_full(
+        spec in model_strategy(),
+        hist in history_strategy(8),
+    ) {
+        let (model, seed) = build(spec);
+        prop_assume!(model.config.variant == CauserVariant::Full);
+        let ic = model.inference_cache();
+        let items: Vec<usize> = hist.iter().map(|s| s[0] % model.config.num_items).collect();
+        let target = (seed as usize) % model.config.num_items;
+        let scores = model.explanation_scores(&ic, 0, &items, target);
+        prop_assert_eq!(scores.len(), items.len());
+        prop_assert!(scores.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn relation_cache_consistent_with_eq9(spec in model_strategy()) {
+        let (model, _seed) = build(spec);
+        let cache = model.relation_cache();
+        let assign = model.cluster.assignments_plain(&model.params);
+        let wc = model.causal.value(&model.params);
+        let n = model.config.num_items;
+        // Spot-check a few pairs against the explicit triple product.
+        for (a, b) in [(0usize, 1usize), (n - 1, 0), (n / 2, n - 1)] {
+            let mut expected = 0.0;
+            for i in 0..model.config.k {
+                for j in 0..model.config.k {
+                    expected += assign.get(a, i) * wc.get(i, j) * assign.get(b, j);
+                }
+            }
+            prop_assert!((cache.w_ab(a, b) - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn assignments_rows_sum_to_one(spec in model_strategy()) {
+        let (model, _seed) = build(spec);
+        let a = model.cluster.assignments_plain(&model.params);
+        for i in 0..a.rows() {
+            let s: f64 = a.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(a.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+}
+
+#[test]
+fn variants_differ_only_where_expected() {
+    // The -causal variant must ignore the relation cache entirely.
+    let mut cfg = CauserConfig::new(3, 10, 5);
+    cfg.k = 3;
+    cfg.d1 = 6;
+    cfg.d2 = 5;
+    cfg.user_dim = 3;
+    cfg.hidden_dim = 6;
+    cfg.item_out_dim = 5;
+    cfg.variant = CauserVariant::NoCausal;
+    let mut rng = StdRng::seed_from_u64(7);
+    let features = init::uniform(&mut rng, 10, 5, 1.0);
+    let model = CauserModel::new(cfg, features, 7);
+    let cache = model.relation_cache();
+    let history = vec![vec![0usize], vec![5]];
+    assert_eq!(model.filter_history(&cache, &history, 3), history);
+    let _ = Matrix::zeros(1, 1);
+}

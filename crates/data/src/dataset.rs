@@ -1,0 +1,183 @@
+//! Interaction sequences and the leave-last-out split protocol of §V-A.
+
+use serde::{Deserialize, Serialize};
+
+/// A single time step of a user: the set of items interacted with at that
+/// time (one item for ordinary sequential recommendation, several for
+/// next-basket recommendation). Items are stored sorted and deduplicated.
+pub type Step = Vec<usize>;
+
+/// Chronological interaction sequences for a population of users.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Interactions {
+    pub num_users: usize,
+    pub num_items: usize,
+    /// `sequences[u]` is user `u`'s chronological list of steps.
+    pub sequences: Vec<Vec<Step>>,
+}
+
+impl Interactions {
+    /// Total number of (user, item) interaction events.
+    pub fn num_interactions(&self) -> usize {
+        self.sequences.iter().flat_map(|s| s.iter()).map(|step| step.len()).sum()
+    }
+
+    /// Average number of interaction events per user.
+    pub fn avg_sequence_length(&self) -> f64 {
+        if self.num_users == 0 {
+            return 0.0;
+        }
+        self.num_interactions() as f64 / self.num_users as f64
+    }
+
+    /// `1 − interactions / (users × items)`, as reported in Table II.
+    pub fn sparsity(&self) -> f64 {
+        let denom = (self.num_users * self.num_items) as f64;
+        if denom == 0.0 {
+            return 1.0;
+        }
+        1.0 - self.num_interactions() as f64 / denom
+    }
+
+    /// Validate internal invariants (bounds, sortedness, non-empty steps).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.sequences.len() != self.num_users {
+            return Err(format!(
+                "sequences.len()={} but num_users={}",
+                self.sequences.len(),
+                self.num_users
+            ));
+        }
+        for (u, seq) in self.sequences.iter().enumerate() {
+            for (t, step) in seq.iter().enumerate() {
+                if step.is_empty() {
+                    return Err(format!("user {u} step {t} is empty"));
+                }
+                if step.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(format!("user {u} step {t} not sorted/deduped: {step:?}"));
+                }
+                if let Some(&max) = step.last() {
+                    if max >= self.num_items {
+                        return Err(format!("user {u} step {t} item {max} out of range"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Split following the paper: per user, the last step is the test
+    /// target, the second-last the validation target, the rest training.
+    /// Users with fewer than 3 steps contribute to training only.
+    pub fn leave_last_out(&self) -> LeaveLastOut {
+        let mut train = Vec::with_capacity(self.num_users);
+        let mut validation = Vec::new();
+        let mut test = Vec::new();
+        for (u, seq) in self.sequences.iter().enumerate() {
+            if seq.len() >= 3 {
+                let n = seq.len();
+                train.push(UserHistory { user: u, steps: seq[..n - 2].to_vec() });
+                validation.push(EvalCase {
+                    user: u,
+                    history: seq[..n - 2].to_vec(),
+                    target: seq[n - 2].clone(),
+                });
+                // Test history includes the validation step (all priors).
+                test.push(EvalCase {
+                    user: u,
+                    history: seq[..n - 1].to_vec(),
+                    target: seq[n - 1].clone(),
+                });
+            } else if !seq.is_empty() {
+                train.push(UserHistory { user: u, steps: seq.clone() });
+            }
+        }
+        LeaveLastOut { num_users: self.num_users, num_items: self.num_items, train, validation, test }
+    }
+}
+
+/// A user's training steps.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct UserHistory {
+    pub user: usize,
+    pub steps: Vec<Step>,
+}
+
+/// One evaluation case: predict `target` from `history`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EvalCase {
+    pub user: usize,
+    pub history: Vec<Step>,
+    pub target: Step,
+}
+
+/// The leave-last-out split of a dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LeaveLastOut {
+    pub num_users: usize,
+    pub num_items: usize,
+    pub train: Vec<UserHistory>,
+    pub validation: Vec<EvalCase>,
+    pub test: Vec<EvalCase>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Interactions {
+        Interactions {
+            num_users: 3,
+            num_items: 10,
+            sequences: vec![
+                vec![vec![0], vec![1], vec![2], vec![3]],
+                vec![vec![4], vec![5, 6]],
+                vec![vec![7], vec![8], vec![9]],
+            ],
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let d = toy();
+        assert_eq!(d.num_interactions(), 10);
+        assert!((d.avg_sequence_length() - 10.0 / 3.0).abs() < 1e-12);
+        assert!((d.sparsity() - (1.0 - 10.0 / 30.0)).abs() < 1e-12);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn leave_last_out_shapes() {
+        let split = toy().leave_last_out();
+        // users 0 and 2 have >= 3 steps; user 1 trains only.
+        assert_eq!(split.validation.len(), 2);
+        assert_eq!(split.test.len(), 2);
+        assert_eq!(split.train.len(), 3);
+
+        let u0_val = &split.validation[0];
+        assert_eq!(u0_val.user, 0);
+        assert_eq!(u0_val.history, vec![vec![0], vec![1]]);
+        assert_eq!(u0_val.target, vec![2]);
+
+        let u0_test = &split.test[0];
+        assert_eq!(u0_test.history, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(u0_test.target, vec![3]);
+
+        // Short user keeps all steps in train.
+        let u1 = split.train.iter().find(|h| h.user == 1).unwrap();
+        assert_eq!(u1.steps.len(), 2);
+    }
+
+    #[test]
+    fn invariant_violations_detected() {
+        let mut d = toy();
+        d.sequences[0][0] = vec![]; // empty step
+        assert!(d.check_invariants().is_err());
+        let mut d2 = toy();
+        d2.sequences[1][1] = vec![6, 5]; // unsorted
+        assert!(d2.check_invariants().is_err());
+        let mut d3 = toy();
+        d3.sequences[2][0] = vec![99]; // out of range
+        assert!(d3.check_invariants().is_err());
+    }
+}

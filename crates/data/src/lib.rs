@@ -1,0 +1,31 @@
+//! # causer-data
+//!
+//! Data substrate for the Causer reproduction. Because the paper's real
+//! datasets (Epinions, Foursquare-Tokyo, Amazon Patio/Baby/Video) are not
+//! available offline, this crate provides a **causal behaviour simulator**
+//! ([`simulator`]) whose generator profiles ([`profiles`]) are calibrated to
+//! the paper's Table II statistics, and whose generative mechanism is a
+//! known cluster-level causal DAG — the very structure the Causer model is
+//! designed to discover. See DESIGN.md §1 for the substitution argument.
+//!
+//! Also here: the leave-last-out split protocol ([`dataset`]),
+//! popularity-aware negative sampling ([`sampling`]), synthetic raw item
+//! features ([`features`]), Table II/Fig. 3 statistics ([`stats`]), and the
+//! labeled explanation dataset of §V-E ([`explanation`]).
+
+pub mod dataset;
+pub mod explanation;
+pub mod features;
+pub mod persistence;
+pub mod profiles;
+pub mod sampling;
+pub mod simulator;
+pub mod stats;
+
+pub use dataset::{EvalCase, Interactions, LeaveLastOut, Step, UserHistory};
+pub use explanation::{avg_causes, build_explanation_dataset, build_explanation_dataset_min_history, LabeledExplanation};
+pub use persistence::{load_dataset, save_dataset, DatasetFile};
+pub use profiles::{DatasetKind, DatasetProfile};
+pub use sampling::NegativeSampler;
+pub use simulator::{simulate, SimulatedDataset};
+pub use stats::{DatasetStats, SeqLenHistogram};

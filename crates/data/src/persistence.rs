@@ -1,0 +1,119 @@
+//! JSON persistence for simulated datasets: lets an experiment pin down the
+//! exact data it ran on, and lets downstream users load a dataset without
+//! the simulator.
+
+use crate::dataset::Interactions;
+use crate::profiles::DatasetProfile;
+use crate::simulator::SimulatedDataset;
+use causer_causal::DiGraph;
+use causer_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Serializable view of a [`SimulatedDataset`].
+#[derive(Serialize, Deserialize)]
+pub struct DatasetFile {
+    pub profile: DatasetProfile,
+    pub interactions: Interactions,
+    pub features: Matrix,
+    pub item_clusters: Vec<usize>,
+    pub cluster_graph: DiGraph,
+    pub causes: Vec<Vec<Vec<Vec<usize>>>>,
+    /// Seed the dataset was generated from (for provenance).
+    pub seed: Option<u64>,
+}
+
+impl From<&SimulatedDataset> for DatasetFile {
+    fn from(sim: &SimulatedDataset) -> Self {
+        DatasetFile {
+            profile: sim.profile.clone(),
+            interactions: sim.interactions.clone(),
+            features: sim.features.clone(),
+            item_clusters: sim.item_clusters.clone(),
+            cluster_graph: sim.cluster_graph.clone(),
+            causes: sim.causes.clone(),
+            seed: None,
+        }
+    }
+}
+
+impl From<DatasetFile> for SimulatedDataset {
+    fn from(f: DatasetFile) -> Self {
+        SimulatedDataset {
+            profile: f.profile,
+            interactions: f.interactions,
+            features: f.features,
+            item_clusters: f.item_clusters,
+            cluster_graph: f.cluster_graph,
+            causes: f.causes,
+        }
+    }
+}
+
+/// Save a dataset as JSON.
+pub fn save_dataset(sim: &SimulatedDataset, path: &Path, seed: Option<u64>) -> std::io::Result<()> {
+    let mut file = DatasetFile::from(sim);
+    file.seed = seed;
+    let json = serde_json::to_string(&file).map_err(std::io::Error::other)?;
+    let mut out = std::fs::File::create(path)?;
+    out.write_all(json.as_bytes())
+}
+
+/// Load a dataset from JSON; validates invariants before returning.
+pub fn load_dataset(path: &Path) -> std::io::Result<SimulatedDataset> {
+    let mut json = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut json)?;
+    let file: DatasetFile = serde_json::from_str(&json).map_err(std::io::Error::other)?;
+    let sim: SimulatedDataset = file.into();
+    sim.interactions
+        .check_invariants()
+        .map_err(std::io::Error::other)?;
+    if !sim.cluster_graph.is_dag() {
+        return Err(std::io::Error::other("cluster graph in file is cyclic"));
+    }
+    Ok(sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::DatasetKind;
+    use crate::simulator::simulate;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let profile = DatasetProfile::paper(DatasetKind::Epinions).scaled(0.02);
+        let sim = simulate(&profile, 21);
+        let dir = std::env::temp_dir().join("causer_persistence_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        save_dataset(&sim, &path, Some(21)).unwrap();
+        let loaded = load_dataset(&path).unwrap();
+        assert_eq!(loaded.interactions.sequences, sim.interactions.sequences);
+        assert_eq!(loaded.item_clusters, sim.item_clusters);
+        assert_eq!(loaded.cluster_graph, sim.cluster_graph);
+        assert_eq!(loaded.causes, sim.causes);
+        // Floats go through JSON text: compare within tolerance.
+        assert_eq!(loaded.features.shape(), sim.features.shape());
+        for (a, b) in loaded.features.data().iter().zip(sim.features.data()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_file_is_rejected() {
+        let dir = std::env::temp_dir().join("causer_persistence_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(load_dataset(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load_dataset(Path::new("/nonexistent/causer.json")).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Generator profiles calibrated to Table II of the paper.
+//!
+//! Each profile drives the causal simulator so that the *statistics* of the
+//! generated data (user/item counts, interaction volume, mean sequence
+//! length, sparsity) match the real dataset the paper used, while the
+//! *mechanism* is a known cluster-level causal DAG that the model is
+//! supposed to recover.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one of the paper's five datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    Epinions,
+    Foursquare,
+    Patio,
+    Baby,
+    Video,
+}
+
+impl DatasetKind {
+    pub const ALL: [DatasetKind; 5] = [
+        DatasetKind::Epinions,
+        DatasetKind::Foursquare,
+        DatasetKind::Patio,
+        DatasetKind::Baby,
+        DatasetKind::Video,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Epinions => "Epinions",
+            DatasetKind::Foursquare => "Foursquare",
+            DatasetKind::Patio => "Patio",
+            DatasetKind::Baby => "Baby",
+            DatasetKind::Video => "Video",
+        }
+    }
+}
+
+/// Parameters of the causal behaviour simulator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    pub kind: DatasetKind,
+    pub num_users: usize,
+    pub num_items: usize,
+    /// Mean interaction events per user (Table II "SeqLen").
+    pub avg_seq_len: f64,
+    /// Minimum steps per user.
+    pub min_steps: usize,
+    /// Hard cap on steps per user (keeps Foursquare-like tails manageable).
+    pub max_steps: usize,
+    /// Number of ground-truth latent clusters (more for diverse catalogs).
+    pub true_clusters: usize,
+    /// Edge probability of the ground-truth cluster DAG.
+    pub cluster_edge_prob: f64,
+    /// Probability that a step is causally triggered by history (vs noise).
+    pub p_causal: f64,
+    /// Probability that a step is a multi-item basket.
+    pub p_basket: f64,
+    /// Zipf exponent for item popularity within a cluster.
+    pub zipf_exponent: f64,
+    /// Dimensionality of synthetic raw item features (GloVe stand-in).
+    pub feature_dim: usize,
+    /// Noise std of item features around their cluster center.
+    pub feature_noise: f64,
+}
+
+impl DatasetProfile {
+    /// Profile matching the paper's Table II statistics for `kind`.
+    pub fn paper(kind: DatasetKind) -> Self {
+        match kind {
+            // Diverse catalog (electronics..travel) => many clusters.
+            DatasetKind::Epinions => DatasetProfile {
+                kind,
+                num_users: 1530,
+                num_items: 683,
+                avg_seq_len: 3.01,
+                min_steps: 2,
+                max_steps: 30,
+                true_clusters: 16,
+                cluster_edge_prob: 0.18,
+                p_causal: 0.75,
+                p_basket: 0.04,
+                zipf_exponent: 0.9,
+                feature_dim: 16,
+                feature_noise: 0.25,
+            },
+            // Check-ins: long sequences, strong location-to-location causality.
+            DatasetKind::Foursquare => DatasetProfile {
+                kind,
+                num_users: 2292,
+                num_items: 5494,
+                avg_seq_len: 52.68,
+                min_steps: 8,
+                max_steps: 200,
+                true_clusters: 12,
+                cluster_edge_prob: 0.2,
+                p_causal: 0.65,
+                p_basket: 0.0,
+                zipf_exponent: 0.9,
+                feature_dim: 8,
+                feature_noise: 0.2,
+            },
+            DatasetKind::Patio => DatasetProfile {
+                kind,
+                num_users: 7153,
+                num_items: 2952,
+                avg_seq_len: 4.14,
+                min_steps: 2,
+                max_steps: 40,
+                true_clusters: 12,
+                cluster_edge_prob: 0.2,
+                p_causal: 0.75,
+                p_basket: 0.05,
+                zipf_exponent: 0.9,
+                feature_dim: 16,
+                feature_noise: 0.25,
+            },
+            // Homogeneous catalog (all baby products) => few clusters.
+            DatasetKind::Baby => DatasetProfile {
+                kind,
+                num_users: 16898,
+                num_items: 6178,
+                avg_seq_len: 4.56,
+                min_steps: 2,
+                max_steps: 40,
+                true_clusters: 5,
+                cluster_edge_prob: 0.3,
+                p_causal: 0.7,
+                p_basket: 0.05,
+                zipf_exponent: 0.9,
+                feature_dim: 16,
+                feature_noise: 0.2,
+            },
+            DatasetKind::Video => DatasetProfile {
+                kind,
+                num_users: 19939,
+                num_items: 9275,
+                avg_seq_len: 7.15,
+                min_steps: 2,
+                max_steps: 60,
+                true_clusters: 14,
+                cluster_edge_prob: 0.2,
+                p_causal: 0.75,
+                p_basket: 0.04,
+                zipf_exponent: 0.9,
+                feature_dim: 16,
+                feature_noise: 0.25,
+            },
+        }
+    }
+
+    /// Shrink users and items by `scale` (keeping everything else) so the
+    /// full experiment grid finishes quickly on one core. `scale = 1.0`
+    /// reproduces Table II sizes.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        self.num_users = ((self.num_users as f64 * scale).round() as usize).max(30);
+        self.num_items = ((self.num_items as f64 * scale).round() as usize).max(20);
+        self
+    }
+
+    /// Expected interaction count implied by the profile (Table II column).
+    pub fn expected_interactions(&self) -> f64 {
+        self.num_users as f64 * self.avg_seq_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profiles_match_table_ii() {
+        let e = DatasetProfile::paper(DatasetKind::Epinions);
+        assert_eq!((e.num_users, e.num_items), (1530, 683));
+        assert!((e.expected_interactions() - 4600.0).abs() < 50.0);
+
+        let f = DatasetProfile::paper(DatasetKind::Foursquare);
+        assert_eq!((f.num_users, f.num_items), (2292, 5494));
+        assert!((f.expected_interactions() - 120_736.0).abs() < 1000.0);
+
+        let b = DatasetProfile::paper(DatasetKind::Baby);
+        assert_eq!((b.num_users, b.num_items), (16_898, 6_178));
+    }
+
+    #[test]
+    fn homogeneous_data_has_fewer_clusters() {
+        // Matches the paper's §V-C reading: Baby is homogeneous, Epinions diverse.
+        let baby = DatasetProfile::paper(DatasetKind::Baby);
+        let epinions = DatasetProfile::paper(DatasetKind::Epinions);
+        assert!(baby.true_clusters < epinions.true_clusters);
+    }
+
+    #[test]
+    fn scaling_shrinks_but_respects_floors() {
+        let p = DatasetProfile::paper(DatasetKind::Video).scaled(0.1);
+        assert_eq!(p.num_users, 1994);
+        assert_eq!(p.num_items, 928);
+        let tiny = DatasetProfile::paper(DatasetKind::Epinions).scaled(0.001);
+        assert!(tiny.num_users >= 30 && tiny.num_items >= 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        let _ = DatasetProfile::paper(DatasetKind::Baby).scaled(0.0);
+    }
+
+    #[test]
+    fn all_kinds_have_names() {
+        for k in DatasetKind::ALL {
+            assert!(!k.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Negative sampling for training with the sigmoid/BCE objective of
+//! eq. (11) (§II-A: "one can adopt negative sampling to speed up the
+//! training process").
+//!
+//! The default is **uniform** sampling over the catalog: with a skewed
+//! (Zipf) item distribution, popularity-proportional negatives penalize
+//! exactly the popular items that tend to be positives, erasing the
+//! popularity signal the model must learn. A `popularity` constructor
+//! (`counts^0.75`, the word2vec convention) is provided for comparison.
+
+use crate::dataset::Interactions;
+use rand::Rng;
+
+/// Sampling distribution over negative items.
+pub struct NegativeSampler {
+    /// Cumulative weights; uniform when `None`.
+    cumweights: Option<Vec<f64>>,
+    num_items: usize,
+}
+
+impl NegativeSampler {
+    /// Uniform over the catalog (the default used by all trainers).
+    pub fn uniform(num_items: usize) -> Self {
+        assert!(num_items > 0, "empty catalog");
+        NegativeSampler { cumweights: None, num_items }
+    }
+
+    /// Uniform sampler sized from a dataset.
+    pub fn from_interactions(data: &Interactions) -> Self {
+        Self::uniform(data.num_items)
+    }
+
+    /// Popularity-proportional sampling with `(count+1)^0.75` smoothing.
+    pub fn popularity(data: &Interactions) -> Self {
+        let mut counts = vec![0.0f64; data.num_items];
+        for seq in &data.sequences {
+            for step in seq {
+                for &item in step {
+                    counts[item] += 1.0;
+                }
+            }
+        }
+        let mut acc = 0.0;
+        let cumweights = counts
+            .iter()
+            .map(|&c| {
+                acc += (c + 1.0).powf(0.75);
+                acc
+            })
+            .collect();
+        NegativeSampler { cumweights: Some(cumweights), num_items: data.num_items }
+    }
+
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Sample one item id.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match &self.cumweights {
+            None => rng.gen_range(0..self.num_items),
+            Some(cw) => {
+                let total = *cw.last().expect("non-empty catalog");
+                let x = rng.gen::<f64>() * total;
+                cw.partition_point(|&w| w < x).min(self.num_items - 1)
+            }
+        }
+    }
+
+    /// Sample `n` distinct items, none of which appear in `exclude`.
+    pub fn sample_excluding<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n: usize,
+        exclude: &[usize],
+    ) -> Vec<usize> {
+        let mut out = Vec::with_capacity(n);
+        let mut guard = 0;
+        while out.len() < n && guard < n * 50 {
+            guard += 1;
+            let item = self.sample(rng);
+            if !exclude.contains(&item) && !out.contains(&item) {
+                out.push(item);
+            }
+        }
+        // Degenerate catalogs (everything excluded): fill deterministically.
+        let mut next = 0usize;
+        while out.len() < n {
+            if !exclude.contains(&next) && !out.contains(&next) {
+                out.push(next);
+            }
+            next += 1;
+            if next >= self.num_items {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Interactions {
+        Interactions {
+            num_users: 2,
+            num_items: 4,
+            sequences: vec![
+                vec![vec![0], vec![0], vec![0], vec![1]],
+                vec![vec![0], vec![2]],
+            ],
+        }
+    }
+
+    #[test]
+    fn uniform_covers_catalog_evenly() {
+        let s = NegativeSampler::from_interactions(&toy());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 5000.0).abs() < 400.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn popularity_sampler_prefers_popular_items() {
+        let s = NegativeSampler::popularity(&toy());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[3] > 0, "smoothing keeps unseen items reachable");
+    }
+
+    #[test]
+    fn exclusion_respected() {
+        let s = NegativeSampler::from_interactions(&toy());
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let negs = s.sample_excluding(&mut rng, 2, &[0, 1]);
+            assert_eq!(negs.len(), 2);
+            assert!(!negs.contains(&0) && !negs.contains(&1));
+            assert_ne!(negs[0], negs[1]);
+        }
+    }
+
+    #[test]
+    fn degenerate_catalog_filled_deterministically() {
+        let s = NegativeSampler::from_interactions(&toy());
+        let mut rng = StdRng::seed_from_u64(5);
+        let negs = s.sample_excluding(&mut rng, 4, &[0, 1, 2]);
+        assert_eq!(negs, vec![3]);
+    }
+}

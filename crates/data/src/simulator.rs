@@ -1,0 +1,399 @@
+//! The causal behaviour simulator.
+//!
+//! This is the substitution for the paper's real datasets (see DESIGN.md):
+//! user sequences are generated from a *known* cluster-level causal DAG
+//! `G*`, so that (a) the causal mechanism the Causer model is designed to
+//! exploit is actually present in the data, and (b) learned graphs and
+//! explanations can be scored against exact ground truth instead of human
+//! labels.
+//!
+//! Generation of one step:
+//! - with probability `p_causal` (and a usable history), a *trigger* item is
+//!   drawn from the history with recency bias; one of its cluster's children
+//!   in `G*` is selected, and the new item is drawn from that child cluster
+//!   by popularity. The labeled causes of the new item are the history steps
+//!   containing items of any parent cluster of the chosen child (capped at
+//!   3, most recent first) — the same "which history items really caused
+//!   this" question the paper put to human annotators.
+//! - otherwise the item is preference/popularity noise with no cause.
+//!
+//! Co-effect confounding (the paper's printer → {paper, ink box} example)
+//! arises naturally whenever a parent cluster has several children: the two
+//! child items co-occur without causing each other.
+
+use crate::dataset::Interactions;
+use crate::features::item_features;
+use crate::profiles::DatasetProfile;
+use causer_causal::{graph_gen, DiGraph};
+use causer_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated dataset together with its ground truth.
+#[derive(Clone, Debug)]
+pub struct SimulatedDataset {
+    pub profile: DatasetProfile,
+    pub interactions: Interactions,
+    /// Synthetic raw item features (`num_items × feature_dim`).
+    pub features: Matrix,
+    /// Ground-truth cluster of every item.
+    pub item_clusters: Vec<usize>,
+    /// Ground-truth cluster-level causal DAG `G*`.
+    pub cluster_graph: DiGraph,
+    /// `causes[u][t][i]` = history step indices that causally produced the
+    /// `i`-th item of user `u`'s step `t` (empty for noise interactions).
+    pub causes: Vec<Vec<Vec<Vec<usize>>>>,
+}
+
+impl SimulatedDataset {
+    /// Fraction of interactions that were causally generated.
+    pub fn causal_fraction(&self) -> f64 {
+        let mut caused = 0usize;
+        let mut total = 0usize;
+        for user in &self.causes {
+            for step in user {
+                for c in step {
+                    total += 1;
+                    if !c.is_empty() {
+                        caused += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            caused as f64 / total as f64
+        }
+    }
+}
+
+/// Per-cluster popularity tables for item sampling.
+struct Catalog {
+    /// Items of each cluster.
+    members: Vec<Vec<usize>>,
+    /// Cumulative Zipf weights aligned with `members`.
+    cumweights: Vec<Vec<f64>>,
+}
+
+impl Catalog {
+    fn build(item_clusters: &[usize], k: usize, zipf: f64) -> Self {
+        let mut members = vec![Vec::new(); k];
+        for (item, &c) in item_clusters.iter().enumerate() {
+            members[c].push(item);
+        }
+        let cumweights = members
+            .iter()
+            .map(|items| {
+                let mut acc = 0.0;
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, _)| {
+                        acc += 1.0 / ((rank + 1) as f64).powf(zipf);
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        Catalog { members, cumweights }
+    }
+
+    /// Sample an item from cluster `c` by popularity.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, c: usize) -> Option<usize> {
+        let items = &self.members[c];
+        if items.is_empty() {
+            return None;
+        }
+        let cw = &self.cumweights[c];
+        let total = *cw.last().expect("non-empty");
+        let x = rng.gen::<f64>() * total;
+        let idx = cw.partition_point(|&w| w < x).min(items.len() - 1);
+        Some(items[idx])
+    }
+}
+
+/// Generate a dataset from a profile, deterministically from `seed`.
+pub fn simulate(profile: &DatasetProfile, seed: u64) -> SimulatedDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = profile.true_clusters;
+
+    // 1. Ground-truth cluster DAG (resample until it has edges to exploit).
+    let cluster_graph = loop {
+        let g = graph_gen::random_dag(&mut rng, k, profile.cluster_edge_prob);
+        if g.num_edges() >= k / 2 {
+            break g;
+        }
+    };
+
+    // 2. Item -> cluster assignment and popularity tables.
+    let item_clusters: Vec<usize> = (0..profile.num_items).map(|_| rng.gen_range(0..k)).collect();
+    let catalog = Catalog::build(&item_clusters, k, profile.zipf_exponent);
+
+    // 3. Raw features around cluster centers (GloVe stand-in).
+    let features = item_features(
+        &mut rng,
+        &item_clusters,
+        k,
+        profile.feature_dim,
+        profile.feature_noise,
+    );
+
+    // Expected items per step (baskets add ~1.5 extra items).
+    let items_per_step = 1.0 + profile.p_basket * 1.5;
+    let mean_steps = (profile.avg_seq_len / items_per_step).max(profile.min_steps as f64);
+
+    let mut sequences = Vec::with_capacity(profile.num_users);
+    let mut causes = Vec::with_capacity(profile.num_users);
+
+    for _ in 0..profile.num_users {
+        let len = sample_length(&mut rng, mean_steps, profile.min_steps, profile.max_steps);
+        // User preference: two focus clusters mixed with uniform noise.
+        let focus_a = rng.gen_range(0..k);
+        let focus_b = rng.gen_range(0..k);
+
+        let mut seq: Vec<Vec<usize>> = Vec::with_capacity(len);
+        let mut seq_causes: Vec<Vec<Vec<usize>>> = Vec::with_capacity(len);
+
+        for t in 0..len {
+            let basket_size = if profile.p_basket > 0.0 && rng.gen::<f64>() < profile.p_basket {
+                rng.gen_range(2..=3)
+            } else {
+                1
+            };
+            let mut step: Vec<usize> = Vec::with_capacity(basket_size);
+            let mut step_causes: Vec<Vec<usize>> = Vec::with_capacity(basket_size);
+            for _ in 0..basket_size {
+                let (item, cause) = sample_item(
+                    &mut rng,
+                    profile,
+                    &cluster_graph,
+                    &item_clusters,
+                    &catalog,
+                    &seq,
+                    t,
+                    focus_a,
+                    focus_b,
+                );
+                if !step.contains(&item) {
+                    step.push(item);
+                    step_causes.push(cause);
+                }
+            }
+            // Keep the (item, cause) pairing aligned under sorting.
+            let mut pairs: Vec<(usize, Vec<usize>)> =
+                step.into_iter().zip(step_causes).collect();
+            pairs.sort_by_key(|(i, _)| *i);
+            let (step, step_causes): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+            seq.push(step);
+            seq_causes.push(step_causes);
+        }
+        sequences.push(seq);
+        causes.push(seq_causes);
+    }
+
+    let interactions = Interactions {
+        num_users: profile.num_users,
+        num_items: profile.num_items,
+        sequences,
+    };
+    debug_assert!(interactions.check_invariants().is_ok());
+
+    SimulatedDataset {
+        profile: profile.clone(),
+        interactions,
+        features,
+        item_clusters,
+        cluster_graph,
+        causes,
+    }
+}
+
+/// Geometric length with the given mean, clamped to `[min, max]`.
+fn sample_length<R: Rng + ?Sized>(rng: &mut R, mean: f64, min: usize, max: usize) -> usize {
+    let extra_mean = (mean - min as f64).max(0.0);
+    if extra_mean <= 1e-9 {
+        return min;
+    }
+    let p = 1.0 / (1.0 + extra_mean);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let extra = (u.ln() / (1.0 - p).ln()).floor() as usize;
+    (min + extra).min(max)
+}
+
+/// Sample one item for step `t` given the history `seq[..t]`; returns the
+/// item and its labeled causal history positions.
+#[allow(clippy::too_many_arguments)]
+fn sample_item<R: Rng + ?Sized>(
+    rng: &mut R,
+    profile: &DatasetProfile,
+    g: &DiGraph,
+    item_clusters: &[usize],
+    catalog: &Catalog,
+    seq: &[Vec<usize>],
+    t: usize,
+    focus_a: usize,
+    focus_b: usize,
+) -> (usize, Vec<usize>) {
+    let k = profile.true_clusters;
+    if t > 0 && rng.gen::<f64>() < profile.p_causal {
+        // Recency-biased trigger selection: try a few times to find a
+        // history item whose cluster has children in G*.
+        for _ in 0..4 {
+            let s = recency_biased_index(rng, t);
+            let step = &seq[s];
+            let trigger = step[rng.gen_range(0..step.len())];
+            let c_trigger = item_clusters[trigger];
+            let children = g.children(c_trigger);
+            if children.is_empty() {
+                continue;
+            }
+            let child = children[rng.gen_range(0..children.len())];
+            if let Some(item) = catalog.sample(rng, child) {
+                // Label causes: most recent history steps containing an item
+                // of any parent cluster of `child` (the trigger is among
+                // them by construction). Capped at 3 as in the paper's
+                // labeling protocol.
+                let parents = g.parents(child);
+                let mut cause_steps: Vec<usize> = (0..t)
+                    .rev()
+                    .filter(|&s2| {
+                        seq[s2].iter().any(|&it| parents.contains(&item_clusters[it]))
+                    })
+                    .take(3)
+                    .collect();
+                cause_steps.sort_unstable();
+                return (item, cause_steps);
+            }
+        }
+    }
+    // Noise / preference interaction.
+    let cluster = match rng.gen_range(0..10) {
+        0..=3 => focus_a,
+        4..=6 => focus_b,
+        _ => rng.gen_range(0..k),
+    };
+    let item = catalog
+        .sample(rng, cluster)
+        .unwrap_or_else(|| rng.gen_range(0..profile.num_items));
+    (item, Vec::new())
+}
+
+/// Sample a history index in `[0, t)` with geometric recency bias.
+fn recency_biased_index<R: Rng + ?Sized>(rng: &mut R, t: usize) -> usize {
+    let gamma: f64 = 0.75;
+    // weights gamma^(t-1-s) for s in 0..t — sample via inverse CDF on the
+    // geometric series, walking from the most recent step backwards.
+    let mut s = t - 1;
+    loop {
+        if rng.gen::<f64>() < 1.0 - gamma || s == 0 {
+            return s;
+        }
+        s -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{DatasetKind, DatasetProfile};
+
+    fn small_profile() -> DatasetProfile {
+        DatasetProfile::paper(DatasetKind::Baby).scaled(0.02)
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let p = small_profile();
+        let a = simulate(&p, 7);
+        let b = simulate(&p, 7);
+        assert_eq!(a.interactions.sequences, b.interactions.sequences);
+        assert_eq!(a.item_clusters, b.item_clusters);
+        assert_eq!(a.cluster_graph, b.cluster_graph);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = small_profile();
+        let a = simulate(&p, 7);
+        let b = simulate(&p, 8);
+        assert_ne!(a.interactions.sequences, b.interactions.sequences);
+    }
+
+    #[test]
+    fn invariants_hold() {
+        let d = simulate(&small_profile(), 1);
+        d.interactions.check_invariants().unwrap();
+        assert!(d.cluster_graph.is_dag());
+        assert_eq!(d.item_clusters.len(), d.interactions.num_items);
+        assert_eq!(d.features.rows(), d.interactions.num_items);
+    }
+
+    #[test]
+    fn causes_precede_effects_and_are_labeled() {
+        let d = simulate(&small_profile(), 2);
+        let mut labeled = 0usize;
+        for (u, user_causes) in d.causes.iter().enumerate() {
+            assert_eq!(user_causes.len(), d.interactions.sequences[u].len());
+            for (t, step) in user_causes.iter().enumerate() {
+                assert_eq!(step.len(), d.interactions.sequences[u][t].len());
+                for cause in step {
+                    assert!(cause.len() <= 3);
+                    for &s in cause {
+                        assert!(s < t, "cause step {s} not before effect step {t}");
+                    }
+                    if !cause.is_empty() {
+                        labeled += 1;
+                    }
+                }
+            }
+        }
+        assert!(labeled > 0, "no causal interactions generated");
+    }
+
+    #[test]
+    fn causal_fraction_reflects_p_causal() {
+        let mut p = small_profile();
+        p.p_causal = 0.7;
+        let high = simulate(&p, 3).causal_fraction();
+        p.p_causal = 0.1;
+        let low = simulate(&p, 3).causal_fraction();
+        assert!(high > low + 0.2, "high={high} low={low}");
+    }
+
+    #[test]
+    fn cause_labels_point_at_parent_clusters() {
+        let d = simulate(&small_profile(), 4);
+        for (u, user_causes) in d.causes.iter().enumerate() {
+            for (t, step) in user_causes.iter().enumerate() {
+                for (i, cause) in step.iter().enumerate() {
+                    if cause.is_empty() {
+                        continue;
+                    }
+                    let effect_item = d.interactions.sequences[u][t][i];
+                    let effect_cluster = d.item_clusters[effect_item];
+                    let parents = d.cluster_graph.parents(effect_cluster);
+                    for &s in cause {
+                        let has_parent = d.interactions.sequences[u][s]
+                            .iter()
+                            .any(|&it| parents.contains(&d.item_clusters[it]));
+                        assert!(has_parent, "labeled cause step lacks a parent-cluster item");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn average_sequence_length_tracks_profile() {
+        let p = DatasetProfile::paper(DatasetKind::Patio).scaled(0.05);
+        let d = simulate(&p, 5);
+        let avg = d.interactions.avg_sequence_length();
+        // Geometric cap and basket randomness allow a band, not equality.
+        assert!(
+            avg > p.avg_seq_len * 0.5 && avg < p.avg_seq_len * 1.6,
+            "avg {avg} vs profile {}",
+            p.avg_seq_len
+        );
+    }
+}

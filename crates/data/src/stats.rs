@@ -1,0 +1,115 @@
+//! Dataset statistics (Table II) and sequence-length distributions (Fig. 3).
+
+use crate::dataset::Interactions;
+use serde::{Deserialize, Serialize};
+
+/// The statistics reported in Table II of the paper.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    pub num_users: usize,
+    pub num_items: usize,
+    pub num_interactions: usize,
+    pub avg_seq_len: f64,
+    pub sparsity: f64,
+}
+
+impl DatasetStats {
+    pub fn compute(data: &Interactions) -> Self {
+        DatasetStats {
+            num_users: data.num_users,
+            num_items: data.num_items,
+            num_interactions: data.num_interactions(),
+            avg_seq_len: data.avg_sequence_length(),
+            sparsity: data.sparsity(),
+        }
+    }
+}
+
+/// Histogram of per-user interaction counts for Fig. 3.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SeqLenHistogram {
+    /// Upper edge (inclusive) of each bucket; the last bucket is open.
+    pub bucket_edges: Vec<usize>,
+    pub counts: Vec<usize>,
+}
+
+impl SeqLenHistogram {
+    /// Bucket per-user event counts by `bucket_edges` (last bucket open).
+    pub fn compute(data: &Interactions, bucket_edges: &[usize]) -> Self {
+        assert!(!bucket_edges.is_empty(), "need at least one bucket");
+        assert!(bucket_edges.windows(2).all(|w| w[0] < w[1]), "edges must increase");
+        let mut counts = vec![0usize; bucket_edges.len() + 1];
+        for seq in &data.sequences {
+            let len: usize = seq.iter().map(|s| s.len()).sum();
+            let idx = bucket_edges.partition_point(|&e| e < len);
+            counts[idx] += 1;
+        }
+        SeqLenHistogram { bucket_edges: bucket_edges.to_vec(), counts }
+    }
+
+    /// Render an ASCII bar chart (used by the Fig. 3 harness).
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let label = if i == 0 {
+                format!("≤{}", self.bucket_edges[0])
+            } else if i < self.bucket_edges.len() {
+                format!("{}–{}", self.bucket_edges[i - 1] + 1, self.bucket_edges[i])
+            } else {
+                format!(">{}", self.bucket_edges.last().unwrap())
+            };
+            let bar = "#".repeat((c * width).div_ceil(max).min(width));
+            out.push_str(&format!("{label:>9} | {bar} {c}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Interactions {
+        Interactions {
+            num_users: 4,
+            num_items: 10,
+            sequences: vec![
+                vec![vec![0]],
+                vec![vec![1], vec![2]],
+                vec![vec![3], vec![4], vec![5, 6]],
+                vec![vec![7]; 10],
+            ],
+        }
+    }
+
+    #[test]
+    fn stats_match_hand_count() {
+        let s = DatasetStats::compute(&toy());
+        assert_eq!(s.num_interactions, 1 + 2 + 4 + 10);
+        assert!((s.avg_seq_len - 17.0 / 4.0).abs() < 1e-12);
+        assert!((s.sparsity - (1.0 - 17.0 / 40.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = SeqLenHistogram::compute(&toy(), &[1, 3, 5]);
+        // lens: 1, 2, 4, 10 -> buckets ≤1:1, 2–3:1, 4–5:1, >5:1
+        assert_eq!(h.counts, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_renders_all_buckets() {
+        let h = SeqLenHistogram::compute(&toy(), &[2, 5]);
+        let s = h.render(20);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("≤2"));
+        assert!(s.contains(">5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "increase")]
+    fn bad_edges_rejected() {
+        let _ = SeqLenHistogram::compute(&toy(), &[3, 3]);
+    }
+}

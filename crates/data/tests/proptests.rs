@@ -1,0 +1,89 @@
+//! Property tests for the simulator and split protocol.
+
+use causer_data::{simulate, DatasetKind, DatasetProfile};
+use proptest::prelude::*;
+
+fn any_profile() -> impl Strategy<Value = DatasetProfile> {
+    (0usize..5, 0.0f64..0.9, 0.0f64..0.3, 1u64..50).prop_map(|(k, p_causal, p_basket, _)| {
+        let kind = DatasetKind::ALL[k];
+        let mut p = DatasetProfile::paper(kind).scaled(0.01);
+        p.p_causal = p_causal;
+        p.p_basket = p_basket;
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulated_data_always_valid(profile in any_profile(), seed in 0u64..1000) {
+        let d = simulate(&profile, seed);
+        prop_assert!(d.interactions.check_invariants().is_ok());
+        prop_assert!(d.cluster_graph.is_dag());
+        prop_assert_eq!(d.item_clusters.len(), d.interactions.num_items);
+        for &c in &d.item_clusters {
+            prop_assert!(c < profile.true_clusters);
+        }
+        // causes tensor is parallel to sequences.
+        for (u, seq) in d.interactions.sequences.iter().enumerate() {
+            prop_assert_eq!(d.causes[u].len(), seq.len());
+            for (t, step) in seq.iter().enumerate() {
+                prop_assert_eq!(d.causes[u][t].len(), step.len());
+                for cause in &d.causes[u][t] {
+                    for &s in cause {
+                        prop_assert!(s < t);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_steps(profile in any_profile(), seed in 0u64..1000) {
+        let d = simulate(&profile, seed);
+        let split = d.interactions.leave_last_out();
+        prop_assert_eq!(split.validation.len(), split.test.len());
+        for case in &split.test {
+            let full = &d.interactions.sequences[case.user];
+            prop_assert_eq!(&full[full.len() - 1], &case.target);
+            prop_assert_eq!(case.history.len(), full.len() - 1);
+        }
+        for case in &split.validation {
+            let full = &d.interactions.sequences[case.user];
+            prop_assert_eq!(&full[full.len() - 2], &case.target);
+            prop_assert_eq!(case.history.len(), full.len() - 2);
+        }
+        // Every user appears in train exactly once (all profiles have min_steps >= 2).
+        let mut users: Vec<usize> = split.train.iter().map(|h| h.user).collect();
+        users.sort_unstable();
+        users.dedup();
+        prop_assert_eq!(users.len(), split.train.len());
+    }
+
+    #[test]
+    fn sequence_lengths_within_profile_caps(profile in any_profile(), seed in 0u64..1000) {
+        let d = simulate(&profile, seed);
+        for seq in &d.interactions.sequences {
+            prop_assert!(seq.len() >= profile.min_steps);
+            prop_assert!(seq.len() <= profile.max_steps);
+        }
+    }
+
+    #[test]
+    fn negative_sampler_never_returns_excluded(
+        profile in any_profile(), seed in 0u64..1000, n in 1usize..5,
+    ) {
+        use causer_data::NegativeSampler;
+        use rand::{rngs::StdRng, SeedableRng};
+        let d = simulate(&profile, seed);
+        let sampler = NegativeSampler::from_interactions(&d.interactions);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let exclude: Vec<usize> = (0..5).collect();
+        let negs = sampler.sample_excluding(&mut rng, n, &exclude);
+        for i in &negs {
+            prop_assert!(!exclude.contains(i));
+            prop_assert!(*i < d.interactions.num_items);
+        }
+    }
+}

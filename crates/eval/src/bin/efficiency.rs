@@ -1,0 +1,8 @@
+//! Regenerates the §III-C efficiency numbers (training slow-update speedup,
+//! inference overhead vs SASRec).
+use causer_eval::config::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let (_res, report) = causer_eval::experiments::efficiency::run(&scale);
+    println!("{report}");
+}

@@ -1,0 +1,7 @@
+//! Extension: falsification control (causal gain on structured vs null data).
+use causer_eval::config::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let (_rows, report) = causer_eval::experiments::falsification::run(&scale);
+    println!("{report}");
+}

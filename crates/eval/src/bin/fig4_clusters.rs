@@ -1,0 +1,9 @@
+//! Regenerates Figure 4: sensitivity to the number of latent clusters K.
+use causer_eval::config::ExperimentScale;
+use causer_eval::experiments::sweeps::{run, SweepParam};
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let grid = SweepParam::K.default_grid();
+    let (_points, report) = run(SweepParam::K, &grid, &scale);
+    println!("{report}");
+}

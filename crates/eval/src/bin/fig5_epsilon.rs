@@ -1,0 +1,9 @@
+//! Regenerates Figure 5: sensitivity to the causal filter threshold ε.
+use causer_eval::config::ExperimentScale;
+use causer_eval::experiments::sweeps::{run, SweepParam};
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let grid = SweepParam::Epsilon.default_grid();
+    let (_points, report) = run(SweepParam::Epsilon, &grid, &scale);
+    println!("{report}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 6: sensitivity to the assignment temperature η.
+use causer_eval::config::ExperimentScale;
+use causer_eval::experiments::sweeps::{run, SweepParam};
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let grid = SweepParam::Eta.default_grid();
+    let (_points, report) = run(SweepParam::Eta, &grid, &scale);
+    println!("{report}");
+}

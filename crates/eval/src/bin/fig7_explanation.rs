@@ -1,0 +1,7 @@
+//! Regenerates Figure 7: quantitative explanation evaluation.
+use causer_eval::config::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let (_results, report) = causer_eval::experiments::fig7::run(&scale);
+    println!("{report}");
+}

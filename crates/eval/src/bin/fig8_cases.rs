@@ -1,0 +1,7 @@
+//! Regenerates Figure 8: qualitative explanation case studies.
+use causer_eval::config::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let (_cases, report) = causer_eval::experiments::fig8::run(&scale, 4);
+    println!("{report}");
+}

@@ -1,0 +1,15 @@
+//! Reduced Table III grid search on the Baby profile (selection on the
+//! validation split).
+use causer_data::DatasetKind;
+use causer_eval::config::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let (_points, report) = causer_eval::experiments::grid_search::run(
+        DatasetKind::Baby,
+        &[3, 5, 8, 12],
+        &[1e-2, 1.0, 1e2],
+        &[0.05, 0.1, 0.3],
+        &scale,
+    );
+    println!("{report}");
+}

@@ -1,0 +1,7 @@
+//! Empirical check of Theorem 1: MEC/structure recovery at the SEM and
+//! behaviour level.
+use causer_eval::config::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("{}", causer_eval::experiments::identifiability::run(&scale));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table II: dataset statistics, paper vs. simulated.
+fn main() {
+    println!("{}", causer_eval::experiments::table2::run(42));
+}

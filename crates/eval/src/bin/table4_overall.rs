@@ -1,0 +1,8 @@
+//! Regenerates Table IV: overall comparison of all models on all datasets.
+//! Resize with CAUSER_SCALE / CAUSER_EPOCHS / CAUSER_EVAL_USERS.
+use causer_eval::config::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let (_cells, report) = causer_eval::experiments::table4::run(&scale);
+    println!("{report}");
+}

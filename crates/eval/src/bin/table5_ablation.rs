@@ -1,0 +1,7 @@
+//! Regenerates Table V: the ablation study on Baby and Epinions.
+use causer_eval::config::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let (_results, report) = causer_eval::experiments::table5::run(&scale);
+    println!("{report}");
+}

@@ -1,0 +1,75 @@
+//! Extension experiment (not in the paper): beyond-accuracy behaviour of
+//! the models — catalog coverage, exposure concentration (Gini), and
+//! intra-list cluster diversity of the top-5 recommendations. The causal
+//! filter should *diversify* recommendations relative to pure popularity,
+//! because different histories activate different parent clusters.
+
+use crate::config::ExperimentScale;
+use crate::runner::{build_model, dataset, ModelKind};
+use crate::tables::TextTable;
+use causer_data::DatasetKind;
+use causer_metrics::{catalog_coverage, exposure_gini, intra_list_diversity};
+use causer_tensor::Matrix;
+
+/// Per-model beyond-accuracy statistics.
+#[derive(Clone, Debug)]
+pub struct BeyondAccuracy {
+    pub model: String,
+    pub coverage: f64,
+    pub gini: f64,
+    pub diversity: f64,
+}
+
+pub fn run(kind: DatasetKind, models: &[ModelKind], scale: &ExperimentScale) -> (Vec<BeyondAccuracy>, String) {
+    let sim = dataset(kind, scale);
+    let split = sim.interactions.leave_last_out();
+    let mut results = Vec::new();
+    let mut t = TextTable::new(&["Model", "Coverage@5", "Gini", "ClusterDiv@5"]);
+    for &mk in models {
+        eprintln!("beyond-accuracy: {} ...", mk.label());
+        let mut model = build_model(mk, &sim, scale);
+        model.fit(&split);
+        let recs: Vec<Vec<usize>> = split
+            .test
+            .iter()
+            .take(scale.eval_users)
+            .map(|case| Matrix::top_k_indices(&model.scores(case), 5))
+            .collect();
+        let coverage = catalog_coverage(&recs, split.num_items);
+        let gini = exposure_gini(&recs, split.num_items);
+        let diversity = intra_list_diversity(&recs, &sim.item_clusters);
+        t.add_row(vec![
+            mk.label().to_string(),
+            format!("{coverage:.3}"),
+            format!("{gini:.3}"),
+            format!("{diversity:.3}"),
+        ]);
+        results.push(BeyondAccuracy { model: mk.label().to_string(), coverage, gini, diversity });
+    }
+    let report = format!(
+        "Beyond-accuracy extension on {} (top-5 recommendations over {} test users)\n\n{}",
+        kind.name(),
+        scale.eval_users.min(split.test.len()),
+        t.render()
+    );
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beyond_accuracy_runs_on_tiny_data() {
+        let scale = ExperimentScale { dataset_scale: 0.01, epochs: 1, eval_users: 20, seed: 4 };
+        let (results, report) =
+            run(DatasetKind::Patio, &[ModelKind::Bpr, ModelKind::CauserGru], &scale);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.coverage >= 0.0 && r.coverage <= 1.0);
+            assert!(r.gini >= 0.0 && r.gini <= 1.0);
+            assert!(r.diversity >= 0.0 && r.diversity <= 1.0);
+        }
+        assert!(report.contains("Coverage"));
+    }
+}

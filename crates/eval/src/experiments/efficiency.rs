@@ -1,0 +1,99 @@
+//! §III-C efficiency remarks:
+//! - training: updating `Θ_a` and `W^c` every ten epochs improves training
+//!   throughput (paper: ~22%);
+//! - inference: Causer's full-catalog scoring costs ~1.16× SASRec's.
+
+use crate::config::{tuned, ExperimentScale};
+use crate::runner::{build_causer, dataset};
+use causer_baselines::{sasrec, BaselineTrainConfig};
+use causer_core::{CauserVariant, RnnKind, SeqRecommender};
+use causer_data::DatasetKind;
+use std::time::Instant;
+
+#[derive(Clone, Debug)]
+pub struct EfficiencyResult {
+    pub full_update_seconds: f64,
+    pub slow_update_seconds: f64,
+    pub training_speedup_pct: f64,
+    pub causer_infer_seconds: f64,
+    pub sasrec_infer_seconds: f64,
+    pub inference_ratio: f64,
+}
+
+pub fn run(scale: &ExperimentScale) -> (EfficiencyResult, String) {
+    let sim = dataset(DatasetKind::Baby, scale);
+    let split = sim.interactions.leave_last_out();
+    let tp = tuned(DatasetKind::Baby);
+
+    // Training: full updates vs. slow (every-10-epochs) updates of Θ_a/W^c.
+    eprintln!("efficiency: training with full updates ...");
+    let mut full = build_causer(&sim, scale, RnnKind::Gru, CauserVariant::Full, tp.k, tp.eta, tp.epsilon);
+    let t = Instant::now();
+    full.fit(&split);
+    let full_update_seconds = t.elapsed().as_secs_f64();
+
+    eprintln!("efficiency: training with slow updates ...");
+    let mut slow = build_causer(&sim, scale, RnnKind::Gru, CauserVariant::Full, tp.k, tp.eta, tp.epsilon);
+    slow.train_config.slow_update_every = Some(10);
+    let t = Instant::now();
+    slow.fit(&split);
+    let slow_update_seconds = t.elapsed().as_secs_f64();
+
+    // Inference: score the same test cases with Causer and SASRec.
+    eprintln!("efficiency: timing inference ...");
+    let mut sas = sasrec(
+        split.num_items,
+        BaselineTrainConfig { epochs: scale.epochs, seed: scale.seed, ..Default::default() },
+        scale.seed,
+    );
+    sas.fit(&split);
+    let cases: Vec<_> = split.test.iter().take(scale.eval_users).collect();
+    let t = Instant::now();
+    for c in &cases {
+        std::hint::black_box(full.scores(c));
+    }
+    let causer_infer_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for c in &cases {
+        std::hint::black_box(sas.scores(c));
+    }
+    let sasrec_infer_seconds = t.elapsed().as_secs_f64();
+
+    let res = EfficiencyResult {
+        full_update_seconds,
+        slow_update_seconds,
+        training_speedup_pct: (full_update_seconds - slow_update_seconds)
+            / full_update_seconds
+            * 100.0,
+        causer_infer_seconds,
+        sasrec_infer_seconds,
+        inference_ratio: causer_infer_seconds / sasrec_infer_seconds.max(1e-9),
+    };
+    let report = format!(
+        "Model efficiency (§III-C)\n\
+         training  : full-update {:.2}s, slow-update {:.2}s → speedup {:+.1}% (paper: ~22%)\n\
+         inference : Causer {:.3}s vs SASRec {:.3}s over {} cases → ratio {:.2}x (paper: ~1.16x)\n",
+        res.full_update_seconds,
+        res.slow_update_seconds,
+        res.training_speedup_pct,
+        res.causer_infer_seconds,
+        res.sasrec_infer_seconds,
+        cases.len(),
+        res.inference_ratio,
+    );
+    (res, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_report_runs() {
+        let scale = ExperimentScale { dataset_scale: 0.008, epochs: 2, eval_users: 20, seed: 3 };
+        let (res, report) = run(&scale);
+        assert!(res.full_update_seconds > 0.0);
+        assert!(res.inference_ratio > 0.0);
+        assert!(report.contains("speedup"));
+    }
+}

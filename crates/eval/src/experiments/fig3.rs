@@ -1,0 +1,51 @@
+//! Figure 3: distribution of per-user sequence lengths, as ASCII
+//! histograms (the paper plots two panels: Patio/Baby/Video and
+//! Epinions/Foursquare).
+
+use causer_data::{simulate, DatasetKind, DatasetProfile, SeqLenHistogram};
+
+/// Bucket edges mirroring the paper's plots: fine buckets for the short
+/// Amazon-style sequences, coarse for Foursquare.
+fn edges(kind: DatasetKind) -> Vec<usize> {
+    match kind {
+        DatasetKind::Foursquare => vec![10, 20, 40, 80, 120, 160],
+        _ => vec![2, 3, 4, 6, 10, 20],
+    }
+}
+
+pub fn run(seed: u64) -> String {
+    let mut out = String::from("Figure 3 — per-user sequence length distributions\n");
+    for kind in DatasetKind::ALL {
+        let profile = DatasetProfile::paper(kind);
+        let sim = simulate(&profile, seed);
+        let hist = SeqLenHistogram::compute(&sim.interactions, &edges(kind));
+        out.push_str(&format!("\n{}:\n{}", kind.name(), hist.render(40)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histograms_render_for_all_datasets() {
+        let s = run(2);
+        for kind in DatasetKind::ALL {
+            assert!(s.contains(kind.name()));
+        }
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn short_sequences_dominate_amazon_style_data() {
+        // Fig. 3's key visual: mass concentrated on short sequences.
+        let sim = simulate(&DatasetProfile::paper(DatasetKind::Baby), 4);
+        let hist = SeqLenHistogram::compute(&sim.interactions, &[6]);
+        assert!(
+            hist.counts[0] > hist.counts[1],
+            "most Baby users should have short sequences: {:?}",
+            hist.counts
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Table III: a reduced grid search over the paper's tuning ranges,
+//! selecting by *validation* NDCG@5 (the paper's protocol: second-last
+//! interaction for validation).
+
+use crate::config::ExperimentScale;
+use crate::runner::{build_causer, dataset};
+use crate::tables::{pct, TextTable};
+use causer_core::{evaluate, CauserVariant, RnnKind, SeqRecommender};
+use causer_data::DatasetKind;
+
+#[derive(Clone, Debug)]
+pub struct GridPoint {
+    pub k: usize,
+    pub eta: f64,
+    pub epsilon: f64,
+    pub val_ndcg: f64,
+    pub test_ndcg: f64,
+}
+
+/// Search the (reduced) grid on one dataset; returns all points sorted by
+/// validation NDCG, best first.
+pub fn run(
+    kind: DatasetKind,
+    ks: &[usize],
+    etas: &[f64],
+    epsilons: &[f64],
+    scale: &ExperimentScale,
+) -> (Vec<GridPoint>, String) {
+    let sim = dataset(kind, scale);
+    let split = sim.interactions.leave_last_out();
+    let mut points = Vec::new();
+    for &k in ks {
+        for &eta in etas {
+            for &epsilon in epsilons {
+                eprintln!("grid: K={k} eta={eta:.0e} eps={epsilon} ...");
+                let mut model = build_causer(
+                    &sim,
+                    scale,
+                    RnnKind::Gru,
+                    CauserVariant::Full,
+                    k,
+                    eta,
+                    epsilon,
+                );
+                model.fit(&split);
+                let val = evaluate(&model, &split.validation, 5, scale.eval_users);
+                let test = evaluate(&model, &split.test, 5, scale.eval_users);
+                points.push(GridPoint { k, eta, epsilon, val_ndcg: val.ndcg, test_ndcg: test.ndcg });
+            }
+        }
+    }
+    points.sort_by(|a, b| b.val_ndcg.partial_cmp(&a.val_ndcg).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut t = TextTable::new(&["K", "eta", "epsilon", "val NDCG@5", "test NDCG@5"]);
+    for p in &points {
+        t.add_row(vec![
+            p.k.to_string(),
+            format!("{:.0e}", p.eta),
+            format!("{:.2}", p.epsilon),
+            pct(p.val_ndcg),
+            pct(p.test_ndcg),
+        ]);
+    }
+    let report = format!(
+        "Reduced grid search on {} (Table III ranges; selected on validation)\n\n{}",
+        kind.name(),
+        t.render()
+    );
+    (points, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_orders_by_validation() {
+        let scale = ExperimentScale { dataset_scale: 0.006, epochs: 1, eval_users: 15, seed: 9 };
+        let (points, report) = run(DatasetKind::Patio, &[3, 5], &[1.0], &[0.1], &scale);
+        assert_eq!(points.len(), 2);
+        assert!(points[0].val_ndcg >= points[1].val_ndcg);
+        assert!(report.contains("grid search"));
+    }
+}

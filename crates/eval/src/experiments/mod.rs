@@ -1,0 +1,14 @@
+//! One module per reproduced table/figure. See DESIGN.md §3 for the index.
+
+pub mod beyond_accuracy;
+pub mod falsification;
+pub mod efficiency;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod grid_search;
+pub mod identifiability;
+pub mod sweeps;
+pub mod table2;
+pub mod table4;
+pub mod table5;

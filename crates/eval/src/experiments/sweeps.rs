@@ -1,0 +1,131 @@
+//! Figures 4–6: hyper-parameter sensitivity sweeps (cluster count `K`,
+//! filter threshold `ε`, temperature `η`) on Baby and Epinions for both
+//! architectures, NDCG@5.
+
+use crate::config::{tuned, ExperimentScale};
+use crate::runner::{build_causer, dataset};
+use crate::tables::{pct, TextTable};
+use causer_core::{evaluate, CauserVariant, RnnKind, SeqRecommender};
+use causer_data::DatasetKind;
+
+/// Which hyper-parameter to sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SweepParam {
+    /// Figure 4: number of latent clusters.
+    K,
+    /// Figure 5: causal filter threshold ε.
+    Epsilon,
+    /// Figure 6: assignment temperature η.
+    Eta,
+}
+
+impl SweepParam {
+    pub fn figure(&self) -> &'static str {
+        match self {
+            SweepParam::K => "Figure 4 (clusters K)",
+            SweepParam::Epsilon => "Figure 5 (threshold ε)",
+            SweepParam::Eta => "Figure 6 (temperature η)",
+        }
+    }
+
+    /// Reduced grids over the paper's Table III ranges.
+    pub fn default_grid(&self) -> Vec<f64> {
+        match self {
+            SweepParam::K => vec![2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 16.0, 20.0, 30.0],
+            SweepParam::Epsilon => vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+            SweepParam::Eta => vec![1e-4, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e4],
+        }
+    }
+}
+
+pub const DATASETS: [DatasetKind; 2] = [DatasetKind::Baby, DatasetKind::Epinions];
+
+/// One sweep point result.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    pub dataset: String,
+    pub rnn: String,
+    pub value: f64,
+    pub ndcg: f64,
+}
+
+/// Run a sweep; all non-swept parameters stay at their tuned optima (as in
+/// §V-C: "when studying one parameter, we fix the other ones as their
+/// optimal values").
+pub fn run(param: SweepParam, grid: &[f64], scale: &ExperimentScale) -> (Vec<SweepPoint>, String) {
+    let mut points = Vec::new();
+    let mut t = TextTable::new(&["Value", "LSTM Baby", "LSTM Epinions", "GRU Baby", "GRU Epinions"]);
+    let sims: Vec<_> = DATASETS.iter().map(|&d| dataset(d, scale)).collect();
+    for &value in grid {
+        let mut row = vec![format_value(param, value)];
+        for rnn in [RnnKind::Lstm, RnnKind::Gru] {
+            for (sim, &dk) in sims.iter().zip(DATASETS.iter()) {
+                eprintln!("{}: {}={} {} on {} ...", param.figure(), name(param), value, rnn.name(), dk.name());
+                let tp = tuned(dk);
+                let (k, eta, eps) = match param {
+                    SweepParam::K => (value as usize, tp.eta, tp.epsilon),
+                    SweepParam::Epsilon => (tp.k, tp.eta, value),
+                    SweepParam::Eta => (tp.k, value, tp.epsilon),
+                };
+                let mut model =
+                    build_causer(sim, scale, rnn, CauserVariant::Full, k.max(2), eta, eps);
+                let split = sim.interactions.leave_last_out();
+                model.fit(&split);
+                let rep = evaluate(&model, &split.test, 5, scale.eval_users);
+                row.push(pct(rep.ndcg));
+                points.push(SweepPoint {
+                    dataset: dk.name().to_string(),
+                    rnn: rnn.name().to_string(),
+                    value,
+                    ndcg: rep.ndcg,
+                });
+            }
+        }
+        t.add_row(row);
+    }
+    let report = format!(
+        "{} — NDCG@5 (%) vs. {} on Baby and Epinions\nscale={} epochs={}\n\n{}",
+        param.figure(),
+        name(param),
+        scale.dataset_scale,
+        scale.epochs,
+        t.render()
+    );
+    (points, report)
+}
+
+fn name(p: SweepParam) -> &'static str {
+    match p {
+        SweepParam::K => "K",
+        SweepParam::Epsilon => "epsilon",
+        SweepParam::Eta => "eta",
+    }
+}
+
+fn format_value(p: SweepParam, v: f64) -> String {
+    match p {
+        SweepParam::K => format!("{}", v as usize),
+        SweepParam::Epsilon => format!("{v:.1}"),
+        SweepParam::Eta => format!("{v:.0e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_runs() {
+        let scale = ExperimentScale { dataset_scale: 0.004, epochs: 1, eval_users: 10, seed: 5 };
+        let (points, report) = run(SweepParam::K, &[2.0, 4.0], &scale);
+        assert_eq!(points.len(), 2 * 2 * 2);
+        assert!(report.contains("Figure 4"));
+    }
+
+    #[test]
+    fn grids_cover_paper_ranges() {
+        assert_eq!(SweepParam::Epsilon.default_grid().len(), 9);
+        assert!(SweepParam::Eta.default_grid().contains(&1.0));
+        assert!(SweepParam::K.default_grid().contains(&5.0));
+    }
+}

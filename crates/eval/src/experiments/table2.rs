@@ -1,0 +1,79 @@
+//! Table II: dataset statistics, paper vs. simulated.
+
+use crate::tables::TextTable;
+use causer_data::{simulate, DatasetKind, DatasetProfile, DatasetStats};
+
+/// Paper values `(users, items, interactions, seqlen, sparsity%)`.
+pub fn paper_stats(kind: DatasetKind) -> (usize, usize, usize, f64, f64) {
+    match kind {
+        DatasetKind::Epinions => (1530, 683, 4600, 3.01, 99.56),
+        DatasetKind::Foursquare => (2292, 5494, 120_736, 52.68, 99.04),
+        DatasetKind::Patio => (7153, 2952, 29_625, 4.14, 99.86),
+        DatasetKind::Baby => (16_898, 6178, 77_046, 4.56, 99.93),
+        DatasetKind::Video => (19_939, 9275, 142_658, 7.15, 99.92),
+    }
+}
+
+/// Simulate every dataset at full Table II size and report statistics next
+/// to the paper's numbers.
+pub fn run(seed: u64) -> String {
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "#User (paper)",
+        "#User",
+        "#Item (paper)",
+        "#Item",
+        "#Inter (paper)",
+        "#Inter",
+        "SeqLen (paper)",
+        "SeqLen",
+        "Sparsity (paper)",
+        "Sparsity",
+    ]);
+    for kind in DatasetKind::ALL {
+        let profile = DatasetProfile::paper(kind);
+        let sim = simulate(&profile, seed);
+        let s = DatasetStats::compute(&sim.interactions);
+        let (pu, pi, pn, pl, psp) = paper_stats(kind);
+        t.add_row(vec![
+            kind.name().to_string(),
+            pu.to_string(),
+            s.num_users.to_string(),
+            pi.to_string(),
+            s.num_items.to_string(),
+            pn.to_string(),
+            s.num_interactions.to_string(),
+            format!("{pl:.2}"),
+            format!("{:.2}", s.avg_seq_len),
+            format!("{psp:.2}%"),
+            format!("{:.2}%", s.sparsity * 100.0),
+        ]);
+    }
+    format!("Table II — dataset statistics (paper vs. simulated)\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_datasets() {
+        let s = run(1);
+        for kind in DatasetKind::ALL {
+            assert!(s.contains(kind.name()), "missing {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn simulated_stats_close_to_paper() {
+        // Users/items match exactly; interactions within a band (geometric
+        // length sampling with caps).
+        let sim = simulate(&DatasetProfile::paper(DatasetKind::Epinions), 3);
+        let s = DatasetStats::compute(&sim.interactions);
+        let (pu, pi, pn, _, _) = paper_stats(DatasetKind::Epinions);
+        assert_eq!(s.num_users, pu);
+        assert_eq!(s.num_items, pi);
+        let ratio = s.num_interactions as f64 / pn as f64;
+        assert!(ratio > 0.6 && ratio < 1.7, "interactions ratio {ratio}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Table IV: overall comparison of all ten models on all five datasets
+//! (F1@5 and NDCG@5), printed next to the paper's numbers.
+
+use crate::config::ExperimentScale;
+use crate::runner::{dataset, run_cell, CellResult, ModelKind};
+use crate::tables::{paper_table4, pct, TextTable};
+use causer_data::DatasetKind;
+
+/// Run the full grid. Returns the raw cells and the rendered report.
+pub fn run(scale: &ExperimentScale) -> (Vec<CellResult>, String) {
+    run_subset(scale, &DatasetKind::ALL, &ModelKind::ALL)
+}
+
+/// Run a subset of the grid (used by the quick bench preset and tests).
+pub fn run_subset(
+    scale: &ExperimentScale,
+    datasets: &[DatasetKind],
+    models: &[ModelKind],
+) -> (Vec<CellResult>, String) {
+    let mut cells = Vec::new();
+    let mut headers = vec!["Model".to_string()];
+    for d in datasets {
+        headers.push(format!("{} F1", d.name()));
+        headers.push(format!("{} F1(p)", d.name()));
+        headers.push(format!("{} NDCG", d.name()));
+        headers.push(format!("{} NDCG(p)", d.name()));
+    }
+    let mut t = TextTable::new(&headers.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    // Simulate each dataset once, reuse across models.
+    let sims: Vec<_> = datasets.iter().map(|&d| dataset(d, scale)).collect();
+    for &model in models {
+        let mut row = vec![model.label().to_string()];
+        for (sim, &dk) in sims.iter().zip(datasets) {
+            eprintln!("table4: {} on {} ...", model.label(), dk.name());
+            let cell = run_cell(model, sim, scale);
+            let (pf1, pndcg) = paper_table4(model.label(), dk).unwrap_or((f64::NAN, f64::NAN));
+            row.push(pct(cell.report.f1));
+            row.push(format!("{pf1:.2}"));
+            row.push(pct(cell.report.ndcg));
+            row.push(format!("{pndcg:.2}"));
+            cells.push(cell);
+        }
+        t.add_row(row);
+    }
+
+    let mut report = format!(
+        "Table IV — overall comparison @5 (measured vs. paper '(p)'; values in %)\n\
+         scale={} epochs={} eval_users={}\n\n{}",
+        scale.dataset_scale,
+        scale.epochs,
+        scale.eval_users,
+        t.render()
+    );
+    report.push_str(&summarize_improvements(&cells, datasets));
+    (cells, report)
+}
+
+/// The paper's headline: average relative improvement of the best Causer
+/// over the best baseline per dataset (~6.1% F1, ~11.3% NDCG).
+fn summarize_improvements(cells: &[CellResult], datasets: &[DatasetKind]) -> String {
+    let mut out = String::new();
+    let mut f1_imps = Vec::new();
+    let mut ndcg_imps = Vec::new();
+    for d in datasets {
+        let name = d.name();
+        let of = |m: &CellResult| m.dataset == name;
+        let causer_best = cells
+            .iter()
+            .filter(|c| of(c) && c.model.starts_with("Causer"))
+            .map(|c| (c.report.f1, c.report.ndcg))
+            .fold((0.0f64, 0.0f64), |a, b| (a.0.max(b.0), a.1.max(b.1)));
+        let base_best = cells
+            .iter()
+            .filter(|c| of(c) && !c.model.starts_with("Causer"))
+            .map(|c| (c.report.f1, c.report.ndcg))
+            .fold((0.0f64, 0.0f64), |a, b| (a.0.max(b.0), a.1.max(b.1)));
+        if base_best.0 > 0.0 && base_best.1 > 0.0 {
+            f1_imps.push((causer_best.0 - base_best.0) / base_best.0 * 100.0);
+            ndcg_imps.push((causer_best.1 - base_best.1) / base_best.1 * 100.0);
+        }
+    }
+    if !f1_imps.is_empty() {
+        out.push_str(&format!(
+            "\nAvg improvement of best Causer over best baseline: F1 {:+.1}%  NDCG {:+.1}%  (paper: +6.1% / +11.3%)\n",
+            f1_imps.iter().sum::<f64>() / f1_imps.len() as f64,
+            ndcg_imps.iter().sum::<f64>() / ndcg_imps.len() as f64,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_run_produces_cells_and_report() {
+        let scale = ExperimentScale { dataset_scale: 0.006, epochs: 1, eval_users: 20, seed: 3 };
+        let (cells, report) = run_subset(
+            &scale,
+            &[DatasetKind::Patio],
+            &[ModelKind::Bpr, ModelKind::CauserGru],
+        );
+        assert_eq!(cells.len(), 2);
+        assert!(report.contains("BPR"));
+        assert!(report.contains("Causer (GRU)"));
+        assert!(report.contains("improvement"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # causer-eval
+//!
+//! The experiment harness reproducing every table and figure of the paper:
+//! [`experiments::table2`] (dataset statistics), [`experiments::fig3`]
+//! (sequence-length distributions), [`experiments::table4`] (overall
+//! comparison), [`experiments::table5`] (ablations),
+//! [`experiments::sweeps`] (Figures 4–6 hyper-parameter sensitivity),
+//! [`experiments::fig7`]/[`experiments::fig8`] (explanation evaluation),
+//! [`experiments::efficiency`] (§III-C), and
+//! [`experiments::identifiability`] (Theorem 1, empirical).
+//!
+//! Each experiment is exposed both as a library function and as a binary
+//! (`cargo run -p causer-eval --release --bin <name>`); the bench crate
+//! wraps the same functions as `cargo bench` targets.
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod tables;
+
+pub use config::{tuned, ExperimentScale, TunedCauser};
+pub use runner::{build_causer, build_model, dataset, run_cell, CellResult, ModelKind};
+pub use report::{load_artifact_json, save_artifact, Artifact};
+pub use tables::{paper_table4, paper_table5, pct, TextTable};

@@ -1,0 +1,68 @@
+//! Machine-readable experiment artifacts: every runner result can be dumped
+//! as JSON next to the human-readable table, so EXPERIMENTS.md entries stay
+//! auditable.
+
+use serde::Serialize;
+use std::path::Path;
+
+/// A JSON experiment artifact with provenance metadata.
+#[derive(Serialize)]
+pub struct Artifact<T: Serialize> {
+    pub experiment: String,
+    pub seed: u64,
+    pub dataset_scale: f64,
+    pub epochs: usize,
+    pub payload: T,
+}
+
+/// Write an artifact as pretty JSON; creates parent directories.
+pub fn save_artifact<T: Serialize>(artifact: &Artifact<T>, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(artifact).map_err(std::io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Load raw JSON back (schema-free; callers deserialize as needed).
+pub fn load_artifact_json(path: &Path) -> std::io::Result<serde_json::Value> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::CellResult;
+    use causer_metrics::RankingReport;
+
+    #[test]
+    fn artifact_round_trip() {
+        let cells = vec![CellResult {
+            model: "BPR".into(),
+            dataset: "Patio".into(),
+            report: RankingReport { f1: 0.01, ndcg: 0.02, ..Default::default() },
+            fit_seconds: 1.5,
+        }];
+        let artifact = Artifact {
+            experiment: "table4".into(),
+            seed: 42,
+            dataset_scale: 0.3,
+            epochs: 12,
+            payload: cells,
+        };
+        let dir = std::env::temp_dir().join("causer_artifacts");
+        let path = dir.join("table4.json");
+        save_artifact(&artifact, &path).unwrap();
+        let loaded = load_artifact_json(&path).unwrap();
+        assert_eq!(loaded["experiment"], "table4");
+        assert_eq!(loaded["payload"][0]["model"], "BPR");
+        assert!((loaded["payload"][0]["report"]["ndcg"].as_f64().unwrap() - 0.02).abs() < 1e-12);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_artifact_errors() {
+        assert!(load_artifact_json(Path::new("/nonexistent/x.json")).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Model registry and per-dataset experiment runner.
+
+use crate::config::{tuned, ExperimentScale};
+use causer_baselines::{gru4rec, mmsarec, narm, sasrec, stamp, vtrnn, BaselineTrainConfig, BprRecommender, NcfRecommender};
+use causer_core::{
+    evaluate, CauserConfig, CauserRecommender, CauserVariant, RnnKind, SeqRecommender,
+    TrainConfig,
+};
+use causer_data::{simulate, DatasetKind, DatasetProfile, SimulatedDataset};
+use causer_metrics::RankingReport;
+use serde::{Deserialize, Serialize};
+
+/// Every model of Table IV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    Bpr,
+    Ncf,
+    Gru4Rec,
+    Stamp,
+    SasRec,
+    Narm,
+    Vtrnn,
+    Mmsarec,
+    CauserLstm,
+    CauserGru,
+}
+
+impl ModelKind {
+    pub const ALL: [ModelKind; 10] = [
+        ModelKind::Bpr,
+        ModelKind::Ncf,
+        ModelKind::Gru4Rec,
+        ModelKind::Stamp,
+        ModelKind::SasRec,
+        ModelKind::Narm,
+        ModelKind::Vtrnn,
+        ModelKind::Mmsarec,
+        ModelKind::CauserLstm,
+        ModelKind::CauserGru,
+    ];
+
+    /// Table IV row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::Bpr => "BPR",
+            ModelKind::Ncf => "NCF",
+            ModelKind::Gru4Rec => "GRU4Rec",
+            ModelKind::Stamp => "STAMP",
+            ModelKind::SasRec => "SASRec",
+            ModelKind::Narm => "NARM",
+            ModelKind::Vtrnn => "VTRNN",
+            ModelKind::Mmsarec => "MMSARec",
+            ModelKind::CauserLstm => "Causer (LSTM)",
+            ModelKind::CauserGru => "Causer (GRU)",
+        }
+    }
+}
+
+/// Build (untrained) model `kind` for a simulated dataset.
+pub fn build_model(
+    kind: ModelKind,
+    sim: &SimulatedDataset,
+    scale: &ExperimentScale,
+) -> Box<dyn SeqRecommender> {
+    let n_items = sim.interactions.num_items;
+    let n_users = sim.interactions.num_users;
+    let bcfg = BaselineTrainConfig { epochs: scale.epochs, seed: scale.seed, ..Default::default() };
+    match kind {
+        ModelKind::Bpr => Box::new(BprRecommender::new(24, scale.epochs * 2, scale.seed)),
+        ModelKind::Ncf => Box::new(NcfRecommender::new(16, scale.epochs, scale.seed)),
+        ModelKind::Gru4Rec => Box::new(gru4rec(n_items, bcfg, scale.seed)),
+        ModelKind::Stamp => Box::new(stamp(n_items, bcfg, scale.seed)),
+        ModelKind::SasRec => Box::new(sasrec(n_items, bcfg, scale.seed)),
+        ModelKind::Narm => Box::new(narm(n_items, bcfg, scale.seed)),
+        ModelKind::Vtrnn => Box::new(vtrnn(n_items, sim.features.clone(), bcfg, scale.seed)),
+        ModelKind::Mmsarec => Box::new(mmsarec(n_items, sim.features.clone(), bcfg, scale.seed)),
+        ModelKind::CauserLstm | ModelKind::CauserGru => {
+            let t = tuned(sim.profile.kind);
+            let mut cfg = CauserConfig::new(n_users, n_items, sim.profile.feature_dim);
+            cfg.rnn = if kind == ModelKind::CauserGru { RnnKind::Gru } else { RnnKind::Lstm };
+            cfg.k = t.k;
+            cfg.eta = t.eta;
+            cfg.epsilon = t.epsilon;
+            cfg.lambda = t.lambda;
+            let tc = TrainConfig { epochs: scale.epochs, seed: scale.seed, ..Default::default() };
+            Box::new(CauserRecommender::new(cfg, sim.features.clone(), tc, scale.seed))
+        }
+    }
+}
+
+/// Build a Causer variant (for Table V / Figures 4–7) with explicit
+/// hyper-parameter overrides.
+pub fn build_causer(
+    sim: &SimulatedDataset,
+    scale: &ExperimentScale,
+    rnn: RnnKind,
+    variant: CauserVariant,
+    k: usize,
+    eta: f64,
+    epsilon: f64,
+) -> CauserRecommender {
+    let mut cfg = CauserConfig::new(
+        sim.interactions.num_users,
+        sim.interactions.num_items,
+        sim.profile.feature_dim,
+    );
+    cfg.rnn = rnn;
+    cfg.variant = variant;
+    cfg.k = k;
+    cfg.eta = eta;
+    cfg.epsilon = epsilon;
+    let tc = TrainConfig { epochs: scale.epochs, seed: scale.seed, ..Default::default() };
+    CauserRecommender::new(cfg, sim.features.clone(), tc, scale.seed)
+}
+
+/// Result of one (model, dataset) cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellResult {
+    pub model: String,
+    pub dataset: String,
+    pub report: RankingReport,
+    pub fit_seconds: f64,
+}
+
+/// Simulate a dataset at the experiment scale. Epinions is small enough
+/// (1530 users, 683 items) to always run at its full Table II size.
+pub fn dataset(kind: DatasetKind, scale: &ExperimentScale) -> SimulatedDataset {
+    let s = match kind {
+        DatasetKind::Epinions => 1.0,
+        _ => scale.dataset_scale,
+    };
+    let profile = DatasetProfile::paper(kind).scaled(s);
+    simulate(&profile, scale.seed)
+}
+
+/// Fit and evaluate one model on one simulated dataset (test split, @5).
+pub fn run_cell(
+    kind: ModelKind,
+    sim: &SimulatedDataset,
+    scale: &ExperimentScale,
+) -> CellResult {
+    let split = sim.interactions.leave_last_out();
+    let mut model = build_model(kind, sim, scale);
+    let t = std::time::Instant::now();
+    model.fit(&split);
+    let fit_seconds = t.elapsed().as_secs_f64();
+    let report = evaluate(model.as_ref(), &split.test, 5, scale.eval_users);
+    CellResult {
+        model: kind.label().to_string(),
+        dataset: sim.profile.kind.name().to_string(),
+        report,
+        fit_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_run_on_a_tiny_dataset() {
+        let scale = ExperimentScale { dataset_scale: 0.006, epochs: 1, eval_users: 20, seed: 7 };
+        let sim = dataset(DatasetKind::Patio, &scale);
+        for kind in ModelKind::ALL {
+            let cell = run_cell(kind, &sim, &scale);
+            assert!(cell.report.ndcg.is_finite(), "{kind:?}");
+            assert!(cell.report.num_users > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            ModelKind::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 10);
+    }
+}

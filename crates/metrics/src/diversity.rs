@@ -1,0 +1,115 @@
+//! Beyond-accuracy metrics: catalog coverage, recommendation concentration
+//! (Gini), and intra-list diversity — standard companions to F1/NDCG when
+//! assessing whether a recommender has collapsed onto the popular head.
+
+use std::collections::HashSet;
+
+/// Fraction of the catalog that appears in at least one recommendation
+/// list.
+pub fn catalog_coverage(recommendations: &[Vec<usize>], num_items: usize) -> f64 {
+    if num_items == 0 {
+        return 0.0;
+    }
+    let unique: HashSet<usize> = recommendations.iter().flatten().copied().collect();
+    unique.len() as f64 / num_items as f64
+}
+
+/// Gini coefficient of recommendation exposure across the catalog:
+/// 0 = perfectly even exposure, →1 = all exposure on one item.
+pub fn exposure_gini(recommendations: &[Vec<usize>], num_items: usize) -> f64 {
+    if num_items == 0 {
+        return 0.0;
+    }
+    let mut counts = vec![0.0f64; num_items];
+    for rec in recommendations {
+        for &i in rec {
+            counts[i] += 1.0;
+        }
+    }
+    let total: f64 = counts.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    counts.sort_by(|a, b| a.partial_cmp(b).expect("finite counts"));
+    let n = num_items as f64;
+    let mut cum = 0.0;
+    let mut weighted = 0.0;
+    for (rank, &c) in counts.iter().enumerate() {
+        cum += c;
+        weighted += cum / total;
+        let _ = rank;
+    }
+    // Gini = 1 − 2·B where B is the area under the Lorenz curve.
+    1.0 - 2.0 * (weighted / n) + 1.0 / n
+}
+
+/// Mean intra-list diversity: average fraction of *distinct categories*
+/// within each recommendation list, given a per-item category labeling
+/// (e.g., ground-truth clusters).
+pub fn intra_list_diversity(recommendations: &[Vec<usize>], categories: &[usize]) -> f64 {
+    if recommendations.is_empty() {
+        return 0.0;
+    }
+    let per_list: f64 = recommendations
+        .iter()
+        .filter(|r| !r.is_empty())
+        .map(|rec| {
+            let distinct: HashSet<usize> = rec.iter().map(|&i| categories[i]).collect();
+            distinct.len() as f64 / rec.len() as f64
+        })
+        .sum();
+    let lists = recommendations.iter().filter(|r| !r.is_empty()).count();
+    if lists == 0 {
+        0.0
+    } else {
+        per_list / lists as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_counts_unique_items() {
+        let recs = vec![vec![0, 1], vec![1, 2]];
+        assert!((catalog_coverage(&recs, 10) - 0.3).abs() < 1e-12);
+        assert_eq!(catalog_coverage(&[], 10), 0.0);
+        assert_eq!(catalog_coverage(&recs, 0), 0.0);
+    }
+
+    #[test]
+    fn gini_zero_for_even_exposure() {
+        let recs = vec![vec![0], vec![1], vec![2], vec![3]];
+        let g = exposure_gini(&recs, 4);
+        assert!(g.abs() < 1e-12, "gini {g}");
+    }
+
+    #[test]
+    fn gini_approaches_one_for_concentration() {
+        // All exposure on one of many items.
+        let recs: Vec<Vec<usize>> = (0..50).map(|_| vec![0]).collect();
+        let g = exposure_gini(&recs, 100);
+        assert!(g > 0.95, "gini {g}");
+    }
+
+    #[test]
+    fn gini_monotone_in_concentration() {
+        let even = vec![vec![0], vec![1], vec![2], vec![3]];
+        let skewed = vec![vec![0], vec![0], vec![0], vec![3]];
+        assert!(exposure_gini(&skewed, 4) > exposure_gini(&even, 4));
+    }
+
+    #[test]
+    fn intra_list_diversity_bounds() {
+        let categories = vec![0, 0, 1, 1, 2];
+        // All same category.
+        assert!((intra_list_diversity(&[vec![0, 1]], &categories) - 0.5).abs() < 1e-12);
+        // All distinct categories.
+        assert!((intra_list_diversity(&[vec![0, 2, 4]], &categories) - 1.0).abs() < 1e-12);
+        // Mixed lists average.
+        let d = intra_list_diversity(&[vec![0, 1], vec![0, 2, 4]], &categories);
+        assert!((d - (0.5 + 1.0) / 2.0).abs() < 1e-12);
+        assert_eq!(intra_list_diversity(&[], &categories), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Explanation-quality metrics for §V-E of the paper.
+//!
+//! Each evaluation sample consists of a scored history (one score per
+//! history position) and the set of positions labeled as true causes of the
+//! target item. The paper selects the top-3 scored items and reports F1 and
+//! NDCG against the labeled causes.
+
+use crate::ranking::{f1_at, ndcg_at};
+use std::collections::HashSet;
+
+/// One labeled explanation sample: scores per history position and the
+/// ground-truth causal positions.
+#[derive(Clone, Debug)]
+pub struct ExplanationSample {
+    pub scores: Vec<f64>,
+    pub true_causes: HashSet<usize>,
+}
+
+/// Aggregated explanation metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExplanationReport {
+    pub f1: f64,
+    pub ndcg: f64,
+    pub num_samples: usize,
+}
+
+/// Evaluate explanation quality: take the `top_k` highest-scored history
+/// positions of each sample and compare with the labeled causes.
+pub fn evaluate_explanations(samples: &[ExplanationSample], top_k: usize) -> ExplanationReport {
+    let mut f1 = 0.0;
+    let mut ndcg = 0.0;
+    let mut n = 0usize;
+    for s in samples {
+        if s.scores.is_empty() || s.true_causes.is_empty() {
+            continue;
+        }
+        let ranked = top_indices(&s.scores, top_k);
+        f1 += f1_at(&ranked, &s.true_causes);
+        ndcg += ndcg_at(&ranked, &s.true_causes, top_k);
+        n += 1;
+    }
+    let d = n.max(1) as f64;
+    ExplanationReport { f1: f1 / d, ndcg: ndcg / d, num_samples: n }
+}
+
+/// Indices of the `k` largest scores, descending, ties broken by position.
+pub fn top_indices(scores: &[f64], k: usize) -> Vec<usize> {
+    causer_tensor_topk(scores, k)
+}
+
+fn causer_tensor_topk(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(scores: &[f64], causes: &[usize]) -> ExplanationSample {
+        ExplanationSample {
+            scores: scores.to_vec(),
+            true_causes: causes.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn perfect_explanation() {
+        let s = sample(&[0.9, 0.1, 0.8, 0.0], &[0, 2]);
+        let r = evaluate_explanations(&[s], 2);
+        assert_eq!(r.num_samples, 1);
+        assert!((r.f1 - 1.0).abs() < 1e-12);
+        assert!((r.ndcg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_explanation_scores_zero() {
+        let s = sample(&[0.9, 0.1, 0.0], &[2]);
+        let r = evaluate_explanations(&[s], 1);
+        assert_eq!(r.f1, 0.0);
+        assert_eq!(r.ndcg, 0.0);
+    }
+
+    #[test]
+    fn partial_credit() {
+        // top-3 of 5 positions; one of two causes found.
+        let s = sample(&[0.9, 0.8, 0.7, 0.0, 0.1], &[0, 4]);
+        let r = evaluate_explanations(&[s], 3);
+        // precision 1/3, recall 1/2 -> F1 = 0.4
+        assert!((r.f1 - 0.4).abs() < 1e-12);
+        assert!(r.ndcg > 0.0 && r.ndcg < 1.0);
+    }
+
+    #[test]
+    fn skips_unlabeled_or_empty_samples() {
+        let good = sample(&[1.0], &[0]);
+        let empty_scores = sample(&[], &[0]);
+        let empty_truth = sample(&[1.0, 2.0], &[]);
+        let r = evaluate_explanations(&[good, empty_scores, empty_truth], 3);
+        assert_eq!(r.num_samples, 1);
+        assert_eq!(r.f1, 1.0);
+    }
+
+    #[test]
+    fn top_indices_ties_by_position() {
+        assert_eq!(top_indices(&[0.5, 0.5, 0.9], 2), vec![2, 0]);
+    }
+}

@@ -1,0 +1,13 @@
+//! # causer-metrics
+//!
+//! Evaluation metrics for the Causer reproduction, implementing exactly the
+//! formulas of §V-A ([`ranking`]: P/R/F1@Z, DCG/NDCG@Z, plus HR and MRR) and
+//! the explanation evaluation protocol of §V-E ([`explanation`]).
+
+pub mod diversity;
+pub mod explanation;
+pub mod ranking;
+
+pub use diversity::{catalog_coverage, exposure_gini, intra_list_diversity};
+pub use explanation::{evaluate_explanations, ExplanationReport, ExplanationSample};
+pub use ranking::{RankingAccumulator, RankingReport};

@@ -1,0 +1,245 @@
+//! Top-Z ranking metrics exactly as defined in §V-A of the paper.
+//!
+//! `A_u` is the recommended set (size `Z`), `B_u` the ground-truth set. The
+//! per-user quantities are
+//!
+//! ```text
+//! P(u)@Z = |A ∩ B| / |A|          R(u)@Z = |A ∩ B| / |B|
+//! F1@Z   = mean_u 2·P·R / (P+R)
+//! DCG@Z  = Σ_i R(i)/log2(i+1)     NDCG@Z = mean_u DCG/IDCG
+//! ```
+//!
+//! where `R(i) = 1` if the i-th recommended item is in `B_u`.
+
+use std::collections::HashSet;
+
+/// Per-user precision at Z. Empty recommendation list gives 0.
+pub fn precision_at(recommended: &[usize], truth: &HashSet<usize>) -> f64 {
+    if recommended.is_empty() {
+        return 0.0;
+    }
+    let hits = recommended.iter().filter(|i| truth.contains(i)).count();
+    hits as f64 / recommended.len() as f64
+}
+
+/// Per-user recall at Z. Empty truth set gives 0.
+pub fn recall_at(recommended: &[usize], truth: &HashSet<usize>) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = recommended.iter().filter(|i| truth.contains(i)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Per-user F1 at Z (harmonic mean of precision and recall; 0 if both 0).
+pub fn f1_at(recommended: &[usize], truth: &HashSet<usize>) -> f64 {
+    let p = precision_at(recommended, truth);
+    let r = recall_at(recommended, truth);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Per-user DCG at Z with binary relevance.
+pub fn dcg_at(recommended: &[usize], truth: &HashSet<usize>) -> f64 {
+    recommended
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            if truth.contains(item) {
+                1.0 / ((i + 2) as f64).log2()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Ideal DCG: all `min(|truth|, z)` relevant items ranked first.
+pub fn idcg_at(truth_size: usize, z: usize) -> f64 {
+    (0..truth_size.min(z)).map(|i| 1.0 / ((i + 2) as f64).log2()).sum()
+}
+
+/// Per-user NDCG at Z. 0 when the truth set is empty.
+pub fn ndcg_at(recommended: &[usize], truth: &HashSet<usize>, z: usize) -> f64 {
+    let idcg = idcg_at(truth.len(), z);
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg_at(recommended, truth) / idcg
+    }
+}
+
+/// Per-user hit rate: 1 if any recommended item is relevant.
+pub fn hit_at(recommended: &[usize], truth: &HashSet<usize>) -> f64 {
+    if recommended.iter().any(|i| truth.contains(i)) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Per-user reciprocal rank of the first relevant item (0 if none).
+pub fn mrr_at(recommended: &[usize], truth: &HashSet<usize>) -> f64 {
+    recommended
+        .iter()
+        .position(|i| truth.contains(i))
+        .map_or(0.0, |p| 1.0 / (p + 1) as f64)
+}
+
+/// Aggregated evaluation over many users.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RankingReport {
+    pub f1: f64,
+    pub ndcg: f64,
+    pub precision: f64,
+    pub recall: f64,
+    pub hit_rate: f64,
+    pub mrr: f64,
+    pub num_users: usize,
+}
+
+/// Accumulates per-user metrics and averages them (macro-average over users,
+/// as in the paper's formulas).
+#[derive(Default)]
+pub struct RankingAccumulator {
+    f1: f64,
+    ndcg: f64,
+    precision: f64,
+    recall: f64,
+    hit: f64,
+    mrr: f64,
+    n: usize,
+    z: usize,
+}
+
+impl RankingAccumulator {
+    pub fn new(z: usize) -> Self {
+        RankingAccumulator { z, ..Default::default() }
+    }
+
+    /// Add one user's recommendation list (truncated to Z) and truth set.
+    pub fn add(&mut self, recommended: &[usize], truth: &HashSet<usize>) {
+        let rec = &recommended[..recommended.len().min(self.z)];
+        self.f1 += f1_at(rec, truth);
+        self.ndcg += ndcg_at(rec, truth, self.z);
+        self.precision += precision_at(rec, truth);
+        self.recall += recall_at(rec, truth);
+        self.hit += hit_at(rec, truth);
+        self.mrr += mrr_at(rec, truth);
+        self.n += 1;
+    }
+
+    pub fn report(&self) -> RankingReport {
+        let n = self.n.max(1) as f64;
+        RankingReport {
+            f1: self.f1 / n,
+            ndcg: self.ndcg / n,
+            precision: self.precision / n,
+            recall: self.recall / n,
+            hit_rate: self.hit / n,
+            mrr: self.mrr / n,
+            num_users: self.n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(items: &[usize]) -> HashSet<usize> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn precision_recall_hand_computed() {
+        let rec = vec![1, 2, 3, 4, 5];
+        let t = truth(&[2, 5, 9]);
+        assert!((precision_at(&rec, &t) - 2.0 / 5.0).abs() < 1e-12);
+        assert!((recall_at(&rec, &t) - 2.0 / 3.0).abs() < 1e-12);
+        let f1 = f1_at(&rec, &t);
+        let expected = 2.0 * (0.4 * (2.0 / 3.0)) / (0.4 + 2.0 / 3.0);
+        assert!((f1 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let rec = vec![7, 8];
+        let t = truth(&[7, 8]);
+        assert_eq!(f1_at(&rec, &t), 1.0);
+        assert_eq!(ndcg_at(&rec, &t, 2), 1.0);
+        assert_eq!(hit_at(&rec, &t), 1.0);
+        assert_eq!(mrr_at(&rec, &t), 1.0);
+    }
+
+    #[test]
+    fn no_hits_scores_zero() {
+        let rec = vec![1, 2, 3];
+        let t = truth(&[4]);
+        assert_eq!(f1_at(&rec, &t), 0.0);
+        assert_eq!(ndcg_at(&rec, &t, 3), 0.0);
+        assert_eq!(mrr_at(&rec, &t), 0.0);
+    }
+
+    #[test]
+    fn dcg_discounts_by_position() {
+        let t = truth(&[9]);
+        // Hit at rank 1 vs rank 3.
+        let first = dcg_at(&[9, 1, 2], &t);
+        let third = dcg_at(&[1, 2, 9], &t);
+        assert!((first - 1.0).abs() < 1e-12);
+        assert!((third - 1.0 / 4.0f64.log2()).abs() < 1e-12);
+        assert!(first > third);
+    }
+
+    #[test]
+    fn ndcg_with_multiitem_truth() {
+        // Truth of 2 items; hits at positions 1 and 3 out of Z=3.
+        let t = truth(&[10, 20]);
+        let rec = vec![10, 5, 20];
+        let dcg = 1.0 + 1.0 / 4.0f64.log2();
+        let idcg = 1.0 + 1.0 / 3.0f64.log2();
+        assert!((ndcg_at(&rec, &t, 3) - dcg / idcg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_positions() {
+        let t = truth(&[3]);
+        assert_eq!(mrr_at(&[3, 1, 2], &t), 1.0);
+        assert_eq!(mrr_at(&[1, 3, 2], &t), 0.5);
+        assert!((mrr_at(&[1, 2, 3], &t) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_macro_averages() {
+        let mut acc = RankingAccumulator::new(2);
+        acc.add(&[1, 2], &truth(&[1, 2])); // perfect: f1 = 1
+        acc.add(&[3, 4], &truth(&[9])); // miss: f1 = 0
+        let r = acc.report();
+        assert_eq!(r.num_users, 2);
+        assert!((r.f1 - 0.5).abs() < 1e-12);
+        assert!((r.hit_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_truncates_to_z() {
+        let mut acc = RankingAccumulator::new(1);
+        acc.add(&[5, 1], &truth(&[1])); // only first item counts
+        let r = acc.report();
+        assert_eq!(r.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_do_not_panic() {
+        assert_eq!(precision_at(&[], &truth(&[1])), 0.0);
+        assert_eq!(recall_at(&[1], &truth(&[])), 0.0);
+        assert_eq!(ndcg_at(&[], &truth(&[]), 5), 0.0);
+        let acc = RankingAccumulator::new(5);
+        let r = acc.report();
+        assert_eq!(r.num_users, 0);
+        assert_eq!(r.f1, 0.0);
+    }
+}

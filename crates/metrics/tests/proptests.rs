@@ -1,0 +1,93 @@
+//! Property tests: metric bounds and consistency relations.
+
+use causer_metrics::ranking::*;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn rec_and_truth() -> impl Strategy<Value = (Vec<usize>, HashSet<usize>)> {
+    (
+        prop::collection::vec(0usize..50, 0..10).prop_map(|v| {
+            // Recommendation lists are duplicate-free; keep first occurrences.
+            let mut seen = HashSet::new();
+            v.into_iter().filter(|x| seen.insert(*x)).collect::<Vec<_>>()
+        }),
+        prop::collection::hash_set(0usize..50, 0..8),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn all_metrics_bounded((rec, truth) in rec_and_truth()) {
+        for m in [
+            precision_at(&rec, &truth),
+            recall_at(&rec, &truth),
+            f1_at(&rec, &truth),
+            ndcg_at(&rec, &truth, 5),
+            hit_at(&rec, &truth),
+            mrr_at(&rec, &truth),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&m), "metric {m} out of range");
+        }
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean((rec, truth) in rec_and_truth()) {
+        let p = precision_at(&rec, &truth);
+        let r = recall_at(&rec, &truth);
+        let f = f1_at(&rec, &truth);
+        if p + r > 0.0 {
+            prop_assert!((f - 2.0 * p * r / (p + r)).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(f, 0.0);
+        }
+        // F1 between min and max of P and R.
+        prop_assert!(f <= p.max(r) + 1e-12);
+        prop_assert!(f + 1e-12 >= p.min(r) || f == 0.0);
+    }
+
+    #[test]
+    fn hit_iff_recall_positive((rec, truth) in rec_and_truth()) {
+        let h = hit_at(&rec, &truth);
+        let r = recall_at(&rec, &truth);
+        if !truth.is_empty() {
+            prop_assert_eq!(h > 0.0, r > 0.0);
+        }
+    }
+
+    #[test]
+    fn dcg_no_greater_than_idcg((rec, truth) in rec_and_truth()) {
+        let z = rec.len();
+        prop_assert!(dcg_at(&rec, &truth) <= idcg_at(truth.len(), z.max(1)) + 1e-12);
+    }
+
+    #[test]
+    fn promoting_a_hit_never_hurts_ndcg(truth in prop::collection::hash_set(0usize..20, 1..5)) {
+        // Build a list with one hit somewhere and slide it earlier.
+        let hit_item = *truth.iter().next().unwrap();
+        let fillers: Vec<usize> = (20..24).collect();
+        let mut prev = 0.0;
+        for pos in (0..5).rev() {
+            let mut rec = fillers.clone();
+            rec.insert(pos.min(rec.len()), hit_item);
+            let n = ndcg_at(&rec[..5.min(rec.len())], &truth, 5);
+            prop_assert!(n + 1e-12 >= prev, "moving hit earlier reduced ndcg");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn accumulator_average_of_singles(samples in prop::collection::vec(rec_and_truth(), 1..10)) {
+        let mut acc = RankingAccumulator::new(5);
+        let mut manual_f1 = 0.0;
+        for (rec, truth) in &samples {
+            acc.add(rec, truth);
+            let r = &rec[..rec.len().min(5)];
+            manual_f1 += f1_at(r, truth);
+        }
+        let rep = acc.report();
+        prop_assert_eq!(rep.num_users, samples.len());
+        prop_assert!((rep.f1 - manual_f1 / samples.len() as f64).abs() < 1e-12);
+    }
+}

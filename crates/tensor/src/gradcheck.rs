@@ -1,0 +1,250 @@
+//! Central-difference gradient checking used throughout the test suite.
+
+use crate::graph::{Graph, NodeId};
+use crate::matrix::Matrix;
+use crate::param::{GradStore, ParamSet};
+
+/// Outcome of a gradient check for one parameter.
+#[derive(Debug)]
+pub struct GradCheckReport {
+    pub param_name: String,
+    pub max_abs_err: f64,
+    pub max_rel_err: f64,
+}
+
+/// Check the analytic gradient of `build` (a function that constructs a
+/// scalar loss from a `ParamSet`) against central differences for every
+/// parameter in `ps`.
+///
+/// Returns a report per parameter; panics with a descriptive message if any
+/// element disagrees beyond `tol` in combined absolute/relative error:
+/// `|analytic − fd| / max(1, |analytic|, |fd|) > tol`.
+pub fn check_gradients(
+    ps: &mut ParamSet,
+    tol: f64,
+    mut build: impl FnMut(&mut Graph, &ParamSet) -> NodeId,
+) -> Vec<GradCheckReport> {
+    // Analytic pass.
+    let mut g = Graph::new();
+    let loss = build(&mut g, ps);
+    let mut store = GradStore::new(ps);
+    g.backward(loss, &mut store);
+    drop(g);
+
+    let h = 1e-5;
+    let ids: Vec<_> = ps.iter().map(|(id, name, _)| (id, name.to_string())).collect();
+    let mut reports = Vec::new();
+    for (id, name) in ids {
+        let (rows, cols) = ps.value(id).shape();
+        let analytic = store
+            .get(id)
+            .cloned()
+            .unwrap_or_else(|| Matrix::zeros(rows, cols));
+        let mut max_abs = 0.0f64;
+        let mut max_rel = 0.0f64;
+        for i in 0..rows {
+            for j in 0..cols {
+                let orig = ps.value(id).get(i, j);
+                ps.value_mut(id).set(i, j, orig + h);
+                let mut gp = Graph::new();
+                let lp = build(&mut gp, ps);
+                let plus = gp.value(lp).item();
+                drop(gp);
+                ps.value_mut(id).set(i, j, orig - h);
+                let mut gm = Graph::new();
+                let lm = build(&mut gm, ps);
+                let minus = gm.value(lm).item();
+                drop(gm);
+                ps.value_mut(id).set(i, j, orig);
+
+                let fd = (plus - minus) / (2.0 * h);
+                let a = analytic.get(i, j);
+                let abs = (fd - a).abs();
+                let rel = abs / a.abs().max(fd.abs()).max(1.0);
+                max_abs = max_abs.max(abs);
+                max_rel = max_rel.max(rel);
+                assert!(
+                    rel <= tol,
+                    "gradient mismatch for {name}[{i},{j}]: analytic={a}, finite-diff={fd}"
+                );
+            }
+        }
+        reports.push(GradCheckReport { param_name: name, max_abs_err: max_abs, max_rel_err: max_rel });
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seeded(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn matmul_add_sigmoid_chain() {
+        let mut rng = seeded(1);
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", init::xavier(&mut rng, 3, 4));
+        let b = ps.add("b", init::uniform(&mut rng, 1, 4, 0.5));
+        let x = init::uniform(&mut rng, 2, 3, 1.0);
+        let t = init::uniform(&mut rng, 2, 4, 1.0).map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        check_gradients(&mut ps, 1e-5, |g, ps| {
+            let xn = g.constant(x.clone());
+            let wn = g.param(ps, w);
+            let bn = g.param(ps, b);
+            let z = g.matmul(xn, wn);
+            let z = g.add_row(z, bn);
+            g.bce_with_logits(z, &t)
+        });
+    }
+
+    #[test]
+    fn tanh_relu_exp_ln_ops() {
+        let mut rng = seeded(2);
+        let mut ps = ParamSet::new();
+        // Keep values away from relu kink and ln clamp.
+        let w = ps.add("w", init::uniform(&mut rng, 2, 3, 1.0).map(|v| v + 2.5));
+        check_gradients(&mut ps, 1e-5, |g, ps| {
+            let wn = g.param(ps, w);
+            let t = g.tanh(wn);
+            let r = g.relu(wn);
+            let e = g.exp(t);
+            let l = g.ln(wn);
+            let s1 = g.add(e, l);
+            let s2 = g.add(s1, r);
+            g.mean_all(s2)
+        });
+    }
+
+    #[test]
+    fn softmax_and_mulcol_and_dotrows() {
+        let mut rng = seeded(3);
+        let mut ps = ParamSet::new();
+        let a = ps.add("a", init::uniform(&mut rng, 3, 4, 1.5));
+        let c = ps.add("c", init::uniform(&mut rng, 3, 1, 1.0));
+        let b = ps.add("b", init::uniform(&mut rng, 3, 4, 1.0));
+        check_gradients(&mut ps, 1e-5, |g, ps| {
+            let an = g.param(ps, a);
+            let cn = g.param(ps, c);
+            let bn = g.param(ps, b);
+            let sm = g.softmax_rows(an);
+            let wc = g.mul_col(sm, cn);
+            let d = g.dot_rows(wc, bn);
+            g.sum_all(d)
+        });
+    }
+
+    #[test]
+    fn select_rows_and_embed_bag() {
+        let mut rng = seeded(4);
+        let mut ps = ParamSet::new();
+        let e = ps.add("emb", init::uniform(&mut rng, 5, 3, 1.0));
+        let bags = vec![vec![0usize, 2, 2], vec![4], vec![]];
+        check_gradients(&mut ps, 1e-5, |g, ps| {
+            let en = g.param(ps, e);
+            let sel = g.select_rows(en, &[1, 3, 1]);
+            let bag = g.embed_bag(en, &bags, true);
+            let both = g.vstack(&[sel, bag]);
+            let sq = g.mul(both, both);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn l1_and_acyclicity() {
+        let mut rng = seeded(5);
+        let mut ps = ParamSet::new();
+        // Off-diagonal-ish values away from 0 so |x| is differentiable.
+        let w = ps.add(
+            "w",
+            init::uniform(&mut rng, 4, 4, 0.4).map(|v| if v.abs() < 0.05 { 0.1 } else { v }),
+        );
+        check_gradients(&mut ps, 1e-4, |g, ps| {
+            let wn = g.param(ps, w);
+            let l1 = g.l1(wn);
+            let h = g.acyclicity(wn);
+            let h2 = g.mul(h, h);
+            let l1s = g.scale(l1, 0.3);
+            g.add(h2, l1s)
+        });
+    }
+
+    #[test]
+    fn layer_norm_and_transpose_concat() {
+        let mut rng = seeded(6);
+        let mut ps = ParamSet::new();
+        let x = ps.add("x", init::uniform(&mut rng, 3, 4, 1.0));
+        let gamma = ps.add("gamma", init::uniform(&mut rng, 1, 4, 0.5).map(|v| v + 1.0));
+        let beta = ps.add("beta", init::uniform(&mut rng, 1, 4, 0.2));
+        check_gradients(&mut ps, 1e-4, |g, ps| {
+            let xn = g.param(ps, x);
+            let gn = g.param(ps, gamma);
+            let bn = g.param(ps, beta);
+            let ln = g.layer_norm_rows(xn, gn, bn);
+            let xt = g.transpose(xn);
+            let xtt = g.transpose(xt);
+            let cat = g.concat_cols(ln, xtt);
+            let sq = g.mul(cat, cat);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn mse_and_row_sums_and_scale() {
+        let mut rng = seeded(7);
+        let mut ps = ParamSet::new();
+        let x = ps.add("x", init::uniform(&mut rng, 2, 5, 1.0));
+        let target = init::uniform(&mut rng, 2, 1, 1.0);
+        check_gradients(&mut ps, 1e-5, |g, ps| {
+            let xn = g.param(ps, x);
+            let rs = g.row_sums(xn);
+            let sc = g.scale(rs, 0.7);
+            g.mse_loss(sc, &target)
+        });
+    }
+
+    #[test]
+    fn sub_neg_add_scalar() {
+        let mut rng = seeded(8);
+        let mut ps = ParamSet::new();
+        let a = ps.add("a", init::uniform(&mut rng, 2, 2, 1.0));
+        let b = ps.add("b", init::uniform(&mut rng, 2, 2, 1.0));
+        check_gradients(&mut ps, 1e-5, |g, ps| {
+            let an = g.param(ps, a);
+            let bn = g.param(ps, b);
+            let d = g.sub(an, bn);
+            let n = g.neg(d);
+            let s = g.add_scalar(n, 0.3);
+            let sq = g.mul(s, s);
+            g.sum_all(sq)
+        });
+    }
+}
+
+#[cfg(test)]
+mod div_scalar_tests {
+    use super::check_gradients;
+    use crate::init;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn div_scalar_gradients() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut ps = crate::ParamSet::new();
+        let a = ps.add("a", init::uniform(&mut rng, 2, 3, 1.0));
+        // Keep the divisor away from zero.
+        let s = ps.add("s", init::uniform(&mut rng, 1, 1, 0.3).map(|v| v + 2.0));
+        check_gradients(&mut ps, 1e-4, |g, ps| {
+            let an = g.param(ps, a);
+            let sn = g.param(ps, s);
+            let d = g.div_scalar(an, sn);
+            let sq = g.mul(d, d);
+            g.sum_all(sq)
+        });
+    }
+}

@@ -1,0 +1,756 @@
+//! Eager, arena-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a tape of nodes created eagerly: every op computes its
+//! value immediately and records its inputs. Node ids are strictly
+//! increasing, so the reverse sweep in [`Graph::backward`] can simply walk
+//! ids from high to low — inputs are always visited after their consumers.
+//!
+//! Values are held behind `Rc<Matrix>` so parameter matrices are shared with
+//! the [`crate::param::ParamSet`] rather than cloned on every training step.
+
+use std::rc::Rc;
+
+use crate::linalg;
+use crate::matrix::Matrix;
+use crate::param::{GradStore, ParamId, ParamSet};
+
+/// Identifier of a node in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+/// The operation that produced a node.
+#[derive(Debug)]
+enum Op {
+    /// A constant or parameter leaf; `param` links back into the `ParamSet`.
+    Leaf { param: Option<usize> },
+    MatMul(NodeId, NodeId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    /// `a (m×n) + row (1×n)` broadcast over rows.
+    AddRow(NodeId, NodeId),
+    /// `a (m×n) ∘ col (m×1)` broadcast over columns.
+    MulCol(NodeId, NodeId),
+    Scale(NodeId, f64),
+    AddScalar(NodeId),
+    Sigmoid(NodeId),
+    Tanh(NodeId),
+    Relu(NodeId),
+    Exp(NodeId),
+    Ln(NodeId),
+    Transpose(NodeId),
+    SoftmaxRows(NodeId),
+    SumAll(NodeId),
+    MeanAll(NodeId),
+    /// Row-wise sums: `m×n -> m×1`.
+    RowSums(NodeId),
+    ConcatCols(NodeId, NodeId),
+    VStack(Vec<NodeId>),
+    SelectRows { x: NodeId, indices: Vec<usize> },
+    /// Sum (or mean) of embedding rows per bag: `emb (V×d)`, `bags` of row
+    /// indices, output `bags.len() × d`.
+    EmbedBag { emb: NodeId, bags: Vec<Vec<usize>>, mean: bool },
+    /// Row-wise dot product of two same-shaped matrices: `m×n, m×n -> m×1`.
+    DotRows(NodeId, NodeId),
+    /// Mean binary-cross-entropy with logits against constant targets.
+    BceWithLogits { logits: NodeId, targets: Matrix },
+    /// Mean squared error against a constant target.
+    MseLoss { x: NodeId, target: Matrix },
+    /// Sum of absolute values (L1 penalty).
+    L1(NodeId),
+    /// Element-wise division of `a` by a `1×1` scalar node.
+    DivScalar(NodeId, NodeId),
+    /// NOTEARS acyclicity `tr(e^{W∘W}) − n`.
+    Acyclicity(NodeId),
+    LayerNormRows { x: NodeId, gamma: NodeId, beta: NodeId, eps: f64 },
+}
+
+struct Node {
+    value: Rc<Matrix>,
+    op: Op,
+}
+
+/// Reverse-mode autodiff tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph { nodes: Vec::with_capacity(256) }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// Shape of a node's value.
+    pub fn shape(&self, id: NodeId) -> (usize, usize) {
+        self.nodes[id.0].value.shape()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        self.nodes.push(Node { value: Rc::new(value), op });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// A constant leaf (no gradient flows back to the caller's matrix).
+    pub fn constant(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Leaf { param: None })
+    }
+
+    /// A constant scalar leaf.
+    pub fn scalar(&mut self, v: f64) -> NodeId {
+        self.constant(Matrix::scalar(v))
+    }
+
+    /// A parameter leaf sharing storage with `ps[id]`; gradients for it are
+    /// collected into the [`GradStore`] passed to [`Graph::backward`].
+    pub fn param(&mut self, ps: &ParamSet, id: ParamId) -> NodeId {
+        let rc = ps.value_rc(id);
+        self.nodes.push(Node { value: rc, op: Op::Leaf { param: Some(id.index()) } });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Broadcast-add a `1×n` row vector to every row of `a`.
+    pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let (m, n) = self.shape(a);
+        assert_eq!(self.shape(row), (1, n), "add_row expects 1x{n}");
+        let rv = self.value(row).row(0).to_vec();
+        let av = self.value(a);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            for (o, (&x, &r)) in out.row_mut(i).iter_mut().zip(av.row(i).iter().zip(rv.iter())) {
+                *o = x + r;
+            }
+        }
+        self.push(out, Op::AddRow(a, row))
+    }
+
+    /// Broadcast-multiply each row `i` of `a (m×n)` by `col[i] (m×1)`.
+    pub fn mul_col(&mut self, a: NodeId, col: NodeId) -> NodeId {
+        let (m, n) = self.shape(a);
+        assert_eq!(self.shape(col), (m, 1), "mul_col expects {m}x1");
+        let av = self.value(a);
+        let cv = self.value(col);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let c = cv.get(i, 0);
+            for (o, &x) in out.row_mut(i).iter_mut().zip(av.row(i).iter()) {
+                *o = x * c;
+            }
+        }
+        self.push(out, Op::MulCol(a, col))
+    }
+
+    pub fn scale(&mut self, a: NodeId, c: f64) -> NodeId {
+        let v = self.value(a).scale(c);
+        self.push(v, Op::Scale(a, c))
+    }
+
+    pub fn add_scalar(&mut self, a: NodeId, c: f64) -> NodeId {
+        let v = self.value(a).map(|x| x + c);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    pub fn neg(&mut self, a: NodeId) -> NodeId {
+        self.scale(a, -1.0)
+    }
+
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(stable_sigmoid);
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f64::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    pub fn exp(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f64::exp);
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Natural log; inputs are clamped to `1e-12` for safety.
+    pub fn ln(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x.max(1e-12).ln());
+        self.push(v, Op::Ln(a))
+    }
+
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Numerically-stable softmax applied independently to each row.
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let av = self.value(a);
+        let (m, n) = av.shape();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let row = av.row(i);
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut denom = 0.0;
+            let orow = out.row_mut(i);
+            for (o, &x) in orow.iter_mut().zip(row.iter()) {
+                *o = (x - max).exp();
+                denom += *o;
+            }
+            for o in orow.iter_mut() {
+                *o /= denom;
+            }
+        }
+        self.push(out, Op::SoftmaxRows(a))
+    }
+
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let v = Matrix::scalar(self.value(a).sum());
+        self.push(v, Op::SumAll(a))
+    }
+
+    pub fn mean_all(&mut self, a: NodeId) -> NodeId {
+        let v = Matrix::scalar(self.value(a).mean());
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Row-wise sums: `m×n -> m×1`.
+    pub fn row_sums(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).sum_cols();
+        self.push(v, Op::RowSums(a))
+    }
+
+    pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = Matrix::hstack(&[self.value(a), self.value(b)]);
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Stack nodes vertically (all must share a column count).
+    pub fn vstack(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "vstack of nothing");
+        let mats: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Matrix::vstack(&mats);
+        self.push(v, Op::VStack(parts.to_vec()))
+    }
+
+    /// Gather rows of `x` by index (duplicates allowed); used for embedding
+    /// lookup.
+    pub fn select_rows(&mut self, x: NodeId, indices: &[usize]) -> NodeId {
+        let v = self.value(x).select_rows(indices);
+        self.push(v, Op::SelectRows { x, indices: indices.to_vec() })
+    }
+
+    /// Sum (`mean=false`) or average (`mean=true`) of embedding rows per bag;
+    /// the multi-hot input encoding of the paper. Empty bags yield zero rows.
+    pub fn embed_bag(&mut self, emb: NodeId, bags: &[Vec<usize>], mean: bool) -> NodeId {
+        let ev = self.value(emb);
+        let d = ev.cols();
+        let mut out = Matrix::zeros(bags.len(), d);
+        for (r, bag) in bags.iter().enumerate() {
+            if bag.is_empty() {
+                continue;
+            }
+            let scale = if mean { 1.0 / bag.len() as f64 } else { 1.0 };
+            let orow = out.row_mut(r);
+            for &idx in bag {
+                for (o, &e) in orow.iter_mut().zip(ev.row(idx).iter()) {
+                    *o += e * scale;
+                }
+            }
+        }
+        self.push(out, Op::EmbedBag { emb, bags: bags.to_vec(), mean })
+    }
+
+    /// Row-wise dot product: `m×n, m×n -> m×1`.
+    pub fn dot_rows(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let av = self.value(a);
+        let bv = self.value(b);
+        assert_eq!(av.shape(), bv.shape(), "dot_rows shape mismatch");
+        let mut out = Matrix::zeros(av.rows(), 1);
+        for i in 0..av.rows() {
+            out.set(i, 0, av.row(i).iter().zip(bv.row(i)).map(|(&x, &y)| x * y).sum());
+        }
+        self.push(out, Op::DotRows(a, b))
+    }
+
+    /// Mean binary cross-entropy with logits:
+    /// `mean( max(x,0) − x·t + ln(1 + e^{−|x|}) )`.
+    pub fn bce_with_logits(&mut self, logits: NodeId, targets: &Matrix) -> NodeId {
+        let lv = self.value(logits);
+        assert_eq!(lv.shape(), targets.shape(), "bce target shape mismatch");
+        let mut total = 0.0;
+        for (&x, &t) in lv.data().iter().zip(targets.data().iter()) {
+            total += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+        }
+        let v = Matrix::scalar(total / lv.len() as f64);
+        self.push(v, Op::BceWithLogits { logits, targets: targets.clone() })
+    }
+
+    /// Mean squared error against a constant target.
+    pub fn mse_loss(&mut self, x: NodeId, target: &Matrix) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(xv.shape(), target.shape(), "mse target shape mismatch");
+        let mut total = 0.0;
+        for (&a, &b) in xv.data().iter().zip(target.data().iter()) {
+            total += (a - b) * (a - b);
+        }
+        let v = Matrix::scalar(total / xv.len() as f64);
+        self.push(v, Op::MseLoss { x, target: target.clone() })
+    }
+
+    /// Divide every element of `a` by the value of the `1×1` node `s`.
+    pub fn div_scalar(&mut self, a: NodeId, s: NodeId) -> NodeId {
+        assert_eq!(self.shape(s), (1, 1), "div_scalar divisor must be 1x1");
+        let sv = self.value(s).item();
+        assert!(sv != 0.0, "division by zero");
+        let v = self.value(a).scale(1.0 / sv);
+        self.push(v, Op::DivScalar(a, s))
+    }
+
+    /// Sum of absolute values, `||x||_1` as a scalar node.
+    pub fn l1(&mut self, a: NodeId) -> NodeId {
+        let v = Matrix::scalar(self.value(a).data().iter().map(|x| x.abs()).sum());
+        self.push(v, Op::L1(a))
+    }
+
+    /// NOTEARS acyclicity `h(W) = tr(e^{W∘W}) − n` as a scalar node.
+    pub fn acyclicity(&mut self, w: NodeId) -> NodeId {
+        let v = Matrix::scalar(linalg::acyclicity(self.value(w)));
+        self.push(v, Op::Acyclicity(w))
+    }
+
+    /// Layer normalization over each row with learnable gain/bias.
+    pub fn layer_norm_rows(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> NodeId {
+        let eps = 1e-5;
+        let xv = self.value(x);
+        let (m, n) = xv.shape();
+        assert_eq!(self.shape(gamma), (1, n), "layer_norm gamma must be 1x{n}");
+        assert_eq!(self.shape(beta), (1, n), "layer_norm beta must be 1x{n}");
+        let g = self.value(gamma).row(0).to_vec();
+        let b = self.value(beta).row(0).to_vec();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let row = xv.row(i);
+            let mu = row.iter().sum::<f64>() / n as f64;
+            let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / n as f64;
+            let inv = 1.0 / (var + eps).sqrt();
+            for j in 0..n {
+                out.set(i, j, (row[j] - mu) * inv * g[j] + b[j]);
+            }
+        }
+        self.push(out, Op::LayerNormRows { x, gamma, beta, eps })
+    }
+
+    /// Inverted dropout: multiplies by a random 0/(1/(1-p)) mask. Identity
+    /// when `p == 0`.
+    pub fn dropout<R: rand::Rng + ?Sized>(&mut self, x: NodeId, p: f64, rng: &mut R) -> NodeId {
+        if p <= 0.0 {
+            return x;
+        }
+        let (m, n) = self.shape(x);
+        let keep = 1.0 - p;
+        let mask = Matrix::from_fn(m, n, |_, _| {
+            if rng.gen::<f64>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let mask_node = self.constant(mask);
+        self.mul(x, mask_node)
+    }
+
+    /// Run the reverse sweep from a scalar `loss` node, accumulating
+    /// parameter gradients into `store`.
+    pub fn backward(&self, loss: NodeId, store: &mut GradStore) {
+        assert_eq!(self.shape(loss), (1, 1), "backward requires a scalar loss");
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::scalar(1.0));
+
+        for id in (0..=loss.0).rev() {
+            let grad = match grads[id].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            match &self.nodes[id].op {
+                Op::Leaf { param } => {
+                    if let Some(pid) = param {
+                        store.accumulate(*pid, &grad);
+                    }
+                }
+                Op::MatMul(a, b) => {
+                    let ga = grad.matmul_nt(self.value(*b));
+                    let gb = self.value(*a).matmul_tn(&grad);
+                    acc(&mut grads, *a, ga);
+                    acc(&mut grads, *b, gb);
+                }
+                Op::Add(a, b) => {
+                    acc(&mut grads, *a, grad.clone());
+                    acc(&mut grads, *b, grad);
+                }
+                Op::Sub(a, b) => {
+                    acc(&mut grads, *b, grad.scale(-1.0));
+                    acc(&mut grads, *a, grad);
+                }
+                Op::Mul(a, b) => {
+                    let ga = grad.hadamard(self.value(*b));
+                    let gb = grad.hadamard(self.value(*a));
+                    acc(&mut grads, *a, ga);
+                    acc(&mut grads, *b, gb);
+                }
+                Op::AddRow(a, row) => {
+                    acc(&mut grads, *row, grad.sum_rows());
+                    acc(&mut grads, *a, grad);
+                }
+                Op::MulCol(a, col) => {
+                    let av = self.value(*a);
+                    let cv = self.value(*col);
+                    let (m, n) = av.shape();
+                    let mut ga = Matrix::zeros(m, n);
+                    let mut gc = Matrix::zeros(m, 1);
+                    for i in 0..m {
+                        let c = cv.get(i, 0);
+                        let mut dsum = 0.0;
+                        for j in 0..n {
+                            ga.set(i, j, grad.get(i, j) * c);
+                            dsum += grad.get(i, j) * av.get(i, j);
+                        }
+                        gc.set(i, 0, dsum);
+                    }
+                    acc(&mut grads, *a, ga);
+                    acc(&mut grads, *col, gc);
+                }
+                Op::Scale(a, c) => acc(&mut grads, *a, grad.scale(*c)),
+                Op::AddScalar(a) => acc(&mut grads, *a, grad),
+                Op::Sigmoid(a) => {
+                    let y = self.value(NodeId(id));
+                    acc(&mut grads, *a, grad.zip_map(y, |g, y| g * y * (1.0 - y)));
+                }
+                Op::Tanh(a) => {
+                    let y = self.value(NodeId(id));
+                    acc(&mut grads, *a, grad.zip_map(y, |g, y| g * (1.0 - y * y)));
+                }
+                Op::Relu(a) => {
+                    let x = self.value(*a);
+                    acc(&mut grads, *a, grad.zip_map(x, |g, x| if x > 0.0 { g } else { 0.0 }));
+                }
+                Op::Exp(a) => {
+                    let y = self.value(NodeId(id));
+                    acc(&mut grads, *a, grad.hadamard(y));
+                }
+                Op::Ln(a) => {
+                    let x = self.value(*a);
+                    acc(&mut grads, *a, grad.zip_map(x, |g, x| g / x.max(1e-12)));
+                }
+                Op::Transpose(a) => acc(&mut grads, *a, grad.transpose()),
+                Op::SoftmaxRows(a) => {
+                    let y = self.value(NodeId(id));
+                    let (m, n) = y.shape();
+                    let mut gx = Matrix::zeros(m, n);
+                    for i in 0..m {
+                        let yr = y.row(i);
+                        let gr = grad.row(i);
+                        let dot: f64 = yr.iter().zip(gr.iter()).map(|(&y, &g)| y * g).sum();
+                        for j in 0..n {
+                            gx.set(i, j, yr[j] * (gr[j] - dot));
+                        }
+                    }
+                    acc(&mut grads, *a, gx);
+                }
+                Op::SumAll(a) => {
+                    let (m, n) = self.shape(*a);
+                    acc(&mut grads, *a, Matrix::full(m, n, grad.item()));
+                }
+                Op::MeanAll(a) => {
+                    let (m, n) = self.shape(*a);
+                    acc(&mut grads, *a, Matrix::full(m, n, grad.item() / (m * n) as f64));
+                }
+                Op::RowSums(a) => {
+                    let (m, n) = self.shape(*a);
+                    let mut gx = Matrix::zeros(m, n);
+                    for i in 0..m {
+                        let g = grad.get(i, 0);
+                        gx.row_mut(i).fill(g);
+                    }
+                    acc(&mut grads, *a, gx);
+                }
+                Op::ConcatCols(a, b) => {
+                    let (m, na) = self.shape(*a);
+                    let (_, nb) = self.shape(*b);
+                    let mut ga = Matrix::zeros(m, na);
+                    let mut gb = Matrix::zeros(m, nb);
+                    for i in 0..m {
+                        ga.row_mut(i).copy_from_slice(&grad.row(i)[..na]);
+                        gb.row_mut(i).copy_from_slice(&grad.row(i)[na..na + nb]);
+                    }
+                    acc(&mut grads, *a, ga);
+                    acc(&mut grads, *b, gb);
+                }
+                Op::VStack(parts) => {
+                    let mut offset = 0;
+                    for &p in parts {
+                        let (r, c) = self.shape(p);
+                        let mut gp = Matrix::zeros(r, c);
+                        for i in 0..r {
+                            gp.row_mut(i).copy_from_slice(grad.row(offset + i));
+                        }
+                        offset += r;
+                        acc(&mut grads, p, gp);
+                    }
+                }
+                Op::SelectRows { x, indices } => {
+                    let (m, n) = self.shape(*x);
+                    let mut gx = Matrix::zeros(m, n);
+                    for (r, &idx) in indices.iter().enumerate() {
+                        let grow = grad.row(r);
+                        for (o, &g) in gx.row_mut(idx).iter_mut().zip(grow.iter()) {
+                            *o += g;
+                        }
+                    }
+                    acc(&mut grads, *x, gx);
+                }
+                Op::EmbedBag { emb, bags, mean } => {
+                    let (m, n) = self.shape(*emb);
+                    let mut ge = Matrix::zeros(m, n);
+                    for (r, bag) in bags.iter().enumerate() {
+                        if bag.is_empty() {
+                            continue;
+                        }
+                        let scale = if *mean { 1.0 / bag.len() as f64 } else { 1.0 };
+                        let grow = grad.row(r);
+                        for &idx in bag {
+                            for (o, &g) in ge.row_mut(idx).iter_mut().zip(grow.iter()) {
+                                *o += g * scale;
+                            }
+                        }
+                    }
+                    acc(&mut grads, *emb, ge);
+                }
+                Op::DotRows(a, b) => {
+                    let av = self.value(*a);
+                    let bv = self.value(*b);
+                    let (m, n) = av.shape();
+                    let mut ga = Matrix::zeros(m, n);
+                    let mut gb = Matrix::zeros(m, n);
+                    for i in 0..m {
+                        let g = grad.get(i, 0);
+                        for j in 0..n {
+                            ga.set(i, j, g * bv.get(i, j));
+                            gb.set(i, j, g * av.get(i, j));
+                        }
+                    }
+                    acc(&mut grads, *a, ga);
+                    acc(&mut grads, *b, gb);
+                }
+                Op::BceWithLogits { logits, targets } => {
+                    let lv = self.value(*logits);
+                    let scale = grad.item() / lv.len() as f64;
+                    let gx = lv.zip_map(targets, |x, t| (stable_sigmoid(x) - t) * scale);
+                    acc(&mut grads, *logits, gx);
+                }
+                Op::MseLoss { x, target } => {
+                    let xv = self.value(*x);
+                    let scale = 2.0 * grad.item() / xv.len() as f64;
+                    let gx = xv.zip_map(target, |a, b| (a - b) * scale);
+                    acc(&mut grads, *x, gx);
+                }
+                Op::L1(a) => {
+                    let x = self.value(*a);
+                    let g = grad.item();
+                    acc(&mut grads, *a, x.map(|v| g * sign(v)));
+                }
+                Op::DivScalar(a, s) => {
+                    let sv = self.value(*s).item();
+                    let av = self.value(*a);
+                    acc(&mut grads, *a, grad.scale(1.0 / sv));
+                    // d/ds (a/s) = -a/s²; reduce with the upstream grad.
+                    let ds: f64 = grad
+                        .data()
+                        .iter()
+                        .zip(av.data())
+                        .map(|(&g, &x)| -g * x / (sv * sv))
+                        .sum();
+                    acc(&mut grads, *s, Matrix::scalar(ds));
+                }
+                Op::Acyclicity(w) => {
+                    let (_, dh) = linalg::acyclicity_with_grad(self.value(*w));
+                    acc(&mut grads, *w, dh.scale(grad.item()));
+                }
+                Op::LayerNormRows { x, gamma, beta, eps } => {
+                    let xv = self.value(*x);
+                    let (m, n) = xv.shape();
+                    let g = self.value(*gamma).row(0).to_vec();
+                    let mut gx = Matrix::zeros(m, n);
+                    let mut gg = Matrix::zeros(1, n);
+                    let mut gb = Matrix::zeros(1, n);
+                    for i in 0..m {
+                        let row = xv.row(i);
+                        let mu = row.iter().sum::<f64>() / n as f64;
+                        let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / n as f64;
+                        let inv = 1.0 / (var + eps).sqrt();
+                        let xhat: Vec<f64> = row.iter().map(|&v| (v - mu) * inv).collect();
+                        let gy = grad.row(i);
+                        // Gradients of gamma/beta accumulate across rows.
+                        for j in 0..n {
+                            gg.data_mut()[j] += gy[j] * xhat[j];
+                            gb.data_mut()[j] += gy[j];
+                        }
+                        // dxhat = gy * gamma; dx = inv*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat))
+                        let dxhat: Vec<f64> = (0..n).map(|j| gy[j] * g[j]).collect();
+                        let mean_dxhat = dxhat.iter().sum::<f64>() / n as f64;
+                        let mean_dxhat_xhat =
+                            dxhat.iter().zip(xhat.iter()).map(|(&a, &b)| a * b).sum::<f64>() / n as f64;
+                        for j in 0..n {
+                            gx.set(i, j, inv * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat));
+                        }
+                    }
+                    acc(&mut grads, *x, gx);
+                    acc(&mut grads, *gamma, gg);
+                    acc(&mut grads, *beta, gb);
+                }
+            }
+        }
+    }
+}
+
+/// Accumulate `g` into the gradient slot for `id`.
+fn acc(grads: &mut [Option<Matrix>], id: NodeId, g: Matrix) {
+    match &mut grads[id.0] {
+        Some(existing) => existing.add_scaled(&g, 1.0),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[inline]
+fn sign(v: f64) -> f64 {
+    if v > 0.0 {
+        1.0
+    } else if v < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+/// Sigmoid that does not overflow for large negative inputs.
+#[inline]
+pub fn stable_sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamSet;
+
+    #[test]
+    fn forward_values_compose() {
+        let mut g = Graph::new();
+        let a = g.constant(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = g.constant(Matrix::from_vec(2, 2, vec![0.5, -1.0, 1.0, 0.0]));
+        let c = g.matmul(a, b); // [1*0.5+2*1, -1] = [2.5, -1]
+        assert_eq!(g.value(c), &Matrix::from_vec(1, 2, vec![2.5, -1.0]));
+        let s = g.sigmoid(c);
+        assert!((g.value(s).get(0, 0) - stable_sigmoid(2.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_simple_chain() {
+        // loss = mean((W x)^2-ish) — check dW by hand on a 1x1 case:
+        // w=3, x=2 (const), y=w*x=6, loss = sum(y*y) has dy = 2y = 12, dw = 12*x = 24.
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Matrix::scalar(3.0));
+        let mut g = Graph::new();
+        let wn = g.param(&ps, w);
+        let x = g.constant(Matrix::scalar(2.0));
+        let y = g.mul(wn, x);
+        let y2 = g.mul(y, y);
+        let loss = g.sum_all(y2);
+        let mut store = GradStore::new(&ps);
+        g.backward(loss, &mut store);
+        assert!((store.get(w).unwrap().item() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]));
+        let y = g.softmax_rows(x);
+        for i in 0..2 {
+            let s: f64 = g.value(y).row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn embed_bag_sums_rows() {
+        let mut g = Graph::new();
+        let e = g.constant(Matrix::from_vec(3, 2, vec![1.0, 2.0, 10.0, 20.0, 100.0, 200.0]));
+        let b = g.embed_bag(e, &[vec![0, 2], vec![], vec![1]], false);
+        assert_eq!(g.value(b).row(0), &[101.0, 202.0]);
+        assert_eq!(g.value(b).row(1), &[0.0, 0.0]);
+        assert_eq!(g.value(b).row(2), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn bce_matches_hand_computation() {
+        let mut g = Graph::new();
+        let logits = g.constant(Matrix::from_vec(1, 2, vec![0.0, 2.0]));
+        let t = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let loss = g.bce_with_logits(logits, &t);
+        // -ln(sigmoid(0)) = ln 2; -ln(1-sigmoid(2)) = ln(1+e^2)
+        let expected = ((2.0f64).ln() + (1.0 + 2.0f64.exp()).ln()) / 2.0;
+        assert!((g.value(loss).item() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::ones(2, 2));
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let y = g.dropout(x, 0.0, &mut rng);
+        assert_eq!(x, y);
+    }
+}

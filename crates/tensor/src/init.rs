@@ -1,0 +1,90 @@
+//! Seeded weight initializers.
+//!
+//! All initializers take an explicit `Rng` so that every experiment in the
+//! repository is reproducible from a single seed.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use rand_distr_lite::StandardNormalLite;
+
+/// Uniform initialization in `[-limit, limit]`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, limit: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+}
+
+/// Xavier/Glorot uniform initialization: `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f64).sqrt();
+    uniform(rng, rows, cols, limit)
+}
+
+/// Gaussian initialization with the given standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, std: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| StandardNormalLite.sample(rng) * std)
+}
+
+/// He/Kaiming normal initialization: `std = sqrt(2 / fan_in)`.
+pub fn he<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    normal(rng, rows, cols, (2.0 / rows as f64).sqrt())
+}
+
+/// Minimal standard-normal sampler (Box–Muller) so we do not need the
+/// `rand_distr` crate.
+mod rand_distr_lite {
+    use rand::Rng;
+
+    pub struct StandardNormalLite;
+
+    impl StandardNormalLite {
+        pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Box–Muller transform; `u1` is kept away from 0 so ln is finite.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        }
+    }
+}
+
+/// Re-export for other crates that need Gaussian noise without `rand_distr`.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    StandardNormalLite.sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = uniform(&mut rng, 20, 20, 0.5);
+        assert!(m.data().iter().all(|&v| (-0.5..=0.5).contains(&v)));
+    }
+
+    #[test]
+    fn xavier_limit_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let big = xavier(&mut rng, 1000, 1000, );
+        assert!(big.max_abs() <= (6.0f64 / 2000.0).sqrt() + 1e-12);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = normal(&mut rng, 100, 100, 2.0);
+        let mean = m.mean();
+        let var = m.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>()
+            / (m.len() - 1) as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier(&mut StdRng::seed_from_u64(3), 4, 4);
+        let b = xavier(&mut StdRng::seed_from_u64(3), 4, 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,526 @@
+//! Dense, row-major `f64` matrix with the kernels the autodiff layer needs.
+//!
+//! The matrix is deliberately simple: a `Vec<f64>` plus a shape. All hot
+//! kernels (matmul and friends) use `ikj` loop order over row slices so the
+//! inner loop is a contiguous saxpy the compiler can vectorize.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f64` values.
+///
+/// ```
+/// use causer_tensor::Matrix;
+/// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Matrix::eye(2);
+/// assert_eq!(a.matmul(&b), a);
+/// assert_eq!(a.trace(), 5.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![1.0; rows * cols] }
+    }
+
+    /// Create a matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector. Panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape {rows}x{cols} needs {} values", rows * cols);
+        Matrix { rows, cols, data }
+    }
+
+    /// Build element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// A 1x1 matrix holding a scalar.
+    pub fn scalar(v: f64) -> Self {
+        Matrix::from_vec(1, 1, vec![v])
+    }
+
+    /// A 1xN row vector from a slice.
+    pub fn row_vector(v: &[f64]) -> Self {
+        Matrix::from_vec(1, v.len(), v.to_vec())
+    }
+
+    /// An Nx1 column vector from a slice.
+    pub fn col_vector(v: &[f64]) -> Self {
+        Matrix::from_vec(v.len(), 1, v.to_vec())
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read the underlying row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying buffer.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Borrow row `i` mutably.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        let c = self.cols;
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    /// Extract column `j` as a `Vec`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// The scalar held by a 1x1 matrix.
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 matrix");
+        self.data[0]
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * rhs` without materializing the transpose.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn shape mismatch");
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = rhs.row(k);
+            for (i, &a_ki) in a_row.iter().enumerate() {
+                if a_ki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ki * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * rhs^T` without materializing the transpose.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt shape mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise map in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise combination of two same-shaped matrices.
+    pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "zip_map shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += alpha * rhs` (same shape).
+    pub fn add_scaled(&mut self, rhs: &Matrix, alpha: f64) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise sum of two matrices.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a * b)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, alpha: f64) -> Matrix {
+        self.map(|v| v * alpha)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "trace requires a square matrix");
+        (0..self.rows).map(|i| self.data[i * self.cols + i]).sum()
+    }
+
+    /// Maximum absolute element (infinity "norm" over elements).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute column sum (induced 1-norm).
+    pub fn norm_1(&self) -> f64 {
+        let mut best = 0.0f64;
+        for j in 0..self.cols {
+            let s: f64 = (0..self.rows).map(|i| self.get(i, j).abs()).sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// Sum each column, producing a `1 x cols` row vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for (o, &v) in out.data.iter_mut().zip(r.iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Sum each row, producing a `rows x 1` column vector.
+    pub fn sum_cols(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, 1);
+        for i in 0..self.rows {
+            out.data[i] = self.row(i).iter().sum();
+        }
+        out
+    }
+
+    /// Stack rows of `mats` vertically. All inputs must share a column count.
+    pub fn vstack(mats: &[&Matrix]) -> Matrix {
+        assert!(!mats.is_empty(), "vstack of nothing");
+        let cols = mats[0].cols;
+        let rows: usize = mats.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in mats {
+            assert_eq!(m.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Concatenate horizontally. All inputs must share a row count.
+    pub fn hstack(mats: &[&Matrix]) -> Matrix {
+        assert!(!mats.is_empty(), "hstack of nothing");
+        let rows = mats[0].rows;
+        let cols: usize = mats.iter().map(|m| m.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut offset = 0;
+        for m in mats {
+            assert_eq!(m.rows, rows, "hstack row mismatch");
+            for i in 0..rows {
+                out.data[i * cols + offset..i * cols + offset + m.cols]
+                    .copy_from_slice(m.row(i));
+            }
+            offset += m.cols;
+        }
+        out
+    }
+
+    /// Copy of the selected rows, in the given order (duplicates allowed).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (r, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "row index {idx} out of bounds ({})", self.rows);
+            out.row_mut(r).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Indices of the `k` largest values in a slice, descending, ties by index.
+    pub fn top_k_indices(values: &[f64], k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by(|&a, &b| {
+            values[b].partial_cmp(&values[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(10) {
+                write!(f, "{:>9.4} ", self.get(i, j))?;
+            }
+            writeln!(f, "{}", if self.cols > 10 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_hand_computed() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        assert_eq!(a.matmul(&Matrix::eye(4)), a);
+        assert_eq!(Matrix::eye(4).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_variants_agree_with_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i + 1) as f64 * 0.3 - j as f64 * 0.7);
+        let b = Matrix::from_fn(3, 5, |i, j| (j + 1) as f64 * 0.2 + i as f64);
+        let tn = a.matmul_tn(&b);
+        let expected = a.transpose().matmul(&b);
+        assert_eq!(tn.shape(), (4, 5));
+        for (x, y) in tn.data().iter().zip(expected.data().iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        let c = Matrix::from_fn(5, 4, |i, j| i as f64 - j as f64 * 0.1);
+        let nt = a.matmul_nt(&c);
+        let expected = a.matmul(&c.transpose());
+        for (x, y) in nt.data().iter().zip(expected.data().iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(a.sum(), -2.0);
+        assert_eq!(a.mean(), -0.5);
+        assert_eq!(a.trace(), -3.0);
+        assert_eq!(a.max_abs(), 4.0);
+        assert!((a.frobenius_norm() - 30.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(a.norm_1(), 6.0);
+        assert_eq!(a.sum_rows(), Matrix::from_vec(1, 2, vec![4.0, -6.0]));
+        assert_eq!(a.sum_cols(), Matrix::from_vec(2, 1, vec![-1.0, -1.0]));
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let v = Matrix::vstack(&[&a, &b]);
+        assert_eq!(v, Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let h = Matrix::hstack(&[&b, &b]);
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h.row(0), &[3.0, 4.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn select_rows_with_duplicates() {
+        let a = Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64);
+        let s = a.select_rows(&[3, 0, 3]);
+        assert_eq!(s.row(0), &[6.0, 7.0]);
+        assert_eq!(s.row(1), &[0.0, 1.0]);
+        assert_eq!(s.row(2), &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn top_k() {
+        let v = [0.1, 0.9, 0.3, 0.9, 0.0];
+        assert_eq!(Matrix::top_k_indices(&v, 3), vec![1, 3, 2]);
+        assert_eq!(Matrix::top_k_indices(&v, 0), Vec::<usize>::new());
+        assert_eq!(Matrix::top_k_indices(&v, 10).len(), 5);
+    }
+
+    #[test]
+    fn hadamard_and_scale() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![2.0, 0.5, -1.0, 0.0]);
+        assert_eq!(a.hadamard(&b), Matrix::from_vec(2, 2, vec![2.0, 1.0, -3.0, 0.0]));
+        assert_eq!(a.scale(-2.0), Matrix::from_vec(2, 2, vec![-2.0, -4.0, -6.0, -8.0]));
+    }
+}

@@ -1,0 +1,160 @@
+//! First-order optimizers over a [`ParamSet`].
+
+use crate::matrix::Matrix;
+use crate::param::{GradStore, ParamSet};
+
+/// Shared optimizer interface: consume the gradients in `grads` and update
+/// `params` in place. Implementations must skip frozen parameters and leave
+/// `grads` cleared for the next step.
+pub trait Optimizer {
+    fn step(&mut self, params: &mut ParamSet, grads: &mut GradStore);
+}
+
+/// Plain stochastic gradient descent with optional weight decay.
+pub struct Sgd {
+    pub lr: f64,
+    pub weight_decay: f64,
+}
+
+impl Sgd {
+    pub fn new(lr: f64) -> Self {
+        Sgd { lr, weight_decay: 0.0 }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamSet, grads: &mut GradStore) {
+        for index in 0..params.len() {
+            let Some(grad) = grads.take_by_index(index) else { continue };
+            if params.frozen_by_index(index) {
+                continue;
+            }
+            let id = crate::param::ParamId::from_index(index);
+            let wd = self.weight_decay;
+            let lr = self.lr;
+            let value = params.value_mut(id);
+            for (v, &g) in value.data_mut().iter_mut().zip(grad.data().iter()) {
+                *v -= lr * (g + wd * *v);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+pub struct Adam {
+    pub lr: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    pub weight_decay: f64,
+    /// Per-parameter first/second moment estimates, created lazily.
+    state: Vec<Option<(Matrix, Matrix)>>,
+    t: u64,
+}
+
+impl Adam {
+    pub fn new(lr: f64) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, state: Vec::new(), t: 0 }
+    }
+
+    /// Number of update steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamSet, grads: &mut GradStore) {
+        if self.state.len() < params.len() {
+            self.state.resize_with(params.len(), || None);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for index in 0..params.len() {
+            let Some(grad) = grads.take_by_index(index) else { continue };
+            if params.frozen_by_index(index) {
+                continue;
+            }
+            let id = crate::param::ParamId::from_index(index);
+            let (rows, cols) = params.value(id).shape();
+            let (m, v) = self.state[index]
+                .get_or_insert_with(|| (Matrix::zeros(rows, cols), Matrix::zeros(rows, cols)));
+            assert_eq!(m.shape(), grad.shape(), "parameter shape changed under Adam");
+            let (b1, b2, eps, lr, wd) = (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
+            let value = params.value_mut(id);
+            for i in 0..value.len() {
+                let g = grad.data()[i] + wd * value.data()[i];
+                let mi = b1 * m.data()[i] + (1.0 - b1) * g;
+                let vi = b2 * v.data()[i] + (1.0 - b2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                value.data_mut()[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::param::ParamSet;
+
+    /// Minimize (w - 3)^2 and check convergence.
+    fn run_quadratic(opt: &mut dyn Optimizer, iters: usize) -> f64 {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Matrix::scalar(0.0));
+        for _ in 0..iters {
+            let mut g = Graph::new();
+            let wn = g.param(&ps, w);
+            let diff = g.add_scalar(wn, -3.0);
+            let sq = g.mul(diff, diff);
+            let loss = g.sum_all(sq);
+            let mut gs = GradStore::new(&ps);
+            g.backward(loss, &mut gs);
+            opt.step(&mut ps, &mut gs);
+        }
+        ps.value(w).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = run_quadratic(&mut Sgd::new(0.1), 200);
+        assert!((w - 3.0).abs() < 1e-6, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = run_quadratic(&mut Adam::new(0.1), 500);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn frozen_parameter_is_not_updated() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Matrix::scalar(1.0));
+        ps.set_frozen(w, true);
+        let mut gs = GradStore::new(&ps);
+        gs.accumulate(w.index(), &Matrix::scalar(10.0));
+        let mut opt = Sgd::new(0.5);
+        opt.step(&mut ps, &mut gs);
+        assert_eq!(ps.value(w).item(), 1.0);
+    }
+
+    #[test]
+    fn adam_state_tracks_steps() {
+        let mut opt = Adam::new(0.01);
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Matrix::scalar(0.0));
+        for _ in 0..3 {
+            let mut gs = GradStore::new(&ps);
+            gs.accumulate(w.index(), &Matrix::scalar(1.0));
+            opt.step(&mut ps, &mut gs);
+        }
+        assert_eq!(opt.steps(), 3);
+        assert!(ps.value(w).item() < 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Named parameter storage shared between model code and optimizers.
+
+use std::rc::Rc;
+
+use crate::matrix::Matrix;
+
+/// Handle to a parameter inside a [`ParamSet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+impl ParamId {
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    pub(crate) fn from_index(index: usize) -> ParamId {
+        ParamId(index)
+    }
+}
+
+/// A set of named, trainable matrices.
+///
+/// Values are held behind `Rc` so that a [`Graph`](crate::graph::Graph) can
+/// reference them without cloning; the optimizer mutates them through
+/// [`Rc::make_mut`] once all graphs of the step have been dropped (so the
+/// mutation is in-place in the common case).
+#[derive(Default)]
+pub struct ParamSet {
+    values: Vec<Rc<Matrix>>,
+    names: Vec<String>,
+    /// Ids of parameters currently frozen (excluded from optimizer updates).
+    frozen: Vec<bool>,
+}
+
+impl ParamSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter; names must be unique.
+    pub fn add(&mut self, name: &str, value: Matrix) -> ParamId {
+        assert!(
+            !self.names.iter().any(|n| n == name),
+            "duplicate parameter name {name:?}"
+        );
+        self.values.push(Rc::new(value));
+        self.names.push(name.to_string());
+        self.frozen.push(false);
+        ParamId(self.values.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Look a parameter up by name.
+    pub fn id_of(&self, name: &str) -> Option<ParamId> {
+        self.names.iter().position(|n| n == name).map(ParamId)
+    }
+
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    pub(crate) fn value_rc(&self, id: ParamId) -> Rc<Matrix> {
+        Rc::clone(&self.values[id.0])
+    }
+
+    /// Mutable access (clones only if a graph still holds the value).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        Rc::make_mut(&mut self.values[id.0])
+    }
+
+    /// Overwrite a parameter value (shape may change).
+    pub fn set_value(&mut self, id: ParamId, value: Matrix) {
+        self.values[id.0] = Rc::new(value);
+    }
+
+    /// Freeze or unfreeze a parameter; frozen parameters are skipped by
+    /// optimizers (used for the paper's "slow update" efficiency mode).
+    pub fn set_frozen(&mut self, id: ParamId, frozen: bool) {
+        self.frozen[id.0] = frozen;
+    }
+
+    pub fn is_frozen(&self, id: ParamId) -> bool {
+        self.frozen[id.0]
+    }
+
+    pub(crate) fn frozen_by_index(&self, index: usize) -> bool {
+        self.frozen[index]
+    }
+
+    /// Iterate `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.values
+            .iter()
+            .zip(self.names.iter())
+            .enumerate()
+            .map(|(i, (v, n))| (ParamId(i), n.as_str(), v.as_ref()))
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(|v| v.len()).sum()
+    }
+}
+
+/// Gradient accumulator aligned with a [`ParamSet`].
+pub struct GradStore {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl GradStore {
+    pub fn new(ps: &ParamSet) -> Self {
+        GradStore { grads: (0..ps.len()).map(|_| None).collect() }
+    }
+
+    /// Add a gradient contribution for parameter index `pid`.
+    pub fn accumulate(&mut self, pid: usize, grad: &Matrix) {
+        match &mut self.grads[pid] {
+            Some(g) => g.add_scaled(grad, 1.0),
+            slot @ None => *slot = Some(grad.clone()),
+        }
+    }
+
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.grads[id.0].as_ref()
+    }
+
+    pub(crate) fn take_by_index(&mut self, index: usize) -> Option<Matrix> {
+        self.grads[index].take()
+    }
+
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// Drop all accumulated gradients.
+    pub fn clear(&mut self) {
+        for g in &mut self.grads {
+            *g = None;
+        }
+    }
+
+    /// Global L2 norm over all stored gradients.
+    pub fn global_norm(&self) -> f64 {
+        self.grads
+            .iter()
+            .flatten()
+            .map(|g| g.data().iter().map(|&v| v * v).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scale all gradients so the global norm is at most `max_norm`.
+    pub fn clip_global_norm(&mut self, max_norm: f64) {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in self.grads.iter_mut().flatten() {
+                g.map_inplace(|v| v * s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut ps = ParamSet::new();
+        let a = ps.add("a", Matrix::zeros(2, 2));
+        let b = ps.add("b", Matrix::ones(1, 3));
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.name(a), "a");
+        assert_eq!(ps.id_of("b"), Some(b));
+        assert_eq!(ps.id_of("missing"), None);
+        assert_eq!(ps.num_scalars(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        let mut ps = ParamSet::new();
+        ps.add("x", Matrix::zeros(1, 1));
+        ps.add("x", Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    fn grad_store_accumulates() {
+        let mut ps = ParamSet::new();
+        let a = ps.add("a", Matrix::zeros(1, 2));
+        let mut gs = GradStore::new(&ps);
+        gs.accumulate(a.index(), &Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        gs.accumulate(a.index(), &Matrix::from_vec(1, 2, vec![0.5, -1.0]));
+        assert_eq!(gs.get(a).unwrap(), &Matrix::from_vec(1, 2, vec![1.5, 1.0]));
+    }
+
+    #[test]
+    fn clip_global_norm_scales_down() {
+        let mut ps = ParamSet::new();
+        let a = ps.add("a", Matrix::zeros(1, 2));
+        let mut gs = GradStore::new(&ps);
+        gs.accumulate(a.index(), &Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        gs.clip_global_norm(1.0);
+        assert!((gs.global_norm() - 1.0).abs() < 1e-12);
+        // Direction preserved.
+        let g = gs.get(a).unwrap();
+        assert!((g.get(0, 0) / g.get(0, 1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn freeze_flags() {
+        let mut ps = ParamSet::new();
+        let a = ps.add("a", Matrix::zeros(1, 1));
+        assert!(!ps.is_frozen(a));
+        ps.set_frozen(a, true);
+        assert!(ps.is_frozen(a));
+    }
+}

@@ -1,0 +1,198 @@
+//! Exhaustive forward-shape and error-path coverage for every autodiff op.
+
+use causer_tensor::{Graph, GradStore, Matrix, ParamSet};
+
+fn g_with(m: Matrix) -> (Graph, causer_tensor::NodeId) {
+    let mut g = Graph::new();
+    let n = g.constant(m);
+    (g, n)
+}
+
+#[test]
+fn shapes_of_every_op() {
+    let mut g = Graph::new();
+    let a = g.constant(Matrix::from_fn(3, 4, |i, j| (i + j) as f64 * 0.1));
+    let b = g.constant(Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64 * 0.1));
+    let row = g.constant(Matrix::ones(1, 4));
+    let col = g.constant(Matrix::ones(3, 1));
+
+    { let t = g.matmul(a, b); assert_eq!(g.shape(t), (3, 2)); }
+    { let t = g.add_row(a, row); assert_eq!(g.shape(t), (3, 4)); }
+    { let t = g.mul_col(a, col); assert_eq!(g.shape(t), (3, 4)); }
+    { let t = g.transpose(a); assert_eq!(g.shape(t), (4, 3)); }
+    { let t = g.softmax_rows(a); assert_eq!(g.shape(t), (3, 4)); }
+    { let t = g.sum_all(a); assert_eq!(g.shape(t), (1, 1)); }
+    { let t = g.mean_all(a); assert_eq!(g.shape(t), (1, 1)); }
+    { let t = g.row_sums(a); assert_eq!(g.shape(t), (3, 1)); }
+    { let t = g.l1(a); assert_eq!(g.shape(t), (1, 1)); }
+    let c = g.constant(Matrix::from_fn(3, 4, |_, _| 0.5));
+    { let t = g.add(a, c); assert_eq!(g.shape(t), (3, 4)); }
+    { let t = g.sub(a, c); assert_eq!(g.shape(t), (3, 4)); }
+    { let t = g.mul(a, c); assert_eq!(g.shape(t), (3, 4)); }
+    { let t = g.concat_cols(a, c); assert_eq!(g.shape(t), (3, 8)); }
+    { let t = g.vstack(&[a, c]); assert_eq!(g.shape(t), (6, 4)); }
+    { let t = g.select_rows(a, &[2, 0]); assert_eq!(g.shape(t), (2, 4)); }
+    { let t = g.embed_bag(a, &[vec![0, 1], vec![]], false); assert_eq!(g.shape(t), (2, 4)); }
+    { let t = g.dot_rows(a, c); assert_eq!(g.shape(t), (3, 1)); }
+    for f in [Graph::sigmoid, Graph::tanh, Graph::relu, Graph::exp, Graph::ln] {
+        let y = f(&mut g, a);
+        assert_eq!(g.shape(y), (3, 4));
+    }
+    let sq = g.constant(Matrix::from_fn(4, 4, |i, j| if i < j { 0.3 } else { 0.0 }));
+    { let t = g.acyclicity(sq); assert_eq!(g.shape(t), (1, 1)); }
+}
+
+#[test]
+fn scalar_helpers() {
+    let mut g = Graph::new();
+    let s = g.scalar(2.5);
+    assert_eq!(g.value(s).item(), 2.5);
+    let t = g.add_scalar(s, -1.0);
+    assert_eq!(g.value(t).item(), 1.5);
+    let n = g.neg(t);
+    assert_eq!(g.value(n).item(), -1.5);
+    let sc = g.scale(n, 2.0);
+    assert_eq!(g.value(sc).item(), -3.0);
+}
+
+#[test]
+#[should_panic(expected = "matmul shape mismatch")]
+fn matmul_shape_mismatch_panics() {
+    let mut g = Graph::new();
+    let a = g.constant(Matrix::zeros(2, 3));
+    let b = g.constant(Matrix::zeros(2, 3));
+    let _ = g.matmul(a, b);
+}
+
+#[test]
+#[should_panic(expected = "add_row expects")]
+fn add_row_shape_mismatch_panics() {
+    let mut g = Graph::new();
+    let a = g.constant(Matrix::zeros(2, 3));
+    let r = g.constant(Matrix::zeros(1, 2));
+    let _ = g.add_row(a, r);
+}
+
+#[test]
+#[should_panic(expected = "backward requires a scalar loss")]
+fn backward_rejects_non_scalar() {
+    let mut ps = ParamSet::new();
+    let w = ps.add("w", Matrix::zeros(2, 2));
+    let mut g = Graph::new();
+    let wn = g.param(&ps, w);
+    let mut gs = GradStore::new(&ps);
+    g.backward(wn, &mut gs);
+}
+
+#[test]
+#[should_panic(expected = "row index")]
+fn select_rows_out_of_bounds_panics() {
+    let (mut g, a) = g_with(Matrix::zeros(2, 2));
+    let _ = g.select_rows(a, &[5]);
+}
+
+#[test]
+fn deep_chain_backward_is_stable() {
+    // 60 chained GRU-ish nonlinearity layers: gradients stay finite.
+    let mut ps = ParamSet::new();
+    let w = ps.add("w", Matrix::from_fn(4, 4, |i, j| if i == j { 0.9 } else { 0.01 }));
+    let mut g = Graph::new();
+    let wn = g.param(&ps, w);
+    let mut x = g.constant(Matrix::ones(1, 4));
+    for _ in 0..60 {
+        let y = g.matmul(x, wn);
+        x = g.tanh(y);
+    }
+    let sq = g.mul(x, x);
+    let loss = g.sum_all(sq);
+    let mut gs = GradStore::new(&ps);
+    g.backward(loss, &mut gs);
+    let grad = gs.get(w).unwrap();
+    assert!(grad.all_finite());
+}
+
+#[test]
+fn grad_accumulates_across_multiple_uses() {
+    // w used twice: gradient must be the sum of both paths.
+    let mut ps = ParamSet::new();
+    let w = ps.add("w", Matrix::scalar(3.0));
+    let mut g = Graph::new();
+    let wn = g.param(&ps, w);
+    let a = g.scale(wn, 2.0); // 2w
+    let b = g.scale(wn, 5.0); // 5w
+    let s = g.add(a, b); // 7w
+    let loss = g.sum_all(s);
+    let mut gs = GradStore::new(&ps);
+    g.backward(loss, &mut gs);
+    assert_eq!(gs.get(w).unwrap().item(), 7.0);
+}
+
+#[test]
+fn same_param_multiple_graphs_accumulate_in_store() {
+    let mut ps = ParamSet::new();
+    let w = ps.add("w", Matrix::scalar(1.0));
+    let mut gs = GradStore::new(&ps);
+    for _ in 0..3 {
+        let mut g = Graph::new();
+        let wn = g.param(&ps, w);
+        let loss = g.sum_all(wn);
+        g.backward(loss, &mut gs);
+    }
+    assert_eq!(gs.get(w).unwrap().item(), 3.0);
+}
+
+#[test]
+fn constants_receive_no_param_grads() {
+    let mut ps = ParamSet::new();
+    let w = ps.add("w", Matrix::scalar(1.0));
+    let mut g = Graph::new();
+    let c = g.constant(Matrix::scalar(10.0));
+    let wn = g.param(&ps, w);
+    let prod = g.mul(c, wn);
+    let loss = g.sum_all(prod);
+    let mut gs = GradStore::new(&ps);
+    g.backward(loss, &mut gs);
+    // Only one param; its grad is the constant's value.
+    assert_eq!(gs.get(w).unwrap().item(), 10.0);
+}
+
+#[test]
+fn embed_bag_mean_divides_by_bag_size() {
+    let mut g = Graph::new();
+    let e = g.constant(Matrix::from_vec(2, 1, vec![2.0, 4.0]));
+    let mean = g.embed_bag(e, &[vec![0, 1]], true);
+    assert_eq!(g.value(mean).get(0, 0), 3.0);
+    let sum = g.embed_bag(e, &[vec![0, 1]], false);
+    assert_eq!(g.value(sum).get(0, 0), 6.0);
+}
+
+#[test]
+fn dropout_scales_by_keep_probability() {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut g = Graph::new();
+    let x = g.constant(Matrix::ones(50, 50));
+    let mut rng = StdRng::seed_from_u64(3);
+    let y = g.dropout(x, 0.5, &mut rng);
+    // Inverted dropout: survivors are scaled ×2, so the mean stays ≈ 1.
+    let mean = g.value(y).mean();
+    assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+    let vals: std::collections::BTreeSet<u64> =
+        g.value(y).data().iter().map(|v| v.to_bits()).collect();
+    assert!(vals.len() <= 2, "only 0 and 2 should appear");
+}
+
+#[test]
+fn layer_norm_rows_zero_mean_unit_var() {
+    let mut g = Graph::new();
+    let x = g.constant(Matrix::from_fn(2, 8, |i, j| (i * 8 + j) as f64));
+    let gamma = g.constant(Matrix::ones(1, 8));
+    let beta = g.constant(Matrix::zeros(1, 8));
+    let y = g.layer_norm_rows(x, gamma, beta);
+    for i in 0..2 {
+        let row = g.value(y).row(i);
+        let mean: f64 = row.iter().sum::<f64>() / 8.0;
+        let var: f64 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / 8.0;
+        assert!(mean.abs() < 1e-10);
+        assert!((var - 1.0).abs() < 1e-3, "var {var}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the tensor substrate.
+
+use causer_tensor::{linalg, Graph, Matrix};
+use proptest::prelude::*;
+
+/// Strategy for a small matrix with bounded entries.
+fn matrix_strategy(rows: usize, cols: usize, bound: f64) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-bound..bound, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_identity_left_right(m in matrix_strategy(4, 4, 10.0)) {
+        let i = Matrix::eye(4);
+        let left = i.matmul(&m);
+        let right = m.matmul(&i);
+        for ((&a, &b), &c) in left.data().iter().zip(right.data()).zip(m.data()) {
+            prop_assert!((a - c).abs() < 1e-12);
+            prop_assert!((b - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in matrix_strategy(3, 4, 5.0),
+        b in matrix_strategy(4, 2, 5.0),
+        c in matrix_strategy(4, 2, 5.0),
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (&x, &y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(
+        a in matrix_strategy(3, 4, 5.0),
+        b in matrix_strategy(4, 2, 5.0),
+    ) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (&x, &y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_is_a_distribution(m in matrix_strategy(3, 5, 30.0)) {
+        let mut g = Graph::new();
+        let x = g.constant(m);
+        let y = g.softmax_rows(x);
+        let yv = g.value(y);
+        for i in 0..3 {
+            let row = yv.row(i);
+            prop_assert!(row.iter().all(|&v| v >= 0.0));
+            let s: f64 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn expm_of_zero_scaled(m in matrix_strategy(4, 4, 2.0)) {
+        // exp(A) * exp(-A) ≈ I for any A (they commute).
+        let e = linalg::expm(&m);
+        let einv = linalg::expm(&m.scale(-1.0));
+        let prod = e.matmul(&einv);
+        let i = Matrix::eye(4);
+        for (&x, &y) in prod.data().iter().zip(i.data()) {
+            prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn acyclicity_zero_iff_strictly_triangular(m in matrix_strategy(5, 5, 1.0)) {
+        // Zero the diagonal and lower triangle => DAG => h ≈ 0.
+        let dag = Matrix::from_fn(5, 5, |i, j| if j > i { m.get(i, j) } else { 0.0 });
+        prop_assert!(linalg::acyclicity(&dag).abs() < 1e-8);
+        // Nonzero diagonal (self-loop) => h > 0.
+        let mut looped = dag.clone();
+        looped.set(2, 2, 0.8);
+        prop_assert!(linalg::acyclicity(&looped) > 1e-6);
+    }
+
+    #[test]
+    fn acyclicity_monotone_under_cycle_strength(w in 0.1f64..1.5) {
+        let mut m = Matrix::zeros(3, 3);
+        m.set(0, 1, w);
+        m.set(1, 0, w);
+        let mut m2 = m.clone();
+        m2.set(0, 1, w + 0.5);
+        prop_assert!(linalg::acyclicity(&m2) > linalg::acyclicity(&m));
+    }
+
+    #[test]
+    fn bce_nonnegative_and_zero_at_perfect(m in matrix_strategy(2, 4, 8.0)) {
+        let mut g = Graph::new();
+        let x = g.constant(m.clone());
+        // Targets: 1 where logit > 0 — loss should be smallish; flip => larger.
+        let aligned = m.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let flipped = aligned.map(|v| 1.0 - v);
+        let la = g.bce_with_logits(x, &aligned);
+        let x2 = g.constant(m);
+        let lf = g.bce_with_logits(x2, &flipped);
+        prop_assert!(g.value(la).item() >= 0.0);
+        prop_assert!(g.value(lf).item() >= g.value(la).item());
+    }
+
+    #[test]
+    fn gradcheck_random_mlp(seed in 0u64..500) {
+        use causer_tensor::init;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = causer_tensor::ParamSet::new();
+        let w1 = ps.add("w1", init::xavier(&mut rng, 3, 4));
+        let b1 = ps.add("b1", init::uniform(&mut rng, 1, 4, 0.3));
+        let w2 = ps.add("w2", init::xavier(&mut rng, 4, 2));
+        let x = init::uniform(&mut rng, 2, 3, 1.0);
+        let t = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        causer_tensor::gradcheck::check_gradients(&mut ps, 1e-4, |g, ps| {
+            let xn = g.constant(x.clone());
+            let w1n = g.param(ps, w1);
+            let b1n = g.param(ps, b1);
+            let w2n = g.param(ps, w2);
+            let h = g.matmul(xn, w1n);
+            let h = g.add_row(h, b1n);
+            let h = g.tanh(h);
+            let z = g.matmul(h, w2n);
+            g.bce_with_logits(z, &t)
+        });
+    }
+}

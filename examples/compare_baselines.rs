@@ -1,0 +1,32 @@
+//! Head-to-head comparison on one dataset: every Table IV model trained and
+//! evaluated on the Epinions profile (small enough to run at the paper's
+//! full size), printed as a mini Table IV column.
+//!
+//! ```text
+//! cargo run --release --example compare_baselines
+//! ```
+
+use causer::eval::{dataset, run_cell, ExperimentScale, ModelKind, TextTable};
+use causer::data::DatasetKind;
+
+fn main() {
+    let scale = ExperimentScale { dataset_scale: 1.0, epochs: 10, eval_users: 400, seed: 42 };
+    let sim = dataset(DatasetKind::Epinions, &scale);
+    println!(
+        "Epinions profile at full Table II size: {} users × {} items",
+        sim.interactions.num_users, sim.interactions.num_items
+    );
+
+    let mut table = TextTable::new(&["Model", "F1@5 (%)", "NDCG@5 (%)", "fit (s)"]);
+    for kind in ModelKind::ALL {
+        eprint!("fitting {:<14}\r", kind.label());
+        let cell = run_cell(kind, &sim, &scale);
+        table.add_row(vec![
+            cell.model,
+            format!("{:.2}", cell.report.f1 * 100.0),
+            format!("{:.2}", cell.report.ndcg * 100.0),
+            format!("{:.1}", cell.fit_seconds),
+        ]);
+    }
+    println!("\n{}", table.render());
+}

@@ -1,0 +1,73 @@
+//! Explainable recommendation (§V-E): train Causer on a dataset with
+//! recorded generative causes, then print, for several held-out cases,
+//! which history items the model uses to explain its prediction — and
+//! whether they match the true causes.
+//!
+//! ```text
+//! cargo run --release --example explain_recommendations
+//! ```
+
+use causer::core::{CauserConfig, CauserRecommender, SeqRecommender, TrainConfig};
+use causer::data::{build_explanation_dataset, simulate, DatasetKind, DatasetProfile};
+use causer::metrics::explanation::top_indices;
+use causer::metrics::{evaluate_explanations, ExplanationSample};
+
+fn main() {
+    // Single-item steps so every sample is labeling-eligible.
+    let mut profile = DatasetProfile::paper(DatasetKind::Baby).scaled(0.1);
+    profile.p_basket = 0.0;
+    let sim = simulate(&profile, 11);
+    let split = sim.interactions.leave_last_out();
+
+    let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+    cfg.k = 5;
+    let mut model =
+        CauserRecommender::new(cfg, sim.features.clone(), TrainConfig { epochs: 10, ..Default::default() }, 3);
+    println!("training Causer (GRU) ...");
+    model.fit(&split);
+    let ic = model.model.inference_cache();
+
+    // Labeled explanation dataset (the paper hand-labeled 793 samples;
+    // the simulator records exact generative causes).
+    let labeled = build_explanation_dataset(&sim, 1000);
+    println!("labeled samples: {}", labeled.len());
+
+    // Aggregate explanation quality.
+    let samples: Vec<ExplanationSample> = labeled
+        .iter()
+        .map(|l| ExplanationSample {
+            scores: model.model.explanation_scores(&ic, l.user, &l.history, l.target),
+            true_causes: l.cause_positions.iter().copied().collect(),
+        })
+        .collect();
+    let rep = evaluate_explanations(&samples, 3);
+    println!(
+        "explanation quality over {} samples: F1@3 = {:.2}%, NDCG@3 = {:.2}%\n",
+        rep.num_samples,
+        rep.f1 * 100.0,
+        rep.ndcg * 100.0
+    );
+
+    // A few concrete cases.
+    for l in labeled.iter().take(5) {
+        let scores = model.model.explanation_scores(&ic, l.user, &l.history, l.target);
+        let top = top_indices(&scores, 1);
+        println!(
+            "user {:>5} target item#{:<5} history {:?}",
+            l.user,
+            l.target,
+            l.history
+        );
+        println!(
+            "  model explains with position {:?} (score {:.3}); labeled causes {:?} -> {}",
+            top,
+            top.first().map(|&t| scores[t]).unwrap_or(0.0),
+            l.cause_positions,
+            if top.first().map(|t| l.cause_positions.contains(t)).unwrap_or(false) {
+                "✓ causal"
+            } else {
+                "✗ not causal"
+            }
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # causer
+//!
+//! Umbrella crate for the Rust reproduction of *"Sequential Recommendation
+//! with User Causal Behavior Discovery"* (ICDE 2023). Re-exports the
+//! workspace crates and hosts the runnable examples and the cross-crate
+//! integration tests.
+//!
+//! - [`tensor`] — matrix kernels + reverse-mode autodiff substrate;
+//! - [`causal`] — NOTEARS, DAGs, Markov equivalence;
+//! - [`data`] — the causal behaviour simulator and dataset handling;
+//! - [`metrics`] — F1@Z / NDCG@Z and explanation metrics;
+//! - [`core`] — the Causer model itself;
+//! - [`baselines`] — BPR, NCF, GRU4Rec, NARM, STAMP, SASRec, VTRNN, MMSARec;
+//! - [`eval`] — the table/figure reproduction harness.
+//!
+//! Quickstart: see `examples/quickstart.rs`, or:
+//!
+//! ```no_run
+//! use causer::core::{CauserConfig, CauserRecommender, TrainConfig, SeqRecommender, evaluate};
+//! use causer::data::{simulate, DatasetKind, DatasetProfile};
+//!
+//! let profile = DatasetProfile::paper(DatasetKind::Baby).scaled(0.1);
+//! let sim = simulate(&profile, 42);
+//! let split = sim.interactions.leave_last_out();
+//! let cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+//! let mut model = CauserRecommender::new(cfg, sim.features.clone(), TrainConfig::default(), 7);
+//! model.fit(&split);
+//! println!("{:?}", evaluate(&model, &split.test, 5, 400));
+//! ```
+
+pub use causer_baselines as baselines;
+pub use causer_causal as causal;
+pub use causer_core as core;
+pub use causer_data as data;
+pub use causer_eval as eval;
+pub use causer_metrics as metrics;
+pub use causer_tensor as tensor;
