@@ -4,7 +4,9 @@
 
 use causer_core::SeqRecommender;
 use causer_data::{EvalCase, LeaveLastOut, NegativeSampler, Step};
-use causer_tensor::{Adam, GradStore, Graph, Matrix, NodeId, Optimizer, ParamId, ParamSet};
+use causer_tensor::{
+    Adam, Graph, Matrix, NodeId, Optimizer, ParallelTrainer, ParamId, ParamSet,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -23,6 +25,10 @@ pub struct BaselineTrainConfig {
     /// small, sparse datasets.
     pub weight_decay: f64,
     pub seed: u64,
+    /// Worker threads for data-parallel gradient computation. `None` defers
+    /// to the `CAUSER_THREADS` environment variable (default 1 = serial,
+    /// which is bitwise-identical to the historical single-threaded loop).
+    pub threads: Option<usize>,
 }
 
 impl Default for BaselineTrainConfig {
@@ -37,13 +43,17 @@ impl Default for BaselineTrainConfig {
             clip: 5.0,
             weight_decay: 1e-4,
             seed: 23,
+            threads: None,
         }
     }
 }
 
 /// A sequence encoder: maps `(user, history)` to a `1 × d_e` representation
 /// that is scored against output item embeddings by dot product.
-pub trait SeqEncoder {
+///
+/// `Sync` is required so encoders can be shared read-only across the
+/// data-parallel worker threads (all current encoders are plain id structs).
+pub trait SeqEncoder: Sync {
     /// Model name as reported in Table IV.
     fn label(&self) -> String;
 
@@ -72,6 +82,22 @@ impl<E: SeqEncoder> NeuralRecommender<E> {
     }
 }
 
+/// One target position within a user history: the step index and its
+/// presampled candidate list (`npos` positives followed by negatives).
+struct FitTarget {
+    pos: usize,
+    cands: Vec<usize>,
+    npos: usize,
+}
+
+/// A user's presampled training work for one minibatch: everything a worker
+/// thread needs so no RNG state crosses the shard boundary.
+struct FitItem<'a> {
+    user: usize,
+    steps: &'a [Step],
+    positions: Vec<FitTarget>,
+}
+
 impl<E: SeqEncoder> SeqRecommender for NeuralRecommender<E> {
     fn name(&self) -> String {
         self.encoder.label()
@@ -84,17 +110,17 @@ impl<E: SeqEncoder> SeqRecommender for NeuralRecommender<E> {
         let mut opt = Adam::new(cfg.lr);
         opt.weight_decay = cfg.weight_decay;
         let mut order: Vec<usize> = (0..split.train.len()).collect();
+        let mut trainer = ParallelTrainer::from_config(cfg.threads);
 
         for _epoch in 0..cfg.epochs {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             for chunk in order.chunks(cfg.batch_size) {
-                let mut g = Graph::new();
-                let out_emb = g.param(&self.params, self.encoder.out_emb());
-                let bias = g.param(&self.params, self.bias);
-                let mut logit_nodes: Vec<NodeId> = Vec::new();
-                let mut targets: Vec<f64> = Vec::new();
+                // Negative sampling happens serially, in chunk order, so the
+                // RNG stream is identical at any thread count.
+                let mut items: Vec<FitItem<'_>> = Vec::new();
+                let mut total_rows = 0usize;
                 for &idx in chunk {
                     let hist = &split.train[idx];
                     if hist.steps.len() < 2 {
@@ -105,11 +131,8 @@ impl<E: SeqEncoder> SeqRecommender for NeuralRecommender<E> {
                     } else {
                         1
                     };
+                    let mut positions: Vec<FitTarget> = Vec::new();
                     for j in first.max(1)..hist.steps.len() {
-                        let start = j.saturating_sub(cfg.max_history);
-                        let history = &hist.steps[start..j];
-                        let repr = self.encoder.repr(&mut g, &self.params, hist.user, history);
-                        let rt = g.transpose(repr); // d_e × 1
                         let mut cands: Vec<usize> = hist.steps[j].clone();
                         let npos = cands.len();
                         cands.extend(sampler.sample_excluding(
@@ -117,27 +140,58 @@ impl<E: SeqEncoder> SeqRecommender for NeuralRecommender<E> {
                             cfg.neg_samples * npos,
                             &hist.steps[j],
                         ));
-                        let sel = g.select_rows(out_emb, &cands);
-                        let dot = g.matmul(sel, rt); // c × 1
-                        let b = g.select_rows(bias, &cands);
-                        let logits = g.add(dot, b);
-                        logit_nodes.push(logits);
-                        targets.extend(
-                            (0..cands.len()).map(|i| if i < npos { 1.0 } else { 0.0 }),
-                        );
+                        total_rows += cands.len();
+                        positions.push(FitTarget { pos: j, cands, npos });
                     }
+                    if positions.is_empty() {
+                        continue;
+                    }
+                    items.push(FitItem { user: hist.user, steps: &hist.steps, positions });
                 }
-                if logit_nodes.is_empty() {
+                if total_rows == 0 {
                     continue;
                 }
-                let stacked = g.vstack(&logit_nodes);
-                let tmat = Matrix::from_vec(targets.len(), 1, targets);
-                let loss = g.bce_with_logits(stacked, &tmat);
-                epoch_loss += g.value(loss).item();
+
+                let encoder = &self.encoder;
+                let params = &self.params;
+                let bias_id = self.bias;
+                let out_id = self.encoder.out_emb();
+                // Each shard computes its own mean BCE and seeds the reverse
+                // sweep with `shard_rows / total_rows`, so the reduced
+                // gradient equals the full-batch mean-loss gradient. With one
+                // thread the shard is the whole batch (weight 1.0) and this
+                // is exactly the historical serial step.
+                let (batch_loss, mut gs) =
+                    trainer.for_each_shard(&items, params, |g, gs, shard| {
+                        let out_emb = g.param(params, out_id);
+                        let bias = g.param(params, bias_id);
+                        let mut logit_nodes: Vec<NodeId> = Vec::new();
+                        let mut targets: Vec<f64> = Vec::new();
+                        for item in shard {
+                            for t in &item.positions {
+                                let start = t.pos.saturating_sub(cfg.max_history);
+                                let history = &item.steps[start..t.pos];
+                                let repr = encoder.repr(g, params, item.user, history);
+                                let sel = g.select_rows(out_emb, &t.cands);
+                                let dot = g.matmul_nt(sel, repr); // c × 1
+                                let b = g.select_rows(bias, &t.cands);
+                                let logits = g.add(dot, b);
+                                logit_nodes.push(logits);
+                                targets.extend(
+                                    (0..t.cands.len()).map(|i| if i < t.npos { 1.0 } else { 0.0 }),
+                                );
+                            }
+                        }
+                        let stacked = g.vstack(&logit_nodes);
+                        let w = targets.len() as f64 / total_rows as f64;
+                        let tmat = Matrix::from_vec(targets.len(), 1, targets);
+                        let loss = g.bce_with_logits(stacked, &tmat);
+                        let v = g.value(loss).item() * w;
+                        g.backward_seeded(loss, gs, w);
+                        v
+                    });
+                epoch_loss += batch_loss;
                 batches += 1;
-                let mut gs = GradStore::new(&self.params);
-                g.backward(loss, &mut gs);
-                drop(g);
                 gs.clip_global_norm(cfg.clip);
                 opt.step(&mut self.params, &mut gs);
             }
@@ -155,8 +209,7 @@ impl<E: SeqEncoder> SeqRecommender for NeuralRecommender<E> {
         let mut g = Graph::new();
         let repr = self.encoder.repr(&mut g, &self.params, case.user, history);
         let out = g.param(&self.params, self.encoder.out_emb());
-        let rt = g.transpose(repr);
-        let dot = g.matmul(out, rt); // |V| × 1
+        let dot = g.matmul_nt(out, repr); // |V| × 1
         let bias = g.param(&self.params, self.bias);
         let logits = g.add(dot, bias);
         g.value(logits).col(0)

@@ -76,8 +76,7 @@ impl SeqEncoder for NarmEncoder {
         }
         let h_stack = g.vstack(&hs); // T × d_h
         let alpha = self.attention.weights(g, ps, h_stack, state.h); // T×1
-        let at = g.transpose(alpha); // 1×T
-        let local = g.matmul(at, h_stack); // 1×d_h
+        let local = g.matmul_tn(alpha, h_stack); // 1×d_h
         let both = g.concat_cols(state.h, local); // 1×2d_h
         let proj = g.param(ps, self.proj);
         g.matmul(both, proj)

@@ -50,8 +50,7 @@ impl Block {
         let q = g.matmul(x, wq);
         let k = g.matmul(x, wk);
         let v = g.matmul(x, wv);
-        let kt = g.transpose(k);
-        let scores = g.matmul(q, kt); // T × T
+        let scores = g.matmul_nt(q, k); // T × T
         let scaled = g.scale(scores, 1.0 / (dim as f64).sqrt());
         // Causal mask: position i may attend to j ≤ i.
         let mask = Matrix::from_fn(t, t, |i, j| if j > i { -1e9 } else { 0.0 });

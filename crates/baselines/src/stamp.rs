@@ -73,8 +73,7 @@ impl SeqEncoder for StampEncoder {
         let act = g.sigmoid(pre);
         let w0 = g.param(ps, self.w0);
         let a = g.matmul(act, w0); // T × 1 (unnormalized, as in STAMP)
-        let at = g.transpose(a); // 1 × T
-        let m_a = g.matmul(at, x); // 1 × d
+        let m_a = g.matmul_tn(a, x); // 1 × d
 
         // h_s = tanh(m_a Ws + bs); h_t = tanh(m_t Wt + bt); repr = h_s ∘ h_t
         let ws = g.param(ps, self.ws);

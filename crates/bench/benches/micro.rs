@@ -18,6 +18,49 @@ fn bench_matmul(c: &mut Criterion) {
     });
 }
 
+/// Cache-blocked kernel vs. the naive reference across sizes straddling the
+/// MC/KC/NC tile boundaries. Below the crossover (≤64) the blocked entry
+/// dispatches to the naive loop, so the pairs should tie there.
+fn bench_blocked_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    for &n in &[16usize, 64, 256, 512] {
+        let a = init::uniform(&mut rng, n, n, 1.0);
+        let b = init::uniform(&mut rng, n, n, 1.0);
+        c.bench_function(&format!("matmul_blocked_vs_naive/blocked_{n}"), |bench| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+        c.bench_function(&format!("matmul_blocked_vs_naive/naive_{n}"), |bench| {
+            bench.iter(|| std::hint::black_box(a.matmul_naive(&b)));
+        });
+    }
+}
+
+/// One full Causer training epoch (batch sharding + shard-grad reduction +
+/// single Adam step per batch) at 1/2/4 worker threads. On a single-core
+/// container the >1-thread entries measure scheduling overhead, not speedup.
+fn bench_parallel_epoch(c: &mut Criterion) {
+    use causer_core::{CauserRecommender, SeqRecommender, TrainConfig};
+    let profile = DatasetProfile::paper(DatasetKind::Patio).scaled(0.02);
+    let sim = simulate(&profile, 9);
+    let split = sim.interactions.leave_last_out();
+    for &t in &[1usize, 2, 4] {
+        c.bench_function(&format!("parallel_epoch/threads_{t}"), |bench| {
+            bench.iter(|| {
+                let mut cfg = CauserConfig::new(
+                    profile.num_users,
+                    profile.num_items,
+                    profile.feature_dim,
+                );
+                cfg.k = profile.true_clusters;
+                let tc = TrainConfig { epochs: 1, threads: Some(t), ..Default::default() };
+                let mut model = CauserRecommender::new(cfg, sim.features.clone(), tc, 9);
+                model.fit(&split);
+                std::hint::black_box(model.last_report.as_ref().unwrap().epoch_losses[0])
+            });
+        });
+    }
+}
+
 fn bench_expm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let w = init::uniform(&mut rng, 32, 32, 0.3);
@@ -77,6 +120,6 @@ fn bench_inference(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4));
-    targets = bench_matmul, bench_expm, bench_autodiff_step, bench_inference
+    targets = bench_matmul, bench_blocked_kernels, bench_parallel_epoch, bench_expm, bench_autodiff_step, bench_inference
 }
 criterion_main!(benches);

@@ -309,8 +309,7 @@ impl CauserModel {
         let what = match what_const {
             None => {
                 let b_assign = g.select_rows(shared.assignments, &[b]); // 1×K
-                let bt = g.transpose(b_assign); // K×1
-                let wcb = g.matmul(shared.wc, bt); // K×1
+                let wcb = g.matmul_nt(shared.wc, b_assign); // K×1
                 g.matmul(s_bags, wcb) // T×1: Ŵ_{v⃗_t b}
             }
             Some(w) => {
@@ -327,8 +326,7 @@ impl CauserModel {
         let wsum = g.sum_all(w);
         let wsum = g.add_scalar(wsum, 1e-8);
         let w = g.div_scalar(w, wsum);
-        let wt = g.transpose(w); // 1×T
-        let weighted = g.matmul(wt, h_stack); // 1×d_h
+        let weighted = g.matmul_tn(w, h_stack); // 1×d_h
         let vh = g.matmul(weighted, shared.v); // 1×d_e
         let e_b = g.select_rows(shared.item_out, &[b]); // 1×d_e
         let dot = g.dot_rows(vh, e_b); // 1×1

@@ -2,8 +2,8 @@
 //! causal graph with the augmented Lagrangian acyclicity constraint.
 
 use crate::model::CauserModel;
-use causer_data::{LeaveLastOut, NegativeSampler, UserHistory};
-use causer_tensor::{Adam, GradStore, Graph, Optimizer};
+use causer_data::{LeaveLastOut, NegativeSampler, Step, UserHistory};
+use causer_tensor::{Adam, Optimizer, ParallelTrainer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -43,6 +43,13 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Print a one-line progress report per epoch.
     pub verbose: bool,
+    /// Worker threads for data-parallel batch sharding. `None` defers to the
+    /// `CAUSER_THREADS` environment variable (default 1 = serial). With one
+    /// thread, training is byte-for-byte the serial loop; with `N` threads,
+    /// per-shard gradients are reduced in shard order, so results differ
+    /// from serial only in floating-point summation order and are
+    /// reproducible for a fixed `N`.
+    pub threads: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -64,8 +71,23 @@ impl Default for TrainConfig {
             slow_update_every: None,
             seed: 17,
             verbose: false,
+            threads: None,
         }
     }
+}
+
+/// One user's precomputed work for a batch: target positions plus the
+/// negatives sampled for them. Sampling happens serially, in batch order,
+/// *before* the shards are dispatched — so the RNG stream is identical for
+/// every thread count and negatives don't depend on scheduling.
+struct BatchItem<'a> {
+    user: usize,
+    steps: &'a [Step],
+    positions: Vec<usize>,
+    negatives: Vec<Vec<usize>>,
+    /// Number of BCE logit rows this item contributes (positives plus
+    /// negatives over all target positions) — the shard weights.
+    rows: usize,
 }
 
 /// Per-epoch and final training statistics.
@@ -90,6 +112,9 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
     // high enough to survive the L1/acyclicity pulls).
     let mut struct_opt = Adam::new(0.02);
     let mut report = TrainReport::default();
+    // Worker pool with one reusable tape per thread; at one thread every
+    // pass runs inline on this thread over the whole batch.
+    let mut trainer = ParallelTrainer::from_config(cfg.threads);
 
     let mut beta1 = cfg.beta1;
     let mut beta2 = cfg.beta2;
@@ -135,9 +160,9 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            let mut g = Graph::new();
-            let shared = model.shared_nodes(&mut g);
-            let mut logits = Vec::new();
+            // Negative sampling happens here, serially and in chunk order,
+            // so the RNG stream does not depend on the thread count.
+            let mut items: Vec<BatchItem> = Vec::with_capacity(chunk.len());
             for &idx in chunk {
                 let user_hist: &UserHistory = &split.train[idx];
                 let steps = &user_hist.steps;
@@ -160,24 +185,87 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
                         )
                     })
                     .collect();
-                logits.extend(model.sequence_logits(
-                    &mut g,
-                    &shared,
-                    &cache,
-                    user_hist.user,
-                    steps,
-                    &positions,
-                    &negatives,
-                ));
+                let rows = positions
+                    .iter()
+                    .zip(negatives.iter())
+                    .map(|(&j, negs)| steps[j].len() + negs.len())
+                    .sum();
+                items.push(BatchItem { user: user_hist.user, steps, positions, negatives, rows });
             }
-            let Some(bce) = model.bce_from_logits(&mut g, &logits) else { continue };
-            let reg = model.regularizer(&mut g, &shared, beta1, beta2, cfg.aux_weight);
-            let loss = g.add(bce, reg);
-            epoch_loss += g.value(loss).item();
+            let total_rows: usize = items.iter().map(|it| it.rows).sum();
+            if total_rows == 0 {
+                continue;
+            }
+
+            let mut gs;
+            if trainer.threads() == 1 {
+                // Serial: one tape builds BCE and regularizer together —
+                // exactly the legacy single-threaded loop.
+                let (loss_val, store) =
+                    trainer.for_each_shard(&items, &model.params, |g, gs, shard| {
+                        let shared = model.shared_nodes(g);
+                        let mut logits = Vec::new();
+                        for item in shard {
+                            logits.extend(model.sequence_logits(
+                                g,
+                                &shared,
+                                &cache,
+                                item.user,
+                                item.steps,
+                                &item.positions,
+                                &item.negatives,
+                            ));
+                        }
+                        let bce = model
+                            .bce_from_logits(g, &logits)
+                            .expect("chunk with rows produced no logits");
+                        let reg = model.regularizer(g, &shared, beta1, beta2, cfg.aux_weight);
+                        let loss = g.add(bce, reg);
+                        let v = g.value(loss).item();
+                        g.backward(loss, gs);
+                        v
+                    });
+                epoch_loss += loss_val;
+                gs = store;
+            } else {
+                // Data-parallel: each shard computes its BCE term seeded by
+                // its share of the logit rows (the global mean BCE is the
+                // row-weighted mean of the shard means); the regularizer is
+                // computed once, on this thread, into the merged store.
+                let (bce_loss, store) =
+                    trainer.for_each_shard(&items, &model.params, |g, gs, shard| {
+                        let shared = model.shared_nodes(g);
+                        let mut logits = Vec::new();
+                        for item in shard {
+                            logits.extend(model.sequence_logits(
+                                g,
+                                &shared,
+                                &cache,
+                                item.user,
+                                item.steps,
+                                &item.positions,
+                                &item.negatives,
+                            ));
+                        }
+                        let Some(bce) = model.bce_from_logits(g, &logits) else {
+                            return 0.0;
+                        };
+                        let w =
+                            logits.len() as f64 / total_rows as f64;
+                        let v = g.value(bce).item() * w;
+                        g.backward_seeded(bce, gs, w);
+                        v
+                    });
+                gs = store;
+                let tape = trainer.main_tape();
+                let shared = model.shared_nodes(tape);
+                let reg = model.regularizer(tape, &shared, beta1, beta2, cfg.aux_weight);
+                let reg_val = tape.value(reg).item();
+                tape.backward(reg, &mut gs);
+                tape.reset();
+                epoch_loss += bce_loss + reg_val;
+            }
             batches += 1;
-            let mut gs = GradStore::new(&model.params);
-            g.backward(loss, &mut gs);
-            drop(g);
             gs.clip_global_norm(cfg.clip);
             opt.step(&mut model.params, &mut gs);
         }
@@ -192,7 +280,16 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
             for &id in &graph_ids {
                 model.params.set_frozen(id, false);
             }
-            structure_pass(model, split, cfg, &mut struct_opt, beta1, beta2, &mut rng);
+            structure_pass(
+                model,
+                split,
+                cfg,
+                &mut struct_opt,
+                beta1,
+                beta2,
+                &mut rng,
+                &mut trainer,
+            );
         }
 
         // Lines 14–15: dual updates on the acyclicity residual. A short
@@ -230,6 +327,7 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
 /// cluster-indicator vector on the discounted history context through
 /// `W^c`, over large sequence batches, updating only `W^c` and the
 /// regression intercept (assignments enter as constants).
+#[allow(clippy::too_many_arguments)]
 fn structure_pass(
     model: &mut CauserModel,
     split: &LeaveLastOut,
@@ -238,53 +336,96 @@ fn structure_pass(
     beta1: f64,
     beta2: f64,
     rng: &mut StdRng,
+    trainer: &mut ParallelTrainer,
 ) {
     let assign = model.cluster.assignments_plain(&model.params);
     let mut order: Vec<usize> = (0..split.train.len()).collect();
     order.shuffle(rng);
     for chunk in order.chunks(256) {
-        let mut g = Graph::new();
-        let a = g.constant(assign.clone());
-        let wc = model.causal.node(&mut g, &model.params);
-        let bias = model.struct_bias_node(&mut g);
-        let mut acc: Option<causer_tensor::NodeId> = None;
-        let mut steps_total = 0usize;
-        for &idx in chunk {
-            let seq = &split.train[idx].steps;
-            if seq.len() < 2 {
-                continue;
-            }
-            let s = g.embed_bag(a, seq, false);
-            let mut ctx = g.select_rows(s, &[0]);
-            for t in 1..seq.len() {
-                let trans = g.matmul(ctx, wc);
-                let pred = g.add(trans, bias);
-                let target = g.select_rows(s, &[t]);
-                let diff = g.sub(target, pred);
-                let sq = g.mul(diff, diff);
-                let l = g.sum_all(sq);
-                acc = Some(match acc {
-                    None => l,
-                    Some(prev) => g.add(prev, l),
-                });
-                steps_total += 1;
-                let dec = g.scale(ctx, 0.7);
-                ctx = g.add(dec, target);
-            }
+        // Sequences with at least two steps, plus the chunk-wide step count
+        // — known up front, so shards can scale their fit terms by the
+        // global denominator and the sharded sum equals the serial term.
+        let seqs: Vec<&Vec<Step>> = chunk
+            .iter()
+            .map(|&idx| &split.train[idx].steps)
+            .filter(|seq| seq.len() >= 2)
+            .collect();
+        let steps_total: usize = seqs.iter().map(|seq| seq.len() - 1).sum();
+        if steps_total == 0 {
+            continue;
         }
-        let Some(acc) = acc else { continue };
-        let fit = g.scale(acc, cfg.struct_weight / steps_total.max(1) as f64);
-        let l1 = model.causal.l1_penalty(&mut g, &model.params, model.config.lambda);
-        let h = model.causal.acyclicity_node(&mut g, &model.params);
-        let lin = g.scale(h, beta1);
-        let hsq = g.mul(h, h);
-        let quad = g.scale(hsq, beta2 / 2.0);
-        let loss = g.add(fit, l1);
-        let loss = g.add(loss, lin);
-        let loss = g.add(loss, quad);
-        let mut gs = GradStore::new(&model.params);
-        g.backward(loss, &mut gs);
-        drop(g);
+        let fit_scale = cfg.struct_weight / steps_total as f64;
+
+        // Per-shard discounted-context regression on `W^c`. Each worker
+        // carries the global `1/steps_total` scaling, so seeding each
+        // shard's backward with 1.0 sums to the serial fit gradient.
+        let fit_shard = |g: &mut causer_tensor::Graph, shard: &[&Vec<Step>]| {
+            let a = g.constant(assign.clone());
+            let wc = model.causal.node(g, &model.params);
+            let bias = model.struct_bias_node(g);
+            let mut acc: Option<causer_tensor::NodeId> = None;
+            for seq in shard {
+                let s = g.embed_bag(a, seq, false);
+                let mut ctx = g.select_rows(s, &[0]);
+                for t in 1..seq.len() {
+                    let trans = g.matmul(ctx, wc);
+                    let pred = g.add(trans, bias);
+                    let target = g.select_rows(s, &[t]);
+                    let diff = g.sub(target, pred);
+                    let sq = g.mul(diff, diff);
+                    let l = g.sum_all(sq);
+                    acc = Some(match acc {
+                        None => l,
+                        Some(prev) => g.add(prev, l),
+                    });
+                    let dec = g.scale(ctx, 0.7);
+                    ctx = g.add(dec, target);
+                }
+            }
+            acc.map(|acc| g.scale(acc, fit_scale))
+        };
+
+        let mut gs;
+        if trainer.threads() == 1 {
+            // Serial: one tape, combined fit + penalty loss, one backward —
+            // exactly the legacy pass (same node order, same accumulation
+            // order into the store).
+            let (_, store) = trainer.for_each_shard(&seqs, &model.params, |g, gs, shard| {
+                let fit = fit_shard(g, shard).expect("chunk with steps produced no fit");
+                let l1 = model.causal.l1_penalty(g, &model.params, model.config.lambda);
+                let h = model.causal.acyclicity_node(g, &model.params);
+                let lin = g.scale(h, beta1);
+                let hsq = g.mul(h, h);
+                let quad = g.scale(hsq, beta2 / 2.0);
+                let loss = g.add(fit, l1);
+                let loss = g.add(loss, lin);
+                let loss = g.add(loss, quad);
+                let v = g.value(loss).item();
+                g.backward(loss, gs);
+                v
+            });
+            gs = store;
+        } else {
+            let (_, store) = trainer.for_each_shard(&seqs, &model.params, |g, gs, shard| {
+                let Some(fit) = fit_shard(g, shard) else { return 0.0 };
+                let v = g.value(fit).item();
+                g.backward(fit, gs);
+                v
+            });
+            gs = store;
+            // The L1 / acyclicity penalties are global terms on `W^c`;
+            // compute them once here and fold them into the merged store.
+            let tape = trainer.main_tape();
+            let l1 = model.causal.l1_penalty(tape, &model.params, model.config.lambda);
+            let h = model.causal.acyclicity_node(tape, &model.params);
+            let lin = tape.scale(h, beta1);
+            let hsq = tape.mul(h, h);
+            let quad = tape.scale(hsq, beta2 / 2.0);
+            let loss = tape.add(l1, lin);
+            let loss = tape.add(loss, quad);
+            tape.backward(loss, &mut gs);
+            tape.reset();
+        }
         opt.step(&mut model.params, &mut gs);
     }
 }

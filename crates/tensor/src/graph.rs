@@ -5,10 +5,16 @@
 //! increasing, so the reverse sweep in [`Graph::backward`] can simply walk
 //! ids from high to low — inputs are always visited after their consumers.
 //!
-//! Values are held behind `Rc<Matrix>` so parameter matrices are shared with
-//! the [`crate::param::ParamSet`] rather than cloned on every training step.
+//! Values are held behind `Arc<Matrix>` so parameter matrices are shared with
+//! the [`crate::param::ParamSet`] rather than cloned on every training step —
+//! including across the worker threads of a data-parallel step, where each
+//! worker owns its own tape over a shared read-only parameter snapshot.
+//!
+//! Tapes are reusable: [`Graph::reset`] clears the node list while retaining
+//! its capacity and harvests uniquely-held value buffers into an internal
+//! pool, so steady-state training steps allocate (almost) nothing.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::linalg;
 use crate::matrix::Matrix;
@@ -24,6 +30,10 @@ enum Op {
     /// A constant or parameter leaf; `param` links back into the `ParamSet`.
     Leaf { param: Option<usize> },
     MatMul(NodeId, NodeId),
+    /// Fused `Aᵀ·B` (avoids materializing the transpose).
+    MatMulTN(NodeId, NodeId),
+    /// Fused `A·Bᵀ` (avoids materializing the transpose).
+    MatMulNT(NodeId, NodeId),
     Add(NodeId, NodeId),
     Sub(NodeId, NodeId),
     Mul(NodeId, NodeId),
@@ -66,19 +76,47 @@ enum Op {
 }
 
 struct Node {
-    value: Rc<Matrix>,
+    value: Arc<Matrix>,
     op: Op,
 }
+
+/// Upper bound on pooled buffers; a backstop against pathological growth,
+/// far above what one training step's tape ever holds.
+const POOL_CAP: usize = 4096;
 
 /// Reverse-mode autodiff tape.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Recycled `Matrix` backing buffers, refilled by [`Graph::reset`] and the
+    /// reverse sweep, drawn from by every op that materializes a new value.
+    pool: Vec<Vec<f64>>,
 }
 
 impl Graph {
     pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(256) }
+        Graph { nodes: Vec::with_capacity(256), pool: Vec::new() }
+    }
+
+    /// Clear the tape for reuse, retaining the node arena's capacity and
+    /// harvesting every value buffer not shared with a `ParamSet` (or another
+    /// clone-holder) into the buffer pool. Call between training steps —
+    /// crucially *before* the optimizer step, so parameter `Arc`s drop to a
+    /// single owner and `ParamSet::value_mut` can update in place.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            if self.pool.len() < POOL_CAP {
+                if let Ok(m) = Arc::try_unwrap(node.value) {
+                    self.pool.push(m.into_data());
+                }
+            }
+        }
+    }
+
+    /// A zeroed `rows×cols` matrix backed by a pooled buffer when available.
+    fn take_buf(&mut self, rows: usize, cols: usize) -> Matrix {
+        let buf = self.pool.pop().unwrap_or_default();
+        Matrix::from_buf(rows, cols, buf)
     }
 
     /// Number of nodes recorded so far.
@@ -102,7 +140,7 @@ impl Graph {
 
     fn push(&mut self, value: Matrix, op: Op) -> NodeId {
         debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
-        self.nodes.push(Node { value: Rc::new(value), op });
+        self.nodes.push(Node { value: Arc::new(value), op });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -125,34 +163,85 @@ impl Graph {
     }
 
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v, Op::MatMul(a, b))
+        let (m, _) = self.shape(a);
+        let (_, n) = self.shape(b);
+        let mut out = self.take_buf(m, n);
+        self.value(a).matmul_into(self.value(b), &mut out);
+        self.push(out, Op::MatMul(a, b))
+    }
+
+    /// Fused `aᵀ·b`, equivalent to `matmul(transpose(a), b)` without the
+    /// intermediate transpose node (bitwise-identical values and gradients).
+    pub fn matmul_tn(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (_, m) = self.shape(a);
+        let (_, n) = self.shape(b);
+        let mut out = self.take_buf(m, n);
+        self.value(a).matmul_tn_into(self.value(b), &mut out);
+        self.push(out, Op::MatMulTN(a, b))
+    }
+
+    /// Fused `a·bᵀ`, equivalent to `matmul(a, transpose(b))` without the
+    /// intermediate transpose node (bitwise-identical values and gradients).
+    pub fn matmul_nt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (m, _) = self.shape(a);
+        let (n, _) = self.shape(b);
+        let mut out = self.take_buf(m, n);
+        self.value(a).matmul_nt_into(self.value(b), &mut out);
+        self.push(out, Op::MatMulNT(a, b))
     }
 
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).add(self.value(b));
-        self.push(v, Op::Add(a, b))
+        let (m, n) = self.shape(a);
+        let mut out = self.take_buf(m, n);
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape(), bv.shape(), "add shape mismatch");
+        for (o, (&x, &y)) in out.data_mut().iter_mut().zip(av.data().iter().zip(bv.data())) {
+            *o = x + y;
+        }
+        self.push(out, Op::Add(a, b))
     }
 
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).sub(self.value(b));
-        self.push(v, Op::Sub(a, b))
+        let (m, n) = self.shape(a);
+        let mut out = self.take_buf(m, n);
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape(), bv.shape(), "sub shape mismatch");
+        for (o, (&x, &y)) in out.data_mut().iter_mut().zip(av.data().iter().zip(bv.data())) {
+            *o = x - y;
+        }
+        self.push(out, Op::Sub(a, b))
     }
 
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).hadamard(self.value(b));
-        self.push(v, Op::Mul(a, b))
+        let (m, n) = self.shape(a);
+        let mut out = self.take_buf(m, n);
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape(), bv.shape(), "mul shape mismatch");
+        for (o, (&x, &y)) in out.data_mut().iter_mut().zip(av.data().iter().zip(bv.data())) {
+            *o = x * y;
+        }
+        self.push(out, Op::Mul(a, b))
+    }
+
+    /// Shared shape of an element-wise op over `a`, with a pooled output.
+    fn map_op(&mut self, a: NodeId, op: Op, f: impl Fn(f64) -> f64) -> NodeId {
+        let (m, n) = self.shape(a);
+        let mut out = self.take_buf(m, n);
+        for (o, &x) in out.data_mut().iter_mut().zip(self.value(a).data()) {
+            *o = f(x);
+        }
+        self.push(out, op)
     }
 
     /// Broadcast-add a `1×n` row vector to every row of `a`.
     pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
         let (m, n) = self.shape(a);
         assert_eq!(self.shape(row), (1, n), "add_row expects 1x{n}");
-        let rv = self.value(row).row(0).to_vec();
+        let mut out = self.take_buf(m, n);
         let av = self.value(a);
-        let mut out = Matrix::zeros(m, n);
+        let rv = self.value(row);
         for i in 0..m {
-            for (o, (&x, &r)) in out.row_mut(i).iter_mut().zip(av.row(i).iter().zip(rv.iter())) {
+            for (o, (&x, &r)) in out.row_mut(i).iter_mut().zip(av.row(i).iter().zip(rv.row(0))) {
                 *o = x + r;
             }
         }
@@ -163,9 +252,9 @@ impl Graph {
     pub fn mul_col(&mut self, a: NodeId, col: NodeId) -> NodeId {
         let (m, n) = self.shape(a);
         assert_eq!(self.shape(col), (m, 1), "mul_col expects {m}x1");
+        let mut out = self.take_buf(m, n);
         let av = self.value(a);
         let cv = self.value(col);
-        let mut out = Matrix::zeros(m, n);
         for i in 0..m {
             let c = cv.get(i, 0);
             for (o, &x) in out.row_mut(i).iter_mut().zip(av.row(i).iter()) {
@@ -176,13 +265,11 @@ impl Graph {
     }
 
     pub fn scale(&mut self, a: NodeId, c: f64) -> NodeId {
-        let v = self.value(a).scale(c);
-        self.push(v, Op::Scale(a, c))
+        self.map_op(a, Op::Scale(a, c), |x| x * c)
     }
 
     pub fn add_scalar(&mut self, a: NodeId, c: f64) -> NodeId {
-        let v = self.value(a).map(|x| x + c);
-        self.push(v, Op::AddScalar(a))
+        self.map_op(a, Op::AddScalar(a), |x| x + c)
     }
 
     pub fn neg(&mut self, a: NodeId) -> NodeId {
@@ -190,41 +277,43 @@ impl Graph {
     }
 
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(stable_sigmoid);
-        self.push(v, Op::Sigmoid(a))
+        self.map_op(a, Op::Sigmoid(a), stable_sigmoid)
     }
 
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(f64::tanh);
-        self.push(v, Op::Tanh(a))
+        self.map_op(a, Op::Tanh(a), f64::tanh)
     }
 
     pub fn relu(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(|x| x.max(0.0));
-        self.push(v, Op::Relu(a))
+        self.map_op(a, Op::Relu(a), |x| x.max(0.0))
     }
 
     pub fn exp(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(f64::exp);
-        self.push(v, Op::Exp(a))
+        self.map_op(a, Op::Exp(a), f64::exp)
     }
 
     /// Natural log; inputs are clamped to `1e-12` for safety.
     pub fn ln(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(|x| x.max(1e-12).ln());
-        self.push(v, Op::Ln(a))
+        self.map_op(a, Op::Ln(a), |x| x.max(1e-12).ln())
     }
 
     pub fn transpose(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).transpose();
-        self.push(v, Op::Transpose(a))
+        let (m, n) = self.shape(a);
+        let mut out = self.take_buf(n, m);
+        let av = self.value(a);
+        for i in 0..m {
+            for (j, &x) in av.row(i).iter().enumerate() {
+                out.set(j, i, x);
+            }
+        }
+        self.push(out, Op::Transpose(a))
     }
 
     /// Numerically-stable softmax applied independently to each row.
     pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let (m, n) = self.shape(a);
+        let mut out = self.take_buf(m, n);
         let av = self.value(a);
-        let (m, n) = av.shape();
-        let mut out = Matrix::zeros(m, n);
         for i in 0..m {
             let row = av.row(i);
             let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -242,24 +331,39 @@ impl Graph {
     }
 
     pub fn sum_all(&mut self, a: NodeId) -> NodeId {
-        let v = Matrix::scalar(self.value(a).sum());
-        self.push(v, Op::SumAll(a))
+        let mut out = self.take_buf(1, 1);
+        out.set(0, 0, self.value(a).sum());
+        self.push(out, Op::SumAll(a))
     }
 
     pub fn mean_all(&mut self, a: NodeId) -> NodeId {
-        let v = Matrix::scalar(self.value(a).mean());
-        self.push(v, Op::MeanAll(a))
+        let mut out = self.take_buf(1, 1);
+        out.set(0, 0, self.value(a).mean());
+        self.push(out, Op::MeanAll(a))
     }
 
     /// Row-wise sums: `m×n -> m×1`.
     pub fn row_sums(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).sum_cols();
-        self.push(v, Op::RowSums(a))
+        let (m, _) = self.shape(a);
+        let mut out = self.take_buf(m, 1);
+        let av = self.value(a);
+        for i in 0..m {
+            out.set(i, 0, av.row(i).iter().sum());
+        }
+        self.push(out, Op::RowSums(a))
     }
 
     pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = Matrix::hstack(&[self.value(a), self.value(b)]);
-        self.push(v, Op::ConcatCols(a, b))
+        let (m, na) = self.shape(a);
+        let (mb, nb) = self.shape(b);
+        assert_eq!(m, mb, "concat_cols row mismatch");
+        let mut out = self.take_buf(m, na + nb);
+        let (av, bv) = (self.value(a), self.value(b));
+        for i in 0..m {
+            out.row_mut(i)[..na].copy_from_slice(av.row(i));
+            out.row_mut(i)[na..].copy_from_slice(bv.row(i));
+        }
+        self.push(out, Op::ConcatCols(a, b))
     }
 
     /// Stack nodes vertically (all must share a column count).
@@ -273,16 +377,22 @@ impl Graph {
     /// Gather rows of `x` by index (duplicates allowed); used for embedding
     /// lookup.
     pub fn select_rows(&mut self, x: NodeId, indices: &[usize]) -> NodeId {
-        let v = self.value(x).select_rows(indices);
-        self.push(v, Op::SelectRows { x, indices: indices.to_vec() })
+        let (m, n) = self.shape(x);
+        let mut out = self.take_buf(indices.len(), n);
+        let xv = self.value(x);
+        for (r, &idx) in indices.iter().enumerate() {
+            assert!(idx < m, "row index {idx} out of bounds ({m})");
+            out.row_mut(r).copy_from_slice(xv.row(idx));
+        }
+        self.push(out, Op::SelectRows { x, indices: indices.to_vec() })
     }
 
     /// Sum (`mean=false`) or average (`mean=true`) of embedding rows per bag;
     /// the multi-hot input encoding of the paper. Empty bags yield zero rows.
     pub fn embed_bag(&mut self, emb: NodeId, bags: &[Vec<usize>], mean: bool) -> NodeId {
+        let (_, d) = self.shape(emb);
+        let mut out = self.take_buf(bags.len(), d);
         let ev = self.value(emb);
-        let d = ev.cols();
-        let mut out = Matrix::zeros(bags.len(), d);
         for (r, bag) in bags.iter().enumerate() {
             if bag.is_empty() {
                 continue;
@@ -300,10 +410,11 @@ impl Graph {
 
     /// Row-wise dot product: `m×n, m×n -> m×1`.
     pub fn dot_rows(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (m, _) = self.shape(a);
+        let mut out = self.take_buf(m, 1);
         let av = self.value(a);
         let bv = self.value(b);
         assert_eq!(av.shape(), bv.shape(), "dot_rows shape mismatch");
-        let mut out = Matrix::zeros(av.rows(), 1);
         for i in 0..av.rows() {
             out.set(i, 0, av.row(i).iter().zip(bv.row(i)).map(|(&x, &y)| x * y).sum());
         }
@@ -340,8 +451,8 @@ impl Graph {
         assert_eq!(self.shape(s), (1, 1), "div_scalar divisor must be 1x1");
         let sv = self.value(s).item();
         assert!(sv != 0.0, "division by zero");
-        let v = self.value(a).scale(1.0 / sv);
-        self.push(v, Op::DivScalar(a, s))
+        let inv = 1.0 / sv;
+        self.map_op(a, Op::DivScalar(a, s), |x| x * inv)
     }
 
     /// Sum of absolute values, `||x||_1` as a scalar node.
@@ -365,7 +476,8 @@ impl Graph {
         assert_eq!(self.shape(beta), (1, n), "layer_norm beta must be 1x{n}");
         let g = self.value(gamma).row(0).to_vec();
         let b = self.value(beta).row(0).to_vec();
-        let mut out = Matrix::zeros(m, n);
+        let mut out = self.take_buf(m, n);
+        let xv = self.value(x);
         for i in 0..m {
             let row = xv.row(i);
             let mu = row.iter().sum::<f64>() / n as f64;
@@ -399,10 +511,22 @@ impl Graph {
 
     /// Run the reverse sweep from a scalar `loss` node, accumulating
     /// parameter gradients into `store`.
-    pub fn backward(&self, loss: NodeId, store: &mut GradStore) {
+    pub fn backward(&mut self, loss: NodeId, store: &mut GradStore) {
+        self.backward_seeded(loss, store, 1.0);
+    }
+
+    /// [`Graph::backward`] with an arbitrary seed gradient at the loss node.
+    /// Data-parallel training uses this to weight each shard's mean loss by
+    /// its share of the global batch (`n_shard / n_total`) so the reduced
+    /// gradient equals the gradient of the global mean.
+    pub fn backward_seeded(&mut self, loss: NodeId, store: &mut GradStore, seed: f64) {
         assert_eq!(self.shape(loss), (1, 1), "backward requires a scalar loss");
+        // The pool is moved out for the duration of the sweep so gradient
+        // buffers can be drawn from / recycled into it while `self.nodes` is
+        // borrowed.
+        let mut pool = std::mem::take(&mut self.pool);
         let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
-        grads[loss.0] = Some(Matrix::scalar(1.0));
+        grads[loss.0] = Some(Matrix::from_buf_scalar(seed, pool.pop().unwrap_or_default()));
 
         for id in (0..=loss.0).rev() {
             let grad = match grads[id].take() {
@@ -414,37 +538,68 @@ impl Graph {
                     if let Some(pid) = param {
                         store.accumulate(*pid, &grad);
                     }
+                    recycle(&mut pool, grad);
                 }
                 Op::MatMul(a, b) => {
-                    let ga = grad.matmul_nt(self.value(*b));
-                    let gb = self.value(*a).matmul_tn(&grad);
-                    acc(&mut grads, *a, ga);
-                    acc(&mut grads, *b, gb);
+                    let av = self.value(*a);
+                    let bv = self.value(*b);
+                    let mut ga = take(&mut pool, grad.rows(), bv.rows());
+                    grad.matmul_nt_into(bv, &mut ga);
+                    let mut gb = take(&mut pool, av.cols(), grad.cols());
+                    av.matmul_tn_into(&grad, &mut gb);
+                    acc(&mut grads, &mut pool, *a, ga);
+                    acc(&mut grads, &mut pool, *b, gb);
+                    recycle(&mut pool, grad);
+                }
+                Op::MatMulTN(a, b) => {
+                    // y = aᵀb ⇒ da = b·gᵀ, db = a·g.
+                    let av = self.value(*a);
+                    let bv = self.value(*b);
+                    let mut ga = take(&mut pool, bv.rows(), grad.rows());
+                    bv.matmul_nt_into(&grad, &mut ga);
+                    let mut gb = take(&mut pool, av.rows(), grad.cols());
+                    av.matmul_into(&grad, &mut gb);
+                    acc(&mut grads, &mut pool, *a, ga);
+                    acc(&mut grads, &mut pool, *b, gb);
+                    recycle(&mut pool, grad);
+                }
+                Op::MatMulNT(a, b) => {
+                    // y = a·bᵀ ⇒ da = g·b, db = gᵀ·a.
+                    let av = self.value(*a);
+                    let bv = self.value(*b);
+                    let mut ga = take(&mut pool, grad.rows(), bv.cols());
+                    grad.matmul_into(bv, &mut ga);
+                    let mut gb = take(&mut pool, grad.cols(), av.cols());
+                    grad.matmul_tn_into(av, &mut gb);
+                    acc(&mut grads, &mut pool, *a, ga);
+                    acc(&mut grads, &mut pool, *b, gb);
+                    recycle(&mut pool, grad);
                 }
                 Op::Add(a, b) => {
-                    acc(&mut grads, *a, grad.clone());
-                    acc(&mut grads, *b, grad);
+                    acc(&mut grads, &mut pool, *a, grad.clone());
+                    acc(&mut grads, &mut pool, *b, grad);
                 }
                 Op::Sub(a, b) => {
-                    acc(&mut grads, *b, grad.scale(-1.0));
-                    acc(&mut grads, *a, grad);
+                    acc(&mut grads, &mut pool, *b, grad.scale(-1.0));
+                    acc(&mut grads, &mut pool, *a, grad);
                 }
                 Op::Mul(a, b) => {
                     let ga = grad.hadamard(self.value(*b));
                     let gb = grad.hadamard(self.value(*a));
-                    acc(&mut grads, *a, ga);
-                    acc(&mut grads, *b, gb);
+                    acc(&mut grads, &mut pool, *a, ga);
+                    acc(&mut grads, &mut pool, *b, gb);
+                    recycle(&mut pool, grad);
                 }
                 Op::AddRow(a, row) => {
-                    acc(&mut grads, *row, grad.sum_rows());
-                    acc(&mut grads, *a, grad);
+                    acc(&mut grads, &mut pool, *row, grad.sum_rows());
+                    acc(&mut grads, &mut pool, *a, grad);
                 }
                 Op::MulCol(a, col) => {
                     let av = self.value(*a);
                     let cv = self.value(*col);
                     let (m, n) = av.shape();
-                    let mut ga = Matrix::zeros(m, n);
-                    let mut gc = Matrix::zeros(m, 1);
+                    let mut ga = take(&mut pool, m, n);
+                    let mut gc = take(&mut pool, m, 1);
                     for i in 0..m {
                         let c = cv.get(i, 0);
                         let mut dsum = 0.0;
@@ -454,36 +609,49 @@ impl Graph {
                         }
                         gc.set(i, 0, dsum);
                     }
-                    acc(&mut grads, *a, ga);
-                    acc(&mut grads, *col, gc);
+                    acc(&mut grads, &mut pool, *a, ga);
+                    acc(&mut grads, &mut pool, *col, gc);
+                    recycle(&mut pool, grad);
                 }
-                Op::Scale(a, c) => acc(&mut grads, *a, grad.scale(*c)),
-                Op::AddScalar(a) => acc(&mut grads, *a, grad),
+                Op::Scale(a, c) => {
+                    acc(&mut grads, &mut pool, *a, grad.scale(*c));
+                    recycle(&mut pool, grad);
+                }
+                Op::AddScalar(a) => acc(&mut grads, &mut pool, *a, grad),
                 Op::Sigmoid(a) => {
                     let y = self.value(NodeId(id));
-                    acc(&mut grads, *a, grad.zip_map(y, |g, y| g * y * (1.0 - y)));
+                    acc(&mut grads, &mut pool, *a, grad.zip_map(y, |g, y| g * y * (1.0 - y)));
+                    recycle(&mut pool, grad);
                 }
                 Op::Tanh(a) => {
                     let y = self.value(NodeId(id));
-                    acc(&mut grads, *a, grad.zip_map(y, |g, y| g * (1.0 - y * y)));
+                    acc(&mut grads, &mut pool, *a, grad.zip_map(y, |g, y| g * (1.0 - y * y)));
+                    recycle(&mut pool, grad);
                 }
                 Op::Relu(a) => {
                     let x = self.value(*a);
-                    acc(&mut grads, *a, grad.zip_map(x, |g, x| if x > 0.0 { g } else { 0.0 }));
+                    let gx = grad.zip_map(x, |g, x| if x > 0.0 { g } else { 0.0 });
+                    acc(&mut grads, &mut pool, *a, gx);
+                    recycle(&mut pool, grad);
                 }
                 Op::Exp(a) => {
                     let y = self.value(NodeId(id));
-                    acc(&mut grads, *a, grad.hadamard(y));
+                    acc(&mut grads, &mut pool, *a, grad.hadamard(y));
+                    recycle(&mut pool, grad);
                 }
                 Op::Ln(a) => {
                     let x = self.value(*a);
-                    acc(&mut grads, *a, grad.zip_map(x, |g, x| g / x.max(1e-12)));
+                    acc(&mut grads, &mut pool, *a, grad.zip_map(x, |g, x| g / x.max(1e-12)));
+                    recycle(&mut pool, grad);
                 }
-                Op::Transpose(a) => acc(&mut grads, *a, grad.transpose()),
+                Op::Transpose(a) => {
+                    acc(&mut grads, &mut pool, *a, grad.transpose());
+                    recycle(&mut pool, grad);
+                }
                 Op::SoftmaxRows(a) => {
                     let y = self.value(NodeId(id));
                     let (m, n) = y.shape();
-                    let mut gx = Matrix::zeros(m, n);
+                    let mut gx = take(&mut pool, m, n);
                     for i in 0..m {
                         let yr = y.row(i);
                         let gr = grad.row(i);
@@ -492,63 +660,76 @@ impl Graph {
                             gx.set(i, j, yr[j] * (gr[j] - dot));
                         }
                     }
-                    acc(&mut grads, *a, gx);
+                    acc(&mut grads, &mut pool, *a, gx);
+                    recycle(&mut pool, grad);
                 }
                 Op::SumAll(a) => {
                     let (m, n) = self.shape(*a);
-                    acc(&mut grads, *a, Matrix::full(m, n, grad.item()));
+                    let g = grad.item();
+                    let mut gx = take(&mut pool, m, n);
+                    gx.data_mut().fill(g);
+                    acc(&mut grads, &mut pool, *a, gx);
+                    recycle(&mut pool, grad);
                 }
                 Op::MeanAll(a) => {
                     let (m, n) = self.shape(*a);
-                    acc(&mut grads, *a, Matrix::full(m, n, grad.item() / (m * n) as f64));
+                    let g = grad.item() / (m * n) as f64;
+                    let mut gx = take(&mut pool, m, n);
+                    gx.data_mut().fill(g);
+                    acc(&mut grads, &mut pool, *a, gx);
+                    recycle(&mut pool, grad);
                 }
                 Op::RowSums(a) => {
                     let (m, n) = self.shape(*a);
-                    let mut gx = Matrix::zeros(m, n);
+                    let mut gx = take(&mut pool, m, n);
                     for i in 0..m {
                         let g = grad.get(i, 0);
                         gx.row_mut(i).fill(g);
                     }
-                    acc(&mut grads, *a, gx);
+                    acc(&mut grads, &mut pool, *a, gx);
+                    recycle(&mut pool, grad);
                 }
                 Op::ConcatCols(a, b) => {
                     let (m, na) = self.shape(*a);
                     let (_, nb) = self.shape(*b);
-                    let mut ga = Matrix::zeros(m, na);
-                    let mut gb = Matrix::zeros(m, nb);
+                    let mut ga = take(&mut pool, m, na);
+                    let mut gb = take(&mut pool, m, nb);
                     for i in 0..m {
                         ga.row_mut(i).copy_from_slice(&grad.row(i)[..na]);
                         gb.row_mut(i).copy_from_slice(&grad.row(i)[na..na + nb]);
                     }
-                    acc(&mut grads, *a, ga);
-                    acc(&mut grads, *b, gb);
+                    acc(&mut grads, &mut pool, *a, ga);
+                    acc(&mut grads, &mut pool, *b, gb);
+                    recycle(&mut pool, grad);
                 }
                 Op::VStack(parts) => {
                     let mut offset = 0;
                     for &p in parts {
                         let (r, c) = self.shape(p);
-                        let mut gp = Matrix::zeros(r, c);
+                        let mut gp = take(&mut pool, r, c);
                         for i in 0..r {
                             gp.row_mut(i).copy_from_slice(grad.row(offset + i));
                         }
                         offset += r;
-                        acc(&mut grads, p, gp);
+                        acc(&mut grads, &mut pool, p, gp);
                     }
+                    recycle(&mut pool, grad);
                 }
                 Op::SelectRows { x, indices } => {
                     let (m, n) = self.shape(*x);
-                    let mut gx = Matrix::zeros(m, n);
+                    let mut gx = take(&mut pool, m, n);
                     for (r, &idx) in indices.iter().enumerate() {
                         let grow = grad.row(r);
                         for (o, &g) in gx.row_mut(idx).iter_mut().zip(grow.iter()) {
                             *o += g;
                         }
                     }
-                    acc(&mut grads, *x, gx);
+                    acc(&mut grads, &mut pool, *x, gx);
+                    recycle(&mut pool, grad);
                 }
                 Op::EmbedBag { emb, bags, mean } => {
                     let (m, n) = self.shape(*emb);
-                    let mut ge = Matrix::zeros(m, n);
+                    let mut ge = take(&mut pool, m, n);
                     for (r, bag) in bags.iter().enumerate() {
                         if bag.is_empty() {
                             continue;
@@ -561,14 +742,15 @@ impl Graph {
                             }
                         }
                     }
-                    acc(&mut grads, *emb, ge);
+                    acc(&mut grads, &mut pool, *emb, ge);
+                    recycle(&mut pool, grad);
                 }
                 Op::DotRows(a, b) => {
                     let av = self.value(*a);
                     let bv = self.value(*b);
                     let (m, n) = av.shape();
-                    let mut ga = Matrix::zeros(m, n);
-                    let mut gb = Matrix::zeros(m, n);
+                    let mut ga = take(&mut pool, m, n);
+                    let mut gb = take(&mut pool, m, n);
                     for i in 0..m {
                         let g = grad.get(i, 0);
                         for j in 0..n {
@@ -576,30 +758,34 @@ impl Graph {
                             gb.set(i, j, g * av.get(i, j));
                         }
                     }
-                    acc(&mut grads, *a, ga);
-                    acc(&mut grads, *b, gb);
+                    acc(&mut grads, &mut pool, *a, ga);
+                    acc(&mut grads, &mut pool, *b, gb);
+                    recycle(&mut pool, grad);
                 }
                 Op::BceWithLogits { logits, targets } => {
                     let lv = self.value(*logits);
                     let scale = grad.item() / lv.len() as f64;
                     let gx = lv.zip_map(targets, |x, t| (stable_sigmoid(x) - t) * scale);
-                    acc(&mut grads, *logits, gx);
+                    acc(&mut grads, &mut pool, *logits, gx);
+                    recycle(&mut pool, grad);
                 }
                 Op::MseLoss { x, target } => {
                     let xv = self.value(*x);
                     let scale = 2.0 * grad.item() / xv.len() as f64;
                     let gx = xv.zip_map(target, |a, b| (a - b) * scale);
-                    acc(&mut grads, *x, gx);
+                    acc(&mut grads, &mut pool, *x, gx);
+                    recycle(&mut pool, grad);
                 }
                 Op::L1(a) => {
                     let x = self.value(*a);
                     let g = grad.item();
-                    acc(&mut grads, *a, x.map(|v| g * sign(v)));
+                    acc(&mut grads, &mut pool, *a, x.map(|v| g * sign(v)));
+                    recycle(&mut pool, grad);
                 }
                 Op::DivScalar(a, s) => {
                     let sv = self.value(*s).item();
                     let av = self.value(*a);
-                    acc(&mut grads, *a, grad.scale(1.0 / sv));
+                    acc(&mut grads, &mut pool, *a, grad.scale(1.0 / sv));
                     // d/ds (a/s) = -a/s²; reduce with the upstream grad.
                     let ds: f64 = grad
                         .data()
@@ -607,19 +793,21 @@ impl Graph {
                         .zip(av.data())
                         .map(|(&g, &x)| -g * x / (sv * sv))
                         .sum();
-                    acc(&mut grads, *s, Matrix::scalar(ds));
+                    acc(&mut grads, &mut pool, *s, Matrix::scalar(ds));
+                    recycle(&mut pool, grad);
                 }
                 Op::Acyclicity(w) => {
                     let (_, dh) = linalg::acyclicity_with_grad(self.value(*w));
-                    acc(&mut grads, *w, dh.scale(grad.item()));
+                    acc(&mut grads, &mut pool, *w, dh.scale(grad.item()));
+                    recycle(&mut pool, grad);
                 }
                 Op::LayerNormRows { x, gamma, beta, eps } => {
                     let xv = self.value(*x);
                     let (m, n) = xv.shape();
                     let g = self.value(*gamma).row(0).to_vec();
-                    let mut gx = Matrix::zeros(m, n);
-                    let mut gg = Matrix::zeros(1, n);
-                    let mut gb = Matrix::zeros(1, n);
+                    let mut gx = take(&mut pool, m, n);
+                    let mut gg = take(&mut pool, 1, n);
+                    let mut gb = take(&mut pool, 1, n);
                     for i in 0..m {
                         let row = xv.row(i);
                         let mu = row.iter().sum::<f64>() / n as f64;
@@ -641,19 +829,37 @@ impl Graph {
                             gx.set(i, j, inv * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat));
                         }
                     }
-                    acc(&mut grads, *x, gx);
-                    acc(&mut grads, *gamma, gg);
-                    acc(&mut grads, *beta, gb);
+                    acc(&mut grads, &mut pool, *x, gx);
+                    acc(&mut grads, &mut pool, *gamma, gg);
+                    acc(&mut grads, &mut pool, *beta, gb);
+                    recycle(&mut pool, grad);
                 }
             }
         }
+        pool.truncate(POOL_CAP);
+        self.pool = pool;
     }
 }
 
-/// Accumulate `g` into the gradient slot for `id`.
-fn acc(grads: &mut [Option<Matrix>], id: NodeId, g: Matrix) {
+/// A zeroed pooled matrix for the reverse sweep (free function because the
+/// pool is detached from the graph while `self.nodes` is borrowed).
+fn take(pool: &mut Vec<Vec<f64>>, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_buf(rows, cols, pool.pop().unwrap_or_default())
+}
+
+/// Return a matrix's backing buffer to the pool.
+fn recycle(pool: &mut Vec<Vec<f64>>, m: Matrix) {
+    pool.push(m.into_data());
+}
+
+/// Accumulate `g` into the gradient slot for `id`, recycling `g`'s buffer
+/// when the slot was already occupied.
+fn acc(grads: &mut [Option<Matrix>], pool: &mut Vec<Vec<f64>>, id: NodeId, g: Matrix) {
     match &mut grads[id.0] {
-        Some(existing) => existing.add_scaled(&g, 1.0),
+        Some(existing) => {
+            existing.add_scaled(&g, 1.0);
+            recycle(pool, g);
+        }
         slot @ None => *slot = Some(g),
     }
 }

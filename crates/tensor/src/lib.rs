@@ -35,9 +35,11 @@ pub mod init;
 pub mod linalg;
 pub mod matrix;
 pub mod optim;
+pub mod parallel;
 pub mod param;
 
 pub use graph::{stable_sigmoid, Graph, NodeId};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};
+pub use parallel::{configured_threads, shard_ranges, ParallelTrainer, THREADS_ENV};
 pub use param::{GradStore, ParamId, ParamSet};

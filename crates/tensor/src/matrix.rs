@@ -6,6 +6,21 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Cache-blocking tile sizes (in f64 elements) for the matmul kernels:
+/// `MC×KC` tiles of the left operand (32 KiB) and `KC×NC` slabs of the right
+/// operand (128 KiB) stay cache-resident while the contiguous saxpy inner
+/// loop streams each output row segment. Inputs that fit a single tile take
+/// the unblocked path — the two are bitwise-identical (accumulation order
+/// per output element is the same ascending-`k` order), so the crossover is
+/// purely a performance knob, tuned with `cargo bench --bench micro`.
+const MC: usize = 64;
+const KC: usize = 64;
+const NC: usize = 256;
+/// Row-group width inside a tile: one loaded B row updates `IR` output rows
+/// before the next B row is touched, amortizing B traffic while the group's
+/// C rows (`IR × NC` ≈ 16 KiB) stay L1-resident.
+const IR: usize = 8;
+
 /// A dense row-major matrix of `f64` values.
 ///
 /// ```
@@ -51,6 +66,30 @@ impl Matrix {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), rows * cols, "shape {rows}x{cols} needs {} values", rows * cols);
         Matrix { rows, cols, data }
+    }
+
+    /// A zeroed `rows×cols` matrix reusing `buf` as backing storage (its
+    /// contents are discarded, its capacity kept). This is how the tape's
+    /// buffer pool turns recycled allocations back into matrices.
+    pub fn from_buf(rows: usize, cols: usize, mut buf: Vec<f64>) -> Self {
+        buf.clear();
+        buf.resize(rows * cols, 0.0);
+        Matrix { rows, cols, data: buf }
+    }
+
+    /// A 1x1 matrix holding `v`, backed by a recycled buffer.
+    pub fn from_buf_scalar(v: f64, buf: Vec<f64>) -> Self {
+        let mut m = Matrix::from_buf(1, 1, buf);
+        m.data[0] = v;
+        m
+    }
+
+    /// Reshape in place to a zeroed `rows×cols` matrix, keeping capacity.
+    fn reset_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Build element-wise from a function of `(row, col)`.
@@ -156,12 +195,179 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `self^T * rhs` without materializing the transpose.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// `self * rhs^T` without materializing the transpose.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// `self * rhs` into a reusable output matrix (reshaped and zeroed).
+    ///
+    /// Dispatches between the reference `ikj` kernel and an `MC×KC×NC`
+    /// cache-blocked variant. Both accumulate each output element over `k`
+    /// in the same ascending order, keep the `a_ik == 0` skip, and differ
+    /// only in *which* element is updated when — so their results are
+    /// bitwise identical and the crossover is purely a performance knob.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        out.reset_to(self.rows, rhs.cols);
+        if self.rows <= MC && self.cols <= KC && rhs.cols <= NC {
+            self.matmul_naive_into(rhs, out);
+            return;
+        }
+        let n = rhs.cols;
+        for jc in (0..n).step_by(NC) {
+            let j_end = (jc + NC).min(n);
+            for ic in (0..self.rows).step_by(MC) {
+                let i_end = (ic + MC).min(self.rows);
+                for kc in (0..self.cols).step_by(KC) {
+                    let k_end = (kc + KC).min(self.cols);
+                    // Row groups of IR: one B-row load feeds IR C-row
+                    // updates (the group's C rows stay L1-resident), while
+                    // each out[i][j] still accumulates over k in ascending
+                    // order — bitwise identical to the naive kernel.
+                    for ig in (ic..i_end).step_by(IR) {
+                        let ig_end = (ig + IR).min(i_end);
+                        for k in kc..k_end {
+                            let b_row = &rhs.row(k)[jc..j_end];
+                            for i in ig..ig_end {
+                                let a_ik = self.data[i * self.cols + k];
+                                if a_ik == 0.0 {
+                                    continue;
+                                }
+                                let out_row = &mut out.data[i * n + jc..i * n + j_end];
+                                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                                    *o += a_ik * b;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `self^T * rhs` into a reusable output matrix (reshaped and zeroed).
+    /// Blocked/naive dispatch with the same bitwise-identity argument as
+    /// [`Matrix::matmul_into`].
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn shape mismatch");
+        out.reset_to(self.cols, rhs.cols);
+        if self.cols <= MC && self.rows <= KC && rhs.cols <= NC {
+            self.matmul_tn_naive_into(rhs, out);
+            return;
+        }
+        let n = rhs.cols;
+        for jc in (0..n).step_by(NC) {
+            let j_end = (jc + NC).min(n);
+            for ic in (0..self.cols).step_by(MC) {
+                let i_end = (ic + MC).min(self.cols);
+                for kc in (0..self.rows).step_by(KC) {
+                    let k_end = (kc + KC).min(self.rows);
+                    // Same IR row-grouping as matmul_into: bounds C-row
+                    // working set to IR rows per k sweep without touching
+                    // the per-element k accumulation order.
+                    for ig in (ic..i_end).step_by(IR) {
+                        let ig_end = (ig + IR).min(i_end);
+                        for k in kc..k_end {
+                            let a_group = &self.row(k)[ig..ig_end];
+                            let b_row = &rhs.row(k)[jc..j_end];
+                            for (off, &a_ki) in a_group.iter().enumerate() {
+                                if a_ki == 0.0 {
+                                    continue;
+                                }
+                                let i = ig + off;
+                                let out_row = &mut out.data[i * n + jc..i * n + j_end];
+                                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                                    *o += a_ki * b;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `self * rhs^T` into a reusable output matrix (reshaped and zeroed).
+    /// Blocks over the `(i, j)` output tile only; each element is one full
+    /// dot product over `k`, so blocked and naive results are bitwise equal.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt shape mismatch");
+        out.reset_to(self.rows, rhs.rows);
+        if self.rows <= MC && rhs.rows <= NC {
+            self.matmul_nt_naive_into(rhs, out);
+            return;
+        }
+        let n = rhs.rows;
+        for ic in (0..self.rows).step_by(MC) {
+            let i_end = (ic + MC).min(self.rows);
+            for jc in (0..n).step_by(NC) {
+                let j_end = (jc + NC).min(n);
+                // IR-row groups: each B row is read once per group instead
+                // of once per A row; every dot still runs over the full k
+                // range in order, so results are bitwise equal to naive.
+                for ig in (ic..i_end).step_by(IR) {
+                    let ig_end = (ig + IR).min(i_end);
+                    for j in jc..j_end {
+                        let b_row = rhs.row(j);
+                        for i in ig..ig_end {
+                            let a_row = self.row(i);
+                            let mut acc = 0.0;
+                            for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                                acc += a * b;
+                            }
+                            out.data[i * n + j] = acc;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference (unblocked) `ikj` product; public so benches and property
+    /// tests can compare the blocked kernels against it.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_naive_into(rhs, &mut out);
+        out
+    }
+
+    /// Reference (unblocked) `self^T * rhs`.
+    pub fn matmul_tn_naive(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn shape mismatch");
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_tn_naive_into(rhs, &mut out);
+        out
+    }
+
+    /// Reference (unblocked) `self * rhs^T`.
+    pub fn matmul_nt_naive(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt shape mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_nt_naive_into(rhs, &mut out);
+        out
+    }
+
+    fn matmul_naive_into(&self, rhs: &Matrix, out: &mut Matrix) {
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
@@ -175,13 +381,9 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
-    /// `self^T * rhs` without materializing the transpose.
-    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.rows, rhs.rows, "matmul_tn shape mismatch");
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
+    fn matmul_tn_naive_into(&self, rhs: &Matrix, out: &mut Matrix) {
         for k in 0..self.rows {
             let a_row = self.row(k);
             let b_row = rhs.row(k);
@@ -195,13 +397,9 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
-    /// `self * rhs^T` without materializing the transpose.
-    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.cols, "matmul_nt shape mismatch");
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
+    fn matmul_nt_naive_into(&self, rhs: &Matrix, out: &mut Matrix) {
         for i in 0..self.rows {
             let a_row = self.row(i);
             for j in 0..rhs.rows {
@@ -213,7 +411,6 @@ impl Matrix {
                 out.data[i * rhs.rows + j] = acc;
             }
         }
-        out
     }
 
     /// Transposed copy.

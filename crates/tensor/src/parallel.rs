@@ -1,0 +1,258 @@
+//! Data-parallel batch sharding over reusable autodiff tapes.
+//!
+//! A [`ParallelTrainer`] owns one [`Graph`] tape per worker thread. Each
+//! training step splits the minibatch into contiguous shards; every worker
+//! builds its own tape against a shared *read-only* [`ParamSet`] snapshot
+//! (parameter matrices are `Arc`-shared, never cloned), runs the reverse
+//! sweep into a private [`GradStore`], and the per-shard stores are reduced
+//! by summation **in shard-index order** before the single optimizer step.
+//!
+//! Determinism contract:
+//!
+//! - `threads == 1` runs the closure inline on the caller's thread over the
+//!   whole batch — byte-for-byte the behavior of the old serial loop.
+//! - `threads == N` produces gradients that differ from serial only in
+//!   floating-point summation order (each parameter's gradient is the sum
+//!   of the same per-item terms, grouped by shard); for a fixed `N` the
+//!   result is fully reproducible because shards are reduced in order.
+//!
+//! Thread count resolution: an explicit `Some(n)` from config wins,
+//! otherwise the `CAUSER_THREADS` environment variable, otherwise 1 —
+//! parallelism is strictly opt-in so default runs stay bitwise-reproducible
+//! against recorded results.
+
+use std::thread;
+
+use crate::graph::Graph;
+use crate::param::{GradStore, ParamSet};
+
+/// Name of the environment variable consulted by [`configured_threads`].
+pub const THREADS_ENV: &str = "CAUSER_THREADS";
+
+/// Resolve the worker-thread count: `override_threads`, else
+/// `CAUSER_THREADS`, else 1. Values are clamped to at least 1; unparsable
+/// env values are ignored.
+pub fn configured_threads(override_threads: Option<usize>) -> usize {
+    if let Some(n) = override_threads {
+        return n.max(1);
+    }
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(1)
+}
+
+/// Split `len` items into `shards` contiguous ranges whose sizes differ by
+/// at most one (the first `len % shards` ranges get the extra item). Empty
+/// ranges are omitted.
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.max(1);
+    let base = len / shards;
+    let rem = len % shards;
+    let mut out = Vec::with_capacity(shards.min(len));
+    let mut start = 0;
+    for s in 0..shards {
+        let size = base + usize::from(s < rem);
+        if size == 0 {
+            continue;
+        }
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// A pool of reusable tapes for data-parallel gradient computation.
+pub struct ParallelTrainer {
+    threads: usize,
+    /// One reusable tape per worker (index 0 doubles as the serial tape).
+    tapes: Vec<Graph>,
+}
+
+impl ParallelTrainer {
+    /// A trainer with an explicit worker count (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ParallelTrainer { threads, tapes: (0..threads).map(|_| Graph::new()).collect() }
+    }
+
+    /// A trainer honoring `override_threads` / `CAUSER_THREADS` / serial.
+    pub fn from_config(override_threads: Option<usize>) -> Self {
+        ParallelTrainer::new(configured_threads(override_threads))
+    }
+
+    /// Number of worker threads this trainer uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The serial tape, for auxiliary single-threaded passes (regularizer
+    /// terms, structure penalties) that should reuse pooled buffers too.
+    pub fn main_tape(&mut self) -> &mut Graph {
+        &mut self.tapes[0]
+    }
+
+    /// Run `f` over contiguous shards of `items`, one worker thread per
+    /// shard, and reduce the per-shard gradients in shard-index order.
+    ///
+    /// `f(tape, store, shard)` builds a forward/backward pass for its shard
+    /// on the given tape and returns the shard's contribution to the batch
+    /// loss (already weighted — typically `mean_loss * shard_len / total`,
+    /// seeded into `Graph::backward_seeded` with the same weight). Returns
+    /// the summed loss contributions and the merged store.
+    ///
+    /// With one thread the closure runs inline on the caller's thread over
+    /// the whole batch, which reproduces the serial loop exactly. Tapes are
+    /// reset by each worker after its pass (releasing parameter `Arc`s
+    /// before the caller's optimizer step) while retaining their buffers.
+    pub fn for_each_shard<T, F>(
+        &mut self,
+        items: &[T],
+        ps: &ParamSet,
+        f: F,
+    ) -> (f64, GradStore)
+    where
+        T: Sync,
+        F: Fn(&mut Graph, &mut GradStore, &[T]) -> f64 + Sync,
+    {
+        if self.threads == 1 {
+            let tape = &mut self.tapes[0];
+            let mut store = GradStore::new(ps);
+            let loss = f(tape, &mut store, items);
+            tape.reset();
+            return (loss, store);
+        }
+
+        let ranges = shard_ranges(items.len(), self.threads);
+        let mut results: Vec<Option<(f64, GradStore)>> =
+            (0..ranges.len()).map(|_| None).collect();
+        thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(ranges.len());
+            for (tape, (range, slot)) in
+                self.tapes.iter_mut().zip(ranges.iter().zip(results.iter_mut()))
+            {
+                let shard = &items[range.clone()];
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut store = GradStore::new(ps);
+                    let loss = f(tape, &mut store, shard);
+                    tape.reset();
+                    *slot = Some((loss, store));
+                }));
+            }
+            for h in handles {
+                // A worker panic is a programming error; surface it.
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+
+        // Ordered reduction: shard 0, then 1, ... so the floating-point sum
+        // is deterministic for a fixed thread count.
+        let mut total_loss = 0.0;
+        let mut merged = GradStore::new(ps);
+        for slot in results {
+            let (loss, store) = slot.expect("worker completed without result");
+            total_loss += loss;
+            merged.add_scaled_from(&store, 1.0);
+        }
+        (total_loss, merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::param::ParamSet;
+
+    #[test]
+    fn shard_ranges_cover_and_balance() {
+        let r = shard_ranges(10, 4);
+        assert_eq!(r, vec![0..3, 3..6, 6..8, 8..10]);
+        let r = shard_ranges(3, 8);
+        assert_eq!(r, vec![0..1, 1..2, 2..3]);
+        assert!(shard_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn configured_threads_prefers_override() {
+        assert_eq!(configured_threads(Some(3)), 3);
+        assert_eq!(configured_threads(Some(0)), 1);
+    }
+
+    /// The gradient of `sum_i (w - x_i)^2` computed over 4 shards must match
+    /// the serial gradient up to summation order (here exactly, since each
+    /// shard contributes integer-valued terms).
+    #[test]
+    fn sharded_gradients_match_serial() {
+        let xs: Vec<f64> = (0..13).map(|i| i as f64).collect();
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Matrix::scalar(0.25));
+
+        let run = |threads: usize| {
+            let mut ps_local = ParamSet::new();
+            let w_local = ps_local.add("w", Matrix::scalar(0.25));
+            let mut trainer = ParallelTrainer::new(threads);
+            let (loss, store) = trainer.for_each_shard(&xs, &ps_local, |g, gs, shard| {
+                let wn = g.param(&ps_local, w_local);
+                let mut total = None;
+                for &x in shard {
+                    let d = g.add_scalar(wn, -x);
+                    let sq = g.mul(d, d);
+                    total = Some(match total {
+                        None => sq,
+                        Some(t) => g.add(t, sq),
+                    });
+                }
+                let loss = g.sum_all(total.unwrap());
+                let v = g.value(loss).item();
+                g.backward(loss, gs);
+                v
+            });
+            (loss, store.get(w_local).unwrap().item())
+        };
+
+        let (serial_loss, serial_grad) = run(1);
+        let (par_loss, par_grad) = run(4);
+        assert!((serial_loss - par_loss).abs() < 1e-9, "{serial_loss} vs {par_loss}");
+        assert!((serial_grad - par_grad).abs() < 1e-9, "{serial_grad} vs {par_grad}");
+        // Sanity: d/dw sum (w-x)^2 = 2*sum(w-x).
+        let expected: f64 = xs.iter().map(|&x| 2.0 * (0.25 - x)).sum();
+        assert!((serial_grad - expected).abs() < 1e-9);
+        let _ = (w, &ps);
+    }
+
+    /// Reusing a trainer across steps must not leak nodes between steps.
+    #[test]
+    fn tapes_reset_between_calls() {
+        let xs = [1.0f64, 2.0, 3.0];
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Matrix::scalar(1.0));
+        let mut trainer = ParallelTrainer::new(2);
+        for _ in 0..3 {
+            let (_, store) = trainer.for_each_shard(&xs, &ps, |g, gs, shard| {
+                let wn = g.param(&ps, w);
+                let mut total = None;
+                for &x in shard {
+                    let d = g.add_scalar(wn, -x);
+                    let sq = g.mul(d, d);
+                    total = Some(match total {
+                        None => sq,
+                        Some(t) => g.add(t, sq),
+                    });
+                }
+                let loss = g.sum_all(total.unwrap());
+                let v = g.value(loss).item();
+                g.backward(loss, gs);
+                v
+            });
+            assert!(store.get(w).is_some());
+            for tape in &trainer.tapes {
+                assert!(tape.is_empty(), "tape must be reset after each step");
+            }
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Named parameter storage shared between model code and optimizers.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::matrix::Matrix;
 
@@ -20,13 +20,14 @@ impl ParamId {
 
 /// A set of named, trainable matrices.
 ///
-/// Values are held behind `Rc` so that a [`Graph`](crate::graph::Graph) can
-/// reference them without cloning; the optimizer mutates them through
-/// [`Rc::make_mut`] once all graphs of the step have been dropped (so the
-/// mutation is in-place in the common case).
+/// Values are held behind `Arc` so that a [`Graph`](crate::graph::Graph) can
+/// reference them without cloning — including graphs owned by worker threads
+/// during a data-parallel step — and the optimizer mutates them through
+/// [`Arc::make_mut`] once all graphs of the step have been dropped or reset
+/// (so the mutation is in-place in the common case).
 #[derive(Default)]
 pub struct ParamSet {
-    values: Vec<Rc<Matrix>>,
+    values: Vec<Arc<Matrix>>,
     names: Vec<String>,
     /// Ids of parameters currently frozen (excluded from optimizer updates).
     frozen: Vec<bool>,
@@ -43,7 +44,7 @@ impl ParamSet {
             !self.names.iter().any(|n| n == name),
             "duplicate parameter name {name:?}"
         );
-        self.values.push(Rc::new(value));
+        self.values.push(Arc::new(value));
         self.names.push(name.to_string());
         self.frozen.push(false);
         ParamId(self.values.len() - 1)
@@ -70,18 +71,18 @@ impl ParamSet {
         &self.values[id.0]
     }
 
-    pub(crate) fn value_rc(&self, id: ParamId) -> Rc<Matrix> {
-        Rc::clone(&self.values[id.0])
+    pub(crate) fn value_rc(&self, id: ParamId) -> Arc<Matrix> {
+        Arc::clone(&self.values[id.0])
     }
 
     /// Mutable access (clones only if a graph still holds the value).
     pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
-        Rc::make_mut(&mut self.values[id.0])
+        Arc::make_mut(&mut self.values[id.0])
     }
 
     /// Overwrite a parameter value (shape may change).
     pub fn set_value(&mut self, id: ParamId, value: Matrix) {
-        self.values[id.0] = Rc::new(value);
+        self.values[id.0] = Arc::new(value);
     }
 
     /// Freeze or unfreeze a parameter; frozen parameters are skipped by
@@ -145,6 +146,35 @@ impl GradStore {
 
     pub fn is_empty(&self) -> bool {
         self.grads.is_empty()
+    }
+
+    /// Merge another store into this one: `self += alpha * other`. Used to
+    /// reduce per-shard gradients after a data-parallel backward pass; the
+    /// caller is responsible for merging shards in a fixed order so the
+    /// floating-point summation is deterministic.
+    pub fn add_scaled_from(&mut self, other: &GradStore, alpha: f64) {
+        assert_eq!(self.grads.len(), other.grads.len(), "grad store size mismatch");
+        for (dst, src) in self.grads.iter_mut().zip(other.grads.iter()) {
+            if let Some(g) = src {
+                match dst {
+                    Some(d) => d.add_scaled(g, alpha),
+                    slot @ None => {
+                        let mut m = g.clone();
+                        if alpha != 1.0 {
+                            m.map_inplace(|v| v * alpha);
+                        }
+                        *slot = Some(m);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scale every stored gradient by `alpha`.
+    pub fn scale_all(&mut self, alpha: f64) {
+        for g in self.grads.iter_mut().flatten() {
+            g.map_inplace(|v| v * alpha);
+        }
     }
 
     /// Drop all accumulated gradients.

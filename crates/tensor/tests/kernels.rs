@@ -1,0 +1,167 @@
+//! The cache-blocked matmul kernels against their naive references, and the
+//! fused transpose-matmul graph ops against their two-node compositions.
+//!
+//! The blocked kernels preserve the naive kernels' per-element accumulation
+//! order (ascending `k` for every output element), so equality here is
+//! *bitwise*, not approximate — any drift is a blocking bug.
+
+use causer_tensor::{gradcheck, init, Graph, Matrix, ParamSet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rand_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    init::uniform(rng, rows, cols, 2.0)
+}
+
+/// Shapes chosen to straddle the MC=64 / KC=64 / NC=256 tile boundaries:
+/// degenerate, odd, exactly-one-tile, one-past-a-tile, and multi-tile.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (7, 13, 5),
+    (1, 64, 1),
+    (63, 64, 65),
+    (64, 64, 64),
+    (65, 1, 257),
+    (65, 65, 65),
+    (70, 129, 30),
+    (128, 65, 256),
+];
+
+#[test]
+fn blocked_matmul_matches_naive_bitwise() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for &(m, k, n) in SHAPES {
+        let a = rand_matrix(&mut rng, m, k);
+        let b = rand_matrix(&mut rng, k, n);
+        assert_eq!(
+            a.matmul(&b).data(),
+            a.matmul_naive(&b).data(),
+            "matmul {m}x{k}x{n} diverged from naive"
+        );
+    }
+}
+
+#[test]
+fn blocked_matmul_tn_matches_naive_bitwise() {
+    let mut rng = StdRng::seed_from_u64(100);
+    for &(m, k, n) in SHAPES {
+        // AᵀB with A: k×m, B: k×n.
+        let a = rand_matrix(&mut rng, k, m);
+        let b = rand_matrix(&mut rng, k, n);
+        assert_eq!(
+            a.matmul_tn(&b).data(),
+            a.matmul_tn_naive(&b).data(),
+            "matmul_tn {m}x{k}x{n} diverged from naive"
+        );
+    }
+}
+
+#[test]
+fn blocked_matmul_nt_matches_naive_bitwise() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for &(m, k, n) in SHAPES {
+        // ABᵀ with A: m×k, B: n×k.
+        let a = rand_matrix(&mut rng, m, k);
+        let b = rand_matrix(&mut rng, n, k);
+        assert_eq!(
+            a.matmul_nt(&b).data(),
+            a.matmul_nt_naive(&b).data(),
+            "matmul_nt {m}x{k}x{n} diverged from naive"
+        );
+    }
+}
+
+/// The fused graph ops must be bitwise-identical to their transpose+matmul
+/// compositions — forward values and parameter gradients alike.
+#[test]
+fn fused_ops_match_composed_bitwise() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a_tn = rand_matrix(&mut rng, 9, 4); // AᵀB: A 9×4 → Aᵀ 4×9
+    let b_tn = rand_matrix(&mut rng, 9, 6);
+    let a_nt = rand_matrix(&mut rng, 5, 8); // ABᵀ: B 3×8 → Bᵀ 8×3
+    let b_nt = rand_matrix(&mut rng, 3, 8);
+
+    let run = |fused: bool| {
+        let mut ps = ParamSet::new();
+        let pa = ps.add("a", a_tn.clone());
+        let pb = ps.add("b", b_tn.clone());
+        let pc = ps.add("c", a_nt.clone());
+        let pd = ps.add("d", b_nt.clone());
+        let mut g = Graph::new();
+        let (an, bn, cn, dn) =
+            (g.param(&ps, pa), g.param(&ps, pb), g.param(&ps, pc), g.param(&ps, pd));
+        let tn = if fused {
+            g.matmul_tn(an, bn)
+        } else {
+            let at = g.transpose(an);
+            g.matmul(at, bn)
+        };
+        let nt = if fused {
+            g.matmul_nt(cn, dn)
+        } else {
+            let dt = g.transpose(dn);
+            g.matmul(cn, dt)
+        };
+        let s1 = g.sum_all(tn);
+        let s2 = g.sum_all(nt);
+        let loss = g.add(s1, s2);
+        let v = g.value(loss).item();
+        let mut gs = causer_tensor::GradStore::new(&ps);
+        g.backward(loss, &mut gs);
+        let grads: Vec<Vec<f64>> =
+            [pa, pb, pc, pd].iter().map(|&p| gs.get(p).unwrap().data().to_vec()).collect();
+        (v, grads)
+    };
+
+    let (v_fused, g_fused) = run(true);
+    let (v_comp, g_comp) = run(false);
+    assert_eq!(v_fused, v_comp, "fused forward diverged");
+    assert_eq!(g_fused, g_comp, "fused gradients diverged");
+}
+
+#[test]
+fn gradcheck_fused_matmul_tn_nt() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ps = ParamSet::new();
+    let a = ps.add("a", init::xavier(&mut rng, 6, 3));
+    let b = ps.add("b", init::xavier(&mut rng, 6, 4));
+    let c = ps.add("c", init::xavier(&mut rng, 2, 5));
+    let d = ps.add("d", init::xavier(&mut rng, 7, 5));
+    gradcheck::check_gradients(&mut ps, 1e-4, |g, ps| {
+        let an = g.param(ps, a);
+        let bn = g.param(ps, b);
+        let cn = g.param(ps, c);
+        let dn = g.param(ps, d);
+        let tn = g.matmul_tn(an, bn); // 3×4
+        let nt = g.matmul_nt(cn, dn); // 2×7
+        let t1 = g.tanh(tn);
+        let t2 = g.tanh(nt);
+        let s1 = g.sum_all(t1);
+        let s2 = g.sum_all(t2);
+        g.add(s1, s2)
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random shapes and entries: blocked == naive bitwise for all three
+    /// kernels (well under the 1e-12 requirement — exact).
+    #[test]
+    fn blocked_kernels_match_naive_on_random_shapes(
+        m in 1usize..80,
+        k in 1usize..80,
+        n in 1usize..80,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_matrix(&mut rng, m, k);
+        let b = rand_matrix(&mut rng, k, n);
+        prop_assert_eq!(a.matmul(&b).data(), a.matmul_naive(&b).data());
+        let at = rand_matrix(&mut rng, k, m);
+        prop_assert_eq!(at.matmul_tn(&b).data(), at.matmul_tn_naive(&b).data());
+        let bt = rand_matrix(&mut rng, n, k);
+        prop_assert_eq!(a.matmul_nt(&bt).data(), a.matmul_nt_naive(&bt).data());
+    }
+}
