@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/beyond_accuracy-11f88b596562c9a6.d: crates/eval/src/bin/beyond_accuracy.rs
+
+/root/repo/target/debug/deps/beyond_accuracy-11f88b596562c9a6: crates/eval/src/bin/beyond_accuracy.rs
+
+crates/eval/src/bin/beyond_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/causer-17e05285b964b106.d: src/lib.rs
+
+/root/repo/target/debug/deps/causer-17e05285b964b106: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/causer-8618eaa4f534e7cd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcauser-8618eaa4f534e7cd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/causer-a4a4a4e34e6ed499.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcauser-a4a4a4e34e6ed499.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

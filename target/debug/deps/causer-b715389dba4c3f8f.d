@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/causer-b715389dba4c3f8f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcauser-b715389dba4c3f8f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcauser-b715389dba4c3f8f.rmeta: src/lib.rs
+
+src/lib.rs:

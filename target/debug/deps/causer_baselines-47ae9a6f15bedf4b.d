@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/causer_baselines-47ae9a6f15bedf4b.d: crates/baselines/src/lib.rs crates/baselines/src/bpr.rs crates/baselines/src/common.rs crates/baselines/src/gru4rec.rs crates/baselines/src/narm.rs crates/baselines/src/ncf.rs crates/baselines/src/sasrec.rs crates/baselines/src/stamp.rs crates/baselines/src/vtrnn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcauser_baselines-47ae9a6f15bedf4b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/bpr.rs crates/baselines/src/common.rs crates/baselines/src/gru4rec.rs crates/baselines/src/narm.rs crates/baselines/src/ncf.rs crates/baselines/src/sasrec.rs crates/baselines/src/stamp.rs crates/baselines/src/vtrnn.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bpr.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/gru4rec.rs:
+crates/baselines/src/narm.rs:
+crates/baselines/src/ncf.rs:
+crates/baselines/src/sasrec.rs:
+crates/baselines/src/stamp.rs:
+crates/baselines/src/vtrnn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/causer_baselines-fb35834bae725aa5.d: crates/baselines/src/lib.rs crates/baselines/src/bpr.rs crates/baselines/src/common.rs crates/baselines/src/gru4rec.rs crates/baselines/src/narm.rs crates/baselines/src/ncf.rs crates/baselines/src/sasrec.rs crates/baselines/src/stamp.rs crates/baselines/src/vtrnn.rs
+
+/root/repo/target/debug/deps/libcauser_baselines-fb35834bae725aa5.rlib: crates/baselines/src/lib.rs crates/baselines/src/bpr.rs crates/baselines/src/common.rs crates/baselines/src/gru4rec.rs crates/baselines/src/narm.rs crates/baselines/src/ncf.rs crates/baselines/src/sasrec.rs crates/baselines/src/stamp.rs crates/baselines/src/vtrnn.rs
+
+/root/repo/target/debug/deps/libcauser_baselines-fb35834bae725aa5.rmeta: crates/baselines/src/lib.rs crates/baselines/src/bpr.rs crates/baselines/src/common.rs crates/baselines/src/gru4rec.rs crates/baselines/src/narm.rs crates/baselines/src/ncf.rs crates/baselines/src/sasrec.rs crates/baselines/src/stamp.rs crates/baselines/src/vtrnn.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bpr.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/gru4rec.rs:
+crates/baselines/src/narm.rs:
+crates/baselines/src/ncf.rs:
+crates/baselines/src/sasrec.rs:
+crates/baselines/src/stamp.rs:
+crates/baselines/src/vtrnn.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/causer_bench-7cea2d09533fef14.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcauser_bench-7cea2d09533fef14.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcauser_bench-7cea2d09533fef14.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

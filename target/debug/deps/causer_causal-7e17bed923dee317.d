@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/causer_causal-7e17bed923dee317.d: crates/causal/src/lib.rs crates/causal/src/dag.rs crates/causal/src/graph_gen.rs crates/causal/src/mec.rs crates/causal/src/notears.rs crates/causal/src/pc.rs crates/causal/src/shd.rs crates/causal/src/stability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcauser_causal-7e17bed923dee317.rmeta: crates/causal/src/lib.rs crates/causal/src/dag.rs crates/causal/src/graph_gen.rs crates/causal/src/mec.rs crates/causal/src/notears.rs crates/causal/src/pc.rs crates/causal/src/shd.rs crates/causal/src/stability.rs Cargo.toml
+
+crates/causal/src/lib.rs:
+crates/causal/src/dag.rs:
+crates/causal/src/graph_gen.rs:
+crates/causal/src/mec.rs:
+crates/causal/src/notears.rs:
+crates/causal/src/pc.rs:
+crates/causal/src/shd.rs:
+crates/causal/src/stability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

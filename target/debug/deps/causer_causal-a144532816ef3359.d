@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/causer_causal-a144532816ef3359.d: crates/causal/src/lib.rs crates/causal/src/dag.rs crates/causal/src/graph_gen.rs crates/causal/src/mec.rs crates/causal/src/notears.rs crates/causal/src/pc.rs crates/causal/src/shd.rs crates/causal/src/stability.rs
+
+/root/repo/target/debug/deps/libcauser_causal-a144532816ef3359.rlib: crates/causal/src/lib.rs crates/causal/src/dag.rs crates/causal/src/graph_gen.rs crates/causal/src/mec.rs crates/causal/src/notears.rs crates/causal/src/pc.rs crates/causal/src/shd.rs crates/causal/src/stability.rs
+
+/root/repo/target/debug/deps/libcauser_causal-a144532816ef3359.rmeta: crates/causal/src/lib.rs crates/causal/src/dag.rs crates/causal/src/graph_gen.rs crates/causal/src/mec.rs crates/causal/src/notears.rs crates/causal/src/pc.rs crates/causal/src/shd.rs crates/causal/src/stability.rs
+
+crates/causal/src/lib.rs:
+crates/causal/src/dag.rs:
+crates/causal/src/graph_gen.rs:
+crates/causal/src/mec.rs:
+crates/causal/src/notears.rs:
+crates/causal/src/pc.rs:
+crates/causal/src/shd.rs:
+crates/causal/src/stability.rs:

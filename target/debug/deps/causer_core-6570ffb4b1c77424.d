@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/causer_core-6570ffb4b1c77424.d: crates/core/src/lib.rs crates/core/src/attention.rs crates/core/src/causal_graph.rs crates/core/src/causer_rec.rs crates/core/src/clustering.rs crates/core/src/dynamic.rs crates/core/src/explain.rs crates/core/src/model.rs crates/core/src/persistence.rs crates/core/src/recommender.rs crates/core/src/rnn.rs crates/core/src/train.rs crates/core/src/variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcauser_core-6570ffb4b1c77424.rmeta: crates/core/src/lib.rs crates/core/src/attention.rs crates/core/src/causal_graph.rs crates/core/src/causer_rec.rs crates/core/src/clustering.rs crates/core/src/dynamic.rs crates/core/src/explain.rs crates/core/src/model.rs crates/core/src/persistence.rs crates/core/src/recommender.rs crates/core/src/rnn.rs crates/core/src/train.rs crates/core/src/variants.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/attention.rs:
+crates/core/src/causal_graph.rs:
+crates/core/src/causer_rec.rs:
+crates/core/src/clustering.rs:
+crates/core/src/dynamic.rs:
+crates/core/src/explain.rs:
+crates/core/src/model.rs:
+crates/core/src/persistence.rs:
+crates/core/src/recommender.rs:
+crates/core/src/rnn.rs:
+crates/core/src/train.rs:
+crates/core/src/variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/causer_core-b8730d2516247a55.d: crates/core/src/lib.rs crates/core/src/attention.rs crates/core/src/causal_graph.rs crates/core/src/causer_rec.rs crates/core/src/clustering.rs crates/core/src/dynamic.rs crates/core/src/explain.rs crates/core/src/model.rs crates/core/src/persistence.rs crates/core/src/recommender.rs crates/core/src/rnn.rs crates/core/src/train.rs crates/core/src/variants.rs
+
+/root/repo/target/debug/deps/libcauser_core-b8730d2516247a55.rlib: crates/core/src/lib.rs crates/core/src/attention.rs crates/core/src/causal_graph.rs crates/core/src/causer_rec.rs crates/core/src/clustering.rs crates/core/src/dynamic.rs crates/core/src/explain.rs crates/core/src/model.rs crates/core/src/persistence.rs crates/core/src/recommender.rs crates/core/src/rnn.rs crates/core/src/train.rs crates/core/src/variants.rs
+
+/root/repo/target/debug/deps/libcauser_core-b8730d2516247a55.rmeta: crates/core/src/lib.rs crates/core/src/attention.rs crates/core/src/causal_graph.rs crates/core/src/causer_rec.rs crates/core/src/clustering.rs crates/core/src/dynamic.rs crates/core/src/explain.rs crates/core/src/model.rs crates/core/src/persistence.rs crates/core/src/recommender.rs crates/core/src/rnn.rs crates/core/src/train.rs crates/core/src/variants.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attention.rs:
+crates/core/src/causal_graph.rs:
+crates/core/src/causer_rec.rs:
+crates/core/src/clustering.rs:
+crates/core/src/dynamic.rs:
+crates/core/src/explain.rs:
+crates/core/src/model.rs:
+crates/core/src/persistence.rs:
+crates/core/src/recommender.rs:
+crates/core/src/rnn.rs:
+crates/core/src/train.rs:
+crates/core/src/variants.rs:

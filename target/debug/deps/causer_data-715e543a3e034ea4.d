@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/causer_data-715e543a3e034ea4.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/explanation.rs crates/data/src/features.rs crates/data/src/persistence.rs crates/data/src/profiles.rs crates/data/src/sampling.rs crates/data/src/simulator.rs crates/data/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcauser_data-715e543a3e034ea4.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/explanation.rs crates/data/src/features.rs crates/data/src/persistence.rs crates/data/src/profiles.rs crates/data/src/sampling.rs crates/data/src/simulator.rs crates/data/src/stats.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/explanation.rs:
+crates/data/src/features.rs:
+crates/data/src/persistence.rs:
+crates/data/src/profiles.rs:
+crates/data/src/sampling.rs:
+crates/data/src/simulator.rs:
+crates/data/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

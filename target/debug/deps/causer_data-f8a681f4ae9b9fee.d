@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/causer_data-f8a681f4ae9b9fee.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/explanation.rs crates/data/src/features.rs crates/data/src/persistence.rs crates/data/src/profiles.rs crates/data/src/sampling.rs crates/data/src/simulator.rs crates/data/src/stats.rs
+
+/root/repo/target/debug/deps/libcauser_data-f8a681f4ae9b9fee.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/explanation.rs crates/data/src/features.rs crates/data/src/persistence.rs crates/data/src/profiles.rs crates/data/src/sampling.rs crates/data/src/simulator.rs crates/data/src/stats.rs
+
+/root/repo/target/debug/deps/libcauser_data-f8a681f4ae9b9fee.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/explanation.rs crates/data/src/features.rs crates/data/src/persistence.rs crates/data/src/profiles.rs crates/data/src/sampling.rs crates/data/src/simulator.rs crates/data/src/stats.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/explanation.rs:
+crates/data/src/features.rs:
+crates/data/src/persistence.rs:
+crates/data/src/profiles.rs:
+crates/data/src/sampling.rs:
+crates/data/src/simulator.rs:
+crates/data/src/stats.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/causer_eval-c3843c8d1ba5a4a9.d: crates/eval/src/lib.rs crates/eval/src/config.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/beyond_accuracy.rs crates/eval/src/experiments/falsification.rs crates/eval/src/experiments/efficiency.rs crates/eval/src/experiments/fig3.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/grid_search.rs crates/eval/src/experiments/identifiability.rs crates/eval/src/experiments/sweeps.rs crates/eval/src/experiments/table2.rs crates/eval/src/experiments/table4.rs crates/eval/src/experiments/table5.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcauser_eval-c3843c8d1ba5a4a9.rmeta: crates/eval/src/lib.rs crates/eval/src/config.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/beyond_accuracy.rs crates/eval/src/experiments/falsification.rs crates/eval/src/experiments/efficiency.rs crates/eval/src/experiments/fig3.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/grid_search.rs crates/eval/src/experiments/identifiability.rs crates/eval/src/experiments/sweeps.rs crates/eval/src/experiments/table2.rs crates/eval/src/experiments/table4.rs crates/eval/src/experiments/table5.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/tables.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/config.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/beyond_accuracy.rs:
+crates/eval/src/experiments/falsification.rs:
+crates/eval/src/experiments/efficiency.rs:
+crates/eval/src/experiments/fig3.rs:
+crates/eval/src/experiments/fig7.rs:
+crates/eval/src/experiments/fig8.rs:
+crates/eval/src/experiments/grid_search.rs:
+crates/eval/src/experiments/identifiability.rs:
+crates/eval/src/experiments/sweeps.rs:
+crates/eval/src/experiments/table2.rs:
+crates/eval/src/experiments/table4.rs:
+crates/eval/src/experiments/table5.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/causer_metrics-8fbcbd524431b0a6.d: crates/metrics/src/lib.rs crates/metrics/src/diversity.rs crates/metrics/src/explanation.rs crates/metrics/src/ranking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcauser_metrics-8fbcbd524431b0a6.rmeta: crates/metrics/src/lib.rs crates/metrics/src/diversity.rs crates/metrics/src/explanation.rs crates/metrics/src/ranking.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/diversity.rs:
+crates/metrics/src/explanation.rs:
+crates/metrics/src/ranking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

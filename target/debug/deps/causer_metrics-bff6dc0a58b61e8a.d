@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/causer_metrics-bff6dc0a58b61e8a.d: crates/metrics/src/lib.rs crates/metrics/src/diversity.rs crates/metrics/src/explanation.rs crates/metrics/src/ranking.rs
+
+/root/repo/target/debug/deps/libcauser_metrics-bff6dc0a58b61e8a.rlib: crates/metrics/src/lib.rs crates/metrics/src/diversity.rs crates/metrics/src/explanation.rs crates/metrics/src/ranking.rs
+
+/root/repo/target/debug/deps/libcauser_metrics-bff6dc0a58b61e8a.rmeta: crates/metrics/src/lib.rs crates/metrics/src/diversity.rs crates/metrics/src/explanation.rs crates/metrics/src/ranking.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/diversity.rs:
+crates/metrics/src/explanation.rs:
+crates/metrics/src/ranking.rs:

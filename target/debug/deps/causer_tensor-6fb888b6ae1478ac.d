@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/causer_tensor-6fb888b6ae1478ac.d: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/parallel.rs crates/tensor/src/param.rs
+
+/root/repo/target/debug/deps/causer_tensor-6fb888b6ae1478ac: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/parallel.rs crates/tensor/src/param.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/parallel.rs:
+crates/tensor/src/param.rs:

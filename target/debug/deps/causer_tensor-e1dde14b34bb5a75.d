@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/causer_tensor-e1dde14b34bb5a75.d: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/parallel.rs crates/tensor/src/param.rs
+
+/root/repo/target/debug/deps/libcauser_tensor-e1dde14b34bb5a75.rlib: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/parallel.rs crates/tensor/src/param.rs
+
+/root/repo/target/debug/deps/libcauser_tensor-e1dde14b34bb5a75.rmeta: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/parallel.rs crates/tensor/src/param.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/parallel.rs:
+crates/tensor/src/param.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efficiency-b7ceafee68762b9f.d: crates/eval/src/bin/efficiency.rs
+
+/root/repo/target/debug/deps/efficiency-b7ceafee68762b9f: crates/eval/src/bin/efficiency.rs
+
+crates/eval/src/bin/efficiency.rs:

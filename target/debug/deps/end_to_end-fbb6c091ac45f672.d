@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fbb6c091ac45f672.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-fbb6c091ac45f672: tests/end_to_end.rs
+
+tests/end_to_end.rs:

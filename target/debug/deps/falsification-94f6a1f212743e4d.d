@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/falsification-94f6a1f212743e4d.d: crates/eval/src/bin/falsification.rs
+
+/root/repo/target/debug/deps/falsification-94f6a1f212743e4d: crates/eval/src/bin/falsification.rs
+
+crates/eval/src/bin/falsification.rs:

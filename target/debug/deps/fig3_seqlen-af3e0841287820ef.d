@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_seqlen-af3e0841287820ef.d: crates/eval/src/bin/fig3_seqlen.rs
+
+/root/repo/target/debug/deps/fig3_seqlen-af3e0841287820ef: crates/eval/src/bin/fig3_seqlen.rs
+
+crates/eval/src/bin/fig3_seqlen.rs:

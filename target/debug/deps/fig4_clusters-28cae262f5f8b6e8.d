@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_clusters-28cae262f5f8b6e8.d: crates/eval/src/bin/fig4_clusters.rs
+
+/root/repo/target/debug/deps/fig4_clusters-28cae262f5f8b6e8: crates/eval/src/bin/fig4_clusters.rs
+
+crates/eval/src/bin/fig4_clusters.rs:

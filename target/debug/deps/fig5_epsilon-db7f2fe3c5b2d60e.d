@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_epsilon-db7f2fe3c5b2d60e.d: crates/eval/src/bin/fig5_epsilon.rs
+
+/root/repo/target/debug/deps/fig5_epsilon-db7f2fe3c5b2d60e: crates/eval/src/bin/fig5_epsilon.rs
+
+crates/eval/src/bin/fig5_epsilon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_temperature-8ed6bf670aa42f21.d: crates/eval/src/bin/fig6_temperature.rs
+
+/root/repo/target/debug/deps/fig6_temperature-8ed6bf670aa42f21: crates/eval/src/bin/fig6_temperature.rs
+
+crates/eval/src/bin/fig6_temperature.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_explanation-a43302e6ccd9042f.d: crates/eval/src/bin/fig7_explanation.rs
+
+/root/repo/target/debug/deps/fig7_explanation-a43302e6ccd9042f: crates/eval/src/bin/fig7_explanation.rs
+
+crates/eval/src/bin/fig7_explanation.rs:

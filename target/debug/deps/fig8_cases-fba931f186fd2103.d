@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_cases-fba931f186fd2103.d: crates/eval/src/bin/fig8_cases.rs
+
+/root/repo/target/debug/deps/fig8_cases-fba931f186fd2103: crates/eval/src/bin/fig8_cases.rs
+
+crates/eval/src/bin/fig8_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_ops-49e6026bbc49c0fc.d: crates/tensor/tests/graph_ops.rs
+
+/root/repo/target/debug/deps/graph_ops-49e6026bbc49c0fc: crates/tensor/tests/graph_ops.rs
+
+crates/tensor/tests/graph_ops.rs:

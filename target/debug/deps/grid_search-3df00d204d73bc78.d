@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grid_search-3df00d204d73bc78.d: crates/eval/src/bin/grid_search.rs
+
+/root/repo/target/debug/deps/grid_search-3df00d204d73bc78: crates/eval/src/bin/grid_search.rs
+
+crates/eval/src/bin/grid_search.rs:

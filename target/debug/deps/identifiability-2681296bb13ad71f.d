@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/identifiability-2681296bb13ad71f.d: tests/identifiability.rs
+
+/root/repo/target/debug/deps/identifiability-2681296bb13ad71f: tests/identifiability.rs
+
+tests/identifiability.rs:

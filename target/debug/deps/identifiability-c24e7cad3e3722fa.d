@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/identifiability-c24e7cad3e3722fa.d: crates/eval/src/bin/identifiability.rs
+
+/root/repo/target/debug/deps/identifiability-c24e7cad3e3722fa: crates/eval/src/bin/identifiability.rs
+
+crates/eval/src/bin/identifiability.rs:

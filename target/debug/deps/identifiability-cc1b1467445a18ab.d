@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/identifiability-cc1b1467445a18ab.d: tests/identifiability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libidentifiability-cc1b1467445a18ab.rmeta: tests/identifiability.rs Cargo.toml
+
+tests/identifiability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

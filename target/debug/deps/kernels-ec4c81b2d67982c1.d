@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-ec4c81b2d67982c1.d: crates/tensor/tests/kernels.rs
+
+/root/repo/target/debug/deps/kernels-ec4c81b2d67982c1: crates/tensor/tests/kernels.rs
+
+crates/tensor/tests/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-2874cab960c9a1c2.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-2874cab960c9a1c2: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

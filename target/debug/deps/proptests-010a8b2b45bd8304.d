@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-010a8b2b45bd8304.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-010a8b2b45bd8304: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

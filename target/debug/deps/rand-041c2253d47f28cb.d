@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-041c2253d47f28cb.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-041c2253d47f28cb.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-041c2253d47f28cb.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

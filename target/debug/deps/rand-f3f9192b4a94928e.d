@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-f3f9192b4a94928e.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f3f9192b4a94928e.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

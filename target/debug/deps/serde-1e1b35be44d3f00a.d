@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-1e1b35be44d3f00a.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-1e1b35be44d3f00a.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

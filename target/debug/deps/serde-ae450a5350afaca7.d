@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-ae450a5350afaca7.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ae450a5350afaca7.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ae450a5350afaca7.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-01a846474cb6858e.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-01a846474cb6858e.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-c6e5aa28b9bde947.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c6e5aa28b9bde947.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c6e5aa28b9bde947.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

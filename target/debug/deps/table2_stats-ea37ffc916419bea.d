@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_stats-ea37ffc916419bea.d: crates/eval/src/bin/table2_stats.rs
+
+/root/repo/target/debug/deps/table2_stats-ea37ffc916419bea: crates/eval/src/bin/table2_stats.rs
+
+crates/eval/src/bin/table2_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_overall-ee7932dfade8a163.d: crates/eval/src/bin/table4_overall.rs
+
+/root/repo/target/debug/deps/table4_overall-ee7932dfade8a163: crates/eval/src/bin/table4_overall.rs
+
+crates/eval/src/bin/table4_overall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_ablation-13d568f64133d660.d: crates/eval/src/bin/table5_ablation.rs
+
+/root/repo/target/debug/deps/table5_ablation-13d568f64133d660: crates/eval/src/bin/table5_ablation.rs
+
+crates/eval/src/bin/table5_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/causal_discovery-78418b236fbd632c.d: examples/causal_discovery.rs
+
+/root/repo/target/debug/examples/causal_discovery-78418b236fbd632c: examples/causal_discovery.rs
+
+examples/causal_discovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/causal_discovery-bb585d067a72344d.d: examples/causal_discovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcausal_discovery-bb585d067a72344d.rmeta: examples/causal_discovery.rs Cargo.toml
+
+examples/causal_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_baselines-4c907c2678321a4d.d: examples/compare_baselines.rs
+
+/root/repo/target/debug/examples/compare_baselines-4c907c2678321a4d: examples/compare_baselines.rs
+
+examples/compare_baselines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_baselines-7e84e7a841b9e135.d: examples/compare_baselines.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_baselines-7e84e7a841b9e135.rmeta: examples/compare_baselines.rs Cargo.toml
+
+examples/compare_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_graph-56460fd318de88c7.d: examples/dynamic_graph.rs
+
+/root/repo/target/debug/examples/dynamic_graph-56460fd318de88c7: examples/dynamic_graph.rs
+
+examples/dynamic_graph.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_graph-842acebe51b692fc.d: examples/dynamic_graph.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_graph-842acebe51b692fc.rmeta: examples/dynamic_graph.rs Cargo.toml
+
+examples/dynamic_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

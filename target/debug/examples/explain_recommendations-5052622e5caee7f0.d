@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/explain_recommendations-5052622e5caee7f0.d: examples/explain_recommendations.rs
+
+/root/repo/target/debug/examples/explain_recommendations-5052622e5caee7f0: examples/explain_recommendations.rs
+
+examples/explain_recommendations.rs:

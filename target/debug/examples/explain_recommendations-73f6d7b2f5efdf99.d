@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/explain_recommendations-73f6d7b2f5efdf99.d: examples/explain_recommendations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexplain_recommendations-73f6d7b2f5efdf99.rmeta: examples/explain_recommendations.rs Cargo.toml
+
+examples/explain_recommendations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

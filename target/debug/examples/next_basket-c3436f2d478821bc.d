@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/next_basket-c3436f2d478821bc.d: examples/next_basket.rs
+
+/root/repo/target/debug/examples/next_basket-c3436f2d478821bc: examples/next_basket.rs
+
+examples/next_basket.rs:

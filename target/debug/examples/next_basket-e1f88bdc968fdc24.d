@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/next_basket-e1f88bdc968fdc24.d: examples/next_basket.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnext_basket-e1f88bdc968fdc24.rmeta: examples/next_basket.rs Cargo.toml
+
+examples/next_basket.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0e2c040dfc2ab975.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0e2c040dfc2ab975: examples/quickstart.rs
+
+examples/quickstart.rs:

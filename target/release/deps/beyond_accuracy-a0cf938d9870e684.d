@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/beyond_accuracy-a0cf938d9870e684.d: crates/eval/src/bin/beyond_accuracy.rs
+
+/root/repo/target/release/deps/beyond_accuracy-a0cf938d9870e684: crates/eval/src/bin/beyond_accuracy.rs
+
+crates/eval/src/bin/beyond_accuracy.rs:

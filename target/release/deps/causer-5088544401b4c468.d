@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/causer-5088544401b4c468.d: src/lib.rs
+
+/root/repo/target/release/deps/libcauser-5088544401b4c468.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcauser-5088544401b4c468.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/causer-9abdd31efa5f03af.d: src/lib.rs
+
+/root/repo/target/release/deps/causer-9abdd31efa5f03af: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/causer_baselines-e5079c57a0af319a.d: crates/baselines/src/lib.rs crates/baselines/src/bpr.rs crates/baselines/src/common.rs crates/baselines/src/gru4rec.rs crates/baselines/src/narm.rs crates/baselines/src/ncf.rs crates/baselines/src/sasrec.rs crates/baselines/src/stamp.rs crates/baselines/src/vtrnn.rs
+
+/root/repo/target/release/deps/causer_baselines-e5079c57a0af319a: crates/baselines/src/lib.rs crates/baselines/src/bpr.rs crates/baselines/src/common.rs crates/baselines/src/gru4rec.rs crates/baselines/src/narm.rs crates/baselines/src/ncf.rs crates/baselines/src/sasrec.rs crates/baselines/src/stamp.rs crates/baselines/src/vtrnn.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bpr.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/gru4rec.rs:
+crates/baselines/src/narm.rs:
+crates/baselines/src/ncf.rs:
+crates/baselines/src/sasrec.rs:
+crates/baselines/src/stamp.rs:
+crates/baselines/src/vtrnn.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/causer_bench-74ee5b50682e31a7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcauser_bench-74ee5b50682e31a7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcauser_bench-74ee5b50682e31a7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/causer_bench-cbfdf4a20cd767e9.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/causer_bench-cbfdf4a20cd767e9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/causer_causal-32bc4c69d2eec5a3.d: crates/causal/src/lib.rs crates/causal/src/dag.rs crates/causal/src/graph_gen.rs crates/causal/src/mec.rs crates/causal/src/notears.rs crates/causal/src/pc.rs crates/causal/src/shd.rs crates/causal/src/stability.rs
+
+/root/repo/target/release/deps/causer_causal-32bc4c69d2eec5a3: crates/causal/src/lib.rs crates/causal/src/dag.rs crates/causal/src/graph_gen.rs crates/causal/src/mec.rs crates/causal/src/notears.rs crates/causal/src/pc.rs crates/causal/src/shd.rs crates/causal/src/stability.rs
+
+crates/causal/src/lib.rs:
+crates/causal/src/dag.rs:
+crates/causal/src/graph_gen.rs:
+crates/causal/src/mec.rs:
+crates/causal/src/notears.rs:
+crates/causal/src/pc.rs:
+crates/causal/src/shd.rs:
+crates/causal/src/stability.rs:

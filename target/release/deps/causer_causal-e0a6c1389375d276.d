@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/causer_causal-e0a6c1389375d276.d: crates/causal/src/lib.rs crates/causal/src/dag.rs crates/causal/src/graph_gen.rs crates/causal/src/mec.rs crates/causal/src/notears.rs crates/causal/src/pc.rs crates/causal/src/shd.rs crates/causal/src/stability.rs
+
+/root/repo/target/release/deps/libcauser_causal-e0a6c1389375d276.rlib: crates/causal/src/lib.rs crates/causal/src/dag.rs crates/causal/src/graph_gen.rs crates/causal/src/mec.rs crates/causal/src/notears.rs crates/causal/src/pc.rs crates/causal/src/shd.rs crates/causal/src/stability.rs
+
+/root/repo/target/release/deps/libcauser_causal-e0a6c1389375d276.rmeta: crates/causal/src/lib.rs crates/causal/src/dag.rs crates/causal/src/graph_gen.rs crates/causal/src/mec.rs crates/causal/src/notears.rs crates/causal/src/pc.rs crates/causal/src/shd.rs crates/causal/src/stability.rs
+
+crates/causal/src/lib.rs:
+crates/causal/src/dag.rs:
+crates/causal/src/graph_gen.rs:
+crates/causal/src/mec.rs:
+crates/causal/src/notears.rs:
+crates/causal/src/pc.rs:
+crates/causal/src/shd.rs:
+crates/causal/src/stability.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/causer_core-90593226972cec84.d: crates/core/src/lib.rs crates/core/src/attention.rs crates/core/src/causal_graph.rs crates/core/src/causer_rec.rs crates/core/src/clustering.rs crates/core/src/dynamic.rs crates/core/src/explain.rs crates/core/src/model.rs crates/core/src/persistence.rs crates/core/src/recommender.rs crates/core/src/rnn.rs crates/core/src/train.rs crates/core/src/variants.rs
+
+/root/repo/target/release/deps/libcauser_core-90593226972cec84.rlib: crates/core/src/lib.rs crates/core/src/attention.rs crates/core/src/causal_graph.rs crates/core/src/causer_rec.rs crates/core/src/clustering.rs crates/core/src/dynamic.rs crates/core/src/explain.rs crates/core/src/model.rs crates/core/src/persistence.rs crates/core/src/recommender.rs crates/core/src/rnn.rs crates/core/src/train.rs crates/core/src/variants.rs
+
+/root/repo/target/release/deps/libcauser_core-90593226972cec84.rmeta: crates/core/src/lib.rs crates/core/src/attention.rs crates/core/src/causal_graph.rs crates/core/src/causer_rec.rs crates/core/src/clustering.rs crates/core/src/dynamic.rs crates/core/src/explain.rs crates/core/src/model.rs crates/core/src/persistence.rs crates/core/src/recommender.rs crates/core/src/rnn.rs crates/core/src/train.rs crates/core/src/variants.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attention.rs:
+crates/core/src/causal_graph.rs:
+crates/core/src/causer_rec.rs:
+crates/core/src/clustering.rs:
+crates/core/src/dynamic.rs:
+crates/core/src/explain.rs:
+crates/core/src/model.rs:
+crates/core/src/persistence.rs:
+crates/core/src/recommender.rs:
+crates/core/src/rnn.rs:
+crates/core/src/train.rs:
+crates/core/src/variants.rs:

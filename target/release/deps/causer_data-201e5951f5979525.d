@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/causer_data-201e5951f5979525.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/explanation.rs crates/data/src/features.rs crates/data/src/persistence.rs crates/data/src/profiles.rs crates/data/src/sampling.rs crates/data/src/simulator.rs crates/data/src/stats.rs
+
+/root/repo/target/release/deps/causer_data-201e5951f5979525: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/explanation.rs crates/data/src/features.rs crates/data/src/persistence.rs crates/data/src/profiles.rs crates/data/src/sampling.rs crates/data/src/simulator.rs crates/data/src/stats.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/explanation.rs:
+crates/data/src/features.rs:
+crates/data/src/persistence.rs:
+crates/data/src/profiles.rs:
+crates/data/src/sampling.rs:
+crates/data/src/simulator.rs:
+crates/data/src/stats.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/causer_eval-3f66da4a4913cba3.d: crates/eval/src/lib.rs crates/eval/src/config.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/beyond_accuracy.rs crates/eval/src/experiments/falsification.rs crates/eval/src/experiments/efficiency.rs crates/eval/src/experiments/fig3.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/grid_search.rs crates/eval/src/experiments/identifiability.rs crates/eval/src/experiments/sweeps.rs crates/eval/src/experiments/table2.rs crates/eval/src/experiments/table4.rs crates/eval/src/experiments/table5.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/tables.rs
+
+/root/repo/target/release/deps/libcauser_eval-3f66da4a4913cba3.rlib: crates/eval/src/lib.rs crates/eval/src/config.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/beyond_accuracy.rs crates/eval/src/experiments/falsification.rs crates/eval/src/experiments/efficiency.rs crates/eval/src/experiments/fig3.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/grid_search.rs crates/eval/src/experiments/identifiability.rs crates/eval/src/experiments/sweeps.rs crates/eval/src/experiments/table2.rs crates/eval/src/experiments/table4.rs crates/eval/src/experiments/table5.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/tables.rs
+
+/root/repo/target/release/deps/libcauser_eval-3f66da4a4913cba3.rmeta: crates/eval/src/lib.rs crates/eval/src/config.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/beyond_accuracy.rs crates/eval/src/experiments/falsification.rs crates/eval/src/experiments/efficiency.rs crates/eval/src/experiments/fig3.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/grid_search.rs crates/eval/src/experiments/identifiability.rs crates/eval/src/experiments/sweeps.rs crates/eval/src/experiments/table2.rs crates/eval/src/experiments/table4.rs crates/eval/src/experiments/table5.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/tables.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/config.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/beyond_accuracy.rs:
+crates/eval/src/experiments/falsification.rs:
+crates/eval/src/experiments/efficiency.rs:
+crates/eval/src/experiments/fig3.rs:
+crates/eval/src/experiments/fig7.rs:
+crates/eval/src/experiments/fig8.rs:
+crates/eval/src/experiments/grid_search.rs:
+crates/eval/src/experiments/identifiability.rs:
+crates/eval/src/experiments/sweeps.rs:
+crates/eval/src/experiments/table2.rs:
+crates/eval/src/experiments/table4.rs:
+crates/eval/src/experiments/table5.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/tables.rs:

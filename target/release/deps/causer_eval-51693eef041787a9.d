@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/causer_eval-51693eef041787a9.d: crates/eval/src/lib.rs crates/eval/src/config.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/beyond_accuracy.rs crates/eval/src/experiments/falsification.rs crates/eval/src/experiments/efficiency.rs crates/eval/src/experiments/fig3.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/grid_search.rs crates/eval/src/experiments/identifiability.rs crates/eval/src/experiments/sweeps.rs crates/eval/src/experiments/table2.rs crates/eval/src/experiments/table4.rs crates/eval/src/experiments/table5.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/tables.rs
+
+/root/repo/target/release/deps/causer_eval-51693eef041787a9: crates/eval/src/lib.rs crates/eval/src/config.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/beyond_accuracy.rs crates/eval/src/experiments/falsification.rs crates/eval/src/experiments/efficiency.rs crates/eval/src/experiments/fig3.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/grid_search.rs crates/eval/src/experiments/identifiability.rs crates/eval/src/experiments/sweeps.rs crates/eval/src/experiments/table2.rs crates/eval/src/experiments/table4.rs crates/eval/src/experiments/table5.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/tables.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/config.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/beyond_accuracy.rs:
+crates/eval/src/experiments/falsification.rs:
+crates/eval/src/experiments/efficiency.rs:
+crates/eval/src/experiments/fig3.rs:
+crates/eval/src/experiments/fig7.rs:
+crates/eval/src/experiments/fig8.rs:
+crates/eval/src/experiments/grid_search.rs:
+crates/eval/src/experiments/identifiability.rs:
+crates/eval/src/experiments/sweeps.rs:
+crates/eval/src/experiments/table2.rs:
+crates/eval/src/experiments/table4.rs:
+crates/eval/src/experiments/table5.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/tables.rs:

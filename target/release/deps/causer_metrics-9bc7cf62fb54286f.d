@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/causer_metrics-9bc7cf62fb54286f.d: crates/metrics/src/lib.rs crates/metrics/src/diversity.rs crates/metrics/src/explanation.rs crates/metrics/src/ranking.rs
+
+/root/repo/target/release/deps/causer_metrics-9bc7cf62fb54286f: crates/metrics/src/lib.rs crates/metrics/src/diversity.rs crates/metrics/src/explanation.rs crates/metrics/src/ranking.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/diversity.rs:
+crates/metrics/src/explanation.rs:
+crates/metrics/src/ranking.rs:

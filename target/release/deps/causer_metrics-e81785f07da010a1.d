@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/causer_metrics-e81785f07da010a1.d: crates/metrics/src/lib.rs crates/metrics/src/diversity.rs crates/metrics/src/explanation.rs crates/metrics/src/ranking.rs
+
+/root/repo/target/release/deps/libcauser_metrics-e81785f07da010a1.rlib: crates/metrics/src/lib.rs crates/metrics/src/diversity.rs crates/metrics/src/explanation.rs crates/metrics/src/ranking.rs
+
+/root/repo/target/release/deps/libcauser_metrics-e81785f07da010a1.rmeta: crates/metrics/src/lib.rs crates/metrics/src/diversity.rs crates/metrics/src/explanation.rs crates/metrics/src/ranking.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/diversity.rs:
+crates/metrics/src/explanation.rs:
+crates/metrics/src/ranking.rs:

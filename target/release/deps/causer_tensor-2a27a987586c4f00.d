@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/causer_tensor-2a27a987586c4f00.d: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/parallel.rs crates/tensor/src/param.rs
+
+/root/repo/target/release/deps/libcauser_tensor-2a27a987586c4f00.rlib: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/parallel.rs crates/tensor/src/param.rs
+
+/root/repo/target/release/deps/libcauser_tensor-2a27a987586c4f00.rmeta: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/parallel.rs crates/tensor/src/param.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/parallel.rs:
+crates/tensor/src/param.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/causer_tensor-3f2d7c4b5de95f05.d: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs
+
+/root/repo/target/release/deps/causer_tensor-3f2d7c4b5de95f05: crates/tensor/src/lib.rs crates/tensor/src/gradcheck.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/param.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-1efd2a92d2915270.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1efd2a92d2915270.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1efd2a92d2915270.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

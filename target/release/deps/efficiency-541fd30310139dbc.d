@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/efficiency-541fd30310139dbc.d: crates/eval/src/bin/efficiency.rs
+
+/root/repo/target/release/deps/efficiency-541fd30310139dbc: crates/eval/src/bin/efficiency.rs
+
+crates/eval/src/bin/efficiency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-243208b6ceb7a975.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-243208b6ceb7a975: tests/end_to_end.rs
+
+tests/end_to_end.rs:

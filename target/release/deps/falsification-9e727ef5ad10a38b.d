@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/falsification-9e727ef5ad10a38b.d: crates/eval/src/bin/falsification.rs
+
+/root/repo/target/release/deps/falsification-9e727ef5ad10a38b: crates/eval/src/bin/falsification.rs
+
+crates/eval/src/bin/falsification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_seqlen-6e25da8b120ae6b2.d: crates/eval/src/bin/fig3_seqlen.rs
+
+/root/repo/target/release/deps/fig3_seqlen-6e25da8b120ae6b2: crates/eval/src/bin/fig3_seqlen.rs
+
+crates/eval/src/bin/fig3_seqlen.rs:

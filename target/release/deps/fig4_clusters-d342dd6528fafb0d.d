@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_clusters-d342dd6528fafb0d.d: crates/eval/src/bin/fig4_clusters.rs
+
+/root/repo/target/release/deps/fig4_clusters-d342dd6528fafb0d: crates/eval/src/bin/fig4_clusters.rs
+
+crates/eval/src/bin/fig4_clusters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_epsilon-68d42086a153c16b.d: crates/eval/src/bin/fig5_epsilon.rs
+
+/root/repo/target/release/deps/fig5_epsilon-68d42086a153c16b: crates/eval/src/bin/fig5_epsilon.rs
+
+crates/eval/src/bin/fig5_epsilon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_temperature-89e95790f6ac3aea.d: crates/eval/src/bin/fig6_temperature.rs
+
+/root/repo/target/release/deps/fig6_temperature-89e95790f6ac3aea: crates/eval/src/bin/fig6_temperature.rs
+
+crates/eval/src/bin/fig6_temperature.rs:

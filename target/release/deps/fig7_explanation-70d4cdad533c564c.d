@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_explanation-70d4cdad533c564c.d: crates/eval/src/bin/fig7_explanation.rs
+
+/root/repo/target/release/deps/fig7_explanation-70d4cdad533c564c: crates/eval/src/bin/fig7_explanation.rs
+
+crates/eval/src/bin/fig7_explanation.rs:

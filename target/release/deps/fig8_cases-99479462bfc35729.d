@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_cases-99479462bfc35729.d: crates/eval/src/bin/fig8_cases.rs
+
+/root/repo/target/release/deps/fig8_cases-99479462bfc35729: crates/eval/src/bin/fig8_cases.rs
+
+crates/eval/src/bin/fig8_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graph_ops-07a0613a018590e5.d: crates/tensor/tests/graph_ops.rs
+
+/root/repo/target/release/deps/graph_ops-07a0613a018590e5: crates/tensor/tests/graph_ops.rs
+
+crates/tensor/tests/graph_ops.rs:

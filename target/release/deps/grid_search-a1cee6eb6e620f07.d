@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/grid_search-a1cee6eb6e620f07.d: crates/eval/src/bin/grid_search.rs
+
+/root/repo/target/release/deps/grid_search-a1cee6eb6e620f07: crates/eval/src/bin/grid_search.rs
+
+crates/eval/src/bin/grid_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/identifiability-a96f29c36a1cc473.d: crates/eval/src/bin/identifiability.rs
+
+/root/repo/target/release/deps/identifiability-a96f29c36a1cc473: crates/eval/src/bin/identifiability.rs
+
+crates/eval/src/bin/identifiability.rs:

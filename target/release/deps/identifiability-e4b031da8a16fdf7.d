@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/identifiability-e4b031da8a16fdf7.d: tests/identifiability.rs
+
+/root/repo/target/release/deps/identifiability-e4b031da8a16fdf7: tests/identifiability.rs
+
+tests/identifiability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-c4ad82ca7af3cf08.d: crates/baselines/tests/integration.rs
+
+/root/repo/target/release/deps/integration-c4ad82ca7af3cf08: crates/baselines/tests/integration.rs
+
+crates/baselines/tests/integration.rs:

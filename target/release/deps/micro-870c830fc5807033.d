@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-870c830fc5807033.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-870c830fc5807033: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

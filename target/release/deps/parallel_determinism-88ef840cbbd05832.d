@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-88ef840cbbd05832.d: tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-88ef840cbbd05832: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

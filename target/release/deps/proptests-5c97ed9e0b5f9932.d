@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-5c97ed9e0b5f9932.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-5c97ed9e0b5f9932: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

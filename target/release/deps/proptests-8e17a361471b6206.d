@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-8e17a361471b6206.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-8e17a361471b6206: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-99ef5200e3751b00.d: crates/causal/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-99ef5200e3751b00: crates/causal/tests/proptests.rs
+
+crates/causal/tests/proptests.rs:

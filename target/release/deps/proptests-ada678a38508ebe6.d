@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-ada678a38508ebe6.d: crates/metrics/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-ada678a38508ebe6: crates/metrics/tests/proptests.rs
+
+crates/metrics/tests/proptests.rs:

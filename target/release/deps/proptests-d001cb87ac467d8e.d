@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-d001cb87ac467d8e.d: crates/data/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-d001cb87ac467d8e: crates/data/tests/proptests.rs
+
+crates/data/tests/proptests.rs:

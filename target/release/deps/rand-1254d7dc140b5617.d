@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-1254d7dc140b5617.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1254d7dc140b5617.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1254d7dc140b5617.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-ff4f6a778055ee43.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ff4f6a778055ee43.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ff4f6a778055ee43.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

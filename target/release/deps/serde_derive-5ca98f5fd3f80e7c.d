@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-5ca98f5fd3f80e7c.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-5ca98f5fd3f80e7c.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

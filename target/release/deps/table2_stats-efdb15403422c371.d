@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_stats-efdb15403422c371.d: crates/eval/src/bin/table2_stats.rs
+
+/root/repo/target/release/deps/table2_stats-efdb15403422c371: crates/eval/src/bin/table2_stats.rs
+
+crates/eval/src/bin/table2_stats.rs:

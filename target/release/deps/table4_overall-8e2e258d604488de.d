@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_overall-8e2e258d604488de.d: crates/eval/src/bin/table4_overall.rs
+
+/root/repo/target/release/deps/table4_overall-8e2e258d604488de: crates/eval/src/bin/table4_overall.rs
+
+crates/eval/src/bin/table4_overall.rs:

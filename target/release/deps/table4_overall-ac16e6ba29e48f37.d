@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_overall-ac16e6ba29e48f37.d: crates/eval/src/bin/table4_overall.rs
+
+/root/repo/target/release/deps/table4_overall-ac16e6ba29e48f37: crates/eval/src/bin/table4_overall.rs
+
+crates/eval/src/bin/table4_overall.rs:

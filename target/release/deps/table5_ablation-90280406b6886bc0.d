@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_ablation-90280406b6886bc0.d: crates/eval/src/bin/table5_ablation.rs
+
+/root/repo/target/release/deps/table5_ablation-90280406b6886bc0: crates/eval/src/bin/table5_ablation.rs
+
+crates/eval/src/bin/table5_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/causal_discovery-788e1bac727c425d.d: examples/causal_discovery.rs
+
+/root/repo/target/release/examples/causal_discovery-788e1bac727c425d: examples/causal_discovery.rs
+
+examples/causal_discovery.rs:

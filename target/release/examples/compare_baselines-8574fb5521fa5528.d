@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compare_baselines-8574fb5521fa5528.d: examples/compare_baselines.rs
+
+/root/repo/target/release/examples/compare_baselines-8574fb5521fa5528: examples/compare_baselines.rs
+
+examples/compare_baselines.rs:

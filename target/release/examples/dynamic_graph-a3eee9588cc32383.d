@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dynamic_graph-a3eee9588cc32383.d: examples/dynamic_graph.rs
+
+/root/repo/target/release/examples/dynamic_graph-a3eee9588cc32383: examples/dynamic_graph.rs
+
+examples/dynamic_graph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/explain_recommendations-2445462beed0927a.d: examples/explain_recommendations.rs
+
+/root/repo/target/release/examples/explain_recommendations-2445462beed0927a: examples/explain_recommendations.rs
+
+examples/explain_recommendations.rs:

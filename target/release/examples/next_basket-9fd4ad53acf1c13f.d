@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/next_basket-9fd4ad53acf1c13f.d: examples/next_basket.rs
+
+/root/repo/target/release/examples/next_basket-9fd4ad53acf1c13f: examples/next_basket.rs
+
+examples/next_basket.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c9c717cffbae19b8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c9c717cffbae19b8: examples/quickstart.rs
+
+examples/quickstart.rs:
