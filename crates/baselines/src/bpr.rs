@@ -48,8 +48,7 @@ impl SeqRecommender for BprRecommender {
         self.user_factors = init::normal(&mut rng, split.num_users, self.dim, 0.1);
         self.item_factors = init::normal(&mut rng, split.num_items, self.dim, 0.1);
         self.item_bias = vec![0.0; split.num_items];
-        let sampler =
-            NegativeSampler::from_interactions(&crate::common::train_interactions(split));
+        let sampler = NegativeSampler::from_interactions(&crate::common::train_interactions(split));
 
         // All (user, item) positive pairs.
         let mut pairs: Vec<(usize, usize)> = Vec::new();
@@ -69,7 +68,10 @@ impl SeqRecommender for BprRecommender {
                 let qi = self.item_factors.row(i).to_vec();
                 let qj = self.item_factors.row(j).to_vec();
                 let x: f64 = self.item_bias[i] - self.item_bias[j]
-                    + pu.iter().zip(qi.iter().zip(qj.iter())).map(|(&p, (&a, &b))| p * (a - b)).sum::<f64>();
+                    + pu.iter()
+                        .zip(qi.iter().zip(qj.iter()))
+                        .map(|(&p, (&a, &b))| p * (a - b))
+                        .sum::<f64>();
                 let e = stable_sigmoid(-x); // d/dx of -ln σ(x) is -σ(-x)
                 let (lr, reg) = (self.lr, self.reg);
                 for d in 0..self.dim {

@@ -4,9 +4,7 @@
 
 use causer_core::SeqRecommender;
 use causer_data::{EvalCase, LeaveLastOut, NegativeSampler, Step};
-use causer_tensor::{
-    Adam, Graph, Matrix, NodeId, Optimizer, ParallelTrainer, ParamId, ParamSet,
-};
+use causer_tensor::{Adam, Graph, Matrix, NodeId, Optimizer, ParallelTrainer, ParamId, ParamSet};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -177,9 +175,13 @@ impl<E: SeqEncoder> SeqRecommender for NeuralRecommender<E> {
                                 let b = g.select_rows(bias, &t.cands);
                                 let logits = g.add(dot, b);
                                 logit_nodes.push(logits);
-                                targets.extend(
-                                    (0..t.cands.len()).map(|i| if i < t.npos { 1.0 } else { 0.0 }),
-                                );
+                                targets.extend((0..t.cands.len()).map(|i| {
+                                    if i < t.npos {
+                                        1.0
+                                    } else {
+                                        0.0
+                                    }
+                                }));
                             }
                         }
                         let stacked = g.vstack(&logit_nodes);

@@ -4,9 +4,7 @@
 
 use causer_core::SeqRecommender;
 use causer_data::{EvalCase, LeaveLastOut, NegativeSampler};
-use causer_tensor::{
-    init, Adam, GradStore, Graph, Matrix, NodeId, Optimizer, ParamId, ParamSet,
-};
+use causer_tensor::{init, Adam, GradStore, Graph, Matrix, NodeId, Optimizer, ParamId, ParamSet};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -109,8 +107,7 @@ impl SeqRecommender for NcfRecommender {
         self.params = ps;
         self.ids = Some(ids);
 
-        let sampler =
-            NegativeSampler::from_interactions(&crate::common::train_interactions(split));
+        let sampler = NegativeSampler::from_interactions(&crate::common::train_interactions(split));
         let mut pairs: Vec<(usize, usize)> = Vec::new();
         for h in &split.train {
             for step in &h.steps {

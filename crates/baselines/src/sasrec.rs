@@ -107,16 +107,14 @@ impl SasRecEncoder {
         let emb = ps.add("emb", init::normal(&mut rng, num_items, dim, 0.1));
         let out = ps.add("out", init::normal(&mut rng, num_items, dim, 0.1));
         let pos = ps.add("pos", init::normal(&mut rng, max_len, dim, 0.1));
-        let blocks =
-            (0..num_blocks).map(|i| Block::new(&mut ps, &format!("block{i}"), dim, &mut rng)).collect();
+        let blocks = (0..num_blocks)
+            .map(|i| Block::new(&mut ps, &format!("block{i}"), dim, &mut rng))
+            .collect();
         let side = side_features.map(|f| {
             let proj = ps.add("side_proj", init::xavier(&mut rng, f.cols(), dim));
             (f, proj)
         });
-        (
-            SasRecEncoder { emb, out, pos, blocks, dim, max_len, side, label: label.to_string() },
-            ps,
-        )
+        (SasRecEncoder { emb, out, pos, blocks, dim, max_len, side, label: label.to_string() }, ps)
     }
 }
 

@@ -35,14 +35,8 @@ impl VtRnnEncoder {
         let out = ps.add("out", init::normal(&mut rng, num_items, out_dim, 0.1));
         let proj = ps.add("proj", init::xavier(&mut rng, hidden_dim, out_dim));
         let feat_proj = ps.add("feat_proj", init::xavier(&mut rng, features.cols(), feat_dim_out));
-        let cell = Cell::new(
-            RnnKind::Gru,
-            &mut ps,
-            "gru",
-            emb_dim + feat_dim_out,
-            hidden_dim,
-            &mut rng,
-        );
+        let cell =
+            Cell::new(RnnKind::Gru, &mut ps, "gru", emb_dim + feat_dim_out, hidden_dim, &mut rng);
         (VtRnnEncoder { emb, out, proj, feat_proj, features, cell, feat_dim_out }, ps)
     }
 }

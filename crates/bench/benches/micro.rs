@@ -2,10 +2,10 @@
 //! matrix exponential / acyclicity, one autodiff GRU training step, and
 //! full-catalog Causer inference.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use causer_core::{CauserConfig, CauserModel};
 use causer_data::{simulate, DatasetKind, DatasetProfile};
 use causer_tensor::{init, linalg, GradStore, Graph, Matrix, ParamSet};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,11 +46,8 @@ fn bench_parallel_epoch(c: &mut Criterion) {
     for &t in &[1usize, 2, 4] {
         c.bench_function(&format!("parallel_epoch/threads_{t}"), |bench| {
             bench.iter(|| {
-                let mut cfg = CauserConfig::new(
-                    profile.num_users,
-                    profile.num_items,
-                    profile.feature_dim,
-                );
+                let mut cfg =
+                    CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
                 cfg.k = profile.true_clusters;
                 let tc = TrainConfig { epochs: 1, threads: Some(t), ..Default::default() };
                 let mut model = CauserRecommender::new(cfg, sim.features.clone(), tc, 9);
@@ -75,14 +72,7 @@ fn bench_expm(c: &mut Criterion) {
 fn bench_autodiff_step(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut ps = ParamSet::new();
-    let cell = causer_core::Cell::new(
-        causer_core::RnnKind::Gru,
-        &mut ps,
-        "gru",
-        32,
-        32,
-        &mut rng,
-    );
+    let cell = causer_core::Cell::new(causer_core::RnnKind::Gru, &mut ps, "gru", 32, 32, &mut rng);
     let x = init::uniform(&mut rng, 1, 32, 1.0);
     c.bench_function("gru_train_step_len8", |bench| {
         bench.iter_batched(

@@ -1,0 +1,113 @@
+//! Batched vs sequential serving throughput (`results/BENCH_serve.json`).
+//!
+//! Trains a small Causer model, then serves the same request stream two
+//! ways and reports requests/second:
+//!
+//! - **sequential** — the pre-engine path: `score_all` + `top_k_indices`
+//!   per request against a shared `InferenceCache`;
+//! - **batched** — `BatchScorer::score_batch` over a shared [`ServeState`]
+//!   at batch sizes 1, 8 and 64.
+//!
+//! Both paths produce bitwise-identical scores (asserted in the serve test
+//! suite and spot-checked here), so any gap is pure engine overhead/savings.
+
+use causer_core::{CauserConfig, CauserRecommender, SeqRecommender, TrainConfig};
+use causer_data::{simulate, DatasetKind, DatasetProfile};
+use causer_serve::{BatchScorer, Ranked, ScoreRequest, ServeState};
+use causer_tensor::Matrix;
+use std::time::Instant;
+
+const TOP_K: usize = 10;
+const REPS: usize = 3;
+
+fn main() {
+    let scale: f64 =
+        std::env::var("CAUSER_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.15);
+    let epochs: usize =
+        std::env::var("CAUSER_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+
+    let profile = DatasetProfile::paper(DatasetKind::Patio).scaled(scale);
+    let sim = simulate(&profile, 42);
+    let split = sim.interactions.leave_last_out();
+    let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+    cfg.k = profile.true_clusters;
+    let tc = TrainConfig { epochs, seed: 42, ..Default::default() };
+    let mut rec = CauserRecommender::new(cfg, sim.features.clone(), tc, 42);
+    rec.fit(&split);
+
+    let mut reqs: Vec<ScoreRequest> = split
+        .test
+        .iter()
+        .map(|case| ScoreRequest::top_k(case.user, case.history.clone(), TOP_K))
+        .collect();
+    while reqs.len() < 192 {
+        let again = reqs[reqs.len() % split.test.len()].clone();
+        reqs.push(again);
+    }
+    reqs.truncate(192);
+    println!(
+        "profile: Patio scaled {scale} — {} items, {} users, {} requests, {} epochs",
+        profile.num_items,
+        profile.num_users,
+        reqs.len(),
+        epochs
+    );
+
+    let ic = rec.model.inference_cache();
+    let sequential = |reqs: &[ScoreRequest]| -> Vec<Ranked> {
+        reqs.iter()
+            .map(|r| {
+                let scores = rec.model.score_all(&ic, r.user, &r.history);
+                let items = Matrix::top_k_indices(&scores, r.k);
+                let scores = items.iter().map(|&i| scores[i]).collect();
+                Ranked { items, scores }
+            })
+            .collect()
+    };
+
+    let time_best = |f: &mut dyn FnMut()| -> f64 {
+        f(); // warmup
+        (0..REPS)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let n = reqs.len() as f64;
+    let expect = sequential(&reqs[..8]);
+    let secs = time_best(&mut || {
+        std::hint::black_box(sequential(&reqs));
+    });
+    println!("sequential:      {:8.1} req/s ({:.3} s / {} reqs)", n / secs, secs, reqs.len());
+    // Engine state is built once and reused — that amortization is the point.
+    let build_start = Instant::now();
+    let state = ServeState::build(rec.model);
+    println!("serve-state build (per model / per hot reload): {:?}", build_start.elapsed());
+    let scorer = BatchScorer::new(1);
+
+    // Equivalence spot-check before timing the engine.
+    let got = scorer.score_batch(&state, &reqs[..8]);
+    for (e, g) in expect.iter().zip(&got) {
+        assert_eq!(e.items, g.items, "batched top-K diverged from sequential");
+        for (a, b) in e.scores.iter().zip(&g.scores) {
+            assert_eq!(a.to_bits(), b.to_bits(), "batched scores diverged from sequential");
+        }
+    }
+
+    for batch in [1usize, 8, 64] {
+        let secs = time_best(&mut || {
+            for chunk in reqs.chunks(batch) {
+                std::hint::black_box(scorer.score_batch(&state, chunk));
+            }
+        });
+        println!(
+            "batched (B={batch:>2}):  {:8.1} req/s ({:.3} s / {} reqs)",
+            n / secs,
+            secs,
+            reqs.len()
+        );
+    }
+}

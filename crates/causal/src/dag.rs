@@ -97,9 +97,7 @@ impl DiGraph {
 
     /// Nodes adjacent to `i` in either direction.
     pub fn neighbors(&self, i: usize) -> Vec<usize> {
-        (0..self.n)
-            .filter(|&j| j != i && (self.has_edge(i, j) || self.has_edge(j, i)))
-            .collect()
+        (0..self.n).filter(|&j| j != i && (self.has_edge(i, j) || self.has_edge(j, i))).collect()
     }
 
     /// Kahn's algorithm: `Some(order)` if acyclic, `None` otherwise.
@@ -238,8 +236,7 @@ mod tests {
     fn topological_order_respects_edges() {
         let g = chain_fork();
         let order = g.topological_order().unwrap();
-        let pos: Vec<usize> =
-            (0..4).map(|i| order.iter().position(|&x| x == i).unwrap()).collect();
+        let pos: Vec<usize> = (0..4).map(|i| order.iter().position(|&x| x == i).unwrap()).collect();
         for (i, j) in g.edges() {
             assert!(pos[i] < pos[j], "{i} must precede {j}");
         }

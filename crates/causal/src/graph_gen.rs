@@ -83,10 +83,8 @@ mod tests {
     #[test]
     fn edge_probability_controls_density() {
         let mut rng = StdRng::seed_from_u64(12);
-        let sparse: usize =
-            (0..30).map(|_| random_dag(&mut rng, 10, 0.1).num_edges()).sum();
-        let dense: usize =
-            (0..30).map(|_| random_dag(&mut rng, 10, 0.7).num_edges()).sum();
+        let sparse: usize = (0..30).map(|_| random_dag(&mut rng, 10, 0.1).num_edges()).sum();
+        let dense: usize = (0..30).map(|_| random_dag(&mut rng, 10, 0.7).num_edges()).sum();
         assert!(dense > sparse * 3, "dense {dense} vs sparse {sparse}");
     }
 

@@ -49,9 +49,8 @@ pub fn pc(data: &Matrix, config: &PcConfig) -> PcResult {
     let z_crit = normal_quantile(1.0 - config.alpha / 2.0);
 
     // Adjacency of the evolving skeleton.
-    let mut adj: Vec<BTreeSet<usize>> = (0..d)
-        .map(|i| (0..d).filter(|&j| j != i).collect())
-        .collect();
+    let mut adj: Vec<BTreeSet<usize>> =
+        (0..d).map(|i| (0..d).filter(|&j| j != i).collect()).collect();
     let mut sepsets: BTreeMap<(usize, usize), BTreeSet<usize>> = BTreeMap::new();
     let mut tests_run = 0usize;
 
@@ -112,9 +111,8 @@ pub fn pc(data: &Matrix, config: &PcConfig) -> PcResult {
     }
 
     // Meek rules 1–3 to propagate orientations.
-    let skeleton: BTreeSet<(usize, usize)> = (0..d)
-        .flat_map(|i| adj[i].iter().filter(move |&&j| j > i).map(move |&j| (i, j)))
-        .collect();
+    let skeleton: BTreeSet<(usize, usize)> =
+        (0..d).flat_map(|i| adj[i].iter().filter(move |&&j| j > i).map(move |&j| (i, j))).collect();
     meek_closure(d, &skeleton, &mut directed);
 
     let undirected: BTreeSet<(usize, usize)> = skeleton
@@ -122,11 +120,7 @@ pub fn pc(data: &Matrix, config: &PcConfig) -> PcResult {
         .filter(|&&(a, b)| !directed.contains(&(a, b)) && !directed.contains(&(b, a)))
         .copied()
         .collect();
-    PcResult {
-        cpdag: Cpdag { n: d, directed, undirected },
-        separating_sets: sepsets,
-        tests_run,
-    }
+    PcResult { cpdag: Cpdag { n: d, directed, undirected }, separating_sets: sepsets, tests_run }
 }
 
 /// Orient edges using Meek rules 1–3 until fixpoint.
@@ -135,11 +129,11 @@ fn meek_closure(
     skeleton: &BTreeSet<(usize, usize)>,
     directed: &mut BTreeSet<(usize, usize)>,
 ) {
-    let has_skel =
-        |a: usize, b: usize| skeleton.contains(&(a.min(b), a.max(b)));
+    let has_skel = |a: usize, b: usize| skeleton.contains(&(a.min(b), a.max(b)));
     loop {
         let mut added: Vec<(usize, usize)> = Vec::new();
-        let is_directed = |dir: &BTreeSet<(usize, usize)>, a: usize, b: usize| dir.contains(&(a, b));
+        let is_directed =
+            |dir: &BTreeSet<(usize, usize)>, a: usize, b: usize| dir.contains(&(a, b));
         let is_undirected = |dir: &BTreeSet<(usize, usize)>, a: usize, b: usize| {
             has_skel(a, b) && !dir.contains(&(a, b)) && !dir.contains(&(b, a))
         };
@@ -477,10 +471,7 @@ mod tests {
         assert!(res.cpdag.directed.is_empty(), "{:?}", res.cpdag);
         assert_eq!(res.cpdag.undirected.len(), 2);
         // And 0, 2 were separated by {1}.
-        assert_eq!(
-            res.separating_sets.get(&(0, 2)),
-            Some(&std::iter::once(1).collect())
-        );
+        assert_eq!(res.separating_sets.get(&(0, 2)), Some(&std::iter::once(1).collect()));
     }
 
     #[test]
@@ -525,10 +516,7 @@ mod tests {
         assert!(ext.is_dag());
         // The extension should usually be Markov equivalent to the truth.
         if crate::mec::skeleton(&ext) == crate::mec::skeleton(&dag) {
-            assert!(
-                markov_equivalent(&ext, &dag)
-                    || crate::mec::v_structures(&dag).is_empty()
-            );
+            assert!(markov_equivalent(&ext, &dag) || crate::mec::v_structures(&dag).is_empty());
         }
     }
 

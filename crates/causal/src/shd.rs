@@ -58,7 +58,14 @@ pub fn edge_scores(truth: &DiGraph, learned: &DiGraph) -> EdgeScores {
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    EdgeScores { precision, recall, f1, true_positives: tp, false_positives: fp, false_negatives: fneg }
+    EdgeScores {
+        precision,
+        recall,
+        f1,
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fneg,
+    }
 }
 
 #[cfg(test)]

@@ -93,12 +93,7 @@ impl ItemRelationCache {
     /// Item-level causal strength `W_ab` (eq. 9).
     #[inline]
     pub fn w_ab(&self, a: usize, b: usize) -> f64 {
-        self.p
-            .row(a)
-            .iter()
-            .zip(self.assignments.row(b))
-            .map(|(&x, &y)| x * y)
-            .sum()
+        self.p.row(a).iter().zip(self.assignments.row(b)).map(|(&x, &y)| x * y).sum()
     }
 
     /// Column `W_{·b}` for all items `a` at once (`|V|` values).
@@ -117,6 +112,71 @@ impl ItemRelationCache {
     pub fn w_a_to_cluster(&self, a: usize, c: usize) -> f64 {
         self.p.get(a, c)
     }
+}
+
+/// Model-level serving cache built **once per model snapshot** and shared by
+/// every request: the catalog grouped by hard cluster, the per-cluster
+/// gathered assignment rows (the `Ā` gathers [`ItemRelationCache`] users
+/// would otherwise redo per call), and the total cluster-level causal
+/// effects.
+///
+/// The total effect of cluster `i` on cluster `j` is the usual linear-SEM
+/// path sum `T = Σ_{p=1}^{K-1} (W^c)^p` — direct effect plus every indirect
+/// path, truncated at length `K−1`, which is exact once `W^c` is acyclic
+/// (any longer path must revisit a cluster).
+#[derive(Clone, Debug)]
+pub struct ClusterEffectCache {
+    /// Catalog item ids grouped by hard cluster (`K` groups).
+    pub members: Vec<Vec<usize>>,
+    /// Gathered assignment rows per cluster: `member_assign[c]` is
+    /// `|members[c]| × K`, row `i` = `Ā_{members[c][i]}`.
+    pub member_assign: Vec<Matrix>,
+    /// Total (direct + indirect) cluster-level effects (`K×K`).
+    pub total: Matrix,
+}
+
+impl ClusterEffectCache {
+    pub fn build(rel: &ItemRelationCache, hard_clusters: &[usize], wc: &Matrix) -> Self {
+        let k = wc.rows();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (b, &c) in hard_clusters.iter().enumerate() {
+            members[c].push(b);
+        }
+        let member_assign = members.iter().map(|cand| rel.assignments.select_rows(cand)).collect();
+        ClusterEffectCache { members, member_assign, total: total_effects(wc) }
+    }
+
+    /// Total causal effect of cluster `from` on cluster `to`.
+    #[inline]
+    pub fn total_effect(&self, from: usize, to: usize) -> f64 {
+        self.total.get(from, to)
+    }
+
+    /// Clusters ranked by their total effect on `to` (strongest first),
+    /// excluding zero-effect clusters — the per-request session explanation
+    /// the serving layer attaches to recommendations.
+    pub fn top_influencers(&self, to: usize, n: usize) -> Vec<(usize, f64)> {
+        let col = self.total.col(to);
+        let mut ranked: Vec<(usize, f64)> =
+            col.into_iter().enumerate().filter(|&(c, e)| c != to && e != 0.0).collect();
+        ranked
+            .sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.truncate(n);
+        ranked
+    }
+}
+
+/// `Σ_{p=1}^{K-1} W^p` — total causal effects along paths of every length
+/// that can exist in an acyclic `K`-cluster graph.
+pub fn total_effects(wc: &Matrix) -> Matrix {
+    let k = wc.rows();
+    let mut total = wc.clone();
+    let mut power = wc.clone();
+    for _ in 2..k.max(2) {
+        power = power.matmul(wc);
+        total = total.add(&power);
+    }
+    total
 }
 
 #[cfg(test)]
@@ -171,8 +231,8 @@ mod tests {
         let wc = init::uniform(&mut rng, 3, 3, 1.0);
         let cache = ItemRelationCache::build(assign, &wc);
         let col = cache.column(2);
-        for a in 0..5 {
-            assert!((col[a] - cache.w_ab(a, 2)).abs() < 1e-12);
+        for (a, &v) in col.iter().enumerate() {
+            assert!((v - cache.w_ab(a, 2)).abs() < 1e-12);
         }
     }
 
@@ -189,6 +249,34 @@ mod tests {
         assert!(cg.acyclicity_value(&ps) > 0.5);
         let dag = cg.binarized(&ps, 0.5);
         assert!(!dag.is_dag());
+    }
+
+    #[test]
+    fn total_effects_sum_path_products() {
+        // Chain 0 →(0.5) 1 →(0.4) 2 plus direct 0 →(0.1) 2.
+        let mut wc = Matrix::zeros(3, 3);
+        wc.set(0, 1, 0.5);
+        wc.set(1, 2, 0.4);
+        wc.set(0, 2, 0.1);
+        let t = total_effects(&wc);
+        assert!((t.get(0, 1) - 0.5).abs() < 1e-12);
+        assert!((t.get(0, 2) - (0.1 + 0.5 * 0.4)).abs() < 1e-12, "direct + indirect");
+        assert!((t.get(1, 2) - 0.4).abs() < 1e-12);
+        assert_eq!(t.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn effect_cache_groups_catalog_and_ranks_influencers() {
+        let assign = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
+        let mut wc = Matrix::zeros(2, 2);
+        wc.set(0, 1, 0.9);
+        let rel = ItemRelationCache::build(assign, &wc);
+        let cache = ClusterEffectCache::build(&rel, &[0, 1, 0, 1], &wc);
+        assert_eq!(cache.members, vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(cache.member_assign[0].shape(), (2, 2));
+        assert_eq!(cache.member_assign[0].row(0), rel.assignments.row(0));
+        assert_eq!(cache.top_influencers(1, 3), vec![(0, 0.9)]);
+        assert!(cache.top_influencers(0, 3).is_empty());
     }
 
     #[test]

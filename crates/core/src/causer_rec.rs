@@ -16,7 +16,12 @@ pub struct CauserRecommender {
 }
 
 impl CauserRecommender {
-    pub fn new(config: CauserConfig, features: Matrix, train_config: TrainConfig, seed: u64) -> Self {
+    pub fn new(
+        config: CauserConfig,
+        features: Matrix,
+        train_config: TrainConfig,
+        seed: u64,
+    ) -> Self {
         CauserRecommender {
             model: CauserModel::new(config, features, seed),
             train_config,
@@ -49,11 +54,7 @@ impl CauserRecommender {
 
 impl SeqRecommender for CauserRecommender {
     fn name(&self) -> String {
-        format!(
-            "{} ({})",
-            self.model.config.variant.label(),
-            self.model.config.rnn.name()
-        )
+        format!("{} ({})", self.model.config.variant.label(), self.model.config.rnn.name())
     }
 
     fn fit(&mut self, split: &LeaveLastOut) {
@@ -93,12 +94,7 @@ mod tests {
         random.fit(&split);
         let c = evaluate(&causer, &split.test, 5, 200);
         let r = evaluate(&random, &split.test, 5, 200);
-        assert!(
-            c.ndcg > r.ndcg,
-            "causer ndcg {} should beat random {}",
-            c.ndcg,
-            r.ndcg
-        );
+        assert!(c.ndcg > r.ndcg, "causer ndcg {} should beat random {}", c.ndcg, r.ndcg);
         // And it should at least match the popularity floor on causal data.
         let mut pop = PopRecommender::default();
         pop.fit(&split);

@@ -205,10 +205,7 @@ mod tests {
         }
         let edge_mean = edge_sum / edge_n.max(1) as f64;
         let non_mean = non_sum / non_n.max(1) as f64;
-        assert!(
-            edge_mean > non_mean + 0.02,
-            "true-edge mean {edge_mean} vs non-edge {non_mean}"
-        );
+        assert!(edge_mean > non_mean + 0.02, "true-edge mean {edge_mean} vs non-edge {non_mean}");
     }
 
     #[test]

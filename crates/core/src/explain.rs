@@ -10,6 +10,8 @@ use causer_data::Step;
 
 impl CauserModel {
     /// Score a single candidate item for a history (plain-matrix path).
+    /// Costs one filtered RNN run — the item's cluster group — not a
+    /// full-catalog sweep.
     pub fn score_item(
         &self,
         ic: &InferenceCache,
@@ -17,10 +19,7 @@ impl CauserModel {
         history: &[Step],
         item: usize,
     ) -> f64 {
-        // Full-catalog scoring is already grouped by cluster; for a single
-        // item just reuse it on the item's score slot. The cost is bounded
-        // by one filtered RNN run (the item's cluster group).
-        self.score_all(ic, user, history)[item]
+        self.score_items(ic, user, history, &[item])[0]
     }
 
     /// Counterfactual explanation scores for a single-item-per-step

@@ -44,11 +44,11 @@ pub mod rnn;
 pub mod train;
 pub mod variants;
 
-pub use causal_graph::{ClusterCausalGraph, ItemRelationCache};
-pub use dynamic::{fit_dynamic_graphs, DynamicGraphConfig, DynamicGraphs};
+pub use causal_graph::{total_effects, ClusterCausalGraph, ClusterEffectCache, ItemRelationCache};
 pub use causer_rec::CauserRecommender;
 pub use clustering::ClusterModule;
-pub use model::{CauserConfig, CauserModel, InferenceCache};
+pub use dynamic::{fit_dynamic_graphs, DynamicGraphConfig, DynamicGraphs};
+pub use model::{CauserConfig, CauserModel, HistoryRun, InferenceCache, ScoreBufs};
 pub use persistence::{load_model, save_model};
 pub use recommender::{evaluate, PopRecommender, RandomRecommender, SeqRecommender};
 pub use rnn::{Cell, RnnKind};

@@ -132,6 +132,39 @@ pub struct InferenceCache {
     pub wc: Matrix,
 }
 
+/// A prepared plain-matrix forward over one (possibly causally filtered)
+/// history: `c_mat` holds `C_t = α_t (h_t V)` stacked `T×d_e`, `s_bags` the
+/// summed assignment rows of the kept items per step (`T×K`), and `alpha`
+/// the raw attention weights. Produced by [`CauserModel::history_run`] and
+/// consumed by the candidate-scoring helpers shared between the per-user
+/// path and the batched serving engine.
+pub struct HistoryRun {
+    pub c_mat: Matrix,
+    pub s_bags: Matrix,
+    pub alpha: Vec<f64>,
+}
+
+/// Reusable scratch matrices for [`CauserModel::score_candidates_with_run`].
+/// One set per scoring thread; reusing them across requests keeps the
+/// serving hot path allocation-free in steady state.
+#[derive(Default)]
+pub struct ScoreBufs {
+    /// `S · W^c` (`T×K`).
+    bmat: Matrix,
+    /// `Ŵ` — causal effects per (step, candidate) (`T×n`).
+    what: Matrix,
+    /// Per-candidate context rows `Ŵᵀ C` (`n×d_e`).
+    vh: Matrix,
+    /// Gathered assignment rows of the candidate set (`n×K`).
+    assign: Matrix,
+}
+
+impl ScoreBufs {
+    pub fn new() -> Self {
+        ScoreBufs::default()
+    }
+}
+
 impl CauserModel {
     pub fn new(config: CauserConfig, features: Matrix, seed: u64) -> Self {
         assert_eq!(features.rows(), config.num_items, "feature rows must match num_items");
@@ -160,10 +193,8 @@ impl CauserModel {
         );
         let attention = BilinearAttention::new(&mut ps, "att", config.hidden_dim, &mut rng);
         let v = ps.add("V", init::xavier(&mut rng, config.hidden_dim, config.item_out_dim));
-        let item_out = ps.add(
-            "item_out",
-            init::normal(&mut rng, config.num_items, config.item_out_dim, 0.1),
-        );
+        let item_out =
+            ps.add("item_out", init::normal(&mut rng, config.num_items, config.item_out_dim, 0.1));
         let item_in =
             ps.add("item_in", init::normal(&mut rng, config.num_items, config.item_in_dim, 0.1));
         let item_bias = ps.add("item_bias", Matrix::zeros(config.num_items, 1));
@@ -190,6 +221,16 @@ impl CauserModel {
     /// Total scalar parameter count.
     pub fn num_parameters(&self) -> usize {
         self.params.num_scalars()
+    }
+
+    /// The output item embedding matrix `E_out` (`|V| × d_e`).
+    pub fn item_out_matrix(&self) -> &Matrix {
+        self.params.value(self.item_out)
+    }
+
+    /// The per-item output bias column (`|V| × 1`).
+    pub fn item_bias_matrix(&self) -> &Matrix {
+        self.params.value(self.item_bias)
     }
 
     /// Parameter ids of `Θ_a ∪ {W^c}` — frozen in the "slow update"
@@ -221,6 +262,15 @@ impl CauserModel {
         InferenceCache { item_embs, rel, hard_clusters, wc }
     }
 
+    /// The model-level serving cache (cluster grouping, gathered assignment
+    /// rows, total causal effects) for a given inference cache.
+    pub fn cluster_effect_cache(
+        &self,
+        ic: &InferenceCache,
+    ) -> crate::causal_graph::ClusterEffectCache {
+        crate::causal_graph::ClusterEffectCache::build(&ic.rel, &ic.hard_clusters, &ic.wc)
+    }
+
     /// Register the per-graph shared nodes.
     pub fn shared_nodes(&self, g: &mut Graph) -> SharedNodes {
         let features = g.constant(self.features.clone());
@@ -249,10 +299,7 @@ impl CauserModel {
         history
             .iter()
             .map(|step| {
-                step.iter()
-                    .copied()
-                    .filter(|&a| cache.w_ab(a, b) > self.config.epsilon)
-                    .collect()
+                step.iter().copied().filter(|&a| cache.w_ab(a, b) > self.config.epsilon).collect()
             })
             .collect()
     }
@@ -318,11 +365,11 @@ impl CauserModel {
             }
         };
         let w = g.mul(what, alpha); // T×1
-        // Normalize Ŵ·α to a convex combination: raw Ŵ magnitudes differ
-        // across candidates (and vs. the Ŵ≡const fallback), which would make
-        // the context term's *scale* — not its content — drive cross-
-        // candidate ranking. Normalizing preserves which steps each
-        // candidate attends to while making scores comparable.
+                                    // Normalize Ŵ·α to a convex combination: raw Ŵ magnitudes differ
+                                    // across candidates (and vs. the Ŵ≡const fallback), which would make
+                                    // the context term's *scale* — not its content — drive cross-
+                                    // candidate ranking. Normalizing preserves which steps each
+                                    // candidate attends to while making scores comparable.
         let wsum = g.sum_all(w);
         let wsum = g.add_scalar(wsum, 1e-8);
         let w = g.div_scalar(w, wsum);
@@ -354,8 +401,7 @@ impl CauserModel {
             debug_assert!(j >= 1 && j < steps.len());
             let start = j.saturating_sub(self.config.max_history);
             let history = &steps[start..j];
-            let mut candidates: Vec<(usize, f64)> =
-                steps[j].iter().map(|&b| (b, 1.0)).collect();
+            let mut candidates: Vec<(usize, f64)> = steps[j].iter().map(|&b| (b, 1.0)).collect();
             candidates.extend(negatives[pos_idx].iter().map(|&b| (b, 0.0)));
 
             // Group candidates by filter pattern: same kept items => same RNN.
@@ -374,14 +420,10 @@ impl CauserModel {
             for (kept, members) in groups {
                 match self.run_filtered_history(g, shared, user, &kept) {
                     Some(run) => {
-                        let what_const = if self.config.variant.use_causal() {
-                            None
-                        } else {
-                            Some(1.0)
-                        };
+                        let what_const =
+                            if self.config.variant.use_causal() { None } else { Some(1.0) };
                         for (b, target) in members {
-                            let logit =
-                                self.candidate_logit(g, shared, &run, b, what_const);
+                            let logit = self.candidate_logit(g, shared, &run, b, what_const);
                             out.push(CandidateLogit { logit, target });
                         }
                     }
@@ -392,16 +434,14 @@ impl CauserModel {
                         // "-causal" path), which keeps root-cluster items
                         // recommendable instead of degenerating to σ(0).
                         if unfiltered_run.is_none() {
-                            unfiltered_run =
-                                self.run_filtered_history(g, shared, user, history);
+                            unfiltered_run = self.run_filtered_history(g, shared, user, history);
                         }
                         match &unfiltered_run {
                             Some(run) => {
                                 for (b, target) in members {
                                     // Ŵ ≡ 1: normalization makes the constant
                                     // cancel, leaving pure attention weights.
-                                    let logit =
-                                        self.candidate_logit(g, shared, run, b, Some(1.0));
+                                    let logit = self.candidate_logit(g, shared, run, b, Some(1.0));
                                     out.push(CandidateLogit { logit, target });
                                 }
                             }
@@ -427,8 +467,7 @@ impl CauserModel {
         }
         let nodes: Vec<NodeId> = logits.iter().map(|c| c.logit).collect();
         let stacked = g.vstack(&nodes);
-        let targets =
-            Matrix::from_vec(logits.len(), 1, logits.iter().map(|c| c.target).collect());
+        let targets = Matrix::from_vec(logits.len(), 1, logits.iter().map(|c| c.target).collect());
         Some(g.bce_with_logits(stacked, &targets))
     }
 
@@ -513,119 +552,177 @@ impl CauserModel {
         g.add(total, quad)
     }
 
+    /// Clamp a history to the model's window.
+    pub fn clamp_history(&self, history: &[Step]) -> Vec<Step> {
+        history
+            .iter()
+            .skip(history.len().saturating_sub(self.config.max_history))
+            .cloned()
+            .collect()
+    }
+
+    /// The shared Ŵ≡1 context row `vh = Σ_t α_t (h_t V) / Σ_t α_t`, used by
+    /// the `-causal` variant (every candidate) and by the empty-filter
+    /// fallback of the causal path.
+    pub fn uniform_vh(&self, run: &HistoryRun) -> Vec<f64> {
+        let denom: f64 = run.alpha.iter().sum::<f64>().max(1e-8);
+        run.c_mat.sum_rows().row(0).iter().map(|&v| v / denom).collect()
+    }
+
+    /// Score one candidate against a shared context row.
+    #[inline]
+    pub fn score_one_with_vh(&self, vh: &[f64], b: usize) -> f64 {
+        let e_out = self.params.value(self.item_out);
+        let bias = self.params.value(self.item_bias);
+        bias.get(b, 0) + e_out.row(b).iter().zip(vh.iter()).map(|(&e, &x)| e * x).sum::<f64>()
+    }
+
+    /// Score a cluster group's candidates against one prepared history run.
+    /// `cand_assign` holds the gathered assignment rows of `cand` (`n×K`);
+    /// `out[i]` receives the score of `cand[i]`.
+    ///
+    /// The Ŵ matrix (`T×n`) and the per-candidate context rows (`n×d_e`) are
+    /// computed with the blocked `matmul_nt`/`matmul_tn` kernels, whose
+    /// per-element accumulation order — including the `a == 0.0` skip of
+    /// `matmul_tn`, which mirrors the paper path's "skip steps the filter
+    /// zeroed" rule — is bitwise-identical to the scalar loops this replaced.
+    /// Both the per-user path ([`CauserModel::score_all`]) and the batched
+    /// serving engine call this same function, so their scores cannot drift.
+    pub fn score_candidates_with_run(
+        &self,
+        ic: &InferenceCache,
+        run: &HistoryRun,
+        cand: &[usize],
+        cand_assign: &Matrix,
+        bufs: &mut ScoreBufs,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(cand.len(), out.len());
+        debug_assert_eq!(cand_assign.shape(), (cand.len(), self.config.k));
+        let e_out = self.params.value(self.item_out);
+        let bias = self.params.value(self.item_bias);
+        // B = S · W^c (T×K); Ŵ_{t,b} = B_t · ā_b.
+        run.s_bags.matmul_into(&ic.wc, &mut bufs.bmat);
+        bufs.bmat.matmul_nt_into(cand_assign, &mut bufs.what); // T×n
+                                                               // vh_b = Σ_t Ŵ_{t,b} c_t — matmul_tn skips Ŵ == 0 entries exactly
+                                                               // like the scalar loop did.
+        bufs.what.matmul_tn_into(&run.c_mat, &mut bufs.vh); // n×d_e
+        for (i, (&b, slot)) in cand.iter().zip(out.iter_mut()).enumerate() {
+            // denom = 1e-8 + Σ_t Ŵ_t α_t, accumulated in step order starting
+            // from the epsilon — kept scalar because folding it into a matmul
+            // would reorder the sum.
+            let mut denom = 1e-8;
+            for (t, &a) in run.alpha.iter().enumerate() {
+                let what = bufs.what.get(t, i);
+                if what == 0.0 {
+                    continue;
+                }
+                denom += what * a;
+            }
+            *slot = bias.get(b, 0)
+                + e_out.row(b).iter().zip(bufs.vh.row(i)).map(|(&e, &x)| e * x).sum::<f64>()
+                    / denom;
+        }
+    }
+
     /// Score every item in the catalog for one evaluation case. Returned
     /// scores are pre-sigmoid logits (monotone in probability).
     pub fn score_all(&self, ic: &InferenceCache, user: usize, history: &[Step]) -> Vec<f64> {
-        let cfg = &self.config;
-        let n = cfg.num_items;
-        let hist: Vec<Step> = history
-            .iter()
-            .skip(history.len().saturating_sub(cfg.max_history))
-            .cloned()
-            .collect();
-        if hist.is_empty() {
-            return vec![0.0; n];
-        }
-        let mut scores = vec![0.0f64; n];
-        let e_out = self.params.value(self.item_out);
-        let bias = self.params.value(self.item_bias);
+        let items: Vec<usize> = (0..self.config.num_items).collect();
+        self.score_items(ic, user, history, &items)
+    }
 
-        if !cfg.variant.use_causal() {
-            // Single unfiltered pattern, Ŵ ≡ 1.
-            if let Some((c_mat, _, alpha)) = self.plain_history_run(ic, user, &hist, None) {
-                // vh = Σ_t α_t (h_t V) / Σ α_t, shared by all candidates.
-                let denom: f64 = alpha.iter().sum::<f64>().max(1e-8);
-                let vh = c_mat.sum_rows().scale(1.0 / denom); // 1×d_e
-                for (b, slot) in scores.iter_mut().enumerate() {
-                    *slot = bias.get(b, 0)
-                        + e_out.row(b).iter().zip(vh.row(0)).map(|(&e, &x)| e * x).sum::<f64>();
+    /// Score an arbitrary candidate set (`out[i]` scores `items[i]`).
+    /// Candidates are grouped by hard cluster, so the cost is one filtered
+    /// RNN run per *distinct* cluster among `items` — scoring a single item
+    /// runs one cluster, not `K`.
+    pub fn score_items(
+        &self,
+        ic: &InferenceCache,
+        user: usize,
+        history: &[Step],
+        items: &[usize],
+    ) -> Vec<f64> {
+        let hist = self.clamp_history(history);
+        let mut scores = vec![0.0f64; items.len()];
+        if hist.is_empty() {
+            return scores;
+        }
+
+        if !self.config.variant.use_causal() {
+            // Single unfiltered pattern, Ŵ ≡ 1, shared by all candidates.
+            if let Some(run) = self.history_run(ic, user, &hist, None) {
+                let vh = self.uniform_vh(&run);
+                for (slot, &b) in scores.iter_mut().zip(items) {
+                    *slot = self.score_one_with_vh(&vh, b);
                 }
             }
             return scores;
         }
 
-        // Group candidates by hard cluster: candidates of cluster c share the
-        // filter mask `P[a, c] > ε`, so at most K RNN runs score the catalog.
-        let mut members: Vec<Vec<usize>> = vec![Vec::new(); cfg.k];
-        for (b, &c) in ic.hard_clusters.iter().enumerate() {
-            members[c].push(b);
+        // Group candidate *positions* by hard cluster: candidates of cluster
+        // c share the filter mask `P[a, c] > ε`, so at most K RNN runs score
+        // any candidate set.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.config.k];
+        for (i, &b) in items.iter().enumerate() {
+            groups[ic.hard_clusters[b]].push(i);
         }
         // Unfiltered fallback (Ŵ ≡ 1) for clusters whose filter empties the
         // history — computed lazily, shared by all such clusters.
         let mut fallback_vh: Option<Option<Vec<f64>>> = None;
-        for (c, cand) in members.iter().enumerate() {
-            if cand.is_empty() {
+        let mut bufs = ScoreBufs::new();
+        let mut out = Vec::new();
+        for (c, positions) in groups.iter().enumerate() {
+            if positions.is_empty() {
                 continue;
             }
-            let Some((c_mat, s_bags, alpha)) = self.plain_history_run(ic, user, &hist, Some(c))
-            else {
+            let cand: Vec<usize> = positions.iter().map(|&i| items[i]).collect();
+            let Some(run) = self.history_run(ic, user, &hist, Some(c)) else {
                 // All steps filtered: fall back to the unfiltered history
                 // with Ŵ ≡ 1, as in training.
                 let vh = fallback_vh
                     .get_or_insert_with(|| {
-                        self.plain_history_run(ic, user, &hist, None).map(|(c_mat, _, alpha)| {
-                            // Ŵ ≡ 1 with normalization: weights reduce to α,
-                            // which already sums to 1 when attention is on.
-                            let denom: f64 = alpha.iter().sum::<f64>().max(1e-8);
-                            c_mat.sum_rows().row(0).iter().map(|&v| v / denom).collect()
-                        })
+                        self.history_run(ic, user, &hist, None).map(|run| self.uniform_vh(&run))
                     })
                     .clone();
                 if let Some(vh) = vh {
-                    for &b in cand {
-                        scores[b] = bias.get(b, 0)
-                            + e_out.row(b).iter().zip(vh.iter()).map(|(&e, &x)| e * x).sum::<f64>();
+                    for (&i, &b) in positions.iter().zip(&cand) {
+                        scores[i] = self.score_one_with_vh(&vh, b);
                     }
                 }
                 continue;
             };
-            // B = S · W^c (T×K); Ŵ_{t,b} = B_t · ā_b.
-            let b_mat = s_bags.matmul(&ic.wc); // T×K
-            for &b in cand {
-                let ab = ic.rel.assignments.row(b);
-                // vh = Σ_t Ŵ_t c_t / Σ_t Ŵ_t α_t (normalized combination).
-                let mut vh = vec![0.0f64; cfg.item_out_dim];
-                let mut denom = 1e-8;
-                #[allow(clippy::needless_range_loop)] // t indexes three parallel structures
-                for t in 0..b_mat.rows() {
-                    let what: f64 = b_mat.row(t).iter().zip(ab).map(|(&x, &y)| x * y).sum();
-                    if what == 0.0 {
-                        continue;
-                    }
-                    denom += what * alpha[t];
-                    for (o, &cv) in vh.iter_mut().zip(c_mat.row(t)) {
-                        *o += what * cv;
-                    }
-                }
-                scores[b] = bias.get(b, 0)
-                    + e_out.row(b).iter().zip(vh.iter()).map(|(&e, &x)| e * x).sum::<f64>()
-                        / denom;
+            ic.rel.assignments.select_rows_into(&cand, &mut bufs.assign);
+            out.clear();
+            out.resize(cand.len(), 0.0);
+            let assign = std::mem::take(&mut bufs.assign);
+            self.score_candidates_with_run(ic, &run, &cand, &assign, &mut bufs, &mut out);
+            bufs.assign = assign;
+            for (&i, &s) in positions.iter().zip(out.iter()) {
+                scores[i] = s;
             }
         }
         scores
     }
 
     /// Plain forward over a history with an optional hard-cluster filter.
-    /// Returns `(C, S, α)` where `C_t = α_t (h_t V) ∈ R^{d_e}`, `S_t` is the
-    /// summed assignment row of the kept items of step `t`, and `α` the raw
-    /// attention weights (needed to renormalize Ŵ·α per candidate).
-    fn plain_history_run(
+    /// Returns the stacked per-step context (see [`HistoryRun`]), or `None`
+    /// when the filter empties every step.
+    pub fn history_run(
         &self,
         ic: &InferenceCache,
         user: usize,
         history: &[Step],
         filter_cluster: Option<usize>,
-    ) -> Option<(Matrix, Matrix, Vec<f64>)> {
+    ) -> Option<HistoryRun> {
         let cfg = &self.config;
         let eps = cfg.epsilon;
         let kept: Vec<Vec<usize>> = history
             .iter()
             .map(|step| match filter_cluster {
-                Some(c) => step
-                    .iter()
-                    .copied()
-                    .filter(|&a| ic.rel.w_a_to_cluster(a, c) > eps)
-                    .collect(),
+                Some(c) => {
+                    step.iter().copied().filter(|&a| ic.rel.w_a_to_cluster(a, c) > eps).collect()
+                }
                 None => step.clone(),
             })
             .filter(|s: &Vec<usize>| !s.is_empty())
@@ -668,7 +765,7 @@ impl CauserModel {
                 *v *= a;
             }
         }
-        Some((c_mat, s, alpha))
+        Some(HistoryRun { c_mat, s_bags: s, alpha })
     }
 
     /// Explanation scores of §V-E for a single-item-per-step history:
@@ -689,14 +786,10 @@ impl CauserModel {
             return Vec::new();
         }
         // Soft per-item relation toward the concrete target (exact eq. 9).
-        let w: Vec<f64> =
-            history_items.iter().map(|&a| ic.rel.w_ab(a, target)).collect();
+        let w: Vec<f64> = history_items.iter().map(|&a| ic.rel.w_ab(a, target)).collect();
         let mut causal_scores = cfg.variant.use_causal();
-        let mut kept: Vec<usize> = if causal_scores {
-            (0..n).filter(|&t| w[t] > eps).collect()
-        } else {
-            (0..n).collect()
-        };
+        let mut kept: Vec<usize> =
+            if causal_scores { (0..n).filter(|&t| w[t] > eps).collect() } else { (0..n).collect() };
         if kept.is_empty() {
             // Same fallback as scoring: with everything filtered, degrade to
             // the attention-only explanation over the full history.
@@ -789,6 +882,20 @@ mod tests {
             let scores = model.score_all(&ic, 2, &toy_history());
             assert_eq!(scores.len(), 10);
             assert!(scores.iter().all(|s| s.is_finite()));
+        }
+    }
+
+    #[test]
+    fn score_items_matches_score_all_bitwise() {
+        for variant in CauserVariant::ALL {
+            let model = toy_model(variant, RnnKind::Gru);
+            let ic = model.inference_cache();
+            let all = model.score_all(&ic, 2, &toy_history());
+            let subset = [9usize, 0, 4, 4];
+            let s = model.score_items(&ic, 2, &toy_history(), &subset);
+            for (i, &b) in subset.iter().enumerate() {
+                assert_eq!(s[i].to_bits(), all[b].to_bits(), "item {b} ({variant:?})");
+            }
         }
     }
 

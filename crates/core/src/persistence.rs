@@ -52,10 +52,7 @@ pub fn restore(file: ModelFile) -> Result<CauserModel, String> {
         seen += 1;
     }
     if seen != model.params.len() {
-        return Err(format!(
-            "model file covers {seen} of {} parameters",
-            model.params.len()
-        ));
+        return Err(format!("model file covers {seen} of {} parameters", model.params.len()));
     }
     Ok(model)
 }
@@ -87,11 +84,8 @@ mod tests {
         let profile = DatasetProfile::paper(DatasetKind::Epinions).scaled(0.03);
         let sim = simulate(&profile, 5);
         let split = sim.interactions.leave_last_out();
-        let cfg = crate::CauserConfig::new(
-            profile.num_users,
-            profile.num_items,
-            profile.feature_dim,
-        );
+        let cfg =
+            crate::CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
         let mut rec = CauserRecommender::new(
             cfg,
             sim.features.clone(),
@@ -122,11 +116,8 @@ mod tests {
     fn restore_rejects_wrong_parameters() {
         let profile = DatasetProfile::paper(DatasetKind::Epinions).scaled(0.02);
         let sim = simulate(&profile, 6);
-        let cfg = crate::CauserConfig::new(
-            profile.num_users,
-            profile.num_items,
-            profile.feature_dim,
-        );
+        let cfg =
+            crate::CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
         let model = CauserModel::new(cfg, sim.features.clone(), 1);
         let mut file = snapshot(&model);
         file.params[0].0 = "no_such_param".into();

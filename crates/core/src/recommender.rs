@@ -151,11 +151,6 @@ mod tests {
         random.fit(&s);
         let p = evaluate(&pop, &s.test, 5, usize::MAX);
         let r = evaluate(&random, &s.test, 5, usize::MAX);
-        assert!(
-            p.ndcg >= r.ndcg,
-            "popularity ({}) should beat random ({})",
-            p.ndcg,
-            r.ndcg
-        );
+        assert!(p.ndcg >= r.ndcg, "popularity ({}) should beat random ({})", p.ndcg, r.ndcg);
     }
 }

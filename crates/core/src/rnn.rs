@@ -53,7 +53,9 @@ impl GruCell {
         hidden_dim: usize,
         rng: &mut R,
     ) -> Self {
-        let mut w = |name: &str, r: usize, c: usize| ps.add(&format!("{prefix}.{name}"), init::xavier(rng, r, c));
+        let mut w = |name: &str, r: usize, c: usize| {
+            ps.add(&format!("{prefix}.{name}"), init::xavier(rng, r, c))
+        };
         let wz = w("wz", input_dim, hidden_dim);
         let uz = w("uz", hidden_dim, hidden_dim);
         let wr = w("wr", input_dim, hidden_dim);
@@ -155,7 +157,9 @@ impl LstmCell {
         hidden_dim: usize,
         rng: &mut R,
     ) -> Self {
-        let mut w = |name: &str, r: usize, c: usize| ps.add(&format!("{prefix}.{name}"), init::xavier(rng, r, c));
+        let mut w = |name: &str, r: usize, c: usize| {
+            ps.add(&format!("{prefix}.{name}"), init::xavier(rng, r, c))
+        };
         let wi = w("wi", input_dim, hidden_dim);
         let ui = w("ui", hidden_dim, hidden_dim);
         let wf = w("wf", input_dim, hidden_dim);
@@ -207,7 +211,13 @@ impl LstmCell {
     }
 
     /// Plain-matrix forward step (inference path).
-    pub fn step_plain(&self, ps: &ParamSet, x: &Matrix, h: &Matrix, c: &Matrix) -> (Matrix, Matrix) {
+    pub fn step_plain(
+        &self,
+        ps: &ParamSet,
+        x: &Matrix,
+        h: &Matrix,
+        c: &Matrix,
+    ) -> (Matrix, Matrix) {
         let gate = |w: ParamId, u: ParamId, b: ParamId| {
             let mut m = x.matmul(ps.value(w));
             m.add_scaled(&h.matmul(ps.value(u)), 1.0);
@@ -313,8 +323,7 @@ impl Cell {
         match self {
             Cell::Gru(c) => PlainState { h: c.step_plain(ps, x, &state.h), c: None },
             Cell::Lstm(c) => {
-                let (h, cc) =
-                    c.step_plain(ps, x, &state.h, state.c.as_ref().expect("LSTM state"));
+                let (h, cc) = c.step_plain(ps, x, &state.h, state.c.as_ref().expect("LSTM state"));
                 PlainState { h, c: Some(cc) }
             }
         }

@@ -138,8 +138,7 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
         // assignment hardness is controlled through η). Fixing a hard η
         // from the start collapses cluster purity (winner-take-all).
         if eta_final < 1.0 {
-            let progress =
-                (epoch as f64 / (cfg.epochs as f64 * 2.0 / 3.0).max(1.0)).min(1.0);
+            let progress = (epoch as f64 / (cfg.epochs as f64 * 2.0 / 3.0).max(1.0)).min(1.0);
             model.cluster.eta = eta_final.powf(progress);
         }
         // §III-C slow-update mode: freeze Θ_a and W^c except every n-th epoch.
@@ -250,8 +249,7 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
                         let Some(bce) = model.bce_from_logits(g, &logits) else {
                             return 0.0;
                         };
-                        let w =
-                            logits.len() as f64 / total_rows as f64;
+                        let w = logits.len() as f64 / total_rows as f64;
                         let v = g.value(bce).item() * w;
                         g.backward_seeded(bce, gs, w);
                         v
@@ -272,10 +270,7 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
 
         // Dedicated structure-fitting pass for W^c over large batches with
         // the current (constant) assignments.
-        let struct_frozen = cfg
-            .slow_update_every
-            .map(|every| epoch % every != 0)
-            .unwrap_or(false);
+        let struct_frozen = cfg.slow_update_every.map(|every| epoch % every != 0).unwrap_or(false);
         if cfg.struct_weight > 0.0 && !struct_frozen && model.config.variant.use_causal() {
             for &id in &graph_ids {
                 model.params.set_frozen(id, false);
@@ -345,11 +340,8 @@ fn structure_pass(
         // Sequences with at least two steps, plus the chunk-wide step count
         // — known up front, so shards can scale their fit terms by the
         // global denominator and the sharded sum equals the serial term.
-        let seqs: Vec<&Vec<Step>> = chunk
-            .iter()
-            .map(|&idx| &split.train[idx].steps)
-            .filter(|seq| seq.len() >= 2)
-            .collect();
+        let seqs: Vec<&Vec<Step>> =
+            chunk.iter().map(|&idx| &split.train[idx].steps).filter(|seq| seq.len() >= 2).collect();
         let steps_total: usize = seqs.iter().map(|seq| seq.len() - 1).sum();
         if steps_total == 0 {
             continue;
@@ -535,6 +527,6 @@ mod tests {
         let p = sample_positions(&mut rng, 20, 5);
         assert_eq!(p.len(), 5);
         assert!(p.windows(2).all(|w| w[0] < w[1]));
-        assert!(p.iter().all(|&x| x >= 1 && x < 20));
+        assert!(p.iter().all(|&x| (1..20).contains(&x)));
     }
 }

@@ -92,7 +92,13 @@ impl Interactions {
                 train.push(UserHistory { user: u, steps: seq.clone() });
             }
         }
-        LeaveLastOut { num_users: self.num_users, num_items: self.num_items, train, validation, test }
+        LeaveLastOut {
+            num_users: self.num_users,
+            num_items: self.num_items,
+            train,
+            validation,
+            test,
+        }
     }
 }
 

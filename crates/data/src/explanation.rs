@@ -117,7 +117,7 @@ mod tests {
         let labeled = build_explanation_dataset(&s, 1000);
         let avg = avg_causes(&labeled);
         // Paper reports ~1.8; our generative labels land in a similar band.
-        assert!(avg >= 1.0 && avg <= 3.0, "avg causes {avg}");
+        assert!((1.0..=3.0).contains(&avg), "avg causes {avg}");
     }
 
     #[test]

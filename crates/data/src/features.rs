@@ -50,12 +50,7 @@ mod tests {
         let clusters: Vec<usize> = (0..200).map(|i| i % 2).collect();
         let f = item_features(&mut rng, &clusters, 2, 8, 0.2);
         let dist = |a: usize, b: usize| -> f64 {
-            f.row(a)
-                .iter()
-                .zip(f.row(b))
-                .map(|(&x, &y)| (x - y) * (x - y))
-                .sum::<f64>()
-                .sqrt()
+            f.row(a).iter().zip(f.row(b)).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>().sqrt()
         };
         // Average same-cluster vs cross-cluster distance over a sample.
         let mut same = 0.0;

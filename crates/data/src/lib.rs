@@ -23,7 +23,10 @@ pub mod simulator;
 pub mod stats;
 
 pub use dataset::{EvalCase, Interactions, LeaveLastOut, Step, UserHistory};
-pub use explanation::{avg_causes, build_explanation_dataset, build_explanation_dataset_min_history, LabeledExplanation};
+pub use explanation::{
+    avg_causes, build_explanation_dataset, build_explanation_dataset_min_history,
+    LabeledExplanation,
+};
 pub use persistence::{load_dataset, save_dataset, DatasetFile};
 pub use profiles::{DatasetKind, DatasetProfile};
 pub use sampling::NegativeSampler;

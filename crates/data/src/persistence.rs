@@ -66,9 +66,7 @@ pub fn load_dataset(path: &Path) -> std::io::Result<SimulatedDataset> {
     std::fs::File::open(path)?.read_to_string(&mut json)?;
     let file: DatasetFile = serde_json::from_str(&json).map_err(std::io::Error::other)?;
     let sim: SimulatedDataset = file.into();
-    sim.interactions
-        .check_invariants()
-        .map_err(std::io::Error::other)?;
+    sim.interactions.check_invariants().map_err(std::io::Error::other)?;
     if !sim.cluster_graph.is_dag() {
         return Err(std::io::Error::other("cluster graph in file is cyclic"));
     }

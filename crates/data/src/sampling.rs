@@ -108,10 +108,7 @@ mod tests {
         Interactions {
             num_users: 2,
             num_items: 4,
-            sequences: vec![
-                vec![vec![0], vec![0], vec![0], vec![1]],
-                vec![vec![0], vec![2]],
-            ],
+            sequences: vec![vec![vec![0], vec![0], vec![0], vec![1]], vec![vec![0], vec![2]]],
         }
     }
 

@@ -131,13 +131,8 @@ pub fn simulate(profile: &DatasetProfile, seed: u64) -> SimulatedDataset {
     let catalog = Catalog::build(&item_clusters, k, profile.zipf_exponent);
 
     // 3. Raw features around cluster centers (GloVe stand-in).
-    let features = item_features(
-        &mut rng,
-        &item_clusters,
-        k,
-        profile.feature_dim,
-        profile.feature_noise,
-    );
+    let features =
+        item_features(&mut rng, &item_clusters, k, profile.feature_dim, profile.feature_noise);
 
     // Expected items per step (baskets add ~1.5 extra items).
     let items_per_step = 1.0 + profile.p_basket * 1.5;
@@ -181,8 +176,7 @@ pub fn simulate(profile: &DatasetProfile, seed: u64) -> SimulatedDataset {
                 }
             }
             // Keep the (item, cause) pairing aligned under sorting.
-            let mut pairs: Vec<(usize, Vec<usize>)> =
-                step.into_iter().zip(step_causes).collect();
+            let mut pairs: Vec<(usize, Vec<usize>)> = step.into_iter().zip(step_causes).collect();
             pairs.sort_by_key(|(i, _)| *i);
             let (step, step_causes): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
             seq.push(step);
@@ -192,11 +186,8 @@ pub fn simulate(profile: &DatasetProfile, seed: u64) -> SimulatedDataset {
         causes.push(seq_causes);
     }
 
-    let interactions = Interactions {
-        num_users: profile.num_users,
-        num_items: profile.num_items,
-        sequences,
-    };
+    let interactions =
+        Interactions { num_users: profile.num_users, num_items: profile.num_items, sequences };
     debug_assert!(interactions.check_invariants().is_ok());
 
     SimulatedDataset {
@@ -257,9 +248,7 @@ fn sample_item<R: Rng + ?Sized>(
                 let parents = g.parents(child);
                 let mut cause_steps: Vec<usize> = (0..t)
                     .rev()
-                    .filter(|&s2| {
-                        seq[s2].iter().any(|&it| parents.contains(&item_clusters[it]))
-                    })
+                    .filter(|&s2| seq[s2].iter().any(|&it| parents.contains(&item_clusters[it])))
                     .take(3)
                     .collect();
                 cause_steps.sort_unstable();
@@ -273,9 +262,7 @@ fn sample_item<R: Rng + ?Sized>(
         4..=6 => focus_b,
         _ => rng.gen_range(0..k),
     };
-    let item = catalog
-        .sample(rng, cluster)
-        .unwrap_or_else(|| rng.gen_range(0..profile.num_items));
+    let item = catalog.sample(rng, cluster).unwrap_or_else(|| rng.gen_range(0..profile.num_items));
     (item, Vec::new())
 }
 

@@ -4,12 +4,7 @@ use causer_eval::config::ExperimentScale;
 use causer_eval::runner::ModelKind;
 fn main() {
     let scale = ExperimentScale::from_env();
-    let models = [
-        ModelKind::Bpr,
-        ModelKind::Gru4Rec,
-        ModelKind::Narm,
-        ModelKind::CauserGru,
-    ];
+    let models = [ModelKind::Bpr, ModelKind::Gru4Rec, ModelKind::Narm, ModelKind::CauserGru];
     let (_res, report) =
         causer_eval::experiments::beyond_accuracy::run(DatasetKind::Patio, &models, &scale);
     println!("{report}");

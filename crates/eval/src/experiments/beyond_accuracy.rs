@@ -20,7 +20,11 @@ pub struct BeyondAccuracy {
     pub diversity: f64,
 }
 
-pub fn run(kind: DatasetKind, models: &[ModelKind], scale: &ExperimentScale) -> (Vec<BeyondAccuracy>, String) {
+pub fn run(
+    kind: DatasetKind,
+    models: &[ModelKind],
+    scale: &ExperimentScale,
+) -> (Vec<BeyondAccuracy>, String) {
     let sim = dataset(kind, scale);
     let split = sim.interactions.leave_last_out();
     let mut results = Vec::new();

@@ -27,13 +27,15 @@ pub fn run(scale: &ExperimentScale) -> (EfficiencyResult, String) {
 
     // Training: full updates vs. slow (every-10-epochs) updates of Θ_a/W^c.
     eprintln!("efficiency: training with full updates ...");
-    let mut full = build_causer(&sim, scale, RnnKind::Gru, CauserVariant::Full, tp.k, tp.eta, tp.epsilon);
+    let mut full =
+        build_causer(&sim, scale, RnnKind::Gru, CauserVariant::Full, tp.k, tp.eta, tp.epsilon);
     let t = Instant::now();
     full.fit(&split);
     let full_update_seconds = t.elapsed().as_secs_f64();
 
     eprintln!("efficiency: training with slow updates ...");
-    let mut slow = build_causer(&sim, scale, RnnKind::Gru, CauserVariant::Full, tp.k, tp.eta, tp.epsilon);
+    let mut slow =
+        build_causer(&sim, scale, RnnKind::Gru, CauserVariant::Full, tp.k, tp.eta, tp.epsilon);
     slow.train_config.slow_update_every = Some(10);
     let t = Instant::now();
     slow.fit(&split);
@@ -62,8 +64,7 @@ pub fn run(scale: &ExperimentScale) -> (EfficiencyResult, String) {
     let res = EfficiencyResult {
         full_update_seconds,
         slow_update_seconds,
-        training_speedup_pct: (full_update_seconds - slow_update_seconds)
-            / full_update_seconds
+        training_speedup_pct: (full_update_seconds - slow_update_seconds) / full_update_seconds
             * 100.0,
         causer_infer_seconds,
         sasrec_infer_seconds,

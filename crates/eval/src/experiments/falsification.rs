@@ -33,12 +33,7 @@ pub fn run(scale: &ExperimentScale) -> (Vec<FalsificationRow>, String) {
             ndcg.push(evaluate(&model, &split.test, 5, scale.eval_users).ndcg);
         }
         let gain = if ndcg[1] > 0.0 { (ndcg[0] - ndcg[1]) / ndcg[1] * 100.0 } else { 0.0 };
-        t.add_row(vec![
-            label.to_string(),
-            pct(ndcg[0]),
-            pct(ndcg[1]),
-            format!("{gain:+.1}"),
-        ]);
+        t.add_row(vec![label.to_string(), pct(ndcg[0]), pct(ndcg[1]), format!("{gain:+.1}")]);
         rows.push((label.to_string(), ndcg[0], ndcg[1], gain));
     }
     let report = format!(

@@ -9,7 +9,9 @@ use crate::runner::build_causer;
 use causer_baselines::common::NeuralRecommender;
 use causer_baselines::narm::{narm, NarmEncoder};
 use causer_core::{CauserVariant, RnnKind, SeqRecommender};
-use causer_data::{build_explanation_dataset, simulate, DatasetKind, DatasetProfile, LabeledExplanation};
+use causer_data::{
+    build_explanation_dataset, simulate, DatasetKind, DatasetProfile, LabeledExplanation,
+};
 use causer_metrics::explanation::top_indices;
 
 /// A case study: for each model, the history position it would use to
@@ -32,7 +34,11 @@ pub fn run(scale: &ExperimentScale, num_cases: usize) -> (Vec<Case>, String) {
     // Train the four explainers.
     let mut narm_model: NeuralRecommender<NarmEncoder> = narm(
         split.num_items,
-        causer_baselines::BaselineTrainConfig { epochs: scale.epochs, seed: scale.seed, ..Default::default() },
+        causer_baselines::BaselineTrainConfig {
+            epochs: scale.epochs,
+            seed: scale.seed,
+            ..Default::default()
+        },
         scale.seed,
     );
     eprintln!("fig8: training NARM ...");

@@ -33,19 +33,18 @@ pub fn run(
         for &eta in etas {
             for &epsilon in epsilons {
                 eprintln!("grid: K={k} eta={eta:.0e} eps={epsilon} ...");
-                let mut model = build_causer(
-                    &sim,
-                    scale,
-                    RnnKind::Gru,
-                    CauserVariant::Full,
-                    k,
-                    eta,
-                    epsilon,
-                );
+                let mut model =
+                    build_causer(&sim, scale, RnnKind::Gru, CauserVariant::Full, k, eta, epsilon);
                 model.fit(&split);
                 let val = evaluate(&model, &split.validation, 5, scale.eval_users);
                 let test = evaluate(&model, &split.test, 5, scale.eval_users);
-                points.push(GridPoint { k, eta, epsilon, val_ndcg: val.ndcg, test_ndcg: test.ndcg });
+                points.push(GridPoint {
+                    k,
+                    eta,
+                    epsilon,
+                    val_ndcg: val.ndcg,
+                    test_ndcg: test.ndcg,
+                });
             }
         }
     }

@@ -1,8 +1,8 @@
 //! One module per reproduced table/figure. See DESIGN.md §3 for the index.
 
 pub mod beyond_accuracy;
-pub mod falsification;
 pub mod efficiency;
+pub mod falsification;
 pub mod fig3;
 pub mod fig7;
 pub mod fig8;

@@ -54,13 +54,21 @@ pub struct SweepPoint {
 /// optimal values").
 pub fn run(param: SweepParam, grid: &[f64], scale: &ExperimentScale) -> (Vec<SweepPoint>, String) {
     let mut points = Vec::new();
-    let mut t = TextTable::new(&["Value", "LSTM Baby", "LSTM Epinions", "GRU Baby", "GRU Epinions"]);
+    let mut t =
+        TextTable::new(&["Value", "LSTM Baby", "LSTM Epinions", "GRU Baby", "GRU Epinions"]);
     let sims: Vec<_> = DATASETS.iter().map(|&d| dataset(d, scale)).collect();
     for &value in grid {
         let mut row = vec![format_value(param, value)];
         for rnn in [RnnKind::Lstm, RnnKind::Gru] {
             for (sim, &dk) in sims.iter().zip(DATASETS.iter()) {
-                eprintln!("{}: {}={} {} on {} ...", param.figure(), name(param), value, rnn.name(), dk.name());
+                eprintln!(
+                    "{}: {}={} {} on {} ...",
+                    param.figure(),
+                    name(param),
+                    value,
+                    rnn.name(),
+                    dk.name()
+                );
                 let tp = tuned(dk);
                 let (k, eta, eps) = match param {
                     SweepParam::K => (value as usize, tp.eta, tp.epsilon),

@@ -97,11 +97,8 @@ mod tests {
     #[test]
     fn subset_run_produces_cells_and_report() {
         let scale = ExperimentScale { dataset_scale: 0.006, epochs: 1, eval_users: 20, seed: 3 };
-        let (cells, report) = run_subset(
-            &scale,
-            &[DatasetKind::Patio],
-            &[ModelKind::Bpr, ModelKind::CauserGru],
-        );
+        let (cells, report) =
+            run_subset(&scale, &[DatasetKind::Patio], &[ModelKind::Bpr, ModelKind::CauserGru]);
         assert_eq!(cells.len(), 2);
         assert!(report.contains("BPR"));
         assert!(report.contains("Causer (GRU)"));

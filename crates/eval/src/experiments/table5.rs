@@ -38,8 +38,7 @@ pub fn run(scale: &ExperimentScale) -> (Vec<(String, String, String, f64)>, Stri
             for (sim, &dk) in sims.iter().zip(DATASETS.iter()) {
                 eprintln!("table5: {} {} on {} ...", variant.label(), rnn.name(), dk.name());
                 let tp = tuned(dk);
-                let mut model =
-                    build_causer(sim, scale, rnn, variant, tp.k, tp.eta, tp.epsilon);
+                let mut model = build_causer(sim, scale, rnn, variant, tp.k, tp.eta, tp.epsilon);
                 let split = sim.interactions.leave_last_out();
                 model.fit(&split);
                 let rep = evaluate(&model, &split.test, 5, scale.eval_users);

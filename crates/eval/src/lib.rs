@@ -20,6 +20,6 @@ pub mod runner;
 pub mod tables;
 
 pub use config::{tuned, ExperimentScale, TunedCauser};
-pub use runner::{build_causer, build_model, dataset, run_cell, CellResult, ModelKind};
 pub use report::{load_artifact_json, save_artifact, Artifact};
+pub use runner::{build_causer, build_model, dataset, run_cell, CellResult, ModelKind};
 pub use tables::{paper_table4, paper_table5, pct, TextTable};

@@ -1,10 +1,12 @@
 //! Model registry and per-dataset experiment runner.
 
 use crate::config::{tuned, ExperimentScale};
-use causer_baselines::{gru4rec, mmsarec, narm, sasrec, stamp, vtrnn, BaselineTrainConfig, BprRecommender, NcfRecommender};
+use causer_baselines::{
+    gru4rec, mmsarec, narm, sasrec, stamp, vtrnn, BaselineTrainConfig, BprRecommender,
+    NcfRecommender,
+};
 use causer_core::{
-    evaluate, CauserConfig, CauserRecommender, CauserVariant, RnnKind, SeqRecommender,
-    TrainConfig,
+    evaluate, CauserConfig, CauserRecommender, CauserVariant, RnnKind, SeqRecommender, TrainConfig,
 };
 use causer_data::{simulate, DatasetKind, DatasetProfile, SimulatedDataset};
 use causer_metrics::RankingReport;
@@ -134,11 +136,7 @@ pub fn dataset(kind: DatasetKind, scale: &ExperimentScale) -> SimulatedDataset {
 }
 
 /// Fit and evaluate one model on one simulated dataset (test split, @5).
-pub fn run_cell(
-    kind: ModelKind,
-    sim: &SimulatedDataset,
-    scale: &ExperimentScale,
-) -> CellResult {
+pub fn run_cell(kind: ModelKind, sim: &SimulatedDataset, scale: &ExperimentScale) -> CellResult {
     let split = sim.interactions.leave_last_out();
     let mut model = build_model(kind, sim, scale);
     let t = std::time::Instant::now();

@@ -175,8 +175,16 @@ mod tests {
     #[test]
     fn paper_values_present_for_all_models_and_datasets() {
         let models = [
-            "BPR", "NCF", "GRU4Rec", "STAMP", "SASRec", "NARM", "VTRNN", "MMSARec",
-            "Causer (LSTM)", "Causer (GRU)",
+            "BPR",
+            "NCF",
+            "GRU4Rec",
+            "STAMP",
+            "SASRec",
+            "NARM",
+            "VTRNN",
+            "MMSARec",
+            "Causer (LSTM)",
+            "Causer (GRU)",
         ];
         for m in models {
             for k in DatasetKind::ALL {
@@ -203,9 +211,7 @@ mod tests {
         for rnn in ["LSTM", "GRU"] {
             for k in [DatasetKind::Baby, DatasetKind::Epinions] {
                 let full = paper_table5("Causer", rnn, k).unwrap();
-                for v in
-                    ["Causer (-rec)", "Causer (-clus)", "Causer (-att)", "Causer (-causal)"]
-                {
+                for v in ["Causer (-rec)", "Causer (-clus)", "Causer (-att)", "Causer (-causal)"] {
                     assert!(full >= paper_table5(v, rnn, k).unwrap());
                 }
             }

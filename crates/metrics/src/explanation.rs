@@ -62,10 +62,7 @@ mod tests {
     use super::*;
 
     fn sample(scores: &[f64], causes: &[usize]) -> ExplanationSample {
-        ExplanationSample {
-            scores: scores.to_vec(),
-            true_causes: causes.iter().copied().collect(),
-        }
+        ExplanationSample { scores: scores.to_vec(), true_causes: causes.iter().copied().collect() }
     }
 
     #[test]

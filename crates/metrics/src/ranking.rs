@@ -47,13 +47,7 @@ pub fn dcg_at(recommended: &[usize], truth: &HashSet<usize>) -> f64 {
     recommended
         .iter()
         .enumerate()
-        .map(|(i, item)| {
-            if truth.contains(item) {
-                1.0 / ((i + 2) as f64).log2()
-            } else {
-                0.0
-            }
-        })
+        .map(|(i, item)| if truth.contains(item) { 1.0 / ((i + 2) as f64).log2() } else { 0.0 })
         .sum()
 }
 
@@ -83,10 +77,7 @@ pub fn hit_at(recommended: &[usize], truth: &HashSet<usize>) -> f64 {
 
 /// Per-user reciprocal rank of the first relevant item (0 if none).
 pub fn mrr_at(recommended: &[usize], truth: &HashSet<usize>) -> f64 {
-    recommended
-        .iter()
-        .position(|i| truth.contains(i))
-        .map_or(0.0, |p| 1.0 / (p + 1) as f64)
+    recommended.iter().position(|i| truth.contains(i)).map_or(0.0, |p| 1.0 / (p + 1) as f64)
 }
 
 /// Aggregated evaluation over many users.

@@ -1,0 +1,25 @@
+//! Batched top-K serving for Causer models.
+//!
+//! This crate turns the per-user inference path of `causer-core` into a
+//! serving engine without changing a single score bit:
+//!
+//! - [`ServeState`] — an immutable model snapshot bundling the inference
+//!   cache and the cluster-level total-causal-effect cache, built once per
+//!   model (per hot reload), reused by every request.
+//! - [`BatchScorer`] — scores whole batches of [`ScoreRequest`]s, reusing
+//!   scratch buffers across the batch and fanning shards out over threads.
+//!   Scores are bitwise-identical to `CauserModel::score_all` /
+//!   `score_items`; tests assert it with `f64::to_bits`.
+//! - [`BatchQueue`] — a bounded submission queue that drains on
+//!   size-or-timeout, so trickle traffic still gets a latency bound and
+//!   burst traffic gets full batches.
+//! - [`ModelHandle`] — hot reload by atomic `Arc` swap; in-flight batches
+//!   finish on the snapshot they started with.
+
+mod queue;
+mod reload;
+mod scorer;
+
+pub use queue::{BatchQueue, QueueConfig, SubmitError};
+pub use reload::ModelHandle;
+pub use scorer::{BatchScorer, Ranked, ScoreRequest, ServeState};

@@ -1,0 +1,199 @@
+//! The bounded request-batching queue.
+//!
+//! Producers [`submit`](BatchQueue::submit) requests and get a receiver for
+//! their response; a dedicated worker thread drains the queue into batches
+//! that close on **size or timeout** — whichever comes first:
+//!
+//! - as soon as `max_batch` requests are pending, a full batch is cut;
+//! - otherwise the batch closes `max_wait` after its *first* request
+//!   arrived, with whatever is pending then (latency bound under trickle
+//!   traffic).
+//!
+//! The queue is bounded at `capacity` pending requests; `submit` refuses
+//! (it never blocks the producer) once the bound is hit — backpressure is
+//! the caller's problem, by design. Each batch is scored against one
+//! [`ModelHandle`] snapshot taken at drain time, so a hot reload applies
+//! cleanly between batches, never within one.
+
+use crate::reload::ModelHandle;
+use crate::scorer::{BatchScorer, Ranked, ScoreRequest};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Queue tuning knobs.
+#[derive(Clone, Debug)]
+pub struct QueueConfig {
+    /// Cut a batch as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// Cut a batch this long after its first request arrived, full or not.
+    pub max_wait: Duration,
+    /// Refuse submissions beyond this many pending requests.
+    pub capacity: usize,
+    /// Worker threads the scorer fans each batch out over.
+    pub threads: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+            capacity: 4096,
+            threads: 1,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `capacity` pending requests — shed load upstream.
+    QueueFull,
+    /// The queue was shut down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "serving queue at capacity"),
+            SubmitError::ShuttingDown => write!(f, "serving queue shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Shared {
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+struct State {
+    pending: VecDeque<(ScoreRequest, mpsc::Sender<Ranked>)>,
+    shutdown: bool,
+    /// Batches drained so far (for tests/metrics).
+    batches: u64,
+}
+
+/// A running batching queue (owns its worker thread).
+pub struct BatchQueue {
+    shared: Arc<Shared>,
+    cfg: QueueConfig,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl BatchQueue {
+    /// Start a queue serving the given model handle.
+    pub fn start(handle: Arc<ModelHandle>, cfg: QueueConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.capacity >= 1, "capacity must be at least 1");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { pending: VecDeque::new(), shutdown: false, batches: 0 }),
+            cond: Condvar::new(),
+        });
+        let worker = {
+            let shared = shared.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || worker_loop(&shared, &handle, &cfg))
+        };
+        BatchQueue { shared, cfg, worker: Some(worker) }
+    }
+
+    /// Enqueue a request. Returns the receiver its [`Ranked`] response will
+    /// arrive on, or refuses immediately when full or shutting down.
+    pub fn submit(&self, req: ScoreRequest) -> Result<mpsc::Receiver<Ranked>, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("queue poisoned");
+            if state.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if state.pending.len() >= self.cfg.capacity {
+                return Err(SubmitError::QueueFull);
+            }
+            state.pending.push_back((req, tx));
+        }
+        self.shared.cond.notify_all();
+        Ok(rx)
+    }
+
+    /// Requests currently waiting for a batch.
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().expect("queue poisoned").pending.len()
+    }
+
+    /// Batches drained since start.
+    pub fn batches_served(&self) -> u64 {
+        self.shared.state.lock().expect("queue poisoned").batches
+    }
+
+    /// Stop accepting requests, drain what is pending, and join the worker.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue poisoned");
+            state.shutdown = true;
+        }
+        self.shared.cond.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for BatchQueue {
+    fn drop(&mut self) {
+        if self.worker.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, handle: &Arc<ModelHandle>, cfg: &QueueConfig) {
+    let scorer = BatchScorer::new(cfg.threads);
+    loop {
+        // Phase 1: wait for the first request (or shutdown).
+        let mut state = shared.state.lock().expect("queue poisoned");
+        while state.pending.is_empty() && !state.shutdown {
+            state = shared.cond.wait(state).expect("queue poisoned");
+        }
+        if state.pending.is_empty() && state.shutdown {
+            return;
+        }
+        // Phase 2: the batch opened when its first request arrived; keep
+        // collecting until it is full, the wait budget lapses, or shutdown.
+        let deadline = Instant::now() + cfg.max_wait;
+        while state.pending.len() < cfg.max_batch && !state.shutdown {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timed_out) =
+                shared.cond.wait_timeout(state, deadline - now).expect("queue poisoned");
+            state = next;
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        let n = state.pending.len().min(cfg.max_batch);
+        let drained: Vec<(ScoreRequest, mpsc::Sender<Ranked>)> = state.pending.drain(..n).collect();
+        state.batches += 1;
+        drop(state);
+
+        // Phase 3: score outside the lock against one model snapshot.
+        let snapshot = handle.snapshot();
+        let reqs: Vec<ScoreRequest> = drained.iter().map(|(r, _)| r.clone()).collect();
+        let ranked = scorer.score_batch(&snapshot, &reqs);
+        for ((_, tx), response) in drained.into_iter().zip(ranked) {
+            // A dropped receiver just means the caller gave up waiting.
+            let _ = tx.send(response);
+        }
+    }
+}

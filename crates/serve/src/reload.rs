@@ -1,0 +1,60 @@
+//! Model hot-reload: an atomically swappable handle to the current
+//! [`ServeState`].
+//!
+//! Scorers take a cheap [`Arc`] snapshot per batch and keep using it for the
+//! whole batch even if a reload lands mid-flight — a batch is always scored
+//! against exactly one model generation. The expensive part of a reload
+//! (deserializing the model, rebuilding the inference and cluster-effect
+//! caches) happens **outside** the lock; the lock is held only for the
+//! pointer swap, so serving never blocks on a reload.
+
+use crate::scorer::ServeState;
+use causer_core::{load_model, CauserModel};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Shared, hot-swappable handle to the currently served model.
+pub struct ModelHandle {
+    current: RwLock<Arc<ServeState>>,
+    generation: AtomicU64,
+}
+
+impl ModelHandle {
+    /// Wrap a model (builds its serving caches).
+    pub fn new(model: CauserModel) -> Self {
+        ModelHandle {
+            current: RwLock::new(Arc::new(ServeState::build(model))),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The current snapshot. Cheap (one `Arc` clone under a read lock held
+    /// for nanoseconds); the snapshot stays valid — and bitwise stable —
+    /// for as long as the caller holds it, across any number of reloads.
+    pub fn snapshot(&self) -> Arc<ServeState> {
+        self.current.read().expect("model handle poisoned").clone()
+    }
+
+    /// Install a new model. The snapshot is built on the calling thread
+    /// before the write lock is taken; concurrent `snapshot()` calls see
+    /// either the old state or the new one, never a partial state.
+    pub fn install(&self, model: CauserModel) {
+        let state = Arc::new(ServeState::build(model));
+        *self.current.write().expect("model handle poisoned") = state;
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Reload from a model file saved by `causer_core::persistence`.
+    /// On any error the current model keeps serving untouched.
+    pub fn reload(&self, path: &Path) -> std::io::Result<()> {
+        let model = load_model(path)?;
+        self.install(model);
+        Ok(())
+    }
+
+    /// How many installs/reloads have happened (0 for the initial model).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+}

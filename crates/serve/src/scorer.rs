@@ -1,0 +1,248 @@
+//! The batched top-K scorer.
+//!
+//! [`BatchScorer`] scores a whole batch of requests against one immutable
+//! [`ServeState`] snapshot. Per request it reuses the exact per-user scoring
+//! helpers of `causer-core` (`score_candidates_with_run`, `uniform_vh`), so
+//! batched scores are **bitwise-identical** to `CauserModel::score_all` —
+//! the batching wins come from work that is amortized, not approximated:
+//!
+//! - the catalog→cluster grouping and the per-cluster `Ā` gathers live in
+//!   the model-level [`ClusterEffectCache`], built once per snapshot instead
+//!   of once per call;
+//! - the `Ŵ` and context matrices of every cluster group go through the
+//!   blocked `matmul_nt`/`matmul_tn` kernels with scratch buffers reused
+//!   across the whole batch (allocation-free steady state);
+//! - for the shared-context paths (the `-causal` variant), the per-user
+//!   context rows of the **whole batch** are stacked into one `B×d_e`
+//!   matrix and scored against the catalog with a single blocked
+//!   `matmul_nt`;
+//! - batches fan out over worker threads in contiguous shards (requests are
+//!   independent, so the fan-out cannot change any score).
+
+use causer_core::{CauserModel, ClusterEffectCache, InferenceCache, ScoreBufs};
+use causer_data::Step;
+use causer_tensor::{shard_ranges, Matrix};
+
+/// One scoring request: a user, their history, an optional restriction to a
+/// candidate set, and how many items to return.
+#[derive(Clone, Debug)]
+pub struct ScoreRequest {
+    pub user: usize,
+    pub history: Vec<Step>,
+    /// `None` scores the whole catalog; `Some` scores (and ranks) only the
+    /// given per-user candidate set.
+    pub candidates: Option<Vec<usize>>,
+    /// Top-K cutoff of the response.
+    pub k: usize,
+}
+
+impl ScoreRequest {
+    /// A full-catalog top-`k` request.
+    pub fn top_k(user: usize, history: Vec<Step>, k: usize) -> Self {
+        ScoreRequest { user, history, candidates: None, k }
+    }
+}
+
+/// A ranked response: item ids (best first) with their pre-sigmoid scores.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ranked {
+    pub items: Vec<usize>,
+    pub scores: Vec<f64>,
+}
+
+/// An immutable, shareable model snapshot with every per-model cache the
+/// serving path needs. Building one is the expensive step of a hot reload;
+/// scoring only ever reads it.
+pub struct ServeState {
+    pub model: CauserModel,
+    pub ic: InferenceCache,
+    pub effects: ClusterEffectCache,
+}
+
+impl ServeState {
+    pub fn build(model: CauserModel) -> Self {
+        let ic = model.inference_cache();
+        let effects = model.cluster_effect_cache(&ic);
+        ServeState { model, ic, effects }
+    }
+}
+
+/// Scores batches of requests against a [`ServeState`].
+pub struct BatchScorer {
+    threads: usize,
+}
+
+impl BatchScorer {
+    /// A scorer fanning each batch out over `threads` workers (clamped to
+    /// at least 1; 1 scores inline on the caller's thread).
+    pub fn new(threads: usize) -> Self {
+        BatchScorer { threads: threads.max(1) }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Score a batch. `out[i]` answers `reqs[i]`; responses do not depend on
+    /// the batch composition or the thread count.
+    pub fn score_batch(&self, state: &ServeState, reqs: &[ScoreRequest]) -> Vec<Ranked> {
+        let mut out: Vec<Option<Ranked>> = (0..reqs.len()).map(|_| None).collect();
+        if !state.model.config.variant.use_causal() {
+            // Ŵ ≡ 1: every user's context collapses to one row — stack the
+            // whole batch and hit the catalog with a single blocked matmul.
+            self.score_batch_uniform(state, reqs, &mut out);
+        } else if self.threads == 1 || reqs.len() == 1 {
+            let mut bufs = ScoreBufs::new();
+            for (req, slot) in reqs.iter().zip(out.iter_mut()) {
+                *slot = Some(score_one(state, req, &mut bufs));
+            }
+        } else {
+            let ranges = shard_ranges(reqs.len(), self.threads);
+            std::thread::scope(|scope| {
+                let mut rest: &mut [Option<Ranked>] = &mut out;
+                let mut offset = 0;
+                for range in ranges {
+                    let shard = &reqs[range.clone()];
+                    let (slots, tail) = rest.split_at_mut(range.end - offset);
+                    rest = tail;
+                    offset = range.end;
+                    scope.spawn(move || {
+                        let mut bufs = ScoreBufs::new();
+                        for (req, slot) in shard.iter().zip(slots.iter_mut()) {
+                            *slot = Some(score_one(state, req, &mut bufs));
+                        }
+                    });
+                }
+            });
+        }
+        out.into_iter().map(|r| r.expect("every request scored")).collect()
+    }
+
+    /// The `-causal` fast path: one `uniform_vh` row per user, stacked into
+    /// `B×d_e`, then `scores = VH · E_outᵀ` (+ bias) for the full catalog in
+    /// one blocked `matmul_nt`. Requests with explicit candidate sets or an
+    /// empty history keep the per-request path (their score slots differ).
+    fn score_batch_uniform(
+        &self,
+        state: &ServeState,
+        reqs: &[ScoreRequest],
+        out: &mut [Option<Ranked>],
+    ) {
+        let model = &state.model;
+        let mut vh_rows: Vec<Matrix> = Vec::new();
+        let mut stacked: Vec<usize> = Vec::new(); // request index per row
+        let mut bufs = ScoreBufs::new();
+        for (i, req) in reqs.iter().enumerate() {
+            let hist = model.clamp_history(&req.history);
+            if req.candidates.is_some() || hist.is_empty() {
+                out[i] = Some(score_one(state, req, &mut bufs));
+            } else if let Some(run) = model.history_run(&state.ic, req.user, &hist, None) {
+                vh_rows.push(Matrix::row_vector(&model.uniform_vh(&run)));
+                stacked.push(i);
+            } else {
+                // Unreachable for an unfiltered run over a non-empty history,
+                // but stay aligned with the per-user path: all-zero scores.
+                out[i] = Some(rank(&vec![0.0; model.config.num_items], None, req.k));
+            }
+        }
+        if stacked.is_empty() {
+            return;
+        }
+        let vh = Matrix::vstack(&vh_rows.iter().collect::<Vec<_>>()); // B×d_e
+        let dots = vh.matmul_nt(model.item_out_matrix()); // B×|V|
+        let bias = model.item_bias_matrix();
+        for (r, &i) in stacked.iter().enumerate() {
+            let scores: Vec<f64> =
+                dots.row(r).iter().enumerate().map(|(b, &d)| bias.get(b, 0) + d).collect();
+            out[i] = Some(rank(&scores, None, reqs[i].k));
+        }
+    }
+}
+
+/// Score one request end to end (the arithmetic of `score_all`(-subset),
+/// with the per-model caches and reusable scratch buffers of the engine).
+fn score_one(state: &ServeState, req: &ScoreRequest, bufs: &mut ScoreBufs) -> Ranked {
+    match &req.candidates {
+        Some(cand) => {
+            let scores = state.model.score_items(&state.ic, req.user, &req.history, cand);
+            rank(&scores, Some(cand), req.k)
+        }
+        None => {
+            let scores = score_catalog(state, req.user, &req.history, bufs);
+            rank(&scores, None, req.k)
+        }
+    }
+}
+
+/// Full-catalog scoring using the precomputed cluster grouping and gathered
+/// assignment rows of [`ClusterEffectCache`] — the same cluster-ascending
+/// order and per-candidate arithmetic as `CauserModel::score_all`, minus the
+/// per-call grouping/gather work.
+fn score_catalog(
+    state: &ServeState,
+    user: usize,
+    history: &[Step],
+    bufs: &mut ScoreBufs,
+) -> Vec<f64> {
+    let model = &state.model;
+    let ic = &state.ic;
+    let n = model.config.num_items;
+    let hist = model.clamp_history(history);
+    let mut scores = vec![0.0f64; n];
+    if hist.is_empty() {
+        return scores;
+    }
+    if !model.config.variant.use_causal() {
+        if let Some(run) = model.history_run(ic, user, &hist, None) {
+            let vh = model.uniform_vh(&run);
+            for (b, slot) in scores.iter_mut().enumerate() {
+                *slot = model.score_one_with_vh(&vh, b);
+            }
+        }
+        return scores;
+    }
+    let mut fallback_vh: Option<Option<Vec<f64>>> = None;
+    let mut out = Vec::new();
+    for (c, cand) in state.effects.members.iter().enumerate() {
+        if cand.is_empty() {
+            continue;
+        }
+        let Some(run) = model.history_run(ic, user, &hist, Some(c)) else {
+            let vh = fallback_vh
+                .get_or_insert_with(|| {
+                    model.history_run(ic, user, &hist, None).map(|run| model.uniform_vh(&run))
+                })
+                .clone();
+            if let Some(vh) = vh {
+                for &b in cand {
+                    scores[b] = model.score_one_with_vh(&vh, b);
+                }
+            }
+            continue;
+        };
+        out.clear();
+        out.resize(cand.len(), 0.0);
+        model.score_candidates_with_run(
+            ic,
+            &run,
+            cand,
+            &state.effects.member_assign[c],
+            bufs,
+            &mut out,
+        );
+        for (&b, &s) in cand.iter().zip(out.iter()) {
+            scores[b] = s;
+        }
+    }
+    scores
+}
+
+/// Rank scores into a top-`k` response. With `cand` given, `scores[i]`
+/// belongs to item `cand[i]` and the response reports original item ids.
+fn rank(scores: &[f64], cand: Option<&[usize]>, k: usize) -> Ranked {
+    let top = Matrix::top_k_indices(scores, k);
+    Ranked {
+        items: top.iter().map(|&i| cand.map_or(i, |c| c[i])).collect(),
+        scores: top.iter().map(|&i| scores[i]).collect(),
+    }
+}

@@ -36,10 +36,7 @@ pub fn check_gradients(
     let mut reports = Vec::new();
     for (id, name) in ids {
         let (rows, cols) = ps.value(id).shape();
-        let analytic = store
-            .get(id)
-            .cloned()
-            .unwrap_or_else(|| Matrix::zeros(rows, cols));
+        let analytic = store.get(id).cloned().unwrap_or_else(|| Matrix::zeros(rows, cols));
         let mut max_abs = 0.0f64;
         let mut max_rel = 0.0f64;
         for i in 0..rows {
@@ -69,7 +66,11 @@ pub fn check_gradients(
                 );
             }
         }
-        reports.push(GradCheckReport { param_name: name, max_abs_err: max_abs, max_rel_err: max_rel });
+        reports.push(GradCheckReport {
+            param_name: name,
+            max_abs_err: max_abs,
+            max_rel_err: max_rel,
+        });
     }
     reports
 }

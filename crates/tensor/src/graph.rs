@@ -28,7 +28,9 @@ pub struct NodeId(pub(crate) usize);
 #[derive(Debug)]
 enum Op {
     /// A constant or parameter leaf; `param` links back into the `ParamSet`.
-    Leaf { param: Option<usize> },
+    Leaf {
+        param: Option<usize>,
+    },
     MatMul(NodeId, NodeId),
     /// Fused `Aᵀ·B` (avoids materializing the transpose).
     MatMulTN(NodeId, NodeId),
@@ -56,23 +58,41 @@ enum Op {
     RowSums(NodeId),
     ConcatCols(NodeId, NodeId),
     VStack(Vec<NodeId>),
-    SelectRows { x: NodeId, indices: Vec<usize> },
+    SelectRows {
+        x: NodeId,
+        indices: Vec<usize>,
+    },
     /// Sum (or mean) of embedding rows per bag: `emb (V×d)`, `bags` of row
     /// indices, output `bags.len() × d`.
-    EmbedBag { emb: NodeId, bags: Vec<Vec<usize>>, mean: bool },
+    EmbedBag {
+        emb: NodeId,
+        bags: Vec<Vec<usize>>,
+        mean: bool,
+    },
     /// Row-wise dot product of two same-shaped matrices: `m×n, m×n -> m×1`.
     DotRows(NodeId, NodeId),
     /// Mean binary-cross-entropy with logits against constant targets.
-    BceWithLogits { logits: NodeId, targets: Matrix },
+    BceWithLogits {
+        logits: NodeId,
+        targets: Matrix,
+    },
     /// Mean squared error against a constant target.
-    MseLoss { x: NodeId, target: Matrix },
+    MseLoss {
+        x: NodeId,
+        target: Matrix,
+    },
     /// Sum of absolute values (L1 penalty).
     L1(NodeId),
     /// Element-wise division of `a` by a `1×1` scalar node.
     DivScalar(NodeId, NodeId),
     /// NOTEARS acyclicity `tr(e^{W∘W}) − n`.
     Acyclicity(NodeId),
-    LayerNormRows { x: NodeId, gamma: NodeId, beta: NodeId, eps: f64 },
+    LayerNormRows {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        eps: f64,
+    },
 }
 
 struct Node {
@@ -498,13 +518,8 @@ impl Graph {
         }
         let (m, n) = self.shape(x);
         let keep = 1.0 - p;
-        let mask = Matrix::from_fn(m, n, |_, _| {
-            if rng.gen::<f64>() < keep {
-                1.0 / keep
-            } else {
-                0.0
-            }
-        });
+        let mask =
+            Matrix::from_fn(m, n, |_, _| if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 });
         let mask_node = self.constant(mask);
         self.mul(x, mask_node)
     }
@@ -787,12 +802,8 @@ impl Graph {
                     let av = self.value(*a);
                     acc(&mut grads, &mut pool, *a, grad.scale(1.0 / sv));
                     // d/ds (a/s) = -a/s²; reduce with the upstream grad.
-                    let ds: f64 = grad
-                        .data()
-                        .iter()
-                        .zip(av.data())
-                        .map(|(&g, &x)| -g * x / (sv * sv))
-                        .sum();
+                    let ds: f64 =
+                        grad.data().iter().zip(av.data()).map(|(&g, &x)| -g * x / (sv * sv)).sum();
                     acc(&mut grads, &mut pool, *s, Matrix::scalar(ds));
                     recycle(&mut pool, grad);
                 }
@@ -824,7 +835,8 @@ impl Graph {
                         let dxhat: Vec<f64> = (0..n).map(|j| gy[j] * g[j]).collect();
                         let mean_dxhat = dxhat.iter().sum::<f64>() / n as f64;
                         let mean_dxhat_xhat =
-                            dxhat.iter().zip(xhat.iter()).map(|(&a, &b)| a * b).sum::<f64>() / n as f64;
+                            dxhat.iter().zip(xhat.iter()).map(|(&a, &b)| a * b).sum::<f64>()
+                                / n as f64;
                         for j in 0..n {
                             gx.set(i, j, inv * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat));
                         }

@@ -66,7 +66,7 @@ mod tests {
     #[test]
     fn xavier_limit_shrinks_with_fan() {
         let mut rng = StdRng::seed_from_u64(7);
-        let big = xavier(&mut rng, 1000, 1000, );
+        let big = xavier(&mut rng, 1000, 1000);
         assert!(big.max_abs() <= (6.0f64 / 2000.0).sqrt() + 1e-12);
     }
 
@@ -75,8 +75,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let m = normal(&mut rng, 100, 100, 2.0);
         let mean = m.mean();
-        let var = m.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>()
-            / (m.len() - 1) as f64;
+        let var =
+            m.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / (m.len() - 1) as f64;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -132,7 +132,12 @@ mod tests {
 
     #[test]
     fn acyclicity_gradient_matches_finite_difference() {
-        let mut w = Matrix::from_fn(4, 4, |i, j| if i == j { 0.0 } else { 0.3 * ((i * 4 + j) as f64).sin() });
+        let mut w =
+            Matrix::from_fn(
+                4,
+                4,
+                |i, j| if i == j { 0.0 } else { 0.3 * ((i * 4 + j) as f64).sin() },
+            );
         let (_, grad) = acyclicity_with_grad(&w);
         let h = 1e-6;
         for i in 0..4 {

@@ -30,7 +30,7 @@ const IR: usize = 8;
 /// assert_eq!(a.matmul(&b), a);
 /// assert_eq!(a.trace(), 5.0);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -426,11 +426,7 @@ impl Matrix {
 
     /// Element-wise map into a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Element-wise map in place.
@@ -562,8 +558,7 @@ impl Matrix {
         for m in mats {
             assert_eq!(m.rows, rows, "hstack row mismatch");
             for i in 0..rows {
-                out.data[i * cols + offset..i * cols + offset + m.cols]
-                    .copy_from_slice(m.row(i));
+                out.data[i * cols + offset..i * cols + offset + m.cols].copy_from_slice(m.row(i));
             }
             offset += m.cols;
         }
@@ -572,12 +567,21 @@ impl Matrix {
 
     /// Copy of the selected rows, in the given order (duplicates allowed).
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Gather the selected rows into a reusable output matrix (reshaped,
+    /// capacity kept). This is the batched-gather primitive the serving
+    /// engine uses to collect per-user candidate embeddings without
+    /// allocating per request.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.reset_to(indices.len(), self.cols);
         for (r, &idx) in indices.iter().enumerate() {
             assert!(idx < self.rows, "row index {idx} out of bounds ({})", self.rows);
             out.row_mut(r).copy_from_slice(self.row(idx));
         }
-        out
     }
 
     /// Indices of the `k` largest values in a slice, descending, ties by index.
@@ -703,6 +707,16 @@ mod tests {
         assert_eq!(s.row(0), &[6.0, 7.0]);
         assert_eq!(s.row(1), &[0.0, 1.0]);
         assert_eq!(s.row(2), &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn select_rows_into_reuses_buffer() {
+        let a = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64);
+        let mut out = Matrix::zeros(9, 9); // stale shape and contents
+        a.select_rows_into(&[4, 0], &mut out);
+        assert_eq!(out, a.select_rows(&[4, 0]));
+        a.select_rows_into(&[2, 2, 1], &mut out);
+        assert_eq!(out, a.select_rows(&[2, 2, 1]));
     }
 
     #[test]

@@ -81,7 +81,8 @@ impl Optimizer for Adam {
             let (m, v) = self.state[index]
                 .get_or_insert_with(|| (Matrix::zeros(rows, cols), Matrix::zeros(rows, cols)));
             assert_eq!(m.shape(), grad.shape(), "parameter shape changed under Adam");
-            let (b1, b2, eps, lr, wd) = (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
+            let (b1, b2, eps, lr, wd) =
+                (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
             let value = params.value_mut(id);
             for i in 0..value.len() {
                 let g = grad.data()[i] + wd * value.data()[i];

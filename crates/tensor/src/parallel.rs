@@ -106,12 +106,7 @@ impl ParallelTrainer {
     /// the whole batch, which reproduces the serial loop exactly. Tapes are
     /// reset by each worker after its pass (releasing parameter `Arc`s
     /// before the caller's optimizer step) while retaining their buffers.
-    pub fn for_each_shard<T, F>(
-        &mut self,
-        items: &[T],
-        ps: &ParamSet,
-        f: F,
-    ) -> (f64, GradStore)
+    pub fn for_each_shard<T, F>(&mut self, items: &[T], ps: &ParamSet, f: F) -> (f64, GradStore)
     where
         T: Sync,
         F: Fn(&mut Graph, &mut GradStore, &[T]) -> f64 + Sync,
@@ -125,8 +120,7 @@ impl ParallelTrainer {
         }
 
         let ranges = shard_ranges(items.len(), self.threads);
-        let mut results: Vec<Option<(f64, GradStore)>> =
-            (0..ranges.len()).map(|_| None).collect();
+        let mut results: Vec<Option<(f64, GradStore)>> = (0..ranges.len()).map(|_| None).collect();
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(ranges.len());
             for (tape, (range, slot)) in

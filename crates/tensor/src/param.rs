@@ -40,10 +40,7 @@ impl ParamSet {
 
     /// Register a parameter; names must be unique.
     pub fn add(&mut self, name: &str, value: Matrix) -> ParamId {
-        assert!(
-            !self.names.iter().any(|n| n == name),
-            "duplicate parameter name {name:?}"
-        );
+        assert!(!self.names.iter().any(|n| n == name), "duplicate parameter name {name:?}");
         self.values.push(Arc::new(value));
         self.names.push(name.to_string());
         self.frozen.push(false);

@@ -1,6 +1,6 @@
 //! Exhaustive forward-shape and error-path coverage for every autodiff op.
 
-use causer_tensor::{Graph, GradStore, Matrix, ParamSet};
+use causer_tensor::{GradStore, Graph, Matrix, ParamSet};
 
 fn g_with(m: Matrix) -> (Graph, causer_tensor::NodeId) {
     let mut g = Graph::new();
@@ -16,30 +16,84 @@ fn shapes_of_every_op() {
     let row = g.constant(Matrix::ones(1, 4));
     let col = g.constant(Matrix::ones(3, 1));
 
-    { let t = g.matmul(a, b); assert_eq!(g.shape(t), (3, 2)); }
-    { let t = g.add_row(a, row); assert_eq!(g.shape(t), (3, 4)); }
-    { let t = g.mul_col(a, col); assert_eq!(g.shape(t), (3, 4)); }
-    { let t = g.transpose(a); assert_eq!(g.shape(t), (4, 3)); }
-    { let t = g.softmax_rows(a); assert_eq!(g.shape(t), (3, 4)); }
-    { let t = g.sum_all(a); assert_eq!(g.shape(t), (1, 1)); }
-    { let t = g.mean_all(a); assert_eq!(g.shape(t), (1, 1)); }
-    { let t = g.row_sums(a); assert_eq!(g.shape(t), (3, 1)); }
-    { let t = g.l1(a); assert_eq!(g.shape(t), (1, 1)); }
+    {
+        let t = g.matmul(a, b);
+        assert_eq!(g.shape(t), (3, 2));
+    }
+    {
+        let t = g.add_row(a, row);
+        assert_eq!(g.shape(t), (3, 4));
+    }
+    {
+        let t = g.mul_col(a, col);
+        assert_eq!(g.shape(t), (3, 4));
+    }
+    {
+        let t = g.transpose(a);
+        assert_eq!(g.shape(t), (4, 3));
+    }
+    {
+        let t = g.softmax_rows(a);
+        assert_eq!(g.shape(t), (3, 4));
+    }
+    {
+        let t = g.sum_all(a);
+        assert_eq!(g.shape(t), (1, 1));
+    }
+    {
+        let t = g.mean_all(a);
+        assert_eq!(g.shape(t), (1, 1));
+    }
+    {
+        let t = g.row_sums(a);
+        assert_eq!(g.shape(t), (3, 1));
+    }
+    {
+        let t = g.l1(a);
+        assert_eq!(g.shape(t), (1, 1));
+    }
     let c = g.constant(Matrix::from_fn(3, 4, |_, _| 0.5));
-    { let t = g.add(a, c); assert_eq!(g.shape(t), (3, 4)); }
-    { let t = g.sub(a, c); assert_eq!(g.shape(t), (3, 4)); }
-    { let t = g.mul(a, c); assert_eq!(g.shape(t), (3, 4)); }
-    { let t = g.concat_cols(a, c); assert_eq!(g.shape(t), (3, 8)); }
-    { let t = g.vstack(&[a, c]); assert_eq!(g.shape(t), (6, 4)); }
-    { let t = g.select_rows(a, &[2, 0]); assert_eq!(g.shape(t), (2, 4)); }
-    { let t = g.embed_bag(a, &[vec![0, 1], vec![]], false); assert_eq!(g.shape(t), (2, 4)); }
-    { let t = g.dot_rows(a, c); assert_eq!(g.shape(t), (3, 1)); }
+    {
+        let t = g.add(a, c);
+        assert_eq!(g.shape(t), (3, 4));
+    }
+    {
+        let t = g.sub(a, c);
+        assert_eq!(g.shape(t), (3, 4));
+    }
+    {
+        let t = g.mul(a, c);
+        assert_eq!(g.shape(t), (3, 4));
+    }
+    {
+        let t = g.concat_cols(a, c);
+        assert_eq!(g.shape(t), (3, 8));
+    }
+    {
+        let t = g.vstack(&[a, c]);
+        assert_eq!(g.shape(t), (6, 4));
+    }
+    {
+        let t = g.select_rows(a, &[2, 0]);
+        assert_eq!(g.shape(t), (2, 4));
+    }
+    {
+        let t = g.embed_bag(a, &[vec![0, 1], vec![]], false);
+        assert_eq!(g.shape(t), (2, 4));
+    }
+    {
+        let t = g.dot_rows(a, c);
+        assert_eq!(g.shape(t), (3, 1));
+    }
     for f in [Graph::sigmoid, Graph::tanh, Graph::relu, Graph::exp, Graph::ln] {
         let y = f(&mut g, a);
         assert_eq!(g.shape(y), (3, 4));
     }
     let sq = g.constant(Matrix::from_fn(4, 4, |i, j| if i < j { 0.3 } else { 0.0 }));
-    { let t = g.acyclicity(sq); assert_eq!(g.shape(t), (1, 1)); }
+    {
+        let t = g.acyclicity(sq);
+        assert_eq!(g.shape(t), (1, 1));
+    }
 }
 
 #[test]

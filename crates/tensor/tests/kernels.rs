@@ -165,3 +165,119 @@ proptest! {
         prop_assert_eq!(a.matmul_nt(&bt).data(), a.matmul_nt_naive(&bt).data());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Gradcheck fuzz sweep: the analytic gradients of every graph op the model
+// depends on, under *randomized* shapes — degenerate 1×N and N×1 included —
+// instead of the fixed shapes of the unit gradchecks. Dimensions stay tiny
+// (≤6) because central differences cost two forward passes per element.
+// ---------------------------------------------------------------------------
+
+/// Shapes biased toward the degenerate edges: row vectors, column vectors,
+/// and general non-square.
+fn fuzz_dims() -> impl Strategy<Value = (usize, usize)> {
+    (0usize..3, 1usize..6, 1usize..6).prop_map(|(mode, a, b)| match mode {
+        0 => (1, b),               // row vector
+        1 => (a, 1),               // column vector
+        _ => (a.max(2), b.max(2)), // general non-square
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Fused `AᵀB` / `ABᵀ` gradients at random (possibly degenerate) shapes.
+    #[test]
+    fn gradcheck_fuzz_fused_matmuls(
+        m in 1usize..6,
+        k in 1usize..6,
+        n in 1usize..6,
+        (m2, k2) in fuzz_dims(),
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamSet::new();
+        let a = ps.add("a", init::xavier(&mut rng, k, m)); // AᵀB: k×m → m×n
+        let b = ps.add("b", init::xavier(&mut rng, k, n));
+        let c = ps.add("c", init::xavier(&mut rng, m2, k2)); // ABᵀ: m2×k2 · (n×k2)ᵀ
+        let d = ps.add("d", init::xavier(&mut rng, n, k2));
+        gradcheck::check_gradients(&mut ps, 1e-4, |g, ps| {
+            let an = g.param(ps, a);
+            let bn = g.param(ps, b);
+            let cn = g.param(ps, c);
+            let dn = g.param(ps, d);
+            let tn = g.matmul_tn(an, bn);
+            let nt = g.matmul_nt(cn, dn);
+            let t1 = g.tanh(tn);
+            let t2 = g.tanh(nt);
+            let s1 = g.sum_all(t1);
+            let s2 = g.sum_all(t2);
+            g.add(s1, s2)
+        });
+    }
+
+    /// Row softmax and layer norm at random shapes, including single-row and
+    /// single-column inputs (layer norm over one column exercises the
+    /// zero-variance epsilon path).
+    #[test]
+    fn gradcheck_fuzz_softmax_and_layer_norm(
+        (r, cdim) in fuzz_dims(),
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x50f7);
+        let mut ps = ParamSet::new();
+        let x = ps.add("x", init::uniform(&mut rng, r, cdim, 1.5));
+        let gamma = ps.add("gamma", init::uniform(&mut rng, 1, cdim, 0.5).map(|v| v + 1.0));
+        let beta = ps.add("beta", init::uniform(&mut rng, 1, cdim, 0.3));
+        gradcheck::check_gradients(&mut ps, 1e-4, |g, ps| {
+            let xn = g.param(ps, x);
+            let gn = g.param(ps, gamma);
+            let bn = g.param(ps, beta);
+            let sm = g.softmax_rows(xn);
+            let ln = g.layer_norm_rows(xn, gn, bn);
+            let prod = g.mul(sm, ln);
+            g.sum_all(prod)
+        });
+    }
+
+    /// Embedding-bag gradients with random vocabularies, bag sizes 0..4
+    /// (empty bags included), duplicate indices, and both pooling modes.
+    #[test]
+    fn gradcheck_fuzz_embed_bag(
+        vocab in 2usize..6,
+        dim in 1usize..5,
+        bag_spec in prop::collection::vec(prop::collection::vec(0usize..100, 0..4), 1..4),
+        normalize in prop::bool::ANY,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xba6);
+        let mut ps = ParamSet::new();
+        let e = ps.add("emb", init::uniform(&mut rng, vocab, dim, 1.0));
+        let bags: Vec<Vec<usize>> =
+            bag_spec.iter().map(|bag| bag.iter().map(|&i| i % vocab).collect()).collect();
+        gradcheck::check_gradients(&mut ps, 1e-4, |g, ps| {
+            let en = g.param(ps, e);
+            let bagged = g.embed_bag(en, &bags, normalize);
+            let sq = g.mul(bagged, bagged);
+            g.sum_all(sq)
+        });
+    }
+
+    /// The fused NOTEARS acyclicity penalty `h(W) = tr(e^{W∘W}) − k` at every
+    /// square size from 1×1 up, with random magnitudes.
+    #[test]
+    fn gradcheck_fuzz_acyclicity(
+        k in 1usize..6,
+        scale in 0.1f64..0.6,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdac0);
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", init::uniform(&mut rng, k, k, scale));
+        gradcheck::check_gradients(&mut ps, 1e-4, |g, ps| {
+            let wn = g.param(ps, w);
+            let h = g.acyclicity(wn);
+            g.mul(h, h)
+        });
+    }
+}

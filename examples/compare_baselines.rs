@@ -6,8 +6,8 @@
 //! cargo run --release --example compare_baselines
 //! ```
 
-use causer::eval::{dataset, run_cell, ExperimentScale, ModelKind, TextTable};
 use causer::data::DatasetKind;
+use causer::eval::{dataset, run_cell, ExperimentScale, ModelKind, TextTable};
 
 fn main() {
     let scale = ExperimentScale { dataset_scale: 1.0, epochs: 10, eval_users: 400, seed: 42 };

@@ -24,27 +24,20 @@ fn main() {
     let k = profile.true_clusters;
 
     // --- Part 1: dynamic graph discovery over sequence phases.
-    let assignments =
-        Matrix::from_fn(sim.interactions.num_items, k, |i, j| {
-            if sim.item_clusters[i] == j {
-                1.0
-            } else {
-                0.0
-            }
-        });
+    let assignments = Matrix::from_fn(sim.interactions.num_items, k, |i, j| {
+        if sim.item_clusters[i] == j {
+            1.0
+        } else {
+            0.0
+        }
+    });
     let fit = fit_dynamic_graphs(&split, &assignments, &DynamicGraphConfig::default());
     println!("dynamic cluster graphs over 3 sequence phases:");
     for (b, g) in fit.graphs.iter().enumerate() {
-        println!(
-            "  phase {b}: {} edges from {} regression rows",
-            g.num_edges(),
-            fit.rows[b]
-        );
+        println!("  phase {b}: {} edges from {} regression rows", g.num_edges(), fit.rows[b]);
     }
     println!("  edge churn between consecutive phases: {:?}", fit.edge_churn());
-    println!(
-        "  (the simulator's graph is static, so low churn = correct inference)\n"
-    );
+    println!("  (the simulator's graph is static, so low churn = correct inference)\n");
 
     // --- Part 2: counterfactual vs Ŵ·α explanations.
     let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);

@@ -21,8 +21,12 @@ fn main() {
 
     let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
     cfg.k = 5;
-    let mut model =
-        CauserRecommender::new(cfg, sim.features.clone(), TrainConfig { epochs: 10, ..Default::default() }, 3);
+    let mut model = CauserRecommender::new(
+        cfg,
+        sim.features.clone(),
+        TrainConfig { epochs: 10, ..Default::default() },
+        3,
+    );
     println!("training Causer (GRU) ...");
     model.fit(&split);
     let ic = model.model.inference_cache();
@@ -52,12 +56,7 @@ fn main() {
     for l in labeled.iter().take(5) {
         let scores = model.model.explanation_scores(&ic, l.user, &l.history, l.target);
         let top = top_indices(&scores, 1);
-        println!(
-            "user {:>5} target item#{:<5} history {:?}",
-            l.user,
-            l.target,
-            l.history
-        );
+        println!("user {:>5} target item#{:<5} history {:?}", l.user, l.target, l.history);
         println!(
             "  model explains with position {:?} (score {:.3}); labeled causes {:?} -> {}",
             top,

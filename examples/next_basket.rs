@@ -27,10 +27,7 @@ fn main() {
     let total_steps: usize = sim.interactions.sequences.iter().map(|s| s.len()).sum();
     println!(
         "dataset: {} users, {} items; {}/{} steps are multi-item baskets",
-        sim.interactions.num_users,
-        sim.interactions.num_items,
-        basket_steps,
-        total_steps
+        sim.interactions.num_users, sim.interactions.num_items, basket_steps, total_steps
     );
 
     let split = sim.interactions.leave_last_out();
@@ -53,6 +50,16 @@ fn main() {
     pop.fit(&split);
     let floor = evaluate(&pop, &split.test, 5, 400);
     println!("\nnext-basket results @5 (recommended set vs. true basket):");
-    println!("  Causer     : F1 {:.2}%  NDCG {:.2}%  Recall {:.2}%", causer.f1 * 100.0, causer.ndcg * 100.0, causer.recall * 100.0);
-    println!("  Popularity : F1 {:.2}%  NDCG {:.2}%  Recall {:.2}%", floor.f1 * 100.0, floor.ndcg * 100.0, floor.recall * 100.0);
+    println!(
+        "  Causer     : F1 {:.2}%  NDCG {:.2}%  Recall {:.2}%",
+        causer.f1 * 100.0,
+        causer.ndcg * 100.0,
+        causer.recall * 100.0
+    );
+    println!(
+        "  Popularity : F1 {:.2}%  NDCG {:.2}%  Recall {:.2}%",
+        floor.f1 * 100.0,
+        floor.ndcg * 100.0,
+        floor.recall * 100.0
+    );
 }

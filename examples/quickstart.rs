@@ -40,7 +40,11 @@ fn main() {
     let mut pop = PopRecommender::default();
     pop.fit(&split);
     let floor = evaluate(&pop, &split.test, 5, 400);
-    println!("\nCauser (GRU): F1@5 = {:.2}%  NDCG@5 = {:.2}%", report.f1 * 100.0, report.ndcg * 100.0);
+    println!(
+        "\nCauser (GRU): F1@5 = {:.2}%  NDCG@5 = {:.2}%",
+        report.f1 * 100.0,
+        report.ndcg * 100.0
+    );
     println!("Popularity  : F1@5 = {:.2}%  NDCG@5 = {:.2}%", floor.f1 * 100.0, floor.ndcg * 100.0);
 
     // 5. Inspect the learned cluster-level causal graph.

@@ -1,0 +1,72 @@
+//! Serving demo: train a small Causer model, stand it up behind the batched
+//! serving engine, submit concurrent requests through the batching queue,
+//! and hot-reload a retrained model under live traffic.
+//!
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+
+use causer::core::{CauserConfig, CauserRecommender, SeqRecommender, TrainConfig};
+use causer::data::{simulate, DatasetKind, DatasetProfile};
+use causer::serve::{BatchQueue, ModelHandle, QueueConfig, ScoreRequest};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn train(epochs: usize, seed: u64) -> (CauserRecommender, causer::data::LeaveLastOut) {
+    let profile = DatasetProfile::paper(DatasetKind::Patio).scaled(0.1);
+    let sim = simulate(&profile, 42);
+    let split = sim.interactions.leave_last_out();
+    let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+    cfg.k = profile.true_clusters;
+    let tc = TrainConfig { epochs, seed, ..Default::default() };
+    let mut rec = CauserRecommender::new(cfg, sim.features.clone(), tc, seed);
+    rec.fit(&split);
+    (rec, split)
+}
+
+fn main() {
+    // 1. Train the model that goes live first.
+    println!("training generation-0 model…");
+    let (rec, split) = train(3, 7);
+
+    // 2. Stand up the serving stack: hot-reloadable handle + batching queue.
+    //    The queue cuts a batch at 32 requests or 5 ms, whichever first.
+    let handle = Arc::new(ModelHandle::new(rec.model));
+    let queue = BatchQueue::start(
+        handle.clone(),
+        QueueConfig { max_batch: 32, max_wait: Duration::from_millis(5), ..Default::default() },
+    );
+
+    // 3. Submit a burst of requests (non-blocking; receivers come back
+    //    immediately, responses arrive once the batch is cut and scored).
+    let cases: Vec<_> = split.test.iter().take(8).collect();
+    let receivers: Vec<_> = cases
+        .iter()
+        .map(|case| {
+            queue
+                .submit(ScoreRequest::top_k(case.user, case.history.clone(), 5))
+                .expect("queue accepts while under capacity")
+        })
+        .collect();
+    println!("\ntop-5 recommendations (generation {}):", handle.generation());
+    for (case, rx) in cases.iter().zip(receivers) {
+        let ranked = rx.recv().expect("queue worker answers every request");
+        println!("  user {:>4}: items {:?}  (truth: {:?})", case.user, ranked.items, case.target);
+    }
+
+    // 4. Hot reload: train a better model and swap it in. In-flight batches
+    //    finish on the old snapshot; new batches see the new weights.
+    println!("\ntraining generation-1 model (more epochs)…");
+    let (better, _) = train(8, 7);
+    handle.install(better.model);
+    println!("reloaded: handle is now at generation {}", handle.generation());
+
+    let case = &split.test[0];
+    let rx = queue.submit(ScoreRequest::top_k(case.user, case.history.clone(), 5)).unwrap();
+    let ranked = rx.recv().unwrap();
+    println!("  user {:>4} re-served on new model: items {:?}", case.user, ranked.items);
+
+    // 5. Drain and stop.
+    queue.shutdown();
+    println!("\nqueue shut down cleanly");
+}

@@ -3,14 +3,20 @@
 #
 #   scripts/check.sh            # from the repo root
 #
-# Clippy is advisory when the toolchain has no clippy component (e.g. a
-# minimal offline container): the script warns and continues, because the
-# build + tests are the correctness gate; lints are hygiene.
+# Clippy and rustfmt are advisory when the toolchain lacks the component
+# (e.g. a minimal offline container): the script warns and continues,
+# because the build + tests are the correctness gate; lints are hygiene.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --check
+else
+    echo "warning: rustfmt unavailable on this toolchain; skipping format check" >&2
+fi
+
+cargo build --workspace --release
+cargo test --workspace --release -q
 
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --all-targets -- -D warnings

@@ -11,7 +11,9 @@
 //! - [`metrics`] — F1@Z / NDCG@Z and explanation metrics;
 //! - [`core`] — the Causer model itself;
 //! - [`baselines`] — BPR, NCF, GRU4Rec, NARM, STAMP, SASRec, VTRNN, MMSARec;
-//! - [`eval`] — the table/figure reproduction harness.
+//! - [`eval`] — the table/figure reproduction harness;
+//! - [`serve`] — batched top-K serving: request batching queue, bitwise-exact
+//!   batch scorer, model hot-reload (see `examples/serve_demo.rs`).
 //!
 //! Quickstart: see `examples/quickstart.rs`, or:
 //!
@@ -34,4 +36,5 @@ pub use causer_core as core;
 pub use causer_data as data;
 pub use causer_eval as eval;
 pub use causer_metrics as metrics;
+pub use causer_serve as serve;
 pub use causer_tensor as tensor;

@@ -2,8 +2,8 @@
 //! training to evaluation and explanation.
 
 use causer::core::{
-    evaluate, CauserConfig, CauserRecommender, CauserVariant, PopRecommender,
-    RandomRecommender, SeqRecommender, TrainConfig,
+    evaluate, CauserConfig, CauserRecommender, CauserVariant, PopRecommender, RandomRecommender,
+    SeqRecommender, TrainConfig,
 };
 use causer::data::{build_explanation_dataset, simulate, DatasetKind, DatasetProfile};
 use causer::metrics::{evaluate_explanations, ExplanationSample};
@@ -37,12 +37,7 @@ fn causer_beats_random_and_popularity_on_causal_data() {
     pop.fit(&split);
     let popularity = evaluate(&pop, &split.test, 5, 300);
 
-    assert!(
-        causer.ndcg > random.ndcg * 2.0,
-        "causer {} vs random {}",
-        causer.ndcg,
-        random.ndcg
-    );
+    assert!(causer.ndcg > random.ndcg * 2.0, "causer {} vs random {}", causer.ndcg, random.ndcg);
     assert!(
         causer.ndcg > popularity.ndcg,
         "causer {} vs popularity {}",
@@ -88,12 +83,7 @@ fn explanations_beat_uniform_guessing() {
         .collect();
     let m = evaluate_explanations(&model_samples, 3);
     let c = evaluate_explanations(&control, 3);
-    assert!(
-        m.f1 > c.f1,
-        "explanations no better than constant control: {} vs {}",
-        m.f1,
-        c.f1
-    );
+    assert!(m.f1 > c.f1, "explanations no better than constant control: {} vs {}", m.f1, c.f1);
 }
 
 #[test]
@@ -102,8 +92,7 @@ fn all_variants_rank_whole_catalog() {
     let sim = simulate(&profile, 3);
     let split = sim.interactions.leave_last_out();
     for variant in CauserVariant::ALL {
-        let mut cfg =
-            CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+        let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
         cfg.variant = variant;
         cfg.k = 6;
         let tc = TrainConfig { epochs: 2, ..Default::default() };
@@ -139,8 +128,7 @@ fn causal_filtering_beats_the_nocausal_ablation() {
     let split = sim.interactions.leave_last_out();
     let mut scores = Vec::new();
     for variant in [CauserVariant::Full, CauserVariant::NoCausal] {
-        let mut cfg =
-            CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+        let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
         cfg.k = 12;
         cfg.variant = variant;
         let tc = TrainConfig { epochs: 12, seed: 42, ..Default::default() };

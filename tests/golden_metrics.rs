@@ -1,0 +1,119 @@
+//! Golden-metric regression tests.
+//!
+//! A fixed-seed, fixed-profile training run must reproduce the checked-in
+//! HR@10 / NDCG@10 (and friends) to within 1e-9 — any drift in the kernels,
+//! the training loop, the simulator, or the scoring path shows up here as a
+//! hard failure instead of a silent quality regression.
+//!
+//! To bless a new golden file after an *intentional* numeric change:
+//!
+//! ```text
+//! CAUSER_BLESS=1 cargo test --test golden_metrics
+//! ```
+//!
+//! The second test pins the serving engine to the training-time scorer: the
+//! batched serve path must reproduce `score_all` **bitwise** on real trained
+//! weights, not just on the random models of the unit tests.
+
+use causer::core::{evaluate, CauserConfig, CauserRecommender, SeqRecommender, TrainConfig};
+use causer::data::{simulate, DatasetKind, DatasetProfile};
+use causer::metrics::RankingReport;
+use causer::serve::{BatchScorer, ScoreRequest, ServeState};
+use std::path::PathBuf;
+
+const GOLDEN_PATH: &str = "tests/golden/metrics.json";
+const SEED: u64 = 42;
+const EPOCHS: usize = 4;
+const TOP_Z: usize = 10;
+const MAX_EVAL_USERS: usize = 120;
+const TOLERANCE: f64 = 1e-9;
+
+fn golden_profile() -> DatasetProfile {
+    let mut profile = DatasetProfile::paper(DatasetKind::Patio).scaled(0.06);
+    profile.p_causal = 0.8;
+    profile
+}
+
+fn train_golden_model() -> (CauserRecommender, causer::data::LeaveLastOut) {
+    let profile = golden_profile();
+    let sim = simulate(&profile, SEED);
+    let split = sim.interactions.leave_last_out();
+    let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+    cfg.k = profile.true_clusters;
+    let tc = TrainConfig { epochs: EPOCHS, seed: SEED, ..Default::default() };
+    let mut model = CauserRecommender::new(cfg, sim.features.clone(), tc, SEED);
+    model.fit(&split);
+    (model, split)
+}
+
+fn golden_file() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH)
+}
+
+#[test]
+fn metrics_match_golden_file() {
+    let (model, split) = train_golden_model();
+    let report = evaluate(&model, &split.test, TOP_Z, MAX_EVAL_USERS);
+
+    if std::env::var("CAUSER_BLESS").is_ok() {
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        std::fs::create_dir_all(golden_file().parent().unwrap()).unwrap();
+        std::fs::write(golden_file(), json + "\n").unwrap();
+        eprintln!("blessed new golden metrics: {report:?}");
+        return;
+    }
+
+    let raw = std::fs::read_to_string(golden_file())
+        .expect("golden file missing — run once with CAUSER_BLESS=1 to create it");
+    let golden: RankingReport = serde_json::from_str(&raw).unwrap();
+
+    assert_eq!(report.num_users, golden.num_users, "evaluated user count changed");
+    for (name, got, want) in [
+        ("hit_rate@10", report.hit_rate, golden.hit_rate),
+        ("ndcg@10", report.ndcg, golden.ndcg),
+        ("f1@10", report.f1, golden.f1),
+        ("precision@10", report.precision, golden.precision),
+        ("recall@10", report.recall, golden.recall),
+        ("mrr@10", report.mrr, golden.mrr),
+    ] {
+        assert!(
+            (got - want).abs() <= TOLERANCE,
+            "{name} drifted from golden: got {got:.12}, want {want:.12} \
+             (Δ={:.3e} > {TOLERANCE:.0e}); if intentional, re-bless with CAUSER_BLESS=1",
+            (got - want).abs()
+        );
+    }
+    // The golden metrics must describe a model that actually learned
+    // something — guards against blessing a broken run.
+    assert!(golden.ndcg > 0.0, "golden NDCG is zero; the golden run never learned");
+}
+
+#[test]
+fn serve_path_reproduces_trained_scores_bitwise() {
+    let (rec, split) = train_golden_model();
+    let ic = rec.model.inference_cache();
+    let cases: Vec<_> = split.test.iter().take(20).collect();
+    let expected: Vec<Vec<f64>> =
+        cases.iter().map(|case| rec.model.score_all(&ic, case.user, &case.history)).collect();
+
+    let num_items = rec.model.config.num_items;
+    let state = ServeState::build(rec.model);
+    let reqs: Vec<ScoreRequest> = cases
+        .iter()
+        .map(|case| ScoreRequest::top_k(case.user, case.history.clone(), num_items))
+        .collect();
+    for threads in [1, 3] {
+        let ranked = BatchScorer::new(threads).score_batch(&state, &reqs);
+        for ((exp, got), case) in expected.iter().zip(&ranked).zip(&cases) {
+            for (item, score) in got.items.iter().zip(&got.scores) {
+                assert_eq!(
+                    exp[*item].to_bits(),
+                    score.to_bits(),
+                    "user {}: serve path diverged from train path on item {item} \
+                     (threads={threads})",
+                    case.user
+                );
+            }
+        }
+    }
+}

@@ -54,9 +54,6 @@ fn thread_count_only_perturbs_summation_order() {
     assert_eq!(serial.len(), par.len());
     for (i, (s, p)) in serial.iter().zip(par.iter()).enumerate() {
         let rel = (s - p).abs() / s.abs().max(1e-12);
-        assert!(
-            rel < 1e-9,
-            "epoch {i}: serial loss {s} vs 4-thread loss {p} (rel diff {rel:.3e})"
-        );
+        assert!(rel < 1e-9, "epoch {i}: serial loss {s} vs 4-thread loss {p} (rel diff {rel:.3e})");
     }
 }

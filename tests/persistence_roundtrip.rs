@@ -1,0 +1,148 @@
+//! Property tests for model persistence.
+//!
+//! Two guarantees, over randomized model configurations:
+//!
+//! 1. **Round-trip fidelity** — save → load → rescore produces the *bitwise*
+//!    same score vector (hence the identical top-K) as the original model,
+//!    for every model variant and RNN kind.
+//! 2. **Hostile inputs degrade to `Err`, never a panic** — truncations and
+//!    byte corruptions of a valid model file must be rejected through the
+//!    normal error path.
+
+use causer::core::{load_model, save_model, CauserConfig, CauserModel, CauserVariant, RnnKind};
+use causer::tensor::{init, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+type ModelSpec = (usize, usize, usize, bool, u8, u64);
+
+fn model_strategy() -> impl Strategy<Value = ModelSpec> {
+    (2usize..5, 8usize..16, 2usize..5, prop::bool::ANY, 0u8..3, 0u64..1_000)
+}
+
+fn build(spec: ModelSpec) -> CauserModel {
+    let (k, items, users, gru, variant, seed) = spec;
+    let mut cfg = CauserConfig::new(users, items, 4);
+    cfg.k = k;
+    cfg.d1 = 5;
+    cfg.d2 = 4;
+    cfg.user_dim = 3;
+    cfg.hidden_dim = 5;
+    cfg.item_out_dim = 4;
+    cfg.rnn = if gru { RnnKind::Gru } else { RnnKind::Lstm };
+    cfg.variant = CauserVariant::ALL[variant as usize % CauserVariant::ALL.len()];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features = init::uniform(&mut rng, items, 4, 1.0);
+    CauserModel::new(cfg, features, seed)
+}
+
+fn scratch_path(tag: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("causer_persistence_proptests");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(format!("{tag}_{seed}.json"))
+}
+
+fn random_history(rng: &mut StdRng, items: usize) -> Vec<Vec<usize>> {
+    (0..rng.gen_range(1..4)).map(|_| vec![rng.gen_range(0..items)]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn save_load_rescore_is_bitwise_identical(spec in model_strategy()) {
+        let model = build(spec);
+        let seed = spec.5;
+        let path = scratch_path("roundtrip", seed ^ (spec.1 as u64) << 32);
+        save_model(&model, &path).expect("save");
+        let reloaded = load_model(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        let history = random_history(&mut rng, model.config.num_items);
+        let user = rng.gen_range(0..model.config.num_users);
+
+        let ic_a = model.inference_cache();
+        let ic_b = reloaded.inference_cache();
+        let a = model.score_all(&ic_a, user, &history);
+        let b = reloaded.score_all(&ic_b, user, &history);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "reloaded score differs: {} vs {}", x, y);
+        }
+        // Same bits ⇒ same ranking, but assert the user-facing contract too.
+        let k = 5.min(a.len());
+        prop_assert_eq!(Matrix::top_k_indices(&a, k), Matrix::top_k_indices(&b, k));
+    }
+
+    #[test]
+    fn truncated_files_error_never_panic(
+        spec in model_strategy(),
+        cut in 0.0f64..1.0,
+    ) {
+        let model = build(spec);
+        let path = scratch_path("truncate", spec.5 ^ 0xabc0_0000);
+        save_model(&model, &path).expect("save");
+        let bytes = std::fs::read(&path).expect("read back");
+        // Truncate strictly inside the file (cutting at len is a no-op).
+        let keep = ((bytes.len() as f64) * cut) as usize;
+        let keep = keep.min(bytes.len().saturating_sub(1));
+        std::fs::write(&path, &bytes[..keep]).expect("truncate");
+        let result = load_model(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(result.is_err(), "truncated model file ({keep}/{} bytes) loaded", bytes.len());
+    }
+
+    #[test]
+    fn corrupted_files_error_never_panic(
+        spec in model_strategy(),
+        pos in 0.0f64..1.0,
+    ) {
+        let model = build(spec);
+        let path = scratch_path("corrupt", spec.5 ^ 0xdef0_0000);
+        save_model(&model, &path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read back");
+        // A NUL byte is invalid anywhere in JSON text, so this is always a
+        // real corruption regardless of where it lands.
+        let idx = (((bytes.len() - 1) as f64) * pos) as usize;
+        bytes[idx] = 0x00;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        let result = load_model(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(result.is_err(), "corrupted model file (byte {idx}) loaded");
+    }
+}
+
+#[test]
+fn missing_and_empty_files_error() {
+    let missing = scratch_path("missing", 0);
+    std::fs::remove_file(&missing).ok();
+    assert!(load_model(&missing).is_err(), "nonexistent path loaded a model");
+
+    let empty = scratch_path("empty", 0);
+    std::fs::write(&empty, b"").unwrap();
+    let result = load_model(&empty);
+    std::fs::remove_file(&empty).ok();
+    assert!(result.is_err(), "empty file loaded a model");
+}
+
+#[test]
+fn tampered_parameter_shapes_are_rejected() {
+    // Semantic corruption: valid JSON, wrong contents. Rename a parameter
+    // and stretch a matrix; both must be refused by `restore`'s checks.
+    let model = build((3, 10, 3, true, 0, 7));
+    let path = scratch_path("tamper", 7);
+    save_model(&model, &path).unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let renamed = json.replacen("\"item_out\"", "\"item_outt\"", 1);
+    assert_ne!(renamed, json, "expected an item_out parameter in the model file");
+    let bad = scratch_path("tamper_renamed", 7);
+    std::fs::write(&bad, &renamed).unwrap();
+    let result = load_model(&bad);
+    std::fs::remove_file(&bad).ok();
+    assert!(result.is_err(), "renamed parameter accepted");
+}
