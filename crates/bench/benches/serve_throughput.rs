@@ -60,7 +60,7 @@ fn main() {
                 let scores = rec.model.score_all(&ic, r.user, &r.history);
                 let items = Matrix::top_k_indices(&scores, r.k);
                 let scores = items.iter().map(|&i| scores[i]).collect();
-                Ranked { items, scores }
+                Ranked { items, scores, generation: 0, batch: 0 }
             })
             .collect()
     };

@@ -106,7 +106,7 @@ impl Catalog {
             return None;
         }
         let cw = &self.cumweights[c];
-        let total = *cw.last().expect("non-empty");
+        let total = *cw.last().expect("cumweights[c] is as long as members[c], checked non-empty");
         let x = rng.gen::<f64>() * total;
         let idx = cw.partition_point(|&w| w < x).min(items.len() - 1);
         Some(items[idx])

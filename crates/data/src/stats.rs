@@ -57,7 +57,10 @@ impl SeqLenHistogram {
             } else if i < self.bucket_edges.len() {
                 format!("{}–{}", self.bucket_edges[i - 1] + 1, self.bucket_edges[i])
             } else {
-                format!(">{}", self.bucket_edges.last().unwrap())
+                format!(
+                    ">{}",
+                    self.bucket_edges.last().expect("compute() asserts at least one bucket edge")
+                )
             };
             let bar = "#".repeat((c * width).div_ceil(max).min(width));
             out.push_str(&format!("{label:>9} | {bar} {c}\n"));

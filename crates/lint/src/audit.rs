@@ -1,0 +1,351 @@
+//! The autodiff op-coverage auditor.
+//!
+//! "Every `Op` has a backward rule and a gradient check" is the invariant the
+//! whole reproduction leans on. This module makes it mechanical:
+//!
+//! 1. parse the `Op` enum's variants out of `crates/tensor/src/graph.rs`;
+//! 2. require an `Op::Variant` match arm inside `fn backward_seeded` for
+//!    each variant (the forward-only op that silently produces zero
+//!    gradients is the failure mode this kills);
+//! 3. require the variant's graph-builder method (`MatMulTN` →
+//!    `matmul_tn`, ...) to be called inside a `check_gradients(...)` call in
+//!    at least one of the gradcheck/fuzz suites. Calls *outside* a
+//!    `check_gradients` region do not count — a shape test is not a gradient
+//!    check — so deleting a gradcheck fails the build even while other tests
+//!    still exercise the op.
+
+use crate::lexer::{lex, Token};
+use crate::report::Finding;
+use crate::rules::OP_COVERAGE;
+use std::collections::BTreeSet;
+
+/// Variants whose builder method cannot be derived mechanically from the
+/// variant name (fused kernels keep `matmul` unsplit; `Leaf` nodes enter the
+/// tape through `param`/`constant`).
+const METHOD_OVERRIDES: &[(&str, &str)] = &[
+    ("Leaf", "param"),
+    ("MatMul", "matmul"),
+    ("MatMulTN", "matmul_tn"),
+    ("MatMulNT", "matmul_nt"),
+    ("VStack", "vstack"),
+];
+
+/// Graph-builder method for an `Op` variant.
+pub fn variant_method(variant: &str) -> String {
+    for (v, m) in METHOD_OVERRIDES {
+        if *v == variant {
+            return m.to_string();
+        }
+    }
+    camel_to_snake(variant)
+}
+
+fn camel_to_snake(name: &str) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = name.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c.is_uppercase() {
+            // Break before an uppercase that follows a lowercase/digit, or
+            // that ends an acronym run (`TNFoo` → `tn_foo`).
+            let after_lower = i > 0 && (chars[i - 1].is_lowercase() || chars[i - 1].is_numeric());
+            let before_lower = chars.get(i + 1).is_some_and(|n| n.is_lowercase());
+            if i > 0 && (after_lower || before_lower) {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn significant(src: &str) -> Vec<Token> {
+    lex(src).into_iter().filter(|t| !t.is_comment()).collect()
+}
+
+/// The `Op` enum's variant names, with the source line of each, in
+/// declaration order. Empty if the file holds no `enum Op`.
+pub fn op_variants(graph_src: &str) -> Vec<(String, usize)> {
+    let sig = significant(graph_src);
+    let mut i = 0;
+    // Find `enum Op {`.
+    while i + 2 < sig.len() {
+        if sig[i].is_ident("enum") && sig[i + 1].is_ident("Op") && sig[i + 2].is_punct('{') {
+            break;
+        }
+        i += 1;
+    }
+    if i + 2 >= sig.len() {
+        return Vec::new();
+    }
+    let mut variants = Vec::new();
+    let mut j = i + 3;
+    let mut brace = 1usize; // depth inside the enum body
+    let mut paren = 0usize;
+    let mut expect_variant = true; // next ident at depth 1 starts a variant
+    while j < sig.len() && brace > 0 {
+        let t = &sig[j];
+        match t.kind {
+            crate::lexer::TokKind::Punct('{') => brace += 1,
+            crate::lexer::TokKind::Punct('}') => brace -= 1,
+            crate::lexer::TokKind::Punct('(') => paren += 1,
+            crate::lexer::TokKind::Punct(')') => paren -= 1,
+            crate::lexer::TokKind::Punct(',') if brace == 1 && paren == 0 => expect_variant = true,
+            crate::lexer::TokKind::Punct('#') if brace == 1 && paren == 0 => {
+                // Variant attribute like `#[allow(...)]`: skip to its `]`.
+                while j < sig.len() && !sig[j].is_punct(']') {
+                    j += 1;
+                }
+            }
+            crate::lexer::TokKind::Ident if brace == 1 && paren == 0 && expect_variant => {
+                variants.push((t.text.clone(), t.line));
+                expect_variant = false;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    variants
+}
+
+/// Variant names matched as `Op::X` inside `fn backward_seeded { ... }`.
+pub fn backward_covered(graph_src: &str) -> BTreeSet<String> {
+    let sig = significant(graph_src);
+    let mut covered = BTreeSet::new();
+    let mut i = 0;
+    while i + 1 < sig.len() {
+        if sig[i].is_ident("fn") && sig[i + 1].is_ident("backward_seeded") {
+            break;
+        }
+        i += 1;
+    }
+    if i + 1 >= sig.len() {
+        return covered;
+    }
+    // Enter the fn body and walk it to the matching close brace.
+    let mut j = i;
+    while j < sig.len() && !sig[j].is_punct('{') {
+        j += 1;
+    }
+    let mut depth = 0usize;
+    while j < sig.len() {
+        let t = &sig[j];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_ident("Op")
+            && sig.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && sig.get(j + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(v) = sig.get(j + 3) {
+                if v.kind == crate::lexer::TokKind::Ident {
+                    covered.insert(v.text.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    covered
+}
+
+/// Graph-builder methods called as `.method(` anywhere inside a
+/// `check_gradients(...)` call's argument list (closures included, since
+/// they sit between the call's parentheses).
+pub fn gradchecked_methods(suite_src: &str) -> BTreeSet<String> {
+    let sig = significant(suite_src);
+    let mut methods = BTreeSet::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if !(sig[i].is_ident("check_gradients") && sig.get(i + 1).is_some_and(|t| t.is_punct('(')))
+        {
+            i += 1;
+            continue;
+        }
+        // `fn check_gradients(` is the definition: its parens hold only the
+        // signature, which contains no `.method(` patterns — harmless.
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        while j < sig.len() {
+            if sig[j].is_punct('(') {
+                depth += 1;
+            } else if sig[j].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if sig[j].is_punct('.')
+                && sig.get(j + 1).is_some_and(|t| t.kind == crate::lexer::TokKind::Ident)
+                && sig.get(j + 2).is_some_and(|t| t.is_punct('('))
+            {
+                methods.insert(sig[j + 1].text.clone());
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    methods
+}
+
+/// Cross-reference the `Op` enum against the backward pass and the gradcheck
+/// suites. `graph` is `(path, source)` of the autodiff tape; `suites` are
+/// `(path, source)` of every file whose `check_gradients` calls count.
+pub fn audit_op_coverage(graph: (&str, &str), suites: &[(&str, &str)]) -> Vec<Finding> {
+    let (graph_path, graph_src) = graph;
+    let variants = op_variants(graph_src);
+    let mut findings = Vec::new();
+    if variants.is_empty() {
+        findings.push(Finding {
+            rule: OP_COVERAGE,
+            file: graph_path.to_string(),
+            line: 1,
+            message: "could not locate `enum Op`: the op auditor has nothing to audit \
+                      (was the enum renamed?)"
+                .to_string(),
+        });
+        return findings;
+    }
+    let backward = backward_covered(graph_src);
+    let mut checked: BTreeSet<String> = BTreeSet::new();
+    for (_, src) in suites {
+        checked.extend(gradchecked_methods(src));
+    }
+    let suite_names: Vec<&str> = suites.iter().map(|(p, _)| *p).collect();
+    for (variant, line) in &variants {
+        if !backward.contains(variant) {
+            findings.push(Finding {
+                rule: OP_COVERAGE,
+                file: graph_path.to_string(),
+                line: *line,
+                message: format!(
+                    "Op::{variant} has no `Op::{variant}` match arm in `backward_seeded`: \
+                     every op must define its gradient"
+                ),
+            });
+        }
+        let method = variant_method(variant);
+        if !checked.contains(&method) {
+            findings.push(Finding {
+                rule: OP_COVERAGE,
+                file: graph_path.to_string(),
+                line: *line,
+                message: format!(
+                    "Op::{variant} (builder `.{method}(...)`) is not exercised inside any \
+                     `check_gradients` call in {}: add a gradcheck before shipping the op",
+                    suite_names.join(", ")
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRAPH: &str = r#"
+        enum Op {
+            Leaf { param: Option<usize> },
+            MatMul(NodeId, NodeId),
+            SelectRows { x: NodeId, indices: Vec<usize> },
+            Sigmoid(NodeId),
+        }
+        impl Graph {
+            pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+                self.push(out, Op::MatMul(a, b))
+            }
+            pub fn backward_seeded(&mut self, loss: NodeId) {
+                match op {
+                    Op::Leaf { param } => {}
+                    Op::MatMul(a, b) => {}
+                    Op::SelectRows { x, indices } => {}
+                    Op::Sigmoid(a) => {}
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_variants_in_order() {
+        let names: Vec<String> = op_variants(GRAPH).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["Leaf", "MatMul", "SelectRows", "Sigmoid"]);
+    }
+
+    #[test]
+    fn backward_arms_found_only_inside_backward_seeded() {
+        let covered = backward_covered(GRAPH);
+        assert!(covered.contains("MatMul"));
+        assert_eq!(covered.len(), 4);
+        // The `Op::MatMul` in the builder does not count (but the arm does).
+        let no_arm = GRAPH.replace("Op::MatMul(a, b) => {}", "");
+        assert!(!backward_covered(&no_arm).contains("MatMul"));
+    }
+
+    #[test]
+    fn methods_counted_only_inside_check_gradients() {
+        let suite = r#"
+            fn shape_test() { g.sigmoid(a); }
+            fn grad_test() {
+                check_gradients(&mut ps, 1e-5, |g, ps| {
+                    let wn = g.param(ps, w);
+                    let y = g.matmul(wn, x);
+                    g.select_rows(y, &[0])
+                });
+            }
+        "#;
+        let m = gradchecked_methods(suite);
+        assert!(m.contains("matmul") && m.contains("select_rows") && m.contains("param"));
+        assert!(!m.contains("sigmoid"), "shape test must not count as a gradcheck");
+    }
+
+    #[test]
+    fn camel_to_snake_handles_acronyms() {
+        assert_eq!(variant_method("BceWithLogits"), "bce_with_logits");
+        assert_eq!(variant_method("LayerNormRows"), "layer_norm_rows");
+        assert_eq!(variant_method("L1"), "l1");
+        assert_eq!(variant_method("MatMulTN"), "matmul_tn");
+        assert_eq!(variant_method("Leaf"), "param");
+    }
+
+    #[test]
+    fn clean_graph_audits_clean() {
+        let suite = r#"
+            fn t() {
+                check_gradients(&mut ps, 1e-5, |g, ps| {
+                    let l = g.param(ps, w);
+                    let m = g.matmul(l, l);
+                    let s = g.select_rows(m, &[0]);
+                    g.sigmoid(s)
+                });
+            }
+        "#;
+        let f = audit_op_coverage(("graph.rs", GRAPH), &[("suite.rs", suite)]);
+        assert!(f.is_empty(), "unexpected findings: {f:?}");
+    }
+
+    #[test]
+    fn missing_backward_arm_is_fatal() {
+        let broken = GRAPH.replace("Op::Sigmoid(a) => {}", "");
+        let suite = "fn t() { check_gradients(p, t, |g, ps| { g.param(ps, w); g.matmul(a, b); \
+                     g.select_rows(a, i); g.sigmoid(a) }); }";
+        let f = audit_op_coverage(("graph.rs", &broken), &[("suite.rs", suite)]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("backward_seeded"));
+        assert!(f[0].message.contains("Sigmoid"));
+    }
+
+    #[test]
+    fn missing_gradcheck_is_fatal() {
+        let suite = "fn t() { check_gradients(p, t, |g, ps| { g.param(ps, w); g.matmul(a, b); \
+                     g.sigmoid(a) }); }";
+        let f = audit_op_coverage(("graph.rs", GRAPH), &[("suite.rs", suite)]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("SelectRows"));
+        assert!(f[0].message.contains("select_rows"));
+    }
+}

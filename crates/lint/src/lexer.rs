@@ -1,0 +1,404 @@
+//! A small hand-rolled Rust lexer: just enough fidelity for linting.
+//!
+//! The goal is *not* to parse Rust — it is to walk source text without being
+//! fooled by the places where rule patterns could false-positive: line
+//! comments, (nested) block comments, string literals, raw string literals
+//! with arbitrary `#` fences, char literals, and lifetimes. Everything else
+//! degrades to identifiers, numbers, and single-character punctuation, which
+//! is all the rule engine matches on.
+
+/// What a token is. Comment and literal tokens carry their text so the
+/// suppression parser and the `expect`-message rule can inspect them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `fn`, `r#ident` without the
+    /// `r#`).
+    Ident,
+    /// Numeric literal, suffix included (`1.0f64`, `0x1f`, `1e-5`'s mantissa).
+    Num,
+    /// `// ...` (doc comments included); text excludes the newline.
+    LineComment,
+    /// `/* ... */` with nesting; text includes the delimiters.
+    BlockComment,
+    /// `"..."` or `b"..."`; text is the *content* (escapes unprocessed).
+    Str,
+    /// `r"..."` / `r#"..."#` / `br#"..."#`; text is the content.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Any other single character (`.`, `(`, `:`, `#`, `!`, ...).
+    Punct(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Token {
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Tokenize `src`. Never fails: malformed input degrades to punctuation
+/// tokens rather than aborting the lint run.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1 }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    out.push(Token { kind: TokKind::LineComment, text: self.line_comment(), line });
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    out.push(Token {
+                        kind: TokKind::BlockComment,
+                        text: self.block_comment(),
+                        line,
+                    });
+                }
+                '"' => {
+                    self.bump();
+                    out.push(Token { kind: TokKind::Str, text: self.string_body('"'), line });
+                }
+                'r' | 'b' if self.starts_string_like() => {
+                    out.push(self.string_like(line));
+                }
+                '\'' => out.push(self.char_or_lifetime(line)),
+                c if c == '_' || c.is_alphabetic() => {
+                    out.push(Token { kind: TokKind::Ident, text: self.ident(), line });
+                }
+                c if c.is_ascii_digit() => {
+                    out.push(Token { kind: TokKind::Num, text: self.number(), line });
+                }
+                c => {
+                    self.bump();
+                    out.push(Token { kind: TokKind::Punct(c), text: c.to_string(), line });
+                }
+            }
+        }
+        out
+    }
+
+    fn line_comment(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        text
+    }
+
+    /// `/* ... */`, nesting-aware (Rust block comments nest).
+    fn block_comment(&mut self) -> String {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        text
+    }
+
+    /// Body of a `"` string after the opening quote; handles `\"` and `\\`.
+    fn string_body(&mut self, close: char) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                text.push(c);
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == close {
+                break;
+            } else {
+                text.push(c);
+            }
+        }
+        text
+    }
+
+    /// Does `r` / `b` at the cursor open a (raw/byte) string or byte char,
+    /// rather than being a plain identifier start?
+    fn starts_string_like(&self) -> bool {
+        let mut i = 1;
+        if self.peek(0) == Some('b') {
+            if self.peek(1) == Some('\'') || self.peek(1) == Some('"') {
+                return true;
+            }
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        // Cursor at `r...`: a raw string begins with zero or more `#` then
+        // `"`. A raw identifier (`r#ident`) has an ident char after the `#`s
+        // instead, and a plain identifier starting with `r` has neither.
+        let mut j = i;
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        self.peek(j) == Some('"')
+    }
+
+    /// Lex `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'` (cursor on `r`/`b`).
+    fn string_like(&mut self, line: usize) -> Token {
+        if self.peek(0) == Some('b') && self.peek(1) == Some('\'') {
+            self.bump(); // b
+            self.bump(); // '
+            let text = self.string_body('\'');
+            return Token { kind: TokKind::Char, text, line };
+        }
+        if self.peek(0) == Some('b') && self.peek(1) == Some('"') {
+            self.bump();
+            self.bump();
+            let text = self.string_body('"');
+            return Token { kind: TokKind::Str, text, line };
+        }
+        // Raw string: skip `b`, skip `r`, count `#`s.
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A raw string closes on `"` followed by exactly `hashes` `#`s.
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        text.push(c);
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        Token { kind: TokKind::RawStr, text, line }
+    }
+
+    /// Disambiguate `'x'` (char literal) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self, line: usize) -> Token {
+        self.bump(); // '
+        match self.peek(0) {
+            Some('\\') => {
+                let text = self.string_body('\'');
+                Token { kind: TokKind::Char, text, line }
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                // `'c'` is a char; `'c` followed by anything else is a
+                // lifetime (possibly multi-char: `'static`).
+                if self.peek(1) == Some('\'') {
+                    let text = self.string_body('\'');
+                    Token { kind: TokKind::Char, text, line }
+                } else {
+                    let text = self.ident();
+                    Token { kind: TokKind::Lifetime, text, line }
+                }
+            }
+            _ => {
+                // `'('`-style punctuation char literal.
+                let text = self.string_body('\'');
+                Token { kind: TokKind::Char, text, line }
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text
+    }
+
+    /// Numbers, loosely: digits, then idents/digits/underscores/dots so that
+    /// `1.0f64`, `0x1f`, and `1_000` stay one token. `0..n` must NOT swallow
+    /// the range: a `.` is only consumed when followed by a digit.
+    fn number(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let continues = c == '_'
+                || c.is_alphanumeric()
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = lex("foo.unwrap()");
+        assert!(toks[0].is_ident("foo"));
+        assert!(toks[1].is_punct('.'));
+        assert!(toks[2].is_ident("unwrap"));
+        assert!(toks[3].is_punct('('));
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let toks = lex(r#"let s = ".unwrap()";"#);
+        assert!(toks.iter().all(|t| !t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str && t.text == ".unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r###"let s = r#"a "quoted" .unwrap()"#;"###);
+        let raw = toks.iter().find(|t| t.kind == TokKind::RawStr).expect("raw string token");
+        assert_eq!(raw.text, "a \"quoted\" .unwrap()");
+        assert!(toks.iter().all(|t| !t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[1].is_ident("code"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("let c: char = 'a'; fn f<'a>(x: &'a str, s: &'static u8) {}");
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "a");
+        let lifes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.clone()).collect();
+        assert_eq!(lifes, vec!["a", "a", "static"]);
+    }
+
+    #[test]
+    fn escaped_chars_and_quotes() {
+        let toks = lex("let q = '\\''; let n = '\\n'; let s = \"a\\\"b\";");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str && t.text == "a\\\"b"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 0..10 { x += 1.5e3; }");
+        let nums: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text.clone()).collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e3"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<_> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn line_comments_and_doc_comments() {
+        let toks = lex("// plain\n/// doc\ncode");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert!(toks[2].is_ident("code"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = lex(r#"let b = b'x'; let s = b"bytes"; let r = br"raw";"#);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char && t.text == "x"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str && t.text == "bytes"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::RawStr && t.text == "raw"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        let toks = lex("let r#fn = 1; rng.gen::<f64>()");
+        assert_eq!(kinds("r#type").len(), 3); // r, #, type — good enough for rules
+        assert!(toks.iter().any(|t| t.is_ident("rng")));
+    }
+}

@@ -1,0 +1,134 @@
+//! `causer-lint` — the workspace's zero-dependency static-analysis pass.
+//!
+//! Run as `cargo run -p causer-lint --release` from anywhere in the
+//! workspace; `scripts/check.sh` gates on it. Three layers:
+//!
+//! - [`lexer`]: a comment/string/char-literal-aware Rust lexer (no `syn` in
+//!   the offline dependency tree);
+//! - [`rules`]: the project-specific rules plus `#[cfg(test)]`-region and
+//!   `// causer-lint: allow(rule)` suppression handling;
+//! - [`audit`]: the autodiff op-coverage auditor cross-referencing the `Op`
+//!   enum against backward-pass match arms and the gradcheck suites.
+//!
+//! See DESIGN.md §8 for the rule list and the reasoning behind each.
+
+pub mod audit;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use report::Finding;
+use rules::FileCtx;
+use std::path::{Path, PathBuf};
+
+/// The gradcheck/fuzz suites the op auditor accepts coverage from,
+/// workspace-relative.
+pub const GRADCHECK_SUITES: &[&str] = &[
+    "crates/tensor/src/gradcheck.rs",
+    "crates/tensor/tests/kernels.rs",
+    "crates/tensor/tests/graph_ops.rs",
+];
+
+/// The autodiff tape the op auditor parses.
+pub const GRAPH_FILE: &str = "crates/tensor/src/graph.rs";
+
+/// Outcome of a workspace lint run.
+pub struct RunResult {
+    pub findings: Vec<Finding>,
+    pub files_checked: usize,
+}
+
+/// Lint the workspace rooted at `root`: every `crates/*/src` tree plus the
+/// umbrella crate's `src/`, then the op-coverage audit. I/O errors on
+/// individual files surface as findings rather than aborting the run.
+pub fn run_workspace(root: &Path) -> RunResult {
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path().join("src")).collect();
+        dirs.sort();
+        for dir in dirs {
+            collect_rs_files(&dir, &mut files);
+        }
+    }
+    collect_rs_files(&root.join("src"), &mut files);
+    files.sort();
+
+    for path in &files {
+        let rel = rel_path(root, path);
+        match std::fs::read_to_string(path) {
+            Ok(src) => findings.extend(rules::lint_file(&FileCtx::from_rel_path(&rel), &src)),
+            Err(e) => findings.push(Finding {
+                rule: "io-error",
+                file: rel,
+                line: 0,
+                message: format!("could not read file: {e}"),
+            }),
+        }
+    }
+
+    findings.extend(run_audit(root));
+    RunResult { findings, files_checked: files.len() }
+}
+
+/// The op-coverage audit against the real workspace files.
+pub fn run_audit(root: &Path) -> Vec<Finding> {
+    let graph_path = root.join(GRAPH_FILE);
+    let graph_src = match std::fs::read_to_string(&graph_path) {
+        Ok(s) => s,
+        Err(e) => {
+            return vec![Finding {
+                rule: rules::OP_COVERAGE,
+                file: GRAPH_FILE.to_string(),
+                line: 0,
+                message: format!("could not read the autodiff tape: {e}"),
+            }]
+        }
+    };
+    let mut suites = Vec::new();
+    for rel in GRADCHECK_SUITES {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(src) => suites.push((*rel, src)),
+            Err(e) => {
+                return vec![Finding {
+                    rule: rules::OP_COVERAGE,
+                    file: rel.to_string(),
+                    line: 0,
+                    message: format!("could not read gradcheck suite: {e}"),
+                }]
+            }
+        }
+    }
+    let suite_refs: Vec<(&str, &str)> = suites.iter().map(|(p, s)| (*p, s.as_str())).collect();
+    audit::audit_op_coverage((GRAPH_FILE, &graph_src), &suite_refs)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
+}
+
+/// Recursively collect `.rs` files under `dir` (sorted by the caller).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The workspace root, from this crate's compile-time location.
+pub fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}

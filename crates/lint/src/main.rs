@@ -1,0 +1,27 @@
+//! CLI entry point: lint the workspace, print findings and the per-rule
+//! summary, write the machine-readable report, exit nonzero on any finding.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = causer_lint::workspace_root();
+    let result = causer_lint::run_workspace(&root);
+
+    for finding in &result.findings {
+        println!("{finding}");
+    }
+    print!("{}", causer_lint::report::summary(&result.findings, result.files_checked));
+
+    let json = causer_lint::report::to_json(&result.findings, result.files_checked);
+    let report_path = root.join("target").join("causer-lint-report.json");
+    match std::fs::write(&report_path, json) {
+        Ok(()) => println!("report: {}", report_path.display()),
+        Err(e) => eprintln!("causer-lint: could not write {}: {e}", report_path.display()),
+    }
+
+    if result.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,131 @@
+//! Findings, the per-rule summary, and the machine-readable JSON report
+//! (hand-rolled: the lint engine depends on nothing outside std).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `no-unwrap-in-lib`.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Per-rule finding counts, every known rule included (zeroes matter: they
+/// prove a rule ran).
+pub fn rule_counts(findings: &[Finding]) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> =
+        crate::rules::ALL_RULES.iter().map(|r| (*r, 0)).collect();
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The human-readable run summary printed after the findings.
+pub fn summary(findings: &[Finding], files_checked: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "causer-lint: {} file(s) checked", files_checked);
+    for (rule, count) in rule_counts(findings) {
+        let _ = writeln!(out, "  {rule:<28} {count} finding(s)");
+    }
+    let _ = writeln!(
+        out,
+        "{}",
+        if findings.is_empty() {
+            "causer-lint: clean"
+        } else {
+            "causer-lint: FAILED (suppress intentionally with \
+             `// causer-lint: allow(<rule>)` next to the finding)"
+        }
+    );
+    out
+}
+
+/// Machine-readable report: findings plus per-rule counts, as JSON.
+pub fn to_json(findings: &[Finding], files_checked: usize) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"files_checked\": {files_checked},");
+    let _ = writeln!(out, "  \"total_findings\": {},", findings.len());
+    out.push_str("  \"rule_counts\": {");
+    let counts = rule_counts(findings);
+    for (i, (rule, count)) in counts.iter().enumerate() {
+        let sep = if i + 1 == counts.len() { "" } else { ", " };
+        let _ = write!(out, "\"{rule}\": {count}{sep}");
+    }
+    out.push_str("},\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i + 1 == findings.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{sep}",
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message)
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, msg: &str) -> Finding {
+        Finding { rule, file: "crates/x/src/y.rs".into(), line: 3, message: msg.into() }
+    }
+
+    #[test]
+    fn json_escapes_special_chars() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_counts_every_rule_even_at_zero() {
+        let j = to_json(&[finding("no-unwrap-in-lib", "m")], 7);
+        assert!(j.contains("\"no-unwrap-in-lib\": 1"));
+        assert!(j.contains("\"op-coverage\": 0"));
+        assert!(j.contains("\"files_checked\": 7"));
+        assert!(j.contains("\"total_findings\": 1"));
+    }
+
+    #[test]
+    fn summary_mentions_suppression_syntax_on_failure() {
+        assert!(summary(&[], 1).contains("clean"));
+        assert!(summary(&[finding("no-unwrap-in-lib", "m")], 1).contains("allow(<rule>)"));
+    }
+}

@@ -1,0 +1,393 @@
+//! The rule engine: file classification, `#[cfg(test)]` region detection,
+//! per-line `// causer-lint: allow(rule)` suppressions, and the five
+//! project-specific textual rules.
+//!
+//! Rules operate on the token stream of [`crate::lexer`], so string and
+//! comment contents can never false-positive. Each rule declares which
+//! crates it polices; all of them skip test code (path-based *and*
+//! `#[cfg(test)]` modules), examples, benches, and `src/bin` targets.
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::report::Finding;
+
+/// Rule identifiers (also the names accepted by `allow(...)`).
+pub const NO_UNWRAP: &str = "no-unwrap-in-lib";
+pub const NO_F32: &str = "no-f32-numeric";
+pub const NO_TRUNC_CAST: &str = "no-truncating-as-cast";
+pub const NO_UNSCOPED_SPAWN: &str = "no-unscoped-spawn";
+pub const NO_PANIC_SERVE: &str = "no-panic-in-serve-hot-path";
+pub const OP_COVERAGE: &str = "op-coverage";
+
+/// Every rule the engine knows, in report order.
+pub const ALL_RULES: &[&str] =
+    &[NO_UNWRAP, NO_F32, NO_TRUNC_CAST, NO_UNSCOPED_SPAWN, NO_PANIC_SERVE, OP_COVERAGE];
+
+/// Minimum length of an `.expect("...")` message: shorter messages cannot
+/// state an invariant, and `expect` without a stated invariant is `unwrap`.
+pub const MIN_EXPECT_MSG: usize = 10;
+
+/// Crates whose numeric substrate is f64-only.
+const F64_SUBSTRATE: &[&str] = &["tensor", "core", "serve"];
+
+/// Where a file sits in the workspace, as far as rule scoping cares.
+#[derive(Clone, Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators (used in findings).
+    pub rel_path: String,
+    /// `Some("tensor")` for `crates/tensor/src/...`, `Some("root")` for the
+    /// umbrella crate's `src/...`, `None` for anything else.
+    pub crate_name: Option<String>,
+    /// True for paths under `tests/`, `benches/`, `examples/`, or `src/bin/`
+    /// — contexts where the library rules do not apply.
+    pub exempt_path: bool,
+}
+
+impl FileCtx {
+    /// Classify a workspace-relative path like `crates/tensor/src/graph.rs`.
+    pub fn from_rel_path(rel_path: &str) -> Self {
+        let rel_path = rel_path.replace('\\', "/");
+        let parts: Vec<&str> = rel_path.split('/').collect();
+        let crate_name = if parts.first() == Some(&"crates") && parts.get(2) == Some(&"src") {
+            parts.get(1).map(|s| s.to_string())
+        } else if parts.first() == Some(&"src") {
+            Some("root".to_string())
+        } else {
+            None
+        };
+        let exempt_path = parts
+            .iter()
+            .any(|p| matches!(*p, "tests" | "benches" | "examples" | "bin" | "fixtures"));
+        FileCtx { rel_path, crate_name, exempt_path }
+    }
+
+    fn in_crate(&self, name: &str) -> bool {
+        self.crate_name.as_deref() == Some(name)
+    }
+
+    fn lintable(&self) -> bool {
+        self.crate_name.is_some() && !self.exempt_path
+    }
+}
+
+/// Line-level suppressions parsed from `// causer-lint: allow(rule, ...)`
+/// comments. A suppression covers its own line; a comment that *starts* its
+/// line (nothing but the comment on it) also covers the following line, so
+/// long findings can carry the justification above them.
+pub struct Suppressions {
+    /// `(line, rule)` pairs.
+    entries: Vec<(usize, String)>,
+}
+
+impl Suppressions {
+    pub fn collect(tokens: &[Token]) -> Self {
+        let mut entries = Vec::new();
+        let mut last_code_line = 0usize;
+        for tok in tokens {
+            if !tok.is_comment() {
+                last_code_line = tok.line;
+                continue;
+            }
+            let Some(rules) = parse_allow(&tok.text) else { continue };
+            let leading = tok.line > last_code_line;
+            for rule in rules {
+                entries.push((tok.line, rule.clone()));
+                if leading {
+                    entries.push((tok.line + 1, rule));
+                }
+            }
+        }
+        Suppressions { entries }
+    }
+
+    pub fn covers(&self, line: usize, rule: &str) -> bool {
+        self.entries.iter().any(|(l, r)| *l == line && (r == rule || r == "all"))
+    }
+}
+
+/// Parse `causer-lint: allow(a, b)` out of a comment's text, if present.
+fn parse_allow(comment: &str) -> Option<Vec<String>> {
+    let idx = comment.find("causer-lint:")?;
+    let rest = comment[idx + "causer-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    Some(rest[..close].split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect())
+}
+
+/// 1-based line ranges (inclusive) covered by `#[cfg(test)] ... { ... }`.
+fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 6 < sig.len() {
+        let is_cfg_test = sig[i].is_punct('#')
+            && sig[i + 1].is_punct('[')
+            && sig[i + 2].is_ident("cfg")
+            && sig[i + 3].is_punct('(')
+            && sig[i + 4].is_ident("test")
+            && sig[i + 5].is_punct(')')
+            && sig[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the `{` of the annotated item and its matching close.
+        let mut j = i + 7;
+        while j < sig.len() && !sig[j].is_punct('{') {
+            j += 1;
+        }
+        if j == sig.len() {
+            break;
+        }
+        let start_line = sig[i].line;
+        let mut depth = 0usize;
+        let mut end_line = sig[j].line;
+        while j < sig.len() {
+            if sig[j].is_punct('{') {
+                depth += 1;
+            } else if sig[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    end_line = sig[j].line;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j + 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(s, e)| line >= s && line <= e)
+}
+
+/// Lint one file's source. This is the whole per-file pipeline: lex, find
+/// test regions and suppressions, run every rule scoped to this file.
+pub fn lint_file(ctx: &FileCtx, src: &str) -> Vec<Finding> {
+    if !ctx.lintable() {
+        return Vec::new();
+    }
+    let tokens = lex(src);
+    let suppress = Suppressions::collect(&tokens);
+    let tests = test_regions(&tokens);
+    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+
+    let mut findings = Vec::new();
+    let mut emit = |rule: &'static str, line: usize, message: String| {
+        if !suppress.covers(line, rule) && !in_regions(&tests, line) {
+            findings.push(Finding { rule, file: ctx.rel_path.clone(), line, message });
+        }
+    };
+
+    for (i, tok) in sig.iter().enumerate() {
+        // no-unwrap-in-lib: `.unwrap()` anywhere in library code; `.expect(`
+        // only with a literal message long enough to state an invariant.
+        if tok.is_punct('.') {
+            if let (Some(name), Some(open)) = (sig.get(i + 1), sig.get(i + 2)) {
+                if open.is_punct('(') && name.is_ident("unwrap") {
+                    emit(
+                        NO_UNWRAP,
+                        name.line,
+                        "`.unwrap()` in library code: return a Result, use \
+                         `.expect(\"<invariant>\")`, or justify with an allow comment"
+                            .to_string(),
+                    );
+                } else if open.is_punct('(') && name.is_ident("expect") {
+                    let msg_ok = matches!(sig.get(i + 3), Some(m) if m.kind == TokKind::Str
+                        && m.text.trim().len() >= MIN_EXPECT_MSG);
+                    if !msg_ok {
+                        emit(
+                            NO_UNWRAP,
+                            name.line,
+                            format!(
+                                "`.expect(...)` without a literal invariant message of at \
+                                 least {MIN_EXPECT_MSG} characters is just `.unwrap()`"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // no-f32-numeric: the tensor/core/serve crates are an f64 substrate.
+        if F64_SUBSTRATE.iter().any(|c| ctx.in_crate(c)) {
+            let is_f32 =
+                tok.is_ident("f32") || (tok.kind == TokKind::Num && tok.text.ends_with("f32"));
+            if is_f32 {
+                emit(
+                    NO_F32,
+                    tok.line,
+                    "f32 in an f64-substrate crate: all numerics in tensor/core/serve are \
+                     f64 end to end"
+                        .to_string(),
+                );
+            }
+        }
+
+        // no-truncating-as-cast: integer `as` casts in tensor kernel files.
+        if ctx.in_crate("tensor") && tok.is_ident("as") {
+            if let Some(ty) = sig.get(i + 1) {
+                const INT_TYPES: &[&str] = &[
+                    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+                    "isize",
+                ];
+                if ty.kind == TokKind::Ident && INT_TYPES.contains(&ty.text.as_str()) {
+                    emit(
+                        NO_TRUNC_CAST,
+                        tok.line,
+                        format!(
+                            "`as {}` in a tensor kernel file can truncate silently; use \
+                             try_into, a checked conversion, or justify the bound with an \
+                             allow comment",
+                            ty.text
+                        ),
+                    );
+                }
+            }
+        }
+
+        // no-unscoped-spawn: `thread::spawn` outside `std::thread::scope`.
+        if tok.is_ident("thread")
+            && sig.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && sig.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && sig.get(i + 3).is_some_and(|t| t.is_ident("spawn"))
+        {
+            emit(
+                NO_UNSCOPED_SPAWN,
+                tok.line,
+                "unscoped `thread::spawn`: workspace parallelism goes through \
+                 `std::thread::scope` so no worker can outlive its data"
+                    .to_string(),
+            );
+        }
+
+        // no-panic-in-serve-hot-path: the serving layer sheds load with Err
+        // (`SubmitError::QueueFull`), it never panics.
+        if ctx.in_crate("serve") {
+            let is_panic_macro =
+                matches!(tok.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                    && tok.kind == TokKind::Ident
+                    && sig.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if is_panic_macro {
+                emit(
+                    NO_PANIC_SERVE,
+                    tok.line,
+                    format!(
+                        "`{}!` in the serving layer: overload and bad input must surface \
+                         as Err (see the QueueFull contract), not a panic",
+                        tok.text
+                    ),
+                );
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        lint_file(&FileCtx::from_rel_path(path), src)
+    }
+
+    #[test]
+    fn classifies_paths() {
+        let c = FileCtx::from_rel_path("crates/tensor/src/graph.rs");
+        assert_eq!(c.crate_name.as_deref(), Some("tensor"));
+        assert!(!c.exempt_path);
+        assert!(FileCtx::from_rel_path("crates/tensor/tests/kernels.rs").exempt_path);
+        assert!(FileCtx::from_rel_path("crates/eval/src/bin/fig3.rs").exempt_path);
+        assert_eq!(FileCtx::from_rel_path("src/lib.rs").crate_name.as_deref(), Some("root"));
+        assert!(FileCtx::from_rel_path("examples/quickstart.rs").crate_name.is_none());
+    }
+
+    #[test]
+    fn unwrap_flagged_expect_with_invariant_ok() {
+        let f = lint(
+            "crates/data/src/x.rs",
+            "fn f() { a.unwrap(); b.expect(\"queue poisoned by a panicked holder\"); }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, NO_UNWRAP);
+    }
+
+    #[test]
+    fn short_expect_message_is_flagged() {
+        let f = lint("crates/data/src/x.rs", "fn f() { b.expect(\"oops\"); }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(lint("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn f32_only_in_substrate_crates() {
+        let src = "fn f(x: f32) -> f32 { x + 1.0f32 }";
+        assert_eq!(lint("crates/tensor/src/x.rs", src).len(), 3);
+        assert!(lint("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn truncating_casts_only_in_tensor() {
+        let src = "fn f(x: f64) -> u32 { x as u32 }";
+        assert_eq!(lint("crates/tensor/src/x.rs", src).len(), 1);
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+        // `as f64` is widening, never flagged.
+        assert!(lint("crates/tensor/src/y.rs", "fn g(n: usize) -> f64 { n as f64 }").is_empty());
+    }
+
+    #[test]
+    fn spawn_flagged_scope_ok() {
+        assert_eq!(lint("crates/serve/src/x.rs", "fn f() { std::thread::spawn(|| ()); }").len(), 1);
+        assert!(lint(
+            "crates/serve/src/y.rs",
+            "fn f() { std::thread::scope(|s| { s.spawn(|| ()); }); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged_in_serve_only() {
+        let src = "fn f() { panic!(\"boom\"); unreachable!() }";
+        assert_eq!(lint("crates/serve/src/x.rs", src).len(), 2);
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn same_line_suppression() {
+        let src = "fn f() { a.unwrap(); } // causer-lint: allow(no-unwrap-in-lib)";
+        assert!(lint("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn leading_comment_suppresses_next_line() {
+        let src = "// justified: causer-lint: allow(no-unwrap-in-lib)\nfn f() { a.unwrap(); }";
+        assert!(lint("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trailing_comment_does_not_cover_next_line() {
+        let src = "fn g() {} // causer-lint: allow(no-unwrap-in-lib)\nfn f() { a.unwrap(); }";
+        assert_eq!(lint("crates/data/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn suppression_is_per_rule() {
+        let src = "fn f() { a.unwrap(); } // causer-lint: allow(no-f32-numeric)";
+        assert_eq!(lint("crates/data/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_is_not_a_finding() {
+        let src = "// calls .unwrap() somewhere\nfn f() -> &'static str { \".unwrap()\" }";
+        assert!(lint("crates/data/src/x.rs", src).is_empty());
+    }
+}

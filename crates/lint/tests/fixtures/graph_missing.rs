@@ -1,0 +1,28 @@
+// Fixture: a miniature autodiff tape with deliberate coverage holes.
+// `Exp` has neither a backward arm nor a gradcheck; `Ln` has a backward
+// arm but no gradcheck. Everything else is fully covered.
+
+enum Op {
+    Leaf,
+    MatMul(NodeId, NodeId),
+    Sigmoid(NodeId),
+    Exp(NodeId),
+    Ln(NodeId),
+}
+
+impl Graph {
+    pub fn backward_seeded(&mut self, loss: NodeId) {
+        match op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                accumulate(a, b);
+            }
+            Op::Sigmoid(a) => {
+                accumulate_sigmoid(a);
+            }
+            Op::Ln(a) => {
+                accumulate_ln(a);
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: rule trigger patterns hidden inside comments, raw strings, and
+// char literals. The whole file must lint clean — zero findings.
+
+/* Block comment mentioning x.unwrap() and std::thread::spawn(worker).
+   /* Nested block comment: f32 arithmetic and `count as u32` casts. */
+   Still inside the outer comment after the nested one closes: y.unwrap()
+*/
+
+pub fn hidden() -> &'static str {
+    let raw = r#"calling .unwrap() or thread::spawn in a raw "string" is text"#;
+    let fenced = r##"raw string with a lone # and an .expect("x") inside"##;
+    let quote = '"';
+    let escaped = "escaped \" quote then .unwrap() and f32 as text";
+    let _ = (raw, fenced, quote, escaped);
+    "clean" // trailing comment with panic!("also just text")
+}

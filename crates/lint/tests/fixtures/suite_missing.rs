@@ -1,0 +1,17 @@
+// Fixture: gradcheck suite for the miniature tape. Covers param (Leaf),
+// matmul, and sigmoid *inside* a `check_gradients` call; the `.exp(` and
+// `.ln(` calls at the bottom are outside any call region and must not
+// count as coverage.
+
+fn gradchecks() {
+    check_gradients(&mut ps, 1e-5, |g, ps| {
+        let a = g.param(ps, w);
+        let b = g.matmul(a, a);
+        g.sigmoid(b)
+    });
+}
+
+fn shape_tests_do_not_count() {
+    let x = g.exp(a);
+    let y = g.ln(a);
+}

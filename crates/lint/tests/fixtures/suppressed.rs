@@ -1,0 +1,29 @@
+// Fixture: suppression forms for `no-unwrap-in-lib`. Exactly one finding
+// must survive — the naked unwrap at the bottom.
+
+pub fn covered_same_line(v: Option<u32>) -> u32 {
+    v.unwrap() // causer-lint: allow(no-unwrap-in-lib)
+}
+
+pub fn covered_by_leading_comment(v: Option<u32>) -> u32 {
+    // The value is pinned two lines up. causer-lint: allow(no-unwrap-in-lib)
+    v.unwrap()
+}
+
+pub fn covered_by_wildcard(v: Option<u32>) -> u32 {
+    // causer-lint: allow(all)
+    v.unwrap()
+}
+
+pub fn sanctioned_expect(v: Option<u32>) -> u32 {
+    v.expect("caller guarantees a value is present here")
+}
+
+pub fn short_expect_is_still_flagged(v: Option<u32>) -> u32 {
+    // causer-lint: allow(all)
+    v.expect("no")
+}
+
+pub fn naked(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -98,6 +98,9 @@ impl BatchQueue {
         let worker = {
             let shared = shared.clone();
             let cfg = cfg.clone();
+            // The queue's worker deliberately outlives `start`: it owns its
+            // Arc'd state and is joined in `shutdown_inner` (also on Drop).
+            // causer-lint: allow(no-unscoped-spawn)
             std::thread::spawn(move || worker_loop(&shared, &handle, &cfg))
         };
         BatchQueue { shared, cfg, worker: Some(worker) }
@@ -185,13 +188,15 @@ fn worker_loop(shared: &Shared, handle: &Arc<ModelHandle>, cfg: &QueueConfig) {
         let n = state.pending.len().min(cfg.max_batch);
         let drained: Vec<(ScoreRequest, mpsc::Sender<Ranked>)> = state.pending.drain(..n).collect();
         state.batches += 1;
+        let batch_id = state.batches;
         drop(state);
 
         // Phase 3: score outside the lock against one model snapshot.
         let snapshot = handle.snapshot();
         let reqs: Vec<ScoreRequest> = drained.iter().map(|(r, _)| r.clone()).collect();
         let ranked = scorer.score_batch(&snapshot, &reqs);
-        for ((_, tx), response) in drained.into_iter().zip(ranked) {
+        for ((_, tx), mut response) in drained.into_iter().zip(ranked) {
+            response.batch = batch_id;
             // A dropped receiver just means the caller gave up waiting.
             let _ = tx.send(response);
         }

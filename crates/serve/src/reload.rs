@@ -38,11 +38,13 @@ impl ModelHandle {
 
     /// Install a new model. The snapshot is built on the calling thread
     /// before the write lock is taken; concurrent `snapshot()` calls see
-    /// either the old state or the new one, never a partial state.
+    /// either the old state or the new one, never a partial state. The
+    /// snapshot carries its generation so every response scored against it
+    /// can name the model that produced it.
     pub fn install(&self, model: CauserModel) {
-        let state = Arc::new(ServeState::build(model));
-        *self.current.write().expect("model handle poisoned") = state;
-        self.generation.fetch_add(1, Ordering::SeqCst);
+        let mut state = ServeState::build(model);
+        state.generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        *self.current.write().expect("model handle poisoned") = Arc::new(state);
     }
 
     /// Reload from a model file saved by `causer_core::persistence`.

@@ -48,6 +48,12 @@ impl ScoreRequest {
 pub struct Ranked {
     pub items: Vec<usize>,
     pub scores: Vec<f64>,
+    /// Generation of the [`ServeState`] this response was scored against
+    /// (0 for the initial model; stamped by [`BatchScorer::score_batch`]).
+    pub generation: u64,
+    /// Id of the queue batch that carried the request (0 when scored
+    /// outside a queue; stamped by the queue worker).
+    pub batch: u64,
 }
 
 /// An immutable, shareable model snapshot with every per-model cache the
@@ -57,13 +63,16 @@ pub struct ServeState {
     pub model: CauserModel,
     pub ic: InferenceCache,
     pub effects: ClusterEffectCache,
+    /// Install counter of the handle that built this snapshot (0 for the
+    /// initial model); stamped into every [`Ranked`] scored against it.
+    pub generation: u64,
 }
 
 impl ServeState {
     pub fn build(model: CauserModel) -> Self {
         let ic = model.inference_cache();
         let effects = model.cluster_effect_cache(&ic);
-        ServeState { model, ic, effects }
+        ServeState { model, ic, effects, generation: 0 }
     }
 }
 
@@ -115,7 +124,13 @@ impl BatchScorer {
                 }
             });
         }
-        out.into_iter().map(|r| r.expect("every request scored")).collect()
+        out.into_iter()
+            .map(|r| {
+                let mut r = r.expect("every request scored");
+                r.generation = state.generation;
+                r
+            })
+            .collect()
     }
 
     /// The `-causal` fast path: one `uniform_vh` row per user, stacked into
@@ -244,5 +259,7 @@ fn rank(scores: &[f64], cand: Option<&[usize]>, k: usize) -> Ranked {
     Ranked {
         items: top.iter().map(|&i| cand.map_or(i, |c| c[i])).collect(),
         scores: top.iter().map(|&i| scores[i]).collect(),
+        generation: 0,
+        batch: 0,
     }
 }

@@ -1,0 +1,143 @@
+//! Concurrency stress: many producers hammer one [`BatchQueue`] while a
+//! reloader thread hot-swaps the model underneath it and shutdown lands
+//! with a batch still open.
+//!
+//! Invariants under fire:
+//! - every **accepted** submission yields exactly one response — nothing is
+//!   lost at shutdown and nothing is delivered twice;
+//! - every response carries the batch that served it, and one batch never
+//!   mixes model generations (a reload applies between batches, not within);
+//! - refusals are only ever the documented load-shedding errors.
+
+use causer_core::{CauserConfig, CauserModel, CauserVariant, RnnKind};
+use causer_serve::{BatchQueue, ModelHandle, QueueConfig, ScoreRequest, SubmitError};
+use causer_tensor::init;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ITEMS: usize = 14;
+const USERS: usize = 6;
+const PRODUCERS: usize = 8;
+const PER_PRODUCER: usize = 40;
+const RELOADS: u64 = 20;
+const MAX_BATCH: usize = 5;
+
+fn build_model(seed: u64) -> CauserModel {
+    let mut cfg = CauserConfig::new(USERS, ITEMS, 5);
+    cfg.k = 4;
+    cfg.d1 = 6;
+    cfg.d2 = 5;
+    cfg.user_dim = 3;
+    cfg.hidden_dim = 6;
+    cfg.item_out_dim = 5;
+    cfg.rnn = RnnKind::Gru;
+    cfg.variant = CauserVariant::Full;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features = init::uniform(&mut rng, ITEMS, 5, 1.0);
+    CauserModel::new(cfg, features, seed)
+}
+
+fn random_requests(seed: u64, n: usize) -> Vec<ScoreRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1..4);
+            let history: Vec<Vec<usize>> =
+                (0..len).map(|_| vec![rng.gen_range(0..ITEMS)]).collect();
+            ScoreRequest::top_k(rng.gen_range(0..USERS), history, 3)
+        })
+        .collect()
+}
+
+#[test]
+fn stress_no_lost_duplicated_or_generation_mixed_responses() {
+    let handle = Arc::new(ModelHandle::new(build_model(3)));
+    let cfg = QueueConfig {
+        max_batch: MAX_BATCH,
+        // Only full batches cut during the storm; the straggler batch at the
+        // end stays open until shutdown drains it.
+        max_wait: Duration::from_secs(30),
+        capacity: 16,
+        threads: 2,
+    };
+    let queue = BatchQueue::start(handle.clone(), cfg);
+
+    let mut rxs = Vec::new();
+    let mut refused = 0usize;
+    std::thread::scope(|s| {
+        let reloader = {
+            let handle = handle.clone();
+            s.spawn(move || {
+                for i in 0..RELOADS {
+                    handle.install(build_model(100 + i));
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+            })
+        };
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let queue = &queue;
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut shed = 0usize;
+                    for req in random_requests(1000 + p as u64, PER_PRODUCER) {
+                        match queue.submit(req) {
+                            Ok(rx) => got.push(rx),
+                            Err(SubmitError::QueueFull) => {
+                                // Documented load shedding — back off, move on.
+                                shed += 1;
+                                std::thread::yield_now();
+                            }
+                            Err(SubmitError::ShuttingDown) => {
+                                panic!("queue shut down while producers were live")
+                            }
+                        }
+                    }
+                    (got, shed)
+                })
+            })
+            .collect();
+        for producer in producers {
+            let (got, shed) = producer.join().expect("producer panicked");
+            rxs.extend(got);
+            refused += shed;
+        }
+        reloader.join().expect("reloader panicked");
+    });
+
+    // Leave a batch open (3 < max_batch pending, 30s wait budget), then shut
+    // down mid-batch: the drain path must still answer every request.
+    let tail: Vec<_> = random_requests(7, 3)
+        .into_iter()
+        .map(|r| queue.submit(r).expect("tail submit refused"))
+        .collect();
+    rxs.extend(tail);
+    queue.shutdown();
+
+    let accepted = rxs.len();
+    assert_eq!(accepted + refused, PRODUCERS * PER_PRODUCER + 3, "submissions unaccounted for");
+
+    // Exactly one response per accepted request: recv succeeds once, then
+    // the channel is disconnected (a duplicate would sit in the buffer).
+    let mut by_batch: HashMap<u64, Vec<u64>> = HashMap::new();
+    for rx in rxs {
+        let ranked = rx.recv_timeout(Duration::from_secs(10)).expect("response lost");
+        assert_eq!(ranked.items.len(), 3);
+        assert!(ranked.batch > 0, "queued response missing its batch id");
+        assert!(ranked.generation <= RELOADS, "generation from the future");
+        by_batch.entry(ranked.batch).or_default().push(ranked.generation);
+        assert!(rx.recv_timeout(Duration::from_secs(1)).is_err(), "duplicate response delivered");
+    }
+    assert_eq!(by_batch.values().map(Vec::len).sum::<usize>(), accepted);
+    for (batch, gens) in &by_batch {
+        assert!(gens.len() <= MAX_BATCH, "batch {batch} exceeded max_batch");
+        assert!(
+            gens.windows(2).all(|w| w[0] == w[1]),
+            "batch {batch} mixed model generations: {gens:?}"
+        );
+    }
+    assert_eq!(handle.generation(), RELOADS);
+}

@@ -105,6 +105,19 @@ mod tests {
     }
 
     #[test]
+    fn sigmoid_activation() {
+        let mut rng = seeded(9);
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", init::uniform(&mut rng, 2, 4, 2.0));
+        check_gradients(&mut ps, 1e-5, |g, ps| {
+            let wn = g.param(ps, w);
+            let s = g.sigmoid(wn);
+            let sq = g.mul(s, s);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
     fn tanh_relu_exp_ln_ops() {
         let mut rng = seeded(2);
         let mut ps = ParamSet::new();

@@ -159,7 +159,15 @@ impl Graph {
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> NodeId {
-        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        // Numerical sanitizer: always on in debug builds; opt into release
+        // builds with `--features sanitize`. Parameter leaves bypass `push`,
+        // so a poisoned parameter is reported at the first op consuming it.
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        assert!(
+            value.all_finite(),
+            "sanitizer: non-finite value produced by {op:?} at node {}",
+            self.nodes.len()
+        );
         self.nodes.push(Node { value: Arc::new(value), op });
         NodeId(self.nodes.len() - 1)
     }
@@ -548,6 +556,14 @@ impl Graph {
                 Some(g) => g,
                 None => continue,
             };
+            // Backward half of the sanitizer (see `push`): the accumulated
+            // upstream gradient must be finite before this node consumes it.
+            #[cfg(any(debug_assertions, feature = "sanitize"))]
+            assert!(
+                grad.all_finite(),
+                "sanitizer: non-finite gradient flowing into node {id} ({:?})",
+                self.nodes[id].op
+            );
             match &self.nodes[id].op {
                 Op::Leaf { param } => {
                     if let Some(pid) = param {

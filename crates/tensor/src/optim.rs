@@ -69,8 +69,11 @@ impl Optimizer for Adam {
             self.state.resize_with(params.len(), || None);
         }
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        // Saturating is exact: beta^t underflows to 0 (bias correction = 1)
+        // eons before the step counter could reach i32::MAX.
+        let t = i32::try_from(self.t).unwrap_or(i32::MAX);
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
         for index in 0..params.len() {
             let Some(grad) = grads.take_by_index(index) else { continue };
             if params.frozen_by_index(index) {

@@ -1,0 +1,56 @@
+//! Numerical-sanitizer behaviour: non-finite forward values and backward
+//! gradients must abort with a message naming the offending op and node.
+//!
+//! The checks exist under `debug_assertions` or `--features sanitize`, so
+//! the whole suite is compiled out in a plain release test run.
+#![cfg(any(debug_assertions, feature = "sanitize"))]
+
+use causer_tensor::{GradStore, Graph, Matrix, ParamSet};
+
+/// A poisoned parameter is reported at the first op that consumes it —
+/// parameter leaves bypass the forward check by design, so the blast site
+/// (here `EmbedBag`) is what the message names.
+#[test]
+#[should_panic(expected = "non-finite value produced by EmbedBag")]
+fn nan_embedding_row_aborts_forward_naming_the_op() {
+    let mut ps = ParamSet::new();
+    let emb = ps.add("emb", Matrix::from_fn(3, 2, |i, _| if i == 1 { f64::NAN } else { 1.0 }));
+    let mut g = Graph::new();
+    let en = g.param(&ps, emb);
+    // Bag 0 pulls row 1 — the poisoned one.
+    let _ = g.embed_bag(en, &[vec![1]], true);
+}
+
+/// A finite forward pass can still blow up in reverse: a/s with s ≈ 1e-300
+/// has a finite value (1e300) but d/ds = -a/s² overflows to -inf. The
+/// backward check names the node the bad gradient flows into (the divisor's
+/// leaf, node 1 in construction order).
+#[test]
+#[should_panic(expected = "non-finite gradient flowing into node 1 (Leaf")]
+fn overflowing_gradient_aborts_backward_naming_the_node() {
+    let mut ps = ParamSet::new();
+    let a = ps.add("a", Matrix::scalar(1.0));
+    let s = ps.add("s", Matrix::scalar(1e-300));
+    let mut g = Graph::new();
+    let an = g.param(&ps, a);
+    let sn = g.param(&ps, s);
+    let d = g.div_scalar(an, sn);
+    let loss = g.sum_all(d);
+    assert!(g.value(loss).item().is_finite(), "forward must stay finite");
+    let mut store = GradStore::new(&ps);
+    g.backward(loss, &mut store);
+}
+
+/// Healthy values sail through with the sanitizer armed.
+#[test]
+fn finite_graph_passes_forward_and_backward() {
+    let mut ps = ParamSet::new();
+    let w = ps.add("w", Matrix::from_fn(2, 2, |i, j| 0.1 * (i as f64) - 0.2 * (j as f64) + 0.3));
+    let mut g = Graph::new();
+    let wn = g.param(&ps, w);
+    let s = g.sigmoid(wn);
+    let loss = g.mean_all(s);
+    let mut store = GradStore::new(&ps);
+    g.backward(loss, &mut store);
+    assert!(store.get(w).expect("gradient recorded for w").all_finite());
+}

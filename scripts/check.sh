@@ -5,7 +5,9 @@
 #
 # Clippy and rustfmt are advisory when the toolchain lacks the component
 # (e.g. a minimal offline container): the script warns and continues,
-# because the build + tests are the correctness gate; lints are hygiene.
+# because the build + tests are the correctness gate; those lints are
+# hygiene. causer-lint, in contrast, is built from this workspace with no
+# external dependencies and is always a hard gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +19,16 @@ fi
 
 cargo build --workspace --release
 cargo test --workspace --release -q
+
+# The workspace's own static analysis is a hard gate: it is built from this
+# workspace with zero external dependencies, so there is no toolchain-missing
+# escape hatch. Nonzero exit (any finding) fails the check.
+cargo run -p causer-lint --release
+
+# Numerical-sanitizer passes: the gradcheck fuzz sweep and the golden-metric
+# suite re-run in release with forward/backward finiteness checks armed.
+cargo test -p causer-tensor --release --features sanitize -q
+cargo test -p causer --release --features sanitize --test golden_metrics -q
 
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --all-targets -- -D warnings
