@@ -1,8 +1,16 @@
 //! Algorithm 1: joint training of the recommender and the cluster-level
 //! causal graph with the augmented Lagrangian acyclicity constraint.
+//!
+//! When observability is enabled (`CAUSER_OBS=1` / `causer_obs::set_enabled`)
+//! the loop emits one `train.epoch` event per epoch — total/BCE/regularizer/
+//! structure losses, h(W^c), the augmented-Lagrangian α and ρ, the last
+//! batch's pre-clip gradient norm, and the epoch wall-time — plus the
+//! aggregate metrics listed in `causer_obs::names`. Disabled, the
+//! instrumentation is a handful of relaxed atomic loads per epoch.
 
 use crate::model::CauserModel;
 use causer_data::{LeaveLastOut, NegativeSampler, Step, UserHistory};
+use causer_obs::names as obs;
 use causer_tensor::{Adam, Optimizer, ParallelTrainer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -99,6 +107,77 @@ pub struct TrainReport {
     pub wall_seconds: f64,
 }
 
+/// Pre-registered handles for the training metrics (`None` while
+/// observability is disabled, so the hot loop never touches the registry).
+struct EpochTelemetry {
+    batches: causer_obs::Counter,
+    epochs: causer_obs::Counter,
+    epoch_ms: causer_obs::Histogram,
+    loss: causer_obs::Gauge,
+    h_w: causer_obs::Gauge,
+    rho: causer_obs::Gauge,
+    alpha: causer_obs::Gauge,
+    grad_norm: causer_obs::Gauge,
+}
+
+/// One epoch's emitted numbers (gauges + the `train.epoch` event fields).
+struct EpochRecord {
+    epoch: usize,
+    loss_total: f64,
+    loss_bce: f64,
+    loss_reg: f64,
+    loss_struct: f64,
+    h: f64,
+    alpha: f64,
+    rho: f64,
+    grad_norm: f64,
+    epoch_ms: f64,
+}
+
+impl EpochTelemetry {
+    fn new() -> Option<Self> {
+        if !causer_obs::enabled() {
+            return None;
+        }
+        let r = causer_obs::global();
+        Some(EpochTelemetry {
+            batches: r.counter(obs::TRAIN_BATCHES_TOTAL),
+            epochs: r.counter(obs::TRAIN_EPOCHS_TOTAL),
+            epoch_ms: r.histogram(obs::TRAIN_EPOCH_MS, causer_obs::Buckets::default_ms()),
+            loss: r.gauge(obs::TRAIN_LOSS_TOTAL),
+            h_w: r.gauge(obs::TRAIN_H_W),
+            rho: r.gauge(obs::TRAIN_RHO),
+            alpha: r.gauge(obs::TRAIN_ALPHA),
+            grad_norm: r.gauge(obs::TRAIN_GRAD_NORM),
+        })
+    }
+
+    /// Update the aggregate gauges/counters and emit the per-epoch
+    /// `train.epoch` JSONL record.
+    fn record_epoch(&self, rec: &EpochRecord) {
+        self.epochs.inc();
+        self.epoch_ms.observe(rec.epoch_ms);
+        self.loss.set(rec.loss_total);
+        self.h_w.set(rec.h);
+        self.rho.set(rec.rho);
+        self.alpha.set(rec.alpha);
+        self.grad_norm.set(rec.grad_norm);
+        causer_obs::emit(
+            causer_obs::Event::new(obs::EV_TRAIN_EPOCH)
+                .u("epoch", rec.epoch as u64)
+                .f("loss_total", rec.loss_total)
+                .f("loss_bce", rec.loss_bce)
+                .f("loss_reg", rec.loss_reg)
+                .f("loss_struct", rec.loss_struct)
+                .f("h_w", rec.h)
+                .f("alpha", rec.alpha)
+                .f("rho", rec.rho)
+                .f("grad_norm", rec.grad_norm)
+                .f("epoch_ms", rec.epoch_ms),
+        );
+    }
+}
+
 /// Train a [`CauserModel`] on the training split (Algorithm 1).
 pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -> TrainReport {
     let start = Instant::now();
@@ -115,6 +194,14 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
     // Worker pool with one reusable tape per thread; at one thread every
     // pass runs inline on this thread over the whole batch.
     let mut trainer = ParallelTrainer::from_config(cfg.threads);
+    // Metric handles resolved once; `None` keeps the disabled hot path free
+    // of registry lookups.
+    let telemetry = EpochTelemetry::new();
+    let want_split = telemetry.is_some();
+    // Serial-branch side channel: the shard closure returns only the total
+    // loss, so the BCE/regularizer split is stashed here when telemetry
+    // wants it (the serial branch runs inline, so this is uncontended).
+    let split_stash = std::sync::Mutex::new((0.0f64, 0.0f64));
 
     let mut beta1 = cfg.beta1;
     let mut beta2 = cfg.beta2;
@@ -132,6 +219,8 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
 
     let eta_final = model.config.eta;
     for epoch in 0..cfg.epochs {
+        let epoch_start = Instant::now();
+        let _epoch_span = causer_obs::span(obs::SP_TRAIN_EPOCH);
         // Temperature annealing: start with soft assignments (η = 1) so the
         // clustering can organize, and harden geometrically toward the
         // configured η over the first two thirds of training (footnote 5:
@@ -157,6 +246,9 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
         }
 
         let mut epoch_loss = 0.0;
+        let mut epoch_bce = 0.0;
+        let mut epoch_reg = 0.0;
+        let mut last_grad_norm = 0.0;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
             // Negative sampling happens here, serially and in chunk order,
@@ -221,10 +313,20 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
                         let reg = model.regularizer(g, &shared, beta1, beta2, cfg.aux_weight);
                         let loss = g.add(bce, reg);
                         let v = g.value(loss).item();
+                        if want_split {
+                            let bce_v = g.value(bce).item();
+                            *split_stash.lock().expect("loss split stash poisoned") =
+                                (bce_v, v - bce_v);
+                        }
                         g.backward(loss, gs);
                         v
                     });
                 epoch_loss += loss_val;
+                if want_split {
+                    let (b, r) = *split_stash.lock().expect("loss split stash poisoned");
+                    epoch_bce += b;
+                    epoch_reg += r;
+                }
                 gs = store;
             } else {
                 // Data-parallel: each shard computes its BCE term seeded by
@@ -262,20 +364,26 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
                 tape.backward(reg, &mut gs);
                 tape.reset();
                 epoch_loss += bce_loss + reg_val;
+                epoch_bce += bce_loss;
+                epoch_reg += reg_val;
             }
             batches += 1;
-            gs.clip_global_norm(cfg.clip);
+            if let Some(t) = &telemetry {
+                t.batches.inc();
+            }
+            last_grad_norm = gs.clip_global_norm(cfg.clip);
             opt.step(&mut model.params, &mut gs);
         }
 
         // Dedicated structure-fitting pass for W^c over large batches with
         // the current (constant) assignments.
         let struct_frozen = cfg.slow_update_every.map(|every| epoch % every != 0).unwrap_or(false);
+        let mut struct_loss = 0.0;
         if cfg.struct_weight > 0.0 && !struct_frozen && model.config.variant.use_causal() {
             for &id in &graph_ids {
                 model.params.set_frozen(id, false);
             }
-            structure_pass(
+            struct_loss = structure_pass(
                 model,
                 split,
                 cfg,
@@ -286,6 +394,10 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
                 &mut trainer,
             );
         }
+
+        // Multiplier values *used* during this epoch (the dual update below
+        // rewrites them for the next one) — what the telemetry reports.
+        let (alpha_used, rho_used) = (beta1, beta2);
 
         // Lines 14–15: dual updates on the acyclicity residual. A short
         // warm-up lets the structure fit orient edges before the penalty
@@ -302,8 +414,25 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
         let mean_loss = if batches > 0 { epoch_loss / batches as f64 } else { 0.0 };
         report.epoch_losses.push(mean_loss);
         report.epoch_h.push(h);
+        if let Some(t) = &telemetry {
+            let denom = batches.max(1) as f64;
+            t.record_epoch(&EpochRecord {
+                epoch,
+                loss_total: mean_loss,
+                loss_bce: epoch_bce / denom,
+                loss_reg: epoch_reg / denom,
+                loss_struct: struct_loss,
+                h,
+                alpha: alpha_used,
+                rho: rho_used,
+                grad_norm: last_grad_norm,
+                epoch_ms: epoch_start.elapsed().as_secs_f64() * 1e3,
+            });
+        }
         if cfg.verbose {
-            eprintln!("epoch {epoch:>3}: loss {mean_loss:.4}  h(Wc) {h:.3e}  beta2 {beta2:.1e}");
+            causer_obs::logln!(
+                "epoch {epoch:>3}: loss {mean_loss:.4}  h(Wc) {h:.3e}  beta2 {beta2:.1e}"
+            );
         }
     }
     // Unfreeze everything before handing the model back.
@@ -321,7 +450,9 @@ pub fn train(model: &mut CauserModel, split: &LeaveLastOut, cfg: &TrainConfig) -
 /// One pass of NOTEARS-style structure fitting: regress each step's
 /// cluster-indicator vector on the discounted history context through
 /// `W^c`, over large sequence batches, updating only `W^c` and the
-/// regression intercept (assignments enter as constants).
+/// regression intercept (assignments enter as constants). Returns the mean
+/// per-chunk structure loss (fit + L1 + acyclicity penalties) for the
+/// epoch telemetry; 0 when no chunk had usable sequences.
 #[allow(clippy::too_many_arguments)]
 fn structure_pass(
     model: &mut CauserModel,
@@ -332,7 +463,10 @@ fn structure_pass(
     beta2: f64,
     rng: &mut StdRng,
     trainer: &mut ParallelTrainer,
-) {
+) -> f64 {
+    let _span = causer_obs::span(obs::SP_TRAIN_STRUCT);
+    let mut loss_total = 0.0;
+    let mut chunks = 0usize;
     let assign = model.cluster.assignments_plain(&model.params);
     let mut order: Vec<usize> = (0..split.train.len()).collect();
     order.shuffle(rng);
@@ -382,23 +516,25 @@ fn structure_pass(
             // Serial: one tape, combined fit + penalty loss, one backward —
             // exactly the legacy pass (same node order, same accumulation
             // order into the store).
-            let (_, store) = trainer.for_each_shard(&seqs, &model.params, |g, gs, shard| {
-                let fit = fit_shard(g, shard).expect("chunk with steps produced no fit");
-                let l1 = model.causal.l1_penalty(g, &model.params, model.config.lambda);
-                let h = model.causal.acyclicity_node(g, &model.params);
-                let lin = g.scale(h, beta1);
-                let hsq = g.mul(h, h);
-                let quad = g.scale(hsq, beta2 / 2.0);
-                let loss = g.add(fit, l1);
-                let loss = g.add(loss, lin);
-                let loss = g.add(loss, quad);
-                let v = g.value(loss).item();
-                g.backward(loss, gs);
-                v
-            });
+            let (chunk_loss, store) =
+                trainer.for_each_shard(&seqs, &model.params, |g, gs, shard| {
+                    let fit = fit_shard(g, shard).expect("chunk with steps produced no fit");
+                    let l1 = model.causal.l1_penalty(g, &model.params, model.config.lambda);
+                    let h = model.causal.acyclicity_node(g, &model.params);
+                    let lin = g.scale(h, beta1);
+                    let hsq = g.mul(h, h);
+                    let quad = g.scale(hsq, beta2 / 2.0);
+                    let loss = g.add(fit, l1);
+                    let loss = g.add(loss, lin);
+                    let loss = g.add(loss, quad);
+                    let v = g.value(loss).item();
+                    g.backward(loss, gs);
+                    v
+                });
+            loss_total += chunk_loss;
             gs = store;
         } else {
-            let (_, store) = trainer.for_each_shard(&seqs, &model.params, |g, gs, shard| {
+            let (fit_loss, store) = trainer.for_each_shard(&seqs, &model.params, |g, gs, shard| {
                 let Some(fit) = fit_shard(g, shard) else { return 0.0 };
                 let v = g.value(fit).item();
                 g.backward(fit, gs);
@@ -415,10 +551,17 @@ fn structure_pass(
             let quad = tape.scale(hsq, beta2 / 2.0);
             let loss = tape.add(l1, lin);
             let loss = tape.add(loss, quad);
+            loss_total += fit_loss + tape.value(loss).item();
             tape.backward(loss, &mut gs);
             tape.reset();
         }
+        chunks += 1;
         opt.step(&mut model.params, &mut gs);
+    }
+    if chunks > 0 {
+        loss_total / chunks as f64
+    } else {
+        0.0
     }
 }
 

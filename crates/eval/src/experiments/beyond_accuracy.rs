@@ -30,7 +30,7 @@ pub fn run(
     let mut results = Vec::new();
     let mut t = TextTable::new(&["Model", "Coverage@5", "Gini", "ClusterDiv@5"]);
     for &mk in models {
-        eprintln!("beyond-accuracy: {} ...", mk.label());
+        causer_obs::logln!("beyond-accuracy: {} ...", mk.label());
         let mut model = build_model(mk, &sim, scale);
         model.fit(&split);
         let recs: Vec<Vec<usize>> = split

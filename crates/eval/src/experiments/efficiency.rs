@@ -26,14 +26,14 @@ pub fn run(scale: &ExperimentScale) -> (EfficiencyResult, String) {
     let tp = tuned(DatasetKind::Baby);
 
     // Training: full updates vs. slow (every-10-epochs) updates of Θ_a/W^c.
-    eprintln!("efficiency: training with full updates ...");
+    causer_obs::logln!("efficiency: training with full updates ...");
     let mut full =
         build_causer(&sim, scale, RnnKind::Gru, CauserVariant::Full, tp.k, tp.eta, tp.epsilon);
     let t = Instant::now();
     full.fit(&split);
     let full_update_seconds = t.elapsed().as_secs_f64();
 
-    eprintln!("efficiency: training with slow updates ...");
+    causer_obs::logln!("efficiency: training with slow updates ...");
     let mut slow =
         build_causer(&sim, scale, RnnKind::Gru, CauserVariant::Full, tp.k, tp.eta, tp.epsilon);
     slow.train_config.slow_update_every = Some(10);
@@ -42,7 +42,7 @@ pub fn run(scale: &ExperimentScale) -> (EfficiencyResult, String) {
     let slow_update_seconds = t.elapsed().as_secs_f64();
 
     // Inference: score the same test cases with Causer and SASRec.
-    eprintln!("efficiency: timing inference ...");
+    causer_obs::logln!("efficiency: timing inference ...");
     let mut sas = sasrec(
         split.num_items,
         BaselineTrainConfig { epochs: scale.epochs, seed: scale.seed, ..Default::default() },

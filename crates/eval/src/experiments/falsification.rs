@@ -26,7 +26,7 @@ pub fn run(scale: &ExperimentScale) -> (Vec<FalsificationRow>, String) {
         let tp = tuned(DatasetKind::Patio);
         let mut ndcg = Vec::new();
         for variant in [CauserVariant::Full, CauserVariant::NoCausal] {
-            eprintln!("falsification: {} {} ...", label, variant.label());
+            causer_obs::logln!("falsification: {} {} ...", label, variant.label());
             let mut model =
                 build_causer(&sim, scale, RnnKind::Gru, variant, tp.k, tp.eta, tp.epsilon);
             model.fit(&split);

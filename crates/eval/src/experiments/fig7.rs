@@ -33,7 +33,7 @@ pub fn run(scale: &ExperimentScale) -> (Vec<Fig7Result>, String) {
     let mut t = TextTable::new(&["Model", "RNN", "F1@3", "NDCG@3", "#samples"]);
     for rnn in [RnnKind::Lstm, RnnKind::Gru] {
         for variant in VARIANTS {
-            eprintln!("fig7: {} {} ...", variant.label(), rnn.name());
+            causer_obs::logln!("fig7: {} {} ...", variant.label(), rnn.name());
             let tp = tuned(DatasetKind::Baby);
             let mut model = build_causer(&sim, scale, rnn, variant, tp.k, tp.eta, tp.epsilon);
             model.fit(&split);

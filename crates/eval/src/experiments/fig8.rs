@@ -41,11 +41,11 @@ pub fn run(scale: &ExperimentScale, num_cases: usize) -> (Vec<Case>, String) {
         },
         scale.seed,
     );
-    eprintln!("fig8: training NARM ...");
+    causer_obs::logln!("fig8: training NARM ...");
     narm_model.fit(&split);
     let mut causers = Vec::new();
     for variant in [CauserVariant::NoAttention, CauserVariant::NoCausal, CauserVariant::Full] {
-        eprintln!("fig8: training {} ...", variant.label());
+        causer_obs::logln!("fig8: training {} ...", variant.label());
         let mut m = build_causer(&sim, scale, RnnKind::Gru, variant, tp.k, tp.eta, tp.epsilon);
         m.fit(&split);
         causers.push((variant.label().to_string(), m));

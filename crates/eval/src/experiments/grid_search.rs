@@ -32,7 +32,7 @@ pub fn run(
     for &k in ks {
         for &eta in etas {
             for &epsilon in epsilons {
-                eprintln!("grid: K={k} eta={eta:.0e} eps={epsilon} ...");
+                causer_obs::logln!("grid: K={k} eta={eta:.0e} eps={epsilon} ...");
                 let mut model =
                     build_causer(&sim, scale, RnnKind::Gru, CauserVariant::Full, k, eta, epsilon);
                 model.fit(&split);

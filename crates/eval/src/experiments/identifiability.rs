@@ -128,9 +128,9 @@ pub fn behaviour_recovery(scale: &ExperimentScale) -> BehaviourRecovery {
 }
 
 pub fn run(scale: &ExperimentScale) -> String {
-    eprintln!("identifiability: linear-SEM recovery ...");
+    causer_obs::logln!("identifiability: linear-SEM recovery ...");
     let sem = sem_recovery(5, 8, 1000);
-    eprintln!("identifiability: behaviour-level recovery ...");
+    causer_obs::logln!("identifiability: behaviour-level recovery ...");
     let beh = behaviour_recovery(scale);
     format!(
         "Identifiability (Theorem 1, empirical)\n\

@@ -61,7 +61,7 @@ pub fn run(param: SweepParam, grid: &[f64], scale: &ExperimentScale) -> (Vec<Swe
         let mut row = vec![format_value(param, value)];
         for rnn in [RnnKind::Lstm, RnnKind::Gru] {
             for (sim, &dk) in sims.iter().zip(DATASETS.iter()) {
-                eprintln!(
+                causer_obs::logln!(
                     "{}: {}={} {} on {} ...",
                     param.figure(),
                     name(param),

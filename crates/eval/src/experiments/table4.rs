@@ -32,7 +32,7 @@ pub fn run_subset(
     for &model in models {
         let mut row = vec![model.label().to_string()];
         for (sim, &dk) in sims.iter().zip(datasets) {
-            eprintln!("table4: {} on {} ...", model.label(), dk.name());
+            causer_obs::logln!("table4: {} on {} ...", model.label(), dk.name());
             let cell = run_cell(model, sim, scale);
             let (pf1, pndcg) = paper_table4(model.label(), dk).unwrap_or((f64::NAN, f64::NAN));
             row.push(pct(cell.report.f1));

@@ -36,7 +36,12 @@ pub fn run(scale: &ExperimentScale) -> (Vec<(String, String, String, f64)>, Stri
         let mut row = vec![variant.label().to_string()];
         for rnn in [RnnKind::Lstm, RnnKind::Gru] {
             for (sim, &dk) in sims.iter().zip(DATASETS.iter()) {
-                eprintln!("table5: {} {} on {} ...", variant.label(), rnn.name(), dk.name());
+                causer_obs::logln!(
+                    "table5: {} {} on {} ...",
+                    variant.label(),
+                    rnn.name(),
+                    dk.name()
+                );
                 let tp = tuned(dk);
                 let mut model = build_causer(sim, scale, rnn, variant, tp.k, tp.eta, tp.epsilon);
                 let split = sim.interactions.leave_last_out();

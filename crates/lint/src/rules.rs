@@ -16,11 +16,12 @@ pub const NO_F32: &str = "no-f32-numeric";
 pub const NO_TRUNC_CAST: &str = "no-truncating-as-cast";
 pub const NO_UNSCOPED_SPAWN: &str = "no-unscoped-spawn";
 pub const NO_PANIC_SERVE: &str = "no-panic-in-serve-hot-path";
+pub const NO_PRINTLN: &str = "no-println-in-lib";
 pub const OP_COVERAGE: &str = "op-coverage";
 
 /// Every rule the engine knows, in report order.
 pub const ALL_RULES: &[&str] =
-    &[NO_UNWRAP, NO_F32, NO_TRUNC_CAST, NO_UNSCOPED_SPAWN, NO_PANIC_SERVE, OP_COVERAGE];
+    &[NO_UNWRAP, NO_F32, NO_TRUNC_CAST, NO_UNSCOPED_SPAWN, NO_PANIC_SERVE, NO_PRINTLN, OP_COVERAGE];
 
 /// Minimum length of an `.expect("...")` message: shorter messages cannot
 /// state an invariant, and `expect` without a stated invariant is `unwrap`.
@@ -40,6 +41,9 @@ pub struct FileCtx {
     /// True for paths under `tests/`, `benches/`, `examples/`, or `src/bin/`
     /// — contexts where the library rules do not apply.
     pub exempt_path: bool,
+    /// True for `src/main.rs` — a binary target that lives outside `src/bin/`
+    /// (rules about library emission, like `no-println-in-lib`, skip it).
+    pub bin_target: bool,
 }
 
 impl FileCtx {
@@ -57,7 +61,8 @@ impl FileCtx {
         let exempt_path = parts
             .iter()
             .any(|p| matches!(*p, "tests" | "benches" | "examples" | "bin" | "fixtures"));
-        FileCtx { rel_path, crate_name, exempt_path }
+        let bin_target = parts.last() == Some(&"main.rs");
+        FileCtx { rel_path, crate_name, exempt_path, bin_target }
     }
 
     fn in_crate(&self, name: &str) -> bool {
@@ -283,6 +288,30 @@ pub fn lint_file(ctx: &FileCtx, src: &str) -> Vec<Finding> {
                 );
             }
         }
+
+        // no-println-in-lib: library crates do not write to stdout/stderr
+        // directly. Human-readable progress goes through `causer_obs::logln!`
+        // (one greppable hop from becoming structured telemetry); data goes
+        // through causer-obs events/metrics. Binary targets (`src/main.rs`,
+        // `src/bin/`, examples, benches, tests) keep direct prints.
+        if !ctx.bin_target {
+            let is_print_macro =
+                matches!(tok.text.as_str(), "println" | "eprintln" | "print" | "eprint")
+                    && tok.kind == TokKind::Ident
+                    && sig.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if is_print_macro {
+                emit(
+                    NO_PRINTLN,
+                    tok.line,
+                    format!(
+                        "`{}!` in library code: route progress lines through \
+                         `causer_obs::logln!` (or structured causer-obs telemetry), \
+                         so nothing prints that cannot be found and redirected",
+                        tok.text
+                    ),
+                );
+            }
+        }
     }
     findings
 }
@@ -304,6 +333,8 @@ mod tests {
         assert!(FileCtx::from_rel_path("crates/eval/src/bin/fig3.rs").exempt_path);
         assert_eq!(FileCtx::from_rel_path("src/lib.rs").crate_name.as_deref(), Some("root"));
         assert!(FileCtx::from_rel_path("examples/quickstart.rs").crate_name.is_none());
+        assert!(FileCtx::from_rel_path("crates/lint/src/main.rs").bin_target);
+        assert!(!FileCtx::from_rel_path("crates/lint/src/rules.rs").bin_target);
     }
 
     #[test]
@@ -358,6 +389,29 @@ mod tests {
     fn panic_macros_flagged_in_serve_only() {
         let src = "fn f() { panic!(\"boom\"); unreachable!() }";
         assert_eq!(lint("crates/serve/src/x.rs", src).len(), 2);
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn print_macros_flagged_in_lib_code_everywhere() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); print!(\"z\"); eprint!(\"w\"); }";
+        let f = lint("crates/data/src/x.rs", src);
+        assert_eq!(f.len(), 4);
+        assert!(f.iter().all(|f| f.rule == NO_PRINTLN));
+    }
+
+    #[test]
+    fn print_macros_exempt_in_bin_targets_and_tests() {
+        let src = "fn main() { println!(\"x\"); }";
+        assert!(lint("crates/lint/src/main.rs", src).is_empty());
+        assert!(lint("crates/eval/src/bin/fig3.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n fn t() { println!(\"x\"); }\n}\n";
+        assert!(lint("crates/data/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn logln_macro_is_not_a_print_finding() {
+        let src = "fn f() { causer_obs::logln!(\"epoch done\"); }";
         assert!(lint("crates/core/src/x.rs", src).is_empty());
     }
 

@@ -1,0 +1,243 @@
+//! Structured events: named records with ordered fields, kept in a bounded
+//! in-memory log and optionally appended as JSON lines to a sink file.
+//!
+//! Events carry the *per-occurrence* telemetry that aggregate metrics
+//! cannot: one `train.epoch` event per epoch records that epoch's losses,
+//! acyclicity residual, and penalty weights, so a dashboard can replay the
+//! whole augmented-Lagrangian schedule. Emission is gated on
+//! [`crate::enabled`] exactly like metrics.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::enabled;
+use crate::json;
+
+/// How many events the in-memory log retains (oldest dropped first).
+pub const EVENT_CAPACITY: usize = 4096;
+
+/// A field value on an [`Event`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A float field (losses, residuals, durations).
+    F64(f64),
+    /// An integer field (epoch numbers, generation counters).
+    U64(u64),
+    /// A string field (variant labels, file paths).
+    Str(String),
+}
+
+/// One structured record: a name plus ordered `(key, value)` fields.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// The event name (e.g. `train.epoch`); same dotted scheme as metrics.
+    pub name: &'static str,
+    /// Milliseconds since the Unix epoch at emission time.
+    pub ts_ms: u64,
+    /// Ordered fields; order is part of the JSONL schema.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// A new event with no fields (timestamped at emission, not here).
+    pub fn new(name: &'static str) -> Self {
+        Event { name, ts_ms: 0, fields: Vec::new() }
+    }
+
+    /// Add a float field.
+    pub fn f(mut self, key: &'static str, v: f64) -> Self {
+        self.fields.push((key, Value::F64(v)));
+        self
+    }
+
+    /// Add an integer field.
+    pub fn u(mut self, key: &'static str, v: u64) -> Self {
+        self.fields.push((key, Value::U64(v)));
+        self
+    }
+
+    /// Add a string field.
+    pub fn s(mut self, key: &'static str, v: impl Into<String>) -> Self {
+        self.fields.push((key, Value::Str(v.into())));
+        self
+    }
+
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// This event as one JSON line (no trailing newline):
+    /// `{"event":"train.epoch","ts_ms":...,"epoch":0,...}`.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 24);
+        out.push('{');
+        json::push_key(&mut out, "event");
+        json::push_str(&mut out, self.name);
+        out.push(',');
+        json::push_key(&mut out, "ts_ms");
+        out.push_str(&self.ts_ms.to_string());
+        for (k, v) in &self.fields {
+            out.push(',');
+            json::push_key(&mut out, k);
+            match v {
+                Value::F64(x) => json::push_f64(&mut out, *x),
+                Value::U64(x) => out.push_str(&x.to_string()),
+                Value::Str(x) => json::push_str(&mut out, x),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct EventLog {
+    ring: Vec<Event>,
+    head: usize,
+    sink: Option<File>,
+}
+
+fn log() -> &'static Mutex<EventLog> {
+    static LOG: OnceLock<Mutex<EventLog>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(EventLog { ring: Vec::new(), head: 0, sink: None }))
+}
+
+/// Emit an event: timestamp it, retain it in memory, and append a JSON
+/// line to the sink file if one is installed. No-op while observability is
+/// disabled.
+pub fn emit(event: Event) {
+    if !enabled() {
+        return;
+    }
+    let mut event = event;
+    event.ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0);
+    let mut log = log().lock().expect("event log poisoned");
+    if let Some(sink) = log.sink.as_mut() {
+        // Best-effort: a full disk must never take down training/serving.
+        let _ = writeln!(sink, "{}", event.to_json_line());
+    }
+    if log.ring.len() < EVENT_CAPACITY {
+        log.ring.push(event);
+        log.head = log.ring.len() % EVENT_CAPACITY;
+    } else {
+        let head = log.head;
+        log.ring[head] = event;
+        log.head = (head + 1) % EVENT_CAPACITY;
+    }
+}
+
+/// Install (or remove, with `None`) the JSONL sink: events append to
+/// `<dir>/events.jsonl`, created on first use. Returns the error instead
+/// of installing on an unwritable directory.
+pub fn set_sink_dir(dir: Option<&Path>) -> std::io::Result<()> {
+    let sink = match dir {
+        None => None,
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            Some(OpenOptions::new().create(true).append(true).open(dir.join("events.jsonl"))?)
+        }
+    };
+    log().lock().expect("event log poisoned").sink = sink;
+    Ok(())
+}
+
+/// The retained events, oldest first.
+pub fn recent_events() -> Vec<Event> {
+    let log = log().lock().expect("event log poisoned");
+    let mut out = Vec::with_capacity(log.ring.len());
+    if log.ring.len() == EVENT_CAPACITY {
+        out.extend_from_slice(&log.ring[log.head..]);
+        out.extend_from_slice(&log.ring[..log.head]);
+    } else {
+        out.extend_from_slice(&log.ring);
+    }
+    out
+}
+
+/// Drop all retained events (tests and run boundaries). The sink file, if
+/// any, is left untouched.
+pub fn clear_events() {
+    let mut log = log().lock().expect("event log poisoned");
+    log.ring.clear();
+    log.head = 0;
+}
+
+/// The sanctioned human-readable progress channel for library code: one
+/// line to stderr, independent of the structured telemetry above (and of
+/// the [`crate::enabled`] gate — progress lines are opt-in at the call
+/// site, e.g. `verbose` flags). The `no-println-in-lib` lint rule points
+/// here: library crates emit through this instead of raw `eprintln!`, so
+/// every loose print is one greppable call away from becoming structured.
+pub fn log_line(args: std::fmt::Arguments<'_>) {
+    // The one sanctioned raw-stderr write in library code.
+    // causer-lint: allow(no-println-in-lib)
+    eprintln!("{args}");
+}
+
+/// `logln!("epoch {n} done")` — [`log_line`] with `format!` syntax.
+#[macro_export]
+macro_rules! logln {
+    ($($t:tt)*) => {
+        $crate::log_line(::core::format_args!($($t)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_ring_and_serialize() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        clear_events();
+        emit(Event::new("t.ev").u("epoch", 3).f("loss", 0.5).s("tag", "a\"b"));
+        let evs = recent_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].field("epoch"), Some(&Value::U64(3)));
+        let line = evs[0].to_json_line();
+        assert!(line.starts_with("{\"event\":\"t.ev\",\"ts_ms\":"), "{line}");
+        assert!(line.ends_with(",\"epoch\":3,\"loss\":0.5,\"tag\":\"a\\\"b\"}"), "{line}");
+
+        for i in 0..EVENT_CAPACITY + 3 {
+            emit(Event::new("t.fill").u("i", i as u64));
+        }
+        assert_eq!(recent_events().len(), EVENT_CAPACITY, "event log is bounded");
+    }
+
+    #[test]
+    fn disabled_emit_is_dropped() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        clear_events();
+        emit(Event::new("t.quiet"));
+        crate::set_enabled(true);
+        assert!(recent_events().is_empty());
+    }
+
+    #[test]
+    fn sink_appends_jsonl() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        clear_events();
+        let dir = std::env::temp_dir().join("causer-obs-sink-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        set_sink_dir(Some(&dir)).expect("temp sink dir must be creatable");
+        emit(Event::new("t.sink").u("n", 1));
+        emit(Event::new("t.sink").u("n", 2));
+        set_sink_dir(None).expect("removing the sink cannot fail");
+        let text = std::fs::read_to_string(dir.join("events.jsonl"))
+            .expect("sink file written by the two emits above");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"n\":1"));
+        assert!(lines[1].contains("\"n\":2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

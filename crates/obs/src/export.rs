@@ -1,0 +1,287 @@
+//! Exporters: the machine-readable JSONL snapshot and the human-readable
+//! summary table.
+//!
+//! The JSONL schema (one object per line, stable key order) is documented
+//! in `docs/OBSERVABILITY.md`; the golden metric-name test in
+//! `tests/obs_golden.rs` pins the exported names so dashboards built on
+//! these files cannot silently break.
+
+use std::path::{Path, PathBuf};
+
+use crate::json;
+use crate::metrics::{MetricValue, Registry};
+use crate::span::{recent_spans, SpanRecord};
+
+/// One JSON line describing a metric's current state.
+///
+/// Counters/gauges: `{"metric":name,"kind":...,"value":v}`. Histograms add
+/// `count`, `sum`, `mean`, `p50`, `p95`, `p99`, and `buckets` (an array of
+/// `[upper_bound, count]` pairs; the final pair's bound is `null` for the
+/// overflow bucket).
+pub fn metric_json_line(name: &str, value: &MetricValue) -> String {
+    let mut out = String::with_capacity(96);
+    out.push('{');
+    json::push_key(&mut out, "metric");
+    json::push_str(&mut out, name);
+    out.push(',');
+    json::push_key(&mut out, "kind");
+    match value {
+        MetricValue::Counter(v) => {
+            out.push_str("\"counter\",");
+            json::push_key(&mut out, "value");
+            out.push_str(&v.to_string());
+        }
+        MetricValue::Gauge(v) => {
+            out.push_str("\"gauge\",");
+            json::push_key(&mut out, "value");
+            json::push_f64(&mut out, *v);
+        }
+        MetricValue::Histogram(h) => {
+            out.push_str("\"histogram\",");
+            json::push_key(&mut out, "count");
+            out.push_str(&h.count.to_string());
+            out.push(',');
+            json::push_key(&mut out, "sum");
+            json::push_f64(&mut out, h.sum);
+            out.push(',');
+            json::push_key(&mut out, "mean");
+            json::push_f64(&mut out, h.mean());
+            for (key, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                out.push(',');
+                json::push_key(&mut out, key);
+                json::push_f64(&mut out, if h.count == 0 { 0.0 } else { h.quantile(q) });
+            }
+            out.push(',');
+            json::push_key(&mut out, "buckets");
+            out.push('[');
+            for (i, &c) in h.counts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                match h.bounds.get(i) {
+                    Some(&b) => json::push_f64(&mut out, b),
+                    None => out.push_str("null"),
+                }
+                out.push(',');
+                out.push_str(&c.to_string());
+                out.push(']');
+            }
+            out.push(']');
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Per-name span aggregates over the retained ring.
+#[derive(Clone, Debug)]
+pub struct SpanSummary {
+    /// The span name.
+    pub name: &'static str,
+    /// Spans retained under this name.
+    pub count: u64,
+    /// Sum of their durations (ms).
+    pub total_ms: f64,
+    /// Longest single duration (ms).
+    pub max_ms: f64,
+}
+
+impl SpanSummary {
+    /// Mean duration in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ms / self.count as f64
+        }
+    }
+}
+
+/// Aggregate the retained spans per name, sorted by name.
+pub fn span_summaries() -> Vec<SpanSummary> {
+    summarize_spans(&recent_spans())
+}
+
+fn summarize_spans(spans: &[SpanRecord]) -> Vec<SpanSummary> {
+    let mut out: Vec<SpanSummary> = Vec::new();
+    for s in spans {
+        match out.iter_mut().find(|agg| agg.name == s.name) {
+            Some(agg) => {
+                agg.count += 1;
+                agg.total_ms += s.duration_ms;
+                agg.max_ms = agg.max_ms.max(s.duration_ms);
+            }
+            None => out.push(SpanSummary {
+                name: s.name,
+                count: 1,
+                total_ms: s.duration_ms,
+                max_ms: s.duration_ms,
+            }),
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(b.name));
+    out
+}
+
+/// Write the full observability snapshot under `dir`:
+///
+/// - `metrics.jsonl` — one [`metric_json_line`] per registered metric,
+///   sorted by name (overwritten each call);
+/// - `spans.jsonl` — one line per span name with `count` / `total_ms` /
+///   `mean_ms` / `max_ms` (overwritten each call);
+/// - `summary.txt` — the human-readable [`summary`] table.
+///
+/// Returns the directory written to. The default location used by the
+/// workspace binaries is `target/obs/`.
+pub fn write_snapshot(dir: &Path, registry: &Registry) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let mut metrics = String::new();
+    for m in registry.snapshot() {
+        metrics.push_str(&metric_json_line(&m.name, &m.value));
+        metrics.push('\n');
+    }
+    std::fs::write(dir.join("metrics.jsonl"), metrics)?;
+
+    let mut spans = String::new();
+    for s in span_summaries() {
+        spans.push('{');
+        json::push_key(&mut spans, "span");
+        json::push_str(&mut spans, s.name);
+        for (k, v) in [
+            ("count", s.count as f64),
+            ("total_ms", s.total_ms),
+            ("mean_ms", s.mean_ms()),
+            ("max_ms", s.max_ms),
+        ] {
+            spans.push(',');
+            json::push_key(&mut spans, k);
+            json::push_f64(&mut spans, v);
+        }
+        spans.push_str("}\n");
+    }
+    std::fs::write(dir.join("spans.jsonl"), spans)?;
+    std::fs::write(dir.join("summary.txt"), summary(registry))?;
+    Ok(dir.to_path_buf())
+}
+
+/// The human-readable summary: counters and gauges first, then histograms
+/// with count/mean/p50/p95/p99, then span aggregates. Columns are aligned;
+/// empty sections are omitted.
+pub fn summary(registry: &Registry) -> String {
+    let mut out = String::new();
+    let snap = registry.snapshot();
+
+    let scalars: Vec<(String, String)> = snap
+        .iter()
+        .filter_map(|m| match &m.value {
+            MetricValue::Counter(v) => Some((m.name.clone(), v.to_string())),
+            MetricValue::Gauge(v) => Some((m.name.clone(), format!("{v:.6}"))),
+            MetricValue::Histogram(_) => None,
+        })
+        .collect();
+    if !scalars.is_empty() {
+        let w = scalars.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        out.push_str("metric values\n");
+        for (name, v) in &scalars {
+            out.push_str(&format!("  {name:<w$}  {v}\n"));
+        }
+    }
+
+    let hists: Vec<_> = snap
+        .iter()
+        .filter_map(|m| match &m.value {
+            MetricValue::Histogram(h) => Some((m.name.clone(), h.clone())),
+            _ => None,
+        })
+        .collect();
+    if !hists.is_empty() {
+        let w = hists.iter().map(|(n, _)| n.len()).max().unwrap_or(0).max("histogram".len());
+        out.push_str(&format!(
+            "\n{:<w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+            "histogram", "count", "mean", "p50", "p95", "p99"
+        ));
+        for (name, h) in &hists {
+            out.push_str(&format!(
+                "{:<w$}  {:>8}  {:>10.4}  {:>10.4}  {:>10.4}  {:>10.4}\n",
+                name,
+                h.count,
+                h.mean(),
+                if h.count == 0 { 0.0 } else { h.p50() },
+                if h.count == 0 { 0.0 } else { h.p95() },
+                if h.count == 0 { 0.0 } else { h.p99() },
+            ));
+        }
+    }
+
+    let spans = span_summaries();
+    if !spans.is_empty() {
+        let w = spans.iter().map(|s| s.name.len()).max().unwrap_or(0).max("span".len());
+        out.push_str(&format!(
+            "\n{:<w$}  {:>8}  {:>10}  {:>10}  {:>10}\n",
+            "span", "count", "total_ms", "mean_ms", "max_ms"
+        ));
+        for s in &spans {
+            out.push_str(&format!(
+                "{:<w$}  {:>8}  {:>10.3}  {:>10.3}  {:>10.3}\n",
+                s.name,
+                s.count,
+                s.total_ms,
+                s.mean_ms(),
+                s.max_ms
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Buckets;
+
+    #[test]
+    fn metric_lines_are_stable_json() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let r = Registry::new();
+        r.counter("t.c").add(7);
+        r.gauge("t.g").set(1.5);
+        let h = r.histogram("t.h", Buckets::explicit(&[1.0, 2.0]));
+        h.observe(0.5);
+        h.observe(9.0);
+        let snap = r.snapshot();
+        let lines: Vec<String> = snap.iter().map(|m| metric_json_line(&m.name, &m.value)).collect();
+        assert_eq!(lines[0], "{\"metric\":\"t.c\",\"kind\":\"counter\",\"value\":7}");
+        assert_eq!(lines[1], "{\"metric\":\"t.g\",\"kind\":\"gauge\",\"value\":1.5}");
+        assert!(
+            lines[2]
+                .starts_with("{\"metric\":\"t.h\",\"kind\":\"histogram\",\"count\":2,\"sum\":9.5,"),
+            "{}",
+            lines[2]
+        );
+        assert!(lines[2].ends_with("\"buckets\":[[1,1],[2,0],[null,1]]}"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn snapshot_files_written() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::clear_spans();
+        let r = Registry::new();
+        r.counter("t.written").inc();
+        crate::span("t.span").end();
+        let dir = std::env::temp_dir().join("causer-obs-export-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_snapshot(&dir, &r).expect("temp export dir must be writable");
+        for f in ["metrics.jsonl", "spans.jsonl", "summary.txt"] {
+            assert!(dir.join(f).exists(), "missing {f}");
+        }
+        let spans = std::fs::read_to_string(dir.join("spans.jsonl"))
+            .expect("spans.jsonl written just above");
+        assert!(spans.contains("\"span\":\"t.span\",\"count\":1,"), "{spans}");
+        let table = summary(&r);
+        assert!(table.contains("t.written"), "{table}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

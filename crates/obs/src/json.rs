@@ -1,0 +1,74 @@
+//! Minimal JSON encoding for the exporter — no external dependencies, no
+//! parsing, just deterministic serialization of the few shapes the JSONL
+//! schema needs (strings, numbers, nested arrays of numbers).
+
+/// Append `s` as a JSON string literal (with the required escapes).
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append an `f64` as a JSON number. Non-finite values have no JSON number
+/// form and serialize as `null`; integral values drop the fraction so
+/// counters exported as floats stay greppable.
+pub fn push_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+/// Append a `"key":` prefix (caller appends the value and any comma).
+pub fn push_key(out: &mut String, key: &str) {
+    push_str(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn str_of(s: &str) -> String {
+        let mut out = String::new();
+        push_str(&mut out, s);
+        out
+    }
+
+    fn f64_of(v: f64) -> String {
+        let mut out = String::new();
+        push_f64(&mut out, v);
+        out
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(str_of("plain"), "\"plain\"");
+        assert_eq!(str_of("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(str_of("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(f64_of(3.0), "3");
+        assert_eq!(f64_of(0.25), "0.25");
+        assert_eq!(f64_of(f64::NAN), "null");
+        assert_eq!(f64_of(f64::INFINITY), "null");
+        assert_eq!(f64_of(-2.0), "-2");
+    }
+}

@@ -1,0 +1,192 @@
+//! # causer-obs
+//!
+//! Zero-dependency observability for the Causer workspace: a lock-cheap
+//! [metrics registry](Registry) (counters, gauges, fixed-bucket latency
+//! histograms with p50/p95/p99), [scoped-span tracing](span) with a
+//! ring-buffer recorder, a [structured event log](Event) with a JSONL
+//! sink, and [exporters](export) that write `target/obs/` snapshots plus a
+//! human-readable summary table.
+//!
+//! ## Gating
+//!
+//! Everything is off by default. The whole layer is gated on one process
+//! flag — [`enabled`] — initialized from the `CAUSER_OBS` environment
+//! variable (any non-empty value except `0` enables) and switchable at
+//! runtime with [`set_enabled`]. While disabled, every record operation
+//! returns after a single relaxed atomic load, so instrumented hot paths
+//! (the parallel trainer, the serve queue) pay effectively nothing.
+//!
+//! ## Naming
+//!
+//! Metric, span, and event names use a dotted `component.measurement`
+//! scheme (`train.epoch_ms`, `serve.shed_total`); the canonical list lives
+//! in [`names`] and is pinned by the golden metric-name test
+//! (`tests/obs_golden.rs`). Rename = schema break = bless a new golden
+//! file. Units are suffixes: `_ms` (milliseconds), `_total` (monotone
+//! counters).
+//!
+//! ```
+//! use causer_obs::{names, Buckets};
+//!
+//! causer_obs::set_enabled(true);
+//! let lat = causer_obs::global().histogram(names::SERVE_LATENCY_MS, Buckets::default_ms());
+//! lat.observe(0.42);
+//! let snap = lat.snapshot();
+//! assert_eq!(snap.count, 1);
+//! assert!(snap.p99() >= snap.p50());
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod json;
+mod metrics;
+mod span;
+
+pub mod export;
+
+pub use event::{
+    clear_events, emit, log_line, recent_events, set_sink_dir, Event, Value, EVENT_CAPACITY,
+};
+pub use metrics::{
+    Buckets, Counter, Gauge, Histogram, HistogramShard, HistogramSnapshot, MetricSnapshot,
+    MetricValue, Registry,
+};
+pub use span::{
+    clear_spans, recent_spans, span, spans_recorded, SpanGuard, SpanRecord, RING_CAPACITY,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, Once, OnceLock};
+
+/// The canonical names of every metric, span, and event the workspace
+/// exports. Instrumented crates register through these constants — never
+/// through string literals — so the golden metric-name test and the
+/// documentation in `docs/OBSERVABILITY.md` stay the single source of
+/// truth for the external schema.
+pub mod names {
+    // --- training (causer-core, causer-tensor) ---
+
+    /// Counter: epochs completed across all training runs.
+    pub const TRAIN_EPOCHS_TOTAL: &str = "train.epochs_total";
+    /// Counter: minibatches stepped.
+    pub const TRAIN_BATCHES_TOTAL: &str = "train.batches_total";
+    /// Histogram (ms): wall-time per epoch.
+    pub const TRAIN_EPOCH_MS: &str = "train.epoch_ms";
+    /// Histogram (ms): per-shard wall-time inside `ParallelTrainer`
+    /// (serial runs record the whole batch as one shard).
+    pub const TRAIN_SHARD_MS: &str = "train.shard_ms";
+    /// Gauge: the latest epoch's mean total loss.
+    pub const TRAIN_LOSS_TOTAL: &str = "train.loss_total";
+    /// Gauge: the latest epoch's acyclicity residual h(W^c).
+    pub const TRAIN_H_W: &str = "train.h_w";
+    /// Gauge: the augmented-Lagrangian penalty weight ρ (β₂ in
+    /// Algorithm 1; eq. 11).
+    pub const TRAIN_RHO: &str = "train.rho";
+    /// Gauge: the augmented-Lagrangian multiplier α (β₁ in Algorithm 1).
+    pub const TRAIN_ALPHA: &str = "train.alpha";
+    /// Gauge: global gradient norm of the last main-loop batch (pre-clip).
+    pub const TRAIN_GRAD_NORM: &str = "train.grad_norm";
+
+    /// Event: one record per training epoch, carrying `epoch`,
+    /// `loss_total`, `loss_bce`, `loss_reg`, `loss_struct`, `h_w`, `rho`,
+    /// `alpha`, `grad_norm`, and `epoch_ms` fields.
+    pub const EV_TRAIN_EPOCH: &str = "train.epoch";
+
+    /// Span: one full training epoch (main loop + structure pass).
+    pub const SP_TRAIN_EPOCH: &str = "train.epoch";
+    /// Span: the per-epoch NOTEARS structure-fitting pass.
+    pub const SP_TRAIN_STRUCT: &str = "train.structure_pass";
+
+    // --- serving (causer-serve) ---
+
+    /// Counter: requests refused with `QueueFull` (load shedding).
+    pub const SERVE_SHED_TOTAL: &str = "serve.shed_total";
+    /// Counter: batches drained by queue workers.
+    pub const SERVE_BATCHES_TOTAL: &str = "serve.batches_total";
+    /// Counter: model hot reloads installed (`ModelHandle::install`).
+    pub const SERVE_RELOADS_TOTAL: &str = "serve.reloads_total";
+    /// Gauge: requests still pending after the last batch was cut.
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Histogram (count): size of each drained batch.
+    pub const SERVE_BATCH_SIZE: &str = "serve.batch_size";
+    /// Histogram (ms): enqueue-to-reply latency per request.
+    pub const SERVE_LATENCY_MS: &str = "serve.latency_ms";
+
+    /// Event: one record per hot reload, carrying the new `generation`.
+    pub const EV_SERVE_RELOAD: &str = "serve.reload";
+
+    /// Span: scoring one drained batch (outside the queue lock).
+    pub const SP_SERVE_BATCH: &str = "serve.batch";
+    /// Span: building a `ServeState` snapshot (the expensive reload step).
+    pub const SP_SERVE_STATE_BUILD: &str = "serve.state_build";
+}
+
+/// Environment variable that enables observability at process start
+/// (any non-empty value except `0`).
+pub const OBS_ENV: &str = "CAUSER_OBS";
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+/// Is observability on? One relaxed atomic load — this is the gate every
+/// record operation sits behind, cheap enough for any hot path.
+#[inline]
+pub fn enabled() -> bool {
+    ENV_INIT.call_once(|| {
+        let on = std::env::var(OBS_ENV).map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+        ENABLED.store(on, Ordering::Relaxed);
+    });
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn observability on or off at runtime (overrides [`OBS_ENV`]).
+pub fn set_enabled(on: bool) {
+    ENV_INIT.call_once(|| {});
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide registry all workspace instrumentation records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Serializes tests that flip the global [`enabled`] flag or read the
+/// global span/event rings. Test-support only; hold the guard for the
+/// whole test body.
+#[doc(hidden)]
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    // A test that panicked while holding the lock has already failed; the
+    // next test can safely reuse the (stateless) guard.
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enable_toggle_roundtrip() {
+        let _guard = test_lock();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let _guard = test_lock();
+        set_enabled(true);
+        let a = global().counter("lib.shared");
+        let b = global().counter("lib.shared");
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+}

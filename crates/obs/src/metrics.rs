@@ -1,0 +1,559 @@
+//! The lock-cheap metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Registration (name → handle) takes a mutex once; every handle is a
+//! cheap-to-clone `Arc` around plain atomics, so the *recording* hot path —
+//! trainer worker threads, the serve queue worker — never blocks and never
+//! allocates. All record operations are gated on [`crate::enabled`]: with
+//! observability off they cost one relaxed atomic load.
+//!
+//! Observed values are assumed non-negative (they are counts, sizes, and
+//! durations); histogram quantiles interpolate inside fixed buckets whose
+//! first bucket starts at 0.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::enabled;
+
+/// A monotonically increasing counter (events, shed requests, epochs).
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    fn new() -> Self {
+        Counter { cell: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Add 1. No-op while observability is disabled.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`. No-op while observability is disabled.
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge (queue depth, the latest epoch's loss).
+///
+/// Stores the `f64` bit pattern in an atomic, so `set` is a single store.
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge { bits: Arc::new(AtomicU64::new(0f64.to_bits())) }
+    }
+
+    /// Overwrite the value. No-op while observability is disabled.
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed ascending bucket upper bounds for a [`Histogram`]; an implicit
+/// overflow bucket catches everything above the last bound.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Buckets {
+    bounds: Vec<f64>,
+}
+
+impl Buckets {
+    /// Explicit upper bounds; must be finite, positive, and strictly
+    /// ascending (checked, because a malformed layout would silently
+    /// misreport every quantile).
+    pub fn explicit(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "bucket bounds must be strictly ascending");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite() && *b > 0.0),
+            "bucket bounds must be finite and positive"
+        );
+        Buckets { bounds: bounds.to_vec() }
+    }
+
+    /// `count` bounds starting at `start` and growing by `factor`:
+    /// `start, start·factor, start·factor², …`.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && count >= 1, "degenerate exponential layout");
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        Buckets::explicit(&bounds)
+    }
+
+    /// The workspace default for millisecond durations: 0.01 ms to ~84 s in
+    /// ×2 steps (24 buckets) — covers sub-microsecond batch hops up to slow
+    /// training epochs.
+    pub fn default_ms() -> Self {
+        Buckets::exponential(0.01, 2.0, 24)
+    }
+
+    /// The workspace default for small counts (batch sizes, shard sizes):
+    /// 1, 2, 4, … 4096.
+    pub fn default_count() -> Self {
+        Buckets::exponential(1.0, 2.0, 13)
+    }
+
+    /// The bucket upper bounds (without the implicit overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Index of the bucket an observation falls into (`bounds.len()` for
+    /// the overflow bucket). Buckets are half-open: `v` lands in the first
+    /// bucket with `v <= bound`.
+    fn index_of(&self, v: f64) -> usize {
+        // Bucket lists are small (≲ 24); a linear scan beats binary search
+        // on branch predictability and is trivially correct for NaN (which
+        // falls through to the overflow bucket).
+        self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len())
+    }
+}
+
+struct HistogramCore {
+    buckets: Buckets,
+    /// One slot per bound plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// Sum of observations as `f64` bits, maintained by a CAS loop.
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram with lock-free recording and p50/p95/p99
+/// readout.
+///
+/// ```
+/// use causer_obs::{Buckets, Registry};
+///
+/// causer_obs::set_enabled(true);
+/// let registry = Registry::new();
+/// let lat = registry.histogram("demo.latency_ms", Buckets::default_ms());
+/// for i in 1..=100 {
+///     lat.observe(i as f64 / 10.0); // 0.1 ms .. 10.0 ms
+/// }
+/// let snap = lat.snapshot();
+/// assert_eq!(snap.count, 100);
+/// assert!(snap.quantile(0.5) > 0.0);
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    fn new(buckets: Buckets) -> Self {
+        let n = buckets.bounds().len() + 1;
+        Histogram {
+            core: Arc::new(HistogramCore {
+                buckets,
+                counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation. No-op while observability is disabled.
+    pub fn observe(&self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        let idx = self.core.buckets.index_of(v);
+        self.core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.core.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// A private per-thread shard with the same bucket layout, for tight
+    /// loops that want zero shared-memory traffic; fold it back with
+    /// [`merge_shard`](Histogram::merge_shard).
+    pub fn shard(&self) -> HistogramShard {
+        HistogramShard {
+            buckets: self.core.buckets.clone(),
+            counts: vec![0; self.core.counts.len()],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Fold a per-thread shard's counts into this histogram. Shards are
+    /// merged wholesale, so totals stay exact no matter how work was split.
+    /// No-op while observability is disabled.
+    pub fn merge_shard(&self, shard: &HistogramShard) {
+        if !enabled() {
+            return;
+        }
+        assert_eq!(
+            shard.buckets, self.core.buckets,
+            "shard merged into a histogram with a different bucket layout"
+        );
+        for (slot, &n) in self.core.counts.iter().zip(shard.counts.iter()) {
+            if n > 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.core.count.fetch_add(shard.count, Ordering::Relaxed);
+        let mut cur = self.core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + shard.sum).to_bits();
+            match self.core.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.core.buckets.bounds().to_vec(),
+            counts: self.core.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum: f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed)),
+            count: self.core.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain (non-atomic) histogram shard owned by one thread; see
+/// [`Histogram::shard`].
+pub struct HistogramShard {
+    buckets: Buckets,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl HistogramShard {
+    /// Record one observation into the shard (no atomics, no gating — the
+    /// shard only exists because some enabled-path code asked for it).
+    pub fn record(&mut self, v: f64) {
+        self.counts[self.buckets.index_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Observations recorded into this shard so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Frozen histogram state: per-bucket counts plus sum/count, with quantile
+/// interpolation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (the overflow bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts[bounds.len()]` is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) by linear interpolation inside the
+    /// bucket holding the target rank. The first bucket's lower edge is 0;
+    /// ranks landing in the overflow bucket report the last finite bound
+    /// (the histogram cannot see beyond its layout, and clamping beats
+    /// inventing a value).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q) && q > 0.0, "quantile wants q in (0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if (next as f64) >= target {
+                let Some(&upper) = self.bounds.get(i) else {
+                    // Overflow bucket: clamp to the last finite bound.
+                    return *self.bounds.last().expect("buckets always have a bound");
+                };
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let into = (target - cum as f64) / n as f64;
+                return lower + (upper - lower) * into;
+            }
+            cum = next;
+        }
+        *self.bounds.last().expect("buckets always have a bound")
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// What kind of metric a [`MetricSnapshot`] carries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric's frozen state, as returned by [`Registry::snapshot`].
+#[derive(Clone, Debug)]
+pub struct MetricSnapshot {
+    /// The registered metric name (e.g. `serve.latency_ms`).
+    pub name: String,
+    /// The metric's kind and value.
+    pub value: MetricValue,
+}
+
+impl MetricSnapshot {
+    /// The kind as a stable lowercase string (`counter` / `gauge` /
+    /// `histogram`) — the `kind` field of the JSONL export.
+    pub fn kind(&self) -> &'static str {
+        match self.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl RegistryInner {
+    fn assert_kind_unique(&self, name: &str, want: &str) {
+        let taken = |k: &str| {
+            panic!("metric name `{name}` already registered as a {k}, requested as a {want}")
+        };
+        if want != "counter" && self.counters.iter().any(|(n, _)| n == name) {
+            taken("counter");
+        }
+        if want != "gauge" && self.gauges.iter().any(|(n, _)| n == name) {
+            taken("gauge");
+        }
+        if want != "histogram" && self.histograms.iter().any(|(n, _)| n == name) {
+            taken("histogram");
+        }
+    }
+}
+
+/// A named collection of metrics. [`crate::global`] hands out the process
+/// registry every instrumented crate records into; tests build private
+/// ones.
+///
+/// Handles returned for the same name share the same underlying cells, so
+/// any component can look up `serve.shed_total` and see the process-wide
+/// count.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or register the counter `name`.
+    ///
+    /// Panics if `name` is already registered as a different kind — metric
+    /// names are a stable exported schema, so aliasing across kinds is a
+    /// programming error worth failing loudly on.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some((_, c)) = inner.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        inner.assert_kind_unique(name, "counter");
+        let c = Counter::new();
+        inner.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Get or register the gauge `name` (same contract as
+    /// [`counter`](Registry::counter)).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some((_, g)) = inner.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        inner.assert_kind_unique(name, "gauge");
+        let g = Gauge::new();
+        inner.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// Get or register the histogram `name`. The bucket layout is fixed by
+    /// the first registration; later lookups get the existing histogram
+    /// regardless of the buckets they pass (layouts are part of the
+    /// exported schema and never change at runtime).
+    pub fn histogram(&self, name: &str, buckets: Buckets) -> Histogram {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some((_, h)) = inner.histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        inner.assert_kind_unique(name, "histogram");
+        let h = Histogram::new(buckets);
+        inner.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Every registered metric's frozen state, sorted by name — the stable
+    /// order of the JSONL export and the golden metric-name test.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut out: Vec<MetricSnapshot> = Vec::new();
+        for (n, c) in &inner.counters {
+            out.push(MetricSnapshot { name: n.clone(), value: MetricValue::Counter(c.get()) });
+        }
+        for (n, g) in &inner.gauges {
+            out.push(MetricSnapshot { name: n.clone(), value: MetricValue::Gauge(g.get()) });
+        }
+        for (n, h) in &inner.histograms {
+            out.push(MetricSnapshot {
+                name: n.clone(),
+                value: MetricValue::Histogram(h.snapshot()),
+            });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Sorted `"kind name"` lines for every registered metric — the golden
+    /// metric-name format (kind first so a kind change also shows up).
+    pub fn metric_names(&self) -> Vec<String> {
+        self.snapshot().iter().map(|m| format!("{} {}", m.kind(), m.name)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_obs<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        f()
+    }
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        with_obs(|| {
+            let r = Registry::new();
+            let c = r.counter("a.count");
+            c.inc();
+            c.add(4);
+            assert_eq!(c.get(), 5);
+            assert_eq!(r.counter("a.count").get(), 5, "same name shares the cell");
+            let g = r.gauge("a.gauge");
+            g.set(2.5);
+            assert_eq!(r.gauge("a.gauge").get(), 2.5);
+        });
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_kinded() {
+        with_obs(|| {
+            let r = Registry::new();
+            r.gauge("z.g");
+            r.counter("a.c");
+            r.histogram("m.h", Buckets::explicit(&[1.0]));
+            let names = r.metric_names();
+            assert_eq!(names, vec!["counter a.c", "histogram m.h", "gauge z.g"]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn cross_kind_alias_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        let r = Registry::new();
+        let c = r.counter("quiet");
+        let h = r.histogram("quiet.h", Buckets::explicit(&[1.0]));
+        c.inc();
+        h.observe(0.5);
+        crate::set_enabled(true);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+    }
+}

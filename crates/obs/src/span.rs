@@ -1,0 +1,150 @@
+//! Scoped-span tracing with a fixed-capacity ring-buffer recorder.
+//!
+//! A span measures one region of code: [`span`] starts the clock, dropping
+//! the returned guard records `(name, duration)` into the process ring.
+//! The ring keeps the most recent [`RING_CAPACITY`] spans; the exporter
+//! summarizes them per name. While observability is disabled, starting a
+//! span is one relaxed atomic load and recording is skipped entirely.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::enabled;
+
+/// How many finished spans the ring retains (oldest overwritten first).
+pub const RING_CAPACITY: usize = 4096;
+
+/// One finished span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// The span's name (e.g. `serve.batch`).
+    pub name: &'static str,
+    /// Wall-clock duration in milliseconds.
+    pub duration_ms: f64,
+}
+
+struct Ring {
+    records: Vec<SpanRecord>,
+    /// Next write position (the ring wraps once `records` hits capacity).
+    head: usize,
+    /// Total spans ever recorded (so readers can tell how much was lost).
+    total: u64,
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(Ring { records: Vec::new(), head: 0, total: 0 }))
+}
+
+/// Start a scoped span; the clock stops when the guard drops.
+///
+/// ```
+/// causer_obs::set_enabled(true);
+/// {
+///     let _span = causer_obs::span("demo.work");
+///     // ... measured region ...
+/// }
+/// let spans = causer_obs::recent_spans();
+/// assert!(spans.iter().any(|s| s.name == "demo.work"));
+/// ```
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard { name, start: if enabled() { Some(Instant::now()) } else { None } }
+}
+
+/// Live span handle returned by [`span`]; records on drop.
+#[must_use = "a span guard measures until it is dropped; binding it to _ ends it immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    /// `None` when the span was started with observability disabled — such
+    /// guards stay silent even if recording is enabled before the drop.
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// End the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        if !enabled() {
+            return;
+        }
+        let rec = SpanRecord { name: self.name, duration_ms: start.elapsed().as_secs_f64() * 1e3 };
+        let mut ring = ring().lock().expect("span ring poisoned");
+        ring.total += 1;
+        if ring.records.len() < RING_CAPACITY {
+            ring.records.push(rec);
+            ring.head = ring.records.len() % RING_CAPACITY;
+        } else {
+            let head = ring.head;
+            ring.records[head] = rec;
+            ring.head = (head + 1) % RING_CAPACITY;
+        }
+    }
+}
+
+/// The retained spans, oldest first.
+pub fn recent_spans() -> Vec<SpanRecord> {
+    let ring = ring().lock().expect("span ring poisoned");
+    let mut out = Vec::with_capacity(ring.records.len());
+    if ring.records.len() == RING_CAPACITY {
+        out.extend_from_slice(&ring.records[ring.head..]);
+        out.extend_from_slice(&ring.records[..ring.head]);
+    } else {
+        out.extend_from_slice(&ring.records);
+    }
+    out
+}
+
+/// Spans recorded over the process lifetime (including overwritten ones).
+pub fn spans_recorded() -> u64 {
+    ring().lock().expect("span ring poisoned").total
+}
+
+/// Drop all retained spans (tests and epoch-boundary exports).
+pub fn clear_spans() {
+    let mut ring = ring().lock().expect("span ring poisoned");
+    ring.records.clear();
+    ring.head = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop_and_ring_wraps() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        clear_spans();
+        {
+            let _s = span("t.outer");
+            let _inner = span("t.inner");
+        }
+        let spans = recent_spans();
+        assert_eq!(spans.len(), 2);
+        // Inner dropped first.
+        assert_eq!(spans[0].name, "t.inner");
+        assert_eq!(spans[1].name, "t.outer");
+        assert!(spans.iter().all(|s| s.duration_ms >= 0.0));
+
+        for _ in 0..RING_CAPACITY + 7 {
+            span("t.wrap").end();
+        }
+        let spans = recent_spans();
+        assert_eq!(spans.len(), RING_CAPACITY, "ring is bounded");
+        assert!(spans_recorded() >= (RING_CAPACITY + 9) as u64);
+    }
+
+    #[test]
+    fn disabled_span_is_silent() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        clear_spans();
+        span("t.quiet").end();
+        crate::set_enabled(true);
+        assert!(recent_spans().is_empty());
+    }
+}

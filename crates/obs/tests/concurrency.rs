@@ -1,0 +1,71 @@
+//! Concurrency: hammer one registry from 8 threads and assert **exact**
+//! totals — the registry's contract is that recording never loses an
+//! update, whatever the interleaving.
+
+use causer_obs::{Buckets, Registry};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: u64 = 20_000;
+
+#[test]
+fn eight_threads_exact_totals() {
+    causer_obs::set_enabled(true);
+    let registry = Registry::new();
+    let counter = registry.counter("cc.count");
+    let hist = registry.histogram("cc.hist", Buckets::explicit(&[1.0, 2.0, 4.0, 8.0]));
+    let sum_check = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let hist = hist.clone();
+            let gauge = registry.gauge("cc.gauge");
+            let sum_check = &sum_check;
+            scope.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    counter.inc();
+                    // Deterministic per-thread value in (0, 10]: exercises
+                    // every bucket including overflow, integer-valued so
+                    // the CAS-summed f64 total is exact.
+                    let v = ((t as u64 + i) % 10 + 1) as f64;
+                    hist.observe(v);
+                    sum_check.fetch_add(v as u64, Ordering::Relaxed);
+                    gauge.set(v);
+                }
+            });
+        }
+    });
+
+    assert_eq!(counter.get(), THREADS as u64 * OPS_PER_THREAD);
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS as u64 * OPS_PER_THREAD);
+    assert_eq!(snap.counts.iter().sum::<u64>(), snap.count, "bucket counts sum to total");
+    // Integer observations: the concurrent CAS-loop sum must be *exactly*
+    // the sequential sum (f64 addition of integers ≤ 2^53 is associative).
+    assert_eq!(snap.sum, sum_check.load(Ordering::Relaxed) as f64);
+    // The gauge holds one of the values some thread wrote last.
+    let g = registry.gauge("cc.gauge").get();
+    assert!((1.0..=10.0).contains(&g), "gauge must hold a written value, got {g}");
+}
+
+#[test]
+fn concurrent_registration_shares_cells() {
+    causer_obs::set_enabled(true);
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                for _ in 0..1000 {
+                    registry.counter("cc.reg").inc();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        registry.counter("cc.reg").get(),
+        THREADS as u64 * 1000,
+        "every thread's lookups must resolve to the same cell"
+    );
+}

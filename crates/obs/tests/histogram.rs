@@ -1,0 +1,133 @@
+//! Histogram math: bucket boundary placement, quantile interpolation
+//! against exact closed forms, and per-thread shard merging.
+
+use causer_obs::{Buckets, Registry};
+
+fn registry() -> Registry {
+    causer_obs::set_enabled(true);
+    Registry::new()
+}
+
+#[test]
+fn bucket_boundaries_are_half_open_upper() {
+    let r = registry();
+    let h = r.histogram("t.bounds", Buckets::explicit(&[1.0, 2.0, 4.0]));
+    // On-boundary observations land in the bucket they bound (v <= bound).
+    for v in [0.0, 1.0, 1.5, 2.0, 4.0, 4.0001, 1e9] {
+        h.observe(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.bounds, vec![1.0, 2.0, 4.0]);
+    assert_eq!(s.counts, vec![2, 2, 1, 2], "0,1 | 1.5,2 | 4 | 4.0001,1e9");
+    assert_eq!(s.count, 7);
+}
+
+#[test]
+fn exponential_layout_matches_closed_form() {
+    let b = Buckets::exponential(0.5, 2.0, 4);
+    assert_eq!(b.bounds(), &[0.5, 1.0, 2.0, 4.0]);
+    let d = Buckets::default_ms();
+    assert_eq!(d.bounds().len(), 24);
+    assert!((d.bounds()[0] - 0.01).abs() < 1e-12);
+    // ×2 growth throughout.
+    for w in d.bounds().windows(2) {
+        assert!((w[1] / w[0] - 2.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+#[should_panic(expected = "strictly ascending")]
+fn unsorted_bounds_rejected() {
+    Buckets::explicit(&[2.0, 1.0]);
+}
+
+#[test]
+fn quantiles_interpolate_linearly_inside_buckets() {
+    let r = registry();
+    // 100 observations uniform over one bucket (0, 10]: the q-quantile of
+    // the histogram's model is exactly 10q.
+    let h = r.histogram("t.q.uniform", Buckets::explicit(&[10.0, 20.0]));
+    for _ in 0..100 {
+        h.observe(5.0);
+    }
+    let s = h.snapshot();
+    assert!((s.quantile(0.5) - 5.0).abs() < 1e-12, "p50 = 10·0.5");
+    assert!((s.quantile(0.95) - 9.5).abs() < 1e-12, "p95 = 10·0.95");
+    assert!((s.quantile(1.0) - 10.0).abs() < 1e-12);
+
+    // Split mass: 50 in (0,10], 50 in (10,20]. Ranks ≤ 50 interpolate in
+    // the first bucket, ranks above in the second.
+    let h2 = r.histogram("t.q.split", Buckets::explicit(&[10.0, 20.0]));
+    for _ in 0..50 {
+        h2.observe(1.0);
+        h2.observe(11.0);
+    }
+    let s2 = h2.snapshot();
+    assert!((s2.quantile(0.25) - 5.0).abs() < 1e-12, "rank 25 of 50 in (0,10]");
+    assert!((s2.quantile(0.5) - 10.0).abs() < 1e-12, "rank 50 closes bucket 1");
+    assert!((s2.quantile(0.75) - 15.0).abs() < 1e-12, "rank 75 of 50 in (10,20]");
+    assert!((s2.p99() - 19.8).abs() < 1e-9);
+}
+
+#[test]
+fn overflow_ranks_clamp_to_last_bound() {
+    let r = registry();
+    let h = r.histogram("t.q.overflow", Buckets::explicit(&[1.0, 2.0]));
+    for _ in 0..10 {
+        h.observe(100.0);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.counts, vec![0, 0, 10]);
+    assert_eq!(s.quantile(0.5), 2.0, "cannot see beyond the layout; clamp");
+    assert_eq!(s.p99(), 2.0);
+}
+
+#[test]
+fn empty_histogram_reports_zeros() {
+    let r = registry();
+    let h = r.histogram("t.q.empty", Buckets::default_ms());
+    let s = h.snapshot();
+    assert_eq!(s.count, 0);
+    assert_eq!(s.mean(), 0.0);
+    assert_eq!(s.quantile(0.5), 0.0);
+}
+
+#[test]
+fn shard_merge_equals_direct_observation() {
+    let r = registry();
+    let direct = r.histogram("t.merge.direct", Buckets::explicit(&[1.0, 4.0, 16.0]));
+    let sharded = r.histogram("t.merge.sharded", Buckets::explicit(&[1.0, 4.0, 16.0]));
+
+    // Deterministic pseudo-data spread over all buckets incl. overflow.
+    let values: Vec<f64> = (0..1000).map(|i| ((i * 37) % 97) as f64 * 0.33).collect();
+    for &v in &values {
+        direct.observe(v);
+    }
+    // Same data split over 8 shards, merged back.
+    let mut shards: Vec<_> = (0..8).map(|_| sharded.shard()).collect();
+    for (i, &v) in values.iter().enumerate() {
+        shards[i % 8].record(v);
+    }
+    for s in &shards {
+        assert!(s.count() > 0);
+        sharded.merge_shard(s);
+    }
+
+    let a = direct.snapshot();
+    let b = sharded.snapshot();
+    assert_eq!(a.counts, b.counts, "merged bucket counts must be exact");
+    assert_eq!(a.count, b.count);
+    // Sums may differ only by f64 addition order.
+    assert!((a.sum - b.sum).abs() < 1e-9 * a.sum.abs().max(1.0));
+    assert_eq!(a.quantile(0.95), b.quantile(0.95));
+}
+
+#[test]
+#[should_panic(expected = "different bucket layout")]
+fn shard_layout_mismatch_rejected() {
+    let r = registry();
+    let a = r.histogram("t.merge.a", Buckets::explicit(&[1.0]));
+    let b = r.histogram("t.merge.b", Buckets::explicit(&[2.0]));
+    let shard = a.shard();
+    b.merge_shard(&shard);
+}

@@ -16,6 +16,8 @@
 //! - [`ModelHandle`] — hot reload by atomic `Arc` swap; in-flight batches
 //!   finish on the snapshot they started with.
 
+#![warn(missing_docs)]
+
 mod queue;
 mod reload;
 mod scorer;

@@ -17,6 +17,7 @@
 
 use crate::reload::ModelHandle;
 use crate::scorer::{BatchScorer, Ranked, ScoreRequest};
+use causer_obs::names as obs;
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -72,11 +73,42 @@ struct Shared {
     cond: Condvar,
 }
 
+/// One pending request: the payload, where its response goes, and — only
+/// while observability is on — when it was enqueued (feeds the
+/// enqueue-to-reply latency histogram).
+type Pending = (ScoreRequest, mpsc::Sender<Ranked>, Option<Instant>);
+
 struct State {
-    pending: VecDeque<(ScoreRequest, mpsc::Sender<Ranked>)>,
+    pending: VecDeque<Pending>,
     shutdown: bool,
     /// Batches drained so far (for tests/metrics).
     batches: u64,
+}
+
+/// Pre-registered handles for the serve-side metrics; `None` while
+/// observability is disabled so submit/drain never touch the registry.
+struct QueueMetrics {
+    shed: causer_obs::Counter,
+    batches: causer_obs::Counter,
+    depth: causer_obs::Gauge,
+    batch_size: causer_obs::Histogram,
+    latency_ms: causer_obs::Histogram,
+}
+
+impl QueueMetrics {
+    fn new() -> Option<Self> {
+        if !causer_obs::enabled() {
+            return None;
+        }
+        let r = causer_obs::global();
+        Some(QueueMetrics {
+            shed: r.counter(obs::SERVE_SHED_TOTAL),
+            batches: r.counter(obs::SERVE_BATCHES_TOTAL),
+            depth: r.gauge(obs::SERVE_QUEUE_DEPTH),
+            batch_size: r.histogram(obs::SERVE_BATCH_SIZE, causer_obs::Buckets::default_count()),
+            latency_ms: r.histogram(obs::SERVE_LATENCY_MS, causer_obs::Buckets::default_ms()),
+        })
+    }
 }
 
 /// A running batching queue (owns its worker thread).
@@ -84,6 +116,7 @@ pub struct BatchQueue {
     shared: Arc<Shared>,
     cfg: QueueConfig,
     worker: Option<JoinHandle<()>>,
+    metrics: Arc<Option<QueueMetrics>>,
 }
 
 impl BatchQueue {
@@ -95,15 +128,17 @@ impl BatchQueue {
             state: Mutex::new(State { pending: VecDeque::new(), shutdown: false, batches: 0 }),
             cond: Condvar::new(),
         });
+        let metrics = Arc::new(QueueMetrics::new());
         let worker = {
             let shared = shared.clone();
             let cfg = cfg.clone();
+            let metrics = metrics.clone();
             // The queue's worker deliberately outlives `start`: it owns its
             // Arc'd state and is joined in `shutdown_inner` (also on Drop).
             // causer-lint: allow(no-unscoped-spawn)
-            std::thread::spawn(move || worker_loop(&shared, &handle, &cfg))
+            std::thread::spawn(move || worker_loop(&shared, &handle, &cfg, &metrics))
         };
-        BatchQueue { shared, cfg, worker: Some(worker) }
+        BatchQueue { shared, cfg, worker: Some(worker), metrics }
     }
 
     /// Enqueue a request. Returns the receiver its [`Ranked`] response will
@@ -116,9 +151,16 @@ impl BatchQueue {
                 return Err(SubmitError::ShuttingDown);
             }
             if state.pending.len() >= self.cfg.capacity {
+                if let Some(m) = self.metrics.as_ref() {
+                    m.shed.inc();
+                }
                 return Err(SubmitError::QueueFull);
             }
-            state.pending.push_back((req, tx));
+            let enqueued = self.metrics.as_ref().as_ref().map(|_| Instant::now());
+            state.pending.push_back((req, tx, enqueued));
+            if let Some(m) = self.metrics.as_ref() {
+                m.depth.set(state.pending.len() as f64);
+            }
         }
         self.shared.cond.notify_all();
         Ok(rx)
@@ -159,7 +201,12 @@ impl Drop for BatchQueue {
     }
 }
 
-fn worker_loop(shared: &Shared, handle: &Arc<ModelHandle>, cfg: &QueueConfig) {
+fn worker_loop(
+    shared: &Shared,
+    handle: &Arc<ModelHandle>,
+    cfg: &QueueConfig,
+    metrics: &Option<QueueMetrics>,
+) {
     let scorer = BatchScorer::new(cfg.threads);
     loop {
         // Phase 1: wait for the first request (or shutdown).
@@ -186,19 +233,28 @@ fn worker_loop(shared: &Shared, handle: &Arc<ModelHandle>, cfg: &QueueConfig) {
             }
         }
         let n = state.pending.len().min(cfg.max_batch);
-        let drained: Vec<(ScoreRequest, mpsc::Sender<Ranked>)> = state.pending.drain(..n).collect();
+        let drained: Vec<Pending> = state.pending.drain(..n).collect();
         state.batches += 1;
         let batch_id = state.batches;
+        if let Some(m) = metrics {
+            m.batches.inc();
+            m.batch_size.observe(n as f64);
+            m.depth.set(state.pending.len() as f64);
+        }
         drop(state);
 
         // Phase 3: score outside the lock against one model snapshot.
+        let _batch_span = causer_obs::span(obs::SP_SERVE_BATCH);
         let snapshot = handle.snapshot();
-        let reqs: Vec<ScoreRequest> = drained.iter().map(|(r, _)| r.clone()).collect();
+        let reqs: Vec<ScoreRequest> = drained.iter().map(|(r, _, _)| r.clone()).collect();
         let ranked = scorer.score_batch(&snapshot, &reqs);
-        for ((_, tx), mut response) in drained.into_iter().zip(ranked) {
+        for ((_, tx, enqueued), mut response) in drained.into_iter().zip(ranked) {
             response.batch = batch_id;
             // A dropped receiver just means the caller gave up waiting.
             let _ = tx.send(response);
+            if let (Some(m), Some(t0)) = (metrics, enqueued) {
+                m.latency_ms.observe(t0.elapsed().as_secs_f64() * 1e3);
+            }
         }
     }
 }

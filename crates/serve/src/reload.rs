@@ -15,6 +15,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Shared, hot-swappable handle to the currently served model.
+///
+/// ```
+/// use causer_core::{CauserConfig, CauserModel};
+/// use causer_serve::ModelHandle;
+/// use causer_tensor::Matrix;
+///
+/// let mk = |seed| CauserModel::new(CauserConfig::new(4, 6, 3), Matrix::zeros(6, 3), seed);
+/// let handle = ModelHandle::new(mk(1));
+/// let before = handle.snapshot();
+///
+/// handle.install(mk(2)); // hot reload: atomic Arc swap
+/// assert_eq!(handle.generation(), 1);
+/// assert_eq!(handle.snapshot().generation, 1);
+/// assert_eq!(before.generation, 0); // old snapshot stays valid
+/// ```
 pub struct ModelHandle {
     current: RwLock<Arc<ServeState>>,
     generation: AtomicU64,
@@ -43,8 +58,16 @@ impl ModelHandle {
     /// can name the model that produced it.
     pub fn install(&self, model: CauserModel) {
         let mut state = ServeState::build(model);
-        state.generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        state.generation = generation;
         *self.current.write().expect("model handle poisoned") = Arc::new(state);
+        if causer_obs::enabled() {
+            causer_obs::global().counter(causer_obs::names::SERVE_RELOADS_TOTAL).inc();
+            causer_obs::emit(
+                causer_obs::Event::new(causer_obs::names::EV_SERVE_RELOAD)
+                    .u("generation", generation),
+            );
+        }
     }
 
     /// Reload from a model file saved by `causer_core::persistence`.

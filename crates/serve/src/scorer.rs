@@ -27,7 +27,9 @@ use causer_tensor::{shard_ranges, Matrix};
 /// candidate set, and how many items to return.
 #[derive(Clone, Debug)]
 pub struct ScoreRequest {
+    /// The requesting user's id.
     pub user: usize,
+    /// The user's interaction history, most recent step last.
     pub history: Vec<Step>,
     /// `None` scores the whole catalog; `Some` scores (and ranks) only the
     /// given per-user candidate set.
@@ -46,7 +48,9 @@ impl ScoreRequest {
 /// A ranked response: item ids (best first) with their pre-sigmoid scores.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Ranked {
+    /// Item ids, best first.
     pub items: Vec<usize>,
+    /// Pre-sigmoid scores aligned with `items`.
     pub scores: Vec<f64>,
     /// Generation of the [`ServeState`] this response was scored against
     /// (0 for the initial model; stamped by [`BatchScorer::score_batch`]).
@@ -60,8 +64,11 @@ pub struct Ranked {
 /// serving path needs. Building one is the expensive step of a hot reload;
 /// scoring only ever reads it.
 pub struct ServeState {
+    /// The model being served.
     pub model: CauserModel,
+    /// Per-model inference cache (item embeddings, filters).
     pub ic: InferenceCache,
+    /// Catalog→cluster grouping and gathered assignment rows.
     pub effects: ClusterEffectCache,
     /// Install counter of the handle that built this snapshot (0 for the
     /// initial model); stamped into every [`Ranked`] scored against it.
@@ -69,7 +76,11 @@ pub struct ServeState {
 }
 
 impl ServeState {
+    /// Build the serving caches for a model — the expensive step of a
+    /// (re)load, recorded as a `serve.state_build` span when observability
+    /// is on.
     pub fn build(model: CauserModel) -> Self {
+        let _span = causer_obs::span(causer_obs::names::SP_SERVE_STATE_BUILD);
         let ic = model.inference_cache();
         let effects = model.cluster_effect_cache(&ic);
         ServeState { model, ic, effects, generation: 0 }
@@ -77,6 +88,22 @@ impl ServeState {
 }
 
 /// Scores batches of requests against a [`ServeState`].
+///
+/// ```
+/// use causer_core::{CauserConfig, CauserModel};
+/// use causer_serve::{BatchScorer, ScoreRequest, ServeState};
+/// use causer_tensor::Matrix;
+///
+/// // 4 users, 6 items, 3 feature dims — untrained weights score fine.
+/// let cfg = CauserConfig::new(4, 6, 3);
+/// let model = CauserModel::new(cfg, Matrix::zeros(6, 3), 7);
+/// let state = ServeState::build(model);
+///
+/// let reqs = vec![ScoreRequest::top_k(0, vec![vec![1], vec![2]], 3)];
+/// let ranked = BatchScorer::new(1).score_batch(&state, &reqs);
+/// assert_eq!(ranked[0].items.len(), 3);
+/// assert_eq!(ranked[0].generation, 0);
+/// ```
 pub struct BatchScorer {
     threads: usize,
 }
@@ -88,6 +115,7 @@ impl BatchScorer {
         BatchScorer { threads: threads.max(1) }
     }
 
+    /// Worker threads this scorer fans batches out over.
     pub fn threads(&self) -> usize {
         self.threads
     }

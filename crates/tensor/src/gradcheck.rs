@@ -7,8 +7,11 @@ use crate::param::{GradStore, ParamSet};
 /// Outcome of a gradient check for one parameter.
 #[derive(Debug)]
 pub struct GradCheckReport {
+    /// Name of the checked parameter in its `ParamSet`.
     pub param_name: String,
+    /// Largest `|analytic − numeric|` over the parameter's elements.
     pub max_abs_err: f64,
+    /// Largest relative error over the parameter's elements.
     pub max_rel_err: f64,
 }
 

@@ -114,6 +114,7 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// An empty tape with a pre-sized node arena.
     pub fn new() -> Self {
         Graph { nodes: Vec::with_capacity(256), pool: Vec::new() }
     }
@@ -144,6 +145,7 @@ impl Graph {
         self.nodes.len()
     }
 
+    /// `true` when no nodes have been recorded (e.g. right after `reset`).
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
@@ -190,6 +192,7 @@ impl Graph {
         NodeId(self.nodes.len() - 1)
     }
 
+    /// Matrix product `a·b` through the blocked kernel.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (m, _) = self.shape(a);
         let (_, n) = self.shape(b);
@@ -218,6 +221,7 @@ impl Graph {
         self.push(out, Op::MatMulNT(a, b))
     }
 
+    /// Element-wise `a + b` (shapes must match).
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (m, n) = self.shape(a);
         let mut out = self.take_buf(m, n);
@@ -229,6 +233,7 @@ impl Graph {
         self.push(out, Op::Add(a, b))
     }
 
+    /// Element-wise `a - b` (shapes must match).
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (m, n) = self.shape(a);
         let mut out = self.take_buf(m, n);
@@ -240,6 +245,7 @@ impl Graph {
         self.push(out, Op::Sub(a, b))
     }
 
+    /// Element-wise (Hadamard) product `a ∘ b` (shapes must match).
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (m, n) = self.shape(a);
         let mut out = self.take_buf(m, n);
@@ -292,30 +298,37 @@ impl Graph {
         self.push(out, Op::MulCol(a, col))
     }
 
+    /// Multiply every element by the constant `c`.
     pub fn scale(&mut self, a: NodeId, c: f64) -> NodeId {
         self.map_op(a, Op::Scale(a, c), |x| x * c)
     }
 
+    /// Add the constant `c` to every element.
     pub fn add_scalar(&mut self, a: NodeId, c: f64) -> NodeId {
         self.map_op(a, Op::AddScalar(a), |x| x + c)
     }
 
+    /// Element-wise negation (`scale` by −1).
     pub fn neg(&mut self, a: NodeId) -> NodeId {
         self.scale(a, -1.0)
     }
 
+    /// Element-wise logistic sigmoid (overflow-safe).
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
         self.map_op(a, Op::Sigmoid(a), stable_sigmoid)
     }
 
+    /// Element-wise hyperbolic tangent.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
         self.map_op(a, Op::Tanh(a), f64::tanh)
     }
 
+    /// Element-wise `max(x, 0)`.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
         self.map_op(a, Op::Relu(a), |x| x.max(0.0))
     }
 
+    /// Element-wise `e^x`.
     pub fn exp(&mut self, a: NodeId) -> NodeId {
         self.map_op(a, Op::Exp(a), f64::exp)
     }
@@ -325,6 +338,8 @@ impl Graph {
         self.map_op(a, Op::Ln(a), |x| x.max(1e-12).ln())
     }
 
+    /// Materialized transpose `aᵀ` (see `matmul_tn`/`matmul_nt` for the
+    /// fused forms that avoid it).
     pub fn transpose(&mut self, a: NodeId) -> NodeId {
         let (m, n) = self.shape(a);
         let mut out = self.take_buf(n, m);
@@ -358,12 +373,14 @@ impl Graph {
         self.push(out, Op::SoftmaxRows(a))
     }
 
+    /// Sum of all elements as a `1×1` node.
     pub fn sum_all(&mut self, a: NodeId) -> NodeId {
         let mut out = self.take_buf(1, 1);
         out.set(0, 0, self.value(a).sum());
         self.push(out, Op::SumAll(a))
     }
 
+    /// Mean of all elements as a `1×1` node.
     pub fn mean_all(&mut self, a: NodeId) -> NodeId {
         let mut out = self.take_buf(1, 1);
         out.set(0, 0, self.value(a).mean());
@@ -381,6 +398,7 @@ impl Graph {
         self.push(out, Op::RowSums(a))
     }
 
+    /// Concatenate `a (m×p)` and `b (m×q)` side by side into `m×(p+q)`.
     pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (m, na) = self.shape(a);
         let (mb, nb) = self.shape(b);

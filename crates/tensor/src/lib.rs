@@ -29,6 +29,8 @@
 //! assert!((ps.value(w).item() - 1.5).abs() < 1e-2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod gradcheck;
 pub mod graph;
 pub mod init;

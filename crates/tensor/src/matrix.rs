@@ -118,10 +118,12 @@ impl Matrix {
         Matrix::from_vec(v.len(), 1, v.to_vec())
     }
 
+    /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// Number of columns.
     pub fn cols(&self) -> usize {
         self.cols
     }
@@ -136,6 +138,7 @@ impl Matrix {
         self.data.len()
     }
 
+    /// `true` for a matrix with no elements.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
@@ -155,12 +158,14 @@ impl Matrix {
         self.data
     }
 
+    /// Element at `(i, j)` (bounds checked in debug builds only).
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i * self.cols + j]
     }
 
+    /// Overwrite element `(i, j)` (bounds checked in debug builds only).
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
         debug_assert!(i < self.rows && j < self.cols);

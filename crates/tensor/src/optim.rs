@@ -7,16 +7,20 @@ use crate::param::{GradStore, ParamSet};
 /// `params` in place. Implementations must skip frozen parameters and leave
 /// `grads` cleared for the next step.
 pub trait Optimizer {
+    /// Apply one update step and clear the consumed gradients.
     fn step(&mut self, params: &mut ParamSet, grads: &mut GradStore);
 }
 
 /// Plain stochastic gradient descent with optional weight decay.
 pub struct Sgd {
+    /// Learning rate.
     pub lr: f64,
+    /// L2 weight decay coefficient (0 disables).
     pub weight_decay: f64,
 }
 
 impl Sgd {
+    /// SGD with the given learning rate and no weight decay.
     pub fn new(lr: f64) -> Self {
         Sgd { lr, weight_decay: 0.0 }
     }
@@ -42,10 +46,15 @@ impl Optimizer for Sgd {
 
 /// Adam (Kingma & Ba, 2015) with bias correction.
 pub struct Adam {
+    /// Learning rate.
     pub lr: f64,
+    /// Exponential decay of the first-moment estimate (default 0.9).
     pub beta1: f64,
+    /// Exponential decay of the second-moment estimate (default 0.999).
     pub beta2: f64,
+    /// Denominator fuzz against division by zero (default 1e-8).
     pub eps: f64,
+    /// L2 weight decay coefficient (0 disables).
     pub weight_decay: f64,
     /// Per-parameter first/second moment estimates, created lazily.
     state: Vec<Option<(Matrix, Matrix)>>,
@@ -53,6 +62,7 @@ pub struct Adam {
 }
 
 impl Adam {
+    /// Adam with the given learning rate and the paper-default moments.
     pub fn new(lr: f64) -> Self {
         Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, state: Vec::new(), t: 0 }
     }

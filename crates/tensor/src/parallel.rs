@@ -106,15 +106,28 @@ impl ParallelTrainer {
     /// the whole batch, which reproduces the serial loop exactly. Tapes are
     /// reset by each worker after its pass (releasing parameter `Arc`s
     /// before the caller's optimizer step) while retaining their buffers.
+    ///
+    /// When observability is on (`causer_obs::enabled`), every shard's
+    /// wall-time is recorded into the `train.shard_ms` histogram (a serial
+    /// run records the whole batch as one shard); disabled, the only cost
+    /// is one relaxed atomic load per call.
     pub fn for_each_shard<T, F>(&mut self, items: &[T], ps: &ParamSet, f: F) -> (f64, GradStore)
     where
         T: Sync,
         F: Fn(&mut Graph, &mut GradStore, &[T]) -> f64 + Sync,
     {
+        let shard_ms = causer_obs::enabled().then(|| {
+            causer_obs::global()
+                .histogram(causer_obs::names::TRAIN_SHARD_MS, causer_obs::Buckets::default_ms())
+        });
         if self.threads == 1 {
             let tape = &mut self.tapes[0];
             let mut store = GradStore::new(ps);
+            let start = shard_ms.as_ref().map(|_| std::time::Instant::now());
             let loss = f(tape, &mut store, items);
+            if let (Some(h), Some(start)) = (&shard_ms, start) {
+                h.observe(start.elapsed().as_secs_f64() * 1e3);
+            }
             tape.reset();
             return (loss, store);
         }
@@ -128,9 +141,14 @@ impl ParallelTrainer {
             {
                 let shard = &items[range.clone()];
                 let f = &f;
+                let shard_ms = shard_ms.clone();
                 handles.push(scope.spawn(move || {
                     let mut store = GradStore::new(ps);
+                    let start = shard_ms.as_ref().map(|_| std::time::Instant::now());
                     let loss = f(tape, &mut store, shard);
+                    if let (Some(h), Some(start)) = (&shard_ms, start) {
+                        h.observe(start.elapsed().as_secs_f64() * 1e3);
+                    }
                     tape.reset();
                     *slot = Some((loss, store));
                 }));

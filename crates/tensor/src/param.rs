@@ -9,6 +9,7 @@ use crate::matrix::Matrix;
 pub struct ParamId(usize);
 
 impl ParamId {
+    /// Position of this parameter in its [`ParamSet`] / [`GradStore`].
     pub fn index(&self) -> usize {
         self.0
     }
@@ -34,6 +35,7 @@ pub struct ParamSet {
 }
 
 impl ParamSet {
+    /// An empty parameter set.
     pub fn new() -> Self {
         Self::default()
     }
@@ -47,14 +49,17 @@ impl ParamSet {
         ParamId(self.values.len() - 1)
     }
 
+    /// Number of registered parameters.
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
+    /// `true` when no parameters are registered.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
 
+    /// Name a parameter was registered under.
     pub fn name(&self, id: ParamId) -> &str {
         &self.names[id.0]
     }
@@ -64,6 +69,7 @@ impl ParamSet {
         self.names.iter().position(|n| n == name).map(ParamId)
     }
 
+    /// Current value of a parameter.
     pub fn value(&self, id: ParamId) -> &Matrix {
         &self.values[id.0]
     }
@@ -88,6 +94,7 @@ impl ParamSet {
         self.frozen[id.0] = frozen;
     }
 
+    /// Is the parameter currently excluded from optimizer updates?
     pub fn is_frozen(&self, id: ParamId) -> bool {
         self.frozen[id.0]
     }
@@ -117,6 +124,7 @@ pub struct GradStore {
 }
 
 impl GradStore {
+    /// An empty store aligned with `ps` (one slot per parameter).
     pub fn new(ps: &ParamSet) -> Self {
         GradStore { grads: (0..ps.len()).map(|_| None).collect() }
     }
@@ -129,6 +137,7 @@ impl GradStore {
         }
     }
 
+    /// Accumulated gradient for a parameter, if any flowed to it.
     pub fn get(&self, id: ParamId) -> Option<&Matrix> {
         self.grads[id.0].as_ref()
     }
@@ -137,10 +146,12 @@ impl GradStore {
         self.grads[index].take()
     }
 
+    /// Number of slots (equals the owning `ParamSet`'s length).
     pub fn len(&self) -> usize {
         self.grads.len()
     }
 
+    /// `true` for a store with no slots.
     pub fn is_empty(&self) -> bool {
         self.grads.is_empty()
     }
@@ -192,7 +203,10 @@ impl GradStore {
     }
 
     /// Scale all gradients so the global norm is at most `max_norm`.
-    pub fn clip_global_norm(&mut self, max_norm: f64) {
+    /// Returns the **pre-clip** global norm — the number training
+    /// telemetry wants, available here for free because clipping computes
+    /// it anyway.
+    pub fn clip_global_norm(&mut self, max_norm: f64) -> f64 {
         let norm = self.global_norm();
         if norm > max_norm && norm > 0.0 {
             let s = max_norm / norm;
@@ -200,6 +214,7 @@ impl GradStore {
                 g.map_inplace(|v| v * s);
             }
         }
+        norm
     }
 }
 

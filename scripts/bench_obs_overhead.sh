@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Observability overhead check: run the two benches that cover the
+# instrumented hot paths (the data-parallel epoch step and the serving
+# engine) with observability OFF, for comparison against the recorded
+# baselines in results/BENCH_kernels.json / results/BENCH_serve.json.
+#
+#   scripts/bench_obs_overhead.sh            # defaults (a few minutes)
+#   CAUSER_SCALE=0.1 scripts/bench_obs_overhead.sh
+#
+# The acceptance bar (DESIGN.md §9): with CAUSER_OBS unset, the
+# instrumented code paths must stay within 2% of the recorded numbers —
+# the disabled cost is one relaxed atomic load per site. Run-to-run spread
+# on a busy container can exceed 2%; prefer best-of-several on quiet
+# hardware before reading anything into a diff.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Force the disabled path: this is the configuration the <2% bar applies
+# to. (Re-run by hand with CAUSER_OBS=1 to see the enabled cost.)
+unset CAUSER_OBS
+
+echo "== parallel_epoch (baseline: results/BENCH_kernels.json) =="
+cargo bench -p causer-bench --bench micro -- parallel_epoch
+
+echo
+echo "== serve_throughput (baseline: results/BENCH_serve.json) =="
+CAUSER_SCALE="${CAUSER_SCALE:-0.15}" CAUSER_EPOCHS="${CAUSER_EPOCHS:-2}" \
+    cargo bench -p causer-bench --bench serve_throughput

@@ -20,6 +20,12 @@ fi
 cargo build --workspace --release
 cargo test --workspace --release -q
 
+# Dedicated doctest pass: the examples in the API docs are load-bearing
+# documentation (quickstart, serving, observability), so they gate
+# explicitly — a doctest failure fails the check even if the suite above
+# is ever narrowed to specific test targets.
+cargo test --workspace --release --doc -q
+
 # The workspace's own static analysis is a hard gate: it is built from this
 # workspace with zero external dependencies, so there is no toolchain-missing
 # escape hatch. Nonzero exit (any finding) fails the check.

@@ -13,7 +13,10 @@
 //! - [`baselines`] — BPR, NCF, GRU4Rec, NARM, STAMP, SASRec, VTRNN, MMSARec;
 //! - [`eval`] — the table/figure reproduction harness;
 //! - [`serve`] — batched top-K serving: request batching queue, bitwise-exact
-//!   batch scorer, model hot-reload (see `examples/serve_demo.rs`).
+//!   batch scorer, model hot-reload (see `examples/serve_demo.rs`);
+//! - [`obs`] — opt-in observability: metrics registry, span tracing, and
+//!   structured JSONL events (enable with `CAUSER_OBS=1`; see
+//!   `docs/OBSERVABILITY.md`).
 //!
 //! Quickstart: see `examples/quickstart.rs`, or:
 //!
@@ -36,5 +39,6 @@ pub use causer_core as core;
 pub use causer_data as data;
 pub use causer_eval as eval;
 pub use causer_metrics as metrics;
+pub use causer_obs as obs;
 pub use causer_serve as serve;
 pub use causer_tensor as tensor;

@@ -1,0 +1,186 @@
+//! Golden observability-schema test.
+//!
+//! The metric names exported by the instrumented hot paths are a public
+//! contract — dashboards and log scrapers key on them — so this test drives
+//! a tiny training run plus a serve stress (queue at capacity, hot reload)
+//! with observability enabled and asserts that the resulting registry
+//! contents match the checked-in schema **exactly**: every name present,
+//! no undocumented strays, kinds included.
+//!
+//! To bless the schema after an *intentional* instrumentation change:
+//!
+//! ```text
+//! CAUSER_BLESS=1 cargo test --test obs_golden
+//! ```
+//!
+//! Everything runs inside one `#[test]` because the observability switch,
+//! the registry, and the event log are process-global.
+
+use causer::core::{CauserConfig, CauserRecommender, SeqRecommender, TrainConfig};
+use causer::data::{simulate, DatasetKind, DatasetProfile};
+use causer::obs;
+use causer::serve::{BatchQueue, ModelHandle, QueueConfig, ScoreRequest, SubmitError};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const GOLDEN_PATH: &str = "tests/golden/obs_metric_names.json";
+const SEED: u64 = 7;
+const EPOCHS: usize = 2;
+
+fn golden_file() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH)
+}
+
+/// `["a","b"]` — hand-rolled so the schema file does not depend on a JSON
+/// crate (names contain no characters that need escaping; asserted below).
+fn to_json(names: &[String]) -> String {
+    let mut s = String::from("[\n");
+    for (i, n) in names.iter().enumerate() {
+        assert!(
+            n.chars().all(|c| c.is_ascii_alphanumeric() || " ._-".contains(c)),
+            "metric name {n:?} would need JSON escaping"
+        );
+        s.push_str("  \"");
+        s.push_str(n);
+        s.push('"');
+        if i + 1 < names.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Inverse of [`to_json`] for the golden file: every `"…"` literal, in order.
+fn from_json(text: &str) -> Vec<String> {
+    text.split('"').skip(1).step_by(2).map(str::to_string).collect()
+}
+
+fn tiny_recommender(seed: u64) -> (CauserRecommender, causer::data::LeaveLastOut) {
+    let mut profile = DatasetProfile::paper(DatasetKind::Baby).scaled(0.004);
+    profile.p_basket = 0.0;
+    let sim = simulate(&profile, seed);
+    let split = sim.interactions.leave_last_out();
+    let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+    cfg.k = 4;
+    let tc = TrainConfig { epochs: EPOCHS, batch_size: 16, seed, ..Default::default() };
+    (CauserRecommender::new(cfg, sim.features.clone(), tc, seed), split)
+}
+
+#[test]
+fn exported_metric_names_match_golden_schema() {
+    let _guard = obs::test_lock();
+    obs::set_enabled(true);
+    obs::clear_events();
+    obs::clear_spans();
+    let sink_dir = std::env::temp_dir().join("causer-obs-golden-test");
+    let _ = std::fs::remove_dir_all(&sink_dir);
+    obs::set_sink_dir(Some(&sink_dir)).expect("temp sink dir must be creatable");
+
+    // --- Training: a tiny fixed-seed run must emit one `train.epoch`
+    // event per epoch with the full loss/constraint field set.
+    let (mut rec, split) = tiny_recommender(SEED);
+    rec.fit(&split);
+    let epochs: Vec<_> =
+        obs::recent_events().into_iter().filter(|e| e.name == obs::names::EV_TRAIN_EPOCH).collect();
+    assert_eq!(epochs.len(), EPOCHS, "one train.epoch event per epoch");
+    for ev in &epochs {
+        for key in [
+            "epoch",
+            "loss_total",
+            "loss_bce",
+            "loss_reg",
+            "loss_struct",
+            "h_w",
+            "alpha",
+            "rho",
+            "grad_norm",
+            "epoch_ms",
+        ] {
+            assert!(ev.field(key).is_some(), "train.epoch event missing field {key:?}");
+        }
+    }
+
+    // --- Serve stress: a capacity-1 queue under a burst must shed load
+    // (serve.shed_total) and the replies must land in the latency
+    // histogram; a hot reload must bump serve.reloads_total.
+    let (spare, _) = tiny_recommender(SEED + 1);
+    let handle = Arc::new(ModelHandle::new(rec.model));
+    let queue = BatchQueue::start(
+        handle.clone(),
+        QueueConfig {
+            max_batch: 8,
+            max_wait: std::time::Duration::from_millis(20),
+            capacity: 1,
+            threads: 1,
+        },
+    );
+    let case = &split.test[0];
+    let mut accepted = Vec::new();
+    let mut sheds = 0;
+    for _ in 0..200 {
+        match queue.submit(ScoreRequest::top_k(case.user, case.history.clone(), 5)) {
+            Ok(rx) => accepted.push(rx),
+            Err(SubmitError::QueueFull) => sheds += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+        if sheds > 0 && !accepted.is_empty() {
+            break;
+        }
+    }
+    assert!(sheds > 0, "capacity-1 queue under burst never shed");
+    for rx in accepted {
+        rx.recv().expect("accepted request must be answered");
+    }
+    handle.install(spare.model);
+    queue.shutdown();
+
+    let reg = obs::global();
+    let by_name: std::collections::HashMap<String, obs::MetricValue> =
+        reg.snapshot().into_iter().map(|m| (m.name, m.value)).collect();
+    match &by_name[obs::names::SERVE_SHED_TOTAL] {
+        obs::MetricValue::Counter(n) => assert_eq!(*n, sheds, "shed counter counts refusals"),
+        other => panic!("serve.shed_total has wrong kind: {other:?}"),
+    }
+    match &by_name[obs::names::SERVE_LATENCY_MS] {
+        obs::MetricValue::Histogram(h) => {
+            assert!(h.count > 0, "latency histogram recorded no replies")
+        }
+        other => panic!("serve.latency_ms has wrong kind: {other:?}"),
+    }
+    match &by_name[obs::names::SERVE_RELOADS_TOTAL] {
+        obs::MetricValue::Counter(n) => assert_eq!(*n, 1, "one install after start"),
+        other => panic!("serve.reloads_total has wrong kind: {other:?}"),
+    }
+
+    // --- The JSONL sink got the per-epoch records and the reload event.
+    obs::set_sink_dir(None).expect("removing the sink cannot fail");
+    let jsonl = std::fs::read_to_string(sink_dir.join("events.jsonl"))
+        .expect("events.jsonl written by the run above");
+    assert_eq!(
+        jsonl.lines().filter(|l| l.contains("\"event\":\"train.epoch\"")).count(),
+        EPOCHS,
+        "sink carries one train.epoch line per epoch"
+    );
+    assert!(jsonl.lines().any(|l| l.contains("\"event\":\"serve.reload\"")), "reload event sunk");
+    let _ = std::fs::remove_dir_all(&sink_dir);
+
+    // --- The schema: `kind name` per registered metric, sorted by name.
+    let names = reg.metric_names();
+    if std::env::var("CAUSER_BLESS").is_ok() {
+        std::fs::create_dir_all(golden_file().parent().expect("golden path has a parent"))
+            .expect("golden dir must be creatable");
+        std::fs::write(golden_file(), to_json(&names)).expect("golden file must be writable");
+        eprintln!("blessed new golden metric names: {names:?}");
+        return;
+    }
+    let raw = std::fs::read_to_string(golden_file())
+        .expect("golden schema missing - run once with CAUSER_BLESS=1 to create it");
+    let golden = from_json(&raw);
+    assert_eq!(
+        names, golden,
+        "exported metric schema drifted from {GOLDEN_PATH}; every rename/addition is a \
+         dashboard-breaking change - if intentional, re-bless with CAUSER_BLESS=1"
+    );
+}
