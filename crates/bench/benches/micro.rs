@@ -4,7 +4,7 @@
 
 use causer_core::{CauserConfig, CauserModel};
 use causer_data::{simulate, DatasetKind, DatasetProfile};
-use causer_tensor::{init, linalg, GradStore, Graph, Matrix, ParamSet};
+use causer_tensor::{init, linalg, simd, GradStore, Graph, Matrix, ParamSet, Tier};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,44 +18,63 @@ fn bench_matmul(c: &mut Criterion) {
     });
 }
 
-/// Cache-blocked kernel vs. the naive reference across sizes straddling the
-/// MC/KC/NC tile boundaries. Below the crossover (≤64) the blocked entry
-/// dispatches to the naive loop, so the pairs should tie there.
+/// Cache-blocked kernel vs. the naive reference, swept across every SIMD
+/// dispatch tier this CPU supports (`scalar` is the PR 1 blocked kernel;
+/// `sse2` is bitwise-identical to it; `avx2` is the FMA register-tiled
+/// microkernel). Sizes straddle the MC/KC/NC tile boundaries and the L2
+/// boundary (a 512² operand is 2 MiB). The naive reference is tier-
+/// independent and benched once per size.
 fn bench_blocked_kernels(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
-    for &n in &[16usize, 64, 256, 512] {
+    for &n in &[16usize, 64, 128, 256, 512, 1024] {
         let a = init::uniform(&mut rng, n, n, 1.0);
         let b = init::uniform(&mut rng, n, n, 1.0);
-        c.bench_function(&format!("matmul_blocked_vs_naive/blocked_{n}"), |bench| {
-            bench.iter(|| std::hint::black_box(a.matmul(&b)));
-        });
-        c.bench_function(&format!("matmul_blocked_vs_naive/naive_{n}"), |bench| {
-            bench.iter(|| std::hint::black_box(a.matmul_naive(&b)));
-        });
+        for tier in Tier::available() {
+            simd::force(tier).expect("tier came from Tier::available()");
+            c.bench_function(&format!("matmul_blocked_vs_naive/{tier}_{n}"), |bench| {
+                bench.iter(|| std::hint::black_box(a.matmul(&b)));
+            });
+        }
+        if n <= 512 {
+            c.bench_function(&format!("matmul_blocked_vs_naive/naive_{n}"), |bench| {
+                bench.iter(|| std::hint::black_box(a.matmul_naive(&b)));
+            });
+        }
     }
+    simd::force(simd::detect()).expect("detected tier is supported");
 }
 
 /// One full Causer training epoch (batch sharding + shard-grad reduction +
-/// single Adam step per batch) at 1/2/4 worker threads. On a single-core
-/// container the >1-thread entries measure scheduling overhead, not speedup.
+/// single Adam step per batch) at 1/2/4 worker threads, then single-
+/// threaded across each supported kernel tier (the end-to-end wall-ms win
+/// of the SIMD backend on real training work). On a single-core container
+/// the >1-thread entries measure scheduling overhead, not speedup.
 fn bench_parallel_epoch(c: &mut Criterion) {
     use causer_core::{CauserRecommender, SeqRecommender, TrainConfig};
     let profile = DatasetProfile::paper(DatasetKind::Patio).scaled(0.02);
     let sim = simulate(&profile, 9);
     let split = sim.interactions.leave_last_out();
-    for &t in &[1usize, 2, 4] {
-        c.bench_function(&format!("parallel_epoch/threads_{t}"), |bench| {
+    let run_epoch = |c: &mut Criterion, label: String, threads: usize| {
+        c.bench_function(&label, |bench| {
             bench.iter(|| {
                 let mut cfg =
                     CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
                 cfg.k = profile.true_clusters;
-                let tc = TrainConfig { epochs: 1, threads: Some(t), ..Default::default() };
+                let tc = TrainConfig { epochs: 1, threads: Some(threads), ..Default::default() };
                 let mut model = CauserRecommender::new(cfg, sim.features.clone(), tc, 9);
                 model.fit(&split);
                 std::hint::black_box(model.last_report.as_ref().unwrap().epoch_losses[0])
             });
         });
+    };
+    for &t in &[1usize, 2, 4] {
+        run_epoch(c, format!("parallel_epoch/threads_{t}"), t);
     }
+    for tier in Tier::available() {
+        simd::force(tier).expect("tier came from Tier::available()");
+        run_epoch(c, format!("parallel_epoch/{tier}_threads_1"), 1);
+    }
+    simd::force(simd::detect()).expect("detected tier is supported");
 }
 
 fn bench_expm(c: &mut Criterion) {

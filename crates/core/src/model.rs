@@ -574,7 +574,10 @@ impl CauserModel {
     pub fn score_one_with_vh(&self, vh: &[f64], b: usize) -> f64 {
         let e_out = self.params.value(self.item_out);
         let bias = self.params.value(self.item_bias);
-        bias.get(b, 0) + e_out.row(b).iter().zip(vh.iter()).map(|(&e, &x)| e * x).sum::<f64>()
+        // The dispatched dot keeps this bitwise-aligned with the batched
+        // `matmul_nt` fast path at every kernel tier (each `matmul_nt`
+        // element runs the same dot sequence as `simd::dot`).
+        bias.get(b, 0) + causer_tensor::simd::dot(vh, e_out.row(b))
     }
 
     /// Score a cluster group's candidates against one prepared history run.

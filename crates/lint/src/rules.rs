@@ -17,11 +17,24 @@ pub const NO_TRUNC_CAST: &str = "no-truncating-as-cast";
 pub const NO_UNSCOPED_SPAWN: &str = "no-unscoped-spawn";
 pub const NO_PANIC_SERVE: &str = "no-panic-in-serve-hot-path";
 pub const NO_PRINTLN: &str = "no-println-in-lib";
+pub const NO_UNSAFE: &str = "no-unsafe-outside-simd";
 pub const OP_COVERAGE: &str = "op-coverage";
 
 /// Every rule the engine knows, in report order.
-pub const ALL_RULES: &[&str] =
-    &[NO_UNWRAP, NO_F32, NO_TRUNC_CAST, NO_UNSCOPED_SPAWN, NO_PANIC_SERVE, NO_PRINTLN, OP_COVERAGE];
+pub const ALL_RULES: &[&str] = &[
+    NO_UNWRAP,
+    NO_F32,
+    NO_TRUNC_CAST,
+    NO_UNSCOPED_SPAWN,
+    NO_PANIC_SERVE,
+    NO_PRINTLN,
+    NO_UNSAFE,
+    OP_COVERAGE,
+];
+
+/// The one module tree where `unsafe` is allowed: the SIMD kernel backend,
+/// whose intrinsics are scalar-twinned and tolerance/bitwise-gated.
+const UNSAFE_ALLOWED_PREFIX: &str = "crates/tensor/src/simd/";
 
 /// Minimum length of an `.expect("...")` message: shorter messages cannot
 /// state an invariant, and `expect` without a stated invariant is `unwrap`.
@@ -312,6 +325,22 @@ pub fn lint_file(ctx: &FileCtx, src: &str) -> Vec<Finding> {
                 );
             }
         }
+
+        // no-unsafe-outside-simd: every `unsafe` block/fn/impl lives in the
+        // SIMD kernel backend, where each intrinsic path has a scalar twin
+        // and a bitwise or tolerance gate. Anywhere else, `unsafe` needs a
+        // per-line allow comment stating why it cannot be expressed safely.
+        if tok.is_ident("unsafe") && !ctx.rel_path.starts_with(UNSAFE_ALLOWED_PREFIX) {
+            emit(
+                NO_UNSAFE,
+                tok.line,
+                format!(
+                    "`unsafe` outside `{UNSAFE_ALLOWED_PREFIX}`: all intrinsic/unsafe code \
+                     is confined to the SIMD backend (scalar-twinned, dispatch-gated); \
+                     justify any exception with an allow comment"
+                ),
+            );
+        }
     }
     findings
 }
@@ -412,6 +441,30 @@ mod tests {
     #[test]
     fn logln_macro_is_not_a_print_finding() {
         let src = "fn f() { causer_obs::logln!(\"epoch done\"); }";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_flagged_everywhere_except_simd_backend() {
+        let src = "fn f() { unsafe { *p } }";
+        let f = lint("crates/tensor/src/matrix.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, NO_UNSAFE);
+        assert_eq!(lint("crates/serve/src/queue.rs", src).len(), 1);
+        // The SIMD backend is the one sanctioned home for unsafe.
+        assert!(lint("crates/tensor/src/simd/avx2.rs", src).is_empty());
+        assert!(lint("crates/tensor/src/simd/mod.rs", "unsafe fn k() {}").is_empty());
+    }
+
+    #[test]
+    fn unsafe_allow_comment_is_honored() {
+        let src = "// justified: causer-lint: allow(no-unsafe-outside-simd)\nfn f() { unsafe {} }";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_ignored() {
+        let src = "fn f() { let s = \"unsafe\"; } // unsafe in prose\n";
         assert!(lint("crates/core/src/x.rs", src).is_empty());
     }
 

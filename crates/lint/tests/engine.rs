@@ -3,13 +3,14 @@
 //! and *deleting* a gradcheck for a shipped op resurfaces as a finding.
 
 use causer_lint::audit::audit_op_coverage;
-use causer_lint::rules::{lint_file, FileCtx, NO_UNWRAP};
+use causer_lint::rules::{lint_file, FileCtx, NO_UNSAFE, NO_UNWRAP};
 use std::fs;
 
 const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
 const STRINGS: &str = include_str!("fixtures/strings.rs");
 const GRAPH_MISSING: &str = include_str!("fixtures/graph_missing.rs");
 const SUITE_MISSING: &str = include_str!("fixtures/suite_missing.rs");
+const UNSAFE_SITES: &str = include_str!("fixtures/unsafe_sites.rs");
 
 /// Lint a fixture as if it lived at a real lib path (fixtures under
 /// `tests/` would otherwise be path-exempt).
@@ -65,6 +66,18 @@ fn audit_flags_missing_backward_arm_and_missing_gradcheck() {
         !messages.iter().any(|m| m.contains("Sigmoid") || m.contains("MatMul")),
         "covered ops wrongly flagged: {messages:?}"
     );
+}
+
+#[test]
+fn unsafe_fixture_is_flagged_outside_simd_and_sanctioned_inside() {
+    // At a library path: the unsafe fn, block, trait, and impl are all
+    // findings; the allow-justified block is suppressed.
+    let findings = lint_as("crates/core/src/fixture.rs", UNSAFE_SITES);
+    assert_eq!(findings.len(), 4, "expected fn/block/trait/impl findings: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == NO_UNSAFE), "{findings:?}");
+    // The same source under the SIMD backend is entirely sanctioned.
+    let findings = lint_as("crates/tensor/src/simd/fixture.rs", UNSAFE_SITES);
+    assert!(findings.is_empty(), "simd backend must allow unsafe: {findings:?}");
 }
 
 #[test]

@@ -1,0 +1,17 @@
+//! Fixture for `no-unsafe-outside-simd`: every form of `unsafe` the rule
+//! must catch (block, fn, impl, trait) plus an allow-justified escape.
+//! Linted as if it lived at a library path, and again as if it lived under
+//! `crates/tensor/src/simd/` where all of these are sanctioned.
+
+pub unsafe fn raw_read(p: *const f64) -> f64 {
+    unsafe { *p }
+}
+
+pub unsafe trait Pod {}
+
+unsafe impl Pod for f64 {}
+
+pub fn justified(p: *const f64) -> f64 {
+    // FFI boundary with a C allocator: causer-lint: allow(no-unsafe-outside-simd)
+    unsafe { *p }
+}

@@ -120,6 +120,16 @@ pub mod names {
     pub const SP_SERVE_BATCH: &str = "serve.batch";
     /// Span: building a `ServeState` snapshot (the expensive reload step).
     pub const SP_SERVE_STATE_BUILD: &str = "serve.state_build";
+
+    // --- kernels (causer-tensor SIMD dispatch) ---
+
+    /// Gauge: the active kernel tier's numeric code (0 = scalar,
+    /// 1 = sse2, 2 = avx2), set once when the dispatch table resolves.
+    pub const KERNEL_TIER: &str = "kernel.tier";
+
+    /// Event: one record when the kernel tier resolves, carrying the
+    /// `tier` name and its `source` (`detected`, `override`, or `forced`).
+    pub const EV_KERNEL_TIER: &str = "kernel.tier";
 }
 
 /// Environment variable that enables observability at process start

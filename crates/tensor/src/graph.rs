@@ -19,6 +19,7 @@ use std::sync::Arc;
 use crate::linalg;
 use crate::matrix::Matrix;
 use crate::param::{GradStore, ParamId, ParamSet};
+use crate::simd;
 
 /// Identifier of a node in a [`Graph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -298,9 +299,20 @@ impl Graph {
         self.push(out, Op::MulCol(a, col))
     }
 
-    /// Multiply every element by the constant `c`.
+    /// Shared shape of a SIMD-dispatched element-wise op over `a`.
+    fn simd_op(&mut self, a: NodeId, op: Op, kernel: fn(&[f64], &mut [f64])) -> NodeId {
+        let (m, n) = self.shape(a);
+        let mut out = self.take_buf(m, n);
+        kernel(self.value(a).data(), out.data_mut());
+        self.push(out, op)
+    }
+
+    /// Multiply every element by the constant `c` (SIMD-dispatched).
     pub fn scale(&mut self, a: NodeId, c: f64) -> NodeId {
-        self.map_op(a, Op::Scale(a, c), |x| x * c)
+        let (m, n) = self.shape(a);
+        let mut out = self.take_buf(m, n);
+        simd::scale(c, self.value(a).data(), out.data_mut());
+        self.push(out, Op::Scale(a, c))
     }
 
     /// Add the constant `c` to every element.
@@ -313,24 +325,24 @@ impl Graph {
         self.scale(a, -1.0)
     }
 
-    /// Element-wise logistic sigmoid (overflow-safe).
+    /// Element-wise logistic sigmoid (overflow-safe, SIMD-dispatched).
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        self.map_op(a, Op::Sigmoid(a), stable_sigmoid)
+        self.simd_op(a, Op::Sigmoid(a), simd::sigmoid)
     }
 
-    /// Element-wise hyperbolic tangent.
+    /// Element-wise hyperbolic tangent (SIMD-dispatched).
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        self.map_op(a, Op::Tanh(a), f64::tanh)
+        self.simd_op(a, Op::Tanh(a), simd::tanh)
     }
 
-    /// Element-wise `max(x, 0)`.
+    /// Element-wise `max(x, 0)` (SIMD-dispatched).
     pub fn relu(&mut self, a: NodeId) -> NodeId {
-        self.map_op(a, Op::Relu(a), |x| x.max(0.0))
+        self.simd_op(a, Op::Relu(a), simd::relu)
     }
 
-    /// Element-wise `e^x`.
+    /// Element-wise `e^x` (SIMD-dispatched).
     pub fn exp(&mut self, a: NodeId) -> NodeId {
-        self.map_op(a, Op::Exp(a), f64::exp)
+        self.simd_op(a, Op::Exp(a), simd::exp)
     }
 
     /// Natural log; inputs are clamped to `1e-12` for safety.
@@ -352,24 +364,12 @@ impl Graph {
         self.push(out, Op::Transpose(a))
     }
 
-    /// Numerically-stable softmax applied independently to each row.
+    /// Numerically-stable softmax applied independently to each row
+    /// (SIMD-dispatched).
     pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
         let (m, n) = self.shape(a);
         let mut out = self.take_buf(m, n);
-        let av = self.value(a);
-        for i in 0..m {
-            let row = av.row(i);
-            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let mut denom = 0.0;
-            let orow = out.row_mut(i);
-            for (o, &x) in orow.iter_mut().zip(row.iter()) {
-                *o = (x - max).exp();
-                denom += *o;
-            }
-            for o in orow.iter_mut() {
-                *o /= denom;
-            }
-        }
+        simd::softmax_rows(self.value(a).data(), m, n, out.data_mut());
         self.push(out, Op::SoftmaxRows(a))
     }
 
@@ -387,14 +387,11 @@ impl Graph {
         self.push(out, Op::MeanAll(a))
     }
 
-    /// Row-wise sums: `m×n -> m×1`.
+    /// Row-wise sums: `m×n -> m×1` (SIMD-dispatched).
     pub fn row_sums(&mut self, a: NodeId) -> NodeId {
-        let (m, _) = self.shape(a);
+        let (m, n) = self.shape(a);
         let mut out = self.take_buf(m, 1);
-        let av = self.value(a);
-        for i in 0..m {
-            out.set(i, 0, av.row(i).iter().sum());
-        }
+        simd::row_sums(self.value(a).data(), m, n, out.data_mut());
         self.push(out, Op::RowSums(a))
     }
 
@@ -454,16 +451,13 @@ impl Graph {
         self.push(out, Op::EmbedBag { emb, bags: bags.to_vec(), mean })
     }
 
-    /// Row-wise dot product: `m×n, m×n -> m×1`.
+    /// Row-wise dot product: `m×n, m×n -> m×1` (SIMD-dispatched).
     pub fn dot_rows(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (m, _) = self.shape(a);
+        let (m, n) = self.shape(a);
         let mut out = self.take_buf(m, 1);
-        let av = self.value(a);
-        let bv = self.value(b);
+        let (av, bv) = (self.value(a), self.value(b));
         assert_eq!(av.shape(), bv.shape(), "dot_rows shape mismatch");
-        for i in 0..av.rows() {
-            out.set(i, 0, av.row(i).iter().zip(bv.row(i)).map(|(&x, &y)| x * y).sum());
-        }
+        simd::dot_rows(av.data(), bv.data(), m, n, out.data_mut());
         self.push(out, Op::DotRows(a, b))
     }
 

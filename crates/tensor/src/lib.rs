@@ -39,9 +39,11 @@ pub mod matrix;
 pub mod optim;
 pub mod parallel;
 pub mod param;
+pub mod simd;
 
 pub use graph::{stable_sigmoid, Graph, NodeId};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use parallel::{configured_threads, shard_ranges, ParallelTrainer, THREADS_ENV};
 pub use param::{GradStore, ParamId, ParamSet};
+pub use simd::{Tier, KERNELS_ENV};

@@ -6,6 +6,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::simd;
+
 /// Cache-blocking tile sizes (in f64 elements) for the matmul kernels:
 /// `MC×KC` tiles of the left operand (32 KiB) and `KC×NC` slabs of the right
 /// operand (128 KiB) stay cache-resident while the contiguous saxpy inner
@@ -13,13 +15,14 @@ use serde::{Deserialize, Serialize};
 /// the unblocked path — the two are bitwise-identical (accumulation order
 /// per output element is the same ascending-`k` order), so the crossover is
 /// purely a performance knob, tuned with `cargo bench --bench micro`.
-const MC: usize = 64;
-const KC: usize = 64;
-const NC: usize = 256;
+/// The SIMD tiers in [`crate::simd`] reuse the same tiling.
+pub(crate) const MC: usize = 64;
+pub(crate) const KC: usize = 64;
+pub(crate) const NC: usize = 256;
 /// Row-group width inside a tile: one loaded B row updates `IR` output rows
 /// before the next B row is touched, amortizing B traffic while the group's
 /// C rows (`IR × NC` ≈ 16 KiB) stay L1-resident.
-const IR: usize = 8;
+pub(crate) const IR: usize = 8;
 
 /// A dense row-major matrix of `f64` values.
 ///
@@ -221,11 +224,14 @@ impl Matrix {
 
     /// `self * rhs` into a reusable output matrix (reshaped and zeroed).
     ///
-    /// Dispatches between the reference `ikj` kernel and an `MC×KC×NC`
-    /// cache-blocked variant. Both accumulate each output element over `k`
-    /// in the same ascending order, keep the `a_ik == 0` skip, and differ
-    /// only in *which* element is updated when — so their results are
-    /// bitwise identical and the crossover is purely a performance knob.
+    /// First offers the product to the [`crate::simd`] dispatch table
+    /// (`sse2` tier bitwise-identical, `avx2` tolerance-gated); on the
+    /// scalar tier it dispatches between the reference `ikj` kernel and an
+    /// `MC×KC×NC` cache-blocked variant. Both accumulate each output
+    /// element over `k` in the same ascending order, keep the `a_ik == 0`
+    /// skip, and differ only in *which* element is updated when — so their
+    /// results are bitwise identical and the crossover is purely a
+    /// performance knob.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
@@ -233,6 +239,9 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         out.reset_to(self.rows, rhs.cols);
+        if simd::matmul_nn(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data) {
+            return;
+        }
         if self.rows <= MC && self.cols <= KC && rhs.cols <= NC {
             self.matmul_naive_into(rhs, out);
             return;
@@ -270,11 +279,14 @@ impl Matrix {
     }
 
     /// `self^T * rhs` into a reusable output matrix (reshaped and zeroed).
-    /// Blocked/naive dispatch with the same bitwise-identity argument as
-    /// [`Matrix::matmul_into`].
+    /// SIMD/blocked/naive dispatch with the same tiering and bitwise
+    /// argument as [`Matrix::matmul_into`].
     pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, rhs.rows, "matmul_tn shape mismatch");
         out.reset_to(self.cols, rhs.cols);
+        if simd::matmul_tn(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data) {
+            return;
+        }
         if self.cols <= MC && self.rows <= KC && rhs.cols <= NC {
             self.matmul_tn_naive_into(rhs, out);
             return;
@@ -312,11 +324,15 @@ impl Matrix {
     }
 
     /// `self * rhs^T` into a reusable output matrix (reshaped and zeroed).
-    /// Blocks over the `(i, j)` output tile only; each element is one full
-    /// dot product over `k`, so blocked and naive results are bitwise equal.
+    /// SIMD dispatch first; the scalar path blocks over the `(i, j)` output
+    /// tile only — each element is one full dot product over `k`, so
+    /// blocked and naive results are bitwise equal.
     pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.cols, "matmul_nt shape mismatch");
         out.reset_to(self.rows, rhs.rows);
+        if simd::matmul_nt(&self.data, self.rows, self.cols, &rhs.data, rhs.rows, &mut out.data) {
+            return;
+        }
         if self.rows <= MC && rhs.rows <= NC {
             self.matmul_nt_naive_into(rhs, out);
             return;
@@ -451,12 +467,10 @@ impl Matrix {
         }
     }
 
-    /// `self += alpha * rhs` (same shape).
+    /// `self += alpha * rhs` (same shape), through the SIMD axpy dispatch.
     pub fn add_scaled(&mut self, rhs: &Matrix, alpha: f64) {
         assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
-            *a += alpha * b;
-        }
+        simd::axpy(alpha, &rhs.data, &mut self.data);
     }
 
     /// Element-wise sum of two matrices.
@@ -474,14 +488,16 @@ impl Matrix {
         self.zip_map(rhs, |a, b| a * b)
     }
 
-    /// Multiply every element by a scalar.
+    /// Multiply every element by a scalar (SIMD-dispatched).
     pub fn scale(&self, alpha: f64) -> Matrix {
-        self.map(|v| v * alpha)
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        simd::scale(alpha, &self.data, &mut out.data);
+        out
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements (SIMD-dispatched reduction).
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        simd::sum(&self.data)
     }
 
     /// Mean of all elements.
@@ -504,9 +520,9 @@ impl Matrix {
         self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm (SIMD-dispatched self-dot).
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&v| v * v).sum::<f64>().sqrt()
+        simd::dot(&self.data, &self.data).sqrt()
     }
 
     /// Maximum absolute column sum (induced 1-norm).
@@ -531,12 +547,10 @@ impl Matrix {
         out
     }
 
-    /// Sum each row, producing a `rows x 1` column vector.
+    /// Sum each row, producing a `rows x 1` column vector (SIMD-dispatched).
     pub fn sum_cols(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, 1);
-        for i in 0..self.rows {
-            out.data[i] = self.row(i).iter().sum();
-        }
+        simd::row_sums(&self.data, self.rows, self.cols, &mut out.data);
         out
     }
 

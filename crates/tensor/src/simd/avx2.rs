@@ -1,0 +1,612 @@
+//! AVX2+FMA kernels — 256-bit, tolerance-gated (numerical policy below).
+//!
+//! Matmuls run an `MR×4` register-tiled microkernel (up to 8 output rows ×
+//! one 4-wide f64 vector of columns, 8 FMA accumulators live across the
+//! `KC` reduction block); transcendentals use a vectorized `exp` (Cody–
+//! Waite range reduction + degree-13 Taylor Horner in FMA); reductions use
+//! 4-lane accumulators with a fixed horizontal-sum tree.
+//!
+//! ## Numerical policy
+//!
+//! FMA fuses the multiply-add into one rounding and the reduction kernels
+//! reassociate, so this tier is *not* bitwise-identical to scalar — it is
+//! gated by tolerance tests (see `crates/tensor/tests/simd_dispatch.rs`)
+//! with a ≤1e-12 relative budget per kernel invocation. Two invariants
+//! *are* preserved exactly, because the serving engine's batched-vs-
+//! per-row bitwise contract depends on them:
+//!
+//! 1. **Row independence**: every output element's floating-point sequence
+//!    depends only on its column index and the reduction length, never on
+//!    how many rows the call processes. The microkernel is const-generic
+//!    over `MR` with identical per-row code, and the column tail uses the
+//!    same fused `mul_add` per element for every `MR`.
+//! 2. **Layout independence of element-wise ops**: slice tails shorter
+//!    than one vector are padded into a full vector and run through the
+//!    *same* lane code, so `f(x)` depends only on `x`, not on its position
+//!    or the slice length.
+//!
+//! Inputs are assumed finite (the graph sanitizer enforces this); the
+//! vector `exp` clamps its range like `stable_sigmoid` does, and maps
+//! inputs above the overflow threshold to `+inf` exactly like libm.
+
+// Indexed `for r in 0..MR` loops keep the accumulator index aligned with
+// the register-tile row it models (an iterator rewrite obscures the
+// kernel's shape), and the Cody–Waite constants keep their published
+// digits even where they exceed f64 precision.
+#![allow(clippy::needless_range_loop, clippy::excessive_precision)]
+
+use std::arch::x86_64::{
+    __m128i, __m256d, _mm256_add_epi64, _mm256_add_pd, _mm256_and_pd, _mm256_andnot_pd,
+    _mm256_blendv_pd, _mm256_castpd256_pd128, _mm256_castsi256_pd, _mm256_cmp_pd,
+    _mm256_cvtepi32_epi64, _mm256_cvtpd_epi32, _mm256_div_pd, _mm256_extractf128_pd,
+    _mm256_fmadd_pd, _mm256_fnmadd_pd, _mm256_loadu_pd, _mm256_max_pd, _mm256_min_pd,
+    _mm256_mul_pd, _mm256_round_pd, _mm256_set1_epi64x, _mm256_set1_pd, _mm256_setzero_pd,
+    _mm256_slli_epi64, _mm256_storeu_pd, _mm256_sub_pd, _mm256_xor_pd, _mm_add_pd, _mm_add_sd,
+    _mm_cvtsd_f64, _mm_srai_epi32, _mm_sub_epi32, _mm_unpackhi_pd, _CMP_GT_OQ, _CMP_LT_OQ,
+    _MM_FROUND_NO_EXC, _MM_FROUND_TO_NEAREST_INT,
+};
+
+use crate::matrix::{KC, MC, NC};
+
+/// Width of one f64 vector.
+const W: usize = 4;
+
+/// Horizontal sum with a fixed tree: `(v0+v2) + (v1+v3)`.
+#[inline(always)]
+unsafe fn hsum(v: __m256d) -> f64 {
+    unsafe {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd::<1>(v);
+        let pair = _mm_add_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matmul microkernels.
+// ---------------------------------------------------------------------------
+
+/// One `MR × [jc..j_end)` output panel over the reduction block
+/// `[kc..k_end)` of `out += a·b`. `MR` accumulator vectors stay in
+/// registers across the block; the column tail (`< 4` columns) runs a
+/// fused scalar `mul_add` per element. Both paths accumulate the block
+/// into a register first and add it to `out` once, so each element's
+/// sequence is independent of `MR`.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+unsafe fn nn_panel<const MR: usize>(
+    a: &[f64],
+    k_dim: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+    i0: usize,
+    (jc, j_end): (usize, usize),
+    (kc, k_end): (usize, usize),
+) {
+    unsafe {
+        let mut j = jc;
+        while j + W <= j_end {
+            let mut acc = [_mm256_setzero_pd(); MR];
+            for k in kc..k_end {
+                let bv = _mm256_loadu_pd(b.as_ptr().add(k * n + j));
+                for r in 0..MR {
+                    let av = _mm256_set1_pd(*a.get_unchecked((i0 + r) * k_dim + k));
+                    acc[r] = _mm256_fmadd_pd(av, bv, acc[r]);
+                }
+            }
+            for r in 0..MR {
+                let po = out.as_mut_ptr().add((i0 + r) * n + j);
+                _mm256_storeu_pd(po, _mm256_add_pd(_mm256_loadu_pd(po), acc[r]));
+            }
+            j += W;
+        }
+        while j < j_end {
+            for r in 0..MR {
+                let mut s = 0.0;
+                for k in kc..k_end {
+                    s = a[(i0 + r) * k_dim + k].mul_add(b[k * n + j], s);
+                }
+                out[(i0 + r) * n + j] += s;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// [`nn_panel`] with the transposed-A indexing (`a[k][i]`, contiguous over
+/// the panel's rows); everything else identical.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+unsafe fn tn_panel<const MR: usize>(
+    a: &[f64],
+    m: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+    i0: usize,
+    (jc, j_end): (usize, usize),
+    (kc, k_end): (usize, usize),
+) {
+    unsafe {
+        let mut j = jc;
+        while j + W <= j_end {
+            let mut acc = [_mm256_setzero_pd(); MR];
+            for k in kc..k_end {
+                let bv = _mm256_loadu_pd(b.as_ptr().add(k * n + j));
+                for r in 0..MR {
+                    let av = _mm256_set1_pd(*a.get_unchecked(k * m + i0 + r));
+                    acc[r] = _mm256_fmadd_pd(av, bv, acc[r]);
+                }
+            }
+            for r in 0..MR {
+                let po = out.as_mut_ptr().add((i0 + r) * n + j);
+                _mm256_storeu_pd(po, _mm256_add_pd(_mm256_loadu_pd(po), acc[r]));
+            }
+            j += W;
+        }
+        while j < j_end {
+            for r in 0..MR {
+                let mut s = 0.0;
+                for k in kc..k_end {
+                    s = a[k * m + i0 + r].mul_add(b[k * n + j], s);
+                }
+                out[(i0 + r) * n + j] += s;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Drive a panel kernel over the row range, 8 rows at a time with a
+/// const-generic tail so every row runs the identical per-row code.
+macro_rules! row_sweep {
+    ($panel:ident, $a:expr, $lead:expr, $b:expr, $n:expr, $out:expr,
+     $ic:expr, $i_end:expr, $js:expr, $ks:expr) => {{
+        let mut i = $ic;
+        while i + 8 <= $i_end {
+            $panel::<8>($a, $lead, $b, $n, $out, i, $js, $ks);
+            i += 8;
+        }
+        match $i_end - i {
+            1 => $panel::<1>($a, $lead, $b, $n, $out, i, $js, $ks),
+            2 => $panel::<2>($a, $lead, $b, $n, $out, i, $js, $ks),
+            3 => $panel::<3>($a, $lead, $b, $n, $out, i, $js, $ks),
+            4 => $panel::<4>($a, $lead, $b, $n, $out, i, $js, $ks),
+            5 => $panel::<5>($a, $lead, $b, $n, $out, i, $js, $ks),
+            6 => $panel::<6>($a, $lead, $b, $n, $out, i, $js, $ks),
+            7 => $panel::<7>($a, $lead, $b, $n, $out, i, $js, $ks),
+            _ => {}
+        }
+    }};
+}
+
+/// `out += a (m×k) · b (k×n)` with PR 1's `MC×KC×NC` blocking around the
+/// 8×4 FMA microkernel.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn matmul_nn(
+    a: &[f64],
+    m: usize,
+    k_dim: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+) {
+    unsafe {
+        for jc in (0..n).step_by(NC) {
+            let j_end = (jc + NC).min(n);
+            for ic in (0..m).step_by(MC) {
+                let i_end = (ic + MC).min(m);
+                for kc in (0..k_dim).step_by(KC) {
+                    let k_end = (kc + KC).min(k_dim);
+                    row_sweep!(nn_panel, a, k_dim, b, n, out, ic, i_end, (jc, j_end), (kc, k_end));
+                }
+            }
+        }
+    }
+}
+
+/// `out += aᵀ · b` with `a: k×m, b: k×n, out: m×n`; same structure as
+/// [`matmul_nn`] with transposed-A loads.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn matmul_tn(
+    a: &[f64],
+    k_dim: usize,
+    m: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+) {
+    unsafe {
+        for jc in (0..n).step_by(NC) {
+            let j_end = (jc + NC).min(n);
+            for ic in (0..m).step_by(MC) {
+                let i_end = (ic + MC).min(m);
+                for kc in (0..k_dim).step_by(KC) {
+                    let k_end = (kc + KC).min(k_dim);
+                    row_sweep!(tn_panel, a, m, b, n, out, ic, i_end, (jc, j_end), (kc, k_end));
+                }
+            }
+        }
+    }
+}
+
+/// The canonical AVX2 dot sequence: one 4-lane FMA accumulator over
+/// ascending chunks, [`hsum`], then a fused `mul_add` tail. Every dot in
+/// this tier ([`dot`], [`dot_rows`], each `matmul_nt` element) runs
+/// exactly this sequence, so they agree bitwise for equal inputs.
+#[inline(always)]
+unsafe fn dot_core(a: &[f64], b: &[f64]) -> f64 {
+    unsafe {
+        let len = a.len();
+        let mut acc = _mm256_setzero_pd();
+        let mut k = 0;
+        while k + W <= len {
+            let av = _mm256_loadu_pd(a.as_ptr().add(k));
+            let bv = _mm256_loadu_pd(b.as_ptr().add(k));
+            acc = _mm256_fmadd_pd(av, bv, acc);
+            k += W;
+        }
+        let mut s = hsum(acc);
+        while k < len {
+            s = a[k].mul_add(b[k], s);
+            k += 1;
+        }
+        s
+    }
+}
+
+/// `out = a (m×k) · bᵀ` with `b: n×k`. Four output columns share each
+/// A-row chunk load, but each accumulator runs the exact [`dot_core`]
+/// sequence, so grouping does not change any element.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn matmul_nt(
+    a: &[f64],
+    m: usize,
+    k_dim: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+) {
+    unsafe {
+        for ic in (0..m).step_by(MC) {
+            let i_end = (ic + MC).min(m);
+            for jc in (0..n).step_by(NC) {
+                let j_end = (jc + NC).min(n);
+                for i in ic..i_end {
+                    let a_row = &a[i * k_dim..(i + 1) * k_dim];
+                    let mut j = jc;
+                    while j + W <= j_end {
+                        let mut acc = [_mm256_setzero_pd(); W];
+                        let mut k = 0;
+                        while k + W <= k_dim {
+                            let av = _mm256_loadu_pd(a_row.as_ptr().add(k));
+                            for (t, slot) in acc.iter_mut().enumerate() {
+                                let bv = _mm256_loadu_pd(b.as_ptr().add((j + t) * k_dim + k));
+                                *slot = _mm256_fmadd_pd(av, bv, *slot);
+                            }
+                            k += W;
+                        }
+                        for (t, slot) in acc.iter().enumerate() {
+                            let mut s = hsum(*slot);
+                            for kk in k..k_dim {
+                                s = a_row[kk].mul_add(b[(j + t) * k_dim + kk], s);
+                            }
+                            out[i * n + j + t] = s;
+                        }
+                        j += W;
+                    }
+                    while j < j_end {
+                        out[i * n + j] = dot_core(a_row, &b[j * k_dim..(j + 1) * k_dim]);
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-1 and reductions.
+// ---------------------------------------------------------------------------
+
+/// `y += alpha · x`, fused per element (vector FMA; `mul_add` tail, so the
+/// result is layout-independent).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    unsafe {
+        let va = _mm256_set1_pd(alpha);
+        let n = y.len();
+        let mut j = 0;
+        while j + W <= n {
+            let vx = _mm256_loadu_pd(x.as_ptr().add(j));
+            let vy = _mm256_loadu_pd(y.as_mut_ptr().add(j));
+            _mm256_storeu_pd(y.as_mut_ptr().add(j), _mm256_fmadd_pd(va, vx, vy));
+            j += W;
+        }
+        while j < n {
+            y[j] = alpha.mul_add(x[j], y[j]);
+            j += 1;
+        }
+    }
+}
+
+/// `out = alpha · x` (single rounding per element — exact, so lanes and
+/// tail agree with scalar bitwise; dispatched here only for throughput).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn scale(alpha: f64, x: &[f64], out: &mut [f64]) {
+    unsafe {
+        let va = _mm256_set1_pd(alpha);
+        let n = out.len();
+        let mut j = 0;
+        while j + W <= n {
+            let vx = _mm256_loadu_pd(x.as_ptr().add(j));
+            _mm256_storeu_pd(out.as_mut_ptr().add(j), _mm256_mul_pd(vx, va));
+            j += W;
+        }
+        while j < n {
+            out[j] = x[j] * alpha;
+            j += 1;
+        }
+    }
+}
+
+/// Sum with a 4-lane accumulator ([`hsum`] + scalar tail; reassociated).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn sum(x: &[f64]) -> f64 {
+    unsafe {
+        let n = x.len();
+        let mut acc = _mm256_setzero_pd();
+        let mut j = 0;
+        while j + W <= n {
+            acc = _mm256_add_pd(acc, _mm256_loadu_pd(x.as_ptr().add(j)));
+            j += W;
+        }
+        let mut s = hsum(acc);
+        while j < n {
+            s += x[j];
+            j += 1;
+        }
+        s
+    }
+}
+
+/// [`dot_core`] as a dispatchable kernel.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+    unsafe { dot_core(a, b) }
+}
+
+/// Per-row [`sum`] of a `rows×cols` buffer.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn row_sums(x: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    unsafe {
+        for i in 0..rows {
+            let row = &x[i * cols..(i + 1) * cols];
+            let mut acc = _mm256_setzero_pd();
+            let mut j = 0;
+            while j + W <= cols {
+                acc = _mm256_add_pd(acc, _mm256_loadu_pd(row.as_ptr().add(j)));
+                j += W;
+            }
+            let mut s = hsum(acc);
+            while j < cols {
+                s += row[j];
+                j += 1;
+            }
+            out[i] = s;
+        }
+    }
+}
+
+/// Per-row [`dot_core`] of two `rows×cols` buffers.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn dot_rows(a: &[f64], b: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    unsafe {
+        for i in 0..rows {
+            let (lo, hi) = (i * cols, (i + 1) * cols);
+            out[i] = dot_core(&a[lo..hi], &b[lo..hi]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector transcendentals.
+// ---------------------------------------------------------------------------
+
+/// Largest `x` with a finite `e^x`; above it libm returns `+inf`.
+const EXP_HI: f64 = 709.782712893384;
+/// Below this `e^x` underflows past the smallest subnormal.
+const EXP_LO: f64 = -745.133219101941;
+/// Cody–Waite split of ln 2 (fdlibm constants): `LN2_HI` has zeroed low
+/// bits so `n·LN2_HI` is exact for the `n` range in use.
+const LN2_HI: f64 = 6.931_471_803_691_238_164_9e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
+/// Taylor coefficients `1/k!` for the degree-13 Horner evaluation of
+/// `e^r` on `|r| ≤ ln2/2` (truncation error ≈ 4e-18, below one ulp).
+const EXP_COEFFS: [f64; 14] = [
+    1.0 / 6_227_020_800.0, // 1/13!
+    1.0 / 479_001_600.0,
+    1.0 / 39_916_800.0,
+    1.0 / 3_628_800.0,
+    1.0 / 362_880.0,
+    1.0 / 40_320.0,
+    1.0 / 5_040.0,
+    1.0 / 720.0,
+    1.0 / 120.0,
+    1.0 / 24.0,
+    1.0 / 6.0,
+    0.5,
+    1.0, // r¹
+    1.0, // r⁰
+];
+
+/// `2^n` for four integers `n ∈ [-538, 512]` via the exponent-bit trick.
+#[inline(always)]
+unsafe fn pow2(n: __m128i) -> __m256d {
+    unsafe {
+        let n64 = _mm256_cvtepi32_epi64(n);
+        let biased = _mm256_add_epi64(n64, _mm256_set1_epi64x(1023));
+        _mm256_castsi256_pd(_mm256_slli_epi64::<52>(biased))
+    }
+}
+
+/// Vector `e^x`: clamp to `[EXP_LO, EXP_HI]`, Cody–Waite reduction
+/// `x = n·ln2 + r`, degree-13 Taylor Horner in FMA, then scale by
+/// `2^(n−n/2)·2^(n/2)` (split so both exponents stay in normal range).
+/// Inputs above `EXP_HI` map to `+inf` like libm.
+#[inline(always)]
+unsafe fn exp4(x: __m256d) -> __m256d {
+    unsafe {
+        let overflow = _mm256_cmp_pd::<_CMP_GT_OQ>(x, _mm256_set1_pd(EXP_HI));
+        let xc = _mm256_min_pd(_mm256_max_pd(x, _mm256_set1_pd(EXP_LO)), _mm256_set1_pd(EXP_HI));
+        let n_real = _mm256_round_pd::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+            _mm256_mul_pd(xc, _mm256_set1_pd(std::f64::consts::LOG2_E)),
+        );
+        let r = _mm256_fnmadd_pd(n_real, _mm256_set1_pd(LN2_HI), xc);
+        let r = _mm256_fnmadd_pd(n_real, _mm256_set1_pd(LN2_LO), r);
+        let mut p = _mm256_set1_pd(EXP_COEFFS[0]);
+        for &c in &EXP_COEFFS[1..] {
+            p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(c));
+        }
+        let n_i32 = _mm256_cvtpd_epi32(n_real);
+        let n_half = _mm_srai_epi32::<1>(n_i32);
+        let s = _mm256_mul_pd(_mm256_mul_pd(p, pow2(_mm_sub_epi32(n_i32, n_half))), pow2(n_half));
+        _mm256_blendv_pd(s, _mm256_set1_pd(f64::INFINITY), overflow)
+    }
+}
+
+/// Run a 4-lane kernel over a slice, padding the tail into a full vector
+/// so every element takes the identical lane path (layout independence).
+#[inline(always)]
+unsafe fn for_each_vec(x: &[f64], out: &mut [f64], f: impl Fn(__m256d) -> __m256d) {
+    unsafe {
+        let n = x.len();
+        let mut j = 0;
+        while j + W <= n {
+            _mm256_storeu_pd(out.as_mut_ptr().add(j), f(_mm256_loadu_pd(x.as_ptr().add(j))));
+            j += W;
+        }
+        if j < n {
+            let mut xin = [0.0; W];
+            let mut xout = [0.0; W];
+            xin[..n - j].copy_from_slice(&x[j..]);
+            _mm256_storeu_pd(xout.as_mut_ptr(), f(_mm256_loadu_pd(xin.as_ptr())));
+            out[j..].copy_from_slice(&xout[..n - j]);
+        }
+    }
+}
+
+/// Vector logistic sigmoid with the `stable_sigmoid` branch structure:
+/// `e = exp(−|x|)`, then `1/(1+e)` for `x ≥ 0` and `e/(1+e)` for `x < 0`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn sigmoid(x: &[f64], out: &mut [f64]) {
+    unsafe {
+        let sign = _mm256_set1_pd(-0.0);
+        let one = _mm256_set1_pd(1.0);
+        for_each_vec(x, out, |v| {
+            let e = exp4(_mm256_xor_pd(_mm256_andnot_pd(sign, v), sign));
+            let neg = _mm256_cmp_pd::<_CMP_LT_OQ>(v, _mm256_setzero_pd());
+            _mm256_div_pd(_mm256_blendv_pd(one, e, neg), _mm256_add_pd(one, e))
+        });
+    }
+}
+
+/// Vector tanh via `t = exp(−2|x|)`, `y = (1−t)/(1+t)`, sign restored
+/// (the quotient is always `≥ 0`, so or-ing the sign bit is `copysign`).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn tanh(x: &[f64], out: &mut [f64]) {
+    unsafe {
+        let sign = _mm256_set1_pd(-0.0);
+        let one = _mm256_set1_pd(1.0);
+        for_each_vec(x, out, |v| {
+            let t = exp4(_mm256_mul_pd(_mm256_andnot_pd(sign, v), _mm256_set1_pd(-2.0)));
+            let y = _mm256_div_pd(_mm256_sub_pd(one, t), _mm256_add_pd(one, t));
+            // copysign(y, v): y has sign bit 0, so or/xor-in v's sign bit.
+            _mm256_xor_pd(y, _mm256_and_pd(v, sign))
+        });
+    }
+}
+
+/// Vector `max(x, 0)` (`vmaxpd` maps NaN→0 like the scalar twin; `-0.0`
+/// becomes `+0.0`, within this tier's tolerance).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn relu(x: &[f64], out: &mut [f64]) {
+    unsafe {
+        for_each_vec(x, out, |v| _mm256_max_pd(v, _mm256_setzero_pd()));
+    }
+}
+
+/// Vector `e^x` over a slice.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn exp(x: &[f64], out: &mut [f64]) {
+    unsafe {
+        for_each_vec(x, out, |v| exp4(v));
+    }
+}
+
+/// Stable row softmax: vector max sweep, `exp(x−max)` through [`exp4`],
+/// vector-accumulated denominator ([`hsum`] + tail), then one division
+/// per element (division is exactly rounded, so the divide pass is
+/// layout-independent).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn softmax_rows(x: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    unsafe {
+        for i in 0..rows {
+            let row = &x[i * cols..(i + 1) * cols];
+            let orow = &mut out[i * cols..(i + 1) * cols];
+
+            let mut vmax = _mm256_set1_pd(f64::NEG_INFINITY);
+            let mut j = 0;
+            while j + W <= cols {
+                vmax = _mm256_max_pd(vmax, _mm256_loadu_pd(row.as_ptr().add(j)));
+                j += W;
+            }
+            let mut lanes = [0.0; W];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), vmax);
+            let mut max = lanes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            while j < cols {
+                max = max.max(row[j]);
+                j += 1;
+            }
+
+            let vm = _mm256_set1_pd(max);
+            let mut acc = _mm256_setzero_pd();
+            j = 0;
+            while j + W <= cols {
+                let e = exp4(_mm256_sub_pd(_mm256_loadu_pd(row.as_ptr().add(j)), vm));
+                _mm256_storeu_pd(orow.as_mut_ptr().add(j), e);
+                acc = _mm256_add_pd(acc, e);
+                j += W;
+            }
+            let mut denom = hsum(acc);
+            if j < cols {
+                // Tail through the same lane code (padding lanes are
+                // excluded from the denominator).
+                let mut xin = [f64::NEG_INFINITY; W];
+                xin[..cols - j].copy_from_slice(&row[j..]);
+                let mut xout = [0.0; W];
+                _mm256_storeu_pd(
+                    xout.as_mut_ptr(),
+                    exp4(_mm256_sub_pd(_mm256_loadu_pd(xin.as_ptr()), vm)),
+                );
+                for (o, &e) in orow[j..].iter_mut().zip(xout.iter()) {
+                    *o = e;
+                    denom += e;
+                }
+            }
+
+            let vd = _mm256_set1_pd(denom);
+            j = 0;
+            while j + W <= cols {
+                let v = _mm256_loadu_pd(orow.as_ptr().add(j));
+                _mm256_storeu_pd(orow.as_mut_ptr().add(j), _mm256_div_pd(v, vd));
+                j += W;
+            }
+            while j < cols {
+                orow[j] /= denom;
+                j += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Runtime-dispatched SIMD kernel backend for the tensor hot loops.
+//!
+//! The workspace's training cost is dominated by the dense matmuls and
+//! element-wise passes behind the augmented-Lagrangian loop. This module
+//! provides explicit `std::arch::x86_64` kernels for those loops behind a
+//! process-global dispatch table resolved once at startup:
+//!
+//! | tier     | kernels                              | numerical policy        |
+//! |----------|--------------------------------------|-------------------------|
+//! | `scalar` | the existing blocked/naive loops     | reference               |
+//! | `sse2`   | 128-bit mul+add matmuls, axpy, scale | **bitwise == scalar**   |
+//! | `avx2`   | 256-bit FMA microkernels + vector    | FMA-reassociated,       |
+//! |          | transcendentals and reductions       | tolerance-gated ≤1e-12  |
+//!
+//! The tier is CPUID-detected (AVX2+FMA → `avx2`, else `sse2`; non-x86_64
+//! → `scalar`) and overridable via the `CAUSER_KERNELS` environment
+//! variable. An unknown or unsupported override **panics** — it never
+//! silently falls back, so CI can prove the dispatch probe is honest.
+//!
+//! Bitwise policy in detail: the `sse2` kernels perform, per output
+//! element, exactly the scalar sequence (`round(a·b)` then `round(o + ·)`
+//! in ascending `k`, including the `a_ik == 0` skip), so they are bitwise
+//! identical to the scalar tier on every input. The `avx2` tier fuses the
+//! multiply-add (one rounding) and reassociates reductions, so it is held
+//! to a tolerance instead; however each *output element's* floating-point
+//! sequence depends only on its column index and the reduction length —
+//! never on how many rows the call batches — so batched-vs-per-row
+//! bitwise guarantees (the serving engine's contract) survive within a
+//! tier.
+//!
+//! All `unsafe` in the workspace lives in this module tree (enforced by
+//! the `no-unsafe-outside-simd` lint rule), and every intrinsic path has
+//! a scalar twin selected by the same dispatch table.
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2;
+pub(crate) mod scalar;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod sse2;
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Environment variable selecting the kernel tier (`scalar|sse2|avx2`).
+/// Unset means "best supported tier for this CPU". An unknown or
+/// unsupported value panics at first kernel use instead of falling back.
+pub const KERNELS_ENV: &str = "CAUSER_KERNELS";
+
+/// A kernel tier the dispatch table can select.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Portable scalar loops — the reference implementation.
+    Scalar,
+    /// 128-bit SSE2 kernels, bitwise-identical to `Scalar`.
+    Sse2,
+    /// 256-bit AVX2+FMA kernels, tolerance-gated (reassociated FMA).
+    Avx2,
+}
+
+impl Tier {
+    /// The tier's name as accepted by [`KERNELS_ENV`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Scalar => "scalar",
+            Tier::Sse2 => "sse2",
+            Tier::Avx2 => "avx2",
+        }
+    }
+
+    /// Stable numeric code (0/1/2) — the value of the `kernel.tier` gauge.
+    pub fn code(self) -> u8 {
+        match self {
+            Tier::Scalar => 0,
+            Tier::Sse2 => 1,
+            Tier::Avx2 => 2,
+        }
+    }
+
+    /// Whether this CPU can run the tier's kernels.
+    pub fn supported(self) -> bool {
+        match self {
+            Tier::Scalar => true,
+            Tier::Sse2 => cfg!(target_arch = "x86_64"),
+            Tier::Avx2 => avx2_available(),
+        }
+    }
+
+    /// Every tier this CPU supports, ascending.
+    pub fn available() -> Vec<Tier> {
+        [Tier::Scalar, Tier::Sse2, Tier::Avx2].into_iter().filter(|t| t.supported()).collect()
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+/// Best supported tier for this CPU, ignoring any [`KERNELS_ENV`] override.
+pub fn detect() -> Tier {
+    if avx2_available() {
+        Tier::Avx2
+    } else if cfg!(target_arch = "x86_64") {
+        Tier::Sse2
+    } else {
+        Tier::Scalar
+    }
+}
+
+/// Resolve a raw [`KERNELS_ENV`] override (`None` = unset) into a tier.
+///
+/// Pure so tests can drive it without touching the process environment.
+/// `Err` carries the exact message the dispatch init panics with.
+pub fn resolve_tier(override_value: Option<&str>) -> Result<Tier, String> {
+    let Some(raw) = override_value else { return Ok(detect()) };
+    let v = raw.trim().to_ascii_lowercase();
+    let tier = match v.as_str() {
+        "scalar" => Tier::Scalar,
+        "sse2" => Tier::Sse2,
+        "avx2" => Tier::Avx2,
+        other => {
+            return Err(format!(
+                "unknown {KERNELS_ENV} value {other:?}: expected one of scalar|sse2|avx2 \
+                 (the kernel dispatch never falls back silently)"
+            ))
+        }
+    };
+    if !tier.supported() {
+        return Err(format!(
+            "{KERNELS_ENV}={v} requested but this CPU does not support that tier \
+             (supported: {})",
+            Tier::available().iter().map(|t| t.name()).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    Ok(tier)
+}
+
+/// Sentinel for "tier not resolved yet".
+const TIER_UNSET: u8 = u8::MAX;
+
+static ACTIVE: AtomicU8 = AtomicU8::new(TIER_UNSET);
+
+/// Count of dispatched *intrinsic* (non-scalar) matrix-level kernel calls.
+/// Scalar-twin executions never increment it, which is how the forced-
+/// override test proves `CAUSER_KERNELS=scalar` disables every intrinsic
+/// path.
+static INTRINSIC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// The active kernel tier, resolving [`KERNELS_ENV`] on first use.
+///
+/// Panics on an unknown or unsupported override value.
+pub fn active() -> Tier {
+    match ACTIVE.load(Ordering::Relaxed) {
+        0 => Tier::Scalar,
+        1 => Tier::Sse2,
+        2 => Tier::Avx2,
+        _ => init(),
+    }
+}
+
+#[cold]
+fn init() -> Tier {
+    let raw = std::env::var(KERNELS_ENV).ok();
+    let tier = match resolve_tier(raw.as_deref()) {
+        Ok(t) => t,
+        Err(msg) => panic!("{msg}"),
+    };
+    // Benign race: concurrent initializers resolve the same env to the
+    // same tier, so the last store wins with an identical value.
+    ACTIVE.store(tier.code(), Ordering::Relaxed);
+    announce(tier, if raw.is_some() { "override" } else { "detected" });
+    tier
+}
+
+/// Force the active tier (tests and benches). Resolves any pending
+/// [`KERNELS_ENV`] override first — so a bogus override still panics even
+/// in processes that force tiers — then installs `tier` if this CPU
+/// supports it.
+pub fn force(tier: Tier) -> Result<(), String> {
+    let _ = active();
+    if !tier.supported() {
+        return Err(format!("tier {tier} is not supported on this CPU"));
+    }
+    ACTIVE.store(tier.code(), Ordering::Relaxed);
+    announce(tier, "forced");
+    Ok(())
+}
+
+/// Total intrinsic (non-scalar) kernel invocations so far in this process.
+pub fn intrinsic_kernel_calls() -> u64 {
+    INTRINSIC_CALLS.load(Ordering::Relaxed)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn count_intrinsic() {
+    INTRINSIC_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Publish the selected tier as a gauge + structured event (observability
+/// satellite; no-op while `CAUSER_OBS` is off).
+fn announce(tier: Tier, source: &str) {
+    if causer_obs::enabled() {
+        causer_obs::global().gauge(causer_obs::names::KERNEL_TIER).set(f64::from(tier.code()));
+        causer_obs::emit(
+            causer_obs::Event::new(causer_obs::names::EV_KERNEL_TIER)
+                .s("tier", tier.name())
+                .s("source", source),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch entry points.
+//
+// The matmul entries return `false` on the scalar tier so the caller runs
+// its existing (blocked/naive) loops unchanged — the scalar twin for the
+// matmuls *is* the PR 1 kernel in `matrix.rs`. Every other entry handles
+// all tiers itself via the twins in `scalar.rs`.
+// ---------------------------------------------------------------------------
+
+/// `out += a (m×k) · b (k×n)`; `out` must be zeroed `m×n`. Returns `false`
+/// on the scalar tier (caller falls back to its own loops).
+pub fn matmul_nn(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) -> bool {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    match active() {
+        Tier::Scalar => false,
+        #[cfg(target_arch = "x86_64")]
+        Tier::Sse2 => {
+            count_intrinsic();
+            // SAFETY: SSE2 is part of the x86_64 baseline.
+            unsafe { sse2::matmul_nn(a, m, k, b, n, out) };
+            true
+        }
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: the dispatch only selects Avx2 when CPUID reports
+            // AVX2+FMA (detect/resolve/force all check `supported`).
+            unsafe { avx2::matmul_nn(a, m, k, b, n, out) };
+            true
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// `out += aᵀ · b` with `a: k×m, b: k×n, out: m×n` (zeroed). Returns
+/// `false` on the scalar tier.
+pub fn matmul_tn(a: &[f64], k: usize, m: usize, b: &[f64], n: usize, out: &mut [f64]) -> bool {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    match active() {
+        Tier::Scalar => false,
+        #[cfg(target_arch = "x86_64")]
+        Tier::Sse2 => {
+            count_intrinsic();
+            // SAFETY: SSE2 is part of the x86_64 baseline.
+            unsafe { sse2::matmul_tn(a, k, m, b, n, out) };
+            true
+        }
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA (see above).
+            unsafe { avx2::matmul_tn(a, k, m, b, n, out) };
+            true
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// `out = a (m×k) · bᵀ` with `b: n×k, out: m×n` (zeroed). Returns `false`
+/// on the scalar tier.
+pub fn matmul_nt(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) -> bool {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    match active() {
+        Tier::Scalar => false,
+        #[cfg(target_arch = "x86_64")]
+        Tier::Sse2 => {
+            count_intrinsic();
+            // SAFETY: SSE2 is part of the x86_64 baseline.
+            unsafe { sse2::matmul_nt(a, m, k, b, n, out) };
+            true
+        }
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA (see above).
+            unsafe { avx2::matmul_nt(a, m, k, b, n, out) };
+            true
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// `y += alpha · x` (same length).
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Tier::Sse2 => {
+            count_intrinsic();
+            // SAFETY: SSE2 is part of the x86_64 baseline.
+            unsafe { sse2::axpy(alpha, x, y) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA.
+            unsafe { avx2::axpy(alpha, x, y) }
+        }
+        _ => scalar::axpy(alpha, x, y),
+    }
+}
+
+/// `out = alpha · x` (same length).
+pub fn scale(alpha: f64, x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Tier::Sse2 => {
+            count_intrinsic();
+            // SAFETY: SSE2 is part of the x86_64 baseline.
+            unsafe { sse2::scale(alpha, x, out) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA.
+            unsafe { avx2::scale(alpha, x, out) }
+        }
+        _ => scalar::scale(alpha, x, out),
+    }
+}
+
+/// Sum of all elements. Reductions reassociate, so only the tolerance-
+/// gated `avx2` tier vectorizes them; `sse2` stays on the scalar twin to
+/// keep its bitwise guarantee.
+pub fn sum(x: &[f64]) -> f64 {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA.
+            unsafe { avx2::sum(x) }
+        }
+        _ => scalar::sum(x),
+    }
+}
+
+/// Dot product of two equal-length slices (`avx2` vectorized, otherwise
+/// the scalar twin — see [`sum`] for the reduction policy).
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA.
+            unsafe { avx2::dot(a, b) }
+        }
+        _ => scalar::dot(a, b),
+    }
+}
+
+/// Per-row sums of a row-major `rows×cols` buffer into `out` (`rows`).
+pub fn row_sums(x: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    debug_assert_eq!(x.len(), rows * cols);
+    debug_assert_eq!(out.len(), rows);
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA.
+            unsafe { avx2::row_sums(x, rows, cols, out) }
+        }
+        _ => scalar::row_sums(x, rows, cols, out),
+    }
+}
+
+/// Per-row dot products of two row-major `rows×cols` buffers into `out`.
+pub fn dot_rows(a: &[f64], b: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    debug_assert_eq!(a.len(), rows * cols);
+    debug_assert_eq!(b.len(), rows * cols);
+    debug_assert_eq!(out.len(), rows);
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA.
+            unsafe { avx2::dot_rows(a, b, rows, cols, out) }
+        }
+        _ => scalar::dot_rows(a, b, rows, cols, out),
+    }
+}
+
+/// Element-wise overflow-safe logistic sigmoid.
+pub fn sigmoid(x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA.
+            unsafe { avx2::sigmoid(x, out) }
+        }
+        _ => scalar::sigmoid(x, out),
+    }
+}
+
+/// Element-wise hyperbolic tangent.
+pub fn tanh(x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA.
+            unsafe { avx2::tanh(x, out) }
+        }
+        _ => scalar::tanh(x, out),
+    }
+}
+
+/// Element-wise `max(x, 0)`. Stays on the scalar twin below `avx2`: the
+/// two differ only on `-0.0` inputs, which the tolerance tier absorbs but
+/// the bitwise tiers must not.
+pub fn relu(x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA.
+            unsafe { avx2::relu(x, out) }
+        }
+        _ => scalar::relu(x, out),
+    }
+}
+
+/// Element-wise `e^x`.
+pub fn exp(x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA.
+            unsafe { avx2::exp(x, out) }
+        }
+        _ => scalar::exp(x, out),
+    }
+}
+
+/// Numerically-stable softmax over each row of a `rows×cols` buffer.
+pub fn softmax_rows(x: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    debug_assert_eq!(x.len(), rows * cols);
+    debug_assert_eq!(out.len(), rows * cols);
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA.
+            unsafe { avx2::softmax_rows(x, rows, cols, out) }
+        }
+        _ => scalar::softmax_rows(x, rows, cols, out),
+    }
+}

@@ -1,0 +1,84 @@
+//! Scalar twins for every dispatched kernel.
+//!
+//! These are byte-for-byte the loops the rest of the crate ran before the
+//! SIMD backend existed (same iteration order, same rounding sequence), so
+//! the `scalar` tier — and the `sse2` tier wherever it routes here — stays
+//! bitwise-identical to the pre-dispatch code. The matmul twins live in
+//! `matrix.rs` (the dispatch entries return `false` and the caller runs
+//! its own blocked/naive loops).
+
+use crate::graph::stable_sigmoid;
+
+pub(crate) fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    for (o, &v) in y.iter_mut().zip(x.iter()) {
+        *o += alpha * v;
+    }
+}
+
+pub(crate) fn scale(alpha: f64, x: &[f64], out: &mut [f64]) {
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = v * alpha;
+    }
+}
+
+pub(crate) fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+pub(crate) fn row_sums(x: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    for i in 0..rows {
+        out[i] = x[i * cols..(i + 1) * cols].iter().sum();
+    }
+}
+
+pub(crate) fn dot_rows(a: &[f64], b: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), rows);
+    for (i, o) in out.iter_mut().enumerate() {
+        let (lo, hi) = (i * cols, (i + 1) * cols);
+        *o = dot(&a[lo..hi], &b[lo..hi]);
+    }
+}
+
+pub(crate) fn sigmoid(x: &[f64], out: &mut [f64]) {
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = stable_sigmoid(v);
+    }
+}
+
+pub(crate) fn tanh(x: &[f64], out: &mut [f64]) {
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = v.tanh();
+    }
+}
+
+pub(crate) fn relu(x: &[f64], out: &mut [f64]) {
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = v.max(0.0);
+    }
+}
+
+pub(crate) fn exp(x: &[f64], out: &mut [f64]) {
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = v.exp();
+    }
+}
+
+pub(crate) fn softmax_rows(x: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    for i in 0..rows {
+        let row = &x[i * cols..(i + 1) * cols];
+        let orow = &mut out[i * cols..(i + 1) * cols];
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut denom = 0.0;
+        for (o, &v) in orow.iter_mut().zip(row.iter()) {
+            *o = (v - max).exp();
+            denom += *o;
+        }
+        for o in orow.iter_mut() {
+            *o /= denom;
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! SSE2 kernels — 128-bit, **bitwise-identical to the scalar tier**.
+//!
+//! Every output element is produced by exactly the scalar sequence:
+//! separate `round(a·b)` then `round(o + ·)` (`mulpd` + `addpd`, never
+//! FMA), accumulated over `k` in ascending order, with the same
+//! `a_ik == 0` skip the scalar kernels apply. IEEE-754 basic operations
+//! are exactly rounded and SIMD lanes are element-independent, so packing
+//! two columns into one register cannot change any element's bits.
+//!
+//! Reductions and transcendentals are *not* implemented at this tier —
+//! any vectorization would reassociate or change rounding — so the
+//! dispatch table routes them to the scalar twins.
+
+use std::arch::x86_64::{
+    _mm_add_pd, _mm_loadu_pd, _mm_mul_pd, _mm_set1_pd, _mm_setzero_pd, _mm_storeu_pd,
+};
+
+use crate::matrix::{IR, KC, MC, NC};
+
+/// `o[j] += a · b[j]` over paired lanes; the j-tail runs the scalar
+/// statement. Bitwise: `mulpd`+`addpd` per lane is the scalar two-rounding
+/// sequence.
+#[inline(always)]
+unsafe fn saxpy(a: f64, b: &[f64], o: &mut [f64]) {
+    unsafe {
+        let va = _mm_set1_pd(a);
+        let n = o.len();
+        let mut j = 0;
+        while j + 2 <= n {
+            let vb = _mm_loadu_pd(b.as_ptr().add(j));
+            let vo = _mm_loadu_pd(o.as_mut_ptr().add(j));
+            _mm_storeu_pd(o.as_mut_ptr().add(j), _mm_add_pd(vo, _mm_mul_pd(va, vb)));
+            j += 2;
+        }
+        if j < n {
+            o[j] += a * b[j];
+        }
+    }
+}
+
+/// `out += a (m×k) · b (k×n)`, blocked exactly like the scalar kernel
+/// (`MC×KC×NC` tiles, `IR` row groups), inner saxpy on SSE2 pairs.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn matmul_nn(
+    a: &[f64],
+    m: usize,
+    k_dim: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+) {
+    for jc in (0..n).step_by(NC) {
+        let j_end = (jc + NC).min(n);
+        for ic in (0..m).step_by(MC) {
+            let i_end = (ic + MC).min(m);
+            for kc in (0..k_dim).step_by(KC) {
+                let k_end = (kc + KC).min(k_dim);
+                for ig in (ic..i_end).step_by(IR) {
+                    let ig_end = (ig + IR).min(i_end);
+                    for k in kc..k_end {
+                        let b_row = &b[k * n + jc..k * n + j_end];
+                        for i in ig..ig_end {
+                            let a_ik = a[i * k_dim + k];
+                            if a_ik == 0.0 {
+                                continue;
+                            }
+                            unsafe { saxpy(a_ik, b_row, &mut out[i * n + jc..i * n + j_end]) };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `out += aᵀ · b` with `a: k×m, b: k×n, out: m×n`; same blocking and
+/// bitwise argument as [`matmul_nn`], reading `a`'s row `k` contiguously.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn matmul_tn(
+    a: &[f64],
+    k_dim: usize,
+    m: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+) {
+    for jc in (0..n).step_by(NC) {
+        let j_end = (jc + NC).min(n);
+        for ic in (0..m).step_by(MC) {
+            let i_end = (ic + MC).min(m);
+            for kc in (0..k_dim).step_by(KC) {
+                let k_end = (kc + KC).min(k_dim);
+                for ig in (ic..i_end).step_by(IR) {
+                    let ig_end = (ig + IR).min(i_end);
+                    for k in kc..k_end {
+                        let a_group = &a[k * m + ig..k * m + ig_end];
+                        let b_row = &b[k * n + jc..k * n + j_end];
+                        for (off, &a_ki) in a_group.iter().enumerate() {
+                            if a_ki == 0.0 {
+                                continue;
+                            }
+                            let i = ig + off;
+                            unsafe { saxpy(a_ki, b_row, &mut out[i * n + jc..i * n + j_end]) };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `out = a (m×k) · bᵀ` with `b: n×k`. Two output columns share one
+/// accumulator register (lane 0 = column `j`, lane 1 = `j+1`); each lane
+/// runs the scalar `acc += a·b` sequence over ascending `k`, so every
+/// element matches the scalar dot bitwise.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn matmul_nt(
+    a: &[f64],
+    m: usize,
+    k_dim: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+) {
+    for ic in (0..m).step_by(MC) {
+        let i_end = (ic + MC).min(m);
+        for jc in (0..n).step_by(NC) {
+            let j_end = (jc + NC).min(n);
+            for i in ic..i_end {
+                let a_row = &a[i * k_dim..(i + 1) * k_dim];
+                let mut j = jc;
+                while j + 2 <= j_end {
+                    let b0 = &b[j * k_dim..(j + 1) * k_dim];
+                    let b1 = &b[(j + 1) * k_dim..(j + 2) * k_dim];
+                    unsafe {
+                        let mut acc = _mm_setzero_pd();
+                        for k in 0..k_dim {
+                            let va = _mm_set1_pd(a_row[k]);
+                            let vb = _mm_loadu_pd([b0[k], b1[k]].as_ptr());
+                            acc = _mm_add_pd(acc, _mm_mul_pd(va, vb));
+                        }
+                        _mm_storeu_pd(out.as_mut_ptr().add(i * n + j), acc);
+                    }
+                    j += 2;
+                }
+                while j < j_end {
+                    let b_row = &b[j * k_dim..(j + 1) * k_dim];
+                    let mut acc = 0.0;
+                    for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                        acc += x * y;
+                    }
+                    out[i * n + j] = acc;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// `y += alpha · x` on SSE2 pairs (bitwise == the scalar twin).
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    unsafe {
+        let va = _mm_set1_pd(alpha);
+        let n = y.len();
+        let mut j = 0;
+        while j + 2 <= n {
+            let vx = _mm_loadu_pd(x.as_ptr().add(j));
+            let vy = _mm_loadu_pd(y.as_mut_ptr().add(j));
+            _mm_storeu_pd(y.as_mut_ptr().add(j), _mm_add_pd(vy, _mm_mul_pd(va, vx)));
+            j += 2;
+        }
+        if j < n {
+            y[j] += alpha * x[j];
+        }
+    }
+}
+
+/// `out = alpha · x` on SSE2 pairs. Multiplication is a single exactly-
+/// rounded operation, so lanes and the scalar tail agree bitwise.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn scale(alpha: f64, x: &[f64], out: &mut [f64]) {
+    unsafe {
+        let va = _mm_set1_pd(alpha);
+        let n = out.len();
+        let mut j = 0;
+        while j + 2 <= n {
+            let vx = _mm_loadu_pd(x.as_ptr().add(j));
+            _mm_storeu_pd(out.as_mut_ptr().add(j), _mm_mul_pd(vx, va));
+            j += 2;
+        }
+        if j < n {
+            out[j] = x[j] * alpha;
+        }
+    }
+}

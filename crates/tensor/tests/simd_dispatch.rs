@@ -1,0 +1,344 @@
+//! The SIMD dispatch contract, tier by tier.
+//!
+//! * `sse2` must be **bitwise-identical** to `scalar` on every entry point
+//!   — randomized and degenerate shapes, odd tails included.
+//! * `avx2` reassociates (FMA, vector lanes), so it is held to a relative
+//!   tolerance of 1e-12 against `scalar`, and to a *row-independence*
+//!   invariant: an output element's bits never depend on how many rows the
+//!   call batches (the serving engine's batched-vs-per-user contract).
+//! * Forcing `Tier::Scalar` must disable every intrinsic path, observable
+//!   through the process-global intrinsic-call counter.
+//!
+//! Tests that force tiers serialize on a mutex and restore the detected
+//! tier before releasing it, so they can share one process with any other
+//! test in this binary.
+
+use causer_tensor::simd::{self, resolve_tier};
+use causer_tensor::{init, Matrix, Tier};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Serializes every test that touches the process-global dispatch table.
+static TIER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the tier lock held, restoring the detected tier after.
+fn with_tier_lock<R>(f: impl FnOnce() -> R) -> R {
+    let guard = TIER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let out = f();
+    simd::force(simd::detect()).expect("detected tier is supported");
+    drop(guard);
+    out
+}
+
+fn rand_vec(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    init::uniform(rng, 1, n, 2.0).data().to_vec()
+}
+
+/// Odd lengths straddle every vector width's tail handling.
+const LENS: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 64, 130, 257];
+
+/// Shapes straddling the MC=64/KC=64/NC=256 tiles and the 8-row panel.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (7, 13, 5),
+    (1, 64, 1),
+    (8, 8, 8),
+    (9, 17, 3),
+    (63, 64, 65),
+    (65, 65, 65),
+    (70, 129, 30),
+    (128, 65, 256),
+    (5, 300, 259),
+];
+
+/// Every vector entry point's output under the given tier, over a fixed
+/// set of inputs. Two calls with different tiers compare results.
+fn vector_entry_outputs(tier: Tier, rng_seed: u64) -> Vec<Vec<f64>> {
+    simd::force(tier).expect("caller checked support");
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut outs = Vec::new();
+    for &n in LENS {
+        let x = rand_vec(&mut rng, n);
+        let y = rand_vec(&mut rng, n);
+        let mut axpy = y.clone();
+        simd::axpy(0.37, &x, &mut axpy);
+        let mut scale = vec![0.0; n];
+        simd::scale(-1.25, &x, &mut scale);
+        let mut sig = vec![0.0; n];
+        simd::sigmoid(&x, &mut sig);
+        let mut th = vec![0.0; n];
+        simd::tanh(&x, &mut th);
+        let mut re = vec![0.0; n];
+        simd::relu(&x, &mut re);
+        let mut ex = vec![0.0; n];
+        simd::exp(&x, &mut ex);
+        outs.extend([axpy, scale, sig, th, re, ex]);
+        outs.push(vec![simd::sum(&x), simd::dot(&x, &y)]);
+    }
+    // Row-shaped reductions and softmax at a few row/col splits.
+    for &(rows, cols) in &[(1usize, 7usize), (3, 5), (8, 130), (13, 257)] {
+        let x = rand_vec(&mut rng, rows * cols);
+        let y = rand_vec(&mut rng, rows * cols);
+        let mut rs = vec![0.0; rows];
+        simd::row_sums(&x, rows, cols, &mut rs);
+        let mut dr = vec![0.0; rows];
+        simd::dot_rows(&x, &y, rows, cols, &mut dr);
+        let mut sm = vec![0.0; rows * cols];
+        simd::softmax_rows(&x, rows, cols, &mut sm);
+        outs.extend([rs, dr, sm]);
+    }
+    outs
+}
+
+/// The three matmul products under the given tier (through the `Matrix`
+/// entry points, so the scalar tier runs the real blocked/naive fallback).
+fn matmul_outputs(tier: Tier, rng_seed: u64) -> Vec<Vec<f64>> {
+    simd::force(tier).expect("caller checked support");
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut outs = Vec::new();
+    for &(m, k, n) in SHAPES {
+        let a = init::uniform(&mut rng, m, k, 2.0);
+        let b = init::uniform(&mut rng, k, n, 2.0);
+        let at = init::uniform(&mut rng, k, m, 2.0);
+        let bt = init::uniform(&mut rng, n, k, 2.0);
+        outs.push(a.matmul(&b).data().to_vec());
+        outs.push(at.matmul_tn(&b).data().to_vec());
+        outs.push(a.matmul_nt(&bt).data().to_vec());
+    }
+    outs
+}
+
+fn assert_bitwise(a: &[Vec<f64>], b: &[Vec<f64>], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (va, vb)) in a.iter().zip(b.iter()).enumerate() {
+        for (j, (&xa, &xb)) in va.iter().zip(vb.iter()).enumerate() {
+            assert!(
+                xa.to_bits() == xb.to_bits(),
+                "{what}: output {i}[{j}] diverged bitwise: {xa:e} vs {xb:e}"
+            );
+        }
+    }
+}
+
+fn assert_close(a: &[Vec<f64>], b: &[Vec<f64>], tol: f64, what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (va, vb)) in a.iter().zip(b.iter()).enumerate() {
+        for (j, (&xa, &xb)) in va.iter().zip(vb.iter()).enumerate() {
+            if xa == xb {
+                continue; // covers ±inf agreeing exactly
+            }
+            let err = (xa - xb).abs() / (1.0 + xa.abs());
+            assert!(err <= tol, "{what}: output {i}[{j}]: {xa:e} vs {xb:e} (rel {err:e})");
+        }
+    }
+}
+
+#[test]
+fn sse2_is_bitwise_identical_to_scalar() {
+    if !Tier::Sse2.supported() {
+        return;
+    }
+    with_tier_lock(|| {
+        let s = vector_entry_outputs(Tier::Scalar, 11);
+        let v = vector_entry_outputs(Tier::Sse2, 11);
+        assert_bitwise(&s, &v, "sse2 vector entries");
+        let sm = matmul_outputs(Tier::Scalar, 12);
+        let vm = matmul_outputs(Tier::Sse2, 12);
+        assert_bitwise(&sm, &vm, "sse2 matmuls");
+    });
+}
+
+#[test]
+fn avx2_matches_scalar_within_tolerance() {
+    if !Tier::Avx2.supported() {
+        return;
+    }
+    with_tier_lock(|| {
+        let s = vector_entry_outputs(Tier::Scalar, 21);
+        let v = vector_entry_outputs(Tier::Avx2, 21);
+        assert_close(&s, &v, 1e-12, "avx2 vector entries");
+        let sm = matmul_outputs(Tier::Scalar, 22);
+        let vm = matmul_outputs(Tier::Avx2, 22);
+        assert_close(&sm, &vm, 1e-12, "avx2 matmuls");
+    });
+}
+
+/// `exp` / `sigmoid` / `tanh` at the overflow clamps, signed zeros, and
+/// huge magnitudes: the vector transcendentals must agree with libm within
+/// tolerance and saturate to exactly the same limits.
+#[test]
+fn avx2_transcendentals_handle_extremes() {
+    if !Tier::Avx2.supported() {
+        return;
+    }
+    with_tier_lock(|| {
+        let x = vec![
+            0.0,
+            -0.0,
+            1e-300,
+            -1e-300,
+            1.0,
+            -1.0,
+            709.0,
+            709.782712893384,
+            710.0,
+            800.0,
+            -745.0,
+            -745.133219101941,
+            -746.0,
+            -800.0,
+            1e18,
+            -1e18,
+        ];
+        let n = x.len();
+        let (mut se, mut ss, mut st) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        simd::force(Tier::Scalar).unwrap();
+        simd::exp(&x, &mut se);
+        simd::sigmoid(&x, &mut ss);
+        simd::tanh(&x, &mut st);
+        let (mut ve, mut vs, mut vt) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        simd::force(Tier::Avx2).unwrap();
+        simd::exp(&x, &mut ve);
+        simd::sigmoid(&x, &mut vs);
+        simd::tanh(&x, &mut vt);
+        assert_eq!(ve[9], f64::INFINITY, "exp(800) must saturate to +inf");
+        assert!(
+            ve[13] >= 0.0 && ve[13] < f64::MIN_POSITIVE,
+            "exp(-800) must underflow toward +0, got {:e}",
+            ve[13]
+        );
+        assert_close(&[se], &[ve], 1e-12, "exp extremes");
+        assert_close(&[ss], &[vs], 1e-12, "sigmoid extremes");
+        assert_close(&[st], &[vt], 1e-12, "tanh extremes");
+    });
+}
+
+/// The serving contract: under any one tier, an output element's bits must
+/// not depend on how many rows the call batches. Row `r` of a batched
+/// matmul / element-wise pass must equal the same computation run on that
+/// row alone.
+#[test]
+fn avx2_outputs_are_row_independent() {
+    if !Tier::Avx2.supported() {
+        return;
+    }
+    with_tier_lock(|| {
+        simd::force(Tier::Avx2).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        for &(m, k, n) in &[(13usize, 37usize, 259usize), (8, 64, 256), (5, 7, 3)] {
+            let a = init::uniform(&mut rng, m, k, 2.0);
+            let bt = init::uniform(&mut rng, n, k, 2.0);
+            let b = init::uniform(&mut rng, k, n, 2.0);
+            let batched_nt = a.matmul_nt(&bt);
+            let batched_nn = a.matmul(&b);
+            for r in 0..m {
+                let row = Matrix::row_vector(a.row(r));
+                assert_eq!(
+                    row.matmul_nt(&bt).data(),
+                    batched_nt.row(r),
+                    "matmul_nt row {r} of {m}x{k}x{n} depends on batch size"
+                );
+                assert_eq!(
+                    row.matmul(&b).data(),
+                    batched_nn.row(r),
+                    "matmul_nn row {r} of {m}x{k}x{n} depends on batch size"
+                );
+            }
+            // Element-wise passes and row reductions: batched buffer vs
+            // one row at a time.
+            let x = a.data();
+            let mut batched_sig = vec![0.0; m * k];
+            simd::sigmoid(x, &mut batched_sig);
+            let mut batched_dr = vec![0.0; m];
+            simd::dot_rows(x, x, m, k, &mut batched_dr);
+            let mut batched_sm = vec![0.0; m * k];
+            simd::softmax_rows(x, m, k, &mut batched_sm);
+            for r in 0..m {
+                let xr = &x[r * k..(r + 1) * k];
+                let mut sig = vec![0.0; k];
+                simd::sigmoid(xr, &mut sig);
+                assert_eq!(sig, batched_sig[r * k..(r + 1) * k], "sigmoid row {r}");
+                assert_eq!(vec![simd::dot(xr, xr)], vec![batched_dr[r]], "dot_rows row {r}");
+                let mut sm = vec![0.0; k];
+                simd::softmax_rows(xr, 1, k, &mut sm);
+                assert_eq!(sm, batched_sm[r * k..(r + 1) * k], "softmax row {r}");
+            }
+        }
+    });
+}
+
+/// `CAUSER_KERNELS=scalar` (modeled by forcing the scalar tier) must fully
+/// disable the intrinsic paths: the global intrinsic-call counter stays
+/// frozen across every entry point. Re-enabling the best tier resumes it.
+#[test]
+fn forcing_scalar_disables_all_intrinsic_paths() {
+    with_tier_lock(|| {
+        simd::force(Tier::Scalar).unwrap();
+        let before = simd::intrinsic_kernel_calls();
+        let mut rng = StdRng::seed_from_u64(41);
+        let a = init::uniform(&mut rng, 70, 65, 1.0);
+        let b = init::uniform(&mut rng, 65, 80, 1.0);
+        let _ = a.matmul(&b);
+        let _ = a.matmul_nt(&init::uniform(&mut rng, 80, 65, 1.0));
+        let _ = a.sum();
+        let _ = a.frobenius_norm();
+        let _ = a.scale(2.0);
+        let _ = a.sum_cols();
+        let x = rand_vec(&mut rng, 257);
+        let mut out = vec![0.0; 257];
+        simd::sigmoid(&x, &mut out);
+        simd::exp(&x, &mut out);
+        let _ = simd::dot(&x, &x);
+        assert_eq!(
+            simd::intrinsic_kernel_calls(),
+            before,
+            "an intrinsic kernel ran under the forced scalar tier"
+        );
+        let best = simd::detect();
+        if best != Tier::Scalar {
+            simd::force(best).unwrap();
+            let _ = a.matmul(&b);
+            assert!(
+                simd::intrinsic_kernel_calls() > before,
+                "the {best} tier should count intrinsic kernel calls"
+            );
+        }
+    });
+}
+
+#[test]
+fn resolve_tier_accepts_every_supported_name_and_unset() {
+    assert_eq!(resolve_tier(None).unwrap(), simd::detect());
+    for tier in Tier::available() {
+        assert_eq!(resolve_tier(Some(tier.name())).unwrap(), tier);
+        // Case/whitespace-insensitive, as documented.
+        let loud = format!("  {}  ", tier.name().to_ascii_uppercase());
+        assert_eq!(resolve_tier(Some(&loud)).unwrap(), tier);
+    }
+    assert_eq!(resolve_tier(Some("scalar")).unwrap(), Tier::Scalar);
+}
+
+#[test]
+fn resolve_tier_rejects_unknown_values_loudly() {
+    let err = resolve_tier(Some("definitely-not-a-tier")).unwrap_err();
+    assert!(err.contains("unknown CAUSER_KERNELS value"), "{err}");
+    assert!(err.contains("never falls back"), "{err}");
+    let err2 = resolve_tier(Some("")).unwrap_err();
+    assert!(err2.contains("unknown CAUSER_KERNELS value"), "{err2}");
+}
+
+#[test]
+fn force_rejects_unsupported_tiers() {
+    // Scalar is supported everywhere; the highest unsupported tier (if
+    // any) must be refused rather than installed.
+    for &tier in &[Tier::Scalar, Tier::Sse2, Tier::Avx2] {
+        if tier.supported() {
+            continue;
+        }
+        with_tier_lock(|| {
+            let err = simd::force(tier).unwrap_err();
+            assert!(err.contains("not supported"), "{err}");
+        });
+    }
+}

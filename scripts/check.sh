@@ -36,6 +36,21 @@ cargo run -p causer-lint --release
 cargo test -p causer-tensor --release --features sanitize -q
 cargo test -p causer --release --features sanitize --test golden_metrics -q
 
+# SIMD dispatch honesty. The workspace suite above already ran under the
+# native best tier; re-run the tensor kernel/gradcheck/dispatch suites with
+# the kernels pinned to the scalar twins, so a vector-kernel bug cannot
+# hide behind the tier the container happens to detect.
+CAUSER_KERNELS=scalar cargo test -p causer-tensor --release -q
+
+# And the probe must be loud: an unknown CAUSER_KERNELS value has to abort
+# the dispatch (panic at first kernel use), never fall back silently. If
+# this invocation *succeeds*, the fallback is silent — fail the check.
+if CAUSER_KERNELS=definitely-not-a-tier \
+    cargo test -p causer-tensor --release -q --test simd_dispatch >/dev/null 2>&1; then
+    echo "error: unknown CAUSER_KERNELS value did not fail the dispatch probe" >&2
+    exit 1
+fi
+
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --all-targets -- -D warnings
 else
