@@ -1,0 +1,200 @@
+//! Incremental state store vs full re-encode (`results/BENCH_incremental.json`).
+//!
+//! The per-request tax this PR kills is the O(K·L) history re-encode: every
+//! request re-runs up to K causally-filtered RNN streams over the user's
+//! whole history. A warm [`UserStateStore`] entry instead advances each
+//! stream by the new interactions only. This bench measures, single-core:
+//!
+//! - **stateless** — `score_batch` per-request cost at history length
+//!   L ∈ {10, 50, 200, 1000} (expected ~linear in L);
+//! - **warm** — `score_batch_stateful` per-request cost for one-interaction
+//!   appends at the same L (expected ~flat: one `step_plain` per affected
+//!   stream plus the O(L) attention re-weight residue);
+//! - **cold seed** — the first stateful request (miss + store charge), i.e.
+//!   the price of an eviction or a brand-new user;
+//! - **steady-state stream** — 16 returning users appending one
+//!   interaction per request, stateful vs stateless req/s.
+//!
+//! Warm scores are bitwise-identical to the stateless path (asserted in
+//! `crates/serve/tests/state_store.rs` and `tests/golden_metrics.rs`, and
+//! spot-checked here before timing).
+
+use causer_core::{CauserConfig, CauserRecommender, SeqRecommender, TrainConfig};
+use causer_data::{simulate, DatasetKind, DatasetProfile};
+use causer_serve::{BatchScorer, ScoreRequest, ServeState, StateStoreConfig, UserStateStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const TOP_K: usize = 10;
+const REPS: usize = 3;
+const LENGTHS: [usize; 4] = [10, 50, 200, 1000];
+const APPENDS: usize = 32;
+const STREAM_USERS: usize = 16;
+const STREAM_LEN: usize = 200;
+const STREAM_REQS: usize = 64;
+
+fn main() {
+    let scale: f64 =
+        std::env::var("CAUSER_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.15);
+    let epochs: usize =
+        std::env::var("CAUSER_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+
+    let profile = DatasetProfile::paper(DatasetKind::Patio).scaled(scale);
+    let sim = simulate(&profile, 42);
+    let split = sim.interactions.leave_last_out();
+    let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+    cfg.k = profile.true_clusters;
+    let tc = TrainConfig { epochs, seed: 42, ..Default::default() };
+    let mut rec = CauserRecommender::new(cfg, sim.features.clone(), tc, 42);
+    rec.fit(&split);
+    // The clamp window must hold the longest bench history plus its appends,
+    // or the store (correctly) bypasses sliding-window requests as misses.
+    rec.model.config.max_history = 2048;
+    let num_items = rec.model.config.num_items;
+    let num_users = rec.model.config.num_users;
+    println!(
+        "profile: Patio scaled {scale} — {num_items} items, {num_users} users, \
+         K={} clusters, {epochs} epochs, max_history=2048",
+        rec.model.config.k
+    );
+
+    let state = ServeState::build(rec.model);
+    let scorer = BatchScorer::new(1);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let time_best = |f: &mut dyn FnMut()| -> f64 {
+        f(); // warmup
+        (0..REPS)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    // --- Per-request cost vs history length L.
+    println!(
+        "\n{:>6}  {:>14}  {:>14}  {:>14}  {:>8}",
+        "L", "stateless µs", "warm µs", "cold-seed µs", "speedup"
+    );
+    for (li, l) in LENGTHS.into_iter().enumerate() {
+        let user = li % num_users;
+        let hist: Vec<Vec<usize>> =
+            (0..l + APPENDS).map(|_| vec![rng.gen_range(0..num_items)]).collect();
+        // Requests are pre-built so the timers see scoring, not Vec clones.
+        let full = ScoreRequest::top_k(user, hist[..l].to_vec(), TOP_K);
+        let warm_reqs: Vec<ScoreRequest> = (1..=APPENDS)
+            .map(|a| ScoreRequest::top_k(user, hist[..l + a].to_vec(), TOP_K))
+            .collect();
+
+        // Equivalence spot-check at this L before timing.
+        let store = UserStateStore::new(StateStoreConfig::default());
+        let expect = scorer.score_batch(&state, std::slice::from_ref(&full));
+        scorer.score_batch_stateful(&state, &store, std::slice::from_ref(&full)); // cold seed
+        let got = scorer.score_batch_stateful(&state, &store, std::slice::from_ref(&full));
+        assert_eq!(expect[0].items, got[0].items, "stateful top-K diverged at L={l}");
+        for (a, b) in expect[0].scores.iter().zip(&got[0].scores) {
+            assert_eq!(a.to_bits(), b.to_bits(), "warm scores diverged at L={l}");
+        }
+
+        let stateless_s = time_best(&mut || {
+            std::hint::black_box(scorer.score_batch(&state, std::slice::from_ref(&full)));
+        });
+        let cold_s = time_best(&mut || {
+            store.clear();
+            std::hint::black_box(scorer.score_batch_stateful(
+                &state,
+                &store,
+                std::slice::from_ref(&full),
+            ));
+        });
+        WARM_S.with(|w| w.set(f64::INFINITY));
+        time_best(&mut || {
+            store.clear();
+            scorer.score_batch_stateful(&state, &store, std::slice::from_ref(&full));
+            let t = Instant::now();
+            for req in &warm_reqs {
+                std::hint::black_box(scorer.score_batch_stateful(
+                    &state,
+                    &store,
+                    std::slice::from_ref(req),
+                ));
+            }
+            // Only the appends are under test; time_best times the whole
+            // closure, so the appends' best-of lives in WARM_S instead.
+            let s = t.elapsed().as_secs_f64() / APPENDS as f64;
+            WARM_S.with(|w| w.set(w.get().min(s)));
+        });
+        let warm_s = WARM_S.with(|w| w.get());
+        println!(
+            "{l:>6}  {:>14.1}  {:>14.1}  {:>14.1}  {:>7.1}x",
+            stateless_s * 1e6,
+            warm_s * 1e6,
+            cold_s * 1e6,
+            stateless_s / warm_s
+        );
+    }
+
+    // --- Steady-state stream: returning users, one append per request.
+    let mut streams: Vec<Vec<Vec<usize>>> = (0..STREAM_USERS)
+        .map(|_| (0..STREAM_LEN).map(|_| vec![rng.gen_range(0..num_items)]).collect())
+        .collect();
+    let mut stream_reqs: Vec<ScoreRequest> = Vec::with_capacity(STREAM_REQS);
+    let mut seed_reqs: Vec<ScoreRequest> = Vec::with_capacity(STREAM_USERS);
+    for (u, hist) in streams.iter().enumerate() {
+        seed_reqs.push(ScoreRequest::top_k(u, hist.clone(), TOP_K));
+    }
+    for i in 0..STREAM_REQS {
+        let u = i % STREAM_USERS;
+        streams[u].push(vec![rng.gen_range(0..num_items)]);
+        stream_reqs.push(ScoreRequest::top_k(u, streams[u].clone(), TOP_K));
+    }
+    let store = UserStateStore::new(StateStoreConfig::default());
+    let stateless_s = time_best(&mut || {
+        for req in &stream_reqs {
+            std::hint::black_box(scorer.score_batch(&state, std::slice::from_ref(req)));
+        }
+    });
+    WARM_S.with(|w| w.set(f64::INFINITY));
+    time_best(&mut || {
+        store.clear();
+        scorer.score_batch_stateful(&state, &store, &seed_reqs);
+        let t = Instant::now();
+        for req in &stream_reqs {
+            std::hint::black_box(scorer.score_batch_stateful(
+                &state,
+                &store,
+                std::slice::from_ref(req),
+            ));
+        }
+        let s = t.elapsed().as_secs_f64();
+        WARM_S.with(|w| w.set(w.get().min(s)));
+    });
+    let warm_stream_s = WARM_S.with(|w| w.get());
+    let n = STREAM_REQS as f64;
+    let stats = store.stats();
+    println!(
+        "\nsteady-state stream ({STREAM_USERS} users @ L≈{STREAM_LEN}, {STREAM_REQS} requests):"
+    );
+    println!("  stateless: {:8.1} req/s ({:.3} s)", n / stateless_s, stateless_s);
+    println!(
+        "  stateful:  {:8.1} req/s ({:.3} s) — {:.1}x; {} hits / {} misses / {} evictions, \
+         {} entries, {} KiB resident",
+        n / warm_stream_s,
+        warm_stream_s,
+        stateless_s / warm_stream_s,
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.entries,
+        stats.bytes / 1024
+    );
+}
+
+thread_local! {
+    /// Inner-timer result channel: `time_best` times whole closures, but the
+    /// warm measurements must exclude the cold seed that precedes them.
+    static WARM_S: std::cell::Cell<f64> = const { std::cell::Cell::new(0.0) };
+}

@@ -18,7 +18,7 @@
 use crate::attention::BilinearAttention;
 use crate::causal_graph::{ClusterCausalGraph, ItemRelationCache};
 use crate::clustering::ClusterModule;
-use crate::rnn::{Cell, RnnKind};
+use crate::rnn::{Cell, PlainState, RnnKind};
 use crate::variants::CauserVariant;
 use causer_data::Step;
 use causer_tensor::{init, Graph, Matrix, NodeId, ParamId, ParamSet};
@@ -138,10 +138,72 @@ pub struct InferenceCache {
 /// the raw attention weights. Produced by [`CauserModel::history_run`] and
 /// consumed by the candidate-scoring helpers shared between the per-user
 /// path and the batched serving engine.
+#[derive(Clone)]
 pub struct HistoryRun {
     pub c_mat: Matrix,
     pub s_bags: Matrix,
     pub alpha: Vec<f64>,
+}
+
+/// Incrementally maintained encoder state for one (possibly causally
+/// filtered) stream of a user's history — the unit the serving-side
+/// `UserStateStore` persists per user per cluster.
+///
+/// Where [`CauserModel::history_run`] re-encodes the whole history from
+/// scratch, a `StreamState` is advanced by [`CauserModel::advance_stream`]
+/// with one `step_plain` per *new* kept step: the RNN state (hidden plus the
+/// LSTM carry when present), the stacked hidden states, and the unscaled
+/// context rows all grow append-only. Only the attention weights and the
+/// `α`-scaled context matrix are rebuilt after an append, because attention
+/// re-weights the entire stack whenever the summary state moves.
+#[derive(Clone)]
+pub struct StreamState {
+    /// RNN state after the last kept step (`h`, and the carry `c` for LSTM).
+    state: PlainState,
+    /// Stacked hidden states of every kept step (`T×d_h`); attention needs
+    /// the whole stack each time the stream advances.
+    h_stack: Matrix,
+    /// `h_stack · V` (`T×d_e`), unscaled by attention — one new row per kept
+    /// step, never a full re-multiply.
+    hv: Matrix,
+    /// The prepared run consumed by the scoring helpers; identical to what
+    /// [`CauserModel::history_run`] would return over the consumed steps.
+    run: HistoryRun,
+}
+
+impl StreamState {
+    /// Kept (non-filtered, non-empty) steps consumed so far.
+    pub fn steps(&self) -> usize {
+        self.h_stack.rows()
+    }
+
+    /// The prepared run, or `None` while no step survived the filter — the
+    /// exact condition under which [`CauserModel::history_run`] returns
+    /// `None` and scoring falls back to the unfiltered Ŵ≡1 path.
+    pub fn run(&self) -> Option<&HistoryRun> {
+        if self.steps() > 0 {
+            Some(&self.run)
+        } else {
+            None
+        }
+    }
+
+    /// The RNN state after the last kept step (exposes the LSTM carry).
+    pub fn state(&self) -> &PlainState {
+        &self.state
+    }
+
+    /// Approximate resident size in bytes — every matrix and vector this
+    /// stream keeps alive, the quantity the serving state store charges
+    /// against its memory budget.
+    pub fn approx_bytes(&self) -> usize {
+        8 * (self.h_stack.len()
+            + self.hv.len()
+            + self.run.c_mat.len()
+            + self.run.s_bags.len()
+            + self.run.alpha.len()
+            + self.state.num_scalars())
+    }
 }
 
 /// Reusable scratch matrices for [`CauserModel::score_candidates_with_run`].
@@ -719,15 +781,9 @@ impl CauserModel {
         filter_cluster: Option<usize>,
     ) -> Option<HistoryRun> {
         let cfg = &self.config;
-        let eps = cfg.epsilon;
         let kept: Vec<Vec<usize>> = history
             .iter()
-            .map(|step| match filter_cluster {
-                Some(c) => {
-                    step.iter().copied().filter(|&a| ic.rel.w_a_to_cluster(a, c) > eps).collect()
-                }
-                None => step.clone(),
-            })
+            .map(|step| self.kept_step(ic, step, filter_cluster))
             .filter(|s: &Vec<usize>| !s.is_empty())
             .collect();
         if kept.is_empty() {
@@ -737,31 +793,13 @@ impl CauserModel {
         let mut state = self.cell.init_plain_state(1);
         let mut h_rows: Vec<Matrix> = Vec::with_capacity(kept.len());
         let mut s = Matrix::zeros(kept.len(), cfg.k);
-        let free = self.params.value(self.item_in);
         for (t, bag) in kept.iter().enumerate() {
-            let mut x_item = Matrix::zeros(1, cfg.d2);
-            let mut x_free = Matrix::zeros(1, cfg.item_in_dim);
-            for &a in bag {
-                for (o, &e) in x_item.row_mut(0).iter_mut().zip(ic.item_embs.row(a)) {
-                    *o += e;
-                }
-                for (o, &e) in x_free.row_mut(0).iter_mut().zip(free.row(a)) {
-                    *o += e;
-                }
-                for (o, &w) in s.row_mut(t).iter_mut().zip(ic.rel.assignments.row(a)) {
-                    *o += w;
-                }
-            }
-            let x = Matrix::hstack(&[&x_item, &x_free, &user_row]);
+            let x = self.step_input(ic, bag, &user_row, s.row_mut(t));
             state = self.cell.step_plain(&self.params, &x, &state);
             h_rows.push(state.h.clone());
         }
         let h_stack = Matrix::vstack(&h_rows.iter().collect::<Vec<_>>());
-        let alpha: Vec<f64> = if cfg.variant.use_attention() {
-            self.attention.weights_plain(&self.params, &h_stack, &state.h)
-        } else {
-            vec![1.0; kept.len()]
-        };
+        let alpha = self.attention_weights(&h_stack, &state);
         let mut c_mat = h_stack.matmul(self.params.value(self.v)); // T×d_e
         for (t, &a) in alpha.iter().enumerate() {
             for v in c_mat.row_mut(t) {
@@ -769,6 +807,136 @@ impl CauserModel {
             }
         }
         Some(HistoryRun { c_mat, s_bags: s, alpha })
+    }
+
+    /// Filter one history step for a hard-cluster stream: keep the items `a`
+    /// with `Ŵ_{a→c} > ε` (`None` keeps the step unfiltered). Shared by the
+    /// batch path ([`CauserModel::history_run`]) and the incremental path
+    /// ([`CauserModel::advance_stream`]) so the two can never disagree on
+    /// which steps survive.
+    fn kept_step(
+        &self,
+        ic: &InferenceCache,
+        step: &[usize],
+        filter_cluster: Option<usize>,
+    ) -> Vec<usize> {
+        match filter_cluster {
+            Some(c) => {
+                let eps = self.config.epsilon;
+                step.iter().copied().filter(|&a| ic.rel.w_a_to_cluster(a, c) > eps).collect()
+            }
+            None => step.to_vec(),
+        }
+    }
+
+    /// Build the RNN input row for one kept bag (summed encoder embeddings ∥
+    /// summed free embeddings ∥ user row) while accumulating the bag's
+    /// assignment rows into `s_row`. The per-item accumulation order is part
+    /// of the bitwise contract between the batch and incremental encoders.
+    fn step_input(
+        &self,
+        ic: &InferenceCache,
+        bag: &[usize],
+        user_row: &Matrix,
+        s_row: &mut [f64],
+    ) -> Matrix {
+        let cfg = &self.config;
+        let free = self.params.value(self.item_in);
+        let mut x_item = Matrix::zeros(1, cfg.d2);
+        let mut x_free = Matrix::zeros(1, cfg.item_in_dim);
+        for &a in bag {
+            for (o, &e) in x_item.row_mut(0).iter_mut().zip(ic.item_embs.row(a)) {
+                *o += e;
+            }
+            for (o, &e) in x_free.row_mut(0).iter_mut().zip(free.row(a)) {
+                *o += e;
+            }
+            for (o, &w) in s_row.iter_mut().zip(ic.rel.assignments.row(a)) {
+                *o += w;
+            }
+        }
+        Matrix::hstack(&[&x_item, &x_free, user_row])
+    }
+
+    /// Attention weights over a stacked forward, or the Ŵ≡1-style uniform
+    /// weights for the `-att` variants. Shared by both encoder paths.
+    fn attention_weights(&self, h_stack: &Matrix, state: &PlainState) -> Vec<f64> {
+        if self.config.variant.use_attention() {
+            self.attention.weights_plain(&self.params, h_stack, &state.h)
+        } else {
+            vec![1.0; h_stack.rows()]
+        }
+    }
+
+    /// A fresh, empty incremental stream (zero RNN state, zero kept steps).
+    pub fn new_stream(&self) -> StreamState {
+        let cfg = &self.config;
+        StreamState {
+            state: self.cell.init_plain_state(1),
+            h_stack: Matrix::zeros(0, cfg.hidden_dim),
+            hv: Matrix::zeros(0, cfg.item_out_dim),
+            run: HistoryRun {
+                c_mat: Matrix::zeros(0, cfg.item_out_dim),
+                s_bags: Matrix::zeros(0, cfg.k),
+                alpha: Vec::new(),
+            },
+        }
+    }
+
+    /// Advance one incremental stream over `new_steps`: one `step_plain` per
+    /// *kept* step, instead of re-encoding the whole history. After the call,
+    /// `stream.run()` is exactly what [`CauserModel::history_run`] would
+    /// return over the concatenation of every step the stream has ever
+    /// consumed — bitwise on the scalar/sse2 kernel tiers (the serve
+    /// equivalence suites assert this on trained weights), because both paths
+    /// share [`CauserModel::kept_step`]/[`CauserModel::step_input`], the `h·V`
+    /// projection is row-independent, and the attention re-weighting applies
+    /// the same `weights_plain` to the same stacked hidden states.
+    ///
+    /// Steps emptied by the filter are skipped, preserving the Ŵ≡1 fallback
+    /// semantics: a stream that never keeps a step reports `run() == None`,
+    /// the same condition under which `history_run` returns `None`.
+    pub fn advance_stream(
+        &self,
+        ic: &InferenceCache,
+        user: usize,
+        filter_cluster: Option<usize>,
+        new_steps: &[Step],
+        stream: &mut StreamState,
+    ) {
+        let mut user_row: Option<Matrix> = None;
+        let mut appended = false;
+        for step in new_steps {
+            let bag = self.kept_step(ic, step, filter_cluster);
+            if bag.is_empty() {
+                continue;
+            }
+            let user_row = user_row
+                .get_or_insert_with(|| self.params.value(self.user_emb).select_rows(&[user]));
+            let mut s_row = vec![0.0; self.config.k];
+            let x = self.step_input(ic, &bag, user_row, &mut s_row);
+            stream.state = self.cell.step_plain(&self.params, &x, &stream.state);
+            stream.h_stack.push_row(stream.state.h.row(0));
+            let hv_row = stream.state.h.matmul(self.params.value(self.v));
+            stream.hv.push_row(hv_row.row(0));
+            stream.run.s_bags.push_row(&s_row);
+            appended = true;
+        }
+        if !appended {
+            return;
+        }
+        // Attention depends on the final hidden state, so the weights — and
+        // the α-scaled context — are rebuilt over the whole stack. That is
+        // the O(T) residue of an append; the O(T·K) encoder re-runs are gone.
+        let alpha = self.attention_weights(&stream.h_stack, &stream.state);
+        let mut c_mat = stream.hv.clone();
+        for (t, &a) in alpha.iter().enumerate() {
+            for v in c_mat.row_mut(t) {
+                *v *= a;
+            }
+        }
+        stream.run.c_mat = c_mat;
+        stream.run.alpha = alpha;
     }
 
     /// Explanation scores of §V-E for a single-item-per-step history:
@@ -962,5 +1130,111 @@ mod tests {
         let model = toy_model(CauserVariant::Full, RnnKind::Gru);
         let n = model.num_parameters();
         assert!(n > 500 && n < 100_000, "{n}");
+    }
+
+    fn assert_run_eq(inc: &HistoryRun, full: &HistoryRun, ctx: &str) {
+        assert_eq!(inc.alpha.len(), full.alpha.len(), "{ctx}: step count");
+        for (a, b) in inc.alpha.iter().zip(&full.alpha) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: alpha");
+        }
+        for (a, b) in inc.c_mat.data().iter().zip(full.c_mat.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: c_mat");
+        }
+        for (a, b) in inc.s_bags.data().iter().zip(full.s_bags.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: s_bags");
+        }
+    }
+
+    #[test]
+    fn incremental_stream_matches_history_run_bitwise() {
+        let history: Vec<Step> =
+            vec![vec![0], vec![1, 2], vec![3], vec![4, 5, 6], vec![7], vec![8, 9]];
+        for rnn in [RnnKind::Gru, RnnKind::Lstm] {
+            for variant in CauserVariant::ALL {
+                let model = toy_model(variant, rnn);
+                let ic = model.inference_cache();
+                for filter in [None, Some(0), Some(1), Some(2)] {
+                    let mut stream = model.new_stream();
+                    for t in 0..history.len() {
+                        model.advance_stream(&ic, 2, filter, &history[t..t + 1], &mut stream);
+                        let full = model.history_run(&ic, 2, &history[..t + 1], filter);
+                        let ctx = format!("{rnn:?}/{variant:?}/filter={filter:?}/t={t}");
+                        match (stream.run(), full) {
+                            (None, None) => {}
+                            (Some(inc), Some(full)) => assert_run_eq(inc, &full, &ctx),
+                            (inc, full) => panic!(
+                                "{ctx}: warm/cold disagree on fallback \
+                                 (inc={:?} full={:?})",
+                                inc.is_some(),
+                                full.is_some()
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advance_stream_batch_equals_one_at_a_time() {
+        let history: Vec<Step> = vec![vec![0, 1], vec![2], vec![3, 4], vec![5], vec![6, 7]];
+        for rnn in [RnnKind::Gru, RnnKind::Lstm] {
+            let model = toy_model(CauserVariant::Full, rnn);
+            let ic = model.inference_cache();
+            let mut one = model.new_stream();
+            for step in &history {
+                model.advance_stream(&ic, 1, Some(1), std::slice::from_ref(step), &mut one);
+            }
+            let mut batch = model.new_stream();
+            model.advance_stream(&ic, 1, Some(1), &history, &mut batch);
+            assert_eq!(one.steps(), batch.steps());
+            if let (Some(a), Some(b)) = (one.run(), batch.run()) {
+                assert_run_eq(a, b, "batch-vs-single");
+            }
+            // The RNN state itself (incl. the LSTM carry) must agree too.
+            for (a, b) in one.state().h.data().iter().zip(batch.state().h.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "hidden state");
+            }
+            match (&one.state().c, &batch.state().c) {
+                (None, None) => assert_eq!(rnn, RnnKind::Gru),
+                (Some(a), Some(b)) => {
+                    assert_eq!(rnn, RnnKind::Lstm);
+                    for (x, y) in a.data().iter().zip(b.data()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "lstm carry");
+                    }
+                }
+                _ => panic!("carry presence disagrees"),
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_out_stream_reports_no_run() {
+        let mut model = toy_model(CauserVariant::Full, RnnKind::Gru);
+        model.config.epsilon = f64::INFINITY; // nothing survives the filter
+        let ic = model.inference_cache();
+        let mut stream = model.new_stream();
+        model.advance_stream(&ic, 0, Some(0), &toy_history(), &mut stream);
+        assert_eq!(stream.steps(), 0);
+        assert!(stream.run().is_none(), "empty filter must report the Ŵ≡1 fallback condition");
+        assert!(stream.approx_bytes() >= 8, "state itself still counts toward the budget");
+    }
+
+    #[test]
+    fn stream_bytes_grow_with_steps_and_cover_the_carry() {
+        let model = toy_model(CauserVariant::Full, RnnKind::Lstm);
+        let ic = model.inference_cache();
+        let mut stream = model.new_stream();
+        let empty = stream.approx_bytes();
+        model.advance_stream(&ic, 3, None, &toy_history(), &mut stream);
+        assert_eq!(stream.steps(), 3);
+        assert!(stream.approx_bytes() > empty);
+        // LSTM streams are strictly larger than GRU streams of the same
+        // shape: the carry is resident and must be charged.
+        let gru = toy_model(CauserVariant::Full, RnnKind::Gru);
+        let gic = gru.inference_cache();
+        let mut gstream = gru.new_stream();
+        gru.advance_stream(&gic, 3, None, &toy_history(), &mut gstream);
+        assert!(stream.approx_bytes() > gstream.approx_bytes());
     }
 }

@@ -260,6 +260,16 @@ pub struct PlainState {
     pub c: Option<Matrix>,
 }
 
+impl PlainState {
+    /// Scalars held by this state: the hidden vector plus, for LSTM, the
+    /// carry `c`. This is the unit the serving-side user-state store counts
+    /// against its memory budget, so it must cover *every* matrix a state
+    /// keeps alive.
+    pub fn num_scalars(&self) -> usize {
+        self.h.len() + self.c.as_ref().map_or(0, |c| c.len())
+    }
+}
+
 impl Cell {
     pub fn new<R: Rng + ?Sized>(
         kind: RnnKind,
@@ -410,6 +420,16 @@ mod tests {
             let sq = g.mul(s2.h, s2.h);
             g.sum_all(sq)
         });
+    }
+
+    #[test]
+    fn plain_state_scalar_count_covers_the_carry() {
+        let mut r = rng();
+        let mut ps = ParamSet::new();
+        let gru = Cell::new(RnnKind::Gru, &mut ps, "g", 2, 4, &mut r);
+        let lstm = Cell::new(RnnKind::Lstm, &mut ps, "l", 2, 4, &mut r);
+        assert_eq!(gru.init_plain_state(1).num_scalars(), 4);
+        assert_eq!(lstm.init_plain_state(1).num_scalars(), 8, "LSTM must count h and c");
     }
 
     #[test]

@@ -283,12 +283,23 @@ pub fn lint_file(ctx: &FileCtx, src: &str) -> Vec<Finding> {
         }
 
         // no-panic-in-serve-hot-path: the serving layer sheds load with Err
-        // (`SubmitError::QueueFull`), it never panics.
+        // (`SubmitError::QueueFull`), it never panics. The rule covers every
+        // module of the serve crate — queue, scorer, reload, state_store —
+        // and the release-mode `assert!` family too (a failed assert IS a
+        // panic); `debug_assert*` stays allowed because it compiles out of
+        // the serving build.
         if ctx.in_crate("serve") {
-            let is_panic_macro =
-                matches!(tok.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
-                    && tok.kind == TokKind::Ident
-                    && sig.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            let is_panic_macro = matches!(
+                tok.text.as_str(),
+                "panic"
+                    | "unreachable"
+                    | "todo"
+                    | "unimplemented"
+                    | "assert"
+                    | "assert_eq"
+                    | "assert_ne"
+            ) && tok.kind == TokKind::Ident
+                && sig.get(i + 1).is_some_and(|t| t.is_punct('!'));
             if is_panic_macro {
                 emit(
                     NO_PANIC_SERVE,
@@ -418,6 +429,32 @@ mod tests {
     fn panic_macros_flagged_in_serve_only() {
         let src = "fn f() { panic!(\"boom\"); unreachable!() }";
         assert_eq!(lint("crates/serve/src/x.rs", src).len(), 2);
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_covers_every_serve_module_including_the_state_store() {
+        let src = "fn lookup() { panic!(\"no entry\") }";
+        for path in [
+            "crates/serve/src/state_store.rs",
+            "crates/serve/src/queue.rs",
+            "crates/serve/src/scorer.rs",
+            "crates/serve/src/some_future_module.rs",
+        ] {
+            let f = lint(path, src);
+            assert_eq!(f.len(), 1, "{path} must be covered");
+            assert_eq!(f[0].rule, NO_PANIC_SERVE);
+        }
+    }
+
+    #[test]
+    fn release_asserts_flagged_in_serve_debug_asserts_allowed() {
+        let src = "fn f(a: usize) { assert!(a > 0); assert_eq!(a, 1); assert_ne!(a, 2); \
+                   debug_assert!(a > 0); debug_assert_eq!(a, 1); }";
+        let f = lint("crates/serve/src/state_store.rs", src);
+        assert_eq!(f.len(), 3, "the three release-mode asserts: {f:?}");
+        assert!(f.iter().all(|f| f.rule == NO_PANIC_SERVE));
+        // Outside the serve crate the assert family stays unrestricted.
         assert!(lint("crates/core/src/x.rs", src).is_empty());
     }
 

@@ -106,3 +106,25 @@ fn deleting_a_real_gradcheck_resurfaces_as_a_finding() {
         "deleted sigmoid gradcheck not detected: {findings:?}"
     );
 }
+
+#[test]
+fn planted_panic_in_the_state_store_lookup_path_is_a_finding() {
+    // The shipped store must lint clean under the serve panic rule...
+    let root = causer_lint::workspace_root();
+    let rel = "crates/serve/src/state_store.rs";
+    let src = fs::read_to_string(root.join(rel)).expect("state_store.rs is readable");
+    let clean = lint_as(rel, &src);
+    assert!(clean.is_empty(), "shipped state store must lint clean: {clean:?}");
+    // ...and a panic planted into the lookup path (`with_state`'s critical
+    // section) must fail the gate — the store sheds to a cold re-encode on
+    // every anomaly, it never panics a serving thread.
+    let anchor = "let mut shard = self.shard_of(user)";
+    assert!(src.contains(anchor), "with_state lookup anchor moved; update this test");
+    let planted =
+        src.replacen(anchor, "panic!(\"planted\"); let mut shard = self.shard_of(user)", 1);
+    let findings = lint_as(rel, &planted);
+    assert!(
+        findings.iter().any(|f| f.rule == causer_lint::rules::NO_PANIC_SERVE),
+        "planted panic! in the lookup path not caught: {findings:?}"
+    );
+}

@@ -113,6 +113,28 @@ pub mod names {
     /// Histogram (ms): enqueue-to-reply latency per request.
     pub const SERVE_LATENCY_MS: &str = "serve.latency_ms";
 
+    /// Counter: stateful requests answered from a warm per-user state
+    /// (zero history re-encoding).
+    pub const SERVE_STATE_HITS_TOTAL: &str = "serve.state_store.hits_total";
+    /// Counter: stateful requests that re-encoded in full — first sight of
+    /// a user, post-eviction, stale generation after a hot reload, or a
+    /// history past the clamp window.
+    pub const SERVE_STATE_MISSES_TOTAL: &str = "serve.state_store.misses_total";
+    /// Counter: entries evicted by the per-shard LRU to get back under the
+    /// memory budget.
+    pub const SERVE_STATE_EVICTIONS_TOTAL: &str = "serve.state_store.evictions_total";
+    /// Gauge: user entries resident across all shards of the state store.
+    pub const SERVE_STATE_ENTRIES: &str = "serve.state_store.entries";
+    /// Gauge: approximate resident bytes across all shards (the quantity
+    /// the LRU budget bounds).
+    pub const SERVE_STATE_BYTES: &str = "serve.state_store.resident_bytes";
+    /// Histogram (ms): lookup-advance-score latency of warm stateful
+    /// requests (incremental path).
+    pub const SERVE_STATE_WARM_MS: &str = "serve.state_store.warm_ms";
+    /// Histogram (ms): lookup-encode-score latency of cold stateful
+    /// requests (full re-encode seeding the store).
+    pub const SERVE_STATE_COLD_MS: &str = "serve.state_store.cold_ms";
+
     /// Event: one record per hot reload, carrying the new `generation`.
     pub const EV_SERVE_RELOAD: &str = "serve.reload";
 

@@ -15,13 +15,21 @@
 //!   burst traffic gets full batches.
 //! - [`ModelHandle`] — hot reload by atomic `Arc` swap; in-flight batches
 //!   finish on the snapshot they started with.
+//! - [`UserStateStore`] — per-user incremental encoder state (the K
+//!   filtered RNN streams plus the Ŵ≡1 fallback, LSTM carry included),
+//!   user-id-sharded with LRU eviction under a byte budget and
+//!   generation-stamped against hot reloads, so a returning user's request
+//!   costs one `step_plain` per new interaction per affected cluster-stream
+//!   instead of an O(K·L) history re-encode.
 
 #![warn(missing_docs)]
 
 mod queue;
 mod reload;
 mod scorer;
+mod state_store;
 
 pub use queue::{BatchQueue, QueueConfig, SubmitError};
 pub use reload::ModelHandle;
 pub use scorer::{BatchScorer, Ranked, ScoreRequest, ServeState};
+pub use state_store::{StateStoreConfig, StoreStats, UserEncoding, UserStateStore};

@@ -17,6 +17,7 @@
 
 use crate::reload::ModelHandle;
 use crate::scorer::{BatchScorer, Ranked, ScoreRequest};
+use crate::state_store::UserStateStore;
 use causer_obs::names as obs;
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -120,9 +121,33 @@ pub struct BatchQueue {
 }
 
 impl BatchQueue {
-    /// Start a queue serving the given model handle.
+    /// Start a queue serving the given model handle (stateless scoring:
+    /// every request re-encodes its history).
     pub fn start(handle: Arc<ModelHandle>, cfg: QueueConfig) -> Self {
+        BatchQueue::start_inner(handle, None, cfg)
+    }
+
+    /// Start a queue whose worker scores through a [`UserStateStore`]:
+    /// returning users advance their per-user encoder state incrementally
+    /// instead of re-encoding their history per request. Hot reloads stay
+    /// safe — the store's generation stamps invalidate stale state.
+    pub fn start_stateful(
+        handle: Arc<ModelHandle>,
+        store: Arc<UserStateStore>,
+        cfg: QueueConfig,
+    ) -> Self {
+        BatchQueue::start_inner(handle, Some(store), cfg)
+    }
+
+    fn start_inner(
+        handle: Arc<ModelHandle>,
+        store: Option<Arc<UserStateStore>>,
+        cfg: QueueConfig,
+    ) -> Self {
+        // Construction-time config validation, not hot-path input handling:
+        // causer-lint: allow(no-panic-in-serve-hot-path)
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        // causer-lint: allow(no-panic-in-serve-hot-path)
         assert!(cfg.capacity >= 1, "capacity must be at least 1");
         let shared = Arc::new(Shared {
             state: Mutex::new(State { pending: VecDeque::new(), shutdown: false, batches: 0 }),
@@ -136,7 +161,9 @@ impl BatchQueue {
             // The queue's worker deliberately outlives `start`: it owns its
             // Arc'd state and is joined in `shutdown_inner` (also on Drop).
             // causer-lint: allow(no-unscoped-spawn)
-            std::thread::spawn(move || worker_loop(&shared, &handle, &cfg, &metrics))
+            std::thread::spawn(move || {
+                worker_loop(&shared, &handle, store.as_deref(), &cfg, &metrics)
+            })
         };
         BatchQueue { shared, cfg, worker: Some(worker), metrics }
     }
@@ -204,6 +231,7 @@ impl Drop for BatchQueue {
 fn worker_loop(
     shared: &Shared,
     handle: &Arc<ModelHandle>,
+    store: Option<&UserStateStore>,
     cfg: &QueueConfig,
     metrics: &Option<QueueMetrics>,
 ) {
@@ -247,7 +275,10 @@ fn worker_loop(
         let _batch_span = causer_obs::span(obs::SP_SERVE_BATCH);
         let snapshot = handle.snapshot();
         let reqs: Vec<ScoreRequest> = drained.iter().map(|(r, _, _)| r.clone()).collect();
-        let ranked = scorer.score_batch(&snapshot, &reqs);
+        let ranked = match store {
+            Some(store) => scorer.score_batch_stateful(&snapshot, store, &reqs),
+            None => scorer.score_batch(&snapshot, &reqs),
+        };
         for ((_, tx, enqueued), mut response) in drained.into_iter().zip(ranked) {
             response.batch = batch_id;
             // A dropped receiver just means the caller gave up waiting.

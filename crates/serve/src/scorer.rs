@@ -19,6 +19,7 @@
 //! - batches fan out over worker threads in contiguous shards (requests are
 //!   independent, so the fan-out cannot change any score).
 
+use crate::state_store::{UserEncoding, UserStateStore};
 use causer_core::{CauserModel, ClusterEffectCache, InferenceCache, ScoreBufs};
 use causer_data::Step;
 use causer_tensor::{shard_ranges, Matrix};
@@ -161,6 +162,57 @@ impl BatchScorer {
             .collect()
     }
 
+    /// Score a batch against a [`UserStateStore`] of per-user incremental
+    /// encoder state. Full-catalog requests whose history fits the model
+    /// window are answered from the store: warm users advance by their new
+    /// steps only (zero history re-encoding), cold/evicted/stale users
+    /// re-encode in full and seed the store. Candidate-subset requests keep
+    /// the stateless per-request path (their score slots differ).
+    ///
+    /// Responses are bitwise-identical to [`BatchScorer::score_batch`] on
+    /// the scalar/sse2 kernel tiers (≤1e-12 on avx2): warm runs are exactly
+    /// the runs a full re-encode would rebuild, and both paths score through
+    /// the same `score_candidates_with_run`/`uniform_vh` helpers.
+    pub fn score_batch_stateful(
+        &self,
+        state: &ServeState,
+        store: &UserStateStore,
+        reqs: &[ScoreRequest],
+    ) -> Vec<Ranked> {
+        let mut out: Vec<Option<Ranked>> = (0..reqs.len()).map(|_| None).collect();
+        if self.threads == 1 || reqs.len() == 1 {
+            let mut bufs = ScoreBufs::new();
+            for (req, slot) in reqs.iter().zip(out.iter_mut()) {
+                *slot = Some(score_one_stateful(state, store, req, &mut bufs));
+            }
+        } else {
+            let ranges = shard_ranges(reqs.len(), self.threads);
+            std::thread::scope(|scope| {
+                let mut rest: &mut [Option<Ranked>] = &mut out;
+                let mut offset = 0;
+                for range in ranges {
+                    let shard = &reqs[range.clone()];
+                    let (slots, tail) = rest.split_at_mut(range.end - offset);
+                    rest = tail;
+                    offset = range.end;
+                    scope.spawn(move || {
+                        let mut bufs = ScoreBufs::new();
+                        for (req, slot) in shard.iter().zip(slots.iter_mut()) {
+                            *slot = Some(score_one_stateful(state, store, req, &mut bufs));
+                        }
+                    });
+                }
+            });
+        }
+        out.into_iter()
+            .map(|r| {
+                let mut r = r.expect("every request scored");
+                r.generation = state.generation;
+                r
+            })
+            .collect()
+    }
+
     /// The `-causal` fast path: one `uniform_vh` row per user, stacked into
     /// `B×d_e`, then `scores = VH · E_outᵀ` (+ bias) for the full catalog in
     /// one blocked `matmul_nt`. Requests with explicit candidate sets or an
@@ -215,6 +267,84 @@ fn score_one(state: &ServeState, req: &ScoreRequest, bufs: &mut ScoreBufs) -> Ra
             rank(&scores, None, req.k)
         }
     }
+}
+
+/// Score one request through the state store. Empty (clamped) histories
+/// score all-zero without touching the store — the same early-out as the
+/// stateless path — so no entry is ever seeded for an empty history.
+fn score_one_stateful(
+    state: &ServeState,
+    store: &UserStateStore,
+    req: &ScoreRequest,
+    bufs: &mut ScoreBufs,
+) -> Ranked {
+    if req.candidates.is_some() {
+        return score_one(state, req, bufs);
+    }
+    let model = &state.model;
+    if model.clamp_history(&req.history).is_empty() {
+        return rank(&vec![0.0; model.config.num_items], None, req.k);
+    }
+    let (scores, _warm) = store.with_state(state, req.user, &req.history, |enc| {
+        score_catalog_from_encoding(state, enc, bufs)
+    });
+    rank(&scores, None, req.k)
+}
+
+/// Full-catalog scoring from a prepared per-user encoding — the same
+/// cluster-ascending order, fallback rule, and per-candidate arithmetic as
+/// [`score_catalog`], with every run read out of the encoding instead of
+/// re-encoded. Given bitwise-equal runs (the `StreamState` contract), the
+/// scores are bitwise-equal.
+fn score_catalog_from_encoding(
+    state: &ServeState,
+    enc: &UserEncoding,
+    bufs: &mut ScoreBufs,
+) -> Vec<f64> {
+    let model = &state.model;
+    let n = model.config.num_items;
+    let mut scores = vec![0.0f64; n];
+    if !model.config.variant.use_causal() {
+        if let Some(run) = enc.unfiltered_run() {
+            let vh = model.uniform_vh(run);
+            for (b, slot) in scores.iter_mut().enumerate() {
+                *slot = model.score_one_with_vh(&vh, b);
+            }
+        }
+        return scores;
+    }
+    let mut fallback_vh: Option<Option<Vec<f64>>> = None;
+    let mut out = Vec::new();
+    for (c, cand) in state.effects.members.iter().enumerate() {
+        if cand.is_empty() {
+            continue;
+        }
+        let Some(run) = enc.cluster_run(c) else {
+            let vh = fallback_vh
+                .get_or_insert_with(|| enc.unfiltered_run().map(|run| model.uniform_vh(run)))
+                .clone();
+            if let Some(vh) = vh {
+                for &b in cand {
+                    scores[b] = model.score_one_with_vh(&vh, b);
+                }
+            }
+            continue;
+        };
+        out.clear();
+        out.resize(cand.len(), 0.0);
+        model.score_candidates_with_run(
+            &state.ic,
+            run,
+            cand,
+            &state.effects.member_assign[c],
+            bufs,
+            &mut out,
+        );
+        for (&b, &s) in cand.iter().zip(out.iter()) {
+            scores[b] = s;
+        }
+    }
+    scores
 }
 
 /// Full-catalog scoring using the precomputed cluster grouping and gathered

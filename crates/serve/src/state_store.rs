@@ -1,0 +1,390 @@
+//! Per-user incremental encoder state with LRU sharding — the serving-side
+//! answer to the per-request RNN tax.
+//!
+//! Scoring one request on the causal path re-runs eq. (10)'s filtered
+//! sequence encoder up to K times over the user's whole history: O(K·L)
+//! per request even though only the last interaction is new. The
+//! [`UserStateStore`] persists, per user, the K causally-filtered
+//! [`StreamState`]s plus the unfiltered Ŵ≡1 fallback stream (each carrying
+//! the RNN hidden state — and the LSTM carry `c` when the cell has one),
+//! and advances them with one `step_plain` per *new* interaction per
+//! affected cluster-stream: O(K) per interaction amortized, zero history
+//! re-encoding on a warm hit.
+//!
+//! Three properties make the cache safe to serve from:
+//!
+//! - **Bitwise equivalence** — a warm entry's prepared runs are exactly what
+//!   [`causer_core::CauserModel::history_run`] would rebuild from scratch
+//!   (bitwise on the scalar/sse2 kernel tiers, ≤1e-12 on avx2), so scoring
+//!   through the store cannot drift from `score_all`. The serve test suite
+//!   and the golden-metrics harness assert this on trained weights.
+//! - **Generation safety** — every entry is stamped with the
+//!   [`ServeState::generation`] that encoded it. A hot reload bumps the
+//!   generation; the stale entry is discarded on its next lookup and the
+//!   user re-encodes under the new weights. State from generation `g` never
+//!   scores under `g+1` (the stress suite proves it under concurrent
+//!   reloads).
+//! - **Bounded memory** — entries live in `user % shards` shards, each
+//!   behind its own mutex with its own slice of the byte budget. After
+//!   every call the shard evicts least-recently-used entries until it is
+//!   back under budget, so "resident bytes ≤ budget" holds whenever no
+//!   call is in flight. An evicted user simply re-encodes (and re-seeds)
+//!   on their next request.
+//!
+//! Histories that outgrow the model's `max_history` clamp window stop being
+//! append-only (the window slides), so such requests bypass the store:
+//! counted as misses, scored from a throwaway encoding, resident state
+//! untouched.
+
+use crate::scorer::ServeState;
+use causer_core::{HistoryRun, StreamState};
+use causer_data::Step;
+use causer_obs::names as obs;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tuning knobs for [`UserStateStore`].
+#[derive(Clone, Debug)]
+pub struct StateStoreConfig {
+    /// Number of independent shards (clamped to at least 1). Requests for
+    /// different users contend only when `user % shards` collides.
+    pub shards: usize,
+    /// Total approximate byte budget across all shards; each shard evicts
+    /// LRU-first down to `max_bytes / shards`.
+    pub max_bytes: usize,
+}
+
+impl Default for StateStoreConfig {
+    fn default() -> Self {
+        StateStoreConfig { shards: 16, max_bytes: 64 << 20 }
+    }
+}
+
+/// A point-in-time view of the store's counters and residency, for tests
+/// and debugging (the same numbers feed the `serve.state_store.*` metrics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Warm lookups served incrementally.
+    pub hits: u64,
+    /// Cold lookups (first sight, evicted, stale generation, or clamp-window
+    /// bypass) that re-encoded in full.
+    pub misses: u64,
+    /// Entries evicted under the memory budget.
+    pub evictions: u64,
+    /// User entries currently resident.
+    pub entries: usize,
+    /// Approximate resident bytes currently charged against the budget.
+    pub bytes: usize,
+}
+
+/// The full per-user encoder state: one causally-filtered stream per
+/// cluster plus the unfiltered Ŵ≡1 fallback stream. The scorer reads
+/// prepared [`HistoryRun`]s out of it; the store owns its lifecycle.
+pub struct UserEncoding {
+    clusters: Vec<StreamState>,
+    unfiltered: StreamState,
+}
+
+impl UserEncoding {
+    fn fresh(state: &ServeState) -> Self {
+        let model = &state.model;
+        let clusters = if model.config.variant.use_causal() {
+            (0..model.config.k).map(|_| model.new_stream()).collect()
+        } else {
+            // The -causal variants only ever read the unfiltered stream.
+            Vec::new()
+        };
+        UserEncoding { clusters, unfiltered: model.new_stream() }
+    }
+
+    /// One `step_plain` per new step per stream that keeps it — the whole
+    /// point of the store. Steps a cluster's filter empties are skipped for
+    /// that stream (preserving the Ŵ≡1 fallback condition exactly).
+    fn advance(&mut self, state: &ServeState, user: usize, new_steps: &[Step]) {
+        let model = &state.model;
+        for (c, stream) in self.clusters.iter_mut().enumerate() {
+            model.advance_stream(&state.ic, user, Some(c), new_steps, stream);
+        }
+        model.advance_stream(&state.ic, user, None, new_steps, &mut self.unfiltered);
+    }
+
+    /// The prepared run of cluster `c`'s filtered stream, or `None` when the
+    /// filter emptied every consumed step (scoring then falls back to the
+    /// unfiltered Ŵ≡1 run, exactly like the batch path).
+    pub fn cluster_run(&self, c: usize) -> Option<&HistoryRun> {
+        self.clusters.get(c).and_then(StreamState::run)
+    }
+
+    /// The unfiltered Ŵ≡1 stream's prepared run (`None` only while the
+    /// encoding has consumed no steps at all).
+    pub fn unfiltered_run(&self) -> Option<&HistoryRun> {
+        self.unfiltered.run()
+    }
+
+    /// Approximate resident bytes of every stream this encoding holds.
+    pub fn approx_bytes(&self) -> usize {
+        self.clusters.iter().map(StreamState::approx_bytes).sum::<usize>()
+            + self.unfiltered.approx_bytes()
+    }
+}
+
+/// Fixed per-entry overhead charged on top of the streams: the consumed
+/// history's spine, the map slot, and bookkeeping.
+const ENTRY_OVERHEAD: usize = 256;
+
+struct Entry {
+    /// [`ServeState::generation`] under which this entry was encoded.
+    generation: u64,
+    /// Every step the streams have consumed, in order — the prefix the next
+    /// request's clamped history must extend for the entry to be warm.
+    consumed: Vec<Step>,
+    encoding: UserEncoding,
+    /// Bytes charged to the shard budget for this entry.
+    bytes: usize,
+    /// Last-touch tick for LRU ordering (shard-local, monotone).
+    tick: u64,
+}
+
+impl Entry {
+    fn recost(&mut self) {
+        let consumed: usize = self.consumed.iter().map(|s| 8 * s.len() + 24).sum();
+        self.bytes = self.encoding.approx_bytes() + consumed + ENTRY_OVERHEAD;
+    }
+}
+
+struct Shard {
+    entries: HashMap<usize, Entry>,
+    /// Sum of `Entry::bytes` over `entries`.
+    bytes: usize,
+    /// Monotone LRU clock.
+    tick: u64,
+}
+
+/// Pre-registered handles for the `serve.state_store.*` metrics; `None`
+/// while observability is disabled so lookups never touch the registry.
+struct StoreMetrics {
+    hits: causer_obs::Counter,
+    misses: causer_obs::Counter,
+    evictions: causer_obs::Counter,
+    entries: causer_obs::Gauge,
+    bytes: causer_obs::Gauge,
+    warm_ms: causer_obs::Histogram,
+    cold_ms: causer_obs::Histogram,
+}
+
+impl StoreMetrics {
+    fn new() -> Option<Self> {
+        if !causer_obs::enabled() {
+            return None;
+        }
+        let r = causer_obs::global();
+        Some(StoreMetrics {
+            hits: r.counter(obs::SERVE_STATE_HITS_TOTAL),
+            misses: r.counter(obs::SERVE_STATE_MISSES_TOTAL),
+            evictions: r.counter(obs::SERVE_STATE_EVICTIONS_TOTAL),
+            entries: r.gauge(obs::SERVE_STATE_ENTRIES),
+            bytes: r.gauge(obs::SERVE_STATE_BYTES),
+            warm_ms: r.histogram(obs::SERVE_STATE_WARM_MS, causer_obs::Buckets::default_ms()),
+            cold_ms: r.histogram(obs::SERVE_STATE_COLD_MS, causer_obs::Buckets::default_ms()),
+        })
+    }
+}
+
+/// User-id-sharded, LRU-evicted, generation-stamped store of per-user
+/// incremental encoder state. See the module docs for the contract.
+pub struct UserStateStore {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget (`max_bytes / shards`, at least 1).
+    shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    total_entries: AtomicU64,
+    total_bytes: AtomicU64,
+    metrics: Option<StoreMetrics>,
+}
+
+impl UserStateStore {
+    /// Build a store with the given sharding and byte budget.
+    pub fn new(cfg: StateStoreConfig) -> Self {
+        let shards = cfg.shards.max(1);
+        let shard_budget = (cfg.max_bytes / shards).max(1);
+        UserStateStore {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { entries: HashMap::new(), bytes: 0, tick: 0 }))
+                .collect(),
+            shard_budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            total_entries: AtomicU64::new(0),
+            total_bytes: AtomicU64::new(0),
+            metrics: StoreMetrics::new(),
+        }
+    }
+
+    /// A store with default sharding and the given total byte budget.
+    pub fn with_budget(max_bytes: usize) -> Self {
+        UserStateStore::new(StateStoreConfig { max_bytes, ..StateStoreConfig::default() })
+    }
+
+    /// Current counters and residency.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::SeqCst),
+            misses: self.misses.load(Ordering::SeqCst),
+            evictions: self.evictions.load(Ordering::SeqCst),
+            entries: usize::try_from(self.total_entries.load(Ordering::SeqCst)).unwrap_or(0),
+            bytes: usize::try_from(self.total_bytes.load(Ordering::SeqCst)).unwrap_or(0),
+        }
+    }
+
+    /// Whether a (non-stale-checked) entry is resident for `user`.
+    pub fn contains(&self, user: usize) -> bool {
+        let shard = self.shard_of(user).lock().expect("state-store shard poisoned");
+        shard.entries.contains_key(&user)
+    }
+
+    /// Drop every resident entry (counters keep their totals).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("state-store shard poisoned");
+            shard.entries.clear();
+            shard.bytes = 0;
+        }
+        self.total_entries.store(0, Ordering::SeqCst);
+        self.total_bytes.store(0, Ordering::SeqCst);
+        self.publish_residency();
+    }
+
+    fn shard_of(&self, user: usize) -> &Mutex<Shard> {
+        &self.shards[user % self.shards.len()]
+    }
+
+    /// Look up, advance (or seed), and score against the per-user state in
+    /// one critical section; returns the closure's result and whether the
+    /// lookup was warm. This is the single entry point of the store — the
+    /// LRU touch, the budget sweep, and the metrics all happen here.
+    ///
+    /// `history` is the request's full history; clamping to the model
+    /// window happens inside. A history longer than the window bypasses the
+    /// store (see the module docs).
+    pub fn with_state<R>(
+        &self,
+        state: &ServeState,
+        user: usize,
+        history: &[Step],
+        score: impl FnOnce(&UserEncoding) -> R,
+    ) -> (R, bool) {
+        let started = self.metrics.as_ref().map(|_| Instant::now());
+        let clamped = state.model.clamp_history(history);
+        if history.len() > state.model.config.max_history {
+            // The clamp window slid: the stored prefix can no longer match.
+            // Score from a throwaway encoding; resident state stays as-is.
+            let mut enc = UserEncoding::fresh(state);
+            enc.advance(state, user, &clamped);
+            self.misses.fetch_add(1, Ordering::SeqCst);
+            let result = score(&enc);
+            self.observe(started, false);
+            return (result, false);
+        }
+
+        let mut shard = self.shard_of(user).lock().expect("state-store shard poisoned");
+        let generation = state.generation;
+        let warm = shard
+            .entries
+            .get(&user)
+            .is_some_and(|e| e.generation == generation && is_prefix(&e.consumed, &clamped));
+        if warm {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.misses.fetch_add(1, Ordering::SeqCst);
+        }
+        let tick = shard.tick;
+        shard.tick += 1;
+        let freed: usize;
+        let charged: usize;
+        let result = if warm {
+            let entry = shard.entries.get_mut(&user).expect("warm entry vanished under lock");
+            freed = entry.bytes;
+            let new_steps = clamped[entry.consumed.len()..].to_vec();
+            entry.encoding.advance(state, user, &new_steps);
+            entry.consumed.extend(new_steps);
+            entry.recost();
+            entry.tick = tick;
+            charged = entry.bytes;
+            score(&entry.encoding)
+        } else {
+            // Cold: full re-encode over the clamped history, seeding the
+            // store (replacing any evicted/stale entry for this user).
+            let mut encoding = UserEncoding::fresh(state);
+            encoding.advance(state, user, &clamped);
+            let mut entry = Entry { generation, consumed: clamped, encoding, bytes: 0, tick };
+            entry.recost();
+            charged = entry.bytes;
+            let result = score(&entry.encoding);
+            freed = match shard.entries.insert(user, entry) {
+                Some(old) => old.bytes,
+                None => {
+                    self.total_entries.fetch_add(1, Ordering::SeqCst);
+                    0
+                }
+            };
+            result
+        };
+        shard.bytes = shard.bytes + charged - freed;
+        self.total_bytes.fetch_add(charged as u64, Ordering::SeqCst);
+        self.total_bytes.fetch_sub(freed as u64, Ordering::SeqCst);
+        self.evict_over_budget(&mut shard);
+        drop(shard);
+        self.publish_residency();
+        self.observe(started, warm);
+        (result, warm)
+    }
+
+    /// Evict least-recently-used entries until the shard is back under its
+    /// budget. May evict the entry just touched when it alone exceeds the
+    /// budget — the byte bound is the harder invariant.
+    fn evict_over_budget(&self, shard: &mut Shard) {
+        while shard.bytes > self.shard_budget && !shard.entries.is_empty() {
+            let Some((&victim, _)) = shard.entries.iter().min_by_key(|(_, e)| e.tick) else {
+                return;
+            };
+            if let Some(evicted) = shard.entries.remove(&victim) {
+                shard.bytes = shard.bytes.saturating_sub(evicted.bytes);
+                self.total_bytes.fetch_sub(evicted.bytes as u64, Ordering::SeqCst);
+                self.total_entries.fetch_sub(1, Ordering::SeqCst);
+                self.evictions.fetch_add(1, Ordering::SeqCst);
+                if let Some(m) = &self.metrics {
+                    m.evictions.inc();
+                }
+            }
+        }
+    }
+
+    fn publish_residency(&self) {
+        if let Some(m) = &self.metrics {
+            m.entries.set(self.total_entries.load(Ordering::SeqCst) as f64);
+            m.bytes.set(self.total_bytes.load(Ordering::SeqCst) as f64);
+        }
+    }
+
+    fn observe(&self, started: Option<Instant>, warm: bool) {
+        let (Some(m), Some(t0)) = (&self.metrics, started) else { return };
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if warm {
+            m.hits.inc();
+            m.warm_ms.observe(ms);
+        } else {
+            m.misses.inc();
+            m.cold_ms.observe(ms);
+        }
+    }
+}
+
+/// Is `prefix` an exact leading slice of `full`?
+fn is_prefix(prefix: &[Step], full: &[Step]) -> bool {
+    prefix.len() <= full.len() && prefix.iter().zip(full).all(|(a, b)| a == b)
+}

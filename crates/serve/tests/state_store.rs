@@ -1,0 +1,418 @@
+//! Integration tests for the per-user incremental state store.
+//!
+//! The headline contract: scoring through a **warm** [`UserStateStore`]
+//! entry equals a full history re-encode — bitwise on the scalar/sse2
+//! kernel tiers, ≤1e-12 relative on avx2 — for every model variant, both
+//! RNN cells (the LSTM carry rides in the stream state), the empty-filter
+//! Ŵ≡1 fallback, and the post-eviction re-seed path. On top of that:
+//! LRU/budget properties, clamp-window bypass, hot-reload generation
+//! safety, and an 8-producer stress mixing appends, scores, evictions, and
+//! reloads.
+
+use causer_core::{CauserConfig, CauserModel, CauserVariant, RnnKind};
+use causer_serve::{
+    BatchQueue, BatchScorer, ModelHandle, QueueConfig, Ranked, ScoreRequest, ServeState,
+    StateStoreConfig, UserStateStore,
+};
+use causer_tensor::{init, simd, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ITEMS: usize = 14;
+const USERS: usize = 6;
+
+fn build_model_cell(variant: CauserVariant, rnn: RnnKind, seed: u64) -> CauserModel {
+    let mut cfg = CauserConfig::new(USERS, ITEMS, 5);
+    cfg.k = 4;
+    cfg.d1 = 6;
+    cfg.d2 = 5;
+    cfg.user_dim = 3;
+    cfg.hidden_dim = 6;
+    cfg.item_out_dim = 5;
+    cfg.rnn = rnn;
+    cfg.variant = variant;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features = init::uniform(&mut rng, ITEMS, 5, 1.0);
+    CauserModel::new(cfg, features, seed)
+}
+
+fn random_history(rng: &mut StdRng, len: usize) -> Vec<Vec<usize>> {
+    (0..len)
+        .map(|_| {
+            let m = rng.gen_range(1..3);
+            (0..m).map(|_| rng.gen_range(0..ITEMS)).collect()
+        })
+        .collect()
+}
+
+/// Bitwise on scalar/sse2; ≤1e-12 relative on avx2 (whose blocked kernels
+/// may reassociate across columns).
+fn assert_scores_match(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    let bitwise = simd::active().name() != "avx2";
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if bitwise {
+            assert_eq!(g.to_bits(), w.to_bits(), "{what}: score {i} diverged: {g} vs {w}");
+        } else {
+            let tol = 1e-12 * g.abs().max(w.abs()).max(1.0);
+            assert!((g - w).abs() <= tol, "{what}: score {i} off by >1e-12: {g} vs {w}");
+        }
+    }
+}
+
+fn assert_ranked_match(got: &Ranked, want: &Ranked, what: &str) {
+    if simd::active().name() != "avx2" {
+        assert_eq!(got.items, want.items, "{what}: top-K items");
+    }
+    assert_scores_match(&got.scores, &want.scores, what);
+}
+
+/// Warm incremental scoring equals stateless full re-encode, for every
+/// variant × cell, over several append rounds per user (the LSTM carry is
+/// exercised by the Lstm half of the sweep).
+#[test]
+fn warm_scoring_matches_full_re_encode_for_every_variant_and_cell() {
+    for rnn in [RnnKind::Gru, RnnKind::Lstm] {
+        for variant in CauserVariant::ALL {
+            let state = ServeState::build(build_model_cell(variant, rnn, 11));
+            let store = UserStateStore::new(StateStoreConfig::default());
+            let scorer = BatchScorer::new(1);
+            let mut rng = StdRng::seed_from_u64(23);
+            for user in 0..USERS {
+                let full = random_history(&mut rng, 6);
+                // Cold seed on a prefix, then three warm extensions.
+                for cut in [2usize, 3, 5, 6] {
+                    let req = ScoreRequest::top_k(user, full[..cut].to_vec(), ITEMS);
+                    let got = scorer.score_batch_stateful(&state, &store, &[req.clone()]);
+                    let want = scorer.score_batch(&state, &[req]);
+                    assert_ranked_match(
+                        &got[0],
+                        &want[0],
+                        &format!("{variant:?}/{rnn:?} user {user} cut {cut}"),
+                    );
+                }
+            }
+            let stats = store.stats();
+            assert_eq!(stats.misses, USERS as u64, "{variant:?}/{rnn:?}: one cold seed per user");
+            assert_eq!(stats.hits, 3 * USERS as u64, "{variant:?}/{rnn:?}: three warm hits each");
+        }
+    }
+}
+
+/// With ε inflated to +∞ every causal filter empties, so each cluster
+/// stream holds zero steps and scoring falls back to the unfiltered Ŵ≡1 run
+/// — through the store exactly as through the batch path.
+#[test]
+fn empty_filter_fallback_matches_through_the_store() {
+    for rnn in [RnnKind::Gru, RnnKind::Lstm] {
+        let mut model = build_model_cell(CauserVariant::Full, rnn, 31);
+        model.config.epsilon = f64::INFINITY;
+        let state = ServeState::build(model);
+        let store = UserStateStore::new(StateStoreConfig::default());
+        let scorer = BatchScorer::new(1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let full = random_history(&mut rng, 5);
+        for cut in [3usize, 5] {
+            let req = ScoreRequest::top_k(1, full[..cut].to_vec(), ITEMS);
+            let got = scorer.score_batch_stateful(&state, &store, &[req.clone()]);
+            let want = scorer.score_batch(&state, &[req]);
+            assert_ranked_match(&got[0], &want[0], &format!("fallback/{rnn:?} cut {cut}"));
+        }
+        assert_eq!(store.stats().hits, 1, "second request must still be warm under fallback");
+    }
+}
+
+/// Histories longer than the model's clamp window stop being append-only,
+/// so they bypass the store: correct scores, counted as misses, resident
+/// state untouched.
+#[test]
+fn clamp_window_overflow_bypasses_the_store_as_a_miss() {
+    let mut model = build_model_cell(CauserVariant::Full, RnnKind::Gru, 13);
+    model.config.max_history = 4;
+    let state = ServeState::build(model);
+    let store = UserStateStore::new(StateStoreConfig::default());
+    let scorer = BatchScorer::new(1);
+    let mut rng = StdRng::seed_from_u64(3);
+    let short = random_history(&mut rng, 4);
+    let long = random_history(&mut rng, 7);
+
+    let req = ScoreRequest::top_k(2, short.clone(), ITEMS);
+    scorer.score_batch_stateful(&state, &store, &[req]);
+    let before = store.stats();
+    assert_eq!((before.hits, before.misses), (0, 1));
+    assert!(store.contains(2));
+
+    let req = ScoreRequest::top_k(2, long.clone(), ITEMS);
+    let got = scorer.score_batch_stateful(&state, &store, &[req.clone()]);
+    let want = scorer.score_batch(&state, &[req]);
+    assert_ranked_match(&got[0], &want[0], "clamp-window bypass");
+    let after = store.stats();
+    assert_eq!((after.hits, after.misses), (0, 2), "overflow must count as a miss");
+    assert_eq!(after.entries, before.entries, "bypass must not touch resident state");
+}
+
+/// A hot reload bumps the snapshot generation; the stored entry (stamped
+/// with the old generation) is discarded on its next lookup and the user
+/// re-encodes under the new weights — state from generation g never scores
+/// under g+1.
+#[test]
+fn hot_reload_invalidates_stored_state_by_generation() {
+    let handle = ModelHandle::new(build_model_cell(CauserVariant::Full, RnnKind::Gru, 5));
+    let store = UserStateStore::new(StateStoreConfig::default());
+    let scorer = BatchScorer::new(1);
+    let mut rng = StdRng::seed_from_u64(19);
+    let hist = random_history(&mut rng, 4);
+
+    let req = ScoreRequest::top_k(3, hist.clone(), ITEMS);
+    let g0 = handle.snapshot();
+    scorer.score_batch_stateful(&g0, &store, &[req.clone()]);
+    assert_eq!(store.stats().misses, 1);
+
+    handle.install(build_model_cell(CauserVariant::Full, RnnKind::Gru, 71));
+    let g1 = handle.snapshot();
+    assert_eq!(g1.generation, 1);
+    let got = scorer.score_batch_stateful(&g1, &store, &[req.clone()]);
+    let want = scorer.score_batch(&g1, &[req.clone()]);
+    assert_ranked_match(&got[0], &want[0], "post-reload re-encode");
+    assert_eq!(got[0].generation, 1);
+    let stats = store.stats();
+    assert_eq!((stats.hits, stats.misses), (0, 2), "stale generation must be a miss");
+
+    // The re-seeded entry is warm again under the new generation.
+    let mut longer = hist;
+    longer.push(vec![1]);
+    let req = ScoreRequest::top_k(3, longer, ITEMS);
+    let got = scorer.score_batch_stateful(&g1, &store, &[req.clone()]);
+    let want = scorer.score_batch(&g1, &[req]);
+    assert_ranked_match(&got[0], &want[0], "warm under new generation");
+    assert_eq!(store.stats().hits, 1);
+}
+
+/// LRU order under a budget sized for about two entries: the
+/// least-recently-*touched* user is evicted first, and an evicted user's
+/// next request re-encodes correctly and re-seeds the store.
+#[test]
+fn lru_evicts_least_recently_used_and_re_seed_scores_correctly() {
+    let state = ServeState::build(build_model_cell(CauserVariant::Full, RnnKind::Gru, 41));
+    let scorer = BatchScorer::new(1);
+    let mut rng = StdRng::seed_from_u64(29);
+    let histories: Vec<Vec<Vec<usize>>> = (0..3).map(|_| random_history(&mut rng, 5)).collect();
+    let req = |user: usize| ScoreRequest::top_k(user, histories[user].clone(), ITEMS);
+
+    // Find one entry's cost, then budget for two.
+    let probe = UserStateStore::new(StateStoreConfig { shards: 1, max_bytes: usize::MAX });
+    scorer.score_batch_stateful(&state, &probe, &[req(0)]);
+    let per_entry = probe.stats().bytes;
+    assert!(per_entry > 0);
+
+    let store = UserStateStore::new(StateStoreConfig {
+        shards: 1,
+        max_bytes: 2 * per_entry + per_entry / 2,
+    });
+    scorer.score_batch_stateful(&state, &store, &[req(0)]);
+    scorer.score_batch_stateful(&state, &store, &[req(1)]);
+    assert_eq!(store.stats().entries, 2);
+    // Touch user 0 so user 1 becomes the LRU victim.
+    scorer.score_batch_stateful(&state, &store, &[req(0)]);
+    scorer.score_batch_stateful(&state, &store, &[req(2)]);
+    let stats = store.stats();
+    assert_eq!(stats.evictions, 1, "budget for two entries: third insert evicts one");
+    assert!(store.contains(0), "recently-touched user 0 must survive");
+    assert!(!store.contains(1), "user 1 was least recently used");
+    assert!(store.contains(2));
+
+    // The evicted user re-encodes bitwise-correctly and re-seeds.
+    let misses_before = stats.misses;
+    let got = scorer.score_batch_stateful(&state, &store, &[req(1)]);
+    let want = scorer.score_batch(&state, &[req(1)]);
+    assert_ranked_match(&got[0], &want[0], "post-eviction re-seed");
+    assert_eq!(store.stats().misses, misses_before + 1);
+    assert!(store.contains(1), "re-seeded after eviction");
+}
+
+/// Stateful scoring through the queue: same responses as the stateless
+/// scorer, with warm hits accumulating for a returning user.
+#[test]
+fn queue_serves_stateful_and_accumulates_hits() {
+    let handle = Arc::new(ModelHandle::new(build_model_cell(CauserVariant::Full, RnnKind::Gru, 3)));
+    let store = Arc::new(UserStateStore::new(StateStoreConfig::default()));
+    let cfg =
+        QueueConfig { max_batch: 4, max_wait: Duration::from_millis(1), ..Default::default() };
+    let queue = BatchQueue::start_stateful(handle.clone(), store.clone(), cfg);
+    let scorer = BatchScorer::new(1);
+    let state = handle.snapshot();
+    let mut rng = StdRng::seed_from_u64(59);
+    let full = random_history(&mut rng, 6);
+    for cut in [3usize, 4, 5, 6] {
+        let req = ScoreRequest::top_k(0, full[..cut].to_vec(), ITEMS);
+        let rx = queue.submit(req.clone()).expect("queue accepts below capacity");
+        let got = rx.recv().expect("queue answers every request");
+        let want = scorer.score_batch(&state, &[req]);
+        assert_ranked_match(&got, &want[0], &format!("queued cut {cut}"));
+    }
+    queue.shutdown();
+    let stats = store.stats();
+    assert_eq!((stats.hits, stats.misses), (3, 1));
+}
+
+/// 8 producers × appends/scores with a concurrent reloader: every response
+/// must match a from-scratch `score_all` on the *same snapshot* the request
+/// was scored against (bitwise per tier contract). A stale-generation
+/// entry surviving a reload would break this equality — the store's
+/// generation stamps are what keep it true.
+#[test]
+fn eight_producer_stress_with_reloads_never_serves_stale_state() {
+    const PRODUCERS: usize = 8;
+    const ITERS: usize = 24;
+    let mk = |seed| {
+        let mut cfg = CauserConfig::new(PRODUCERS * 2, ITEMS, 5);
+        cfg.k = 4;
+        cfg.d1 = 6;
+        cfg.d2 = 5;
+        cfg.user_dim = 3;
+        cfg.hidden_dim = 6;
+        cfg.item_out_dim = 5;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let features = init::uniform(&mut rng, ITEMS, 5, 1.0);
+        CauserModel::new(cfg, features, seed)
+    };
+    let handle = Arc::new(ModelHandle::new(mk(1)));
+    // A tight budget so evictions interleave with appends and reloads.
+    let store = Arc::new(UserStateStore::new(StateStoreConfig { shards: 4, max_bytes: 64 << 10 }));
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let handle = handle.clone();
+            let store = store.clone();
+            scope.spawn(move || {
+                let scorer = BatchScorer::new(1);
+                let mut rng = StdRng::seed_from_u64(100 + p as u64);
+                // Two users per producer, disjoint across producers.
+                let mut hists: Vec<Vec<Vec<usize>>> = vec![Vec::new(), Vec::new()];
+                for i in 0..ITERS {
+                    let slot = i % 2;
+                    let user = 2 * p + slot;
+                    let m = rng.gen_range(1..3);
+                    hists[slot].push((0..m).map(|_| rng.gen_range(0..ITEMS)).collect());
+                    let req = ScoreRequest::top_k(user, hists[slot].clone(), ITEMS);
+                    let snapshot = handle.snapshot();
+                    let got = scorer.score_batch_stateful(&snapshot, &store, &[req]);
+                    assert_eq!(got[0].generation, snapshot.generation);
+                    let scores = snapshot.model.score_all(&snapshot.ic, user, &hists[slot]);
+                    let want_items = Matrix::top_k_indices(&scores, ITEMS);
+                    let want: Vec<f64> = want_items.iter().map(|&b| scores[b]).collect();
+                    assert_scores_match(
+                        &got[0].scores,
+                        &want,
+                        &format!("producer {p} iter {i} gen {}", snapshot.generation),
+                    );
+                }
+            });
+        }
+        scope.spawn(|| {
+            for r in 0..6 {
+                std::thread::sleep(Duration::from_millis(3));
+                handle.install(mk(1000 + r));
+            }
+        });
+    });
+    let stats = store.stats();
+    assert!(stats.misses > 0, "reloads and evictions must force re-encodes");
+    assert!(stats.hits > 0, "appends between reloads must land warm");
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    const BUDGET: usize = 48 << 10;
+
+    /// Like [`build_model_cell`] but with room for 10 users.
+    fn wide_model(seed: u64) -> CauserModel {
+        let mut cfg = CauserConfig::new(10, ITEMS, 5);
+        cfg.k = 4;
+        cfg.d1 = 6;
+        cfg.d2 = 5;
+        cfg.user_dim = 3;
+        cfg.hidden_dim = 6;
+        cfg.item_out_dim = 5;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let features = init::uniform(&mut rng, ITEMS, 5, 1.0);
+        CauserModel::new(cfg, features, seed)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// After every store call, resident bytes stay within the
+        /// configured budget and the entry/byte accounting is consistent —
+        /// for any interleaving of new users, appends, and re-requests.
+        #[test]
+        fn budget_is_never_exceeded_and_accounting_is_consistent(
+            ops in prop::collection::vec((0usize..10, 1usize..4), 1..30),
+            shards in 1usize..4,
+        ) {
+            let state = ServeState::build(wide_model(77));
+            let store = UserStateStore::new(StateStoreConfig { shards, max_bytes: BUDGET });
+            let scorer = BatchScorer::new(1);
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut hists: Vec<Vec<Vec<usize>>> = vec![Vec::new(); 10];
+            for (user, grow) in ops {
+                for _ in 0..grow {
+                    let m = rng.gen_range(1..3);
+                    hists[user].push((0..m).map(|_| rng.gen_range(0..ITEMS)).collect());
+                }
+                let req = ScoreRequest::top_k(user, hists[user].clone(), ITEMS);
+                scorer.score_batch_stateful(&state, &store, &[req]);
+                let stats = store.stats();
+                // Per-shard budgets sum to at most the configured total.
+                prop_assert!(
+                    stats.bytes <= BUDGET,
+                    "resident {} bytes over the {} budget", stats.bytes, BUDGET
+                );
+                prop_assert!(stats.entries <= 10);
+                prop_assert_eq!(
+                    stats.hits + stats.misses > 0, true,
+                    "every call counts as hit or miss"
+                );
+            }
+        }
+
+        /// Every response through the store — whatever mix of cold seeds,
+        /// warm appends, and evictions the op sequence produces — matches
+        /// the stateless scorer.
+        #[test]
+        fn any_op_sequence_scores_like_the_stateless_path(
+            ops in prop::collection::vec((0usize..6, 0usize..3), 1..20),
+        ) {
+            let state =
+                ServeState::build(build_model_cell(CauserVariant::Full, RnnKind::Gru, 53));
+            // Tiny budget: evictions happen mid-sequence.
+            let store = UserStateStore::new(StateStoreConfig { shards: 1, max_bytes: 24 << 10 });
+            let scorer = BatchScorer::new(1);
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut hists: Vec<Vec<Vec<usize>>> = vec![Vec::new(); 6];
+            for (user, grow) in ops {
+                for _ in 0..grow {
+                    let m = rng.gen_range(1..3);
+                    hists[user].push((0..m).map(|_| rng.gen_range(0..ITEMS)).collect());
+                }
+                if hists[user].is_empty() {
+                    continue;
+                }
+                let req = ScoreRequest::top_k(user, hists[user].clone(), ITEMS);
+                let got = scorer.score_batch_stateful(&state, &store, &[req.clone()]);
+                let want = scorer.score_batch(&state, &[req]);
+                let bitwise = simd::active().name() != "avx2";
+                for (g, w) in got[0].scores.iter().zip(&want[0].scores) {
+                    if bitwise {
+                        prop_assert_eq!(g.to_bits(), w.to_bits());
+                    } else {
+                        prop_assert!((g - w).abs() <= 1e-12 * g.abs().max(w.abs()).max(1.0));
+                    }
+                }
+            }
+        }
+    }
+}

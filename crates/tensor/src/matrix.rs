@@ -584,6 +584,15 @@ impl Matrix {
         out
     }
 
+    /// Append one row in place (amortized O(cols)). This is the growth
+    /// primitive of the incremental serving state: per-user hidden-state
+    /// stacks gain one row per interaction instead of being restacked.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "push_row column mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
     /// Copy of the selected rows, in the given order (duplicates allowed).
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(0, 0);
@@ -726,6 +735,19 @@ mod tests {
         assert_eq!(s.row(0), &[6.0, 7.0]);
         assert_eq!(s.row(1), &[0.0, 1.0]);
         assert_eq!(s.row(2), &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn push_row_grows_from_empty_and_matches_vstack() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let mut grown = Matrix::zeros(0, 2);
+        for i in 0..3 {
+            grown.push_row(a.row(i));
+        }
+        assert_eq!(grown, a);
+        grown.push_row(&[9.0, 10.0]);
+        assert_eq!(grown.shape(), (4, 2));
+        assert_eq!(grown.row(3), &[9.0, 10.0]);
     }
 
     #[test]

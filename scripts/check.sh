@@ -36,6 +36,12 @@ cargo run -p causer-lint --release
 cargo test -p causer-tensor --release --features sanitize -q
 cargo test -p causer --release --features sanitize --test golden_metrics -q
 
+# The incremental-state equivalence suite (warm store vs full re-encode,
+# LRU/budget properties, hot-reload generation safety) re-runs with the
+# sanitizer armed too: a NaN/Inf smuggled through a resident stream state
+# must trip the finiteness checks, not surface as a stale score later.
+cargo test -p causer-serve --release --features causer-tensor/sanitize --test state_store -q
+
 # SIMD dispatch honesty. The workspace suite above already ran under the
 # native best tier; re-run the tensor kernel/gradcheck/dispatch suites with
 # the kernels pinned to the scalar twins, so a vector-kernel bug cannot

@@ -15,10 +15,13 @@
 //! batched serve path must reproduce `score_all` **bitwise** on real trained
 //! weights, not just on the random models of the unit tests.
 
-use causer::core::{evaluate, CauserConfig, CauserRecommender, SeqRecommender, TrainConfig};
+use causer::core::{
+    evaluate, CauserConfig, CauserRecommender, RnnKind, SeqRecommender, TrainConfig,
+};
 use causer::data::{simulate, DatasetKind, DatasetProfile};
 use causer::metrics::RankingReport;
-use causer::serve::{BatchScorer, ScoreRequest, ServeState};
+use causer::serve::{BatchScorer, ScoreRequest, ServeState, StateStoreConfig, UserStateStore};
+use causer::tensor::simd;
 use std::path::PathBuf;
 
 const GOLDEN_PATH: &str = "tests/golden/metrics.json";
@@ -41,6 +44,24 @@ fn train_golden_model() -> (CauserRecommender, causer::data::LeaveLastOut) {
     let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
     cfg.k = profile.true_clusters;
     let tc = TrainConfig { epochs: EPOCHS, seed: SEED, ..Default::default() };
+    let mut model = CauserRecommender::new(cfg, sim.features.clone(), tc, SEED);
+    model.fit(&split);
+    (model, split)
+}
+
+/// A smaller trained LSTM counterpart to [`train_golden_model`]: the carry
+/// state is what the incremental store must thread correctly, so the
+/// equivalence test below needs *trained* LSTM weights too, but a lighter
+/// profile keeps the extra training run cheap.
+fn train_lstm_model() -> (CauserRecommender, causer::data::LeaveLastOut) {
+    let mut profile = DatasetProfile::paper(DatasetKind::Patio).scaled(0.04);
+    profile.p_causal = 0.8;
+    let sim = simulate(&profile, SEED);
+    let split = sim.interactions.leave_last_out();
+    let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+    cfg.k = profile.true_clusters;
+    cfg.rnn = RnnKind::Lstm;
+    let tc = TrainConfig { epochs: 3, seed: SEED, ..Default::default() };
     let mut model = CauserRecommender::new(cfg, sim.features.clone(), tc, SEED);
     model.fit(&split);
     (model, split)
@@ -112,6 +133,112 @@ fn serve_path_reproduces_trained_scores_bitwise() {
                     "user {}: serve path diverged from train path on item {item} \
                      (threads={threads})",
                     case.user
+                );
+            }
+        }
+    }
+}
+
+/// Bitwise on scalar/sse2; ≤1e-12 relative on avx2, whose blocked kernels
+/// may reassociate across columns (same contract as the serve unit tests).
+fn assert_trained_score(exp: f64, got: f64, what: &str) {
+    if simd::active().name() != "avx2" {
+        assert_eq!(exp.to_bits(), got.to_bits(), "{what}: {got} vs expected {exp}");
+    } else {
+        let tol = 1e-12 * exp.abs().max(got.abs()).max(1.0);
+        assert!((exp - got).abs() <= tol, "{what}: {got} off expected {exp} by >1e-12");
+    }
+}
+
+/// The incremental state store is only worth shipping if a warm entry
+/// scores exactly like a full history re-encode on **trained** weights —
+/// random-weight unit tests can miss drift that only appears once the
+/// causal filter is doing real work. Covers both cells (the LSTM carry
+/// rides in the stream state), the post-eviction re-seed path, and the
+/// empty-filter Ŵ≡1 fallback.
+#[test]
+fn incremental_state_store_reproduces_trained_scores() {
+    for (cell, (rec, split)) in [("GRU", train_golden_model()), ("LSTM", train_lstm_model())] {
+        let ic = rec.model.inference_cache();
+        let max_history = rec.model.config.max_history;
+        let num_items = rec.model.config.num_items;
+        // Only histories that fit the clamp window can go warm: a longer
+        // one slides the window and (correctly) bypasses the store.
+        let cases: Vec<_> = split
+            .test
+            .iter()
+            .filter(|c| c.history.len() >= 2 && c.history.len() <= max_history)
+            .take(12)
+            .collect();
+        assert!(cases.len() >= 4, "{cell}: profile too small to yield warm-eligible cases");
+        let expected: Vec<Vec<f64>> =
+            cases.iter().map(|c| rec.model.score_all(&ic, c.user, &c.history)).collect();
+
+        let mut state = ServeState::build(rec.model);
+        let scorer = BatchScorer::new(1);
+        let prefix_reqs: Vec<ScoreRequest> = cases
+            .iter()
+            .map(|c| {
+                ScoreRequest::top_k(c.user, c.history[..c.history.len() - 1].to_vec(), num_items)
+            })
+            .collect();
+        let full_reqs: Vec<ScoreRequest> = cases
+            .iter()
+            .map(|c| ScoreRequest::top_k(c.user, c.history.clone(), num_items))
+            .collect();
+
+        // --- Warm path: seed on the prefix, append the final interaction.
+        let store = UserStateStore::new(StateStoreConfig::default());
+        scorer.score_batch_stateful(&state, &store, &prefix_reqs);
+        let warm = scorer.score_batch_stateful(&state, &store, &full_reqs);
+        assert_eq!(
+            store.stats().hits,
+            cases.len() as u64,
+            "{cell}: every full-history request must land warm"
+        );
+        for ((exp, got), case) in expected.iter().zip(&warm).zip(&cases) {
+            for (item, score) in got.items.iter().zip(&got.scores) {
+                assert_trained_score(
+                    exp[*item],
+                    *score,
+                    &format!("{cell} warm path, user {}, item {item}", case.user),
+                );
+            }
+        }
+
+        // --- Post-eviction re-seed: a 1-byte budget evicts every entry the
+        // moment it is scored, so each request is a cold full re-seed.
+        let tiny = UserStateStore::new(StateStoreConfig { shards: 1, max_bytes: 1 });
+        let reseeded = scorer.score_batch_stateful(&state, &tiny, &full_reqs);
+        assert_eq!(tiny.stats().hits, 0, "{cell}: nothing survives a 1-byte budget");
+        assert!(tiny.stats().evictions >= cases.len() as u64, "{cell}: evictions must fire");
+        for ((exp, got), case) in expected.iter().zip(&reseeded).zip(&cases) {
+            for (item, score) in got.items.iter().zip(&got.scores) {
+                assert_trained_score(
+                    exp[*item],
+                    *score,
+                    &format!("{cell} re-seed path, user {}, item {item}", case.user),
+                );
+            }
+        }
+
+        // --- Ŵ≡1 fallback: an infinite threshold empties every filtered
+        // stream; the stored unfiltered stream must carry the degraded
+        // scores. (epsilon is read at score time, so the snapshot's caches
+        // stay valid; a fresh store keeps old-epsilon state out.)
+        state.model.config.epsilon = f64::INFINITY;
+        let expected_fb: Vec<Vec<f64>> =
+            cases.iter().map(|c| state.model.score_all(&state.ic, c.user, &c.history)).collect();
+        let fb_store = UserStateStore::new(StateStoreConfig::default());
+        scorer.score_batch_stateful(&state, &fb_store, &prefix_reqs);
+        let fallback = scorer.score_batch_stateful(&state, &fb_store, &full_reqs);
+        assert_eq!(fb_store.stats().hits, cases.len() as u64, "{cell}: fallback must go warm");
+        for ((exp, got), case) in expected_fb.iter().zip(&fallback).zip(&cases) {
+            for (item, score) in got.items.iter().zip(&got.scores) {
+                assert_trained_score(
+                    exp[*item],
+                    *score,
+                    &format!("{cell} fallback path, user {}, item {item}", case.user),
                 );
             }
         }

@@ -19,7 +19,10 @@
 use causer::core::{CauserConfig, CauserRecommender, SeqRecommender, TrainConfig};
 use causer::data::{simulate, DatasetKind, DatasetProfile};
 use causer::obs;
-use causer::serve::{BatchQueue, ModelHandle, QueueConfig, ScoreRequest, SubmitError};
+use causer::serve::{
+    BatchQueue, BatchScorer, ModelHandle, QueueConfig, ScoreRequest, StateStoreConfig, SubmitError,
+    UserStateStore,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -136,6 +139,39 @@ fn exported_metric_names_match_golden_schema() {
     handle.install(spare.model);
     queue.shutdown();
 
+    // --- State store: one cold seed, one warm append, then a budget so
+    // tight the entry is evicted — hits/misses/evictions counters, the
+    // residency gauges, and both latency histograms must all register.
+    let store = UserStateStore::new(StateStoreConfig { shards: 1, max_bytes: 1 });
+    let scorer = BatchScorer::new(1);
+    let state = handle.snapshot();
+    let prefix = &case.history[..case.history.len().saturating_sub(1).max(1)];
+    // Entries this tiny budget cannot hold are evicted right after scoring,
+    // so the second request is cold again: 0 hits, 2 misses, 2 evictions.
+    scorer.score_batch_stateful(
+        &state,
+        &store,
+        &[ScoreRequest::top_k(case.user, prefix.to_vec(), 5)],
+    );
+    scorer.score_batch_stateful(
+        &state,
+        &store,
+        &[ScoreRequest::top_k(case.user, case.history.clone(), 5)],
+    );
+    // A roomy store takes the same pair warm: the second request is a hit.
+    let roomy = UserStateStore::new(StateStoreConfig::default());
+    scorer.score_batch_stateful(
+        &state,
+        &roomy,
+        &[ScoreRequest::top_k(case.user, prefix.to_vec(), 5)],
+    );
+    scorer.score_batch_stateful(
+        &state,
+        &roomy,
+        &[ScoreRequest::top_k(case.user, case.history.clone(), 5)],
+    );
+    assert_eq!((roomy.stats().hits, roomy.stats().misses), (1, 1));
+
     let reg = obs::global();
     let by_name: std::collections::HashMap<String, obs::MetricValue> =
         reg.snapshot().into_iter().map(|m| (m.name, m.value)).collect();
@@ -152,6 +188,36 @@ fn exported_metric_names_match_golden_schema() {
     match &by_name[obs::names::SERVE_RELOADS_TOTAL] {
         obs::MetricValue::Counter(n) => assert_eq!(*n, 1, "one install after start"),
         other => panic!("serve.reloads_total has wrong kind: {other:?}"),
+    }
+    match &by_name[obs::names::SERVE_STATE_HITS_TOTAL] {
+        obs::MetricValue::Counter(n) => assert_eq!(*n, 1, "the roomy store's warm append"),
+        other => panic!("serve.state_store.hits_total has wrong kind: {other:?}"),
+    }
+    match &by_name[obs::names::SERVE_STATE_MISSES_TOTAL] {
+        obs::MetricValue::Counter(n) => {
+            assert_eq!(*n, 3, "two cold under the tight budget, one seed in the roomy store")
+        }
+        other => panic!("serve.state_store.misses_total has wrong kind: {other:?}"),
+    }
+    match &by_name[obs::names::SERVE_STATE_EVICTIONS_TOTAL] {
+        obs::MetricValue::Counter(n) => {
+            assert_eq!(*n, 2, "the 1-byte budget evicts each entry it is handed")
+        }
+        other => panic!("serve.state_store.evictions_total has wrong kind: {other:?}"),
+    }
+    match &by_name[obs::names::SERVE_STATE_WARM_MS] {
+        obs::MetricValue::Histogram(h) => assert_eq!(h.count, 1, "one warm lookup timed"),
+        other => panic!("serve.state_store.warm_ms has wrong kind: {other:?}"),
+    }
+    match &by_name[obs::names::SERVE_STATE_COLD_MS] {
+        obs::MetricValue::Histogram(h) => assert_eq!(h.count, 3, "three cold lookups timed"),
+        other => panic!("serve.state_store.cold_ms has wrong kind: {other:?}"),
+    }
+    match &by_name[obs::names::SERVE_STATE_BYTES] {
+        obs::MetricValue::Gauge(b) => {
+            assert!(*b > 0.0, "the roomy store's entry stays resident")
+        }
+        other => panic!("serve.state_store.resident_bytes has wrong kind: {other:?}"),
     }
 
     // --- The JSONL sink got the per-epoch records and the reload event.
