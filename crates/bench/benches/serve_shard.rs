@@ -1,0 +1,251 @@
+//! Open-loop arrival benchmark for the sharded serving front-end
+//! (`results/BENCH_shard.json`).
+//!
+//! Trains a small Causer model, pre-warms a [`UserStateStore`], measures
+//! the raw single-core scoring capacity, then sweeps a seeded
+//! exponential-inter-arrival (Poisson) request stream through a
+//! [`ShardedFrontend`] at offered loads below, at, and well past capacity.
+//! Receivers are dropped at submit — open loop: the arrival process never
+//! waits for replies — and per-load-point reply latency percentiles come
+//! from deltas of the frontend's own `serve.shard.latency_ms` histogram.
+//!
+//! The claim under test is **graceful degradation**: as offered load sweeps
+//! past capacity, the reply-latency p99 stays bounded (by the queue bound
+//! and the per-request deadline) while the shed rate rises smoothly with
+//! typed reasons — no reply-latency cliff, no unbounded queue.
+
+use causer_core::{CauserConfig, CauserRecommender, SeqRecommender, TrainConfig};
+use causer_data::{simulate, DatasetKind, DatasetProfile};
+use causer_obs::{names, Buckets, HistogramSnapshot};
+use causer_serve::{
+    BatchScorer, FrontendConfig, FrontendRequest, FrontendStats, ModelHandle, QueueConfig,
+    ScoreRequest, ShardedFrontend, ShedReason, StateStoreConfig, UserStateStore,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TOP_K: usize = 10;
+const SHARDS: usize = 4;
+const DEADLINE_MS: u64 = 100;
+const SWEEP: [f64; 5] = [0.5, 0.8, 1.2, 2.0, 4.0];
+/// Seconds of offered traffic per load point.
+const WINDOW_S: f64 = 2.0;
+
+struct LoadPoint {
+    multiple: f64,
+    target_rps: f64,
+    actual_rps: f64,
+    submitted: u64,
+    admitted: u64,
+    replies: u64,
+    shed_queue_full: u64,
+    shed_deadline: u64,
+    shed_overload: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+fn delta_hist(before: &HistogramSnapshot, after: &HistogramSnapshot) -> HistogramSnapshot {
+    HistogramSnapshot {
+        bounds: after.bounds.clone(),
+        counts: after.counts.iter().zip(&before.counts).map(|(a, b)| a - b).collect(),
+        sum: after.sum - before.sum,
+        count: after.count - before.count,
+    }
+}
+
+fn main() {
+    let scale: f64 =
+        std::env::var("CAUSER_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.15);
+    let epochs: usize =
+        std::env::var("CAUSER_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+
+    let profile = DatasetProfile::paper(DatasetKind::Patio).scaled(scale);
+    let sim = simulate(&profile, 42);
+    let split = sim.interactions.leave_last_out();
+    let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+    cfg.k = profile.true_clusters;
+    let tc = TrainConfig { epochs, seed: 42, ..Default::default() };
+    let mut rec = CauserRecommender::new(cfg, sim.features.clone(), tc, 42);
+    rec.fit(&split);
+    println!(
+        "profile: Patio scaled {scale} — {} items, {} users, {} epochs",
+        profile.num_items, profile.num_users, epochs
+    );
+
+    let reqs: Vec<ScoreRequest> = split
+        .test
+        .iter()
+        .map(|case| ScoreRequest::top_k(case.user, case.history.clone(), TOP_K))
+        .collect();
+
+    // The frontend reads its metric handles at start: enable obs first.
+    causer_obs::set_enabled(true);
+    let handle = Arc::new(ModelHandle::new(rec.model));
+    let snapshot = handle.snapshot();
+    let store = Arc::new(UserStateStore::new(StateStoreConfig::default()));
+    let scorer = BatchScorer::new(1);
+
+    // Pre-warm the store (cold seeds), then measure warm stateful capacity —
+    // the same path the frontend's workers run, so the sweep multiples are
+    // honest fractions of what the box can actually score.
+    scorer.score_batch_stateful(&snapshot, &store, &reqs);
+    let cap_start = Instant::now();
+    let cap_reps = 3usize;
+    for _ in 0..cap_reps {
+        for chunk in reqs.chunks(32) {
+            std::hint::black_box(scorer.score_batch_stateful(&snapshot, &store, chunk));
+        }
+    }
+    let capacity_rps = (cap_reps * reqs.len()) as f64 / cap_start.elapsed().as_secs_f64();
+    println!("warm stateful capacity: {capacity_rps:.0} req/s over {} requests", reqs.len());
+
+    let frontend = ShardedFrontend::start_stateful(
+        handle.clone(),
+        store.clone(),
+        FrontendConfig {
+            shards: SHARDS,
+            workers_per_shard: 1,
+            queue: QueueConfig {
+                max_batch: 32,
+                max_wait: Duration::from_millis(1),
+                capacity: 128,
+                threads: 1,
+            },
+            max_in_flight: 512,
+            tenant_quota: usize::MAX,
+            default_deadline: Some(Duration::from_millis(DEADLINE_MS)),
+        },
+    );
+    let lat = causer_obs::global().histogram(names::SERVE_SHARD_LATENCY_MS, Buckets::default_ms());
+
+    let mut points: Vec<LoadPoint> = Vec::new();
+    for (li, &multiple) in SWEEP.iter().enumerate() {
+        let target_rps = capacity_rps * multiple;
+        let n = (target_rps * WINDOW_S).max(64.0) as usize;
+        let stats0 = frontend.stats();
+        let h0 = lat.snapshot();
+        let mut rng = StdRng::seed_from_u64(9000 + li as u64);
+
+        let t0 = Instant::now();
+        let mut next_s = 0.0f64;
+        for i in 0..n {
+            // Seeded exponential inter-arrivals: a Poisson offered load.
+            let u = (rng.gen_range(1..=1_000_000) as f64) / 1_000_000.0;
+            next_s += -u.ln() / target_rps;
+            let due = t0 + Duration::from_secs_f64(next_s);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            // Open loop: drop the receiver, the frontend still delivers
+            // (and times) the outcome internally.
+            let _ = frontend.submit(FrontendRequest::new(reqs[i % reqs.len()].clone()));
+        }
+        let actual_rps = n as f64 / t0.elapsed().as_secs_f64();
+
+        // Drain before reading the deltas so every admitted request of this
+        // window has its outcome counted in this window.
+        let drain_start = Instant::now();
+        while frontend.stats().in_flight > 0 && drain_start.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats1 = frontend.stats();
+        let h = delta_hist(&h0, &lat.snapshot());
+        let d = |f: fn(&FrontendStats) -> u64| f(&stats1) - f(&stats0);
+        let point = LoadPoint {
+            multiple,
+            target_rps,
+            actual_rps,
+            submitted: d(|s| s.submitted),
+            admitted: d(|s| s.admitted),
+            replies: d(|s| s.replies),
+            shed_queue_full: d(|s| s.shed_queue_full),
+            shed_deadline: d(|s| s.shed_deadline),
+            shed_overload: d(|s| s.shed_overload),
+            p50_ms: h.p50(),
+            p95_ms: h.p95(),
+            p99_ms: h.p99(),
+        };
+        println!(
+            "load {:>4.1}x ({:>6.0} rps offered, {:>6.0} achieved): {} submitted, {} replies, \
+             shed {{full: {}, deadline: {}, overload: {}}}, reply p50/p95/p99 = \
+             {:.2}/{:.2}/{:.2} ms",
+            point.multiple,
+            point.target_rps,
+            point.actual_rps,
+            point.submitted,
+            point.replies,
+            point.shed_queue_full,
+            point.shed_deadline,
+            point.shed_overload,
+            point.p50_ms,
+            point.p95_ms,
+            point.p99_ms,
+        );
+        points.push(point);
+    }
+    let final_stats = frontend.shutdown();
+    assert_eq!(final_stats.in_flight, 0, "sweep must end fully drained");
+    let _ = ShedReason::Overload; // taxonomy re-exported alongside the stats
+
+    write_json(scale, epochs, &profile, capacity_rps, &points);
+}
+
+fn write_json(
+    scale: f64,
+    epochs: usize,
+    profile: &DatasetProfile,
+    capacity_rps: f64,
+    points: &[LoadPoint],
+) {
+    let out =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results").join("BENCH_shard.json");
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let shed_total = p.shed_queue_full + p.shed_deadline + p.shed_overload;
+        rows.push_str(&format!(
+            "    {{ \"offered_x_capacity\": {:.1}, \"offered_rps_target\": {:.0}, \
+             \"offered_rps_actual\": {:.0}, \"submitted\": {}, \"admitted\": {}, \
+             \"replies\": {}, \"shed_rate\": {:.3}, \"shed\": {{ \"queue_full\": {}, \
+             \"deadline_expired\": {}, \"overload\": {} }}, \"reply_latency_ms\": \
+             {{ \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2} }} }}{}",
+            p.multiple,
+            p.target_rps,
+            p.actual_rps,
+            p.submitted,
+            p.admitted,
+            p.replies,
+            shed_total as f64 / p.submitted.max(1) as f64,
+            p.shed_queue_full,
+            p.shed_deadline,
+            p.shed_overload,
+            p.p50_ms,
+            p.p95_ms,
+            p.p99_ms,
+            if i + 1 < points.len() { ",\n" } else { "\n" }
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"crates/bench/benches/serve_shard.rs (open-loop Poisson arrivals \
+         through ShardedFrontend, offered load swept past capacity)\",\n  \"command\": \
+         \"CAUSER_SCALE={scale} cargo bench -p causer-bench --bench serve_shard\",\n  \"date\": \
+         \"2026-08-09\",\n  \"environment\": {{\n    \"cpu\": \"1 core online (single-core \
+         container); arrival thread and shard workers share it\",\n    \"model\": \"Causer Full \
+         variant, Patio profile scaled {scale}: {} items, {} users, {} epochs\",\n    \
+         \"frontend\": \"{SHARDS} user-id shards x 1 worker, max_batch 32, max_wait 1ms, \
+         per-shard capacity 128, max_in_flight 512, default deadline {DEADLINE_MS}ms, warm \
+         UserStateStore (pre-seeded)\",\n    \"capacity_estimate_rps\": {capacity_rps:.0},\n    \
+         \"latency_source\": \"serve.shard.latency_ms histogram deltas (admission-to-reply, \
+         replies only)\"\n  }},\n  \"load_points\": [\n{rows}  ],\n  \"analysis\": \
+         \"PLACEHOLDER\"\n}}\n",
+        profile.num_items, profile.num_users, epochs,
+    );
+    std::fs::create_dir_all(out.parent().expect("results dir parent")).expect("results dir");
+    std::fs::write(&out, json).expect("write BENCH_shard.json");
+    println!("wrote {}", out.display());
+}

@@ -439,6 +439,7 @@ mod tests {
             "crates/serve/src/state_store.rs",
             "crates/serve/src/queue.rs",
             "crates/serve/src/scorer.rs",
+            "crates/serve/src/frontend.rs",
             "crates/serve/src/some_future_module.rs",
         ] {
             let f = lint(path, src);

@@ -135,8 +135,35 @@ pub mod names {
     /// requests (full re-encode seeding the store).
     pub const SERVE_STATE_COLD_MS: &str = "serve.state_store.cold_ms";
 
+    /// Counter: requests admitted into a shard queue by the sharded
+    /// frontend (`ShardedFrontend::submit` returning `Ok`).
+    pub const SERVE_SHARD_ADMITTED_TOTAL: &str = "serve.shard.admitted_total";
+    /// Counter: ranked replies delivered by the sharded frontend.
+    pub const SERVE_SHARD_REPLIES_TOTAL: &str = "serve.shard.replies_total";
+    /// Counter: typed rejections by the sharded frontend, every
+    /// `ShedReason` — refusals at submit and post-admission sheds alike.
+    pub const SERVE_SHARD_SHED_TOTAL: &str = "serve.shard.shed_total";
+    /// Counter: the `DeadlineExpired` slice of `serve.shard.shed_total`
+    /// (expired at submit or swept out of a shard queue before scoring).
+    pub const SERVE_SHARD_SHED_DEADLINE_TOTAL: &str = "serve.shard.shed_deadline_total";
+    /// Counter: worker panics absorbed by a frontend shard (the shard
+    /// drained its queue with typed sheds and resumed).
+    pub const SERVE_SHARD_WORKER_PANICS_TOTAL: &str = "serve.shard.worker_panics_total";
+    /// Gauge: admitted-but-unanswered requests across all frontend shards
+    /// (the quantity the global `max_in_flight` budget bounds).
+    pub const SERVE_SHARD_IN_FLIGHT: &str = "serve.shard.in_flight";
+    /// Histogram (count): pending depth of the drained shard queue at each
+    /// frontend batch cut.
+    pub const SERVE_SHARD_DEPTH: &str = "serve.shard.depth";
+    /// Histogram (ms): admission-to-reply latency through the sharded
+    /// frontend (replies only; sheds are counted, not timed).
+    pub const SERVE_SHARD_LATENCY_MS: &str = "serve.shard.latency_ms";
+
     /// Event: one record per hot reload, carrying the new `generation`.
     pub const EV_SERVE_RELOAD: &str = "serve.reload";
+    /// Event: one record per absorbed frontend worker panic, carrying the
+    /// `shard` index and the `batch` id that triggered it.
+    pub const EV_SERVE_WORKER_PANIC: &str = "serve.shard.worker_panic";
 
     /// Span: scoring one drained batch (outside the queue lock).
     pub const SP_SERVE_BATCH: &str = "serve.batch";

@@ -1,0 +1,731 @@
+//! The sharded serving front-end: admission control, deadlines, and
+//! per-shard worker pools — the deployment shape of the engine.
+//!
+//! [`ShardedFrontend`] is what sits in front of the scorer when the target
+//! is heavy traffic rather than a single queue: requests are admitted into
+//! `shards` independent queues keyed by `user % shards` (the same modulus
+//! the [`UserStateStore`] uses, so a user's warm encoder state is only ever
+//! touched from one frontend shard), and each shard owns a small pool of
+//! worker threads that cut size-or-timeout batches exactly like
+//! [`BatchQueue`](crate::BatchQueue) and score them against one
+//! [`ModelHandle`] snapshot per batch.
+//!
+//! What the frontend adds over a single queue is **admission control with a
+//! typed rejection taxonomy** ([`ShedReason`]):
+//!
+//! - **Deadlines.** Every request may carry an absolute deadline (or inherit
+//!   [`FrontendConfig::default_deadline`]). An already-expired request is
+//!   refused at submit; a request that expires while queued is shed at the
+//!   next batch cut, **before scoring** — once scoring starts a request is
+//!   never shed, it gets its reply even if the deadline lapses mid-score.
+//! - **A global in-flight budget.** At most [`FrontendConfig::max_in_flight`]
+//!   admitted-but-unanswered requests exist across all shards; past it,
+//!   submits are refused with [`ShedReason::Overload`].
+//! - **Per-tenant quotas.** Each tenant id may hold at most
+//!   [`FrontendConfig::tenant_quota`] requests in flight; past it,
+//!   [`ShedReason::TenantQuota`] — one noisy tenant cannot starve the rest.
+//! - **Bounded shard queues.** Each shard refuses beyond
+//!   `queue.capacity` pending requests with [`ShedReason::QueueFull`] —
+//!   the same explicit upstream load shedding as `BatchQueue`.
+//!
+//! Rejection precedence at submit is deadline → tenant quota → global
+//! budget → shard capacity (cheapest check first; a request that would be
+//! refused for several reasons reports the first).
+//!
+//! **Exactly one outcome per request.** An admitted request's receiver gets
+//! exactly one [`FrontendReply`]: `Ok(Ranked)` or `Err(ShedReason)`. A
+//! refused submit gets its reason synchronously and touches no queue. The
+//! property suite (`crates/serve/tests/frontend.rs`) proves the partition
+//! holds under producers × reloads × deadline expiry × shutdown.
+//!
+//! **Fault isolation.** Each worker wraps scoring in `catch_unwind`: a
+//! panic (a poisoned model, an injected fault) sheds the in-flight batch
+//! and the shard's queued requests with [`ShedReason::Overload`] — typed
+//! rejections, not lost requests — releases their budget, and the worker
+//! resumes on the next batch. Other shards never notice, and the in-flight
+//! budget cannot leak because release happens at delivery, which the panic
+//! path performs for every drained request.
+
+use crate::queue::QueueConfig;
+use crate::reload::ModelHandle;
+use crate::scorer::{BatchScorer, Ranked, ScoreRequest};
+use crate::state_store::UserStateStore;
+use causer_obs::names as obs;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why the frontend refused or shed a request. Every rejection — at submit
+/// or after admission — names exactly one of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The user's shard queue is at `queue.capacity` pending requests.
+    QueueFull,
+    /// The request's deadline expired — at submit, or while it waited in a
+    /// shard queue (always before scoring, never after scoring started).
+    DeadlineExpired,
+    /// The tenant already holds `tenant_quota` requests in flight.
+    TenantQuota,
+    /// The global `max_in_flight` budget is exhausted, or the shard's
+    /// worker panicked and its queue was drained defensively.
+    Overload,
+    /// The frontend is shutting down (administrative, not load-based).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "shard queue at capacity"),
+            ShedReason::DeadlineExpired => write!(f, "request deadline expired"),
+            ShedReason::TenantQuota => write!(f, "tenant in-flight quota exhausted"),
+            ShedReason::Overload => write!(f, "global in-flight budget exhausted"),
+            ShedReason::ShuttingDown => write!(f, "frontend shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ShedReason {}
+
+/// The one outcome of an admitted request: a ranked reply or a typed shed.
+pub type FrontendReply = Result<Ranked, ShedReason>;
+
+/// A scoring request dressed for admission: tenant id and optional deadline.
+#[derive(Clone, Debug)]
+pub struct FrontendRequest {
+    /// The scoring payload.
+    pub req: ScoreRequest,
+    /// Tenant id for quota accounting (0 = the default tenant).
+    pub tenant: u32,
+    /// Absolute deadline. `None` inherits
+    /// [`FrontendConfig::default_deadline`] at submit time.
+    pub deadline: Option<Instant>,
+}
+
+impl FrontendRequest {
+    /// Wrap a scoring request for the default tenant with no deadline.
+    pub fn new(req: ScoreRequest) -> Self {
+        FrontendRequest { req, tenant: 0, deadline: None }
+    }
+
+    /// Attribute the request to a tenant for quota accounting.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Give the request a deadline `budget` from now.
+    pub fn with_deadline_in(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+}
+
+/// Frontend tuning knobs.
+#[derive(Clone, Debug)]
+pub struct FrontendConfig {
+    /// Independent user-id shards (`user % shards`). Must divide the
+    /// attached [`UserStateStore`]'s shard count when serving stateful, so
+    /// warm state stays shard-local.
+    pub shards: usize,
+    /// Worker threads per shard, each cutting and scoring its own batches.
+    pub workers_per_shard: usize,
+    /// Per-shard batching knobs: `max_batch`/`max_wait` batch cutting,
+    /// `capacity` per-shard admission bound, `threads` scorer fan-out
+    /// *within* one worker's batch.
+    pub queue: QueueConfig,
+    /// Global budget of admitted-but-unanswered requests across all shards.
+    pub max_in_flight: usize,
+    /// Per-tenant in-flight cap.
+    pub tenant_quota: usize,
+    /// Deadline granted to requests that carry none. `None` = no deadline.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            shards: 4,
+            workers_per_shard: 1,
+            queue: QueueConfig::default(),
+            max_in_flight: usize::MAX,
+            tenant_quota: usize::MAX,
+            default_deadline: None,
+        }
+    }
+}
+
+/// A point-in-time view of the frontend's counters (same numbers feed the
+/// `serve.shard.*` metrics). The partition invariants tests lean on:
+/// `submitted = admitted + refused-at-submit` and
+/// `admitted = replies + shed-after-admission + in_flight`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Submit calls, accepted or not.
+    pub submitted: u64,
+    /// Requests admitted into a shard queue.
+    pub admitted: u64,
+    /// Ranked replies delivered.
+    pub replies: u64,
+    /// Rejections with [`ShedReason::QueueFull`].
+    pub shed_queue_full: u64,
+    /// Rejections with [`ShedReason::DeadlineExpired`] (at submit or queued).
+    pub shed_deadline: u64,
+    /// Rejections with [`ShedReason::TenantQuota`].
+    pub shed_tenant: u64,
+    /// Rejections with [`ShedReason::Overload`] (budget or panic drain).
+    pub shed_overload: u64,
+    /// Rejections with [`ShedReason::ShuttingDown`].
+    pub shed_shutting_down: u64,
+    /// Worker panics absorbed (each drained its shard and resumed).
+    pub worker_panics: u64,
+    /// Admitted requests not yet answered.
+    pub in_flight: usize,
+}
+
+impl FrontendStats {
+    /// Every typed rejection, at submit or after admission.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full
+            + self.shed_deadline
+            + self.shed_tenant
+            + self.shed_overload
+            + self.shed_shutting_down
+    }
+}
+
+/// One queued request: payload, accounting identity, deadline, reply slot.
+struct PendingReq {
+    req: ScoreRequest,
+    tenant: u32,
+    deadline: Option<Instant>,
+    tx: mpsc::Sender<FrontendReply>,
+    /// Set only while observability is on (feeds `serve.shard.latency_ms`).
+    enqueued: Option<Instant>,
+}
+
+struct ShardState {
+    pending: VecDeque<PendingReq>,
+    shutdown: bool,
+}
+
+struct ShardQueue {
+    state: Mutex<ShardState>,
+    cond: Condvar,
+    /// Test hook: the next batch cut on this shard panics its worker.
+    panic_next: AtomicBool,
+    /// Test hook: the next batch cut on this shard sleeps this many
+    /// milliseconds before scoring (simulates a slow batch).
+    stall_next_ms: AtomicU64,
+}
+
+/// Global admission accounting: one mutex, taken only at submit and at
+/// delivery — never while a shard lock is held, never during scoring.
+struct Admission {
+    max_in_flight: usize,
+    tenant_quota: usize,
+    inner: Mutex<AdmissionInner>,
+}
+
+struct AdmissionInner {
+    in_flight: usize,
+    per_tenant: HashMap<u32, usize>,
+}
+
+impl Admission {
+    fn try_admit(&self, tenant: u32) -> Result<(), ShedReason> {
+        let mut inner = self.inner.lock().expect("admission accounting poisoned");
+        let held = inner.per_tenant.get(&tenant).copied().unwrap_or(0);
+        if held >= self.tenant_quota {
+            return Err(ShedReason::TenantQuota);
+        }
+        if inner.in_flight >= self.max_in_flight {
+            return Err(ShedReason::Overload);
+        }
+        inner.in_flight += 1;
+        *inner.per_tenant.entry(tenant).or_insert(0) += 1;
+        Ok(())
+    }
+
+    fn release(&self, tenant: u32) {
+        let mut inner = self.inner.lock().expect("admission accounting poisoned");
+        inner.in_flight = inner.in_flight.saturating_sub(1);
+        if let Some(held) = inner.per_tenant.get_mut(&tenant) {
+            *held = held.saturating_sub(1);
+            if *held == 0 {
+                inner.per_tenant.remove(&tenant);
+            }
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.inner.lock().expect("admission accounting poisoned").in_flight
+    }
+
+    fn tenant_in_flight(&self, tenant: u32) -> usize {
+        let inner = self.inner.lock().expect("admission accounting poisoned");
+        inner.per_tenant.get(&tenant).copied().unwrap_or(0)
+    }
+}
+
+/// Pre-registered handles for the `serve.shard.*` metrics; `None` while
+/// observability is disabled so submit/deliver never touch the registry.
+struct FrontendMetrics {
+    admitted: causer_obs::Counter,
+    replies: causer_obs::Counter,
+    shed: causer_obs::Counter,
+    shed_deadline: causer_obs::Counter,
+    worker_panics: causer_obs::Counter,
+    in_flight: causer_obs::Gauge,
+    depth: causer_obs::Histogram,
+    latency_ms: causer_obs::Histogram,
+}
+
+impl FrontendMetrics {
+    fn new() -> Option<Self> {
+        if !causer_obs::enabled() {
+            return None;
+        }
+        let r = causer_obs::global();
+        Some(FrontendMetrics {
+            admitted: r.counter(obs::SERVE_SHARD_ADMITTED_TOTAL),
+            replies: r.counter(obs::SERVE_SHARD_REPLIES_TOTAL),
+            shed: r.counter(obs::SERVE_SHARD_SHED_TOTAL),
+            shed_deadline: r.counter(obs::SERVE_SHARD_SHED_DEADLINE_TOTAL),
+            worker_panics: r.counter(obs::SERVE_SHARD_WORKER_PANICS_TOTAL),
+            in_flight: r.gauge(obs::SERVE_SHARD_IN_FLIGHT),
+            depth: r.histogram(obs::SERVE_SHARD_DEPTH, causer_obs::Buckets::default_count()),
+            latency_ms: r.histogram(obs::SERVE_SHARD_LATENCY_MS, causer_obs::Buckets::default_ms()),
+        })
+    }
+}
+
+/// Relaxed-atomic counters behind [`FrontendStats`].
+#[derive(Default)]
+struct StatCells {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    replies: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_tenant: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_shutting_down: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+struct Shared {
+    shards: Vec<ShardQueue>,
+    admission: Admission,
+    stats: StatCells,
+    metrics: Option<FrontendMetrics>,
+    /// Frontend-global batch ids (stamped into every `Ranked`, unique
+    /// across shards so generation-mixing checks can group by batch).
+    batch_counter: AtomicU64,
+}
+
+impl Shared {
+    /// Count and publish a rejection (submit-time refusals and
+    /// post-admission sheds alike; budget release is the caller's job).
+    fn count_shed(&self, reason: ShedReason) {
+        let cell = match reason {
+            ShedReason::QueueFull => &self.stats.shed_queue_full,
+            ShedReason::DeadlineExpired => &self.stats.shed_deadline,
+            ShedReason::TenantQuota => &self.stats.shed_tenant,
+            ShedReason::Overload => &self.stats.shed_overload,
+            ShedReason::ShuttingDown => &self.stats.shed_shutting_down,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.shed.inc();
+            if reason == ShedReason::DeadlineExpired {
+                m.shed_deadline.inc();
+            }
+        }
+    }
+
+    /// Deliver the one outcome of an admitted request: release its budget,
+    /// count it, send it. Every admitted request passes through here exactly
+    /// once — on the reply path, the deadline-shed path, the panic-drain
+    /// path, and the shutdown drain alike.
+    fn deliver(&self, pending: PendingReq, outcome: FrontendReply) {
+        self.admission.release(pending.tenant);
+        match &outcome {
+            Ok(_) => {
+                self.stats.replies.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.replies.inc();
+                    if let Some(t0) = pending.enqueued {
+                        m.latency_ms.observe(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                }
+            }
+            Err(reason) => self.count_shed(*reason),
+        }
+        if let Some(m) = &self.metrics {
+            m.in_flight.set(self.admission.in_flight() as f64);
+        }
+        // A dropped receiver just means the caller gave up waiting.
+        let _ = pending.tx.send(outcome);
+    }
+}
+
+/// The sharded, deadline-aware serving front-end. See the module docs for
+/// the admission-control contract.
+///
+/// ```
+/// use causer_core::{CauserConfig, CauserModel};
+/// use causer_serve::{FrontendConfig, FrontendRequest, ModelHandle, ScoreRequest, ShardedFrontend};
+/// use causer_tensor::Matrix;
+/// use std::sync::Arc;
+///
+/// let model = CauserModel::new(CauserConfig::new(4, 6, 3), Matrix::zeros(6, 3), 7);
+/// let handle = Arc::new(ModelHandle::new(model));
+/// let frontend = ShardedFrontend::start(handle, FrontendConfig::default());
+///
+/// let req = FrontendRequest::new(ScoreRequest::top_k(1, vec![vec![2], vec![4]], 3));
+/// let rx = frontend.submit(req).expect("admitted below every bound");
+/// let reply = rx.recv().expect("exactly one outcome per admitted request");
+/// assert_eq!(reply.expect("no shed under no load").items.len(), 3);
+/// frontend.shutdown();
+/// ```
+pub struct ShardedFrontend {
+    shared: Arc<Shared>,
+    cfg: FrontendConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardedFrontend {
+    /// Start a stateless frontend: every request re-encodes its history.
+    pub fn start(handle: Arc<ModelHandle>, cfg: FrontendConfig) -> Self {
+        ShardedFrontend::start_inner(handle, None, cfg)
+    }
+
+    /// Start a frontend whose workers score through a [`UserStateStore`].
+    /// The store's shard count must be a multiple of the frontend's, so
+    /// each store shard is only ever touched from one frontend shard
+    /// (`user % frontend_shards` determines `user % store_shards`).
+    pub fn start_stateful(
+        handle: Arc<ModelHandle>,
+        store: Arc<UserStateStore>,
+        cfg: FrontendConfig,
+    ) -> Self {
+        // Construction-time config validation, not hot-path input handling:
+        // causer-lint: allow(no-panic-in-serve-hot-path)
+        assert!(
+            store.shard_count().is_multiple_of(cfg.shards.max(1)),
+            "store shards must be a multiple of frontend shards for shard-local warm state"
+        );
+        ShardedFrontend::start_inner(handle, Some(store), cfg)
+    }
+
+    fn start_inner(
+        handle: Arc<ModelHandle>,
+        store: Option<Arc<UserStateStore>>,
+        mut cfg: FrontendConfig,
+    ) -> Self {
+        cfg.shards = cfg.shards.max(1);
+        cfg.workers_per_shard = cfg.workers_per_shard.max(1);
+        // Construction-time config validation, not hot-path input handling:
+        // causer-lint: allow(no-panic-in-serve-hot-path)
+        assert!(cfg.queue.max_batch >= 1, "max_batch must be at least 1");
+        // causer-lint: allow(no-panic-in-serve-hot-path)
+        assert!(cfg.queue.capacity >= 1, "capacity must be at least 1");
+        // causer-lint: allow(no-panic-in-serve-hot-path)
+        assert!(cfg.max_in_flight >= 1, "max_in_flight must be at least 1");
+        let shared = Arc::new(Shared {
+            shards: (0..cfg.shards)
+                .map(|_| ShardQueue {
+                    state: Mutex::new(ShardState { pending: VecDeque::new(), shutdown: false }),
+                    cond: Condvar::new(),
+                    panic_next: AtomicBool::new(false),
+                    stall_next_ms: AtomicU64::new(0),
+                })
+                .collect(),
+            admission: Admission {
+                max_in_flight: cfg.max_in_flight,
+                tenant_quota: cfg.tenant_quota,
+                inner: Mutex::new(AdmissionInner { in_flight: 0, per_tenant: HashMap::new() }),
+            },
+            stats: StatCells::default(),
+            metrics: FrontendMetrics::new(),
+            batch_counter: AtomicU64::new(0),
+        });
+        let mut workers = Vec::with_capacity(cfg.shards * cfg.workers_per_shard);
+        for shard in 0..cfg.shards {
+            for _ in 0..cfg.workers_per_shard {
+                let shared = shared.clone();
+                let handle = handle.clone();
+                let store = store.clone();
+                let queue_cfg = cfg.queue.clone();
+                // Workers deliberately outlive `start`: they own Arc'd state
+                // and are joined in `shutdown_inner` (also on Drop).
+                // causer-lint: allow(no-unscoped-spawn)
+                workers.push(std::thread::spawn(move || {
+                    worker_loop(&shared, shard, &handle, store.as_deref(), &queue_cfg)
+                }));
+            }
+        }
+        ShardedFrontend { shared, cfg, workers }
+    }
+
+    /// The shard a user's requests are admitted to (`user % shards`) —
+    /// the same modulus [`UserStateStore`] shards by, so a store with a
+    /// compatible shard count keeps warm state shard-local.
+    pub fn shard_of(&self, user: usize) -> usize {
+        user % self.cfg.shards
+    }
+
+    /// Admit a request, or refuse it with the first failing check in
+    /// deadline → tenant quota → global budget → shard capacity order.
+    /// An accepted request's receiver gets exactly one [`FrontendReply`].
+    pub fn submit(
+        &self,
+        request: FrontendRequest,
+    ) -> Result<mpsc::Receiver<FrontendReply>, ShedReason> {
+        let shared = &self.shared;
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let FrontendRequest { req, tenant, deadline } = request;
+        let deadline = deadline.or_else(|| self.cfg.default_deadline.map(|d| Instant::now() + d));
+        if deadline.is_some_and(|d| d <= Instant::now()) {
+            shared.count_shed(ShedReason::DeadlineExpired);
+            return Err(ShedReason::DeadlineExpired);
+        }
+        if let Err(reason) = shared.admission.try_admit(tenant) {
+            shared.count_shed(reason);
+            return Err(reason);
+        }
+        let shard = &shared.shards[req.user % self.cfg.shards];
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = shard.state.lock().expect("frontend shard poisoned");
+            if state.shutdown {
+                drop(state);
+                shared.admission.release(tenant);
+                shared.count_shed(ShedReason::ShuttingDown);
+                return Err(ShedReason::ShuttingDown);
+            }
+            if state.pending.len() >= self.cfg.queue.capacity {
+                drop(state);
+                shared.admission.release(tenant);
+                shared.count_shed(ShedReason::QueueFull);
+                return Err(ShedReason::QueueFull);
+            }
+            let enqueued = shared.metrics.as_ref().map(|_| Instant::now());
+            state.pending.push_back(PendingReq { req, tenant, deadline, tx, enqueued });
+        }
+        shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &shared.metrics {
+            m.admitted.inc();
+            m.in_flight.set(shared.admission.in_flight() as f64);
+        }
+        shard.cond.notify_all();
+        Ok(rx)
+    }
+
+    /// Current counters and in-flight residency.
+    pub fn stats(&self) -> FrontendStats {
+        let s = &self.shared.stats;
+        FrontendStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            admitted: s.admitted.load(Ordering::Relaxed),
+            replies: s.replies.load(Ordering::Relaxed),
+            shed_queue_full: s.shed_queue_full.load(Ordering::Relaxed),
+            shed_deadline: s.shed_deadline.load(Ordering::Relaxed),
+            shed_tenant: s.shed_tenant.load(Ordering::Relaxed),
+            shed_overload: s.shed_overload.load(Ordering::Relaxed),
+            shed_shutting_down: s.shed_shutting_down.load(Ordering::Relaxed),
+            worker_panics: s.worker_panics.load(Ordering::Relaxed),
+            in_flight: self.shared.admission.in_flight(),
+        }
+    }
+
+    /// Requests a tenant currently holds in flight (quota accounting).
+    pub fn tenant_in_flight(&self, tenant: u32) -> usize {
+        self.shared.admission.tenant_in_flight(tenant)
+    }
+
+    /// Requests waiting in shard queues (excludes batches being scored).
+    pub fn pending(&self) -> usize {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.state.lock().expect("frontend shard poisoned").pending.len())
+            .sum()
+    }
+
+    /// Test-only fault injection: the next batch cut on `shard` panics its
+    /// worker, exercising the drain-shed-resume path deterministically.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&self, shard: usize) {
+        self.shared.shards[shard % self.cfg.shards].panic_next.store(true, Ordering::SeqCst);
+    }
+
+    /// Test-only fault injection: the next batch cut on `shard` sleeps
+    /// `stall` before scoring — a deterministic slow batch, used to park
+    /// requests in the queue past their deadlines.
+    #[doc(hidden)]
+    pub fn inject_worker_stall(&self, shard: usize, stall: Duration) {
+        self.shared.shards[shard % self.cfg.shards]
+            .stall_next_ms
+            .store(stall.as_millis() as u64, Ordering::SeqCst);
+    }
+
+    /// Stop admitting new requests without waiting for the drain: every
+    /// subsequent [`submit`](ShardedFrontend::submit) is refused with
+    /// [`ShedReason::ShuttingDown`] while the workers score what is already
+    /// queued (shedding what is past deadline). Call
+    /// [`shutdown`](ShardedFrontend::shutdown) to join the workers.
+    pub fn begin_shutdown(&self) {
+        for shard in &self.shared.shards {
+            shard.state.lock().expect("frontend shard poisoned").shutdown = true;
+            shard.cond.notify_all();
+        }
+    }
+
+    /// Stop admitting, drain every shard (scoring what is still within
+    /// deadline, shedding what is not), join all workers, and return the
+    /// final counters — with the drain complete, `in_flight` is 0 and the
+    /// partition `admitted == replies + post-admission sheds` has settled.
+    pub fn shutdown(mut self) -> FrontendStats {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.begin_shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ShardedFrontend {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn worker_loop(
+    shared: &Shared,
+    shard_idx: usize,
+    handle: &Arc<ModelHandle>,
+    store: Option<&UserStateStore>,
+    cfg: &QueueConfig,
+) {
+    let shard = &shared.shards[shard_idx];
+    let scorer = BatchScorer::new(cfg.threads);
+    loop {
+        // Phase 1: wait for the first request (or shutdown).
+        let mut state = shard.state.lock().expect("frontend shard poisoned");
+        while state.pending.is_empty() && !state.shutdown {
+            state = shard.cond.wait(state).expect("frontend shard poisoned");
+        }
+        if state.pending.is_empty() && state.shutdown {
+            return;
+        }
+        // Phase 2: collect until full, the wait budget lapses, or shutdown.
+        let batch_deadline = Instant::now() + cfg.max_wait;
+        while state.pending.len() < cfg.max_batch && !state.shutdown {
+            let now = Instant::now();
+            if now >= batch_deadline {
+                break;
+            }
+            let (next, timed_out) = shard
+                .cond
+                .wait_timeout(state, batch_deadline - now)
+                .expect("frontend shard poisoned");
+            state = next;
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        // Phase 3: sweep expired requests out of the whole shard queue —
+        // shed before scoring, never after — then cut the batch.
+        let depth = state.pending.len();
+        let now = Instant::now();
+        let mut expired = Vec::new();
+        for _ in 0..state.pending.len() {
+            let p = state.pending.pop_front().expect("pending length checked");
+            if p.deadline.is_some_and(|d| d <= now) {
+                expired.push(p);
+            } else {
+                state.pending.push_back(p);
+            }
+        }
+        let n = state.pending.len().min(cfg.max_batch);
+        let drained: Vec<PendingReq> = state.pending.drain(..n).collect();
+        drop(state);
+
+        for p in expired {
+            shared.deliver(p, Err(ShedReason::DeadlineExpired));
+        }
+        if drained.is_empty() {
+            continue;
+        }
+        if let Some(m) = &shared.metrics {
+            m.depth.observe(depth as f64);
+        }
+
+        // Phase 4: score outside the lock against one model snapshot.
+        // catch_unwind fences the batch: a scorer panic (or an injected
+        // fault) must not take the shard down with it.
+        let batch_id = shared.batch_counter.fetch_add(1, Ordering::SeqCst) + 1;
+        let _batch_span = causer_obs::span(obs::SP_SERVE_BATCH);
+        let snapshot = handle.snapshot();
+        let reqs: Vec<ScoreRequest> = drained.iter().map(|p| p.req.clone()).collect();
+        let stall_ms = shard.stall_next_ms.swap(0, Ordering::SeqCst);
+        let inject_panic = shard.panic_next.swap(false, Ordering::SeqCst);
+        let scored = catch_unwind(AssertUnwindSafe(|| {
+            if stall_ms > 0 {
+                std::thread::sleep(Duration::from_millis(stall_ms));
+            }
+            if inject_panic {
+                std::panic::panic_any("injected worker fault");
+            }
+            match store {
+                Some(store) => scorer.score_batch_stateful(&snapshot, store, &reqs),
+                None => scorer.score_batch(&snapshot, &reqs),
+            }
+        }));
+        match scored {
+            Ok(ranked) => {
+                for (p, mut response) in drained.into_iter().zip(ranked) {
+                    response.batch = batch_id;
+                    shared.deliver(p, Ok(response));
+                }
+            }
+            Err(_) => {
+                // The worker survived a scoring panic: shed the batch and
+                // the shard's queued requests (typed, budget released), log
+                // it, and resume — a restarted shard, not a dead one.
+                shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &shared.metrics {
+                    m.worker_panics.inc();
+                }
+                if causer_obs::enabled() {
+                    causer_obs::emit(
+                        causer_obs::Event::new(obs::EV_SERVE_WORKER_PANIC)
+                            .u("shard", shard_idx as u64)
+                            .u("batch", batch_id),
+                    );
+                }
+                for p in drained {
+                    shared.deliver(p, Err(ShedReason::Overload));
+                }
+                let orphans: Vec<PendingReq> = {
+                    let mut state = shard.state.lock().expect("frontend shard poisoned");
+                    state.pending.drain(..).collect()
+                };
+                for p in orphans {
+                    shared.deliver(p, Err(ShedReason::Overload));
+                }
+            }
+        }
+    }
+}

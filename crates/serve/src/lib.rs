@@ -21,14 +21,23 @@
 //!   generation-stamped against hot reloads, so a returning user's request
 //!   costs one `step_plain` per new interaction per affected cluster-stream
 //!   instead of an O(K·L) history re-encode.
+//! - [`ShardedFrontend`] — the deployment shape: N user-id-sharded queues
+//!   (consistent with the state store's sharding, so warm state stays
+//!   shard-local) with per-shard worker pools, per-request deadlines shed
+//!   before scoring, a global in-flight budget, per-tenant quotas, a typed
+//!   rejection taxonomy ([`ShedReason`]), and panic-isolated workers.
 
 #![warn(missing_docs)]
 
+mod frontend;
 mod queue;
 mod reload;
 mod scorer;
 mod state_store;
 
+pub use frontend::{
+    FrontendConfig, FrontendReply, FrontendRequest, FrontendStats, ShardedFrontend, ShedReason,
+};
 pub use queue::{BatchQueue, QueueConfig, SubmitError};
 pub use reload::ModelHandle;
 pub use scorer::{BatchScorer, Ranked, ScoreRequest, ServeState};

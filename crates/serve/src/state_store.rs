@@ -241,6 +241,13 @@ impl UserStateStore {
         }
     }
 
+    /// Number of independent shards (`user % shard_count()` addressing —
+    /// the modulus the sharded frontend must stay consistent with for
+    /// warm state to remain shard-local).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Whether a (non-stale-checked) entry is resident for `user`.
     pub fn contains(&self, user: usize) -> bool {
         let shard = self.shard_of(user).lock().expect("state-store shard poisoned");

@@ -1,0 +1,803 @@
+//! Concurrency suite for the sharded serving front-end.
+//!
+//! The contract under test, in rough order of appearance:
+//!
+//! - **Score fidelity** — replies through the frontend match the direct
+//!   [`BatchScorer`] paths bitwise on scalar/sse2 (≤1e-12 relative on avx2).
+//! - **Sharding** — `shard_of` is the same `user % shards` modulus the
+//!   [`UserStateStore`] uses, and a store whose shard count is not a
+//!   multiple of the frontend's is refused at construction.
+//! - **Deadlines** — expired at submit ⇒ synchronous refusal; expired while
+//!   queued ⇒ shed at the next batch cut, *before* scoring; once scoring
+//!   starts the request is never shed, even if its deadline lapses
+//!   mid-score (proved with an injected slow batch).
+//! - **Admission taxonomy** — `QueueFull`, `Overload`, `TenantQuota` each
+//!   fire on exactly their own bound, checked in precedence order.
+//! - **Fault isolation** — an injected worker panic sheds the victim
+//!   shard's batch and queue with typed reasons, releases every budget
+//!   slot, leaves other shards serving, and the shard resumes.
+//! - **Reload atomicity** — a hot reload applies between batches, never
+//!   within one.
+//! - **Exactly one outcome per request** — under an 8-producer ×
+//!   hot-reloader × deadline-clock storm, and (as proptest properties) for
+//!   arbitrary op interleavings: replies + typed rejections exactly
+//!   partition admitted requests, and the admission accounting balances.
+
+use causer_core::{CauserConfig, CauserModel, CauserVariant, RnnKind};
+use causer_serve::{
+    BatchScorer, FrontendConfig, FrontendRequest, ModelHandle, QueueConfig, Ranked, ScoreRequest,
+    ShardedFrontend, ShedReason, StateStoreConfig, UserStateStore,
+};
+use causer_tensor::{init, simd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ITEMS: usize = 14;
+const USERS: usize = 8;
+
+/// The long sleep an injected slow batch holds its worker for: every
+/// deadline and fault-window below fits inside it with a wide margin, so
+/// the tests stay deterministic on a loaded single-core runner.
+const STALL: Duration = Duration::from_millis(400);
+/// How long we wait after a submit for its batch to be cut and stalled.
+const SETTLE: Duration = Duration::from_millis(120);
+
+fn build_model(seed: u64) -> CauserModel {
+    let mut cfg = CauserConfig::new(USERS, ITEMS, 5);
+    cfg.k = 4;
+    cfg.d1 = 6;
+    cfg.d2 = 5;
+    cfg.user_dim = 3;
+    cfg.hidden_dim = 6;
+    cfg.item_out_dim = 5;
+    cfg.rnn = RnnKind::Gru;
+    cfg.variant = CauserVariant::Full;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features = init::uniform(&mut rng, ITEMS, 5, 1.0);
+    CauserModel::new(cfg, features, seed)
+}
+
+fn random_history(rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let len = rng.gen_range(1..4);
+    (0..len).map(|_| vec![rng.gen_range(0..ITEMS)]).collect()
+}
+
+/// Bitwise on scalar/sse2; ≤1e-12 relative on avx2 (whose blocked kernels
+/// may reassociate across columns).
+fn assert_scores_match(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    let bitwise = simd::active().name() != "avx2";
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if bitwise {
+            assert_eq!(g.to_bits(), w.to_bits(), "{what}: score {i} diverged: {g} vs {w}");
+        } else {
+            let tol = 1e-12 * g.abs().max(w.abs()).max(1.0);
+            assert!((g - w).abs() <= tol, "{what}: score {i} off by >1e-12: {g} vs {w}");
+        }
+    }
+}
+
+fn assert_ranked_match(got: &Ranked, want: &Ranked, what: &str) {
+    if simd::active().name() != "avx2" {
+        assert_eq!(got.items, want.items, "{what}: top-K items");
+    }
+    assert_scores_match(&got.scores, &want.scores, what);
+}
+
+/// Receive the single outcome of an admitted request and assert the
+/// channel then disconnects — a duplicate delivery would sit in the buffer.
+fn recv_exactly_one(rx: &mpsc::Receiver<Result<Ranked, ShedReason>>) -> Result<Ranked, ShedReason> {
+    let outcome = rx.recv_timeout(Duration::from_secs(20)).expect("admitted request lost");
+    assert!(
+        rx.recv_timeout(Duration::from_millis(50)).is_err(),
+        "second outcome delivered for one request"
+    );
+    outcome
+}
+
+fn fast_queue() -> QueueConfig {
+    QueueConfig { max_batch: 64, max_wait: Duration::from_millis(5), ..Default::default() }
+}
+
+/// Replies through the stateless frontend equal the direct batch scorer on
+/// the same snapshot, for every user, and carry batch ids.
+#[test]
+fn frontend_replies_match_direct_batch_scorer() {
+    let handle = Arc::new(ModelHandle::new(build_model(11)));
+    let state = handle.snapshot();
+    let scorer = BatchScorer::new(1);
+    let frontend = ShardedFrontend::start(
+        handle.clone(),
+        FrontendConfig { shards: 3, queue: fast_queue(), ..Default::default() },
+    );
+    let mut rng = StdRng::seed_from_u64(21);
+    for user in 0..USERS {
+        let req = ScoreRequest::top_k(user, random_history(&mut rng), ITEMS);
+        let rx = frontend.submit(FrontendRequest::new(req.clone())).expect("no load, no refusal");
+        let got = recv_exactly_one(&rx).expect("no load, no shed");
+        assert!(got.batch > 0, "reply missing its batch id");
+        assert_eq!(got.generation, 0);
+        let want = scorer.score_batch(&state, &[req]);
+        assert_ranked_match(&got, &want[0], &format!("frontend user {user}"));
+    }
+    let stats = frontend.shutdown();
+    assert_eq!((stats.admitted, stats.replies), (USERS as u64, USERS as u64));
+    assert_eq!(stats.shed_total(), 0);
+    assert_eq!(stats.in_flight, 0);
+}
+
+/// The frontend shards by the same modulus as the state store, warm state
+/// accumulates through the frontend exactly as through the direct stateful
+/// path, and a store with an incompatible shard count is refused.
+#[test]
+fn stateful_frontend_keeps_warm_state_shard_local() {
+    let handle = Arc::new(ModelHandle::new(build_model(13)));
+    let state = handle.snapshot();
+    let scorer = BatchScorer::new(1);
+    // 8 store shards over 4 frontend shards: each frontend shard owns
+    // exactly two store shards; no store shard is split across frontends.
+    let store = Arc::new(UserStateStore::new(StateStoreConfig { shards: 8, ..Default::default() }));
+    let cfg = FrontendConfig { shards: 4, queue: fast_queue(), ..Default::default() };
+    let frontend = ShardedFrontend::start_stateful(handle.clone(), store.clone(), cfg.clone());
+    for user in 0..USERS {
+        assert_eq!(frontend.shard_of(user), user % 4, "shard_of must be user % shards");
+    }
+
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut hists: Vec<Vec<Vec<usize>>> = vec![Vec::new(); USERS];
+    // Cold seed, then two warm appends per user — through the frontend.
+    for round in 0..3 {
+        for (user, hist) in hists.iter_mut().enumerate() {
+            hist.push(vec![rng.gen_range(0..ITEMS)]);
+            let req = ScoreRequest::top_k(user, hist.clone(), ITEMS);
+            let rx =
+                frontend.submit(FrontendRequest::new(req.clone())).expect("no load, no refusal");
+            let got = recv_exactly_one(&rx).expect("no load, no shed");
+            let want = scorer.score_batch(&state, &[req]);
+            assert_ranked_match(&got, &want[0], &format!("stateful user {user} round {round}"));
+        }
+    }
+    frontend.shutdown();
+    let stats = store.stats();
+    assert_eq!(stats.misses, USERS as u64, "one cold seed per user");
+    assert_eq!(stats.hits, 2 * USERS as u64, "two warm hits per user");
+
+    // 6 store shards over 4 frontend shards would split store shards
+    // across frontend shards — refused at construction.
+    let bad = Arc::new(UserStateStore::new(StateStoreConfig { shards: 6, ..Default::default() }));
+    let refused = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ShardedFrontend::start_stateful(handle.clone(), bad, cfg)
+    }));
+    assert!(refused.is_err(), "incompatible store sharding must be refused");
+}
+
+/// A request whose deadline has already passed is refused synchronously —
+/// explicit deadline or the config default alike — and touches no queue.
+#[test]
+fn expired_deadline_is_refused_at_submit() {
+    let handle = Arc::new(ModelHandle::new(build_model(17)));
+    let frontend = ShardedFrontend::start(
+        handle.clone(),
+        FrontendConfig { shards: 1, queue: fast_queue(), ..Default::default() },
+    );
+    let req = ScoreRequest::top_k(0, vec![vec![1]], ITEMS);
+    let refused =
+        frontend.submit(FrontendRequest::new(req.clone()).with_deadline_in(Duration::ZERO));
+    assert_eq!(refused.err(), Some(ShedReason::DeadlineExpired));
+    let stats = frontend.shutdown();
+    assert_eq!((stats.submitted, stats.admitted, stats.shed_deadline), (1, 0, 1));
+
+    // Same through `default_deadline` on a request that carries none.
+    let frontend = ShardedFrontend::start(
+        handle,
+        FrontendConfig {
+            shards: 1,
+            queue: fast_queue(),
+            default_deadline: Some(Duration::ZERO),
+            ..Default::default()
+        },
+    );
+    let refused = frontend.submit(FrontendRequest::new(req));
+    assert_eq!(refused.err(), Some(ShedReason::DeadlineExpired));
+    let stats = frontend.shutdown();
+    assert_eq!((stats.admitted, stats.shed_deadline), (0, 1));
+}
+
+/// The deadline boundary sits exactly at the batch cut: a request already
+/// *in* a batch is scored even if its deadline lapses mid-score (slow batch
+/// injected), while a request that expires *waiting* is swept out at the
+/// next cut, before scoring.
+#[test]
+fn queued_deadline_sheds_before_scoring_never_after() {
+    let handle = Arc::new(ModelHandle::new(build_model(19)));
+    let state = handle.snapshot();
+    let scorer = BatchScorer::new(1);
+    let frontend = ShardedFrontend::start(
+        handle,
+        FrontendConfig { shards: 1, queue: fast_queue(), ..Default::default() },
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // A is cut into a batch (~5ms, deadline 80ms away), then the injected
+    // stall holds the worker mid-score well past A's deadline.
+    frontend.inject_worker_stall(0, STALL);
+    let req_a = ScoreRequest::top_k(0, random_history(&mut rng), ITEMS);
+    let rx_a = frontend
+        .submit(FrontendRequest::new(req_a.clone()).with_deadline_in(Duration::from_millis(80)))
+        .expect("admitted");
+    std::thread::sleep(SETTLE);
+
+    // B expires while the worker is still stalled; C has no deadline.
+    let rx_b = frontend
+        .submit(
+            FrontendRequest::new(ScoreRequest::top_k(1, random_history(&mut rng), ITEMS))
+                .with_deadline_in(Duration::from_millis(50)),
+        )
+        .expect("admitted");
+    let req_c = ScoreRequest::top_k(2, random_history(&mut rng), ITEMS);
+    let rx_c = frontend.submit(FrontendRequest::new(req_c.clone())).expect("admitted");
+
+    let got_a = recv_exactly_one(&rx_a).expect("in-batch request is never shed after the cut");
+    assert_ranked_match(&got_a, &scorer.score_batch(&state, &[req_a])[0], "post-deadline score");
+    assert_eq!(
+        recv_exactly_one(&rx_b).err(),
+        Some(ShedReason::DeadlineExpired),
+        "queued request must be swept at the cut"
+    );
+    let got_c = recv_exactly_one(&rx_c).expect("no deadline, no shed");
+    assert_ranked_match(&got_c, &scorer.score_batch(&state, &[req_c])[0], "deadline-free peer");
+
+    let stats = frontend.shutdown();
+    assert_eq!((stats.admitted, stats.replies, stats.shed_deadline), (3, 2, 1));
+    assert_eq!(stats.in_flight, 0);
+}
+
+/// Beyond `capacity` pending requests a shard refuses with `QueueFull`;
+/// everything admitted is still answered.
+#[test]
+fn queue_full_refusal_at_capacity() {
+    let handle = Arc::new(ModelHandle::new(build_model(23)));
+    let queue = QueueConfig { capacity: 2, ..fast_queue() };
+    let frontend =
+        ShardedFrontend::start(handle, FrontendConfig { shards: 1, queue, ..Default::default() });
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut submit = |user: usize| {
+        frontend.submit(FrontendRequest::new(ScoreRequest::top_k(
+            user,
+            random_history(&mut rng),
+            ITEMS,
+        )))
+    };
+
+    frontend.inject_worker_stall(0, STALL);
+    let rx_w = submit(0).expect("warm-up admitted");
+    std::thread::sleep(SETTLE);
+    let rx_1 = submit(1).expect("first queued slot");
+    let rx_2 = submit(2).expect("second queued slot");
+    assert_eq!(submit(3).err(), Some(ShedReason::QueueFull), "third must hit capacity");
+
+    for rx in [rx_w, rx_1, rx_2] {
+        recv_exactly_one(&rx).expect("admitted requests are answered");
+    }
+    let stats = frontend.shutdown();
+    assert_eq!((stats.admitted, stats.replies, stats.shed_queue_full), (3, 3, 1));
+    assert_eq!(stats.in_flight, 0);
+}
+
+/// Beyond `max_in_flight` admitted-but-unanswered requests the frontend
+/// refuses with `Overload`, and the budget frees as replies deliver.
+#[test]
+fn global_in_flight_budget_refuses_with_overload() {
+    let handle = Arc::new(ModelHandle::new(build_model(29)));
+    let frontend = ShardedFrontend::start(
+        handle,
+        FrontendConfig { shards: 1, queue: fast_queue(), max_in_flight: 2, ..Default::default() },
+    );
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut submit = |user: usize| {
+        frontend.submit(FrontendRequest::new(ScoreRequest::top_k(
+            user,
+            random_history(&mut rng),
+            ITEMS,
+        )))
+    };
+
+    frontend.inject_worker_stall(0, STALL);
+    let rx_w = submit(0).expect("warm-up admitted");
+    std::thread::sleep(SETTLE);
+    // The stalled warm-up still holds one budget slot (mid-score counts).
+    let rx_1 = submit(1).expect("second budget slot");
+    assert_eq!(submit(2).err(), Some(ShedReason::Overload), "budget of two exhausted");
+
+    recv_exactly_one(&rx_w).expect("warm-up answered");
+    recv_exactly_one(&rx_1).expect("budgeted request answered");
+    // Both slots released at delivery: admission is open again.
+    let rx_3 = submit(3).expect("budget freed after replies");
+    recv_exactly_one(&rx_3).expect("post-release request answered");
+
+    let stats = frontend.shutdown();
+    assert_eq!((stats.admitted, stats.replies, stats.shed_overload), (3, 3, 1));
+    assert_eq!(stats.in_flight, 0);
+}
+
+/// One tenant at its quota is refused with `TenantQuota` while other
+/// tenants keep being admitted — and quota slots free at delivery.
+#[test]
+fn tenant_quota_isolates_noisy_tenant() {
+    let handle = Arc::new(ModelHandle::new(build_model(31)));
+    let frontend = ShardedFrontend::start(
+        handle,
+        FrontendConfig { shards: 1, queue: fast_queue(), tenant_quota: 1, ..Default::default() },
+    );
+    let mut rng = StdRng::seed_from_u64(15);
+    let mut submit = |user: usize, tenant: u32| {
+        frontend.submit(
+            FrontendRequest::new(ScoreRequest::top_k(user, random_history(&mut rng), ITEMS))
+                .with_tenant(tenant),
+        )
+    };
+
+    frontend.inject_worker_stall(0, STALL);
+    let rx_noisy = submit(0, 7).expect("first request of tenant 7 admitted");
+    std::thread::sleep(SETTLE);
+    assert_eq!(frontend.tenant_in_flight(7), 1);
+    assert_eq!(submit(1, 7).err(), Some(ShedReason::TenantQuota), "tenant 7 at quota");
+    let rx_other = submit(2, 8).expect("tenant 8 unaffected by tenant 7's quota");
+    assert_eq!(frontend.tenant_in_flight(8), 1);
+
+    recv_exactly_one(&rx_noisy).expect("noisy tenant's admitted request answered");
+    recv_exactly_one(&rx_other).expect("other tenant answered");
+    assert_eq!((frontend.tenant_in_flight(7), frontend.tenant_in_flight(8)), (0, 0));
+    let rx_again = submit(3, 7).expect("quota slot freed at delivery");
+    recv_exactly_one(&rx_again).expect("tenant 7 served again");
+
+    let stats = frontend.shutdown();
+    assert_eq!((stats.admitted, stats.replies, stats.shed_tenant), (3, 3, 1));
+    assert_eq!(stats.in_flight, 0);
+}
+
+/// The satellite fault-injection case: a planted worker panic on shard 0
+/// sheds its batch and queued requests with a typed reason, releases every
+/// budget slot, never touches shard 1, and the shard serves again.
+#[test]
+fn worker_panic_isolates_shard_and_preserves_budget() {
+    let handle = Arc::new(ModelHandle::new(build_model(37)));
+    let frontend = ShardedFrontend::start(
+        handle,
+        FrontendConfig { shards: 2, queue: fast_queue(), ..Default::default() },
+    );
+    let mut rng = StdRng::seed_from_u64(25);
+    let mut submit = |user: usize| {
+        frontend.submit(FrontendRequest::new(ScoreRequest::top_k(
+            user,
+            random_history(&mut rng),
+            ITEMS,
+        )))
+    };
+
+    // Shard 0's worker stalls mid-score on the warm-up batch; the panic is
+    // planted for its *next* cut, with three requests queued behind it.
+    frontend.inject_worker_stall(0, STALL);
+    let rx_w = submit(0).expect("warm-up admitted");
+    std::thread::sleep(SETTLE);
+    frontend.inject_worker_panic(0);
+    let victims: Vec<_> = [0, 2, 4].map(&mut submit).map(|r| r.expect("queued")).into();
+
+    // Shard 1 (user 1) keeps serving while shard 0 is stalled-then-failing.
+    let rx_s1 = submit(1).expect("other shard admits");
+    recv_exactly_one(&rx_s1).expect("other shard replies during the fault window");
+
+    // The stalled batch was cut before the panic was planted: it scores.
+    recv_exactly_one(&rx_w).expect("pre-panic batch still answered");
+    for rx in &victims {
+        assert_eq!(
+            recv_exactly_one(rx).err(),
+            Some(ShedReason::Overload),
+            "panic-drained requests carry a typed reason"
+        );
+    }
+
+    // The shard resumed: same users score again, and nothing leaked.
+    let rx_after = submit(0).expect("panicked shard admits again");
+    recv_exactly_one(&rx_after).expect("panicked shard serves again");
+    let stats = frontend.shutdown();
+    assert_eq!(stats.worker_panics, 1, "exactly the planted panic");
+    assert_eq!(stats.shed_overload, 3, "batch + queued victims, typed");
+    assert_eq!(stats.replies, 3, "warm-up, shard-1, post-restart");
+    assert_eq!(stats.in_flight, 0, "panic path must release every budget slot");
+    assert_eq!(stats.admitted, stats.replies + stats.shed_overload);
+}
+
+/// A reload installed while a batch is mid-score applies to the *next*
+/// batch: the in-flight batch keeps its snapshot, the queued requests all
+/// score on the new generation, and no batch mixes generations.
+#[test]
+fn hot_reload_applies_between_batches_never_within() {
+    let handle = Arc::new(ModelHandle::new(build_model(41)));
+    let frontend = ShardedFrontend::start(
+        handle.clone(),
+        FrontendConfig { shards: 1, queue: fast_queue(), ..Default::default() },
+    );
+    let mut rng = StdRng::seed_from_u64(35);
+    let mut submit = |user: usize| {
+        frontend.submit(FrontendRequest::new(ScoreRequest::top_k(
+            user,
+            random_history(&mut rng),
+            ITEMS,
+        )))
+    };
+
+    frontend.inject_worker_stall(0, STALL);
+    let rx_old = submit(0).expect("admitted");
+    std::thread::sleep(SETTLE);
+    // Mid-score of the generation-0 batch: queue four and reload.
+    let queued: Vec<_> = [1, 2, 3, 4].map(&mut submit).map(|r| r.expect("queued")).into();
+    handle.install(build_model(43));
+
+    let old = recv_exactly_one(&rx_old).expect("stalled batch answered");
+    assert_eq!(old.generation, 0, "in-flight batch keeps the snapshot it started with");
+    let fresh: Vec<Ranked> =
+        queued.iter().map(|rx| recv_exactly_one(rx).expect("queued answered")).collect();
+    for r in &fresh {
+        assert_eq!(r.generation, 1, "post-reload batch scores on the new generation");
+        assert_eq!(r.batch, fresh[0].batch, "the four queued requests share one batch");
+    }
+    assert_ne!(old.batch, fresh[0].batch);
+    frontend.shutdown();
+}
+
+/// `begin_shutdown` flips every shard to refusing (`ShuttingDown`) while
+/// the drain still answers what was queued — scoring what is in deadline,
+/// sweeping what is not.
+#[test]
+fn begin_shutdown_refuses_new_and_drains_queued() {
+    let handle = Arc::new(ModelHandle::new(build_model(47)));
+    let state = handle.snapshot();
+    let scorer = BatchScorer::new(1);
+    // A 30s wait budget: nothing is cut until shutdown forces the drain.
+    let queue = QueueConfig { max_wait: Duration::from_secs(30), ..fast_queue() };
+    let frontend =
+        ShardedFrontend::start(handle, FrontendConfig { shards: 2, queue, ..Default::default() });
+    let mut rng = StdRng::seed_from_u64(45);
+
+    let live: Vec<(ScoreRequest, _)> = (0..3)
+        .map(|user| {
+            let req = ScoreRequest::top_k(user, random_history(&mut rng), ITEMS);
+            let rx = frontend.submit(FrontendRequest::new(req.clone())).expect("admitted");
+            (req, rx)
+        })
+        .collect();
+    let rx_expired = frontend
+        .submit(
+            FrontendRequest::new(ScoreRequest::top_k(3, random_history(&mut rng), ITEMS))
+                .with_deadline_in(Duration::from_millis(1)),
+        )
+        .expect("admitted before expiry");
+    std::thread::sleep(Duration::from_millis(30));
+
+    frontend.begin_shutdown();
+    let refused = frontend.submit(FrontendRequest::new(ScoreRequest::top_k(
+        0,
+        random_history(&mut rng),
+        ITEMS,
+    )));
+    assert_eq!(refused.err(), Some(ShedReason::ShuttingDown));
+
+    let stats = frontend.shutdown();
+    for (req, rx) in live {
+        let got = recv_exactly_one(&rx).expect("drain answers queued requests");
+        assert_ranked_match(&got, &scorer.score_batch(&state, &[req])[0], "drained at shutdown");
+    }
+    assert_eq!(recv_exactly_one(&rx_expired).err(), Some(ShedReason::DeadlineExpired));
+    assert_eq!((stats.admitted, stats.replies), (4, 3));
+    assert_eq!((stats.shed_deadline, stats.shed_shutting_down), (1, 1));
+    assert_eq!(stats.in_flight, 0);
+}
+
+/// The seeded storm: 8 producers × 4 shards × a hot-reloader × a deadline
+/// clock, against tight capacity and budget bounds. Every submission is
+/// accounted for; every admitted request gets exactly one outcome; the
+/// frontend's own counters agree with the test's tallies; no batch mixes
+/// generations.
+#[test]
+fn seeded_stress_exactly_one_outcome_per_request() {
+    const PRODUCERS: usize = 8;
+    const PER_PRODUCER: usize = 40;
+    const RELOADS: u64 = 12;
+    let handle = Arc::new(ModelHandle::new(build_model(3)));
+    let frontend = ShardedFrontend::start(
+        handle.clone(),
+        FrontendConfig {
+            shards: 4,
+            queue: QueueConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+                capacity: 8,
+                threads: 1,
+            },
+            max_in_flight: 48,
+            tenant_quota: 30,
+            ..Default::default()
+        },
+    );
+
+    let mut rxs = Vec::new();
+    let mut refused: HashMap<ShedReason, u64> = HashMap::new();
+    std::thread::scope(|s| {
+        let reloader = {
+            let handle = handle.clone();
+            s.spawn(move || {
+                for i in 0..RELOADS {
+                    handle.install(build_model(100 + i));
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let frontend = &frontend;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(1000 + p as u64);
+                    let mut got = Vec::new();
+                    let mut shed: HashMap<ShedReason, u64> = HashMap::new();
+                    for i in 0..PER_PRODUCER {
+                        let req = ScoreRequest::top_k(
+                            rng.gen_range(0..USERS),
+                            random_history(&mut rng),
+                            3,
+                        );
+                        let mut freq = FrontendRequest::new(req).with_tenant((p % 4) as u32);
+                        if i % 4 == 0 {
+                            // A tight deadline: expiry at submit, in queue,
+                            // or a reply in time are all legal outcomes —
+                            // the tallies must balance either way.
+                            freq = freq.with_deadline_in(Duration::from_millis(3));
+                        }
+                        match frontend.submit(freq) {
+                            Ok(rx) => got.push(rx),
+                            Err(reason) => {
+                                *shed.entry(reason).or_insert(0) += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    (got, shed)
+                })
+            })
+            .collect();
+        for producer in producers {
+            let (got, shed) = producer.join().expect("producer panicked");
+            rxs.extend(got);
+            for (reason, n) in shed {
+                *refused.entry(reason).or_insert(0) += n;
+            }
+        }
+        reloader.join().expect("reloader panicked");
+    });
+
+    let accepted = rxs.len() as u64;
+    let stats = frontend.shutdown();
+    assert_eq!(stats.submitted, (PRODUCERS * PER_PRODUCER) as u64);
+    assert_eq!(stats.admitted, accepted, "admitted must equal handed-out receivers");
+
+    let mut oks = 0u64;
+    let mut async_shed: HashMap<ShedReason, u64> = HashMap::new();
+    let mut by_batch: HashMap<u64, Vec<u64>> = HashMap::new();
+    for rx in rxs {
+        match recv_exactly_one(&rx) {
+            Ok(ranked) => {
+                oks += 1;
+                assert!(ranked.batch > 0);
+                assert!(ranked.generation <= RELOADS, "generation from the future");
+                by_batch.entry(ranked.batch).or_default().push(ranked.generation);
+            }
+            Err(reason) => *async_shed.entry(reason).or_insert(0) += 1,
+        }
+    }
+    for (batch, gens) in &by_batch {
+        assert!(gens.len() <= 8, "batch {batch} exceeded max_batch");
+        assert!(
+            gens.windows(2).all(|w| w[0] == w[1]),
+            "batch {batch} mixed model generations: {gens:?}"
+        );
+    }
+
+    // Replies + typed rejections exactly partition the admitted set, and
+    // the frontend's counters agree reason-by-reason with our tallies.
+    assert_eq!(stats.replies, oks);
+    assert_eq!(stats.admitted, oks + async_shed.values().sum::<u64>());
+    let tally = |reason: ShedReason| {
+        refused.get(&reason).copied().unwrap_or(0) + async_shed.get(&reason).copied().unwrap_or(0)
+    };
+    assert_eq!(stats.shed_queue_full, tally(ShedReason::QueueFull));
+    assert_eq!(stats.shed_deadline, tally(ShedReason::DeadlineExpired));
+    assert_eq!(stats.shed_tenant, tally(ShedReason::TenantQuota));
+    assert_eq!(stats.shed_overload, tally(ShedReason::Overload));
+    assert_eq!(stats.shed_shutting_down, 0, "no submits raced the shutdown");
+    assert_eq!(stats.in_flight, 0, "every budget slot released");
+    assert_eq!(handle.generation(), RELOADS);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Satellite property 1: for arbitrary interleavings of
+        /// enqueue / deadline-expiry / reload / clock-advance followed by
+        /// shutdown, replies + typed rejections exactly partition the
+        /// admitted requests — no loss, no duplicates — and the frontend's
+        /// per-reason counters match tallies kept by the test.
+        #[test]
+        fn interleavings_partition_admitted_requests_exactly(
+            ops in prop::collection::vec((0u8..5, 0usize..8, 0u32..3), 1..30),
+            shards in 1usize..4,
+        ) {
+            let handle = Arc::new(ModelHandle::new(build_model(51)));
+            let frontend = ShardedFrontend::start(
+                handle.clone(),
+                FrontendConfig {
+                    shards,
+                    queue: QueueConfig {
+                        max_batch: 4,
+                        max_wait: Duration::from_millis(1),
+                        capacity: 3,
+                        threads: 1,
+                    },
+                    max_in_flight: 5,
+                    tenant_quota: 3,
+                    ..Default::default()
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(61);
+            let mut submits = 0u64;
+            let mut rxs = Vec::new();
+            let mut refused: HashMap<ShedReason, u64> = HashMap::new();
+            let mut reloads = 0u64;
+            for (kind, user, tenant) in ops {
+                if kind == 3 {
+                    reloads += 1;
+                    handle.install(build_model(200 + reloads));
+                    continue;
+                }
+                if kind == 4 {
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                let req = ScoreRequest::top_k(user, random_history(&mut rng), 3);
+                let mut freq = FrontendRequest::new(req).with_tenant(tenant);
+                if kind == 1 {
+                    freq = freq.with_deadline_in(Duration::from_millis(2));
+                } else if kind == 2 {
+                    // Pre-expired: must be refused synchronously.
+                    freq = freq.with_deadline_in(Duration::ZERO);
+                }
+                submits += 1;
+                match frontend.submit(freq) {
+                    Ok(rx) => {
+                        prop_assert!(kind != 2, "pre-expired submit must not be admitted");
+                        rxs.push(rx);
+                    }
+                    Err(reason) => *refused.entry(reason).or_insert(0) += 1,
+                }
+            }
+            let accepted = rxs.len() as u64;
+            let stats = frontend.shutdown();
+
+            let mut oks = 0u64;
+            let mut async_shed: HashMap<ShedReason, u64> = HashMap::new();
+            for rx in rxs {
+                // Exactly one outcome, then disconnection.
+                match rx.recv() {
+                    Ok(Ok(_)) => oks += 1,
+                    Ok(Err(reason)) => *async_shed.entry(reason).or_insert(0) += 1,
+                    Err(_) => prop_assert!(false, "admitted request lost its outcome"),
+                }
+                prop_assert!(rx.recv().is_err(), "duplicate outcome delivered");
+            }
+            prop_assert_eq!(stats.submitted, submits);
+            prop_assert_eq!(stats.admitted, accepted);
+            prop_assert_eq!(stats.replies, oks);
+            prop_assert_eq!(stats.admitted, oks + async_shed.values().sum::<u64>());
+            prop_assert_eq!(
+                stats.submitted,
+                stats.admitted + refused.values().sum::<u64>()
+            );
+            for reason in [
+                ShedReason::QueueFull,
+                ShedReason::DeadlineExpired,
+                ShedReason::TenantQuota,
+                ShedReason::Overload,
+                ShedReason::ShuttingDown,
+            ] {
+                let want = refused.get(&reason).copied().unwrap_or(0)
+                    + async_shed.get(&reason).copied().unwrap_or(0);
+                let got = match reason {
+                    ShedReason::QueueFull => stats.shed_queue_full,
+                    ShedReason::DeadlineExpired => stats.shed_deadline,
+                    ShedReason::TenantQuota => stats.shed_tenant,
+                    ShedReason::Overload => stats.shed_overload,
+                    ShedReason::ShuttingDown => stats.shed_shutting_down,
+                };
+                prop_assert_eq!(got, want, "counter mismatch for {:?}", reason);
+            }
+            prop_assert_eq!(stats.in_flight, 0);
+        }
+
+        /// Satellite property 2: the admission accounting balances for any
+        /// submit/drain sequence — quotas are never exceeded while held,
+        /// and every slot (global and per-tenant) returns to zero once all
+        /// outcomes are delivered.
+        #[test]
+        fn admission_accounting_balances_for_any_op_sequence(
+            ops in prop::collection::vec((0u32..3, 0usize..6, 0u8..2), 1..25),
+        ) {
+            let handle = Arc::new(ModelHandle::new(build_model(53)));
+            let frontend = ShardedFrontend::start(
+                handle,
+                FrontendConfig {
+                    shards: 2,
+                    queue: QueueConfig {
+                        max_batch: 4,
+                        max_wait: Duration::from_millis(1),
+                        capacity: 4,
+                        threads: 1,
+                    },
+                    max_in_flight: 4,
+                    tenant_quota: 2,
+                    ..Default::default()
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(71);
+            let mut outstanding = std::collections::VecDeque::new();
+            let mut oks = 0u64;
+            let mut refused = 0u64;
+            for (tenant, user, drain) in ops {
+                let drain = drain == 1;
+                let req = ScoreRequest::top_k(user, random_history(&mut rng), 3);
+                match frontend.submit(FrontendRequest::new(req).with_tenant(tenant)) {
+                    Ok(rx) => outstanding.push_back(rx),
+                    Err(_) => refused += 1,
+                }
+                for t in 0..3 {
+                    prop_assert!(
+                        frontend.tenant_in_flight(t) <= 2,
+                        "tenant {} over quota", t
+                    );
+                }
+                prop_assert!(frontend.stats().in_flight <= 4, "global budget exceeded");
+                if drain {
+                    if let Some(rx) = outstanding.pop_front() {
+                        if rx.recv().expect("admitted request lost").is_ok() {
+                            oks += 1;
+                        }
+                    }
+                }
+            }
+            for rx in outstanding.drain(..) {
+                if rx.recv().expect("admitted request lost").is_ok() {
+                    oks += 1;
+                }
+            }
+            // All outcomes delivered: every slot must have been released.
+            prop_assert_eq!(frontend.stats().in_flight, 0);
+            for t in 0..3 {
+                prop_assert_eq!(frontend.tenant_in_flight(t), 0);
+            }
+            let stats = frontend.shutdown();
+            prop_assert_eq!(stats.replies, oks);
+            prop_assert_eq!(stats.submitted, stats.admitted + refused);
+            prop_assert_eq!(
+                stats.admitted,
+                stats.replies + stats.shed_total() - refused
+            );
+            prop_assert_eq!(stats.in_flight, 0);
+        }
+    }
+}

@@ -17,7 +17,7 @@ use causer_serve::{
 use causer_tensor::{init, simd, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 const ITEMS: usize = 14;
@@ -320,6 +320,93 @@ fn eight_producer_stress_with_reloads_never_serves_stale_state() {
     let stats = store.stats();
     assert!(stats.misses > 0, "reloads and evictions must force re-encodes");
     assert!(stats.hits > 0, "appends between reloads must land warm");
+}
+
+/// Shutdown racing in-flight warm-state writes: producers keep appending
+/// growing histories through a stateful queue while shutdown lands
+/// mid-stream. The drain must (a) answer every accepted request exactly
+/// once with scores equal to a from-scratch re-encode, and (b) leave the
+/// store's entries fully flushed — afterwards each user's longest accepted
+/// history is warm in the store and still scores identically, so no write
+/// from the final drained batch was lost or torn.
+#[test]
+fn stateful_shutdown_flushes_in_flight_warm_writes() {
+    // 4 producers × 11 appends = 44 requests: the worker cuts at most two
+    // full batches of 16 during the storm (the 30s wait budget means only
+    // full batches cut), so ≥ 12 requests are still pending when shutdown
+    // lands — the drain writes their warm state after the flag is set.
+    // 11 appends also keeps every history inside the default 12-step clamp
+    // window, so nothing bypasses the store.
+    const PRODUCERS: usize = 4;
+    const APPENDS: usize = 11;
+    let handle = Arc::new(ModelHandle::new(build_model_cell(CauserVariant::Full, RnnKind::Gru, 9)));
+    let store = Arc::new(UserStateStore::new(StateStoreConfig::default()));
+    let cfg =
+        QueueConfig { max_batch: 16, max_wait: Duration::from_secs(30), capacity: 256, threads: 1 };
+    let queue = BatchQueue::start_stateful(handle.clone(), store.clone(), cfg);
+    let state = handle.snapshot();
+
+    // (request, receiver) per accepted submit, per producer — each producer
+    // owns one user and appends one interaction per submit.
+    let mut accepted: Vec<(ScoreRequest, mpsc::Receiver<Ranked>)> = Vec::new();
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let queue = &queue;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(500 + p as u64);
+                    let mut hist: Vec<Vec<usize>> = Vec::new();
+                    let mut got = Vec::new();
+                    for _ in 0..APPENDS {
+                        hist.push(vec![rng.gen_range(0..ITEMS)]);
+                        let req = ScoreRequest::top_k(p, hist.clone(), ITEMS);
+                        let rx = queue.submit(req.clone()).expect("below capacity, queue live");
+                        got.push((req, rx));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for w in workers {
+            accepted.extend(w.join().expect("producer panicked"));
+        }
+    });
+    let backlog = queue.pending();
+    queue.shutdown();
+    assert!(backlog > 0, "shutdown must race a non-empty backlog to test the drain");
+
+    // (a) Every accepted request: exactly one response, correct scores.
+    let scorer = BatchScorer::new(1);
+    assert!(!accepted.is_empty());
+    for (req, rx) in &accepted {
+        let got = rx.recv_timeout(Duration::from_secs(10)).expect("response lost at shutdown");
+        let want = scorer.score_batch(&state, &[req.clone()]);
+        assert_ranked_match(&got, &want[0], "drained stateful response");
+        assert!(rx.recv_timeout(Duration::from_millis(20)).is_err(), "duplicate response");
+    }
+    let stats = store.stats();
+    assert_eq!(stats.hits + stats.misses, accepted.len() as u64, "every score hit the store");
+
+    // (b) The store's entries are fully flushed: extending each user's
+    // longest accepted history by one step is warm (a hit advancing the
+    // drained state, not a re-encode) and still scores like the stateless
+    // path — a lost or torn write from the final drained batch would
+    // surface as a miss or a score divergence here.
+    let mut longest: Vec<Option<ScoreRequest>> = vec![None; PRODUCERS];
+    for (req, _) in &accepted {
+        let slot = &mut longest[req.user];
+        if slot.as_ref().is_none_or(|r| r.history.len() < req.history.len()) {
+            *slot = Some(req.clone());
+        }
+    }
+    for mut req in longest.into_iter().flatten() {
+        req.history.push(vec![req.user % ITEMS]);
+        let hits_before = store.stats().hits;
+        let got = scorer.score_batch_stateful(&state, &store, &[req.clone()]);
+        let want = scorer.score_batch(&state, &[req]);
+        assert_ranked_match(&got[0], &want[0], "post-shutdown warm state");
+        assert_eq!(store.stats().hits, hits_before + 1, "flushed state must be warm");
+    }
 }
 
 mod properties {

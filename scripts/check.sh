@@ -42,6 +42,15 @@ cargo test -p causer --release --features sanitize --test golden_metrics -q
 # must trip the finiteness checks, not surface as a stale score later.
 cargo test -p causer-serve --release --features causer-tensor/sanitize --test state_store -q
 
+# The sharded-frontend concurrency suite (admission partition proptests,
+# worker-panic fault injection, deadline shedding, hot-reload atomicity)
+# also re-runs with the sanitizer armed, then once more pinned to the
+# seeded stress test as a smoke invocation: fixed seeds, so a hang or a
+# lost-reply interleaving here is reproducible, not a flake.
+cargo test -p causer-serve --release --features causer-tensor/sanitize --test frontend -q
+cargo test -p causer-serve --release --test frontend -q \
+    seeded_stress_exactly_one_outcome_per_request -- --exact
+
 # SIMD dispatch honesty. The workspace suite above already ran under the
 # native best tier; re-run the tensor kernel/gradcheck/dispatch suites with
 # the kernels pinned to the scalar twins, so a vector-kernel bug cannot

@@ -20,9 +20,13 @@ use causer::core::{
 };
 use causer::data::{simulate, DatasetKind, DatasetProfile};
 use causer::metrics::RankingReport;
-use causer::serve::{BatchScorer, ScoreRequest, ServeState, StateStoreConfig, UserStateStore};
+use causer::serve::{
+    BatchScorer, FrontendConfig, FrontendRequest, ModelHandle, ScoreRequest, ServeState,
+    ShardedFrontend, StateStoreConfig, UserStateStore,
+};
 use causer::tensor::simd;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 const GOLDEN_PATH: &str = "tests/golden/metrics.json";
 const SEED: u64 = 42;
@@ -148,6 +152,76 @@ fn assert_trained_score(exp: f64, got: f64, what: &str) {
         let tol = 1e-12 * exp.abs().max(got.abs()).max(1.0);
         assert!((exp - got).abs() <= tol, "{what}: {got} off expected {exp} by >1e-12");
     }
+}
+
+/// The sharded frontend is a routing layer, not a scoring layer: replies
+/// through it must equal direct `score_batch_stateful` on **trained**
+/// weights — bitwise on scalar/sse2, ≤1e-12 relative on avx2 — and its
+/// shard-local queues must drive the state store exactly like the direct
+/// path (same hits, same misses), warm appends included.
+#[test]
+fn sharded_frontend_reproduces_trained_scores() {
+    let (rec, split) = train_golden_model();
+    let num_items = rec.model.config.num_items;
+    let max_history = rec.model.config.max_history;
+    let cases: Vec<_> = split
+        .test
+        .iter()
+        .filter(|c| c.history.len() >= 2 && c.history.len() <= max_history)
+        .take(12)
+        .collect();
+    assert!(cases.len() >= 4, "profile too small to yield warm-eligible cases");
+    let prefix_reqs: Vec<ScoreRequest> = cases
+        .iter()
+        .map(|c| ScoreRequest::top_k(c.user, c.history[..c.history.len() - 1].to_vec(), num_items))
+        .collect();
+    let full_reqs: Vec<ScoreRequest> =
+        cases.iter().map(|c| ScoreRequest::top_k(c.user, c.history.clone(), num_items)).collect();
+
+    let handle = Arc::new(ModelHandle::new(rec.model));
+    let state = handle.snapshot();
+
+    // Reference: the direct stateful path — prefix seeds, full goes warm.
+    let scorer = BatchScorer::new(1);
+    let ref_store = UserStateStore::new(StateStoreConfig::default());
+    scorer.score_batch_stateful(&state, &ref_store, &prefix_reqs);
+    let want = scorer.score_batch_stateful(&state, &ref_store, &full_reqs);
+
+    // The same sequence through the frontend and its own store (16 store
+    // shards over 4 frontend shards: warm state stays shard-local).
+    let store = Arc::new(UserStateStore::new(StateStoreConfig::default()));
+    let frontend = ShardedFrontend::start_stateful(
+        handle.clone(),
+        store.clone(),
+        FrontendConfig { shards: 4, ..Default::default() },
+    );
+    let through = |reqs: &[ScoreRequest]| -> Vec<causer::serve::Ranked> {
+        reqs.iter()
+            .map(|req| {
+                let rx = frontend
+                    .submit(FrontendRequest::new(req.clone()))
+                    .expect("no load, no refusal");
+                rx.recv().expect("one reply per admitted request").expect("no load, no shed")
+            })
+            .collect()
+    };
+    through(&prefix_reqs);
+    let got = through(&full_reqs);
+    frontend.shutdown();
+
+    for ((w, g), case) in want.iter().zip(&got).zip(&cases) {
+        if simd::active().name() != "avx2" {
+            assert_eq!(w.items, g.items, "user {}: frontend re-ranked the top-K", case.user);
+        }
+        for (i, (ws, gs)) in w.scores.iter().zip(&g.scores).enumerate() {
+            assert_trained_score(*ws, *gs, &format!("frontend path, user {}, rank {i}", case.user));
+        }
+    }
+    // Identical store dynamics: every prefix a miss, every full a warm hit.
+    let (direct, fronted) = (ref_store.stats(), store.stats());
+    assert_eq!(fronted.hits, direct.hits, "frontend store must go warm like the direct path");
+    assert_eq!(fronted.misses, direct.misses, "frontend store must seed like the direct path");
+    assert_eq!(fronted.hits, cases.len() as u64);
 }
 
 /// The incremental state store is only worth shipping if a warm entry

@@ -20,8 +20,8 @@ use causer::core::{CauserConfig, CauserRecommender, SeqRecommender, TrainConfig}
 use causer::data::{simulate, DatasetKind, DatasetProfile};
 use causer::obs;
 use causer::serve::{
-    BatchQueue, BatchScorer, ModelHandle, QueueConfig, ScoreRequest, StateStoreConfig, SubmitError,
-    UserStateStore,
+    BatchQueue, BatchScorer, FrontendConfig, FrontendRequest, ModelHandle, QueueConfig,
+    ScoreRequest, ShardedFrontend, ShedReason, StateStoreConfig, SubmitError, UserStateStore,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -172,6 +172,40 @@ fn exported_metric_names_match_golden_schema() {
     );
     assert_eq!((roomy.stats().hits, roomy.stats().misses), (1, 1));
 
+    // --- Sharded frontend: an admitted reply, a pre-expired refusal, and
+    // an absorbed worker panic must land in the `serve.shard.*` metrics
+    // (and the panic in the event sink).
+    let frontend = ShardedFrontend::start(
+        handle.clone(),
+        FrontendConfig {
+            shards: 2,
+            queue: QueueConfig {
+                max_batch: 8,
+                max_wait: std::time::Duration::from_millis(5),
+                capacity: 64,
+                threads: 1,
+            },
+            ..Default::default()
+        },
+    );
+    let front_req =
+        || FrontendRequest::new(ScoreRequest::top_k(case.user, case.history.clone(), 5));
+    let rx = frontend.submit(front_req()).expect("no load, no refusal");
+    rx.recv().expect("one outcome").expect("no load, no shed");
+    assert_eq!(
+        frontend.submit(front_req().with_deadline_in(std::time::Duration::ZERO)).err(),
+        Some(ShedReason::DeadlineExpired),
+        "pre-expired submit must be refused"
+    );
+    frontend.inject_worker_panic(frontend.shard_of(case.user));
+    let rx = frontend.submit(front_req()).expect("admitted before the planted panic");
+    assert_eq!(
+        rx.recv().expect("one outcome").err(),
+        Some(ShedReason::Overload),
+        "panic-drained request carries a typed reason"
+    );
+    frontend.shutdown();
+
     let reg = obs::global();
     let by_name: std::collections::HashMap<String, obs::MetricValue> =
         reg.snapshot().into_iter().map(|m| (m.name, m.value)).collect();
@@ -219,6 +253,34 @@ fn exported_metric_names_match_golden_schema() {
         }
         other => panic!("serve.state_store.resident_bytes has wrong kind: {other:?}"),
     }
+    for (name, want, what) in [
+        (obs::names::SERVE_SHARD_ADMITTED_TOTAL, 2, "reply + panic victim admitted"),
+        (obs::names::SERVE_SHARD_REPLIES_TOTAL, 1, "one ranked reply delivered"),
+        (obs::names::SERVE_SHARD_SHED_TOTAL, 2, "pre-expired refusal + panic shed"),
+        (obs::names::SERVE_SHARD_SHED_DEADLINE_TOTAL, 1, "the pre-expired refusal"),
+        (obs::names::SERVE_SHARD_WORKER_PANICS_TOTAL, 1, "the planted panic, absorbed"),
+    ] {
+        match &by_name[name] {
+            obs::MetricValue::Counter(n) => assert_eq!(*n, want, "{name}: {what}"),
+            other => panic!("{name} has wrong kind: {other:?}"),
+        }
+    }
+    match &by_name[obs::names::SERVE_SHARD_IN_FLIGHT] {
+        obs::MetricValue::Gauge(n) => assert_eq!(*n, 0.0, "every slot released at delivery"),
+        other => panic!("serve.shard.in_flight has wrong kind: {other:?}"),
+    }
+    match &by_name[obs::names::SERVE_SHARD_DEPTH] {
+        obs::MetricValue::Histogram(h) => {
+            assert_eq!(h.count, 2, "two frontend batch cuts observed depth")
+        }
+        other => panic!("serve.shard.depth has wrong kind: {other:?}"),
+    }
+    match &by_name[obs::names::SERVE_SHARD_LATENCY_MS] {
+        obs::MetricValue::Histogram(h) => {
+            assert_eq!(h.count, 1, "only the delivered reply is timed")
+        }
+        other => panic!("serve.shard.latency_ms has wrong kind: {other:?}"),
+    }
 
     // --- The JSONL sink got the per-epoch records and the reload event.
     obs::set_sink_dir(None).expect("removing the sink cannot fail");
@@ -230,6 +292,10 @@ fn exported_metric_names_match_golden_schema() {
         "sink carries one train.epoch line per epoch"
     );
     assert!(jsonl.lines().any(|l| l.contains("\"event\":\"serve.reload\"")), "reload event sunk");
+    assert!(
+        jsonl.lines().any(|l| l.contains("\"event\":\"serve.shard.worker_panic\"")),
+        "absorbed worker panic event sunk"
+    );
     let _ = std::fs::remove_dir_all(&sink_dir);
 
     // --- The schema: `kind name` per registered metric, sorted by name.
