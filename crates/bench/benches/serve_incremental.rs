@@ -103,7 +103,7 @@ fn main() {
             std::hint::black_box(scorer.score_batch(&state, std::slice::from_ref(&full)));
         });
         let cold_s = time_best(&mut || {
-            store.clear();
+            store.clear_resident();
             std::hint::black_box(scorer.score_batch_stateful(
                 &state,
                 &store,
@@ -112,7 +112,7 @@ fn main() {
         });
         WARM_S.with(|w| w.set(f64::INFINITY));
         time_best(&mut || {
-            store.clear();
+            store.clear_resident();
             scorer.score_batch_stateful(&state, &store, std::slice::from_ref(&full));
             let t = Instant::now();
             for req in &warm_reqs {
@@ -159,7 +159,7 @@ fn main() {
     });
     WARM_S.with(|w| w.set(f64::INFINITY));
     time_best(&mut || {
-        store.clear();
+        store.clear_resident();
         scorer.score_batch_stateful(&state, &store, &seed_reqs);
         let t = Instant::now();
         for req in &stream_reqs {

@@ -14,6 +14,7 @@
 
 pub mod audit;
 pub mod lexer;
+pub mod locks;
 pub mod report;
 pub mod rules;
 
@@ -36,6 +37,10 @@ pub const GRAPH_FILE: &str = "crates/tensor/src/graph.rs";
 pub struct RunResult {
     pub findings: Vec<Finding>,
     pub files_checked: usize,
+    /// Canonical rendering of the serve-tier lock graph (compared against
+    /// the blessed `results/lock_graph.txt`; written to
+    /// `target/lock_graph.txt` by the CLI).
+    pub lock_graph: String,
 }
 
 /// Lint the workspace rooted at `root`: every `crates/*/src` tree plus the
@@ -56,10 +61,16 @@ pub fn run_workspace(root: &Path) -> RunResult {
     collect_rs_files(&root.join("src"), &mut files);
     files.sort();
 
+    let mut serve_files: Vec<(String, String)> = Vec::new();
     for path in &files {
         let rel = rel_path(root, path);
         match std::fs::read_to_string(path) {
-            Ok(src) => findings.extend(rules::lint_file(&FileCtx::from_rel_path(&rel), &src)),
+            Ok(src) => {
+                findings.extend(rules::lint_file(&FileCtx::from_rel_path(&rel), &src));
+                if rel.starts_with("crates/serve/src/") {
+                    serve_files.push((rel, src));
+                }
+            }
             Err(e) => findings.push(Finding {
                 rule: "io-error",
                 file: rel,
@@ -69,8 +80,11 @@ pub fn run_workspace(root: &Path) -> RunResult {
         }
     }
 
+    let lock_analysis = locks::analyze(&serve_files);
+    findings.extend(lock_analysis.findings);
+
     findings.extend(run_audit(root));
-    RunResult { findings, files_checked: files.len() }
+    RunResult { findings, files_checked: files.len(), lock_graph: lock_analysis.graph }
 }
 
 /// The op-coverage audit against the real workspace files.

@@ -1,0 +1,1196 @@
+//! The serve tier's lock-order static analysis — the `lock-order`,
+//! `lock-undeclared`, and `lock-blocking` rules.
+//!
+//! The pass is crate-wide over `crates/serve/src` (lock discipline is a
+//! whole-crate property, not a per-file one) and has four stages:
+//!
+//! 1. **Declarations.** Every field, local, or `fn` return whose type names
+//!    `Mutex`/`RwLock`/`Condvar` must carry a `// causer-lint:
+//!    lock-rank(name, N)` annotation on its line or in the contiguous
+//!    non-doc comment block directly above. Missing annotation, dangling
+//!    annotation, a lock name declared with two ranks, or two lock names
+//!    sharing one rank are all findings.
+//! 2. **Guard tracking.** A scope-aware walk of each function body follows
+//!    `.lock()`/`.read()`/`.write()` acquisitions, binds them to `let`
+//!    guards (or statement-scoped temporaries), resolves receivers through
+//!    local aliases (`let s = self.shard_of(u);`, `for shard in
+//!    &self.shards`), and models `drop(g)`: a drop at the guard's binding
+//!    depth releases it permanently; a drop in a *deeper* block suspends it
+//!    only until that block closes (on the other branch the guard is still
+//!    held — this is a may-hold analysis).
+//! 3. **Graph.** Every acquisition or serve-fn call while a guard is held
+//!    adds a may-hold-while-acquiring edge (call edges use per-function
+//!    acquisition summaries closed over the serve-internal call graph).
+//!    An edge whose held rank is not strictly below the acquired rank is a
+//!    rank inversion; any cycle is reported independently of ranks.
+//! 4. **Blocking.** `.join()`, `.recv()`, `.recv_timeout(...)`,
+//!    `catch_unwind(...)`, or a condvar wait while a *second* lock is held
+//!    are flagged: a guard must never be held across an unbounded wait.
+//!
+//! Deliberate limits (see DESIGN.md §8): the `lock-*` findings are **not**
+//! `allow(...)`-suppressible — the escape hatch is the rank table itself;
+//! closures passed as parameters are not followed; calls are matched by
+//! simple name, so serve functions may not shadow common std method names
+//! (enforced here when such a function acquires a lock).
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::report::Finding;
+use crate::rules::{is_doc_comment, test_regions, LOCK_BLOCKING, LOCK_ORDER, LOCK_UNDECLARED};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of the crate-wide lock analysis.
+pub struct LockAnalysis {
+    /// Violations, in file/line order.
+    pub findings: Vec<Finding>,
+    /// Canonical rendering of the lock table and the
+    /// may-hold-while-acquiring graph (the committed
+    /// `results/lock_graph.txt` baseline).
+    pub graph: String,
+}
+
+/// A declared lock: its annotated name and rank.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct LockId {
+    name: String,
+    rank: u32,
+}
+
+/// Receiver methods whose *empty-argument* call is a lock acquisition.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Receiver constructors that are never acquisitions (`stdout().lock()`).
+const BUILTIN_SOURCES: &[&str] = &["stdout", "stderr", "stdin"];
+
+/// Std method names a lock-acquiring serve function must not reuse: the
+/// call graph matches by simple name, so `fn clear` acquiring a lock would
+/// make every `entries.clear()` look like a lock site.
+const AMBIGUOUS_FN_NAMES: &[&str] = &[
+    "clear", "contains", "drain", "get", "insert", "join", "len", "lock", "push", "pop", "read",
+    "recv", "remove", "send", "wait", "write",
+];
+
+/// One analyzed file: tokens, comment map, and its lock name maps.
+struct FileInfo {
+    rel: String,
+    sig: Vec<Token>,
+    tests: Vec<(usize, usize)>,
+    /// Field/local ident -> lock (for `self.field.lock()` receivers).
+    fields: BTreeMap<String, LockId>,
+    /// Fn ident -> lock (for `self.shard_of(u).lock()` receivers).
+    fn_aliases: BTreeMap<String, LockId>,
+    /// Field ident -> condvar (for wait-site resolution).
+    condvars: BTreeMap<String, LockId>,
+    /// Every annotated lock name in this file (for `::ranked` checks).
+    names: BTreeSet<String>,
+}
+
+/// A held guard inside the per-function walk.
+struct Guard {
+    binder: Option<String>,
+    lock: LockId,
+    line: usize,
+    /// Brace depth whose closing `}` (or, unbound, whose statement end)
+    /// releases the guard.
+    depth: usize,
+    /// Statement counter at acquisition (temporaries die with it).
+    stmt: usize,
+    /// `Some(d)`: `drop(g)` ran at depth `d`; held again once `d` closes.
+    suspended_at: Option<usize>,
+}
+
+impl Guard {
+    fn active(&self) -> bool {
+        self.suspended_at.is_none()
+    }
+}
+
+/// Per-function acquisition summary for the interprocedural closure.
+#[derive(Default)]
+struct FnSummary {
+    file: String,
+    line: usize,
+    direct: BTreeSet<LockId>,
+    calls: BTreeSet<String>,
+}
+
+/// A call made while at least one guard was held.
+struct CallEvent {
+    callee: String,
+    file: String,
+    line: usize,
+    func: String,
+    held: Vec<(LockId, usize)>,
+}
+
+/// One may-hold-while-acquiring edge.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Edge {
+    held: LockId,
+    acq: LockId,
+    file: String,
+    /// Acquisition (or call) site of the inner lock.
+    line: usize,
+    /// Acquisition site of the held lock.
+    held_line: usize,
+    func: String,
+    /// `Some(callee)` when the edge goes through a serve-fn call.
+    via: Option<String>,
+}
+
+/// Analyze `(workspace-relative path, source)` pairs as one lock domain.
+pub fn analyze(files: &[(String, String)]) -> LockAnalysis {
+    let mut findings = Vec::new();
+    let mut infos = Vec::new();
+    for (rel, src) in files {
+        infos.push(scan_file(rel, src, &mut findings));
+    }
+
+    // Crate-wide lock table: name -> rank + declaring files, with
+    // name/rank consistency checks folded in during scan_file.
+    let mut nodes: BTreeMap<String, (u32, BTreeSet<String>)> = BTreeMap::new();
+    for info in &infos {
+        for id in info.fields.values().chain(info.fn_aliases.values()).chain(info.condvars.values())
+        {
+            let entry = nodes.entry(id.name.clone()).or_insert_with(|| (id.rank, BTreeSet::new()));
+            entry.1.insert(info.rel.clone());
+        }
+    }
+
+    // Two locks sharing a rank cannot be ordered against each other; ranks
+    // are unique crate-wide.
+    let mut by_rank: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+    for (name, (rank, _)) in &nodes {
+        by_rank.entry(*rank).or_default().push(name);
+    }
+    for (rank, names) in &by_rank {
+        if names.len() > 1 {
+            let file = nodes[names[0]].1.iter().next().cloned().unwrap_or_default();
+            findings.push(Finding {
+                rule: LOCK_UNDECLARED,
+                file,
+                line: 0,
+                message: format!(
+                    "locks {} all declare rank {rank}; every lock needs its own rank so \
+                     the acquisition order is total",
+                    names.iter().map(|n| format!("`{n}`")).collect::<Vec<_>>().join(", ")
+                ),
+            });
+        }
+    }
+
+    // Crate-wide receiver maps keep only unambiguous idents: `state` names
+    // different locks in queue.rs and frontend.rs, so it resolves per-file
+    // only.
+    let crate_fields = unambiguous(infos.iter().map(|i| &i.fields));
+    let crate_fns = unambiguous(infos.iter().map(|i| &i.fn_aliases));
+    let crate_condvars = unambiguous(infos.iter().map(|i| &i.condvars));
+
+    let mut fns: BTreeMap<String, FnSummary> = BTreeMap::new();
+    let mut calls: Vec<CallEvent> = Vec::new();
+    let mut edges: BTreeSet<Edge> = BTreeSet::new();
+    for info in &infos {
+        let ctx = Resolve {
+            info,
+            crate_fields: &crate_fields,
+            crate_fns: &crate_fns,
+            crate_condvars: &crate_condvars,
+        };
+        for f in segment_fns(&info.sig) {
+            // Test-region fns stay out of the walk entirely: their
+            // deliberate inversions (the runtime sanitizer's own tests)
+            // must pollute neither the graph nor the fn summaries.
+            if info.tests.iter().any(|&(s, e)| f.line >= s && f.line <= e) {
+                continue;
+            }
+            walk_fn(info, &ctx, &f, &mut findings, &mut edges, &mut calls, &mut fns);
+        }
+    }
+
+    // Close the per-fn summaries over the serve-internal call graph, then
+    // turn held-across-call events into edges.
+    let closure = close_summaries(&fns);
+    for ev in &calls {
+        let Some(acquired) = closure.get(ev.callee.as_str()) else { continue };
+        for acq in acquired {
+            for (held, held_line) in &ev.held {
+                edges.insert(Edge {
+                    held: held.clone(),
+                    acq: acq.clone(),
+                    file: ev.file.clone(),
+                    line: ev.line,
+                    held_line: *held_line,
+                    func: ev.func.clone(),
+                    via: Some(ev.callee.clone()),
+                });
+            }
+        }
+    }
+
+    // A lock-acquiring fn shadowing a std method name poisons call-graph
+    // attribution for the whole crate; refuse it outright.
+    for (name, s) in &fns {
+        if !s.direct.is_empty() && AMBIGUOUS_FN_NAMES.contains(&name.as_str()) {
+            findings.push(Finding {
+                rule: LOCK_ORDER,
+                file: s.file.clone(),
+                line: s.line,
+                message: format!(
+                    "fn `{name}` acquires a lock but shares its name with a common std \
+                     method; rename it so call sites attribute unambiguously"
+                ),
+            });
+        }
+    }
+
+    // Edge checks: rank inversions, then cycles independent of ranks.
+    for e in &edges {
+        if e.held.rank >= e.acq.rank {
+            let via = e.via.as_ref().map(|c| format!(" via call to `{c}`")).unwrap_or_default();
+            findings.push(Finding {
+                rule: LOCK_ORDER,
+                file: e.file.clone(),
+                line: e.line,
+                message: format!(
+                    "in `{}`: acquiring `{}` (rank {}){} while holding `{}` (rank {}) \
+                     acquired at {}:{} — lock ranks must strictly increase",
+                    e.func,
+                    e.acq.name,
+                    e.acq.rank,
+                    via,
+                    e.held.name,
+                    e.held.rank,
+                    e.file,
+                    e.held_line
+                ),
+            });
+        }
+    }
+    if let Some(cycle) = find_cycle(&edges) {
+        let site = edges.iter().find(|e| e.held.name == cycle[0]);
+        findings.push(Finding {
+            rule: LOCK_ORDER,
+            file: site.map(|e| e.file.clone()).unwrap_or_else(|| "crates/serve".to_string()),
+            line: site.map(|e| e.line).unwrap_or(0),
+            message: format!(
+                "cycle in the may-hold-while-acquiring graph: {} -> {}",
+                cycle.join(" -> "),
+                cycle[0]
+            ),
+        });
+    }
+
+    // Findings inside `#[cfg(test)]` regions are dropped, like every other
+    // rule's.
+    let regions: BTreeMap<&str, &[(usize, usize)]> =
+        infos.iter().map(|i| (i.rel.as_str(), i.tests.as_slice())).collect();
+    findings.retain(|f| {
+        regions
+            .get(f.file.as_str())
+            .is_none_or(|r| !r.iter().any(|&(s, e)| f.line >= s && f.line <= e))
+    });
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings.dedup();
+
+    LockAnalysis { graph: render_graph(&nodes, &edges), findings }
+}
+
+/// Keep only idents that map to the same lock in every file that binds
+/// them.
+fn unambiguous<'a>(
+    maps: impl Iterator<Item = &'a BTreeMap<String, LockId>>,
+) -> BTreeMap<String, LockId> {
+    let mut merged: BTreeMap<String, Option<LockId>> = BTreeMap::new();
+    for map in maps {
+        for (k, v) in map {
+            merged
+                .entry(k.clone())
+                .and_modify(|slot| {
+                    if slot.as_ref() != Some(v) {
+                        *slot = None;
+                    }
+                })
+                .or_insert_with(|| Some(v.clone()));
+        }
+    }
+    merged.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect()
+}
+
+/// Parse `causer-lint: lock-rank(name, N)` out of a comment, if present.
+fn parse_lock_rank(comment: &str) -> Option<(String, u32)> {
+    let idx = comment.find("causer-lint:")?;
+    let rest = comment[idx + "causer-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("lock-rank")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let mut parts = rest[..close].splitn(2, ',');
+    let name = parts.next()?.trim();
+    let rank: u32 = parts.next()?.trim().parse().ok()?;
+    if name.is_empty() {
+        return None;
+    }
+    Some((name.to_string(), rank))
+}
+
+/// Stage 1 for one file: declarations, annotations, per-file maps.
+fn scan_file(rel: &str, src: &str, findings: &mut Vec<Finding>) -> FileInfo {
+    let tokens = lex(src);
+    let mut comments: BTreeMap<usize, Vec<(String, bool)>> = BTreeMap::new();
+    for t in tokens.iter().filter(|t| t.is_comment()) {
+        comments.entry(t.line).or_default().push((t.text.clone(), is_doc_comment(&t.text)));
+    }
+    let tests = test_regions(&tokens);
+    let sig: Vec<Token> = tokens.iter().filter(|t| !t.is_comment()).cloned().collect();
+
+    let mut info = FileInfo {
+        rel: rel.to_string(),
+        sig,
+        tests,
+        fields: BTreeMap::new(),
+        fn_aliases: BTreeMap::new(),
+        condvars: BTreeMap::new(),
+        names: BTreeSet::new(),
+    };
+    let mut used_annotations: BTreeSet<usize> = BTreeSet::new();
+    let mut ranks_seen: BTreeMap<String, u32> = BTreeMap::new();
+
+    let mut in_use = false;
+    for i in 0..info.sig.len() {
+        let tok = &info.sig[i];
+        if tok.is_ident("use") {
+            in_use = true;
+        } else if tok.is_punct(';') {
+            in_use = false;
+        }
+        if in_use || tok.kind != TokKind::Ident {
+            continue;
+        }
+        let is_lock = matches!(tok.text.as_str(), "Mutex" | "RwLock");
+        let is_cond = tok.text == "Condvar";
+        if !is_lock && !is_cond {
+            continue;
+        }
+        let next = info.sig.get(i + 1);
+        // `Mutex::ranked(...)` / `Condvar::new()` are constructor paths,
+        // not declarations; a lock *type* shows up as `Mutex<...>` (or a
+        // bare `Condvar` in field position).
+        if next.is_some_and(|t| t.is_punct(':') || t.is_punct('(')) {
+            continue;
+        }
+        if is_lock && !next.is_some_and(|t| t.is_punct('<')) {
+            continue;
+        }
+
+        let Some((key, name_line, is_fn)) = decl_target(&info.sig, i) else {
+            findings.push(Finding {
+                rule: LOCK_UNDECLARED,
+                file: info.rel.clone(),
+                line: tok.line,
+                message: format!(
+                    "could not attribute this `{}` declaration to a field, local, or fn \
+                     return; the lock-order pass needs a nameable owner",
+                    tok.text
+                ),
+            });
+            continue;
+        };
+        let Some((name, rank, ann_line)) = find_annotation(&comments, name_line) else {
+            findings.push(Finding {
+                rule: LOCK_UNDECLARED,
+                file: info.rel.clone(),
+                line: name_line,
+                message: format!(
+                    "`{key}` declares a `{}` without a `// causer-lint: lock-rank(name, N)` \
+                     annotation; every lock in crates/serve carries a rank (see \
+                     crates/serve/src/locks.rs)",
+                    tok.text
+                ),
+            });
+            continue;
+        };
+        used_annotations.insert(ann_line);
+        let id = LockId { name: name.clone(), rank };
+        if let Some(&prev) = ranks_seen.get(&name) {
+            if prev != rank {
+                findings.push(Finding {
+                    rule: LOCK_UNDECLARED,
+                    file: info.rel.clone(),
+                    line: name_line,
+                    message: format!(
+                        "lock `{name}` annotated with rank {rank} here but rank {prev} \
+                         elsewhere in this file; a lock has exactly one rank"
+                    ),
+                });
+            }
+        }
+        ranks_seen.insert(name.clone(), rank);
+        info.names.insert(name);
+        let map = if is_cond {
+            &mut info.condvars
+        } else if is_fn {
+            &mut info.fn_aliases
+        } else {
+            &mut info.fields
+        };
+        if let Some(prev) = map.insert(key.clone(), id.clone()) {
+            if prev != id {
+                findings.push(Finding {
+                    rule: LOCK_UNDECLARED,
+                    file: info.rel.clone(),
+                    line: name_line,
+                    message: format!(
+                        "`{key}` is declared twice in this file with different locks \
+                         (`{}` and `{}`); receiver attribution would be ambiguous",
+                        prev.name, id.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // A lock-rank annotation that no declaration consumed is stale — the
+    // rank table and the code have drifted apart.
+    for (&line, list) in &comments {
+        if used_annotations.contains(&line) {
+            continue;
+        }
+        for (text, doc) in list {
+            if !doc && parse_lock_rank(text).is_some() {
+                findings.push(Finding {
+                    rule: LOCK_UNDECLARED,
+                    file: info.rel.clone(),
+                    line,
+                    message: "dangling `lock-rank` annotation: no Mutex/RwLock/Condvar \
+                              declaration on this line or directly below"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // `Mutex::ranked("name", ...)` must use a name annotated in this file,
+    // keeping the runtime sanitizer and the static table in lockstep.
+    for i in 0..info.sig.len() {
+        if info.sig[i].is_ident("ranked")
+            && info.sig.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && info.sig.get(i + 2).is_some_and(|t| t.kind == TokKind::Str)
+        {
+            let name = &info.sig[i + 2].text;
+            if !info.names.contains(name.as_str()) {
+                findings.push(Finding {
+                    rule: LOCK_UNDECLARED,
+                    file: info.rel.clone(),
+                    line: info.sig[i].line,
+                    message: format!(
+                        "`::ranked(\"{name}\", ...)` does not match any `lock-rank` \
+                         annotation in this file; runtime name and static rank table \
+                         must agree"
+                    ),
+                });
+            }
+        }
+    }
+
+    info
+}
+
+/// Back-walk from a lock type token to the field/local/fn that owns it.
+/// Returns `(ident, its line, is_fn_return)`.
+fn decl_target(sig: &[Token], i: usize) -> Option<(String, usize, bool)> {
+    let mut j = i.checked_sub(1)?;
+    loop {
+        let t = &sig[j];
+        match t.kind {
+            TokKind::Ident | TokKind::Lifetime => {}
+            TokKind::Punct('<') | TokKind::Punct('&') | TokKind::Punct(',') => {}
+            TokKind::Punct(':') => {
+                if j >= 1 && sig[j - 1].is_punct(':') {
+                    // `::` path separator inside the type.
+                    j = j.checked_sub(2)?;
+                    continue;
+                }
+                let name = sig.get(j.checked_sub(1)?)?;
+                if name.kind == TokKind::Ident {
+                    return Some((name.text.clone(), name.line, false));
+                }
+                return None;
+            }
+            TokKind::Punct('>') => {
+                if j >= 1 && sig[j - 1].is_punct('-') {
+                    // `-> ... Mutex<...>`: the owner is the fn before the
+                    // parameter list.
+                    let mut k = j.checked_sub(2)?;
+                    while !sig[k].is_punct(')') {
+                        k = k.checked_sub(1)?;
+                    }
+                    let mut depth = 0usize;
+                    loop {
+                        if sig[k].is_punct(')') {
+                            depth += 1;
+                        } else if sig[k].is_punct('(') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        k = k.checked_sub(1)?;
+                    }
+                    let name = sig.get(k.checked_sub(1)?)?;
+                    if name.kind == TokKind::Ident {
+                        return Some((name.text.clone(), name.line, true));
+                    }
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// The annotation on `line` or in the contiguous non-doc comment block
+/// directly above it. Returns `(name, rank, annotation line)`.
+fn find_annotation(
+    comments: &BTreeMap<usize, Vec<(String, bool)>>,
+    line: usize,
+) -> Option<(String, u32, usize)> {
+    let mut l = line;
+    loop {
+        if let Some(list) = comments.get(&l) {
+            for (text, doc) in list {
+                if !doc {
+                    if let Some((name, rank)) = parse_lock_rank(text) {
+                        return Some((name, rank, l));
+                    }
+                }
+            }
+        } else if l != line {
+            return None;
+        }
+        l = l.checked_sub(1)?;
+        if l == 0 {
+            return None;
+        }
+        if l != line - 1 && !comments.contains_key(&(l + 1)) {
+            return None;
+        }
+    }
+}
+
+/// One function body: name and the `sig` index range of its braces.
+struct FnBody {
+    name: String,
+    line: usize,
+    open: usize,
+    close: usize,
+}
+
+/// Find every `fn` body (nested ones included) by brace matching.
+fn segment_fns(sig: &[Token]) -> Vec<FnBody> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].is_ident("fn") && sig.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = sig[i + 1].text.clone();
+            let line = sig[i + 1].line;
+            let mut j = i + 2;
+            while j < sig.len() && !sig[j].is_punct('{') && !sig[j].is_punct(';') {
+                j += 1;
+            }
+            if j < sig.len() && sig[j].is_punct('{') {
+                let mut depth = 0usize;
+                let mut k = j;
+                while k < sig.len() {
+                    if sig[k].is_punct('{') {
+                        depth += 1;
+                    } else if sig[k].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                out.push(FnBody { name, line, open: j, close: k.min(sig.len() - 1) });
+            }
+            i = (j + 1).max(i + 2);
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Receiver-resolution maps for one file plus the crate-wide fallbacks.
+struct Resolve<'a> {
+    info: &'a FileInfo,
+    crate_fields: &'a BTreeMap<String, LockId>,
+    crate_fns: &'a BTreeMap<String, LockId>,
+    crate_condvars: &'a BTreeMap<String, LockId>,
+}
+
+enum Resolution {
+    Lock(LockId),
+    Builtin,
+    Unknown,
+}
+
+impl Resolve<'_> {
+    /// Resolve the receiver chain ending at `sig[end]` (the token before
+    /// the `.` of the method call).
+    fn receiver(
+        &self,
+        sig: &[Token],
+        end: usize,
+        aliases: &[(String, LockId, usize)],
+    ) -> Resolution {
+        let t = &sig[end];
+        match t.kind {
+            TokKind::Ident => {
+                if let Some((_, id, _)) = aliases.iter().rev().find(|(n, _, _)| *n == t.text) {
+                    return Resolution::Lock(id.clone());
+                }
+                if let Some(id) =
+                    self.info.fields.get(&t.text).or_else(|| self.crate_fields.get(&t.text))
+                {
+                    return Resolution::Lock(id.clone());
+                }
+                Resolution::Unknown
+            }
+            TokKind::Punct(')') => {
+                let mut depth = 0usize;
+                let mut k = end;
+                loop {
+                    if sig[k].is_punct(')') {
+                        depth += 1;
+                    } else if sig[k].is_punct('(') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    match k.checked_sub(1) {
+                        Some(p) => k = p,
+                        None => return Resolution::Unknown,
+                    }
+                }
+                let Some(callee) = k.checked_sub(1).map(|p| &sig[p]) else {
+                    return Resolution::Unknown;
+                };
+                if callee.kind != TokKind::Ident {
+                    return Resolution::Unknown;
+                }
+                if BUILTIN_SOURCES.contains(&callee.text.as_str()) {
+                    return Resolution::Builtin;
+                }
+                match self
+                    .info
+                    .fn_aliases
+                    .get(&callee.text)
+                    .or_else(|| self.crate_fns.get(&callee.text))
+                {
+                    Some(id) => Resolution::Lock(id.clone()),
+                    None => Resolution::Unknown,
+                }
+            }
+            TokKind::Punct(']') => {
+                let mut depth = 0usize;
+                let mut k = end;
+                loop {
+                    if sig[k].is_punct(']') {
+                        depth += 1;
+                    } else if sig[k].is_punct('[') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    match k.checked_sub(1) {
+                        Some(p) => k = p,
+                        None => return Resolution::Unknown,
+                    }
+                }
+                match k.checked_sub(1) {
+                    Some(p) => self.receiver(sig, p, aliases),
+                    None => Resolution::Unknown,
+                }
+            }
+            _ => Resolution::Unknown,
+        }
+    }
+
+    /// Does the chain ending at `sig[end]` name a declared condvar?
+    fn condvar(&self, sig: &[Token], end: usize) -> bool {
+        let t = &sig[end];
+        t.kind == TokKind::Ident
+            && (self.info.condvars.contains_key(&t.text)
+                || self.crate_condvars.contains_key(&t.text))
+    }
+}
+
+/// Match the exact shape `let [mut] LHS = RHS ;` — a by-move rebinding.
+fn move_binding(sig: &[Token], let_idx: usize) -> Option<(String, String)> {
+    let mut j = let_idx + 1;
+    if sig.get(j)?.is_ident("mut") {
+        j += 1;
+    }
+    let lhs = sig.get(j)?;
+    if lhs.kind != TokKind::Ident || !sig.get(j + 1)?.is_punct('=') {
+        return None;
+    }
+    let rhs = sig.get(j + 2)?;
+    if rhs.kind != TokKind::Ident || !sig.get(j + 3)?.is_punct(';') {
+        return None;
+    }
+    Some((lhs.text.clone(), rhs.text.clone()))
+}
+
+/// The `let` binder of the statement starting at `sig[let_idx]`: the last
+/// pattern ident before the type annotation or `=`, skipping `mut`.
+fn let_binder(sig: &[Token], let_idx: usize) -> Option<String> {
+    let mut name = None;
+    let mut j = let_idx + 1;
+    while let Some(t) = sig.get(j) {
+        match t.kind {
+            TokKind::Ident if t.text != "mut" => name = Some(t.text.clone()),
+            TokKind::Punct(':') => {
+                if sig.get(j + 1).is_some_and(|t| t.is_punct(':')) {
+                    j += 1; // path separator inside the pattern
+                } else {
+                    break; // type annotation: the binder is already seen
+                }
+            }
+            TokKind::Punct('=') => {
+                // Assignment, not `==`/`=>` (those cannot start here, but
+                // stay strict anyway).
+                if !sig.get(j + 1).is_some_and(|t| t.is_punct('=') || t.is_punct('>')) {
+                    break;
+                }
+            }
+            TokKind::Punct(';') | TokKind::Punct('{') => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    name
+}
+
+/// If the statement at `let_idx` is a pure alias (`let m = &self.field;`
+/// or `let s = self.shard_of(u);`), the lock it aliases.
+fn alias_target(sig: &[Token], let_idx: usize, ctx: &Resolve<'_>) -> Option<LockId> {
+    let mut j = let_idx + 1;
+    while sig.get(j).is_some_and(|t| !t.is_punct('=') && !t.is_punct(';') && !t.is_punct('{')) {
+        j += 1;
+    }
+    if !sig.get(j)?.is_punct('=') {
+        return None;
+    }
+    let mut k = j + 1;
+    if sig.get(k)?.is_punct('&') {
+        k += 1;
+    }
+    if sig.get(k)?.is_ident("self") && sig.get(k + 1)?.is_punct('.') {
+        k += 2;
+    }
+    let ident = sig.get(k)?;
+    if ident.kind != TokKind::Ident {
+        return None;
+    }
+    match sig.get(k + 1)?.kind {
+        TokKind::Punct(';') => {
+            ctx.info.fields.get(&ident.text).or_else(|| ctx.crate_fields.get(&ident.text)).cloned()
+        }
+        TokKind::Punct('(') => {
+            // `let s = self.f(args);` — a fn-alias only if the call is the
+            // whole initializer.
+            let mut depth = 0usize;
+            let mut m = k + 1;
+            while let Some(t) = sig.get(m) {
+                if t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            if !sig.get(m + 1)?.is_punct(';') {
+                return None;
+            }
+            ctx.info.fn_aliases.get(&ident.text).or_else(|| ctx.crate_fns.get(&ident.text)).cloned()
+        }
+        _ => None,
+    }
+}
+
+/// Stages 2 and 4 for one function: guard tracking, direct edges, call
+/// events, blocking findings, and the fn summary.
+#[allow(clippy::too_many_arguments)]
+fn walk_fn(
+    info: &FileInfo,
+    ctx: &Resolve<'_>,
+    f: &FnBody,
+    findings: &mut Vec<Finding>,
+    edges: &mut BTreeSet<Edge>,
+    calls: &mut Vec<CallEvent>,
+    fns: &mut BTreeMap<String, FnSummary>,
+) {
+    let sig = &info.sig;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut aliases: Vec<(String, LockId, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut stmt = 0usize;
+    let mut binder: Option<String> = None;
+    let mut direct: BTreeSet<LockId> = BTreeSet::new();
+    let mut my_calls: BTreeSet<String> = BTreeSet::new();
+
+    let held_snapshot = |guards: &[Guard]| {
+        guards.iter().filter(|g| g.active()).map(|g| (g.lock.clone(), g.line)).collect::<Vec<_>>()
+    };
+    let blocked = |findings: &mut Vec<Finding>, guards: &[Guard], line: usize, what: &str| {
+        if let Some(g) = guards.iter().rev().find(|g| g.active()) {
+            findings.push(Finding {
+                rule: LOCK_BLOCKING,
+                file: info.rel.clone(),
+                line,
+                message: format!(
+                    "in `{}`: {what} while holding `{}` (rank {}) acquired at {}:{} — \
+                     release the guard before any unbounded wait",
+                    f.name, g.lock.name, g.lock.rank, info.rel, g.line
+                ),
+            });
+        }
+    };
+
+    let mut i = f.open;
+    while i <= f.close {
+        let tok = &sig[i];
+        match tok.kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                // A mid-statement block (match/if on a locked temporary)
+                // keeps the temporary alive for the whole block.
+                for g in guards.iter_mut() {
+                    if g.binder.is_none() && g.stmt == stmt && g.depth < depth {
+                        g.depth = depth;
+                    }
+                }
+                binder = None;
+            }
+            TokKind::Punct('}') => {
+                guards.retain(|g| g.depth < depth);
+                aliases.retain(|(_, _, d)| *d < depth);
+                depth = depth.saturating_sub(1);
+                for g in guards.iter_mut() {
+                    if g.suspended_at.is_some_and(|s| s > depth) {
+                        g.suspended_at = None;
+                    }
+                }
+                stmt += 1;
+                binder = None;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokKind::Punct(';') => {
+                guards.retain(|g| !(g.binder.is_none() && g.stmt == stmt && g.depth == depth));
+                stmt += 1;
+                binder = None;
+            }
+            TokKind::Ident => match tok.text.as_str() {
+                "let" => {
+                    if let Some((lhs, rhs)) = move_binding(sig, i) {
+                        // `let moved = g;` where `g` binds a guard: the
+                        // guard moves to the new name (drop(moved) must
+                        // release it).
+                        if let Some(g) = guards
+                            .iter_mut()
+                            .rev()
+                            .find(|g| g.active() && g.binder.as_deref() == Some(rhs.as_str()))
+                        {
+                            g.binder = Some(lhs);
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    if let Some(id) = alias_target(sig, i, ctx) {
+                        if let Some(name) = let_binder(sig, i) {
+                            aliases.push((name, id, depth));
+                        }
+                    } else {
+                        binder = let_binder(sig, i);
+                    }
+                }
+                "for" => {
+                    // `for shard in &self.shards { ... }`: the loop binder
+                    // aliases the locked collection inside the body.
+                    let mut j = i + 1;
+                    let mut bind = None;
+                    while let Some(t) = sig.get(j) {
+                        if t.is_ident("in") {
+                            break;
+                        }
+                        if t.kind == TokKind::Ident {
+                            bind = Some(t.text.clone());
+                        }
+                        j += 1;
+                    }
+                    let mut target = None;
+                    while let Some(t) = sig.get(j) {
+                        if t.is_punct('{') {
+                            break;
+                        }
+                        if t.kind == TokKind::Ident {
+                            if let Some(id) = ctx
+                                .info
+                                .fields
+                                .get(&t.text)
+                                .or_else(|| ctx.crate_fields.get(&t.text))
+                            {
+                                target = Some(id.clone());
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    if let (Some(bind), Some(id)) = (bind, target) {
+                        aliases.push((bind, id, depth + 1));
+                    }
+                }
+                "fn" if i != f.open.saturating_sub(0) && i > f.open => {
+                    // Skip nested fn bodies: their guards are not ours.
+                    if let Some(nested) = segment_fns(&sig[i..f.close + 1]).first() {
+                        i += nested.close;
+                        continue;
+                    }
+                }
+                "drop"
+                    if sig.get(i + 1).is_some_and(|t| t.is_punct('('))
+                        && sig.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+                        && sig.get(i + 3).is_some_and(|t| t.is_punct(')')) =>
+                {
+                    let name = &sig[i + 2].text;
+                    if let Some(g) = guards
+                        .iter_mut()
+                        .rev()
+                        .find(|g| g.active() && g.binder.as_deref() == Some(name))
+                    {
+                        if g.depth == depth {
+                            g.suspended_at = Some(0); // permanently released
+                        } else {
+                            g.suspended_at = Some(depth);
+                        }
+                    }
+                    i += 4;
+                    continue;
+                }
+                "catch_unwind" if sig.get(i + 1).is_some_and(|t| t.is_punct('(')) => {
+                    blocked(findings, &guards, tok.line, "calling `catch_unwind`");
+                }
+                _ => {
+                    // Free-fn call site (`deliver(p, ...)`, `Arc::new(x)`).
+                    let callable = sig.get(i + 1).is_some_and(|t| t.is_punct('('))
+                        && !i.checked_sub(1).is_some_and(|p| sig[p].is_punct('.'))
+                        && tok.text != "drop";
+                    if callable {
+                        my_calls.insert(tok.text.clone());
+                        let held = held_snapshot(&guards);
+                        if !held.is_empty() {
+                            calls.push(CallEvent {
+                                callee: tok.text.clone(),
+                                file: info.rel.clone(),
+                                line: tok.line,
+                                func: f.name.clone(),
+                                held,
+                            });
+                        }
+                    }
+                }
+            },
+            TokKind::Punct('.') => {
+                let (Some(method), Some(open)) = (sig.get(i + 1), sig.get(i + 2)) else {
+                    i += 1;
+                    continue;
+                };
+                if method.kind != TokKind::Ident || !open.is_punct('(') {
+                    i += 1;
+                    continue;
+                }
+                let empty = sig.get(i + 3).is_some_and(|t| t.is_punct(')'));
+                let m = method.text.as_str();
+                if ACQUIRE_METHODS.contains(&m) && empty {
+                    match i.checked_sub(1).map(|p| ctx.receiver(sig, p, &aliases)) {
+                        Some(Resolution::Lock(id)) => {
+                            for g in guards.iter().filter(|g| g.active()) {
+                                edges.insert(Edge {
+                                    held: g.lock.clone(),
+                                    acq: id.clone(),
+                                    file: info.rel.clone(),
+                                    line: method.line,
+                                    held_line: g.line,
+                                    func: f.name.clone(),
+                                    via: None,
+                                });
+                            }
+                            direct.insert(id.clone());
+                            guards.push(Guard {
+                                binder: binder.take(),
+                                lock: id,
+                                line: method.line,
+                                depth,
+                                stmt,
+                                suspended_at: None,
+                            });
+                        }
+                        Some(Resolution::Builtin) | None => {}
+                        Some(Resolution::Unknown) if m == "lock" => {
+                            findings.push(Finding {
+                                rule: LOCK_UNDECLARED,
+                                file: info.rel.clone(),
+                                line: method.line,
+                                message: format!(
+                                    "in `{}`: `.lock()` on a receiver the lock-order pass \
+                                     cannot attribute to a declared lock; name the lock \
+                                     with a `lock-rank` annotation or bind it through a \
+                                     simple alias",
+                                    f.name
+                                ),
+                            });
+                        }
+                        Some(Resolution::Unknown) => {} // io `.read()`/`.write()`
+                    }
+                } else if m == "join" && empty {
+                    blocked(findings, &guards, method.line, "calling `.join()`");
+                } else if (m == "recv" && empty) || m == "recv_timeout" {
+                    blocked(findings, &guards, method.line, "blocking on a channel receive");
+                } else if matches!(m, "wait" | "wait_timeout" | "wait_while" | "wait_timeout_while")
+                {
+                    let on_condvar = i.checked_sub(1).is_some_and(|p| ctx.condvar(sig, p));
+                    if on_condvar && guards.iter().filter(|g| g.active()).count() >= 2 {
+                        blocked(
+                            findings,
+                            &guards,
+                            method.line,
+                            "waiting on a condvar while a second lock is held",
+                        );
+                    }
+                } else if m != "ranked" {
+                    my_calls.insert(method.text.clone());
+                    let held = held_snapshot(&guards);
+                    if !held.is_empty() {
+                        calls.push(CallEvent {
+                            callee: method.text.clone(),
+                            file: info.rel.clone(),
+                            line: method.line,
+                            func: f.name.clone(),
+                            held,
+                        });
+                    }
+                }
+                i += 2; // past the method ident and onto its `(`
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let entry = fns.entry(f.name.clone()).or_insert_with(|| FnSummary {
+        file: info.rel.clone(),
+        line: f.line,
+        ..FnSummary::default()
+    });
+    entry.direct.extend(direct);
+    entry.calls.extend(my_calls);
+}
+
+/// Transitive may-acquire sets over the serve-internal call graph.
+fn close_summaries(fns: &BTreeMap<String, FnSummary>) -> BTreeMap<String, BTreeSet<LockId>> {
+    let mut closure: BTreeMap<String, BTreeSet<LockId>> =
+        fns.iter().map(|(k, v)| (k.clone(), v.direct.clone())).collect();
+    loop {
+        let mut changed = false;
+        for (name, s) in fns {
+            let mut add: BTreeSet<LockId> = BTreeSet::new();
+            for callee in &s.calls {
+                if let Some(locks) = closure.get(callee) {
+                    add.extend(locks.iter().cloned());
+                }
+            }
+            let mine = closure.get_mut(name).expect("closure seeded from the same map");
+            let before = mine.len();
+            mine.extend(add);
+            changed |= mine.len() != before;
+        }
+        if !changed {
+            return closure;
+        }
+    }
+}
+
+/// One cycle in the edge graph (node names in order), if any exists.
+fn find_cycle(edges: &BTreeSet<Edge>) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.held.name).or_default().insert(&e.acq.name);
+    }
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for &start in adj.keys().collect::<Vec<_>>().iter() {
+        if done.contains(start) {
+            continue;
+        }
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(start, vec![start])];
+        while let Some((node, path)) = stack.pop() {
+            done.insert(node);
+            for &next in adj.get(node).into_iter().flatten() {
+                if let Some(pos) = path.iter().position(|&n| n == next) {
+                    return Some(path[pos..].iter().map(|s| s.to_string()).collect());
+                }
+                let mut p = path.clone();
+                p.push(next);
+                stack.push((next, p));
+            }
+        }
+    }
+    None
+}
+
+/// Canonical graph rendering: the blessed `results/lock_graph.txt` format.
+/// Line numbers are deliberately absent so routine edits do not churn the
+/// baseline.
+fn render_graph(
+    nodes: &BTreeMap<String, (u32, BTreeSet<String>)>,
+    edges: &BTreeSet<Edge>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "# crates/serve lock graph — generated by the causer-lint lock-order pass.\n\
+         # Nodes are declared locks (rank ascending = legal acquisition order);\n\
+         # edges are may-hold-while-acquiring pairs. Re-bless with\n\
+         # CAUSER_BLESS=1 (see crates/lint/tests/locks.rs).\n",
+    );
+    let mut by_rank: Vec<(&String, &(u32, BTreeSet<String>))> = nodes.iter().collect();
+    by_rank.sort_by_key(|(name, (rank, _))| (*rank, (*name).clone()));
+    for (name, (rank, files)) in by_rank {
+        let files = files.iter().cloned().collect::<Vec<_>>().join(",");
+        let _ = writeln!(out, "node {name} rank={rank} {files}");
+    }
+    let mut rendered: BTreeSet<String> = BTreeSet::new();
+    for e in edges {
+        let via = e.via.as_ref().map(|c| format!(" via {c}")).unwrap_or_default();
+        rendered.insert(format!(
+            "edge {} -> {}  [{}::{}{via}]",
+            e.held.name, e.acq.name, e.file, e.func
+        ));
+    }
+    if rendered.is_empty() {
+        out.push_str("edges: none (every critical section in crates/serve is lock-leaf)\n");
+    } else {
+        for line in rendered {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}

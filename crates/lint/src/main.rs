@@ -1,22 +1,47 @@
 //! CLI entry point: lint the workspace, print findings and the per-rule
-//! summary, write the machine-readable report, exit nonzero on any finding.
+//! summary, write the machine-readable report and the serve lock graph,
+//! exit nonzero on any finding.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
+    let started = Instant::now();
     let root = causer_lint::workspace_root();
     let result = causer_lint::run_workspace(&root);
+    let wall = started.elapsed();
 
     for finding in &result.findings {
         println!("{finding}");
     }
     print!("{}", causer_lint::report::summary(&result.findings, result.files_checked));
+    println!("lint wall-time: {:.1}ms", wall.as_secs_f64() * 1e3);
 
     let json = causer_lint::report::to_json(&result.findings, result.files_checked);
     let report_path = root.join("target").join("causer-lint-report.json");
     match std::fs::write(&report_path, json) {
         Ok(()) => println!("report: {}", report_path.display()),
         Err(e) => eprintln!("causer-lint: could not write {}: {e}", report_path.display()),
+    }
+    let graph_path = root.join("target").join("lock_graph.txt");
+    match std::fs::write(&graph_path, &result.lock_graph) {
+        Ok(()) => println!("lock graph: {}", graph_path.display()),
+        Err(e) => eprintln!("causer-lint: could not write {}: {e}", graph_path.display()),
+    }
+
+    if causer_obs::enabled() {
+        let nodes = result.lock_graph.lines().filter(|l| l.starts_with("node ")).count();
+        let edges = result.lock_graph.lines().filter(|l| l.starts_with("edge ")).count();
+        let lock_findings = result.findings.iter().filter(|f| f.rule.starts_with("lock-")).count();
+        let event = causer_obs::Event::new(causer_obs::names::EV_LINT_LOCK_GRAPH)
+            .u("nodes", nodes as u64)
+            .u("edges", edges as u64)
+            .u("lock_findings", lock_findings as u64)
+            .u("wall_ms", wall.as_millis() as u64);
+        // The CLI is a one-shot process, so the in-memory event ring dies
+        // with it; mirror the event's JSON line to stderr for the operator.
+        causer_obs::logln!("{}", event.to_json_line());
+        causer_obs::emit(event);
     }
 
     if result.findings.is_empty() {

@@ -19,6 +19,10 @@ pub const NO_PANIC_SERVE: &str = "no-panic-in-serve-hot-path";
 pub const NO_PRINTLN: &str = "no-println-in-lib";
 pub const NO_UNSAFE: &str = "no-unsafe-outside-simd";
 pub const OP_COVERAGE: &str = "op-coverage";
+pub const LOCK_ORDER: &str = "lock-order";
+pub const LOCK_UNDECLARED: &str = "lock-undeclared";
+pub const LOCK_BLOCKING: &str = "lock-blocking";
+pub const UNUSED_ALLOW: &str = "unused-allow";
 
 /// Every rule the engine knows, in report order.
 pub const ALL_RULES: &[&str] = &[
@@ -30,6 +34,10 @@ pub const ALL_RULES: &[&str] = &[
     NO_PRINTLN,
     NO_UNSAFE,
     OP_COVERAGE,
+    LOCK_ORDER,
+    LOCK_UNDECLARED,
+    LOCK_BLOCKING,
+    UNUSED_ALLOW,
 ];
 
 /// The one module tree where `unsafe` is allowed: the SIMD kernel backend,
@@ -91,14 +99,24 @@ impl FileCtx {
 /// comments. A suppression covers its own line; a comment that *starts* its
 /// line (nothing but the comment on it) also covers the following line, so
 /// long findings can carry the justification above them.
+///
+/// Every `(comment line, rule)` pair tracks whether it ever suppressed a
+/// finding; the `unused-allow` rule fails the build on stale ones. Escape
+/// hatch: a comment whose list includes `unused-allow` opts that comment
+/// out of the staleness check (for allows kept around cfg-dependent code).
 pub struct Suppressions {
-    /// `(line, rule)` pairs.
-    entries: Vec<(usize, String)>,
+    /// `(covered line, rule, index of the originating comment group)`.
+    entries: Vec<(usize, String, usize)>,
+    /// One per `(comment line, rule)`: flipped when it suppresses a finding.
+    used: std::cell::RefCell<Vec<bool>>,
+    /// `(comment line, rule)` per group, parallel to `used`.
+    groups: Vec<(usize, String)>,
 }
 
 impl Suppressions {
     pub fn collect(tokens: &[Token]) -> Self {
         let mut entries = Vec::new();
+        let mut groups = Vec::new();
         let mut last_code_line = 0usize;
         for tok in tokens {
             if !tok.is_comment() {
@@ -108,22 +126,54 @@ impl Suppressions {
             let Some(rules) = parse_allow(&tok.text) else { continue };
             let leading = tok.line > last_code_line;
             for rule in rules {
-                entries.push((tok.line, rule.clone()));
+                let group = groups.len();
+                groups.push((tok.line, rule.clone()));
+                entries.push((tok.line, rule.clone(), group));
                 if leading {
-                    entries.push((tok.line + 1, rule));
+                    entries.push((tok.line + 1, rule, group));
                 }
             }
         }
-        Suppressions { entries }
+        let used = std::cell::RefCell::new(vec![false; groups.len()]);
+        Suppressions { entries, used, groups }
     }
 
     pub fn covers(&self, line: usize, rule: &str) -> bool {
-        self.entries.iter().any(|(l, r)| *l == line && (r == rule || r == "all"))
+        let mut hit = false;
+        for (l, r, group) in &self.entries {
+            if *l == line && (r == rule || r == "all") {
+                self.used.borrow_mut()[*group] = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// `(comment line, rule)` of every allow that never suppressed anything.
+    /// The `unused-allow` pseudo-rule never reports itself, and its presence
+    /// in a comment's list exempts that whole comment line.
+    pub fn unused(&self) -> Vec<(usize, String)> {
+        let used = self.used.borrow();
+        let exempt_lines: Vec<usize> =
+            self.groups.iter().filter(|(_, r)| r == UNUSED_ALLOW).map(|(line, _)| *line).collect();
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(i, (line, rule))| {
+                !used[*i] && rule != UNUSED_ALLOW && !exempt_lines.contains(line)
+            })
+            .map(|(_, g)| g.clone())
+            .collect()
     }
 }
 
 /// Parse `causer-lint: allow(a, b)` out of a comment's text, if present.
+/// Doc comments never carry directives — prose about the allow syntax must
+/// not become a live suppression.
 fn parse_allow(comment: &str) -> Option<Vec<String>> {
+    if is_doc_comment(comment) {
+        return None;
+    }
     let idx = comment.find("causer-lint:")?;
     let rest = comment[idx + "causer-lint:".len()..].trim_start();
     let rest = rest.strip_prefix("allow")?.trim_start();
@@ -132,8 +182,16 @@ fn parse_allow(comment: &str) -> Option<Vec<String>> {
     Some(rest[..close].split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect())
 }
 
+/// `///`, `//!`, `/**`, `/*!` — rustdoc text, not directive space.
+pub(crate) fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/**")
+        || text.starts_with("/*!")
+}
+
 /// 1-based line ranges (inclusive) covered by `#[cfg(test)] ... { ... }`.
-fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
     let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
     let mut regions = Vec::new();
     let mut i = 0;
@@ -353,6 +411,24 @@ pub fn lint_file(ctx: &FileCtx, src: &str) -> Vec<Finding> {
             );
         }
     }
+
+    // unused-allow: an `allow(...)` that suppressed nothing is stale — the
+    // finding it justified is gone (or its rule name is misspelled), and a
+    // dead suppression silently masks the next real finding on that line.
+    for (line, rule) in suppress.unused() {
+        if !suppress.covers(line, UNUSED_ALLOW) && !in_regions(&tests, line) {
+            findings.push(Finding {
+                rule: UNUSED_ALLOW,
+                file: ctx.rel_path.clone(),
+                line,
+                message: format!(
+                    "`allow({rule})` suppresses no finding on this or the next line; \
+                     remove it, or add `unused-allow` to its list if it guards \
+                     cfg-dependent code"
+                ),
+            });
+        }
+    }
     findings
 }
 
@@ -521,13 +597,71 @@ mod tests {
     #[test]
     fn trailing_comment_does_not_cover_next_line() {
         let src = "fn g() {} // causer-lint: allow(no-unwrap-in-lib)\nfn f() { a.unwrap(); }";
-        assert_eq!(lint("crates/data/src/x.rs", src).len(), 1);
+        let f = lint("crates/data/src/x.rs", src);
+        // The unwrap on line 2 fires, and the trailing allow on line 1 —
+        // which consequently suppresses nothing — is itself stale.
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|f| f.rule == NO_UNWRAP && f.line == 2));
+        assert!(f.iter().any(|f| f.rule == UNUSED_ALLOW && f.line == 1));
     }
 
     #[test]
     fn suppression_is_per_rule() {
         let src = "fn f() { a.unwrap(); } // causer-lint: allow(no-f32-numeric)";
-        assert_eq!(lint("crates/data/src/x.rs", src).len(), 1);
+        let f = lint("crates/data/src/x.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|f| f.rule == NO_UNWRAP));
+        assert!(f.iter().any(|f| f.rule == UNUSED_ALLOW));
+    }
+
+    #[test]
+    fn unused_allow_flagged_at_comment_line() {
+        let src = "fn g() {}\n// causer-lint: allow(no-unwrap-in-lib)\nfn f() {}\n";
+        let f = lint("crates/data/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, UNUSED_ALLOW);
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("no-unwrap-in-lib"));
+    }
+
+    #[test]
+    fn used_allow_is_not_flagged() {
+        let src = "fn f() { a.unwrap(); } // causer-lint: allow(no-unwrap-in-lib)";
+        assert!(lint("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn misspelled_rule_name_is_an_unused_allow() {
+        let src = "fn f() { a.unwrap(); } // causer-lint: allow(no-unwrap)";
+        let f = lint("crates/data/src/x.rs", src);
+        assert!(f.iter().any(|f| f.rule == UNUSED_ALLOW), "typo'd rule suppresses nothing");
+        assert!(f.iter().any(|f| f.rule == NO_UNWRAP), "and the real finding still fires");
+    }
+
+    #[test]
+    fn unused_allow_escape_hatch() {
+        // `unused-allow` in the list opts the comment out of staleness.
+        let src = "// causer-lint: allow(no-unwrap-in-lib, unused-allow)\nfn f() {}\n";
+        assert!(lint("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_never_create_suppressions() {
+        // Prose about the syntax in rustdoc must not become a live (and
+        // then stale) allow.
+        let src = "/// Suppress with `// causer-lint: allow(no-unwrap-in-lib)`.\nfn f() {}\n";
+        assert!(lint("crates/data/src/x.rs", src).is_empty());
+        // ...and a doc comment does not suppress a real finding either.
+        let src2 = "/// causer-lint: allow(no-unwrap-in-lib)\nfn f() { a.unwrap(); }";
+        let f = lint("crates/data/src/x.rs", src2);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, NO_UNWRAP);
+    }
+
+    #[test]
+    fn unused_allow_in_test_region_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n    // causer-lint: allow(no-unwrap-in-lib)\n    fn f() {}\n}\n";
+        assert!(lint("crates/data/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Lock-order fixture: the adversarial cases. Each function is named for
+//! the analyzer behavior it pins down; the test asserts exactly which ones
+//! produce findings and which stay silent. Unlike `locks_clean.rs`, this
+//! file *wants* some findings — see `crates/lint/tests/locks.rs`.
+
+use causer_sync::{Condvar, Mutex, RwLock};
+
+pub struct Adversarial {
+    // causer-lint: lock-rank(adv.low, 10)
+    low: Mutex<u64>,
+    // causer-lint: lock-rank(adv.high, 20)
+    high: Mutex<u64>,
+    // causer-lint: lock-rank(adv.rw, 30)
+    rw: RwLock<u64>,
+    // causer-lint: lock-rank(adv.cond, 11)
+    cond: Condvar,
+    /// FINDING (lock-undeclared): a lock with no rank annotation.
+    naked: Mutex<u64>,
+}
+
+// FINDING (lock-undeclared): dangling annotation — nothing declared below.
+// causer-lint: lock-rank(adv.ghost, 99)
+
+impl Adversarial {
+    /// CLEAN: guard moved through an alias local and dropped via `drop`.
+    pub fn alias_then_drop(&self) {
+        let g = self.low.lock().expect("adv low poisoned");
+        let moved = g;
+        drop(moved);
+        // Nothing held here; taking the high lock is a fresh chain.
+        let _h = self.high.lock().expect("adv high poisoned");
+    }
+
+    /// CLEAN: early return releases the guard on every path before the
+    /// out-of-order acquisition can happen on the same path.
+    pub fn early_return(&self, bail: bool) -> u64 {
+        {
+            let g = self.high.lock().expect("adv high poisoned");
+            if bail {
+                return *g;
+            }
+            drop(g);
+        }
+        *self.low.lock().expect("adv low poisoned")
+    }
+
+    /// FINDING (lock-order): `?` does not release the outer guard — the
+    /// happy path still holds `high` (20) while taking `low` (10).
+    pub fn question_mark_inversion(&self, r: Result<u64, u64>) -> Result<u64, u64> {
+        let g = self.high.lock().expect("adv high poisoned");
+        let v = r?;
+        let l = self.low.lock().expect("adv low poisoned");
+        Ok(*g + *l + v)
+    }
+
+    /// CLEAN: nested match arms with per-arm scoped guards — each arm's
+    /// guard dies at the arm's `}` and the arms never stack.
+    pub fn match_arms(&self, which: u8) -> u64 {
+        match which {
+            0 => {
+                let g = self.low.lock().expect("adv low poisoned");
+                *g
+            }
+            1 => {
+                let g = self.high.lock().expect("adv high poisoned");
+                *g
+            }
+            _ => match which {
+                2 => {
+                    let g = self.rw.read().expect("adv rw poisoned");
+                    *g
+                }
+                _ => 0,
+            },
+        }
+    }
+
+    /// FINDING (lock-order): conditional `drop` in one branch — the other
+    /// branch still holds `high` at the `low` acquisition (may-hold).
+    pub fn conditional_drop_inversion(&self, release: bool) {
+        let g = self.high.lock().expect("adv high poisoned");
+        if release {
+            drop(g);
+        }
+        let _l = self.low.lock().expect("adv low poisoned");
+    }
+
+    /// CLEAN: macro-adjacent braces — `vec![...]`, a struct literal, and a
+    /// closure body must not desync the scope tracker; the guard taken
+    /// after them is a fresh chain.
+    pub fn macro_adjacent_braces(&self) -> Vec<u64> {
+        let seed = vec![1u64, 2, 3];
+        let spec = std::ops::Range { start: 0usize, end: seed.len() };
+        let doubled: Vec<u64> = spec.map(|i| seed[i] * 2).collect();
+        let g = self.low.lock().expect("adv low poisoned");
+        let _h = self.high.lock().expect("adv high poisoned");
+        drop(g);
+        doubled
+    }
+
+    /// FINDING (lock-blocking): `.join()` with a guard held.
+    pub fn join_while_holding(&self, h: std::thread::JoinHandle<()>) {
+        let _g = self.low.lock().expect("adv low poisoned");
+        h.join().expect("adv worker panicked");
+    }
+
+    /// FINDING (lock-blocking): channel `recv` with a guard held.
+    pub fn recv_while_holding(&self, rx: &std::sync::mpsc::Receiver<u64>) {
+        let _g = self.low.lock().expect("adv low poisoned");
+        let _ = rx.recv();
+    }
+
+    /// FINDING (lock-blocking): `catch_unwind` with a guard held.
+    pub fn catch_unwind_while_holding(&self) {
+        let _g = self.low.lock().expect("adv low poisoned");
+        let _ = std::panic::catch_unwind(|| 1u64);
+    }
+
+    /// CLEAN: `join(", ")` on strings takes an argument — not a thread join.
+    pub fn string_join_is_not_blocking(&self) -> String {
+        let _g = self.low.lock().expect("adv low poisoned");
+        ["a", "b"].join(", ")
+    }
+
+    /// FINDING (lock-blocking): condvar wait while a *second* lock is held.
+    /// (The acquisition order itself is legal — rank 10 then 20 — so the
+    /// only finding here is the blocking one.)
+    pub fn wait_with_second_lock(&self) {
+        let _outer = self.low.lock().expect("adv low poisoned");
+        let g = self.high.lock().expect("adv high poisoned");
+        let _g = self.cond.wait(g).expect("adv high poisoned");
+    }
+
+    fn locks_low(&self) -> u64 {
+        *self.low.lock().expect("adv low poisoned")
+    }
+
+    /// FINDING (lock-order, via call): interprocedural inversion — holds
+    /// `high` (20) while calling a fn whose closure acquires `low` (10).
+    pub fn interprocedural_inversion(&self) -> u64 {
+        let g = self.high.lock().expect("adv high poisoned");
+        *g + self.locks_low()
+    }
+
+    /// FINDING (lock-order): a lock-acquiring fn named like a std method
+    /// poisons call-site attribution.
+    pub fn insert(&self, v: u64) {
+        *self.low.lock().expect("adv low poisoned") = v;
+    }
+}

@@ -1,0 +1,78 @@
+//! Lock-order fixture: a correctly ranked two-lock module. The outer lock
+//! (rank 10) is always taken before the inner one (rank 20), guards are
+//! released before every blocking operation, and receivers go through the
+//! aliasing forms the analyzer must resolve. Expected: zero findings, one
+//! `outer -> inner` edge.
+
+use causer_sync::{Condvar, Mutex};
+
+pub struct Clean {
+    // causer-lint: lock-rank(fixture.outer, 10)
+    outer: Mutex<Vec<u64>>,
+    // causer-lint: lock-rank(fixture.inner, 20)
+    inner: Mutex<u64>,
+    // causer-lint: lock-rank(fixture.cond, 11)
+    cond: Condvar,
+}
+
+impl Clean {
+    /// Field receivers, correct order: one `outer -> inner` edge.
+    pub fn nested_in_order(&self) {
+        let mut o = self.outer.lock().expect("fixture outer poisoned");
+        let i = self.inner.lock().expect("fixture inner poisoned");
+        o.push(*i);
+    }
+
+    // causer-lint: lock-rank(fixture.inner, 20)
+    fn inner_ref(&self) -> &Mutex<u64> {
+        &self.inner
+    }
+
+    /// Fn-alias receiver (`self.inner_ref().lock()`): same edge, not a new
+    /// lock and not an undeclared one.
+    pub fn nested_via_fn_alias(&self) {
+        let mut o = self.outer.lock().expect("fixture outer poisoned");
+        let i = self.inner_ref().lock().expect("fixture inner poisoned");
+        o.push(*i);
+    }
+
+    /// Let-alias receiver: `let m = &self.inner;` then `m.lock()`.
+    pub fn nested_via_let_alias(&self) {
+        let o = self.outer.lock().expect("fixture outer poisoned");
+        let m = &self.inner;
+        let i = m.lock().expect("fixture inner poisoned");
+        drop(i);
+        drop(o);
+    }
+
+    /// Guard released (same depth) before the blocking call: no finding.
+    pub fn drop_before_join(&self, h: std::thread::JoinHandle<()>) {
+        let o = self.outer.lock().expect("fixture outer poisoned");
+        drop(o);
+        h.join().expect("fixture worker panicked");
+    }
+
+    /// Scoped guard dies at the block's `}` before the blocking call.
+    pub fn scope_before_recv(&self, rx: &std::sync::mpsc::Receiver<u64>) {
+        {
+            let mut o = self.outer.lock().expect("fixture outer poisoned");
+            o.clear();
+        }
+        let _ = rx.recv();
+    }
+
+    /// A statement-scoped temporary dies at `;`, before the wait.
+    pub fn temp_then_wait(&self) {
+        self.outer.lock().expect("fixture outer poisoned").clear();
+        let guard = self.inner.lock().expect("fixture inner poisoned");
+        // One guard held at the wait: the condvar's own mutex, allowed.
+        let _g = self.cond.wait(guard).expect("fixture inner poisoned");
+    }
+
+    /// `stdout().lock()` is a std handle, not a ranked lock.
+    pub fn stdout_is_not_a_lock(&self) {
+        use std::io::Write as _;
+        let mut out = std::io::stdout().lock();
+        let _ = writeln!(out, "fixture");
+    }
+}

@@ -1,0 +1,28 @@
+//! Lock-order fixture: a planted A -> B / B -> A inversion. `take_ab`
+//! respects the ranks; `take_ba` acquires rank 20 first and then rank 10 —
+//! a rank inversion on its own, and together with `take_ab` a cycle.
+//! Expected: at least one `lock-order` finding naming both sites, plus the
+//! cycle report.
+
+use causer_sync::Mutex;
+
+pub struct Inverted {
+    // causer-lint: lock-rank(fixture.a, 10)
+    a: Mutex<u64>,
+    // causer-lint: lock-rank(fixture.b, 20)
+    b: Mutex<u64>,
+}
+
+impl Inverted {
+    pub fn take_ab(&self) -> u64 {
+        let ga = self.a.lock().expect("fixture a poisoned");
+        let gb = self.b.lock().expect("fixture b poisoned");
+        *ga + *gb
+    }
+
+    pub fn take_ba(&self) -> u64 {
+        let gb = self.b.lock().expect("fixture b poisoned");
+        let ga = self.a.lock().expect("fixture a poisoned");
+        *ga + *gb
+    }
+}

@@ -12,6 +12,7 @@ pub unsafe trait Pod {}
 unsafe impl Pod for f64 {}
 
 pub fn justified(p: *const f64) -> f64 {
-    // FFI boundary with a C allocator: causer-lint: allow(no-unsafe-outside-simd)
+    // FFI boundary with a C allocator (idle when linted under simd/, hence
+    // unused-allow): causer-lint: allow(no-unsafe-outside-simd, unused-allow)
     unsafe { *p }
 }

@@ -1,0 +1,267 @@
+//! Integration tests for the lock-order pass: fixture scenarios (clean,
+//! planted inversion, adversarial scope tricks), a planted inversion in the
+//! *real* frontend source, and the blessed `results/lock_graph.txt`
+//! baseline (re-bless with `CAUSER_BLESS=1`).
+
+use causer_lint::locks::{analyze, LockAnalysis};
+use causer_lint::report::Finding;
+
+const CLEAN: &str = include_str!("fixtures/locks_clean.rs");
+const INVERSION: &str = include_str!("fixtures/locks_inversion.rs");
+const ADVERSARIAL: &str = include_str!("fixtures/locks_adversarial.rs");
+
+/// Analyze one fixture as if it lived in the serve crate.
+fn analyze_one(name: &str, src: &str) -> LockAnalysis {
+    analyze(&[(format!("crates/serve/src/{name}"), src.to_string())])
+}
+
+fn rules_of<'a>(findings: &'a [Finding]) -> Vec<&'a str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn clean_fixture_has_no_findings_and_one_edge() {
+    let a = analyze_one("locks_clean.rs", CLEAN);
+    assert!(a.findings.is_empty(), "clean fixture must be clean: {:?}", a.findings);
+    assert!(a.graph.contains("node fixture.outer rank=10"), "graph: {}", a.graph);
+    assert!(a.graph.contains("node fixture.inner rank=20"), "graph: {}", a.graph);
+    assert!(a.graph.contains("node fixture.cond rank=11"), "graph: {}", a.graph);
+    assert!(
+        a.graph.contains("edge fixture.outer -> fixture.inner"),
+        "the in-order nesting must appear as an edge: {}",
+        a.graph
+    );
+    assert!(
+        !a.graph.contains("edge fixture.inner"),
+        "no edge may originate at the innermost lock: {}",
+        a.graph
+    );
+}
+
+#[test]
+fn planted_inversion_fails_and_names_both_sites() {
+    let a = analyze_one("locks_inversion.rs", INVERSION);
+    let inversions: Vec<&Finding> = a.findings.iter().filter(|f| f.rule == "lock-order").collect();
+    assert!(!inversions.is_empty(), "planted B->A must be a finding: {:?}", a.findings);
+
+    // The inversion is attributed to `take_ba` and names both locks, both
+    // ranks, and the held lock's acquisition site.
+    let f = inversions
+        .iter()
+        .find(|f| f.message.contains("take_ba"))
+        .unwrap_or_else(|| panic!("no finding names take_ba: {inversions:?}"));
+    assert!(f.message.contains("`fixture.a` (rank 10)"), "msg: {}", f.message);
+    assert!(f.message.contains("`fixture.b` (rank 20)"), "msg: {}", f.message);
+    assert!(
+        f.message.contains("acquired at crates/serve/src/locks_inversion.rs:"),
+        "must name the held lock's site: {}",
+        f.message
+    );
+
+    // A->B plus B->A is also a cycle, reported independently of ranks.
+    assert!(
+        a.findings.iter().any(|f| f.message.contains("cycle")),
+        "A->B->A must be reported as a cycle: {:?}",
+        a.findings
+    );
+
+    // `take_ab` alone is the legal order — it must not be a finding.
+    assert!(
+        !a.findings.iter().any(|f| f.message.contains("take_ab")),
+        "in-order nesting wrongly flagged: {:?}",
+        a.findings
+    );
+}
+
+#[test]
+fn adversarial_fixture_findings_are_exactly_the_planted_ones() {
+    let a = analyze_one("locks_adversarial.rs", ADVERSARIAL);
+    let msgs: Vec<&str> = a.findings.iter().map(|f| f.message.as_str()).collect();
+
+    // The functions documented CLEAN stay silent.
+    for clean_fn in [
+        "alias_then_drop",
+        "early_return",
+        "match_arms",
+        "macro_adjacent_braces",
+        "string_join_is_not_blocking",
+    ] {
+        assert!(
+            !msgs.iter().any(|m| m.contains(clean_fn)),
+            "`{clean_fn}` must not be flagged: {msgs:?}"
+        );
+    }
+
+    // The unannotated lock and the dangling annotation.
+    let undeclared: Vec<&Finding> =
+        a.findings.iter().filter(|f| f.rule == "lock-undeclared").collect();
+    assert!(
+        undeclared.iter().any(|f| f.message.contains("`naked`")),
+        "unannotated lock must be flagged: {undeclared:?}"
+    );
+    assert!(
+        undeclared.iter().any(|f| f.message.contains("dangling")),
+        "dangling annotation must be flagged: {undeclared:?}"
+    );
+
+    // `?` keeps the guard alive; one branch dropping is still may-held.
+    for inverted_fn in ["question_mark_inversion", "conditional_drop_inversion"] {
+        assert!(
+            a.findings.iter().any(|f| f.rule == "lock-order" && f.message.contains(inverted_fn)),
+            "`{inverted_fn}` must be a lock-order finding: {:?}",
+            a.findings
+        );
+    }
+
+    // The interprocedural inversion is attributed through the call.
+    assert!(
+        a.findings.iter().any(|f| f.rule == "lock-order"
+            && f.message.contains("interprocedural_inversion")
+            && f.message.contains("via call to `locks_low`")),
+        "held-across-call inversion must name the callee: {:?}",
+        a.findings
+    );
+
+    // The std-shadowing fn name.
+    assert!(
+        a.findings.iter().any(|f| f.rule == "lock-order" && f.message.contains("`insert`")),
+        "std-shadowing lock fn must be flagged: {:?}",
+        a.findings
+    );
+
+    // Exactly the four planted blocking sites.
+    let blocking: Vec<&Finding> = a.findings.iter().filter(|f| f.rule == "lock-blocking").collect();
+    for blocked_fn in [
+        "join_while_holding",
+        "recv_while_holding",
+        "catch_unwind_while_holding",
+        "wait_with_second_lock",
+    ] {
+        assert!(
+            blocking.iter().any(|f| f.message.contains(blocked_fn)),
+            "`{blocked_fn}` must be a lock-blocking finding: {blocking:?}"
+        );
+    }
+    assert_eq!(blocking.len(), 4, "no extra blocking findings: {blocking:?}");
+
+    assert!(
+        !rules_of(&a.findings).contains(&"io-error"),
+        "sanity: only lock rules here: {:?}",
+        a.findings
+    );
+}
+
+#[test]
+fn duplicate_rank_is_a_finding() {
+    let src = "use causer_sync::Mutex;\n\
+               pub struct S {\n\
+               \x20   // causer-lint: lock-rank(dup.a, 10)\n\
+               \x20   a: Mutex<u64>,\n\
+               \x20   // causer-lint: lock-rank(dup.b, 10)\n\
+               \x20   b: Mutex<u64>,\n\
+               }\n";
+    let a = analyze_one("dup.rs", src);
+    assert!(
+        a.findings.iter().any(|f| f.message.contains("rank 10")
+            && f.message.contains("`dup.a`")
+            && f.message.contains("`dup.b`")),
+        "shared rank must be a finding: {:?}",
+        a.findings
+    );
+}
+
+#[test]
+fn ranked_name_must_match_an_annotation() {
+    let src = "use causer_sync::Mutex;\n\
+               pub struct S {\n\
+               \x20   // causer-lint: lock-rank(good.name, 10)\n\
+               \x20   a: Mutex<u64>,\n\
+               }\n\
+               impl S {\n\
+               \x20   pub fn new() -> Self {\n\
+               \x20       S { a: Mutex::ranked(\"typo.name\", 10, 0) }\n\
+               \x20   }\n\
+               }\n";
+    let a = analyze_one("ranked.rs", src);
+    assert!(
+        a.findings.iter().any(|f| f.rule == "lock-undeclared" && f.message.contains("typo.name")),
+        "runtime/static name drift must be a finding: {:?}",
+        a.findings
+    );
+}
+
+/// Acceptance criterion: planting an out-of-order acquisition in the REAL
+/// frontend source must fail the build.
+#[test]
+fn planted_inversion_in_real_frontend_is_caught() {
+    let root = causer_lint::workspace_root();
+    let path = root.join("crates/serve/src/frontend.rs");
+    let src = std::fs::read_to_string(&path).expect("frontend.rs must exist at workspace root");
+
+    // Sanity: the pristine file is clean.
+    let clean = analyze(&[("crates/serve/src/frontend.rs".to_string(), src.clone())]);
+    assert!(clean.findings.is_empty(), "pristine frontend not clean: {:?}", clean.findings);
+
+    // Plant a re-acquisition of the shard lock inside `submit`'s critical
+    // section (a classic self-deadlock) and require the pass to refuse it.
+    let anchor = "state.pending.push_back(PendingReq { req, tenant, deadline, tx, enqueued });";
+    assert!(src.contains(anchor), "submit anchor moved; update this test");
+    let planted = src.replace(
+        anchor,
+        "let _again = self.shared.shards[0].state.lock();\n            \
+         state.pending.push_back(PendingReq { req, tenant, deadline, tx, enqueued });",
+    );
+    let a = analyze(&[("crates/serve/src/frontend.rs".to_string(), planted)]);
+    assert!(
+        a.findings.iter().any(|f| f.rule == "lock-order"
+            && f.message.contains("submit")
+            && f.message.contains("serve.frontend.shard_state")),
+        "planted same-rank re-acquisition must fail the pass: {:?}",
+        a.findings
+    );
+}
+
+/// The committed lock graph is the blessed baseline: any change to the
+/// serve tier's locks or nesting shows up as a diff here and must be
+/// consciously re-blessed with `CAUSER_BLESS=1`.
+#[test]
+fn real_lock_graph_matches_blessed_baseline_and_is_acyclic() {
+    let root = causer_lint::workspace_root();
+    let result = causer_lint::run_workspace(&root);
+
+    // The serve tier itself must be free of lock findings...
+    let lock_findings: Vec<&Finding> =
+        result.findings.iter().filter(|f| f.rule.starts_with("lock-")).collect();
+    assert!(lock_findings.is_empty(), "serve lock findings: {lock_findings:?}");
+    // ...and lock-leaf: the graph renders every node but no edge, which
+    // makes it trivially acyclic.
+    assert!(result.lock_graph.contains("edges: none"), "graph: {}", result.lock_graph);
+    for lock in [
+        "serve.frontend.shard_state",
+        "serve.frontend.shard_cond",
+        "serve.queue.state",
+        "serve.queue.cond",
+        "serve.store.shard",
+        "serve.reload.current",
+        "serve.frontend.admission",
+    ] {
+        assert!(
+            result.lock_graph.contains(&format!("node {lock} rank=")),
+            "lock `{lock}` missing from the graph: {}",
+            result.lock_graph
+        );
+    }
+
+    let blessed = root.join("results/lock_graph.txt");
+    if std::env::var("CAUSER_BLESS").as_deref() == Ok("1") {
+        std::fs::write(&blessed, &result.lock_graph).expect("bless write must succeed");
+        return;
+    }
+    let want = std::fs::read_to_string(&blessed)
+        .expect("results/lock_graph.txt missing; run with CAUSER_BLESS=1 to create it");
+    assert_eq!(
+        want, result.lock_graph,
+        "serve lock graph drifted from the blessed baseline; if intentional, re-bless \
+         with CAUSER_BLESS=1 cargo test -p causer-lint --test locks"
+    );
+}

@@ -1,0 +1,82 @@
+//! Golden test for the machine-readable report: the JSON layout and the
+//! rule-name set are an interface (CI and the dashboards grep them), so any
+//! change must be conscious — re-bless with `CAUSER_BLESS=1`.
+
+use causer_lint::report::{to_json, Finding};
+use causer_lint::rules;
+
+const GOLDEN_PATH: &str = "tests/fixtures/report_schema.golden.json";
+
+/// The rule set is pinned by name: adding, removing, or renaming a rule
+/// changes every report consumer and must show up in review.
+#[test]
+fn rule_names_are_pinned() {
+    assert_eq!(
+        rules::ALL_RULES,
+        &[
+            "no-unwrap-in-lib",
+            "no-f32-numeric",
+            "no-truncating-as-cast",
+            "no-unscoped-spawn",
+            "no-panic-in-serve-hot-path",
+            "no-println-in-lib",
+            "no-unsafe-outside-simd",
+            "op-coverage",
+            "lock-order",
+            "lock-undeclared",
+            "lock-blocking",
+            "unused-allow",
+        ],
+        "ALL_RULES changed; update the golden report and every consumer"
+    );
+}
+
+/// A fixed findings list rendered to JSON must match the golden byte for
+/// byte: field names, ordering, escaping, and the zero-count entries for
+/// every known rule.
+#[test]
+fn report_json_matches_golden() {
+    let findings = vec![
+        Finding {
+            rule: rules::LOCK_ORDER,
+            file: "crates/serve/src/frontend.rs".to_string(),
+            line: 531,
+            message: "in `submit`: acquiring `serve.frontend.shard_state` (rank 10) while \
+                      holding `serve.frontend.shard_state` (rank 10)"
+                .to_string(),
+        },
+        Finding {
+            rule: rules::UNUSED_ALLOW,
+            file: "crates/core/src/model.rs".to_string(),
+            line: 7,
+            message: "`allow(no-unwrap-in-lib)` suppresses no finding; has \"quotes\" and a \
+                      tab\there"
+                .to_string(),
+        },
+    ];
+    let got = to_json(&findings, 42);
+
+    // Structural invariants hold regardless of the golden bytes: every
+    // finding carries exactly these four fields.
+    for key in ["\"rule\":", "\"file\":", "\"line\":", "\"message\":"] {
+        assert_eq!(got.matches(key).count(), findings.len(), "field {key} per finding");
+    }
+    for top in ["\"files_checked\":", "\"total_findings\":", "\"rule_counts\":", "\"findings\":"] {
+        assert_eq!(got.matches(top).count(), 1, "top-level field {top}");
+    }
+    for rule in rules::ALL_RULES {
+        assert!(got.contains(&format!("\"{rule}\":")), "rule_counts must include {rule}");
+    }
+
+    if std::env::var("CAUSER_BLESS").as_deref() == Ok("1") {
+        std::fs::write(GOLDEN_PATH, &got).expect("bless write must succeed");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden report missing; run with CAUSER_BLESS=1 to create it");
+    assert_eq!(
+        want, got,
+        "report JSON drifted from the golden; if intentional, re-bless with \
+         CAUSER_BLESS=1 cargo test -p causer-lint --test report_schema"
+    );
+}

@@ -179,6 +179,13 @@ pub mod names {
     /// Event: one record when the kernel tier resolves, carrying the
     /// `tier` name and its `source` (`detected`, `override`, or `forced`).
     pub const EV_KERNEL_TIER: &str = "kernel.tier";
+
+    // --- lint (causer-lint lock-order pass) ---
+
+    /// Event: one record per causer-lint run, carrying the serve lock
+    /// graph's `nodes`/`edges` counts, the `lock_findings` count, and the
+    /// pass `wall_ms`.
+    pub const EV_LINT_LOCK_GRAPH: &str = "lint.lock_graph";
 }
 
 /// Environment variable that enables observability at process start

@@ -46,15 +46,17 @@
 //! budget cannot leak because release happens at delivery, which the panic
 //! path performs for every drained request.
 
+use crate::locks::rank;
 use crate::queue::QueueConfig;
 use crate::reload::ModelHandle;
 use crate::scorer::{BatchScorer, Ranked, ScoreRequest};
 use crate::state_store::UserStateStore;
 use causer_obs::names as obs;
+use causer_sync::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -213,7 +215,9 @@ struct ShardState {
 }
 
 struct ShardQueue {
+    // causer-lint: lock-rank(serve.frontend.shard_state, 10)
     state: Mutex<ShardState>,
+    // causer-lint: lock-rank(serve.frontend.shard_cond, 11)
     cond: Condvar,
     /// Test hook: the next batch cut on this shard panics its worker.
     panic_next: AtomicBool,
@@ -227,6 +231,7 @@ struct ShardQueue {
 struct Admission {
     max_in_flight: usize,
     tenant_quota: usize,
+    // causer-lint: lock-rank(serve.frontend.admission, 40)
     inner: Mutex<AdmissionInner>,
 }
 
@@ -439,7 +444,11 @@ impl ShardedFrontend {
         let shared = Arc::new(Shared {
             shards: (0..cfg.shards)
                 .map(|_| ShardQueue {
-                    state: Mutex::new(ShardState { pending: VecDeque::new(), shutdown: false }),
+                    state: Mutex::ranked(
+                        "serve.frontend.shard_state",
+                        rank::FRONTEND_SHARD_STATE,
+                        ShardState { pending: VecDeque::new(), shutdown: false },
+                    ),
                     cond: Condvar::new(),
                     panic_next: AtomicBool::new(false),
                     stall_next_ms: AtomicU64::new(0),
@@ -448,7 +457,11 @@ impl ShardedFrontend {
             admission: Admission {
                 max_in_flight: cfg.max_in_flight,
                 tenant_quota: cfg.tenant_quota,
-                inner: Mutex::new(AdmissionInner { in_flight: 0, per_tenant: HashMap::new() }),
+                inner: Mutex::ranked(
+                    "serve.frontend.admission",
+                    rank::ADMISSION,
+                    AdmissionInner { in_flight: 0, per_tenant: HashMap::new() },
+                ),
             },
             stats: StatCells::default(),
             metrics: FrontendMetrics::new(),
@@ -726,6 +739,74 @@ fn worker_loop(
                     shared.deliver(p, Err(ShedReason::Overload));
                 }
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! The runtime half of the lock-order story lives behind the
+    //! `lock-order` feature: the same shard-lock re-acquisition the static
+    //! pass refuses at build time must panic here, naming both sites.
+    #[cfg(feature = "lock-order")]
+    mod lock_order {
+        use crate::frontend::{ShardQueue, ShardState};
+        use crate::locks::rank;
+        use causer_sync::{Condvar, Mutex};
+        use std::collections::VecDeque;
+        use std::sync::atomic::{AtomicBool, AtomicU64};
+
+        fn shard() -> ShardQueue {
+            ShardQueue {
+                state: Mutex::ranked(
+                    "serve.frontend.shard_state",
+                    rank::FRONTEND_SHARD_STATE,
+                    ShardState { pending: VecDeque::new(), shutdown: false },
+                ),
+                cond: Condvar::new(),
+                panic_next: AtomicBool::new(false),
+                stall_next_ms: AtomicU64::new(0),
+            }
+        }
+
+        /// The planted `submit` inversion — re-acquiring a shard's state
+        /// lock while one shard-state guard is already held — panics
+        /// before blocking, and the message names both acquisition sites
+        /// in this file.
+        #[test]
+        fn shard_state_reacquisition_panics_with_both_sites() {
+            let a = shard();
+            let b = shard();
+            let err = std::panic::catch_unwind(move || {
+                let _held = a.state.lock().expect("fresh shard lock");
+                let _again = b.state.lock().expect("sanitizer panics first");
+            })
+            .expect_err("same-rank nesting must panic under lock-order");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("sanitizer panics with a formatted String");
+            assert!(msg.contains("lock-order violation"), "msg: {msg}");
+            assert_eq!(
+                msg.matches("`serve.frontend.shard_state` (rank 10)").count(),
+                2,
+                "both locks named with their rank: {msg}"
+            );
+            assert_eq!(
+                msg.matches("frontend.rs").count(),
+                2,
+                "both acquisition sites named: {msg}"
+            );
+        }
+
+        /// The legal order — shard state (10) then admission (40) — stays
+        /// silent with the sanitizer armed.
+        #[test]
+        fn ascending_ranks_pass_under_sanitizer() {
+            let s = shard();
+            let admission = Mutex::ranked("serve.frontend.admission", rank::ADMISSION, 0u64);
+            let _state = s.state.lock().expect("fresh shard lock");
+            let _adm = admission.lock().expect("ascending ranks are legal");
         }
     }
 }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod frontend;
+mod locks;
 mod queue;
 mod reload;
 mod scorer;

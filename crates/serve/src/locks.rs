@@ -1,0 +1,45 @@
+//! The serve tier's lock-rank table.
+//!
+//! Every lock in this crate is constructed through `causer_sync` with a
+//! name and a rank from this table, and its declaration carries a matching
+//! `// causer-lint: lock-rank(name, N)` annotation. The contract: a thread
+//! may only acquire a lock whose rank is **strictly greater** than every
+//! lock it already holds — ranks define the one global acquisition order,
+//! so lock-order deadlocks are impossible by construction.
+//!
+//! Ranks ascend outermost → innermost. Today every critical section in
+//! this crate is lock-leaf (no lock is ever held while taking another —
+//! `results/lock_graph.txt` is the blessed proof), so the order encodes
+//! *policy* for future nesting rather than current necessity:
+//!
+//! - The per-shard queue locks come first: they guard the request path's
+//!   entry points and nothing may already be held there. The two queue
+//!   subsystems get distinct ranks so they can never legally nest.
+//! - The state-store shard locks sit in the middle: scoring may one day
+//!   consult them while a queue lock is held, never the reverse.
+//! - The reload handle's snapshot lock is near-innermost: taking a model
+//!   snapshot must be legal from anywhere in the scoring path.
+//! - Admission accounting is the innermost leaf: delivery releases budget
+//!   from arbitrarily deep in the worker path.
+//!
+//! The static side of the contract is enforced by `causer-lint`'s
+//! lock-order pass; the dynamic side by `causer_sync` under the
+//! `lock-order` cargo feature (see DESIGN.md §8).
+
+/// Lock ranks for the serve tier, ascending outermost → innermost.
+pub(crate) mod rank {
+    /// `serve.frontend.shard_state` — each frontend shard's queue state.
+    pub const FRONTEND_SHARD_STATE: u32 = 10;
+    /// `serve.queue.state` — the single [`BatchQueue`](crate::BatchQueue)'s
+    /// pending-request state.
+    pub const QUEUE_STATE: u32 = 12;
+    /// `serve.store.shard` — each [`UserStateStore`](crate::UserStateStore)
+    /// shard's resident-entry map.
+    pub const STORE_SHARD: u32 = 20;
+    /// `serve.reload.current` — the hot-reload handle's current-snapshot
+    /// pointer.
+    pub const RELOAD_CURRENT: u32 = 30;
+    /// `serve.frontend.admission` — global admission accounting (the leaf:
+    /// released at delivery from arbitrarily deep paths).
+    pub const ADMISSION: u32 = 40;
+}

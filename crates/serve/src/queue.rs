@@ -19,9 +19,10 @@ use crate::reload::ModelHandle;
 use crate::scorer::{BatchScorer, Ranked, ScoreRequest};
 use crate::state_store::UserStateStore;
 use causer_obs::names as obs;
+use causer_sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -70,7 +71,9 @@ impl std::fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 struct Shared {
+    // causer-lint: lock-rank(serve.queue.state, 12)
     state: Mutex<State>,
+    // causer-lint: lock-rank(serve.queue.cond, 13)
     cond: Condvar,
 }
 
@@ -150,7 +153,11 @@ impl BatchQueue {
         // causer-lint: allow(no-panic-in-serve-hot-path)
         assert!(cfg.capacity >= 1, "capacity must be at least 1");
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { pending: VecDeque::new(), shutdown: false, batches: 0 }),
+            state: Mutex::ranked(
+                "serve.queue.state",
+                crate::locks::rank::QUEUE_STATE,
+                State { pending: VecDeque::new(), shutdown: false, batches: 0 },
+            ),
             cond: Condvar::new(),
         });
         let metrics = Arc::new(QueueMetrics::new());

@@ -10,9 +10,10 @@
 
 use crate::scorer::ServeState;
 use causer_core::{load_model, CauserModel};
+use causer_sync::RwLock;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// Shared, hot-swappable handle to the currently served model.
 ///
@@ -31,6 +32,7 @@ use std::sync::{Arc, RwLock};
 /// assert_eq!(before.generation, 0); // old snapshot stays valid
 /// ```
 pub struct ModelHandle {
+    // causer-lint: lock-rank(serve.reload.current, 30)
     current: RwLock<Arc<ServeState>>,
     generation: AtomicU64,
 }
@@ -39,7 +41,11 @@ impl ModelHandle {
     /// Wrap a model (builds its serving caches).
     pub fn new(model: CauserModel) -> Self {
         ModelHandle {
-            current: RwLock::new(Arc::new(ServeState::build(model))),
+            current: RwLock::ranked(
+                "serve.reload.current",
+                crate::locks::rank::RELOAD_CURRENT,
+                Arc::new(ServeState::build(model)),
+            ),
             generation: AtomicU64::new(0),
         }
     }

@@ -40,9 +40,9 @@ use crate::scorer::ServeState;
 use causer_core::{HistoryRun, StreamState};
 use causer_data::Step;
 use causer_obs::names as obs;
+use causer_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Tuning knobs for [`UserStateStore`].
@@ -195,6 +195,7 @@ impl StoreMetrics {
 /// User-id-sharded, LRU-evicted, generation-stamped store of per-user
 /// incremental encoder state. See the module docs for the contract.
 pub struct UserStateStore {
+    // causer-lint: lock-rank(serve.store.shard, 20)
     shards: Vec<Mutex<Shard>>,
     /// Per-shard byte budget (`max_bytes / shards`, at least 1).
     shard_budget: usize,
@@ -213,7 +214,13 @@ impl UserStateStore {
         let shard_budget = (cfg.max_bytes / shards).max(1);
         UserStateStore {
             shards: (0..shards)
-                .map(|_| Mutex::new(Shard { entries: HashMap::new(), bytes: 0, tick: 0 }))
+                .map(|_| {
+                    Mutex::ranked(
+                        "serve.store.shard",
+                        crate::locks::rank::STORE_SHARD,
+                        Shard { entries: HashMap::new(), bytes: 0, tick: 0 },
+                    )
+                })
                 .collect(),
             shard_budget,
             hits: AtomicU64::new(0),
@@ -249,13 +256,13 @@ impl UserStateStore {
     }
 
     /// Whether a (non-stale-checked) entry is resident for `user`.
-    pub fn contains(&self, user: usize) -> bool {
+    pub fn is_resident(&self, user: usize) -> bool {
         let shard = self.shard_of(user).lock().expect("state-store shard poisoned");
         shard.entries.contains_key(&user)
     }
 
     /// Drop every resident entry (counters keep their totals).
-    pub fn clear(&self) {
+    pub fn clear_resident(&self) {
         for shard in &self.shards {
             let mut shard = shard.lock().expect("state-store shard poisoned");
             shard.entries.clear();
@@ -266,6 +273,7 @@ impl UserStateStore {
         self.publish_residency();
     }
 
+    // causer-lint: lock-rank(serve.store.shard, 20)
     fn shard_of(&self, user: usize) -> &Mutex<Shard> {
         &self.shards[user % self.shards.len()]
     }

@@ -142,7 +142,7 @@ fn clamp_window_overflow_bypasses_the_store_as_a_miss() {
     scorer.score_batch_stateful(&state, &store, &[req]);
     let before = store.stats();
     assert_eq!((before.hits, before.misses), (0, 1));
-    assert!(store.contains(2));
+    assert!(store.is_resident(2));
 
     let req = ScoreRequest::top_k(2, long.clone(), ITEMS);
     let got = scorer.score_batch_stateful(&state, &store, &[req.clone()]);
@@ -219,9 +219,9 @@ fn lru_evicts_least_recently_used_and_re_seed_scores_correctly() {
     scorer.score_batch_stateful(&state, &store, &[req(2)]);
     let stats = store.stats();
     assert_eq!(stats.evictions, 1, "budget for two entries: third insert evicts one");
-    assert!(store.contains(0), "recently-touched user 0 must survive");
-    assert!(!store.contains(1), "user 1 was least recently used");
-    assert!(store.contains(2));
+    assert!(store.is_resident(0), "recently-touched user 0 must survive");
+    assert!(!store.is_resident(1), "user 1 was least recently used");
+    assert!(store.is_resident(2));
 
     // The evicted user re-encodes bitwise-correctly and re-seeds.
     let misses_before = stats.misses;
@@ -229,7 +229,7 @@ fn lru_evicts_least_recently_used_and_re_seed_scores_correctly() {
     let want = scorer.score_batch(&state, &[req(1)]);
     assert_ranked_match(&got[0], &want[0], "post-eviction re-seed");
     assert_eq!(store.stats().misses, misses_before + 1);
-    assert!(store.contains(1), "re-seeded after eviction");
+    assert!(store.is_resident(1), "re-seeded after eviction");
 }
 
 /// Stateful scoring through the queue: same responses as the stateless

@@ -1,0 +1,376 @@
+//! `causer-sync` — rank-annotated lock wrappers with an optional runtime
+//! lock-order sanitizer.
+//!
+//! The serve tier assigns every lock a **rank** (see DESIGN.md §8): a
+//! thread may only acquire a lock whose rank is *strictly greater* than
+//! every lock it already holds. Ranks define a global acquisition order,
+//! which makes lock-order deadlocks impossible by construction. The static
+//! side of that contract is checked by `causer-lint`'s lock-order pass;
+//! this crate is the dynamic side.
+//!
+//! [`Mutex`], [`RwLock`] and [`Condvar`] wrap their `std::sync`
+//! counterparts with the same `lock()`/`read()`/`write()`/`wait()` API
+//! (including [`LockResult`] poisoning semantics), plus a
+//! [`Mutex::ranked`]-style constructor that attaches a name and rank:
+//!
+//! ```
+//! use causer_sync::Mutex;
+//!
+//! let m = Mutex::ranked("example.counter", 10, 0u64);
+//! *m.lock().expect("poisoned") += 1;
+//! assert_eq!(*m.lock().expect("poisoned"), 1);
+//! ```
+//!
+//! With the `lock-order` cargo feature **off** (the default) the name and
+//! rank are dropped at construction and every call inlines to the bare
+//! `std::sync` operation — zero cost, zero behavior change.
+//!
+//! With `lock-order` **on**, each thread keeps a stack of the ranked locks
+//! it currently holds, recorded with the acquisition site via
+//! [`std::panic::Location`]. Acquiring a lock whose rank is less than or
+//! equal to any held rank panics immediately — *before* blocking on the
+//! underlying lock — naming both the offending acquisition site and the
+//! site that acquired the held lock. Equal ranks are deliberately rejected:
+//! two locks on the same rank must never nest (that covers the classic
+//! double-shard hazard where two instances of the *same* lock array are
+//! taken together). Re-reading an [`RwLock`] a thread already holds is
+//! rejected for the same reason — a writer arriving between the two read
+//! acquisitions can deadlock them.
+//!
+//! [`Condvar::wait`] keeps the waited mutex's rank on the stack for the
+//! whole wait: the OS releases the mutex while parked, but the thread
+//! re-acquires it before returning, so for ordering purposes the rank is
+//! held throughout.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+#[cfg(feature = "lock-order")]
+mod order {
+    //! The per-thread acquisition stack behind the `lock-order` feature.
+
+    use std::cell::{Cell, RefCell};
+    use std::panic::Location;
+
+    /// Name + rank attached to a lock at construction.
+    pub(crate) struct LockMeta {
+        name: &'static str,
+        rank: u32,
+    }
+
+    impl LockMeta {
+        pub(crate) const fn new(name: &'static str, rank: u32) -> Self {
+            LockMeta { name, rank }
+        }
+    }
+
+    /// One held lock on the current thread's stack.
+    struct Held {
+        id: u64,
+        name: &'static str,
+        rank: u32,
+        site: &'static Location<'static>,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+        static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Proof of a recorded acquisition; dropping it removes the record.
+    /// Guards may be released in any order, so removal is by id, not pop.
+    pub(crate) struct HeldToken {
+        id: u64,
+    }
+
+    /// Record an acquisition, panicking on a rank inversion. Runs *before*
+    /// the underlying lock call so an inversion reports instead of
+    /// deadlocking. `#[track_caller]` chains through the wrapper methods,
+    /// so the reported site is the caller's `.lock()`/`.read()`/`.write()`
+    /// expression.
+    #[track_caller]
+    pub(crate) fn acquire(meta: &LockMeta) -> HeldToken {
+        let site = Location::caller();
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(prev) = held.iter().rev().find(|h| h.rank >= meta.rank) {
+                panic!(
+                    "lock-order violation: acquiring `{}` (rank {}) at {site} \
+                     while holding `{}` (rank {}) acquired at {}",
+                    meta.name, meta.rank, prev.name, prev.rank, prev.site
+                );
+            }
+            let id = NEXT_ID.with(|n| {
+                let id = n.get();
+                n.set(id + 1);
+                id
+            });
+            held.push(Held { id, name: meta.name, rank: meta.rank, site });
+            HeldToken { id }
+        })
+    }
+
+    impl Drop for HeldToken {
+        fn drop(&mut self) {
+            // try_with: thread-local storage may already be torn down when
+            // a guard held in another TLS destructor drops at thread exit.
+            let _ = HELD.try_with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(i) = held.iter().position(|h| h.id == self.id) {
+                    held.remove(i);
+                }
+            });
+        }
+    }
+
+    /// Ranked locks the current thread holds right now.
+    pub(crate) fn held_count() -> usize {
+        HELD.with(|held| held.borrow().len())
+    }
+}
+
+#[cfg(not(feature = "lock-order"))]
+mod order {
+    //! Zero-sized stand-ins compiled when `lock-order` is off: every
+    //! bookkeeping call inlines to nothing.
+
+    pub(crate) struct LockMeta;
+
+    impl LockMeta {
+        #[inline(always)]
+        pub(crate) const fn new(_name: &'static str, _rank: u32) -> Self {
+            LockMeta
+        }
+    }
+
+    pub(crate) struct HeldToken;
+
+    #[inline(always)]
+    pub(crate) fn acquire(_meta: &LockMeta) -> HeldToken {
+        HeldToken
+    }
+}
+
+/// Ranked locks the current thread holds right now — a test hook for
+/// asserting that critical sections release everything they take.
+#[cfg(feature = "lock-order")]
+pub fn held_locks() -> usize {
+    order::held_count()
+}
+
+/// A rank-annotated [`std::sync::Mutex`].
+pub struct Mutex<T> {
+    meta: order::LockMeta,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A mutex named `name` at lock rank `rank`. With the `lock-order`
+    /// feature off, the name and rank compile away.
+    pub const fn ranked(name: &'static str, rank: u32, value: T) -> Self {
+        Mutex { meta: order::LockMeta::new(name, rank), inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Acquire the mutex, blocking the current thread. Same poisoning
+    /// contract as [`std::sync::Mutex::lock`]; with `lock-order` on, a
+    /// rank inversion panics before blocking.
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let _token = order::acquire(&self.meta);
+        match self.inner.lock() {
+            Ok(inner) => Ok(MutexGuard { inner, _token }),
+            Err(poisoned) => {
+                Err(PoisonError::new(MutexGuard { inner: poisoned.into_inner(), _token }))
+            }
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard of a locked [`Mutex`]; releases the lock (and its rank
+/// record) on drop.
+pub struct MutexGuard<'a, T> {
+    inner: std::sync::MutexGuard<'a, T>,
+    _token: order::HeldToken,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// A rank-annotated [`std::sync::RwLock`].
+pub struct RwLock<T> {
+    meta: order::LockMeta,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// An rwlock named `name` at lock rank `rank`. With the `lock-order`
+    /// feature off, the name and rank compile away.
+    pub const fn ranked(name: &'static str, rank: u32, value: T) -> Self {
+        RwLock { meta: order::LockMeta::new(name, rank), inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Acquire shared read access. Same contract as
+    /// [`std::sync::RwLock::read`]; with `lock-order` on, the read holds
+    /// the lock's rank (recursive reads are rejected — see the crate docs).
+    #[track_caller]
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let _token = order::acquire(&self.meta);
+        match self.inner.read() {
+            Ok(inner) => Ok(RwLockReadGuard { inner, _token }),
+            Err(poisoned) => {
+                Err(PoisonError::new(RwLockReadGuard { inner: poisoned.into_inner(), _token }))
+            }
+        }
+    }
+
+    /// Acquire exclusive write access. Same contract as
+    /// [`std::sync::RwLock::write`].
+    #[track_caller]
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let _token = order::acquire(&self.meta);
+        match self.inner.write() {
+            Ok(inner) => Ok(RwLockWriteGuard { inner, _token }),
+            Err(poisoned) => {
+                Err(PoisonError::new(RwLockWriteGuard { inner: poisoned.into_inner(), _token }))
+            }
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard of a read-locked [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    _token: order::HeldToken,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard of a write-locked [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    _token: order::HeldToken,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// A condition variable for [`Mutex`] guards — a thin wrapper over
+/// [`std::sync::Condvar`] that threads the guard's rank record through the
+/// wait (the rank stays held; see the crate docs).
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A fresh condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Block until notified, releasing and re-acquiring `guard`'s mutex.
+    /// Same contract as [`std::sync::Condvar::wait`].
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let MutexGuard { inner, _token } = guard;
+        match self.inner.wait(inner) {
+            Ok(inner) => Ok(MutexGuard { inner, _token }),
+            Err(poisoned) => {
+                Err(PoisonError::new(MutexGuard { inner: poisoned.into_inner(), _token }))
+            }
+        }
+    }
+
+    /// Block until notified or `dur` elapses. Same contract as
+    /// [`std::sync::Condvar::wait_timeout`].
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let MutexGuard { inner, _token } = guard;
+        match self.inner.wait_timeout(inner, dur) {
+            Ok((inner, timed_out)) => Ok((MutexGuard { inner, _token }, timed_out)),
+            Err(poisoned) => {
+                let (inner, timed_out) = poisoned.into_inner();
+                Err(PoisonError::new((MutexGuard { inner, _token }, timed_out)))
+            }
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}

@@ -1,0 +1,218 @@
+//! causer-sync behavior tests.
+//!
+//! The first half runs under any feature set and pins the std-compatible
+//! surface (guards, condvars, poisoning). The second half is gated on
+//! `lock-order` and pins the sanitizer itself — `scripts/check.sh` runs
+//! this suite with `--features lock-order`, so the gated half is exercised
+//! on every CI pass:
+//!
+//! ```bash
+//! cargo test -p causer-sync --features lock-order
+//! ```
+
+use causer_sync::{Condvar, Mutex, RwLock};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The wrappers behave like their std counterparts for plain data access.
+#[test]
+fn mutex_and_rwlock_round_trip() {
+    let m = Mutex::ranked("test.m", 10, vec![1u64, 2]);
+    m.lock().expect("poisoned").push(3);
+    assert_eq!(*m.lock().expect("poisoned"), vec![1, 2, 3]);
+
+    let rw = RwLock::ranked("test.rw", 20, 7u64);
+    assert_eq!(*rw.read().expect("poisoned"), 7);
+    *rw.write().expect("poisoned") = 8;
+    assert_eq!(*rw.read().expect("poisoned"), 8);
+}
+
+/// Condvar wait/wait_timeout thread the guard through like std's.
+#[test]
+fn condvar_wait_delivers_value() {
+    let shared = Arc::new((Mutex::ranked("test.cv", 10, 0u64), Condvar::new()));
+    let waiter = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let (lock, cond) = &*shared;
+            let mut val = lock.lock().expect("poisoned");
+            while *val == 0 {
+                val = cond.wait(val).expect("poisoned");
+            }
+            *val
+        })
+    };
+    // Nudge the waiter until it observes the store (spurious-wakeup safe).
+    loop {
+        {
+            let mut val = shared.0.lock().expect("poisoned");
+            *val = 42;
+        }
+        shared.1.notify_all();
+        if waiter.is_finished() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(waiter.join().expect("waiter panicked"), 42);
+
+    let (lock, cond) = &*shared;
+    let guard = lock.lock().expect("poisoned");
+    let (guard, timed_out) = cond.wait_timeout(guard, Duration::from_millis(1)).expect("poisoned");
+    assert!(timed_out.timed_out());
+    assert_eq!(*guard, 42);
+}
+
+/// A panic while holding the lock poisons it, and the poisoned guard still
+/// reaches the data — the std contract the serve tier's `.expect()` calls
+/// rely on.
+#[test]
+fn poisoning_is_preserved() {
+    let m = Arc::new(Mutex::ranked("test.poison", 10, 1u64));
+    let m2 = Arc::clone(&m);
+    let _ = std::thread::spawn(move || {
+        let _guard = m2.lock().expect("first lock");
+        panic!("poison it");
+    })
+    .join();
+    let err = m.lock().expect_err("mutex should be poisoned");
+    assert_eq!(*err.into_inner(), 1);
+}
+
+#[cfg(feature = "lock-order")]
+mod sanitizer {
+    use super::*;
+    use causer_sync::held_locks;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Panic message of `f`, which must panic.
+    fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let err = catch_unwind(f).expect_err("expected a lock-order panic");
+        match err.downcast::<String>() {
+            Ok(s) => *s,
+            Err(err) => err.downcast::<&str>().expect("panic payload is a string").to_string(),
+        }
+    }
+
+    /// Ascending ranks nest freely and the stack drains to empty.
+    #[test]
+    fn ascending_ranks_are_legal() {
+        let low = Mutex::ranked("test.low", 10, ());
+        let mid = RwLock::ranked("test.mid", 20, ());
+        let high = Mutex::ranked("test.high", 30, ());
+        {
+            let _a = low.lock().expect("poisoned");
+            let _b = mid.read().expect("poisoned");
+            let _c = high.lock().expect("poisoned");
+            assert_eq!(held_locks(), 3);
+        }
+        assert_eq!(held_locks(), 0);
+    }
+
+    /// The planted serve-tier inversion: two shard locks on the same rank
+    /// taken together (the double-shard hazard). The panic names both
+    /// acquisition sites, file and line.
+    #[test]
+    fn same_rank_nesting_panics_naming_both_sites() {
+        let shard_a = Mutex::ranked("serve.frontend.shard_state", 10, ());
+        let shard_b = Mutex::ranked("serve.frontend.shard_state", 10, ());
+        let first = shard_a.lock().expect("poisoned");
+        let msg = panic_message(AssertUnwindSafe(|| {
+            let _second = shard_b.lock();
+        }));
+        drop(first);
+        assert!(msg.contains("lock-order violation"), "unexpected message: {msg}");
+        assert!(
+            msg.contains("acquiring `serve.frontend.shard_state` (rank 10)"),
+            "missing acquiring site: {msg}"
+        );
+        assert!(
+            msg.contains("while holding `serve.frontend.shard_state` (rank 10)"),
+            "missing held site: {msg}"
+        );
+        // Both acquisition sites are in this file, at two distinct lines.
+        assert_eq!(msg.matches("lock_order.rs").count(), 2, "expected two sites: {msg}");
+        assert_eq!(held_locks(), 0, "failed acquisition must not leak a record");
+    }
+
+    /// A descending-rank acquisition (B→A after the legal A→B) panics.
+    #[test]
+    fn rank_inversion_panics() {
+        let a = Mutex::ranked("test.a", 10, ());
+        let b = Mutex::ranked("test.b", 20, ());
+        {
+            // Legal direction.
+            let _ga = a.lock().expect("poisoned");
+            let _gb = b.lock().expect("poisoned");
+        }
+        let gb = b.lock().expect("poisoned");
+        let msg = panic_message(AssertUnwindSafe(|| {
+            let _ga = a.lock();
+        }));
+        drop(gb);
+        assert!(msg.contains("acquiring `test.a` (rank 10)"), "unexpected message: {msg}");
+        assert!(msg.contains("while holding `test.b` (rank 20)"), "unexpected message: {msg}");
+    }
+
+    /// The rank check is against *every* held lock, not just the last one
+    /// — releasing out of LIFO order must not open a hole.
+    #[test]
+    fn check_spans_all_held_locks() {
+        let a = Mutex::ranked("test.a", 10, ());
+        let c = Mutex::ranked("test.c", 30, ());
+        let mid = Mutex::ranked("test.mid", 20, ());
+        let ga = a.lock().expect("poisoned");
+        let gc = c.lock().expect("poisoned");
+        drop(ga); // out-of-order release; rank 30 stays held
+        let msg = panic_message(AssertUnwindSafe(|| {
+            let _gm = mid.lock();
+        }));
+        drop(gc);
+        assert!(msg.contains("while holding `test.c` (rank 30)"), "unexpected message: {msg}");
+    }
+
+    /// Recursive read of one rwlock is rejected (a queued writer between
+    /// the two reads deadlocks both).
+    #[test]
+    fn recursive_read_panics() {
+        let rw = RwLock::ranked("test.rw", 20, ());
+        let first = rw.read().expect("poisoned");
+        let msg = panic_message(AssertUnwindSafe(|| {
+            let _second = rw.read();
+        }));
+        drop(first);
+        assert!(msg.contains("rank 20"), "unexpected message: {msg}");
+    }
+
+    /// A condvar wait keeps the mutex's rank held across the park, and the
+    /// guard that comes back still holds it.
+    #[test]
+    fn wait_keeps_rank_held() {
+        let m = Mutex::ranked("test.cv", 10, ());
+        let cond = Condvar::new();
+        let guard = m.lock().expect("poisoned");
+        assert_eq!(held_locks(), 1);
+        let (guard, _timed_out) =
+            cond.wait_timeout(guard, Duration::from_millis(1)).expect("poisoned");
+        assert_eq!(held_locks(), 1);
+        drop(guard);
+        assert_eq!(held_locks(), 0);
+    }
+
+    /// Ranks are per-thread: two threads each holding one lock never trip
+    /// the checker.
+    #[test]
+    fn stacks_are_thread_local() {
+        let a = Arc::new(Mutex::ranked("test.a", 10, ()));
+        let b = Arc::new(Mutex::ranked("test.b", 20, ()));
+        let gb = b.lock().expect("poisoned");
+        let a2 = Arc::clone(&a);
+        // Rank 10 < 20, but on a fresh thread nothing is held.
+        std::thread::spawn(move || {
+            let _ga = a2.lock().expect("poisoned");
+        })
+        .join()
+        .expect("acquisition on a fresh thread must not panic");
+        drop(gb);
+    }
+}

@@ -27,8 +27,11 @@ cargo test --workspace --release -q
 cargo test --workspace --release --doc -q
 
 # The workspace's own static analysis is a hard gate: it is built from this
-# workspace with zero external dependencies, so there is no toolchain-missing
-# escape hatch. Nonzero exit (any finding) fails the check.
+# workspace with only in-tree dependencies, so there is no toolchain-missing
+# escape hatch. Nonzero exit (any finding) fails the check. This includes
+# the serve lock-order pass (rank inversions, cycles, guards held across
+# blocking waits) and prints its wall-time; the graph it checks against
+# the blessed results/lock_graph.txt lands in target/lock_graph.txt.
 cargo run -p causer-lint --release
 
 # Numerical-sanitizer passes: the gradcheck fuzz sweep and the golden-metric
@@ -50,6 +53,15 @@ cargo test -p causer-serve --release --features causer-tensor/sanitize --test st
 cargo test -p causer-serve --release --features causer-tensor/sanitize --test frontend -q
 cargo test -p causer-serve --release --test frontend -q \
     seeded_stress_exactly_one_outcome_per_request -- --exact
+
+# Runtime lock-order sanitizer: the causer-sync wrapper suite plus one run
+# of the frontend and state-store stress suites with every serve lock
+# recording per-thread acquisition stacks — a rank inversion panics at the
+# acquisition site instead of deadlocking, so an ordering bug the static
+# pass's model missed (closures, trait dispatch) still fails loudly here.
+cargo test -p causer-sync --release --features lock-order -q
+cargo test -p causer-serve --release --features lock-order --test frontend -q
+cargo test -p causer-serve --release --features lock-order --test state_store -q
 
 # SIMD dispatch honesty. The workspace suite above already ran under the
 # native best tier; re-run the tensor kernel/gradcheck/dispatch suites with
