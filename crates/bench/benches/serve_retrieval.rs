@@ -1,0 +1,407 @@
+//! Two-stage retrieval vs exact full-catalog scoring
+//! (`results/BENCH_retrieval.json`).
+//!
+//! Exact serving cost is O(|V|) per request — the term that breaks at
+//! production catalog sizes. Stage 1 prunes the catalog to the clusters
+//! reachable from the user's recent clusters in the learned DAG; stage 2
+//! exact-scores only the survivors. This bench trains one model per catalog
+//! size (the paper-scale Patio catalog multiplied 10× and 100×, users
+//! fixed), then measures single-core:
+//!
+//! - **exact** — per-request full-catalog latency (the baseline every
+//!   pruned point is compared against);
+//!
+//! Latency is measured on the **warm stateful path** (`score_batch_stateful`
+//! with every user's encoder state resident in a [`UserStateStore`]): the
+//! per-cluster history encoding is amortized by the store on both sides, so
+//! the exact/pruned ratio isolates *candidate scoring* — the O(|V|) term
+//! stage 1 prunes. (Encoding cost concentrates in exactly the clusters the
+//! user's history lives in, which are the clusters stage 1 keeps, so the
+//! cold-path ratio understates the scoring win.) Request histories are
+//! pre-clamped to the model window — score-neutral (every scoring path
+//! clamps identically) but it keeps the store's prefix contract engaged.
+//! - **exact-mode dial** — `mass_threshold = 1.0` through the retrieval
+//!   path must be bitwise-identical to the default exact path (asserted,
+//!   not just claimed);
+//! - **config sweep** — per-request latency, surviving-candidate fraction,
+//!   and recall@10 against the exact top-10 at each `mass_threshold` point
+//!   and at each `max_clusters` cap (threshold pinned to 1.0 so only the
+//!   cap binds).
+//!
+//! Pruned scores are bitwise-equal to exact scores on the surviving
+//! candidates (asserted in `crates/serve/tests/retrieval.rs` and
+//! `tests/golden_metrics.rs`); here only *which* items survive varies, so
+//! recall is the one honest quality axis.
+
+use causer_core::{CauserConfig, CauserRecommender, SeqRecommender, TrainConfig};
+use causer_data::{simulate, DatasetKind, DatasetProfile};
+use causer_serve::{
+    BatchScorer, Ranked, RetrievalConfig, ScoreRequest, ServeState, UserStateStore,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const TOP_K: usize = 10;
+const REPS: usize = 9;
+const EVAL_REQS: usize = 96;
+const CATALOG_MULTS: [usize; 3] = [1, 10, 100];
+const THRESHOLDS: [f64; 7] = [0.2, 0.4, 0.45, 0.5, 0.6, 0.8, 0.95];
+// The second frontier: cap the cluster count directly (threshold 1.0, so
+// only the cap binds). A tight cap is how a deployment pins tail latency —
+// and it selects fewer clusters at the same recall than a mass threshold,
+// because the threshold keeps buying mid-mass clusters on its way to the
+// coverage target.
+const CAPS: [usize; 6] = [1, 2, 3, 4, 5, 6];
+
+struct SweepPoint {
+    threshold: f64,
+    max_clusters: Option<usize>,
+    recall: f64,
+    cand_fraction: f64,
+    latency_us: f64,
+    speedup: f64,
+}
+
+struct CatalogRun {
+    mult: usize,
+    items: usize,
+    users: usize,
+    clusters: usize,
+    exact_us: f64,
+    points: Vec<SweepPoint>,
+}
+
+fn main() {
+    let scale: f64 =
+        std::env::var("CAUSER_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.15);
+    let epochs: usize =
+        std::env::var("CAUSER_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    // CAUSER_CATALOGS=10,100 reruns a subset of the catalog multipliers.
+    let mults: Vec<usize> = std::env::var("CAUSER_CATALOGS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|m| m.trim().parse().ok()).collect())
+        .unwrap_or_else(|| CATALOG_MULTS.to_vec());
+    let self_affinity: f64 = std::env::var("CAUSER_SELF_AFFINITY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| RetrievalConfig::exact().self_affinity);
+    let recent_window: usize = std::env::var("CAUSER_RECENT_WINDOW")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| RetrievalConfig::exact().recent_window);
+    let mut runs = Vec::new();
+    for mult in mults {
+        runs.push(bench_catalog(scale, epochs, self_affinity, recent_window, mult));
+    }
+    write_json(scale, epochs, self_affinity, recent_window, &runs);
+}
+
+fn bench_catalog(
+    scale: f64,
+    epochs: usize,
+    self_affinity: f64,
+    recent_window: usize,
+    mult: usize,
+) -> CatalogRun {
+    // The paper-scale Patio profile with the *catalog* multiplied: users and
+    // behaviour stay fixed so every run isolates the cost axis under test —
+    // items scored per request.
+    let mut profile = DatasetProfile::paper(DatasetKind::Patio).scaled(scale);
+    profile.num_items *= mult;
+    profile.p_causal = 0.8;
+    let sim = simulate(&profile, 42);
+    let split = sim.interactions.leave_last_out();
+    let mut cfg = CauserConfig::new(profile.num_users, profile.num_items, profile.feature_dim);
+    // CAUSER_K overrides the cluster count for granularity probes; the
+    // recorded default is the profile's own true_clusters.
+    cfg.k = std::env::var("CAUSER_K")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(profile.true_clusters);
+    let tc = TrainConfig { epochs, seed: 42, ..Default::default() };
+    let mut rec = CauserRecommender::new(cfg, sim.features.clone(), tc, 42);
+    rec.fit(&split);
+    let num_items = rec.model.config.num_items;
+    let num_users = rec.model.config.num_users;
+    let cfg_k = rec.model.config.k;
+    println!("\n=== catalog {mult}x: {num_items} items, {num_users} users, K={cfg_k} clusters ===");
+
+    // Pre-clamp histories to the model window: bitwise score-neutral (every
+    // scoring path runs `clamp_history` first), and it keeps the requests
+    // inside the state store's prefix contract so the timed path stays warm.
+    let window = rec.model.config.max_history;
+    let reqs: Vec<ScoreRequest> = split
+        .test
+        .iter()
+        .filter(|c| !c.history.is_empty())
+        .take(EVAL_REQS)
+        .map(|c| {
+            let hist = c.history[c.history.len().saturating_sub(window)..].to_vec();
+            ScoreRequest::top_k(c.user, hist, TOP_K)
+        })
+        .collect();
+    assert!(reqs.len() >= EVAL_REQS / 2, "profile too small for the request set");
+    let wide: Vec<ScoreRequest> =
+        reqs.iter().map(|r| ScoreRequest::top_k(r.user, r.history.clone(), num_items)).collect();
+
+    let scorer = BatchScorer::new(1);
+    let mut state = ServeState::build(rec.model);
+
+    // Warm-path timing: the store amortizes per-cluster history encoding on
+    // both the exact and pruned side (the warmup call seeds it; the timed
+    // reps replay identical histories, so every lookup is a warm hit).
+    let store = UserStateStore::with_budget(64 << 20);
+    let time_per_req = |state: &ServeState, scorer: &BatchScorer| -> f64 {
+        let mut best = f64::INFINITY;
+        scorer.score_batch_stateful(state, &store, &reqs); // warmup + seed
+        for _ in 0..REPS {
+            let t = Instant::now();
+            for req in &reqs {
+                std::hint::black_box(scorer.score_batch_stateful(
+                    state,
+                    &store,
+                    std::slice::from_ref(req),
+                ));
+            }
+            best = best.min(t.elapsed().as_secs_f64() / reqs.len() as f64);
+        }
+        best
+    };
+
+    // --- Exact baseline (the default dial), plus its top-10 as ground truth.
+    let exact_s = time_per_req(&state, &scorer);
+    let exact_top = scorer.score_batch(&state, &reqs);
+    // The timing above is honest only if the timed reps actually hit warm
+    // state, and the warm path must agree with the stateless ground truth.
+    let stats = store.stats();
+    assert!(stats.hits >= (REPS * reqs.len()) as u64, "timed reps were not warm: {stats:?}");
+    for (a, b) in exact_top.iter().zip(&scorer.score_batch_stateful(&state, &store, &reqs)) {
+        assert_eq!(a.items, b.items, "warm-path exact top-K diverged from stateless");
+    }
+    println!("exact: {:.1} µs/req (full catalog, {num_items} items, warm store)", exact_s * 1e6);
+
+    // CAUSER_DIAG=1: print the oracle bound — the catalog fraction covered
+    // by the clusters that *actually contain* each request's exact top-10
+    // (the floor any cluster-granular stage 1 must score for recall 1.0).
+    if std::env::var("CAUSER_DIAG").is_ok() {
+        let sizes: Vec<usize> = state.effects.members.iter().map(|m| m.len()).collect();
+        println!("cluster sizes: {sizes:?}");
+        let hard = &state.ic.hard_clusters;
+        let mut hits = vec![0usize; sizes.len()];
+        let mut fractions: Vec<f64> = exact_top
+            .iter()
+            .map(|r| {
+                let mut used = vec![false; sizes.len()];
+                for &item in &r.items {
+                    used[hard[item]] = true;
+                    hits[hard[item]] += 1;
+                }
+                let covered: usize =
+                    used.iter().zip(&sizes).filter(|(u, _)| **u).map(|(_, s)| *s).sum();
+                covered as f64 / num_items as f64
+            })
+            .collect();
+        fractions.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        println!(
+            "oracle top-10 cluster cover: mean {:.3}, p50 {:.3}, p90 {:.3}",
+            mean,
+            fractions[fractions.len() / 2],
+            fractions[fractions.len() * 9 / 10],
+        );
+        println!("top-10 hits per cluster: {hits:?}");
+        let mut uniq: Vec<Vec<usize>> = Vec::new();
+        for r in &exact_top {
+            let mut items = r.items.clone();
+            items.sort_unstable();
+            if !uniq.contains(&items) {
+                uniq.push(items);
+            }
+        }
+        println!("distinct exact top-10 sets across {} requests: {}", exact_top.len(), uniq.len());
+        // Per-cluster max item bias — the static score ceilings stage 1
+        // multiplies into its ranking key.
+        let bias = state.model.item_bias_matrix();
+        let mut max_bias = vec![0.0f64; sizes.len()];
+        for (item, &c) in hard.iter().enumerate() {
+            max_bias[c] = max_bias[c].max(bias.get(item, 0));
+        }
+        let fmt3: Vec<String> = max_bias.iter().map(|v| format!("{v:.3}")).collect();
+        println!("cluster bias ceilings: {fmt3:?}");
+    }
+
+    // --- The exact-mode dial must be the exact path, bitwise.
+    state = state.with_retrieval(
+        RetrievalConfig::pruned(1.0)
+            .with_self_affinity(self_affinity)
+            .with_recent_window(recent_window),
+    );
+    let redial = scorer.score_batch(&state, &reqs);
+    for (a, b) in exact_top.iter().zip(&redial) {
+        assert_eq!(a.items, b.items, "threshold=1.0 re-ranked the exact top-K");
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(x.to_bits(), y.to_bits(), "threshold=1.0 changed exact bits");
+        }
+    }
+
+    // --- Config sweep: the mass-threshold frontier, then the cluster-cap
+    // frontier. Both report recall@10, surviving fraction, and latency.
+    println!(
+        "{:>10}  {:>5}  {:>10}  {:>12}  {:>12}  {:>8}",
+        "threshold", "cap", "recall@10", "candidates", "µs/req", "speedup"
+    );
+    let mut points = Vec::new();
+    let configs = THRESHOLDS
+        .iter()
+        .map(|&t| (t, None))
+        .chain(CAPS.iter().map(|&m| (1.0, Some(m))))
+        .collect::<Vec<_>>();
+    for (threshold, cap) in configs {
+        let mut retrieval = RetrievalConfig::pruned(threshold)
+            .with_self_affinity(self_affinity)
+            .with_recent_window(recent_window);
+        if let Some(m) = cap {
+            retrieval = retrieval.with_max_clusters(m);
+        }
+        state = state.with_retrieval(retrieval);
+        let survivors: Vec<Ranked> = scorer.score_batch(&state, &wide);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        let mut cand = 0usize;
+        for (exact, pruned) in exact_top.iter().zip(&survivors) {
+            hit += exact
+                .items
+                .iter()
+                .filter(|i| pruned.items[..TOP_K.min(pruned.items.len())].contains(i))
+                .count();
+            total += exact.items.len();
+            cand += pruned.items.len();
+        }
+        let recall = hit as f64 / total as f64;
+        let cand_fraction = cand as f64 / (survivors.len() * num_items) as f64;
+        let pruned_s = time_per_req(&state, &scorer);
+        let speedup = exact_s / pruned_s;
+        println!(
+            "{threshold:>10.2}  {:>5}  {recall:>10.3}  {:>11.1}%  {:>12.1}  {speedup:>7.2}x",
+            cap.map_or("-".into(), |m| m.to_string()),
+            cand_fraction * 100.0,
+            pruned_s * 1e6,
+        );
+        points.push(SweepPoint {
+            threshold,
+            max_clusters: cap,
+            recall,
+            cand_fraction,
+            latency_us: pruned_s * 1e6,
+            speedup,
+        });
+    }
+    CatalogRun {
+        mult,
+        items: num_items,
+        users: num_users,
+        clusters: cfg_k,
+        exact_us: exact_s * 1e6,
+        points,
+    }
+}
+
+fn write_json(
+    scale: f64,
+    epochs: usize,
+    self_affinity: f64,
+    recent_window: usize,
+    runs: &[CatalogRun],
+) {
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join("BENCH_retrieval.json");
+    let mut catalogs = String::new();
+    for (i, run) in runs.iter().enumerate() {
+        let mut rows = String::new();
+        for (j, p) in run.points.iter().enumerate() {
+            rows.push_str(&format!(
+                "        {{ \"mass_threshold\": {:.2}, \"max_clusters\": {}, \
+                 \"recall_at_10\": {:.4}, \
+                 \"candidate_fraction\": {:.4}, \"latency_us\": {:.1}, \"speedup\": {:.2} }}{}",
+                p.threshold,
+                p.max_clusters.map_or("null".into(), |m| m.to_string()),
+                p.recall,
+                p.cand_fraction,
+                p.latency_us,
+                p.speedup,
+                if j + 1 < run.points.len() { ",\n" } else { "\n" }
+            ));
+        }
+        catalogs.push_str(&format!(
+            "    {{ \"catalog_multiplier\": {}, \"items\": {}, \"users\": {}, \"clusters\": {}, \
+             \"exact_latency_us\": {:.1}, \"config_sweep\": [\n{rows}      ] }}{}",
+            run.mult,
+            run.items,
+            run.users,
+            run.clusters,
+            run.exact_us,
+            if i + 1 < runs.len() { ",\n" } else { "\n" }
+        ));
+    }
+    // The analysis is composed from the measured rows, not hand-written, so
+    // it cannot drift from the numbers above it: name the best point that
+    // holds recall@10 >= 0.95 on each catalog, and say where the speedup
+    // comes from (and where its ceiling is).
+    let mut analysis = String::from(
+        "both paths rank with the same O(n) top-k selection and score through the same \
+         warm per-user encoder state, so each speedup is candidate scoring alone",
+    );
+    for run in runs {
+        let best = run
+            .points
+            .iter()
+            .filter(|p| p.recall >= 0.95)
+            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite speedups"));
+        if let Some(p) = best {
+            analysis.push_str(&format!(
+                "; {}x catalog: {} holds recall@10 {:.3} at {:.2}x exact scoring {:.1}% of \
+                 the catalog",
+                run.mult,
+                match p.max_clusters {
+                    Some(m) => format!("max_clusters {m}"),
+                    None => format!("mass_threshold {:.2}", p.threshold),
+                },
+                p.recall,
+                p.speedup,
+                p.cand_fraction * 100.0,
+            ));
+        } else {
+            analysis.push_str(&format!(
+                "; {}x catalog: no swept config held recall@10 >= 0.95",
+                run.mult
+            ));
+        }
+    }
+    analysis.push_str(
+        "; the ceiling is structural: recall 1.0 must score every cluster holding an exact \
+         top-10 item, so cluster-granular pruning cannot beat the oracle cover fraction \
+         (CAUSER_DIAG=1 prints it per catalog)",
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"crates/bench/benches/serve_retrieval.rs (two-stage \
+         causal-graph-pruned retrieval vs exact full-catalog scoring, catalog scaled 10x/100x, \
+         single core)\",\n  \"command\": \"CAUSER_SCALE={scale} cargo bench -p causer-bench \
+         --bench serve_retrieval\",\n  \"date\": \"2026-08-09\",\n  \"environment\": {{\n    \
+         \"cpu\": \"1 core online (single-core container), best of {REPS} per point\",\n    \
+         \"model\": \"Causer Full variant, Patio profile scaled {scale} with the catalog \
+         multiplied per run (users fixed, cluster count K fixed at the profile's \
+         true_clusters — see per-catalog clusters field), p_causal 0.8, {epochs} epochs, \
+         self_affinity {self_affinity}, recent_window {recent_window}\",\n    \
+         \"method\": \"exact top-10 is ground truth; recall@10 = overlap of the pruned top-10 \
+         with it; latency is per-request warm-path score_batch_stateful time at k=10 (per-user \
+         encoder state resident in UserStateStore on both sides, so the exact/pruned ratio \
+         isolates candidate scoring; warmness and warm/stateless top-10 agreement asserted \
+         in-run); pruned scores are bitwise-equal to exact on surviving candidates and \
+         mass_threshold=1.0 is asserted bitwise-identical to the exact path in-run\"\n  }},\n  \"catalogs\": [\n{catalogs}  \
+         ],\n  \"analysis\": \"{analysis}\"\n}}\n"
+    );
+    std::fs::create_dir_all(out.parent().expect("results dir parent")).expect("results dir");
+    std::fs::write(&out, json).expect("write BENCH_retrieval.json");
+    println!("\nwrote {}", out.display());
+}

@@ -152,6 +152,41 @@ impl ClusterEffectCache {
         self.total.get(from, to)
     }
 
+    /// Total-effect mass each cluster receives from a set of seed clusters —
+    /// the stage-1 reachability score of the two-stage retrieval path.
+    ///
+    /// For every seed `r` (a cluster the user recently interacted with), each
+    /// cluster `c ≠ r` accumulates `|T[r, c]|`: the magnitude of the total
+    /// (direct + every indirect path) causal effect of `r` on `c` in the
+    /// learned DAG. The seed itself accumulates `self_affinity ×
+    /// max_c |T[r, c]|` — a seed cluster is treated as exactly as relevant as
+    /// its strongest outgoing effect, so a seed with **no** outgoing effects
+    /// contributes nothing at all and a user whose recent clusters are all
+    /// DAG sinks yields an all-zero vector (callers fall back to exact
+    /// full-catalog scoring in that case).
+    ///
+    /// Duplicate seeds accumulate additively, which makes recency frequency
+    /// count: a cluster the user hit three times recently seeds three times
+    /// the mass of one hit once. Out-of-range seeds are ignored.
+    pub fn reachable_mass(&self, seeds: &[usize], self_affinity: f64) -> Vec<f64> {
+        let k = self.total.rows();
+        let mut mass = vec![0.0f64; k];
+        for &r in seeds {
+            if r >= k {
+                continue;
+            }
+            let row = self.total.row(r);
+            let strongest = row.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            mass[r] += self_affinity * strongest;
+            for (c, &v) in row.iter().enumerate() {
+                if c != r {
+                    mass[c] += v.abs();
+                }
+            }
+        }
+        mass
+    }
+
     /// Clusters ranked by their total effect on `to` (strongest first),
     /// excluding zero-effect clusters — the per-request session explanation
     /// the serving layer attaches to recommendations.
@@ -277,6 +312,40 @@ mod tests {
         assert_eq!(cache.member_assign[0].row(0), rel.assignments.row(0));
         assert_eq!(cache.top_influencers(1, 3), vec![(0, 0.9)]);
         assert!(cache.top_influencers(0, 3).is_empty());
+    }
+
+    #[test]
+    fn reachable_mass_follows_paths_and_weights_seeds() {
+        // Chain 0 →(0.5) 1 →(0.4) 2 plus direct 0 →(0.1) 2; cluster 3 is an
+        // isolated sink.
+        let mut wc = Matrix::zeros(4, 4);
+        wc.set(0, 1, 0.5);
+        wc.set(1, 2, 0.4);
+        wc.set(0, 2, 0.1);
+        let assign = Matrix::from_fn(4, 4, |i, j| if i == j { 1.0 } else { 0.0 });
+        let rel = ItemRelationCache::build(assign, &wc);
+        let cache = ClusterEffectCache::build(&rel, &[0, 1, 2, 3], &wc);
+
+        // Seeding at 0: own mass = strongest outgoing (0.5), downstream mass
+        // = |T[0,1]| and |T[0,2]| (direct + indirect), nothing at the sink.
+        let mass = cache.reachable_mass(&[0], 1.0);
+        assert!((mass[0] - 0.5).abs() < 1e-12);
+        assert!((mass[1] - 0.5).abs() < 1e-12);
+        assert!((mass[2] - (0.1 + 0.5 * 0.4)).abs() < 1e-12);
+        assert_eq!(mass[3], 0.0);
+
+        // Duplicate seeds accumulate; self_affinity scales only the own-mass
+        // term.
+        let twice = cache.reachable_mass(&[0, 0], 1.0);
+        assert!((twice[1] - 2.0 * mass[1]).abs() < 1e-12);
+        let no_self = cache.reachable_mass(&[0], 0.0);
+        assert_eq!(no_self[0], 0.0);
+        assert!((no_self[2] - mass[2]).abs() < 1e-12);
+
+        // A sink seed has no outgoing effects: all-zero mass (the exact
+        // fallback condition of the retrieval path). Out-of-range ignored.
+        assert!(cache.reachable_mass(&[3], 1.0).iter().all(|&m| m == 0.0));
+        assert!(cache.reachable_mass(&[9], 1.0).iter().all(|&m| m == 0.0));
     }
 
     #[test]

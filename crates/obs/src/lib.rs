@@ -135,6 +135,25 @@ pub mod names {
     /// requests (full re-encode seeding the store).
     pub const SERVE_STATE_COLD_MS: &str = "serve.state_store.cold_ms";
 
+    /// Counter: full-catalog requests answered through the two-stage
+    /// retrieval path (stage-1 cluster selection pruned the candidate set
+    /// before exact scoring). Only counted while a non-exact
+    /// `RetrievalConfig` is installed.
+    pub const SERVE_RETRIEVAL_PRUNED_TOTAL: &str = "serve.retrieval.pruned_total";
+    /// Counter: full-catalog requests that fell back to exact full-catalog
+    /// scoring while a non-exact `RetrievalConfig` was installed — empty
+    /// history, a `-causal` variant, or recent clusters with no outgoing
+    /// DAG edges (zero reachable mass).
+    pub const SERVE_RETRIEVAL_EXACT_TOTAL: &str = "serve.retrieval.exact_total";
+    /// Histogram (count): clusters selected by stage 1 per pruned request.
+    pub const SERVE_RETRIEVAL_CLUSTERS: &str = "serve.retrieval.clusters_selected";
+    /// Histogram (count): candidates exact-scored by stage 2 per pruned
+    /// request (the surviving clusters' catalog items).
+    pub const SERVE_RETRIEVAL_CANDIDATES: &str = "serve.retrieval.candidates_scored";
+    /// Histogram (fraction): share of the catalog stage 1 pruned away per
+    /// pruned request (`1 − candidates_scored / |V|`).
+    pub const SERVE_RETRIEVAL_PRUNED_FRACTION: &str = "serve.retrieval.pruned_fraction";
+
     /// Counter: requests admitted into a shard queue by the sharded
     /// frontend (`ShardedFrontend::submit` returning `Ok`).
     pub const SERVE_SHARD_ADMITTED_TOTAL: &str = "serve.shard.admitted_total";

@@ -15,6 +15,12 @@
 //!   burst traffic gets full batches.
 //! - [`ModelHandle`] — hot reload by atomic `Arc` swap; in-flight batches
 //!   finish on the snapshot they started with.
+//! - [`RetrievalConfig`] — the two-stage-retrieval dial: stage 1 walks the
+//!   learned cluster DAG ([`causer_core::ClusterEffectCache`] total effects)
+//!   from the user's recent clusters and selects a bounded-mass cluster set;
+//!   stage 2 exact-scores only those clusters' item groups. Exact mode
+//!   (the default) is the golden path; pruned mode trades recall for
+//!   latency and falls back to exact whenever stage 1 finds no signal.
 //! - [`UserStateStore`] — per-user incremental encoder state (the K
 //!   filtered RNN streams plus the Ŵ≡1 fallback, LSTM carry included),
 //!   user-id-sharded with LRU eviction under a byte budget and
@@ -33,6 +39,7 @@ mod frontend;
 mod locks;
 mod queue;
 mod reload;
+mod retrieval;
 mod scorer;
 mod state_store;
 
@@ -41,5 +48,6 @@ pub use frontend::{
 };
 pub use queue::{BatchQueue, QueueConfig, SubmitError};
 pub use reload::ModelHandle;
+pub use retrieval::RetrievalConfig;
 pub use scorer::{BatchScorer, Ranked, ScoreRequest, ServeState};
 pub use state_store::{StateStoreConfig, StoreStats, UserEncoding, UserStateStore};

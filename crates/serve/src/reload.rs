@@ -8,6 +8,7 @@
 //! caches) happens **outside** the lock; the lock is held only for the
 //! pointer swap, so serving never blocks on a reload.
 
+use crate::retrieval::RetrievalConfig;
 use crate::scorer::ServeState;
 use causer_core::{load_model, CauserModel};
 use causer_sync::RwLock;
@@ -35,18 +36,31 @@ pub struct ModelHandle {
     // causer-lint: lock-rank(serve.reload.current, 30)
     current: RwLock<Arc<ServeState>>,
     generation: AtomicU64,
+    /// The retrieval dial every installed snapshot is built with, so a hot
+    /// reload cannot silently reset a pruned deployment to exact (or vice
+    /// versa).
+    retrieval: RetrievalConfig,
 }
 
 impl ModelHandle {
-    /// Wrap a model (builds its serving caches).
+    /// Wrap a model (builds its serving caches). Snapshots score exactly;
+    /// see [`ModelHandle::with_retrieval`] for the pruned mode.
     pub fn new(model: CauserModel) -> Self {
+        ModelHandle::with_retrieval(model, RetrievalConfig::exact())
+    }
+
+    /// [`ModelHandle::new`] with a two-stage-retrieval dial. Every snapshot
+    /// this handle ever installs — including future [`ModelHandle::reload`]s
+    /// — is built with the same `retrieval` config.
+    pub fn with_retrieval(model: CauserModel, retrieval: RetrievalConfig) -> Self {
         ModelHandle {
             current: RwLock::ranked(
                 "serve.reload.current",
                 crate::locks::rank::RELOAD_CURRENT,
-                Arc::new(ServeState::build(model)),
+                Arc::new(ServeState::build_with_retrieval(model, retrieval)),
             ),
             generation: AtomicU64::new(0),
+            retrieval,
         }
     }
 
@@ -63,7 +77,7 @@ impl ModelHandle {
     /// snapshot carries its generation so every response scored against it
     /// can name the model that produced it.
     pub fn install(&self, model: CauserModel) {
-        let mut state = ServeState::build(model);
+        let mut state = ServeState::build_with_retrieval(model, self.retrieval);
         let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
         state.generation = generation;
         *self.current.write().expect("model handle poisoned") = Arc::new(state);

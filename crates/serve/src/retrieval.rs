@@ -1,0 +1,376 @@
+//! Two-stage retrieval: causal-graph-pruned candidate generation.
+//!
+//! Full-catalog scoring is O(|V|) per request — the serving cost that breaks
+//! at production catalog sizes. The learned cluster DAG is a retrieval index
+//! the snapshot already holds: [`ClusterEffectCache`] groups the catalog by
+//! hard cluster and carries the total causal effects `T = Σ_p (W^c)^p`.
+//! Two-stage retrieval turns that structure into a speed feature no
+//! co-occurrence baseline can replicate:
+//!
+//! - **Stage 1 (selection).** The user's recent clusters (the hard clusters
+//!   of the items in the last [`RetrievalConfig::recent_window`] history
+//!   steps) seed a reachability walk over `T`: every cluster accumulates the
+//!   total-effect mass flowing to it from the seeds
+//!   ([`ClusterEffectCache::reachable_mass`]). Reachable clusters are then
+//!   taken in order of `mass × ceiling` — the walk's mass weighted by the
+//!   cluster's static score ceiling (its max item bias, precomputed per
+//!   snapshot) — until the selected *mass* reaches
+//!   [`RetrievalConfig::mass_threshold`] of the whole (or
+//!   [`RetrievalConfig::max_clusters`] caps the count).
+//! - **Stage 2 (exact scoring).** The existing exact scorer runs *only*
+//!   inside the selected clusters' item groups, through the same
+//!   `score_candidates_with_run` / fallback arithmetic as the full-catalog
+//!   path — pruned scores are **bitwise-equal to exact scores on the
+//!   surviving candidates**; pruning changes which items are scored, never
+//!   how.
+//!
+//! **The golden path stays exact.** The default config is
+//! [`RetrievalConfig::exact`]: no selection, no metrics, not a bit of the
+//! serving arithmetic changed. Pruning is an opt-in recall/latency dial.
+//!
+//! **Fallbacks are exact, not empty.** Stage 1 declines to prune — and the
+//! request takes the full exact path — when the (clamped) history is empty,
+//! when the variant is `-causal` (no DAG to walk), or when the user's recent
+//! clusters have no outgoing effects in the learned DAG (zero reachable
+//! mass, e.g. every seed is a DAG sink). A non-exact config therefore never
+//! makes a request *fail*; at worst it makes one slow.
+
+use crate::scorer::ServeState;
+use causer_core::ClusterEffectCache;
+use causer_data::Step;
+use causer_obs::names as obs;
+
+/// The recall/latency dial of two-stage retrieval. The default —
+/// [`RetrievalConfig::exact`] — disables pruning entirely.
+///
+/// ```
+/// use causer_core::{CauserConfig, CauserModel};
+/// use causer_serve::{BatchScorer, RetrievalConfig, ScoreRequest, ServeState};
+/// use causer_tensor::Matrix;
+///
+/// let cfg = CauserConfig::new(4, 6, 3);
+/// let model = CauserModel::new(cfg, Matrix::zeros(6, 3), 7);
+///
+/// // Opt into pruning: keep clusters until 60% of the reachable
+/// // total-effect mass is covered, never more than 4.
+/// let retrieval = RetrievalConfig::pruned(0.6).with_max_clusters(4);
+/// let state = ServeState::build_with_retrieval(model, retrieval);
+///
+/// // Pruned requests go through the ordinary batch API; surviving
+/// // candidates score bitwise-identically to exact full-catalog scoring.
+/// let reqs = vec![ScoreRequest::top_k(0, vec![vec![1], vec![2]], 3)];
+/// let ranked = BatchScorer::new(1).score_batch(&state, &reqs);
+/// assert!(ranked[0].items.len() <= 3);
+///
+/// // `mass_threshold = 1.0` with no cluster cap is exact mode.
+/// assert!(RetrievalConfig::exact().is_exact_for(8));
+/// assert!(!RetrievalConfig::pruned(0.9).is_exact_for(8));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetrievalConfig {
+    /// Stage 1 keeps selecting clusters (strongest reachable mass first)
+    /// until the selected mass reaches this fraction of the total reachable
+    /// mass. `1.0` (the default) disables pruning: every request scores the
+    /// full catalog exactly.
+    pub mass_threshold: f64,
+    /// Hard cap on the clusters stage 1 may select (binds before
+    /// `mass_threshold` when smaller). `usize::MAX` (the default) leaves
+    /// the threshold in charge.
+    pub max_clusters: usize,
+    /// How many of the most recent (clamped) history steps seed the
+    /// reachability walk. Seeds accumulate per item occurrence, so a
+    /// cluster hit three times recently carries three times the seed
+    /// weight.
+    pub recent_window: usize,
+    /// Weight of a seed cluster's *own* mass relative to its strongest
+    /// outgoing total effect (see [`ClusterEffectCache::reachable_mass`]).
+    /// `1.0` means "a recent cluster is as relevant as its strongest
+    /// downstream cluster"; `0.0` retrieves strictly downstream.
+    pub self_affinity: f64,
+}
+
+impl Default for RetrievalConfig {
+    fn default() -> Self {
+        RetrievalConfig::exact()
+    }
+}
+
+impl RetrievalConfig {
+    /// Exact mode: no pruning, the golden path. This is the default.
+    pub fn exact() -> Self {
+        RetrievalConfig {
+            mass_threshold: 1.0,
+            max_clusters: usize::MAX,
+            recent_window: 8,
+            self_affinity: 1.0,
+        }
+    }
+
+    /// Pruned mode at the given mass threshold (clamped to `[0, 1]`), with
+    /// the other knobs at their defaults.
+    pub fn pruned(mass_threshold: f64) -> Self {
+        RetrievalConfig { mass_threshold: mass_threshold.clamp(0.0, 1.0), ..Self::exact() }
+    }
+
+    /// Cap stage-1 selection at `max_clusters` clusters.
+    pub fn with_max_clusters(mut self, max_clusters: usize) -> Self {
+        self.max_clusters = max_clusters;
+        self
+    }
+
+    /// Seed the reachability walk from the last `recent_window` steps.
+    pub fn with_recent_window(mut self, recent_window: usize) -> Self {
+        self.recent_window = recent_window;
+        self
+    }
+
+    /// Set the seed clusters' own-mass weight.
+    pub fn with_self_affinity(mut self, self_affinity: f64) -> Self {
+        self.self_affinity = self_affinity;
+        self
+    }
+
+    /// Is this config exact (never prunes) for a `k`-cluster model?
+    /// `mass_threshold ≥ 1.0` with no binding cluster cap selects every
+    /// cluster, which is defined as — and short-circuits to — the exact
+    /// full-catalog path, bitwise.
+    pub fn is_exact_for(&self, k: usize) -> bool {
+        self.mass_threshold >= 1.0 && self.max_clusters >= k
+    }
+}
+
+/// Pre-registered handles for the `serve.retrieval.*` metrics; `None` while
+/// observability is disabled (or the config is exact) so the scoring path
+/// never touches the registry.
+pub(crate) struct RetrievalMetrics {
+    pruned: causer_obs::Counter,
+    exact: causer_obs::Counter,
+    clusters: causer_obs::Histogram,
+    candidates: causer_obs::Histogram,
+    pruned_fraction: causer_obs::Histogram,
+}
+
+impl RetrievalMetrics {
+    pub(crate) fn new() -> Option<Self> {
+        if !causer_obs::enabled() {
+            return None;
+        }
+        let r = causer_obs::global();
+        Some(RetrievalMetrics {
+            pruned: r.counter(obs::SERVE_RETRIEVAL_PRUNED_TOTAL),
+            exact: r.counter(obs::SERVE_RETRIEVAL_EXACT_TOTAL),
+            clusters: r
+                .histogram(obs::SERVE_RETRIEVAL_CLUSTERS, causer_obs::Buckets::default_count()),
+            candidates: r.histogram(
+                obs::SERVE_RETRIEVAL_CANDIDATES,
+                causer_obs::Buckets::exponential(1.0, 2.0, 17),
+            ),
+            pruned_fraction: r.histogram(
+                obs::SERVE_RETRIEVAL_PRUNED_FRACTION,
+                causer_obs::Buckets::explicit(&[
+                    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0,
+                ]),
+            ),
+        })
+    }
+}
+
+/// Stage 1 for one full-catalog request over an already-clamped, non-empty
+/// history: `Some(selected clusters, ascending)` to prune, `None` to take
+/// the exact path. Counts the request into the recall-mode counters
+/// (`pruned_total` / `exact_total`) whenever a non-exact config is
+/// installed on a causal variant.
+pub(crate) fn plan(state: &ServeState, hist: &[Step]) -> Option<Vec<usize>> {
+    let model = &state.model;
+    if state.retrieval.is_exact_for(model.config.k) || !model.config.variant.use_causal() {
+        return None;
+    }
+    let seeds = recent_seeds(&state.ic.hard_clusters, hist, state.retrieval.recent_window);
+    let selected =
+        select_clusters(&state.effects, &state.cluster_ceilings, &seeds, &state.retrieval);
+    if let Some(m) = &state.retrieval_metrics {
+        match &selected {
+            Some(sel) => {
+                m.pruned.inc();
+                m.clusters.observe(sel.len() as f64);
+            }
+            None => m.exact.inc(),
+        }
+    }
+    selected
+}
+
+/// Record the stage-2 candidate count of one pruned request.
+pub(crate) fn observe_candidates(state: &ServeState, scored: usize) {
+    if let Some(m) = &state.retrieval_metrics {
+        m.candidates.observe(scored as f64);
+        let catalog = state.model.config.num_items.max(1);
+        m.pruned_fraction.observe(1.0 - scored as f64 / catalog as f64);
+    }
+}
+
+/// The seed clusters of a reachability walk: one entry per item occurrence
+/// in the last `window` (clamped) history steps. Items outside the catalog
+/// are ignored.
+pub(crate) fn recent_seeds(hard_clusters: &[usize], hist: &[Step], window: usize) -> Vec<usize> {
+    let mut seeds = Vec::new();
+    for step in hist.iter().rev().take(window) {
+        for &item in step {
+            if let Some(&c) = hard_clusters.get(item) {
+                seeds.push(c);
+            }
+        }
+    }
+    seeds
+}
+
+/// Stage-1 selection proper: rank reachable clusters by `mass × ceiling`
+/// (strongest first; pure mass, then cluster id, breaking ties) and keep
+/// them until the selected **mass** reaches `mass_threshold` of the total
+/// or `max_clusters` caps the count.
+///
+/// The ranking key multiplies two signals: the reachability walk's
+/// total-effect mass (how strongly the user's recent causal context flows
+/// into the cluster) and the cluster's static score ceiling (the best item
+/// bias it holds, floored at 0 — see `ServeState::cluster_ceilings`).
+/// Either signal alone mis-ranks (measured on trained weights): pure mass
+/// front-loads clusters the DAG attends to whose items score poorly, pure
+/// ceiling ignores the user entirely, and mass *density* (mass per member
+/// item) collapses recall by front-loading tiny clusters. With all-zero
+/// ceilings (untrained bias) every key is 0 and the mass tie-break keeps
+/// the pure-mass order. Returns the selection **sorted ascending** (stage 2
+/// scores clusters in ascending order, exactly like the exact path), or
+/// `None` when there is nothing to walk: no seeds, or zero total reachable
+/// mass (recent clusters with no outgoing DAG edges) — the exact fallback.
+pub(crate) fn select_clusters(
+    effects: &ClusterEffectCache,
+    ceilings: &[f64],
+    seeds: &[usize],
+    cfg: &RetrievalConfig,
+) -> Option<Vec<usize>> {
+    if seeds.is_empty() {
+        return None;
+    }
+    let mass = effects.reachable_mass(seeds, cfg.self_affinity);
+    // NaN mass (never produced by finite weights, but the sanitizer is the
+    // guard, not this path) falls back to exact alongside the zero case.
+    let total: f64 = mass.iter().sum();
+    if total.is_nan() || total <= 0.0 {
+        return None;
+    }
+    let key = |c: usize| mass[c] * ceilings.get(c).copied().unwrap_or(0.0);
+    let mut order: Vec<usize> =
+        (0..mass.len()).filter(|&c| mass[c] > 0.0 && !effects.members[c].is_empty()).collect();
+    order.sort_by(|&a, &b| {
+        key(b)
+            .partial_cmp(&key(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(mass[b].partial_cmp(&mass[a]).unwrap_or(std::cmp::Ordering::Equal))
+            .then(a.cmp(&b))
+    });
+    let mut selected = Vec::new();
+    let mut covered = 0.0;
+    for c in order {
+        if selected.len() >= cfg.max_clusters {
+            break;
+        }
+        if !selected.is_empty() && covered >= cfg.mass_threshold * total {
+            break;
+        }
+        covered += mass[c];
+        selected.push(c);
+    }
+    selected.sort_unstable();
+    Some(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causer_core::ItemRelationCache;
+    use causer_tensor::Matrix;
+
+    fn chain_cache() -> ClusterEffectCache {
+        // 0 →(0.5) 1 →(0.4) 2, direct 0 →(0.1) 2; cluster 3 isolated.
+        let mut wc = Matrix::zeros(4, 4);
+        wc.set(0, 1, 0.5);
+        wc.set(1, 2, 0.4);
+        wc.set(0, 2, 0.1);
+        let assign = Matrix::from_fn(4, 4, |i, j| if i == j { 1.0 } else { 0.0 });
+        let rel = ItemRelationCache::build(assign, &wc);
+        ClusterEffectCache::build(&rel, &[0, 1, 2, 3], &wc)
+    }
+
+    // Zero ceilings: the `mass × ceiling` key degenerates and the mass
+    // tie-break alone orders the walk.
+    const FLAT: [f64; 4] = [0.0; 4];
+
+    #[test]
+    fn threshold_walks_mass_strongest_first() {
+        let cache = chain_cache();
+        // Seeding at 0: mass = [0.5, 0.5, 0.3, 0.0] (self = strongest
+        // outgoing). A tiny threshold keeps only the strongest cluster
+        // (tie 0 vs 1 broken by id); a full threshold keeps all reachable.
+        let sel = select_clusters(&cache, &FLAT, &[0], &RetrievalConfig::pruned(0.1));
+        assert_eq!(sel, Some(vec![0]));
+        let sel = select_clusters(&cache, &FLAT, &[0], &RetrievalConfig::pruned(0.999));
+        assert_eq!(sel, Some(vec![0, 1, 2]), "isolated cluster 3 never has mass");
+    }
+
+    #[test]
+    fn ceilings_reweight_the_walk_order() {
+        let cache = chain_cache();
+        // Same walk (mass = [0.5, 0.5, 0.3, 0.0]), but cluster 2's static
+        // ceiling lifts its key above the higher-mass clusters:
+        // keys = [0.05, 0.05, 0.27, 0.0].
+        let ceilings = [0.1, 0.1, 0.9, 0.9];
+        let sel = select_clusters(&cache, &ceilings, &[0], &RetrievalConfig::pruned(0.1));
+        assert_eq!(sel, Some(vec![2]), "high-ceiling cluster selected first");
+        // The threshold still accumulates *mass*: covering 99.9% of 1.3
+        // total mass needs all three reachable clusters regardless of order.
+        let sel = select_clusters(&cache, &ceilings, &[0], &RetrievalConfig::pruned(0.999));
+        assert_eq!(sel, Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn max_clusters_caps_before_threshold() {
+        let cache = chain_cache();
+        let sel = select_clusters(
+            &cache,
+            &FLAT,
+            &[0],
+            &RetrievalConfig::pruned(0.999).with_max_clusters(2),
+        );
+        assert_eq!(sel, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn sink_seeds_fall_back_to_exact() {
+        let cache = chain_cache();
+        // Cluster 3 has no outgoing effects: zero total mass, exact path.
+        assert_eq!(select_clusters(&cache, &FLAT, &[3], &RetrievalConfig::pruned(0.5)), None);
+        // No seeds at all: exact path.
+        assert_eq!(select_clusters(&cache, &FLAT, &[], &RetrievalConfig::pruned(0.5)), None);
+    }
+
+    #[test]
+    fn recent_seeds_respect_window_and_multiplicity() {
+        let hard = vec![0, 1, 2];
+        let hist: Vec<Step> = vec![vec![0], vec![1, 1], vec![2], vec![99]];
+        // Window 2 sees the last two steps only; item 99 is off-catalog.
+        let mut seeds = recent_seeds(&hard, &hist, 2);
+        seeds.sort_unstable();
+        assert_eq!(seeds, vec![2]);
+        let mut seeds = recent_seeds(&hard, &hist, 4);
+        seeds.sort_unstable();
+        assert_eq!(seeds, vec![0, 1, 1, 2], "basket items seed per occurrence");
+    }
+
+    #[test]
+    fn exactness_predicate() {
+        assert!(RetrievalConfig::exact().is_exact_for(8));
+        assert!(RetrievalConfig::pruned(1.0).is_exact_for(8), "clamped threshold 1.0 is exact");
+        assert!(!RetrievalConfig::pruned(1.0).with_max_clusters(4).is_exact_for(8));
+        assert!(RetrievalConfig::pruned(1.0).with_max_clusters(8).is_exact_for(8));
+    }
+}

@@ -19,6 +19,7 @@
 //! - batches fan out over worker threads in contiguous shards (requests are
 //!   independent, so the fan-out cannot change any score).
 
+use crate::retrieval::{self, RetrievalConfig, RetrievalMetrics};
 use crate::state_store::{UserEncoding, UserStateStore};
 use causer_core::{CauserModel, ClusterEffectCache, InferenceCache, ScoreBufs};
 use causer_data::Step;
@@ -74,17 +75,68 @@ pub struct ServeState {
     /// Install counter of the handle that built this snapshot (0 for the
     /// initial model); stamped into every [`Ranked`] scored against it.
     pub generation: u64,
+    /// The two-stage-retrieval dial full-catalog requests score under
+    /// (exact by default — see [`RetrievalConfig`]).
+    pub retrieval: RetrievalConfig,
+    /// Per-cluster static score ceilings (each cluster's max item bias,
+    /// floored at 0): stage 1 ranks reachable clusters by `mass × ceiling`,
+    /// so a cluster whose best item carries no bias evidence cannot outrank
+    /// one that holds plausible top-K items on attention mass alone. All
+    /// zeros (e.g. untrained bias) degrades the order to pure mass.
+    pub(crate) cluster_ceilings: Vec<f64>,
+    /// Pre-resolved `serve.retrieval.*` handles; `None` while observability
+    /// is off or the config is exact.
+    pub(crate) retrieval_metrics: Option<RetrievalMetrics>,
 }
 
 impl ServeState {
     /// Build the serving caches for a model — the expensive step of a
     /// (re)load, recorded as a `serve.state_build` span when observability
-    /// is on.
+    /// is on. Full-catalog requests score exactly; see
+    /// [`ServeState::build_with_retrieval`] for the pruned mode.
     pub fn build(model: CauserModel) -> Self {
+        ServeState::build_with_retrieval(model, RetrievalConfig::exact())
+    }
+
+    /// [`ServeState::build`] with a two-stage-retrieval dial: full-catalog
+    /// requests go through causal-graph-pruned candidate generation
+    /// (stage 1 selects clusters reachable from the user's recent clusters
+    /// in the learned DAG; stage 2 exact-scores only their item groups).
+    /// An exact `retrieval` config reproduces [`ServeState::build`].
+    pub fn build_with_retrieval(model: CauserModel, retrieval: RetrievalConfig) -> Self {
         let _span = causer_obs::span(causer_obs::names::SP_SERVE_STATE_BUILD);
         let ic = model.inference_cache();
         let effects = model.cluster_effect_cache(&ic);
-        ServeState { model, ic, effects, generation: 0 }
+        let retrieval_metrics =
+            if retrieval.is_exact_for(model.config.k) { None } else { RetrievalMetrics::new() };
+        let bias = model.item_bias_matrix();
+        let cluster_ceilings = effects
+            .members
+            .iter()
+            .map(|m| m.iter().fold(0.0f64, |acc, &b| acc.max(bias.get(b, 0))))
+            .collect();
+        ServeState {
+            model,
+            ic,
+            effects,
+            generation: 0,
+            retrieval,
+            retrieval_metrics,
+            cluster_ceilings,
+        }
+    }
+
+    /// Re-dial a built snapshot: same model, same caches, different
+    /// retrieval config. Cheap — nothing is rebuilt — so recall/latency
+    /// sweeps can step the dial without paying a state build per point.
+    pub fn with_retrieval(mut self, retrieval: RetrievalConfig) -> Self {
+        self.retrieval_metrics = if retrieval.is_exact_for(self.model.config.k) {
+            None
+        } else {
+            RetrievalMetrics::new()
+        };
+        self.retrieval = retrieval;
+        self
     }
 }
 
@@ -256,6 +308,9 @@ impl BatchScorer {
 
 /// Score one request end to end (the arithmetic of `score_all`(-subset),
 /// with the per-model caches and reusable scratch buffers of the engine).
+/// Full-catalog requests consult the snapshot's [`RetrievalConfig`]: under
+/// a non-exact config, stage 1 may prune the catalog to the clusters
+/// reachable from the user's recent clusters before exact scoring.
 fn score_one(state: &ServeState, req: &ScoreRequest, bufs: &mut ScoreBufs) -> Ranked {
     match &req.candidates {
         Some(cand) => {
@@ -263,8 +318,20 @@ fn score_one(state: &ServeState, req: &ScoreRequest, bufs: &mut ScoreBufs) -> Ra
             rank(&scores, Some(cand), req.k)
         }
         None => {
-            let scores = score_catalog(state, req.user, &req.history, bufs);
-            rank(&scores, None, req.k)
+            let hist = state.model.clamp_history(&req.history);
+            if hist.is_empty() {
+                // Same all-zero early-out as `score_catalog`, taken here so
+                // empty histories never reach (or get counted by) stage 1.
+                return rank(&vec![0.0; state.model.config.num_items], None, req.k);
+            }
+            if let Some(selected) = retrieval::plan(state, &hist) {
+                let (cand, scores) = score_catalog_pruned(state, req.user, &hist, &selected, bufs);
+                retrieval::observe_candidates(state, cand.len());
+                rank_pruned(&cand, &scores, req.k)
+            } else {
+                let scores = score_catalog(state, req.user, &req.history, bufs);
+                rank(&scores, None, req.k)
+            }
         }
     }
 }
@@ -282,8 +349,19 @@ fn score_one_stateful(
         return score_one(state, req, bufs);
     }
     let model = &state.model;
-    if model.clamp_history(&req.history).is_empty() {
+    let hist = model.clamp_history(&req.history);
+    if hist.is_empty() {
         return rank(&vec![0.0; model.config.num_items], None, req.k);
+    }
+    // Stage 1 runs outside the store's critical section (it reads only the
+    // snapshot); the store still advances every stream — pruning cuts the
+    // *scoring* work, the incremental encoder already cut the encoding work.
+    if let Some(selected) = retrieval::plan(state, &hist) {
+        let ((cand, scores), _warm) = store.with_state(state, req.user, &req.history, |enc| {
+            score_catalog_pruned_from_encoding(state, enc, &selected, bufs)
+        });
+        retrieval::observe_candidates(state, cand.len());
+        return rank_pruned(&cand, &scores, req.k);
     }
     let (scores, _warm) = store.with_state(state, req.user, &req.history, |enc| {
         score_catalog_from_encoding(state, enc, bufs)
@@ -345,6 +423,111 @@ fn score_catalog_from_encoding(
         }
     }
     scores
+}
+
+/// Stage 2 of two-stage retrieval, stateless: exact scoring restricted to
+/// the selected clusters' item groups. Each selected cluster goes through
+/// the *same* per-cluster arithmetic as [`score_catalog`] — the same
+/// `history_run`, the same `score_candidates_with_run`, the same lazy Ŵ≡1
+/// fallback — so every surviving candidate's score is bitwise-equal to its
+/// exact-path score; only catalog coverage changes. The surviving
+/// candidates come back in **cluster-segment order** (stage 1's selection
+/// order, each cluster's ascending member list concatenated), not globally
+/// ascending — [`rank_pruned`] breaks score ties by item id explicitly, so
+/// no reordering pass is needed to match the exact path's lowest-id-first
+/// rule.
+fn score_catalog_pruned(
+    state: &ServeState,
+    user: usize,
+    hist: &[Step],
+    selected: &[usize],
+    bufs: &mut ScoreBufs,
+) -> (Vec<usize>, Vec<f64>) {
+    let model = &state.model;
+    let ic = &state.ic;
+    let total: usize = selected.iter().map(|&c| state.effects.members[c].len()).sum();
+    let mut cand_all = Vec::with_capacity(total);
+    let mut all = Vec::with_capacity(total);
+    let mut fallback_vh: Option<Option<Vec<f64>>> = None;
+    for &c in selected {
+        let cand = &state.effects.members[c];
+        if cand.is_empty() {
+            continue;
+        }
+        let start = all.len();
+        all.resize(start + cand.len(), 0.0);
+        cand_all.extend_from_slice(cand);
+        if let Some(run) = model.history_run(ic, user, hist, Some(c)) {
+            model.score_candidates_with_run(
+                ic,
+                &run,
+                cand,
+                &state.effects.member_assign[c],
+                bufs,
+                &mut all[start..],
+            );
+        } else {
+            let vh = fallback_vh
+                .get_or_insert_with(|| {
+                    model.history_run(ic, user, hist, None).map(|run| model.uniform_vh(&run))
+                })
+                .clone();
+            // A `None` unfiltered run is unreachable for a non-empty
+            // history; the all-zero default matches the exact path.
+            if let Some(vh) = vh {
+                for (slot, &b) in all[start..].iter_mut().zip(cand.iter()) {
+                    *slot = model.score_one_with_vh(&vh, b);
+                }
+            }
+        }
+    }
+    (cand_all, all)
+}
+
+/// Stage 2 of two-stage retrieval from a prepared per-user encoding — the
+/// [`score_catalog_pruned`] arithmetic with every run read out of the
+/// encoding instead of re-encoded, mirroring how
+/// [`score_catalog_from_encoding`] mirrors [`score_catalog`].
+fn score_catalog_pruned_from_encoding(
+    state: &ServeState,
+    enc: &UserEncoding,
+    selected: &[usize],
+    bufs: &mut ScoreBufs,
+) -> (Vec<usize>, Vec<f64>) {
+    let model = &state.model;
+    let total: usize = selected.iter().map(|&c| state.effects.members[c].len()).sum();
+    let mut cand_all = Vec::with_capacity(total);
+    let mut all = Vec::with_capacity(total);
+    let mut fallback_vh: Option<Option<Vec<f64>>> = None;
+    for &c in selected {
+        let cand = &state.effects.members[c];
+        if cand.is_empty() {
+            continue;
+        }
+        let start = all.len();
+        all.resize(start + cand.len(), 0.0);
+        cand_all.extend_from_slice(cand);
+        if let Some(run) = enc.cluster_run(c) {
+            model.score_candidates_with_run(
+                &state.ic,
+                run,
+                cand,
+                &state.effects.member_assign[c],
+                bufs,
+                &mut all[start..],
+            );
+        } else {
+            let vh = fallback_vh
+                .get_or_insert_with(|| enc.unfiltered_run().map(|run| model.uniform_vh(run)))
+                .clone();
+            if let Some(vh) = vh {
+                for (slot, &b) in all[start..].iter_mut().zip(cand.iter()) {
+                    *slot = model.score_one_with_vh(&vh, b);
+                }
+            }
+        }
+    }
+    (cand_all, all)
 }
 
 /// Full-catalog scoring using the precomputed cluster grouping and gathered
@@ -412,11 +595,67 @@ fn score_catalog(
 
 /// Rank scores into a top-`k` response. With `cand` given, `scores[i]`
 /// belongs to item `cand[i]` and the response reports original item ids.
+///
+/// Output-equivalent to `Matrix::top_k_indices` (score descending, ties by
+/// lowest index) but selects instead of sorting: an O(n) partition to the
+/// best `k`, then a sort of just those `k`. The comparator is the same
+/// total order, so the top-`k` is unique and the response is
+/// bitwise-identical to the full sort's — asserted across the golden
+/// serving suites — while the catalog-sized request stops paying
+/// O(n log n) on the thousands of items it will discard. (The full-sort
+/// cost is *not* part of the exact-scoring contract; at 10× catalog scale
+/// it was ~85% of serve latency.)
 fn rank(scores: &[f64], cand: Option<&[usize]>, k: usize) -> Ranked {
-    let top = Matrix::top_k_indices(scores, k);
+    let by = |&a: &usize, &b: &usize| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    };
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k, by);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(by);
     Ranked {
-        items: top.iter().map(|&i| cand.map_or(i, |c| c[i])).collect(),
-        scores: top.iter().map(|&i| scores[i]).collect(),
+        items: idx.iter().map(|&i| cand.map_or(i, |c| c[i])).collect(),
+        scores: idx.iter().map(|&i| scores[i]).collect(),
+        generation: 0,
+        batch: 0,
+    }
+}
+
+/// Rank a pruned candidate set: top-`k` by score, ties broken by **lowest
+/// item id** — the order [`rank`] produces on the exact path, where the
+/// dense index being tie-broken *is* the item id. Pruned candidates arrive
+/// in cluster-segment order (stage 2 skips any reordering pass), so the
+/// tie-break names `cand[i]` explicitly instead of leaning on index order;
+/// member lists are disjoint, so the comparator is a total order and every
+/// correct selection algorithm returns the same top-`k` (NaN falls back to
+/// the same `partial_cmp`-Equal handling as `Matrix::top_k_indices`).
+///
+/// Unlike the exact path's full `top_k_indices` sort — pinned as-is, the
+/// baseline must stay bitwise-unchanged — the pruned path is free to
+/// select: an O(n) partition to the best `k`, then a sort of just those
+/// `k`. Identical output, and the pruned request stops paying
+/// O(n log n) on survivors it will discard anyway.
+fn rank_pruned(cand: &[usize], scores: &[f64], k: usize) -> Ranked {
+    let by = |&a: &usize, &b: &usize| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| cand[a].cmp(&cand[b]))
+    };
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k, by);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(by);
+    Ranked {
+        items: idx.iter().map(|&i| cand[i]).collect(),
+        scores: idx.iter().map(|&i| scores[i]).collect(),
         generation: 0,
         batch: 0,
     }

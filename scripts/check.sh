@@ -34,6 +34,13 @@ cargo test --workspace --release --doc -q
 # the blessed results/lock_graph.txt lands in target/lock_graph.txt.
 cargo run -p causer-lint --release
 
+# Docs consistency is a hard gate for the same reason causer-lint is: pure
+# in-tree checks with no toolchain escape hatch. Metric names documented in
+# docs/OBSERVABILITY.md must exist in causer_obs::names, markdown
+# cross-links (including #anchors) must resolve, and README's crate tree
+# must match crates/ on disk.
+scripts/check_docs.sh
+
 # Numerical-sanitizer passes: the gradcheck fuzz sweep and the golden-metric
 # suite re-run in release with forward/backward finiteness checks armed.
 cargo test -p causer-tensor --release --features sanitize -q

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Docs-consistency gate (wired into scripts/check.sh):
+#
+#   1. every dotted metric/span/event name documented in
+#      docs/OBSERVABILITY.md must exist as a string constant in
+#      `causer_obs::names` (crates/obs/src/lib.rs) — a renamed metric with a
+#      stale doc row fails here, exactly like the golden-schema test fails a
+#      rename without a re-bless;
+#   2. every relative markdown link in docs/*.md, README.md and DESIGN.md
+#      must target an existing file, and an existing heading anchor when a
+#      `#fragment` is given (GitHub slug rules: lowercase, drop punctuation,
+#      spaces to hyphens);
+#   3. the crate rows of README's `crates/` tree must match the workspace
+#      members on disk, both directions — a new crate without a README row
+#      (or a row for a deleted crate) fails.
+#
+# Pure bash + grep/sed; no dependencies beyond the repo itself.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. OBSERVABILITY.md names exist in causer_obs::names ------------------
+known_names=$(sed -n '/pub mod names/,/^}/p' crates/obs/src/lib.rs \
+    | grep -o '"[a-z0-9_.]*"' | tr -d '"' | sort -u)
+doc_names=$(grep -o '`[a-z][a-z0-9_]*\(\.[a-z0-9_]\{1,\}\)\{1,\}`' docs/OBSERVABILITY.md \
+    | tr -d '`' | grep -v '\.\(json\|jsonl\|sh\|md\|rs\|txt\|toml\)$' | sort -u)
+for name in $doc_names; do
+    if ! printf '%s\n' "$known_names" | grep -qx "$name"; then
+        echo "docs/OBSERVABILITY.md documents \`$name\`, absent from causer_obs::names" >&2
+        fail=1
+    fi
+done
+
+# --- 2. markdown cross-links resolve (file and anchor) ---------------------
+# GitHub heading slug: lowercase, strip everything but [a-z0-9 _-], then
+# spaces to hyphens.
+slug() {
+    printf '%s\n' "$1" | tr '[:upper:]' '[:lower:]' \
+        | sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+anchors_of() { # file -> one slug per heading
+    grep -E '^#{1,6} ' "$1" | sed -e 's/^#\{1,6\} //' | while IFS= read -r h; do
+        slug "$h"
+    done
+}
+
+for doc in docs/*.md README.md DESIGN.md; do
+    dir=$(dirname "$doc")
+    # inline links `[text](target)`, skipping absolute URLs; `|| true` because
+    # a doc with no relative links is fine (grep exits 1 on zero matches).
+    targets=$(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed -e 's/^.*](//' -e 's/)$//' \
+        | grep -v '^https\{0,1\}:' | sort -u || true)
+    [ -z "$targets" ] && continue
+    printf '%s\n' "$targets" | while IFS= read -r target; do
+        path=${target%%#*}
+        anchor=""
+        case "$target" in *'#'*) anchor=${target#*#} ;; esac
+        if [ -n "$path" ]; then
+            resolved="$dir/$path"
+        else
+            resolved="$doc" # same-file `#anchor` link
+        fi
+        if [ ! -e "$resolved" ]; then
+            echo "$doc: broken link target \`$target\` (no such file: $resolved)" >&2
+            exit 1
+        fi
+        # no `grep -q`: early exit would SIGPIPE anchors_of and, under
+        # pipefail, turn a found anchor into a false failure.
+        if [ -n "$anchor" ] && ! anchors_of "$resolved" | grep -x "$anchor" >/dev/null; then
+            echo "$doc: broken anchor \`$target\` (no heading slugs to \`#$anchor\` in $resolved)" >&2
+            exit 1
+        fi
+    done || fail=1
+done
+
+# --- 3. README crate tree matches workspace members ------------------------
+readme_crates=$(grep -o '^  [a-z]\{1,\}/' README.md | tr -d ' /' | sort -u)
+disk_crates=$(ls crates | sort)
+if [ "$readme_crates" != "$disk_crates" ]; then
+    echo "README crate tree drifted from crates/ on disk:" >&2
+    diff <(printf '%s\n' "$readme_crates") <(printf '%s\n' "$disk_crates") \
+        | sed 's/^/  /' >&2 || true
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED" >&2
+    exit 1
+fi
+echo "check_docs: ok (obs names, cross-links/anchors, README crate tree)"

@@ -143,6 +143,78 @@ fn serve_path_reproduces_trained_scores_bitwise() {
     }
 }
 
+/// The recall@K harness for two-stage retrieval: on **trained** weights,
+/// sweep the `mass_threshold` dial and measure how much of the exact top-10
+/// survives pruning. Selection at a higher threshold extends the selection
+/// at a lower one (same strongest-first order, later stop), so recall must
+/// be monotone in the dial; `threshold = 1.0` is exact mode and must hit
+/// recall 1.0 with full catalog coverage; and every pruned score must carry
+/// the exact path's bits for its item.
+#[test]
+fn pruned_retrieval_recall_sweep_against_exact_top_k() {
+    let (rec, split) = train_golden_model();
+    let ic = rec.model.inference_cache();
+    let num_items = rec.model.config.num_items;
+    let cases: Vec<_> = split.test.iter().filter(|c| !c.history.is_empty()).take(60).collect();
+    assert!(cases.len() >= 20, "profile too small for a recall sweep");
+    let reference: Vec<Vec<f64>> =
+        cases.iter().map(|c| rec.model.score_all(&ic, c.user, &c.history)).collect();
+    let exact_top: Vec<Vec<usize>> = reference
+        .iter()
+        .map(|scores| causer::tensor::Matrix::top_k_indices(scores, TOP_Z))
+        .collect();
+
+    let reqs: Vec<ScoreRequest> =
+        cases.iter().map(|c| ScoreRequest::top_k(c.user, c.history.clone(), TOP_Z)).collect();
+    let scorer = BatchScorer::new(1);
+    let mut state = ServeState::build(rec.model);
+    let mut prev_recall = -1.0f64;
+    let mut min_candidates = usize::MAX;
+    for threshold in [0.2, 0.5, 0.8, 1.0] {
+        state = state.with_retrieval(causer::serve::RetrievalConfig::pruned(threshold));
+        // Survivor counts come from k = catalog responses; recall from the
+        // top-10 responses users would actually see.
+        let wide: Vec<ScoreRequest> = reqs
+            .iter()
+            .map(|r| ScoreRequest::top_k(r.user, r.history.clone(), num_items))
+            .collect();
+        let survivors = scorer.score_batch(&state, &wide);
+        let ranked = scorer.score_batch(&state, &reqs);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for ((got, exact), exp) in ranked.iter().zip(&exact_top).zip(&reference) {
+            for (item, score) in got.items.iter().zip(&got.scores) {
+                assert_eq!(
+                    exp[*item].to_bits(),
+                    score.to_bits(),
+                    "threshold {threshold}: pruned score for item {item} not exact bits"
+                );
+            }
+            hit += exact.iter().filter(|i| got.items.contains(i)).count();
+            total += exact.len();
+        }
+        let recall = hit as f64 / total as f64;
+        min_candidates =
+            min_candidates.min(survivors.iter().map(|r| r.items.len()).min().unwrap_or(0));
+        assert!(
+            recall >= prev_recall - 1e-12,
+            "recall must be monotone in mass_threshold: {recall} after {prev_recall}"
+        );
+        assert!(recall > 0.0, "threshold {threshold}: pruning lost the entire exact top-10");
+        if threshold >= 1.0 {
+            assert_eq!(recall, 1.0, "threshold 1.0 is exact mode; recall must be 1.0");
+            for r in &survivors {
+                assert_eq!(r.items.len(), num_items, "exact mode must cover the catalog");
+            }
+        }
+        prev_recall = recall;
+    }
+    assert!(
+        min_candidates < num_items,
+        "no threshold pruned a single candidate; the sweep was vacuous"
+    );
+}
+
 /// Bitwise on scalar/sse2; ≤1e-12 relative on avx2, whose blocked kernels
 /// may reassociate across columns (same contract as the serve unit tests).
 fn assert_trained_score(exp: f64, got: f64, what: &str) {

@@ -21,7 +21,8 @@ use causer::data::{simulate, DatasetKind, DatasetProfile};
 use causer::obs;
 use causer::serve::{
     BatchQueue, BatchScorer, FrontendConfig, FrontendRequest, ModelHandle, QueueConfig,
-    ScoreRequest, ShardedFrontend, ShedReason, StateStoreConfig, SubmitError, UserStateStore,
+    RetrievalConfig, ScoreRequest, ServeState, ShardedFrontend, ShedReason, StateStoreConfig,
+    SubmitError, UserStateStore,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -206,6 +207,15 @@ fn exported_metric_names_match_golden_schema() {
     );
     frontend.shutdown();
 
+    // --- Two-stage retrieval: a pruned snapshot pre-resolves every
+    // `serve.retrieval.*` handle, and each full-catalog request it scores is
+    // counted exactly once — pruned (with the candidate histograms) or as an
+    // exact fallback. Exact snapshots (everything above) register nothing.
+    let (pruned_rec, _) = tiny_recommender(SEED + 2);
+    let pruned_state =
+        ServeState::build_with_retrieval(pruned_rec.model, RetrievalConfig::pruned(0.5));
+    scorer.score_batch(&pruned_state, &[ScoreRequest::top_k(case.user, case.history.clone(), 5)]);
+
     let reg = obs::global();
     let by_name: std::collections::HashMap<String, obs::MetricValue> =
         reg.snapshot().into_iter().map(|m| (m.name, m.value)).collect();
@@ -280,6 +290,29 @@ fn exported_metric_names_match_golden_schema() {
             assert_eq!(h.count, 1, "only the delivered reply is timed")
         }
         other => panic!("serve.shard.latency_ms has wrong kind: {other:?}"),
+    }
+    let pruned_plans = match (
+        &by_name[obs::names::SERVE_RETRIEVAL_PRUNED_TOTAL],
+        &by_name[obs::names::SERVE_RETRIEVAL_EXACT_TOTAL],
+    ) {
+        (obs::MetricValue::Counter(p), obs::MetricValue::Counter(e)) => {
+            assert_eq!(p + e, 1, "the one full-catalog request planned exactly once");
+            *p
+        }
+        other => panic!("serve.retrieval counters have wrong kinds: {other:?}"),
+    };
+    for name in [
+        obs::names::SERVE_RETRIEVAL_CLUSTERS,
+        obs::names::SERVE_RETRIEVAL_CANDIDATES,
+        obs::names::SERVE_RETRIEVAL_PRUNED_FRACTION,
+    ] {
+        match &by_name[name] {
+            obs::MetricValue::Histogram(h) => assert_eq!(
+                h.count, pruned_plans,
+                "{name}: observed once per pruned plan, never on exact fallback"
+            ),
+            other => panic!("{name} has wrong kind: {other:?}"),
+        }
     }
 
     // --- The JSONL sink got the per-epoch records and the reload event.
