@@ -1,0 +1,215 @@
+//! `causer-alloc` — a counting allocator shim for allocation-regression
+//! gates.
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and bumps **per-thread**
+//! counters on every heap operation. A test or bench binary installs it as
+//! its `#[global_allocator]` and then brackets the code under measurement
+//! with [`measure`], which returns the [`Snapshot`] delta for the calling
+//! thread only — the libtest harness, other test threads, and background
+//! workers cannot pollute the count.
+//!
+//! The serving tier's steady-state contract ("zero heap allocations per
+//! warm request") is enforced this way by `crates/serve/tests/alloc_gate.rs`
+//! and re-measured by the `serve_incremental` bench's `steady_state_alloc`
+//! section. The shim itself never allocates: counters are `const`-init
+//! thread-locals (no lazy boxing), and every hook is a couple of `Cell`
+//! bumps around the `System` call.
+//!
+//! Counting is thread-local by design. If the measured region hands work to
+//! other threads, their allocations are *not* attributed to the measuring
+//! thread — gates that care must drive the single-threaded entry points
+//! (the serve gate pins `threads: 1` for exactly this reason).
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    /// Calls to `alloc`/`alloc_zeroed` on this thread.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    /// Calls to `realloc` on this thread (growth of an existing block —
+    /// counted separately because a "zero new blocks" gate still wants to
+    /// see a `Vec` quietly doubling).
+    static REALLOCS: Cell<u64> = const { Cell::new(0) };
+    /// Calls to `dealloc` on this thread.
+    static FREES: Cell<u64> = const { Cell::new(0) };
+    /// Bytes requested by `alloc`/`alloc_zeroed`/`realloc` on this thread.
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Bump a thread-local counter, silently skipping during thread teardown
+/// (TLS may already be destroyed when late frees run; losing those counts
+/// is fine — `measure` only ever runs on a live thread).
+fn bump(cell: &'static std::thread::LocalKey<Cell<u64>>, by: u64) {
+    let _ = cell.try_with(|c| c.set(c.get().wrapping_add(by)));
+}
+
+/// A `#[global_allocator]` that delegates to [`System`] and counts every
+/// heap operation in per-thread tallies readable through [`Snapshot`].
+pub struct CountingAlloc;
+
+// The GlobalAlloc contract is inherently unsafe to implement; this shim
+// forwards every call verbatim to std's System allocator and only adds
+// Cell bumps, so System's safety argument carries over unchanged.
+// causer-lint: allow(no-unsafe-outside-simd)
+unsafe impl GlobalAlloc for CountingAlloc {
+    // causer-lint: allow(no-unsafe-outside-simd)
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump(&ALLOCS, 1);
+        bump(&BYTES, layout.size() as u64);
+        System.alloc(layout)
+    }
+
+    // causer-lint: allow(no-unsafe-outside-simd)
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump(&ALLOCS, 1);
+        bump(&BYTES, layout.size() as u64);
+        System.alloc_zeroed(layout)
+    }
+
+    // causer-lint: allow(no-unsafe-outside-simd)
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        bump(&FREES, 1);
+        System.dealloc(ptr, layout)
+    }
+
+    // causer-lint: allow(no-unsafe-outside-simd)
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump(&REALLOCS, 1);
+        bump(&BYTES, new_size as u64);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// A point-in-time (or, via [`Snapshot::delta_since`], an interval) view of
+/// the calling thread's allocation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `alloc` + `alloc_zeroed` calls (new heap blocks).
+    pub allocs: u64,
+    /// `realloc` calls (in-place or moving growth of existing blocks).
+    pub reallocs: u64,
+    /// `dealloc` calls.
+    pub frees: u64,
+    /// Bytes requested across `alloc`/`alloc_zeroed`/`realloc`.
+    pub bytes: u64,
+}
+
+impl Snapshot {
+    /// The calling thread's cumulative counters right now.
+    pub fn current() -> Snapshot {
+        Snapshot {
+            allocs: ALLOCS.with(Cell::get),
+            reallocs: REALLOCS.with(Cell::get),
+            frees: FREES.with(Cell::get),
+            bytes: BYTES.with(Cell::get),
+        }
+    }
+
+    /// The interval delta from `earlier` (an older [`Snapshot::current`])
+    /// to `self`.
+    pub fn delta_since(self, earlier: Snapshot) -> Snapshot {
+        Snapshot {
+            allocs: self.allocs.wrapping_sub(earlier.allocs),
+            reallocs: self.reallocs.wrapping_sub(earlier.reallocs),
+            frees: self.frees.wrapping_sub(earlier.frees),
+            bytes: self.bytes.wrapping_sub(earlier.bytes),
+        }
+    }
+
+    /// Every heap operation that obtained or grew memory (`allocs +
+    /// reallocs`) — the quantity a "zero allocations per request" gate
+    /// asserts on.
+    pub fn acquisitions(self) -> u64 {
+        self.allocs.wrapping_add(self.reallocs)
+    }
+}
+
+/// Run `f` and return its result together with the calling thread's
+/// allocation delta across the call.
+///
+/// Only meaningful when [`CountingAlloc`] is installed as the binary's
+/// `#[global_allocator]`; under any other allocator the delta is all
+/// zeros (the counters never move), which would make a zero-alloc gate
+/// pass vacuously — gates should first assert the shim is live (e.g.
+/// [`measure`] a `Vec` push and require a nonzero count).
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, Snapshot) {
+    let before = Snapshot::current();
+    let out = f();
+    (out, Snapshot::current().delta_since(before))
+}
+
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: CountingAlloc = CountingAlloc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_a_fresh_allocation() {
+        let (v, delta) = measure(|| Vec::<u8>::with_capacity(4096));
+        assert!(delta.allocs >= 1, "fresh Vec must allocate: {delta:?}");
+        assert!(delta.bytes >= 4096, "requested bytes are tallied: {delta:?}");
+        drop(v);
+    }
+
+    #[test]
+    fn pure_arithmetic_is_allocation_free() {
+        let (sum, delta) = measure(|| (0u64..1000).map(|i| i * i).sum::<u64>());
+        assert_eq!(sum, 332_833_500);
+        assert_eq!(delta.acquisitions(), 0, "no heap traffic expected: {delta:?}");
+        assert_eq!(delta.frees, 0);
+    }
+
+    #[test]
+    fn growth_shows_up_as_realloc_or_alloc() {
+        let mut v: Vec<u64> = Vec::with_capacity(4);
+        let (_, delta) = measure(|| {
+            for i in 0..1024u64 {
+                v.push(i);
+            }
+        });
+        assert!(delta.acquisitions() >= 1, "growing past capacity must acquire: {delta:?}");
+    }
+
+    #[test]
+    fn reusing_capacity_is_allocation_free() {
+        let mut v: Vec<u64> = Vec::with_capacity(1024);
+        let (_, delta) = measure(|| {
+            for round in 0..8 {
+                v.clear();
+                for i in 0..1024u64 {
+                    v.push(i + round);
+                }
+            }
+        });
+        assert_eq!(delta.acquisitions(), 0, "clear+push within capacity: {delta:?}");
+    }
+
+    #[test]
+    fn frees_are_counted() {
+        let v: Vec<u8> = Vec::with_capacity(64);
+        let (_, delta) = measure(|| drop(v));
+        assert!(delta.frees >= 1, "dropping a Vec must free: {delta:?}");
+        assert_eq!(delta.acquisitions(), 0);
+    }
+
+    #[test]
+    fn deltas_are_per_thread() {
+        let before = Snapshot::current();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let big: Vec<u8> = Vec::with_capacity(1 << 16);
+                drop(big);
+            });
+        });
+        let delta = Snapshot::current().delta_since(before);
+        // The spawned thread's 64 KiB acquisition lands on *its* tally;
+        // the scope machinery itself may allocate a little here, so assert
+        // on bytes staying far under the worker's traffic rather than zero.
+        assert!(delta.bytes < 1 << 15, "worker-thread bytes leaked into ours: {delta:?}");
+    }
+}

@@ -13,9 +13,16 @@
 //! - **cold seed** — the first stateful request (miss + store charge), i.e.
 //!   the price of an eviction or a brand-new user;
 //! - **steady-state stream** — 16 returning users appending one
-//!   interaction per request, stateful vs stateless req/s.
+//!   interaction per request, stateful vs stateless req/s;
+//! - **steady-state allocations** — the same warm loop driven through
+//!   `score_batch_stateful_into` under the workspace's counting global
+//!   allocator (`crates/alloc`), reporting heap acquisitions and bytes per
+//!   warm request (0 and 0 while the zero-alloc contract of DESIGN.md §14
+//!   holds; the hard gate is `crates/serve/tests/alloc_gate.rs`).
 //!
-//! Warm scores are bitwise-identical to the stateless path (asserted in
+//! Warm scores go through the T-collapsed stream folds, which re-associate
+//! eq. (10)'s step-ordered sums: they match the stateless path to ≤1e-12
+//! relative per score with identical ranked items (asserted in
 //! `crates/serve/tests/state_store.rs` and `tests/golden_metrics.rs`, and
 //! spot-checked here before timing).
 
@@ -26,8 +33,19 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
+/// The whole bench runs under the counting allocator so the steady-state
+/// allocation section measures the real serving loop; it delegates to the
+/// system allocator with one thread-local counter bump per call, far below
+/// the microsecond scales timed here.
+#[global_allocator]
+static ALLOC: causer_alloc::CountingAlloc = causer_alloc::CountingAlloc;
+
 const TOP_K: usize = 10;
-const REPS: usize = 3;
+// Best-of-7: the container's core is shared, so the minimum over enough
+// repetitions is the only stable estimator of the true cost (the mean
+// absorbs neighbor interference; at these microsecond scales a single
+// descheduling doubles an L sample).
+const REPS: usize = 7;
 const LENGTHS: [usize; 4] = [10, 50, 200, 1000];
 const APPENDS: usize = 32;
 const STREAM_USERS: usize = 16;
@@ -96,7 +114,8 @@ fn main() {
         let got = scorer.score_batch_stateful(&state, &store, std::slice::from_ref(&full));
         assert_eq!(expect[0].items, got[0].items, "stateful top-K diverged at L={l}");
         for (a, b) in expect[0].scores.iter().zip(&got[0].scores) {
-            assert_eq!(a.to_bits(), b.to_bits(), "warm scores diverged at L={l}");
+            let tol = 1e-12 * a.abs().max(b.abs()).max(1.0);
+            assert!((a - b).abs() <= tol, "warm score diverged at L={l}: {a} vs {b}");
         }
 
         let stateless_s = time_best(&mut || {
@@ -190,6 +209,77 @@ fn main() {
         stats.evictions,
         stats.entries,
         stats.bytes / 1024
+    );
+
+    // --- Steady-state allocations: the same warm loop, counted instead of
+    // timed. Every request is a fresh one-interaction append (pre-built, so
+    // the counter sees the serving loop, not request construction). Warm-up
+    // rounds seed the store and grow every pooled buffer to steady-state
+    // size; the measured rounds must then stay off the heap entirely.
+    const ALLOC_WARMUP_ROUNDS: usize = 3;
+    const ALLOC_MEASURED_ROUNDS: usize = 8;
+    let seed_reqs: Vec<ScoreRequest> = streams
+        .iter()
+        .enumerate()
+        .map(|(u, hist)| ScoreRequest::top_k(u, hist.clone(), TOP_K))
+        .collect();
+    let append_round = |streams: &mut Vec<Vec<Vec<usize>>>, rng: &mut StdRng| {
+        (0..STREAM_USERS)
+            .map(|u| {
+                streams[u].push(vec![rng.gen_range(0..num_items)]);
+                ScoreRequest::top_k(u, streams[u].clone(), TOP_K)
+            })
+            .collect::<Vec<ScoreRequest>>()
+    };
+    let warmup_rounds: Vec<Vec<ScoreRequest>> =
+        (0..ALLOC_WARMUP_ROUNDS).map(|_| append_round(&mut streams, &mut rng)).collect();
+    let measured_rounds: Vec<Vec<ScoreRequest>> =
+        (0..ALLOC_MEASURED_ROUNDS).map(|_| append_round(&mut streams, &mut rng)).collect();
+
+    let store = UserStateStore::new(StateStoreConfig::default());
+    let mut replies: Vec<causer_serve::Ranked> = Vec::new();
+    scorer.score_batch_stateful_into(&state, &store, &seed_reqs, &mut replies);
+    for round in &warmup_rounds {
+        for req in round {
+            scorer.score_batch_stateful_into(
+                &state,
+                &store,
+                std::slice::from_ref(req),
+                &mut replies,
+            );
+        }
+    }
+    let warm_before = store.stats();
+    let (_, delta) = causer_alloc::measure(|| {
+        for round in &measured_rounds {
+            for req in round {
+                scorer.score_batch_stateful_into(
+                    &state,
+                    &store,
+                    std::slice::from_ref(req),
+                    &mut replies,
+                );
+            }
+        }
+    });
+    let warm_after = store.stats();
+    let measured = (ALLOC_MEASURED_ROUNDS * STREAM_USERS) as f64;
+    println!(
+        "\nsteady-state allocations ({} warm append requests measured after {} warm-up rounds):",
+        ALLOC_MEASURED_ROUNDS * STREAM_USERS,
+        ALLOC_WARMUP_ROUNDS
+    );
+    println!(
+        "  {:.4} heap acquisitions/request, {:.1} bytes/request \
+         ({} allocs, {} reallocs, {} frees, {} bytes total; \
+         {} misses in the measured window)",
+        delta.acquisitions() as f64 / measured,
+        delta.bytes as f64 / measured,
+        delta.allocs,
+        delta.reallocs,
+        delta.frees,
+        delta.bytes,
+        warm_after.misses - warm_before.misses
     );
 }
 

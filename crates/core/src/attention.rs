@@ -3,7 +3,7 @@
 //! applied to the causally filtered history to discriminate the importance
 //! of items that are already causes of the target.
 
-use causer_tensor::{init, Graph, Matrix, NodeId, ParamId, ParamSet};
+use causer_tensor::{init, simd, Graph, Matrix, NodeId, ParamId, ParamSet};
 use rand::Rng;
 
 /// Learned bilinear attention with projection `A ∈ R^{d_h × d_h}`.
@@ -40,8 +40,44 @@ impl BilinearAttention {
     pub fn weights_plain(&self, ps: &ParamSet, hs: &Matrix, query: &Matrix) -> Vec<f64> {
         let aq = ps.value(self.a).matmul(&query.transpose()); // d_h × 1
         let scores = hs.matmul(&aq); // T × 1
-        softmax(scores.data())
+        let mut out = Vec::new();
+        softmax_into(scores.data(), &mut out);
+        out
     }
+
+    /// Allocation-free twin of [`BilinearAttention::weights_plain`]: writes
+    /// the weights into `out` (reusing its capacity) and keeps every
+    /// intermediate in `scratch`. The arithmetic — `A·qᵀ` through the same
+    /// dispatched matmul kernels, then the same stable softmax pass — is
+    /// identical, so the results are bitwise-equal to the allocating twin
+    /// (asserted in tests). This is the warm serving path's re-weight.
+    pub fn weights_plain_into(
+        &self,
+        ps: &ParamSet,
+        hs: &Matrix,
+        query: &Matrix,
+        out: &mut Vec<f64>,
+        scratch: &mut AttnScratch,
+    ) {
+        // `query` is 1×d_h; its transpose is the same contiguous buffer
+        // reshaped d_h×1, so a row copy into the scratch column suffices.
+        scratch.qt.assign_from(query.cols(), 1, query.row(0));
+        ps.value(self.a).matmul_into(&scratch.qt, &mut scratch.aq); // d_h × 1
+        hs.matmul_into(&scratch.aq, &mut scratch.scores); // T × 1
+        softmax_into(scratch.scores.data(), out);
+    }
+}
+
+/// Reusable scratch for [`BilinearAttention::weights_plain_into`] — one per
+/// scoring worker, never per user or per stream.
+#[derive(Default)]
+pub struct AttnScratch {
+    /// The query column `qᵀ` (`d_h × 1`).
+    qt: Matrix,
+    /// `A · qᵀ` (`d_h × 1`).
+    aq: Matrix,
+    /// Raw attention scores (`T × 1`).
+    scores: Matrix,
 }
 
 /// Stable softmax over a slice.
@@ -50,6 +86,22 @@ pub fn softmax(scores: &[f64]) -> Vec<f64> {
     let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
     let sum: f64 = exps.iter().sum();
     exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Stable softmax into a reused output buffer, through the dispatched
+/// [`simd::softmax_rows`] kernel as one `1×T` row — the same kernel the
+/// training graph's `softmax_rows` op runs, so the attention weights of
+/// the plain forward and the autodiff forward agree per tier. On the
+/// scalar/sse2 tiers the kernel's max / exp / sum / divide passes are
+/// bitwise-equal to [`softmax`]; the `avx2` tier vectorizes `exp` and
+/// reassociates the denominator within the usual ≤1e-12 tier tolerance.
+/// [`BilinearAttention::weights_plain`] and
+/// [`BilinearAttention::weights_plain_into`] both route here, so the
+/// batch re-encode and the incremental warm path can never disagree.
+pub fn softmax_into(scores: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(scores.len(), 0.0);
+    simd::softmax_rows(scores, 1, scores.len(), out);
 }
 
 #[cfg(test)]
@@ -107,6 +159,25 @@ mod tests {
             let sq = g.mul(pooled, pooled);
             g.sum_all(sq)
         });
+    }
+
+    #[test]
+    fn weights_plain_into_is_bitwise_equal_and_reuses_buffers() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut ps = ParamSet::new();
+        let att = BilinearAttention::new(&mut ps, "att", 6, &mut rng);
+        let mut scratch = AttnScratch::default();
+        let mut out = Vec::new();
+        for t in 1..9usize {
+            let hs = init::uniform(&mut rng, t, 6, 1.5);
+            let q = init::uniform(&mut rng, 1, 6, 1.5);
+            let expect = att.weights_plain(&ps, &hs, &q);
+            att.weights_plain_into(&ps, &hs, &q, &mut out, &mut scratch);
+            assert_eq!(expect.len(), out.len());
+            for (a, b) in expect.iter().zip(out.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "softmax weights must be bitwise equal");
+            }
+        }
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub use causal_graph::{total_effects, ClusterCausalGraph, ClusterEffectCache, It
 pub use causer_rec::CauserRecommender;
 pub use clustering::ClusterModule;
 pub use dynamic::{fit_dynamic_graphs, DynamicGraphConfig, DynamicGraphs};
-pub use model::{CauserConfig, CauserModel, HistoryRun, InferenceCache, ScoreBufs, StreamState};
+pub use model::{
+    CauserConfig, CauserModel, EncodeScratch, HistoryRun, InferenceCache, ScoreBufs, StreamFold,
+    StreamState,
+};
 pub use persistence::{load_model, save_model};
 pub use recommender::{evaluate, PopRecommender, RandomRecommender, SeqRecommender};
 pub use rnn::{Cell, RnnKind};

@@ -15,13 +15,13 @@
 //! paper's inference overhead is only ~1.16× the base model — the η→0 hard
 //! limit of footnote 5).
 
-use crate::attention::BilinearAttention;
+use crate::attention::{AttnScratch, BilinearAttention};
 use crate::causal_graph::{ClusterCausalGraph, ItemRelationCache};
 use crate::clustering::ClusterModule;
-use crate::rnn::{Cell, PlainState, RnnKind};
+use crate::rnn::{Cell, PlainState, RnnKind, StepScratch};
 use crate::variants::CauserVariant;
 use causer_data::Step;
-use causer_tensor::{init, Graph, Matrix, NodeId, ParamId, ParamSet};
+use causer_tensor::{init, simd, Graph, Matrix, NodeId, ParamId, ParamSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -169,6 +169,50 @@ pub struct StreamState {
     /// The prepared run consumed by the scoring helpers; identical to what
     /// [`CauserModel::history_run`] would return over the consumed steps.
     run: HistoryRun,
+    /// T-collapsed attention accumulators (see [`StreamFold`]); refreshed
+    /// together with `run` by [`CauserModel::refresh_stream`] /
+    /// [`CauserModel::ensure_fold`].
+    fold: StreamFold,
+}
+
+/// T-collapsed attention accumulators for one stream: everything the
+/// candidate scorer needs, with the step dimension summed out.
+///
+/// With `C_t = α_t (h_t V)` (the rows of `HistoryRun::c_mat`) and `s_t` the
+/// assignment bags, the per-candidate context of eq. (10) factors as
+///
+/// ```text
+/// vh_b  = ā_b · W^cᵀ · D      with  D  = Σ_t s_tᵀ C_t   (K×d_e)
+/// denom = 1e-8 + ā_b · W^cᵀ · sa   with  sa = Σ_t α_t s_t    (K)
+/// ```
+///
+/// so a warm request scores `n` candidates in `O(n·K·d_e)` regardless of the
+/// stream length. The fold re-associates eq. (10)'s step-ordered sums, so
+/// fold-scored candidates are tolerance-gated (≤1e-12) against the golden
+/// [`CauserModel::score_candidates_with_run`]; `usum`/`alpha_sum` keep step
+/// order and leave the Ŵ≡1 fallback bitwise. Every refresh recomputes the
+/// fold exactly from the append-only `hv` stack (a re-fold per re-weight),
+/// so drift never accumulates across appends.
+#[derive(Clone, Default)]
+pub struct StreamFold {
+    /// `Σ_t s_tᵀ C_t` (`K×d_e`).
+    d: Matrix,
+    /// `Σ_t α_t s_t` (`K`).
+    sa: Vec<f64>,
+    /// `Σ_t C_t` in step order (`d_e`) — the Ŵ≡1 fallback numerator.
+    usum: Vec<f64>,
+    /// `Σ_t α_t` in step order — the Ŵ≡1 fallback denominator.
+    alpha_sum: f64,
+    /// Steps covered by `usum`/`alpha_sum` (the re-weight freshness marker).
+    weight_steps: usize,
+    /// Steps covered by the materialized `c_mat` rows. The re-weight leaves
+    /// `c_mat` stale on purpose: the Ŵ≡1 fallback needs only `usum`, so the
+    /// unfiltered stream never pays the `T×d_e` rescale; the rows are
+    /// materialized by [`CauserModel::ensure_fold`] / [`CauserModel::ensure_run`]
+    /// for consumers that read them.
+    cmat_steps: usize,
+    /// Steps covered by `d`/`sa` (the causal-fold freshness marker).
+    causal_steps: usize,
 }
 
 impl StreamState {
@@ -179,18 +223,75 @@ impl StreamState {
 
     /// The prepared run, or `None` while no step survived the filter — the
     /// exact condition under which [`CauserModel::history_run`] returns
-    /// `None` and scoring falls back to the unfiltered Ŵ≡1 path.
+    /// `None` and scoring falls back to the unfiltered Ŵ≡1 path. Requires
+    /// the `α`-scaled context rows to be materialized
+    /// ([`CauserModel::ensure_fold`] or [`CauserModel::ensure_run`] after
+    /// the re-weight; the eager [`CauserModel::advance_stream`] does both).
     pub fn run(&self) -> Option<&HistoryRun> {
         if self.steps() > 0 {
+            debug_assert!(self.run_is_fresh(), "stale run: refresh_stream + ensure_run first");
             Some(&self.run)
         } else {
             None
         }
     }
 
+    /// Whether `run()`'s view (weights **and** materialized context rows)
+    /// covers every appended step.
+    pub fn run_is_fresh(&self) -> bool {
+        self.weights_are_fresh() && self.fold.cmat_steps == self.steps()
+    }
+
+    /// The T-collapsed accumulators, or `None` while no step survived the
+    /// filter (same fallback condition as [`StreamState::run`]). Requires a
+    /// fresh fold — callers on the deferred path must run
+    /// [`CauserModel::refresh_stream`] + [`CauserModel::ensure_fold`] first.
+    pub fn fold(&self) -> Option<&StreamFold> {
+        if self.steps() > 0 {
+            debug_assert!(self.fold_is_fresh(), "stale fold: refresh_stream + ensure_fold first");
+            Some(&self.fold)
+        } else {
+            None
+        }
+    }
+
+    /// The fold restricted to its Ŵ≡1 half (`usum`/`alpha_sum`), valid after
+    /// [`CauserModel::refresh_stream`] alone — the causal collapse is not
+    /// required. This is what the unfiltered fallback stream exposes.
+    pub fn weights_fold(&self) -> Option<&StreamFold> {
+        if self.steps() > 0 {
+            debug_assert!(self.weights_are_fresh(), "stale weights: refresh_stream first");
+            Some(&self.fold)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the re-weight accumulators cover every appended step.
+    pub fn weights_are_fresh(&self) -> bool {
+        self.fold.weight_steps == self.steps()
+    }
+
+    /// Whether the causal fold covers every appended step.
+    pub fn fold_is_fresh(&self) -> bool {
+        self.weights_are_fresh() && self.fold.causal_steps == self.steps()
+    }
+
     /// The RNN state after the last kept step (exposes the LSTM carry).
     pub fn state(&self) -> &PlainState {
         &self.state
+    }
+
+    /// Reserve capacity for `additional` more kept steps in every growable
+    /// buffer, so subsequent appends within that headroom perform no heap
+    /// allocation (the warm steady-state contract the allocation gate
+    /// enforces).
+    pub fn reserve_steps(&mut self, additional: usize) {
+        self.h_stack.reserve_rows(additional);
+        self.hv.reserve_rows(additional);
+        self.run.c_mat.reserve_rows(additional);
+        self.run.s_bags.reserve_rows(additional);
+        self.run.alpha.reserve(additional);
     }
 
     /// Approximate resident size in bytes — every matrix and vector this
@@ -202,13 +303,43 @@ impl StreamState {
             + self.run.c_mat.len()
             + self.run.s_bags.len()
             + self.run.alpha.len()
+            + self.fold.d.len()
+            + self.fold.sa.len()
+            + self.fold.usum.len()
             + self.state.num_scalars())
     }
 }
 
-/// Reusable scratch matrices for [`CauserModel::score_candidates_with_run`].
-/// One set per scoring thread; reusing them across requests keeps the
-/// serving hot path allocation-free in steady state.
+/// Reusable scratch for the incremental encoder
+/// ([`CauserModel::advance_stream_with`] / [`CauserModel::refresh_stream`]):
+/// the per-step RNN input row, bag/assignment staging, and the RNN and
+/// attention scratch. One per scoring worker — with it, a warm append touches
+/// no allocator.
+#[derive(Default)]
+pub struct EncodeScratch {
+    /// Gathered user embedding row (`1×d_u`).
+    user_row: Matrix,
+    /// Assembled RNN input row (`1×(d2+item_in+d_u)`).
+    x: Matrix,
+    /// Assignment-bag accumulator row (`K`).
+    s_row: Vec<f64>,
+    /// Filtered item bag of the step under construction.
+    bag: Vec<usize>,
+    /// Staging row for the `h·V` projection (`1×d_e`).
+    hv_row: Matrix,
+    /// RNN step scratch.
+    step: StepScratch,
+    /// Attention re-weight scratch.
+    attn: AttnScratch,
+}
+
+/// The request-scoped scratch pool shared by every scoring helper
+/// ([`CauserModel::score_candidates_with_run`],
+/// [`CauserModel::score_candidates_with_fold`],
+/// [`CauserModel::score_items_with`]). One pool per scoring thread; every
+/// buffer is cleared in place and reused across requests, which is what
+/// keeps the serving warm path allocation-free in steady state (the
+/// allocation gate counts on it).
 #[derive(Default)]
 pub struct ScoreBufs {
     /// `S · W^c` (`T×K`).
@@ -219,6 +350,21 @@ pub struct ScoreBufs {
     vh: Matrix,
     /// Gathered assignment rows of the candidate set (`n×K`).
     assign: Matrix,
+    /// `W^cᵀ · D` — the fold's collapsed context map (`K×d_e`).
+    gmat: Matrix,
+    /// `W^cᵀ · sa` — the fold's collapsed denominators (`K`).
+    dw: Vec<f64>,
+    /// Candidate positions grouped by hard cluster (`K` inner vecs, cleared
+    /// in place — never rebuilt).
+    groups: Vec<Vec<usize>>,
+    /// Candidate ids of the group being scored.
+    cand: Vec<usize>,
+    /// Scores of the group being scored (pub so the serving tier can
+    /// take/restore it around `score_candidates_with_*` calls).
+    pub out: Vec<f64>,
+    /// The lazily computed Ŵ≡1 fallback context row (pub for the serving
+    /// tier's shared-fallback scoring).
+    pub fallback_vh: Vec<f64>,
 }
 
 impl ScoreBufs {
@@ -614,13 +760,10 @@ impl CauserModel {
         g.add(total, quad)
     }
 
-    /// Clamp a history to the model's window.
-    pub fn clamp_history(&self, history: &[Step]) -> Vec<Step> {
-        history
-            .iter()
-            .skip(history.len().saturating_sub(self.config.max_history))
-            .cloned()
-            .collect()
+    /// Clamp a history to the model's window. Borrows the tail slice —
+    /// nothing is copied, so per-request clamping costs two integer ops.
+    pub fn clamp_history<'a>(&self, history: &'a [Step]) -> &'a [Step] {
+        &history[history.len().saturating_sub(self.config.max_history)..]
     }
 
     /// The shared Ŵ≡1 context row `vh = Σ_t α_t (h_t V) / Σ_t α_t`, used by
@@ -629,6 +772,17 @@ impl CauserModel {
     pub fn uniform_vh(&self, run: &HistoryRun) -> Vec<f64> {
         let denom: f64 = run.alpha.iter().sum::<f64>().max(1e-8);
         run.c_mat.sum_rows().row(0).iter().map(|&v| v / denom).collect()
+    }
+
+    /// [`CauserModel::uniform_vh`] from a stream's fold, into a reused
+    /// buffer. `usum`/`alpha_sum` are accumulated in step order during
+    /// [`CauserModel::refresh_stream`] — the same order as `sum_rows` /
+    /// `alpha.iter().sum()` — so this is bitwise-equal to `uniform_vh` over
+    /// the stream's run.
+    pub fn uniform_vh_into(&self, fold: &StreamFold, out: &mut Vec<f64>) {
+        let denom = fold.alpha_sum.max(1e-8);
+        out.clear();
+        out.extend(fold.usum.iter().map(|&v| v / denom));
     }
 
     /// Score one candidate against a shared context row.
@@ -690,6 +844,50 @@ impl CauserModel {
         }
     }
 
+    /// Score a cluster group's candidates against a stream's T-collapsed
+    /// fold: `vh = Ā (W^cᵀ D)` and `denom_b = 1e-8 + ā_b (W^cᵀ sa)` —
+    /// `O(n·K·d_e)` for `n` candidates, independent of the stream length.
+    ///
+    /// This re-associates eq. (10)'s step-ordered sums, so scores carry an
+    /// ≤1e-12 tolerance against the golden
+    /// [`CauserModel::score_candidates_with_run`] (asserted by the serve
+    /// equivalence suites and in-bench before timing); ranking consumers are
+    /// insensitive to that at the scale of trained logits.
+    pub fn score_candidates_with_fold(
+        &self,
+        ic: &InferenceCache,
+        fold: &StreamFold,
+        cand: &[usize],
+        cand_assign: &Matrix,
+        bufs: &mut ScoreBufs,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(cand.len(), out.len());
+        debug_assert_eq!(cand_assign.shape(), (cand.len(), self.config.k));
+        let e_out = self.params.value(self.item_out);
+        let bias = self.params.value(self.item_bias);
+        // G = W^cᵀ · D (K×d_e): the whole history collapsed into one
+        // cluster-indexed context map.
+        ic.wc.matmul_tn_into(&fold.d, &mut bufs.gmat);
+        // vh_b = ā_b · G for every candidate at once (n×d_e).
+        cand_assign.matmul_into(&bufs.gmat, &mut bufs.vh);
+        // dw_k = Σ_j wc_{jk} sa_j — the collapsed Ŵ·α denominators.
+        bufs.dw.clear();
+        bufs.dw.resize(self.config.k, 0.0);
+        for (j, &s) in fold.sa.iter().enumerate() {
+            if s == 0.0 {
+                continue;
+            }
+            for (o, &w) in bufs.dw.iter_mut().zip(ic.wc.row(j)) {
+                *o += s * w;
+            }
+        }
+        for (i, (&b, slot)) in cand.iter().zip(out.iter_mut()).enumerate() {
+            let denom = 1e-8 + causer_tensor::simd::dot(cand_assign.row(i), &bufs.dw);
+            *slot = bias.get(b, 0) + causer_tensor::simd::dot(e_out.row(b), bufs.vh.row(i)) / denom;
+        }
+    }
+
     /// Score every item in the catalog for one evaluation case. Returned
     /// scores are pre-sigmoid logits (monotone in probability).
     pub fn score_all(&self, ic: &InferenceCache, user: usize, history: &[Step]) -> Vec<f64> {
@@ -708,66 +906,107 @@ impl CauserModel {
         history: &[Step],
         items: &[usize],
     ) -> Vec<f64> {
-        let hist = self.clamp_history(history);
         let mut scores = vec![0.0f64; items.len()];
+        let mut bufs = ScoreBufs::new();
+        self.score_items_with(ic, user, history, items, &mut bufs, &mut scores);
+        scores
+    }
+
+    /// [`CauserModel::score_items`] against a caller-owned scratch pool and
+    /// output slice — every per-call scratch buffer (the cluster groups,
+    /// gathered candidates, group scores, fallback row) lives in `bufs` and
+    /// is cleared in place rather than rebuilt. The stateless RNN re-encode
+    /// (`history_run`) still allocates; the warm serving path avoids it
+    /// entirely via the stream folds.
+    pub fn score_items_with(
+        &self,
+        ic: &InferenceCache,
+        user: usize,
+        history: &[Step],
+        items: &[usize],
+        bufs: &mut ScoreBufs,
+        scores: &mut [f64],
+    ) {
+        debug_assert_eq!(items.len(), scores.len());
+        let hist = self.clamp_history(history);
+        scores.fill(0.0);
         if hist.is_empty() {
-            return scores;
+            return;
         }
 
         if !self.config.variant.use_causal() {
             // Single unfiltered pattern, Ŵ ≡ 1, shared by all candidates.
-            if let Some(run) = self.history_run(ic, user, &hist, None) {
-                let vh = self.uniform_vh(&run);
+            if let Some(run) = self.history_run(ic, user, hist, None) {
+                self.uniform_vh_row(&run, &mut bufs.fallback_vh);
                 for (slot, &b) in scores.iter_mut().zip(items) {
-                    *slot = self.score_one_with_vh(&vh, b);
+                    *slot = self.score_one_with_vh(&bufs.fallback_vh, b);
                 }
             }
-            return scores;
+            return;
         }
 
         // Group candidate *positions* by hard cluster: candidates of cluster
         // c share the filter mask `P[a, c] > ε`, so at most K RNN runs score
-        // any candidate set.
-        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.config.k];
+        // any candidate set. The group vecs persist in the pool and are
+        // cleared in place — K allocations per call become zero.
+        bufs.groups.resize_with(self.config.k, Vec::new);
+        for g in bufs.groups.iter_mut() {
+            g.clear();
+        }
         for (i, &b) in items.iter().enumerate() {
-            groups[ic.hard_clusters[b]].push(i);
+            bufs.groups[ic.hard_clusters[b]].push(i);
         }
         // Unfiltered fallback (Ŵ ≡ 1) for clusters whose filter empties the
-        // history — computed lazily, shared by all such clusters.
-        let mut fallback_vh: Option<Option<Vec<f64>>> = None;
-        let mut bufs = ScoreBufs::new();
-        let mut out = Vec::new();
+        // history — computed lazily into the pooled row, shared by all such
+        // clusters.
+        let mut fallback: Option<bool> = None;
+        let groups = std::mem::take(&mut bufs.groups);
         for (c, positions) in groups.iter().enumerate() {
             if positions.is_empty() {
                 continue;
             }
-            let cand: Vec<usize> = positions.iter().map(|&i| items[i]).collect();
-            let Some(run) = self.history_run(ic, user, &hist, Some(c)) else {
+            bufs.cand.clear();
+            bufs.cand.extend(positions.iter().map(|&i| items[i]));
+            let Some(run) = self.history_run(ic, user, hist, Some(c)) else {
                 // All steps filtered: fall back to the unfiltered history
                 // with Ŵ ≡ 1, as in training.
-                let vh = fallback_vh
-                    .get_or_insert_with(|| {
-                        self.history_run(ic, user, &hist, None).map(|run| self.uniform_vh(&run))
-                    })
-                    .clone();
-                if let Some(vh) = vh {
-                    for (&i, &b) in positions.iter().zip(&cand) {
-                        scores[i] = self.score_one_with_vh(&vh, b);
+                let has_fallback =
+                    *fallback.get_or_insert_with(|| match self.history_run(ic, user, hist, None) {
+                        Some(run) => {
+                            self.uniform_vh_row(&run, &mut bufs.fallback_vh);
+                            true
+                        }
+                        None => false,
+                    });
+                if has_fallback {
+                    for (&i, &b) in positions.iter().zip(&bufs.cand) {
+                        scores[i] = self.score_one_with_vh(&bufs.fallback_vh, b);
                     }
                 }
                 continue;
             };
-            ic.rel.assignments.select_rows_into(&cand, &mut bufs.assign);
-            out.clear();
-            out.resize(cand.len(), 0.0);
+            ic.rel.assignments.select_rows_into(&bufs.cand, &mut bufs.assign);
+            bufs.out.clear();
+            bufs.out.resize(bufs.cand.len(), 0.0);
             let assign = std::mem::take(&mut bufs.assign);
-            self.score_candidates_with_run(ic, &run, &cand, &assign, &mut bufs, &mut out);
-            bufs.assign = assign;
+            let cand = std::mem::take(&mut bufs.cand);
+            let mut out = std::mem::take(&mut bufs.out);
+            self.score_candidates_with_run(ic, &run, &cand, &assign, bufs, &mut out);
             for (&i, &s) in positions.iter().zip(out.iter()) {
                 scores[i] = s;
             }
+            bufs.assign = assign;
+            bufs.cand = cand;
+            bufs.out = out;
         }
-        scores
+        bufs.groups = groups;
+    }
+
+    /// `uniform_vh` into a reused buffer (same arithmetic/order — bitwise).
+    fn uniform_vh_row(&self, run: &HistoryRun, out: &mut Vec<f64>) {
+        let denom: f64 = run.alpha.iter().sum::<f64>().max(1e-8);
+        out.clear();
+        out.extend(run.c_mat.sum_rows().row(0).iter().map(|&v| v / denom));
     }
 
     /// Plain forward over a history with an optional hard-cluster filter.
@@ -820,12 +1059,27 @@ impl CauserModel {
         step: &[usize],
         filter_cluster: Option<usize>,
     ) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.kept_step_into(ic, step, filter_cluster, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`CauserModel::kept_step`]: filters into a
+    /// reused buffer. Same predicate, same item order.
+    fn kept_step_into(
+        &self,
+        ic: &InferenceCache,
+        step: &[usize],
+        filter_cluster: Option<usize>,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
         match filter_cluster {
             Some(c) => {
                 let eps = self.config.epsilon;
-                step.iter().copied().filter(|&a| ic.rel.w_a_to_cluster(a, c) > eps).collect()
+                out.extend(step.iter().copied().filter(|&a| ic.rel.w_a_to_cluster(a, c) > eps));
             }
-            None => step.to_vec(),
+            None => out.extend_from_slice(step),
         }
     }
 
@@ -840,22 +1094,41 @@ impl CauserModel {
         user_row: &Matrix,
         s_row: &mut [f64],
     ) -> Matrix {
+        let mut x = Matrix::zeros(0, 0);
+        self.step_input_into(ic, bag, user_row, s_row, &mut x);
+        x
+    }
+
+    /// Allocation-free form of [`CauserModel::step_input`]: assembles the
+    /// concatenated input row `[Σ item_embs ∥ Σ item_in ∥ user]` directly
+    /// into `x`'s segments. The per-item accumulation order matches the
+    /// allocating form (and is part of the batch/incremental bitwise
+    /// contract), so the rows are bitwise-equal.
+    fn step_input_into(
+        &self,
+        ic: &InferenceCache,
+        bag: &[usize],
+        user_row: &Matrix,
+        s_row: &mut [f64],
+        x: &mut Matrix,
+    ) {
         let cfg = &self.config;
         let free = self.params.value(self.item_in);
-        let mut x_item = Matrix::zeros(1, cfg.d2);
-        let mut x_free = Matrix::zeros(1, cfg.item_in_dim);
+        x.reset_to(1, cfg.d2 + cfg.item_in_dim + cfg.user_dim);
+        let (x_item, rest) = x.row_mut(0).split_at_mut(cfg.d2);
+        let (x_free, x_user) = rest.split_at_mut(cfg.item_in_dim);
         for &a in bag {
-            for (o, &e) in x_item.row_mut(0).iter_mut().zip(ic.item_embs.row(a)) {
+            for (o, &e) in x_item.iter_mut().zip(ic.item_embs.row(a)) {
                 *o += e;
             }
-            for (o, &e) in x_free.row_mut(0).iter_mut().zip(free.row(a)) {
+            for (o, &e) in x_free.iter_mut().zip(free.row(a)) {
                 *o += e;
             }
             for (o, &w) in s_row.iter_mut().zip(ic.rel.assignments.row(a)) {
                 *o += w;
             }
         }
-        Matrix::hstack(&[&x_item, &x_free, user_row])
+        x_user.copy_from_slice(user_row.row(0));
     }
 
     /// Attention weights over a stacked forward, or the Ŵ≡1-style uniform
@@ -880,6 +1153,7 @@ impl CauserModel {
                 s_bags: Matrix::zeros(0, cfg.k),
                 alpha: Vec::new(),
             },
+            fold: StreamFold::default(),
         }
     }
 
@@ -891,11 +1165,17 @@ impl CauserModel {
     /// equivalence suites assert this on trained weights), because both paths
     /// share [`CauserModel::kept_step`]/[`CauserModel::step_input`], the `h·V`
     /// projection is row-independent, and the attention re-weighting applies
-    /// the same `weights_plain` to the same stacked hidden states.
+    /// the same `weights_plain` arithmetic to the same stacked hidden states.
     ///
     /// Steps emptied by the filter are skipped, preserving the Ŵ≡1 fallback
     /// semantics: a stream that never keeps a step reports `run() == None`,
     /// the same condition under which `history_run` returns `None`.
+    ///
+    /// Convenience eager form of [`CauserModel::advance_stream_with`] +
+    /// [`CauserModel::refresh_stream`] + [`CauserModel::ensure_fold`] with
+    /// one-shot scratch; the serving warm path uses the deferred triple with
+    /// pooled scratch so appends stay allocation-free and streams that no
+    /// request consumes are never re-weighted.
     pub fn advance_stream(
         &self,
         ic: &InferenceCache,
@@ -904,39 +1184,163 @@ impl CauserModel {
         new_steps: &[Step],
         stream: &mut StreamState,
     ) {
-        let mut user_row: Option<Matrix> = None;
-        let mut appended = false;
+        let mut scratch = EncodeScratch::default();
+        self.advance_stream_with(ic, user, filter_cluster, new_steps, stream, &mut scratch);
+        self.refresh_stream(stream, &mut scratch);
+        self.ensure_fold(stream);
+    }
+
+    /// Append `new_steps` to a stream without re-weighting: one RNN step, one
+    /// `h_stack`/`hv` row, and one assignment bag per *kept* step —
+    /// `O(d_h² + d_h·d_e)` each, independent of the stream length, and
+    /// allocation-free once `scratch` and the stream's reserved capacity
+    /// ([`StreamState::reserve_steps`]) are warm. The attention re-weight and
+    /// the T-collapsed fold are left stale; consumers run
+    /// [`CauserModel::refresh_stream`] (and [`CauserModel::ensure_fold`] for
+    /// causal scoring) before reading `run()`/`fold()`.
+    pub fn advance_stream_with(
+        &self,
+        ic: &InferenceCache,
+        user: usize,
+        filter_cluster: Option<usize>,
+        new_steps: &[Step],
+        stream: &mut StreamState,
+        scratch: &mut EncodeScratch,
+    ) {
+        let mut user_selected = false;
         for step in new_steps {
-            let bag = self.kept_step(ic, step, filter_cluster);
-            if bag.is_empty() {
+            self.kept_step_into(ic, step, filter_cluster, &mut scratch.bag);
+            if scratch.bag.is_empty() {
                 continue;
             }
-            let user_row = user_row
-                .get_or_insert_with(|| self.params.value(self.user_emb).select_rows(&[user]));
-            let mut s_row = vec![0.0; self.config.k];
-            let x = self.step_input(ic, &bag, user_row, &mut s_row);
-            stream.state = self.cell.step_plain(&self.params, &x, &stream.state);
+            if !user_selected {
+                self.params
+                    .value(self.user_emb)
+                    .select_rows_into(std::slice::from_ref(&user), &mut scratch.user_row);
+                user_selected = true;
+            }
+            scratch.s_row.clear();
+            scratch.s_row.resize(self.config.k, 0.0);
+            self.step_input_into(
+                ic,
+                &scratch.bag,
+                &scratch.user_row,
+                &mut scratch.s_row,
+                &mut scratch.x,
+            );
+            self.cell.step_plain_into(
+                &self.params,
+                &scratch.x,
+                &mut stream.state,
+                &mut scratch.step,
+            );
             stream.h_stack.push_row(stream.state.h.row(0));
-            let hv_row = stream.state.h.matmul(self.params.value(self.v));
-            stream.hv.push_row(hv_row.row(0));
-            stream.run.s_bags.push_row(&s_row);
-            appended = true;
+            // hv row: h · V through the same matmul kernel as the full
+            // re-encode's `h_stack · V` (row-independent, so appending rows
+            // one at a time is bitwise-identical).
+            stream.state.h.matmul_into(self.params.value(self.v), &mut scratch.hv_row);
+            stream.hv.push_row(scratch.hv_row.row(0));
+            stream.run.s_bags.push_row(&scratch.s_row);
         }
-        if !appended {
+    }
+
+    /// Re-weight a stale stream: recompute the attention weights over the
+    /// whole stack (they depend on the final hidden state, so this is the
+    /// irreducible O(T·d_h) residue of an append) and rebuild the
+    /// step-ordered Ŵ≡1 accumulators in one fused pass over the append-only
+    /// unscaled `hv` stack. The α-scaled context rows `C` are deliberately
+    /// **not** materialized here: the Ŵ≡1 fallback never reads them, so the
+    /// unfiltered stream skips the `T×d_e` rescale entirely. Consumers that
+    /// do need `C` (the causal fold, `run()`) materialize it lazily via
+    /// [`CauserModel::ensure_fold`] / [`CauserModel::ensure_run`].
+    /// Allocation-free given warm scratch/capacity. No-op when the stream
+    /// is already fresh, so redundant calls are cheap.
+    pub fn refresh_stream(&self, stream: &mut StreamState, scratch: &mut EncodeScratch) {
+        let t = stream.steps();
+        if stream.fold.weight_steps == t {
             return;
         }
-        // Attention depends on the final hidden state, so the weights — and
-        // the α-scaled context — are rebuilt over the whole stack. That is
-        // the O(T) residue of an append; the O(T·K) encoder re-runs are gone.
-        let alpha = self.attention_weights(&stream.h_stack, &stream.state);
-        let mut c_mat = stream.hv.clone();
-        for (t, &a) in alpha.iter().enumerate() {
-            for v in c_mat.row_mut(t) {
+        // α over the full stack — same kernels/op order as `weights_plain`,
+        // so the weights stay bitwise-equal to the full re-encode's.
+        if self.config.variant.use_attention() {
+            self.attention.weights_plain_into(
+                &self.params,
+                &stream.h_stack,
+                &stream.state.h,
+                &mut stream.run.alpha,
+                &mut scratch.attn,
+            );
+        } else {
+            stream.run.alpha.clear();
+            stream.run.alpha.resize(t, 1.0);
+        }
+        // Ŵ≡1 fallback accumulators fused over the unscaled stack: each
+        // `α_t·hv_t[j]` term is the same two-rounding multiply-then-add the
+        // explicit `C_t = α_t (h_t V)` rescale plus row summation performed,
+        // in the same ascending-`t` order, so `usum` stays bitwise vs
+        // `uniform_vh` over the full run (the dispatched kernel is bitwise
+        // across tiers — wider tiers only widen column lanes).
+        stream.fold.usum.clear();
+        stream.fold.usum.resize(self.config.item_out_dim, 0.0);
+        simd::weighted_col_sums(
+            stream.hv.data(),
+            t,
+            self.config.item_out_dim,
+            &stream.run.alpha,
+            &mut stream.fold.usum,
+        );
+        stream.fold.alpha_sum = stream.run.alpha.iter().sum();
+        stream.fold.weight_steps = t;
+    }
+
+    /// Materialize the α-scaled context rows `C_t = α_t (h_t V)` from the
+    /// unscaled `hv` stack after a re-weight, giving [`StreamState::run`]
+    /// its fresh view. Requires [`CauserModel::refresh_stream`] first;
+    /// no-op when already materialized. Split out of the re-weight so the
+    /// Ŵ≡1 fallback path — which reads only the fold's `usum`/`alpha_sum` —
+    /// never pays the `T×d_e` rescale.
+    pub fn ensure_run(&self, stream: &mut StreamState) {
+        let t = stream.steps();
+        assert_eq!(stream.fold.weight_steps, t, "ensure_run requires refresh_stream first");
+        if stream.fold.cmat_steps == t {
+            return;
+        }
+        stream.run.c_mat.reset_to(t, self.config.item_out_dim);
+        stream.run.c_mat.data_mut().copy_from_slice(stream.hv.data());
+        for (row, &a) in (0..t).zip(stream.run.alpha.iter()) {
+            for v in stream.run.c_mat.row_mut(row) {
                 *v *= a;
             }
         }
-        stream.run.c_mat = c_mat;
-        stream.run.alpha = alpha;
+        stream.fold.cmat_steps = t;
+    }
+
+    /// Recompute the T-collapsed causal accumulators `D = Σ_t s_tᵀ C_t` and
+    /// `sa = Σ_t α_t s_t` from a re-weighted stream (an exact re-fold — drift
+    /// cannot accumulate across appends). Requires
+    /// [`CauserModel::refresh_stream`] first; no-op when already fresh.
+    /// Skipped entirely for streams only consumed through the Ŵ≡1 fallback
+    /// (the unfiltered stream), whose scoring needs just `usum`/`alpha_sum`.
+    pub fn ensure_fold(&self, stream: &mut StreamState) {
+        let t = stream.steps();
+        assert_eq!(stream.fold.weight_steps, t, "ensure_fold requires refresh_stream first");
+        if stream.fold.causal_steps == t {
+            return;
+        }
+        // The causal fold reads the α-scaled context rows, deferred by
+        // `refresh_stream` — materialize them first (no-op when fresh).
+        self.ensure_run(stream);
+        // D = Sᵀ · C through the dispatched matmul_tn kernel (skips the
+        // zero assignment entries like the golden scorer's Ŵ == 0 skip).
+        stream.run.s_bags.matmul_tn_into(&stream.run.c_mat, &mut stream.fold.d);
+        stream.fold.sa.clear();
+        stream.fold.sa.resize(self.config.k, 0.0);
+        for (row, &a) in (0..t).zip(stream.run.alpha.iter()) {
+            for (o, &s) in stream.fold.sa.iter_mut().zip(stream.run.s_bags.row(row)) {
+                *o += a * s;
+            }
+        }
+        stream.fold.causal_steps = t;
     }
 
     /// Explanation scores of §V-E for a single-item-per-step history:
@@ -1204,6 +1608,123 @@ mod tests {
                     }
                 }
                 _ => panic!("carry presence disagrees"),
+            }
+        }
+    }
+
+    #[test]
+    fn fold_scores_match_golden_within_tolerance() {
+        let history: Vec<Step> =
+            vec![vec![0], vec![1, 2], vec![3], vec![4, 5, 6], vec![7], vec![8, 9], vec![0, 3]];
+        for rnn in [RnnKind::Gru, RnnKind::Lstm] {
+            for variant in CauserVariant::ALL {
+                let model = toy_model(variant, rnn);
+                let ic = model.inference_cache();
+                let cand: Vec<usize> = vec![0, 3, 5, 9];
+                let mut assign = Matrix::zeros(0, 0);
+                ic.rel.assignments.select_rows_into(&cand, &mut assign);
+                for filter in [None, Some(0), Some(1), Some(2)] {
+                    let mut stream = model.new_stream();
+                    model.advance_stream(&ic, 2, filter, &history, &mut stream);
+                    let (Some(run), Some(fold)) = (stream.run(), stream.fold()) else {
+                        continue;
+                    };
+                    let mut bufs = ScoreBufs::new();
+                    let mut golden = vec![0.0; cand.len()];
+                    model.score_candidates_with_run(
+                        &ic,
+                        run,
+                        &cand,
+                        &assign,
+                        &mut bufs,
+                        &mut golden,
+                    );
+                    let mut fast = vec![0.0; cand.len()];
+                    model.score_candidates_with_fold(
+                        &ic, fold, &cand, &assign, &mut bufs, &mut fast,
+                    );
+                    for (g, f) in golden.iter().zip(&fast) {
+                        assert!(
+                            (g - f).abs() <= 1e-12,
+                            "{rnn:?}/{variant:?}/filter={filter:?}: fold {f} vs golden {g}"
+                        );
+                    }
+                    // The Ŵ≡1 fallback row must stay bitwise.
+                    let expect = model.uniform_vh(run);
+                    let mut got = Vec::new();
+                    model.uniform_vh_into(fold, &mut got);
+                    assert_eq!(expect.len(), got.len());
+                    for (a, b) in expect.iter().zip(&got) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "uniform fallback drifted");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_advance_matches_eager_bitwise() {
+        let history: Vec<Step> = vec![vec![0, 1], vec![2], vec![3, 4], vec![5], vec![6, 7]];
+        for rnn in [RnnKind::Gru, RnnKind::Lstm] {
+            let model = toy_model(CauserVariant::Full, rnn);
+            let ic = model.inference_cache();
+            for filter in [None, Some(0), Some(2)] {
+                let mut eager = model.new_stream();
+                let mut lazy = model.new_stream();
+                let mut scratch = EncodeScratch::default();
+                for step in &history {
+                    model.advance_stream(&ic, 1, filter, std::slice::from_ref(step), &mut eager);
+                    model.advance_stream_with(
+                        &ic,
+                        1,
+                        filter,
+                        std::slice::from_ref(step),
+                        &mut lazy,
+                        &mut scratch,
+                    );
+                }
+                // Appends alone leave the re-weight stale (unless nothing was
+                // ever kept, in which case 0 == 0 is trivially fresh).
+                assert_eq!(lazy.weights_are_fresh(), lazy.steps() == 0);
+                model.refresh_stream(&mut lazy, &mut scratch);
+                model.ensure_fold(&mut lazy);
+                assert!(lazy.fold_is_fresh());
+                assert_eq!(eager.steps(), lazy.steps());
+                if let (Some(a), Some(b)) = (eager.run(), lazy.run()) {
+                    assert_run_eq(a, b, "eager-vs-deferred");
+                }
+                if let (Some(a), Some(b)) = (eager.fold(), lazy.fold()) {
+                    for (x, y) in a.d.data().iter().zip(b.d.data()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "fold D");
+                    }
+                    for (x, y) in a.sa.iter().zip(&b.sa) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "fold sa");
+                    }
+                    for (x, y) in a.usum.iter().zip(&b.usum) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "fold usum");
+                    }
+                    assert_eq!(a.alpha_sum.to_bits(), b.alpha_sum.to_bits(), "fold alpha_sum");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_items_with_reuses_pool_and_matches_score_items() {
+        for variant in CauserVariant::ALL {
+            let model = toy_model(variant, RnnKind::Gru);
+            let ic = model.inference_cache();
+            let items = [9usize, 0, 4, 4, 7, 2];
+            let expect = model.score_items(&ic, 2, &toy_history(), &items);
+            let mut bufs = ScoreBufs::new();
+            let mut got = vec![0.0; items.len()];
+            // Two passes over the same pool: results must be identical and
+            // independent of leftover pool contents.
+            for _ in 0..2 {
+                model.score_items_with(&ic, 2, &toy_history(), &items, &mut bufs, &mut got);
+                for (a, b) in expect.iter().zip(&got) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{variant:?}");
+                }
             }
         }
     }

@@ -128,6 +128,43 @@ impl GruCell {
         let cand = cand.map(f64::tanh);
         z.zip_map(h, |zi, hi| (1.0 - zi) * hi).add(&z.hadamard(&cand))
     }
+
+    /// Allocation-free twin of [`GruCell::step_plain`]: advances `h` in
+    /// place (via buffer swap with `scratch`), performing the exact same
+    /// scalar operation sequence so the new hidden state is bitwise-equal
+    /// to the allocating path.
+    pub fn step_plain_into(
+        &self,
+        ps: &ParamSet,
+        x: &Matrix,
+        h: &mut Matrix,
+        scratch: &mut StepScratch,
+    ) {
+        affine_into(ps, x, h, (self.wz, self.uz, self.bz), &mut scratch.g1, &mut scratch.tmp);
+        scratch.g1.map_inplace(causer_tensor::stable_sigmoid); // z
+        affine_into(ps, x, h, (self.wr, self.ur, self.br), &mut scratch.g2, &mut scratch.tmp);
+        scratch.g2.map_inplace(causer_tensor::stable_sigmoid); // r
+        hadamard_into(&scratch.g2, h, &mut scratch.g3); // rh
+        x.matmul_into(ps.value(self.wh), &mut scratch.g4);
+        scratch.g3.matmul_into(ps.value(self.uh), &mut scratch.tmp);
+        scratch.g4.add_scaled(&scratch.tmp, 1.0);
+        add_bias_row(&mut scratch.g4, ps.value(self.bh));
+        scratch.g4.map_inplace(f64::tanh); // cand
+                                           // h' = ((1 − z) ∘ h) + (z ∘ cand), in the same association as the
+                                           // allocating path's zip_map + hadamard + add.
+        scratch.h_new.reset_to(h.rows(), h.cols());
+        for (((o, &zi), &hi), &ci) in scratch
+            .h_new
+            .data_mut()
+            .iter_mut()
+            .zip(scratch.g1.data())
+            .zip(h.data())
+            .zip(scratch.g4.data())
+        {
+            *o = ((1.0 - zi) * hi) + (zi * ci);
+        }
+        std::mem::swap(h, &mut scratch.h_new);
+    }
 }
 
 /// Long short-term memory (Hochreiter & Schmidhuber, 1997).
@@ -237,6 +274,98 @@ impl LstmCell {
         let h_next = o.hadamard(&c_next.map(f64::tanh));
         (h_next, c_next)
     }
+
+    /// Allocation-free twin of [`LstmCell::step_plain`]: advances `h`/`c`
+    /// in place (buffer swap with `scratch`), same scalar operation
+    /// sequence, bitwise-equal results.
+    pub fn step_plain_into(
+        &self,
+        ps: &ParamSet,
+        x: &Matrix,
+        h: &mut Matrix,
+        c: &mut Matrix,
+        scratch: &mut StepScratch,
+    ) {
+        affine_into(ps, x, h, (self.wi, self.ui, self.bi), &mut scratch.g1, &mut scratch.tmp);
+        scratch.g1.map_inplace(causer_tensor::stable_sigmoid); // i
+        affine_into(ps, x, h, (self.wf, self.uf, self.bf), &mut scratch.g2, &mut scratch.tmp);
+        scratch.g2.map_inplace(causer_tensor::stable_sigmoid); // f
+        affine_into(ps, x, h, (self.wo, self.uo, self.bo), &mut scratch.g3, &mut scratch.tmp);
+        scratch.g3.map_inplace(causer_tensor::stable_sigmoid); // o
+        affine_into(ps, x, h, (self.wc, self.uc, self.bc), &mut scratch.g4, &mut scratch.tmp);
+        scratch.g4.map_inplace(f64::tanh); // cand
+                                           // c' = (f ∘ c) + (i ∘ cand), same association as hadamard + add.
+        scratch.c_new.reset_to(c.rows(), c.cols());
+        for ((((o, &fi), &ci), &ii), &gi) in scratch
+            .c_new
+            .data_mut()
+            .iter_mut()
+            .zip(scratch.g2.data())
+            .zip(c.data())
+            .zip(scratch.g1.data())
+            .zip(scratch.g4.data())
+        {
+            *o = (fi * ci) + (ii * gi);
+        }
+        // h' = o ∘ tanh(c').
+        scratch.h_new.reset_to(h.rows(), h.cols());
+        for ((o, &oi), &ci) in
+            scratch.h_new.data_mut().iter_mut().zip(scratch.g3.data()).zip(scratch.c_new.data())
+        {
+            *o = oi * ci.tanh();
+        }
+        std::mem::swap(c, &mut scratch.c_new);
+        std::mem::swap(h, &mut scratch.h_new);
+    }
+}
+
+/// Shared gate pre-activation: `out = x·W + hv·U + b` with the hidden-side
+/// product staged through `tmp`. Mirrors the allocating closures inside the
+/// `step_plain` paths operation-for-operation (matmul kernels, `axpy` with
+/// `alpha = 1.0`, row-bias add), so the result is bitwise-equal.
+fn affine_into(
+    ps: &ParamSet,
+    x: &Matrix,
+    hv: &Matrix,
+    (w, u, b): (ParamId, ParamId, ParamId),
+    out: &mut Matrix,
+    tmp: &mut Matrix,
+) {
+    x.matmul_into(ps.value(w), out);
+    hv.matmul_into(ps.value(u), tmp);
+    out.add_scaled(tmp, 1.0);
+    add_bias_row(out, ps.value(b));
+}
+
+fn add_bias_row(m: &mut Matrix, bias: &Matrix) {
+    for i in 0..m.rows() {
+        for (v, &bv) in m.row_mut(i).iter_mut().zip(bias.row(0)) {
+            *v += bv;
+        }
+    }
+}
+
+fn hadamard_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.shape(), b.shape(), "hadamard_into shape mismatch");
+    out.reset_to(a.rows(), a.cols());
+    for ((o, &x), &y) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+        *o = x * y;
+    }
+}
+
+/// Reusable scratch for the `step_plain_into` paths: four gate buffers, a
+/// staging buffer for the hidden-side matmul, and swap targets for the new
+/// hidden/carry state. One per scoring worker; every buffer keeps its
+/// capacity across steps so the steady state performs no heap allocation.
+#[derive(Default)]
+pub struct StepScratch {
+    g1: Matrix,
+    g2: Matrix,
+    g3: Matrix,
+    g4: Matrix,
+    tmp: Matrix,
+    h_new: Matrix,
+    c_new: Matrix,
 }
 
 /// A unified recurrent cell over [`RnnKind`].
@@ -338,6 +467,27 @@ impl Cell {
             }
         }
     }
+
+    /// Allocation-free twin of [`Cell::step_plain`]: advances `state` in
+    /// place through `scratch`, bitwise-equal to the allocating path.
+    pub fn step_plain_into(
+        &self,
+        ps: &ParamSet,
+        x: &Matrix,
+        state: &mut PlainState,
+        scratch: &mut StepScratch,
+    ) {
+        match self {
+            Cell::Gru(c) => c.step_plain_into(ps, x, &mut state.h, scratch),
+            Cell::Lstm(c) => c.step_plain_into(
+                ps,
+                x,
+                &mut state.h,
+                state.c.as_mut().expect("LSTM state"),
+                scratch,
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -387,6 +537,31 @@ mod tests {
         }
         for (a, b) in g.value(c1).data().iter().zip(pc.data()) {
             assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn step_plain_into_is_bitwise_equal_for_both_kinds() {
+        let mut r = rng();
+        let mut ps = ParamSet::new();
+        for kind in [RnnKind::Gru, RnnKind::Lstm] {
+            let cell = Cell::new(kind, &mut ps, kind.name(), 3, 5, &mut r);
+            let mut scratch = StepScratch::default();
+            let mut state = cell.init_plain_state(1);
+            let mut expect = cell.init_plain_state(1);
+            for _ in 0..6 {
+                let x = init::uniform(&mut r, 1, 3, 1.0);
+                expect = cell.step_plain(&ps, &x, &expect);
+                cell.step_plain_into(&ps, &x, &mut state, &mut scratch);
+                for (a, b) in expect.h.data().iter().zip(state.h.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{} hidden state drifted", kind.name());
+                }
+                if let (Some(ec), Some(sc)) = (expect.c.as_ref(), state.c.as_ref()) {
+                    for (a, b) in ec.data().iter().zip(sc.data()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "LSTM carry drifted");
+                    }
+                }
+            }
         }
     }
 

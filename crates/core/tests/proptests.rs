@@ -157,3 +157,127 @@ fn variants_differ_only_where_expected() {
     assert_eq!(model.filter_history(&cache, &history, 3), history);
     let _ = Matrix::zeros(1, 1);
 }
+
+/// Longer histories with arbitrary chunking for the incremental-stream
+/// property below: the interesting failure modes (stale-fold refresh after
+/// several deferred appends, re-weight over a grown stack) need more than
+/// the 1–4 steps of `history_strategy`.
+fn long_history_strategy(num_items: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..num_items, 1..3)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+        2..9,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The incremental stream contract of DESIGN.md §14, over arbitrary
+    /// histories, filters, and append chunkings: after any sequence of
+    /// deferred appends (`advance_stream_with`) followed by one
+    /// refresh+fold, the stream's run is **bitwise** what `history_run`
+    /// returns over the concatenation (step order is preserved end to end),
+    /// the step-ordered Ŵ≡1 fallback (`uniform_vh_into`) is bitwise too,
+    /// and the T-collapsed causal fold scores every candidate within
+    /// ≤1e-12 relative of `score_candidates_with_run` (the fold
+    /// re-associates eq. (10)'s sums, so bitwise is not promised there).
+    #[test]
+    fn incremental_stream_equivalence_any_chunking(
+        spec in model_strategy(),
+        history in long_history_strategy(8),
+        cuts in prop::collection::vec(0usize..100, 0..3),
+        filter_sel in 0usize..5,
+        flip in prop::bool::ANY,
+    ) {
+        let (model, seed) = build(spec);
+        let k = model.config.k;
+        let history: Vec<Vec<usize>> = history
+            .into_iter()
+            .map(|s| s.into_iter().filter(|&a| a < model.config.num_items).collect())
+            .filter(|s: &Vec<usize>| !s.is_empty())
+            .collect();
+        prop_assume!(!history.is_empty());
+        // The stub proptest has no Option strategy: 4 selects the
+        // unfiltered stream, 0..4 a (wrapped) cluster filter.
+        let filter = (filter_sel < 4).then(|| filter_sel % k);
+        let ic = model.inference_cache();
+        let user = (seed as usize) % model.config.num_users;
+
+        // Split the history at sorted random cut points: each segment is one
+        // deferred append; `flip` toggles eager re-weighting between chunks
+        // (mixing fresh and stale folds across the same stream lifetime).
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (history.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut stream = model.new_stream();
+        let mut scratch = causer_core::EncodeScratch::default();
+        let mut prev = 0usize;
+        for cut in cuts.into_iter().chain([history.len()]) {
+            if cut > prev {
+                model.advance_stream_with(&ic, user, filter, &history[prev..cut], &mut stream, &mut scratch);
+                if flip {
+                    model.refresh_stream(&mut stream, &mut scratch);
+                    model.ensure_fold(&mut stream);
+                }
+                prev = cut;
+            }
+        }
+        model.refresh_stream(&mut stream, &mut scratch);
+        model.ensure_fold(&mut stream);
+
+        let full = model.history_run(&ic, user, &history, filter);
+        match (full, stream.run()) {
+            (None, None) => {} // every step filtered away on both paths
+            (Some(run), Some(got)) => {
+                // Run equality: bitwise, field by field.
+                prop_assert_eq!(run.alpha.len(), got.alpha.len());
+                for (a, b) in run.alpha.iter().zip(&got.alpha) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "alpha diverged");
+                }
+                for (a, b) in run.c_mat.data().iter().zip(got.c_mat.data()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "c_mat diverged");
+                }
+                for (a, b) in run.s_bags.data().iter().zip(got.s_bags.data()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "s_bags diverged");
+                }
+                // Ŵ≡1 fallback: step-ordered accumulators, bitwise.
+                let want_vh = model.uniform_vh(&run);
+                let mut got_vh = Vec::new();
+                model.uniform_vh_into(stream.weights_fold().unwrap(), &mut got_vh);
+                prop_assert_eq!(want_vh.len(), got_vh.len());
+                for (a, b) in want_vh.iter().zip(&got_vh) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "uniform_vh diverged");
+                }
+                // Causal fold scoring: ≤1e-12 relative on every candidate.
+                let cand: Vec<usize> = (0..model.config.num_items).collect();
+                let assign = ic.rel.assignments.select_rows(&cand);
+                let mut bufs = causer_core::ScoreBufs::new();
+                let mut want = vec![0.0; cand.len()];
+                model.score_candidates_with_run(&ic, &run, &cand, &assign, &mut bufs, &mut want);
+                let mut got_scores = vec![0.0; cand.len()];
+                model.score_candidates_with_fold(
+                    &ic,
+                    stream.fold().unwrap(),
+                    &cand,
+                    &assign,
+                    &mut bufs,
+                    &mut got_scores,
+                );
+                for (b, (w, g)) in want.iter().zip(&got_scores).enumerate() {
+                    let tol = 1e-12 * w.abs().max(g.abs()).max(1.0);
+                    prop_assert!(
+                        (w - g).abs() <= tol,
+                        "fold score diverged on item {}: {} vs {}", b, g, w
+                    );
+                }
+            }
+            (full, got) => prop_assert!(
+                false,
+                "fallback condition diverged: history_run {:?} vs stream {:?}",
+                full.is_some(),
+                got.is_some()
+            ),
+        }
+    }
+}

@@ -16,6 +16,7 @@ pub const NO_F32: &str = "no-f32-numeric";
 pub const NO_TRUNC_CAST: &str = "no-truncating-as-cast";
 pub const NO_UNSCOPED_SPAWN: &str = "no-unscoped-spawn";
 pub const NO_PANIC_SERVE: &str = "no-panic-in-serve-hot-path";
+pub const NO_ALLOC_WARM: &str = "no-alloc-in-warm-path";
 pub const NO_PRINTLN: &str = "no-println-in-lib";
 pub const NO_UNSAFE: &str = "no-unsafe-outside-simd";
 pub const OP_COVERAGE: &str = "op-coverage";
@@ -31,6 +32,7 @@ pub const ALL_RULES: &[&str] = &[
     NO_TRUNC_CAST,
     NO_UNSCOPED_SPAWN,
     NO_PANIC_SERVE,
+    NO_ALLOC_WARM,
     NO_PRINTLN,
     NO_UNSAFE,
     OP_COVERAGE,
@@ -240,6 +242,58 @@ fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
     regions.iter().any(|&(s, e)| line >= s && line <= e)
 }
 
+/// 1-based line ranges (inclusive) of functions annotated with a
+/// `// causer-lint: warm-path` comment — the serving tier's zero-alloc
+/// steady-state contract, statically policed by [`NO_ALLOC_WARM`] and
+/// dynamically proven by the counting-allocator gate
+/// (`crates/serve/tests/alloc_gate.rs`).
+///
+/// The marker covers the *next* `fn` item (leading-comment form) or the
+/// `fn` sharing its line (trailing form): the region runs from the `fn`
+/// keyword to the matching close brace of its body.
+pub(crate) fn warm_path_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut regions = Vec::new();
+    for tok in tokens {
+        if !tok.is_comment() || is_doc_comment(&tok.text) {
+            continue;
+        }
+        let Some(idx) = tok.text.find("causer-lint:") else { continue };
+        let directive = tok.text[idx + "causer-lint:".len()..].trim_start();
+        if !directive.starts_with("warm-path") {
+            continue;
+        }
+        // The annotated item: the first `fn` keyword at or after the
+        // marker's line (attributes/visibility between them are fine).
+        let Some(fi) = sig.iter().position(|t| t.is_ident("fn") && t.line >= tok.line) else {
+            continue;
+        };
+        let mut j = fi;
+        while j < sig.len() && !sig[j].is_punct('{') {
+            j += 1;
+        }
+        if j == sig.len() {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut end_line = sig[j].line;
+        while j < sig.len() {
+            if sig[j].is_punct('{') {
+                depth += 1;
+            } else if sig[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    end_line = sig[j].line;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        regions.push((sig[fi].line, end_line));
+    }
+    regions
+}
+
 /// Lint one file's source. This is the whole per-file pipeline: lex, find
 /// test regions and suppressions, run every rule scoped to this file.
 pub fn lint_file(ctx: &FileCtx, src: &str) -> Vec<Finding> {
@@ -249,6 +303,7 @@ pub fn lint_file(ctx: &FileCtx, src: &str) -> Vec<Finding> {
     let tokens = lex(src);
     let suppress = Suppressions::collect(&tokens);
     let tests = test_regions(&tokens);
+    let warm = warm_path_regions(&tokens);
     let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
 
     let mut findings = Vec::new();
@@ -368,6 +423,73 @@ pub fn lint_file(ctx: &FileCtx, src: &str) -> Vec<Finding> {
                         tok.text
                     ),
                 );
+            }
+        }
+
+        // no-alloc-in-warm-path: inside a fn annotated `// causer-lint:
+        // warm-path`, the fresh-allocation idioms are banned — the warm
+        // serving path's contract is zero heap allocations per request
+        // (the counting-allocator gate is the dynamic proof; this rule
+        // catches the regression at review time). Buffers must come from
+        // the request pool / encoder scratch; genuinely cold branches
+        // justify themselves with an allow comment.
+        if in_regions(&warm, tok.line) {
+            let allocating_macro = matches!(tok.text.as_str(), "vec" | "format")
+                && tok.kind == TokKind::Ident
+                && sig.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if allocating_macro {
+                emit(
+                    NO_ALLOC_WARM,
+                    tok.line,
+                    format!(
+                        "`{}!` in a warm-path fn allocates; reuse a pooled buffer \
+                         (zero-alloc steady-state contract, see DESIGN.md §14)",
+                        tok.text
+                    ),
+                );
+            }
+            let constructor = matches!(
+                tok.text.as_str(),
+                "Vec" | "Box" | "String" | "HashMap" | "BTreeMap" | "VecDeque"
+            ) && tok.kind == TokKind::Ident
+                && sig.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && sig.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && sig.get(i + 3).is_some_and(|t| {
+                    t.kind == TokKind::Ident
+                        && matches!(t.text.as_str(), "new" | "with_capacity" | "from")
+                });
+            if constructor {
+                emit(
+                    NO_ALLOC_WARM,
+                    tok.line,
+                    format!(
+                        "`{}::{}` in a warm-path fn allocates; check a buffer out of the \
+                         request pool instead (zero-alloc steady-state contract)",
+                        tok.text,
+                        sig[i + 3].text
+                    ),
+                );
+            }
+            if tok.is_punct('.') {
+                if let Some(name) = sig.get(i + 1) {
+                    let owning_method = name.kind == TokKind::Ident
+                        && matches!(
+                            name.text.as_str(),
+                            "to_vec" | "to_owned" | "to_string" | "collect" | "clone"
+                        );
+                    if owning_method {
+                        emit(
+                            NO_ALLOC_WARM,
+                            name.line,
+                            format!(
+                                "`.{}(...)` in a warm-path fn materialises a fresh owned \
+                                 value; borrow, fill in place, or justify a cold branch \
+                                 with an allow comment",
+                                name.text
+                            ),
+                        );
+                    }
+                }
             }
         }
 
@@ -533,6 +655,62 @@ mod tests {
         assert!(f.iter().all(|f| f.rule == NO_PANIC_SERVE));
         // Outside the serve crate the assert family stays unrestricted.
         assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn warm_path_marker_bans_allocation_idioms() {
+        let src = "\
+// causer-lint: warm-path
+fn warm(xs: &[f64], out: &mut Vec<f64>) {
+    let v = Vec::new();
+    let w = xs.to_vec();
+    let s: Vec<f64> = xs.iter().copied().collect();
+    let b = vec![0.0; 4];
+    let c = out.clone();
+}
+fn cold() -> Vec<f64> { Vec::new() }
+";
+        let f = lint("crates/serve/src/x.rs", src);
+        assert_eq!(f.len(), 5, "Vec::new / to_vec / collect / vec! / clone: {f:?}");
+        assert!(f.iter().all(|f| f.rule == NO_ALLOC_WARM), "{f:?}");
+        assert!(
+            f.iter().all(|f| f.line >= 2 && f.line <= 8),
+            "cold() outside the region must not be flagged: {f:?}"
+        );
+    }
+
+    #[test]
+    fn warm_path_allows_in_place_reuse_and_trailing_marker_form() {
+        // clear/extend/copy_from_slice and indexed writes are the sanctioned
+        // idioms; the trailing-marker form covers the fn on the same line.
+        let src = "\
+fn warm(xs: &[f64], out: &mut Vec<f64>) { // causer-lint: warm-path
+    out.clear();
+    out.extend(xs.iter().copied());
+    out[0] = 1.0;
+}
+";
+        assert!(lint("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn warm_path_escape_hatch_is_the_standard_allow() {
+        let src = "\
+// causer-lint: warm-path
+fn warm(xs: &[f64]) {
+    // cold re-seed branch, runs once per eviction:
+    // causer-lint: allow(no-alloc-in-warm-path)
+    let v = xs.to_vec();
+}
+";
+        assert!(lint("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn warm_path_prose_in_doc_comments_is_inert() {
+        let src = "/// Mark hot fns with `// causer-lint: warm-path`.\n\
+                   fn lib(xs: &[f64]) -> Vec<f64> { xs.to_vec() }\n";
+        assert!(lint("crates/serve/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! and *deleting* a gradcheck for a shipped op resurfaces as a finding.
 
 use causer_lint::audit::audit_op_coverage;
-use causer_lint::rules::{lint_file, FileCtx, NO_UNSAFE, NO_UNWRAP};
+use causer_lint::rules::{lint_file, FileCtx, NO_ALLOC_WARM, NO_UNSAFE, NO_UNWRAP};
 use std::fs;
 
 const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
@@ -11,6 +11,7 @@ const STRINGS: &str = include_str!("fixtures/strings.rs");
 const GRAPH_MISSING: &str = include_str!("fixtures/graph_missing.rs");
 const SUITE_MISSING: &str = include_str!("fixtures/suite_missing.rs");
 const UNSAFE_SITES: &str = include_str!("fixtures/unsafe_sites.rs");
+const WARM_PATH: &str = include_str!("fixtures/warm_path.rs");
 
 /// Lint a fixture as if it lived at a real lib path (fixtures under
 /// `tests/` would otherwise be path-exempt).
@@ -78,6 +79,44 @@ fn unsafe_fixture_is_flagged_outside_simd_and_sanctioned_inside() {
     // The same source under the SIMD backend is entirely sanctioned.
     let findings = lint_as("crates/tensor/src/simd/fixture.rs", UNSAFE_SITES);
     assert!(findings.is_empty(), "simd backend must allow unsafe: {findings:?}");
+}
+
+#[test]
+fn warm_path_fixture_flags_each_banned_idiom_and_nothing_else() {
+    let findings = lint_as("crates/serve/src/fixture.rs", WARM_PATH);
+    // Exactly the five banned idioms inside the annotated fn: the pooled
+    // reuse above them, the allow-justified cold branch, and the whole
+    // unannotated `score_cold` must produce nothing.
+    assert_eq!(findings.len(), 5, "expected the five banned idioms: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == NO_ALLOC_WARM), "{findings:?}");
+    let cold_line = WARM_PATH
+        .lines()
+        .position(|l| l.contains("fn score_cold"))
+        .map(|i| i + 1)
+        .expect("fixture has the unannotated fn");
+    assert!(
+        findings.iter().all(|f| f.line < cold_line),
+        "unannotated fn must be exempt: {findings:?}"
+    );
+}
+
+#[test]
+fn shipped_warm_path_annotations_lint_clean() {
+    // The real serve/core warm-path fns carry the marker; they must hold
+    // the zero-alloc contract under the static rule (the dynamic twin is
+    // crates/serve/tests/alloc_gate.rs).
+    let root = causer_lint::workspace_root();
+    let mut marked_files = 0usize;
+    for rel in ["crates/serve/src/scorer.rs", "crates/serve/src/state_store.rs"] {
+        let src = fs::read_to_string(root.join(rel)).expect("serve sources are readable");
+        if src.contains("causer-lint: warm-path") {
+            marked_files += 1;
+        }
+        let findings = lint_as(rel, &src);
+        let alloc: Vec<_> = findings.iter().filter(|f| f.rule == NO_ALLOC_WARM).collect();
+        assert!(alloc.is_empty(), "{rel}: warm-path allocation findings: {alloc:?}");
+    }
+    assert!(marked_files >= 2, "the serve warm path must carry warm-path markers");
 }
 
 #[test]

@@ -1,0 +1,51 @@
+//! Fixture for the `no-alloc-in-warm-path` rule: one annotated fn mixing
+//! sanctioned in-place reuse with every banned fresh-allocation idiom, a
+//! justified cold branch, and an unannotated neighbour that allocates
+//! freely. Linted from `engine.rs` as if it lived in the serve crate.
+
+/// A request-pool stand-in: the buffers a warm fn is supposed to reuse.
+pub struct Pool {
+    pub scores: Vec<f64>,
+    pub idx: Vec<usize>,
+}
+
+// causer-lint: warm-path
+pub fn score_warm(xs: &[f64], pool: &mut Pool) -> f64 {
+    // Sanctioned: clear + extend + indexed writes reuse pooled capacity.
+    pool.scores.clear();
+    pool.scores.extend(xs.iter().map(|x| x * 2.0));
+    pool.idx.clear();
+    pool.idx.extend(0..xs.len());
+    if pool.scores.first().copied().unwrap_or(0.0) < 0.0 {
+        pool.scores[0] = 0.0;
+    }
+
+    // Banned idiom #1: a fresh Vec.
+    let fresh = Vec::with_capacity(xs.len());
+    // Banned idiom #2: materialising an owned copy.
+    let copied = xs.to_vec();
+    // Banned idiom #3: collect.
+    let doubled: Vec<f64> = xs.iter().map(|x| x + 1.0).collect();
+    // Banned idiom #4: the vec! macro.
+    let zeros = vec![0.0; 4];
+    // Banned idiom #5: clone.
+    let cloned = pool.scores.clone();
+
+    // A justified cold branch uses the standard escape hatch:
+    // causer-lint: allow(no-alloc-in-warm-path)
+    let seeded = xs.to_vec();
+
+    fresh.len() as f64
+        + copied.len() as f64
+        + doubled.len() as f64
+        + zeros.len() as f64
+        + cloned.len() as f64
+        + seeded.len() as f64
+}
+
+/// Unannotated: the rule must not police ordinary functions.
+pub fn score_cold(xs: &[f64]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    out.push(xs.iter().sum());
+    out
+}

@@ -19,6 +19,7 @@ fn rule_names_are_pinned() {
             "no-truncating-as-cast",
             "no-unscoped-spawn",
             "no-panic-in-serve-hot-path",
+            "no-alloc-in-warm-path",
             "no-println-in-lib",
             "no-unsafe-outside-simd",
             "op-coverage",

@@ -178,6 +178,18 @@ pub mod names {
     /// frontend (replies only; sheds are counted, not timed).
     pub const SERVE_SHARD_LATENCY_MS: &str = "serve.shard.latency_ms";
 
+    /// Counter: heap acquisitions (`alloc` + `realloc`) observed by the
+    /// counting-allocator gate across its measured warm steady-state loop.
+    /// Published by `crates/serve/tests/alloc_gate.rs` and the
+    /// `serve_incremental` bench; the gate fails unless this stays 0.
+    pub const SERVE_ALLOC_STEADY_ACQUISITIONS_TOTAL: &str = "serve.alloc.steady_acquisitions_total";
+    /// Counter: bytes requested from the heap across the measured warm
+    /// steady-state loop (0 whenever the acquisitions counter is 0).
+    pub const SERVE_ALLOC_STEADY_BYTES_TOTAL: &str = "serve.alloc.steady_bytes_total";
+    /// Gauge: heap acquisitions per warm request over the measured loop —
+    /// the quantity the zero-alloc contract bounds at exactly 0.
+    pub const SERVE_ALLOC_PER_REQUEST: &str = "serve.alloc.per_request";
+
     /// Event: one record per hot reload, carrying the new `generation`.
     pub const EV_SERVE_RELOAD: &str = "serve.reload";
     /// Event: one record per absorbed frontend worker panic, carrying the

@@ -728,14 +728,16 @@ fn worker_loop(
                             .u("batch", batch_id),
                     );
                 }
-                for p in drained {
-                    shared.deliver(p, Err(ShedReason::Overload));
-                }
+                // Drain the queued orphans *before* delivering the batch's
+                // sheds: a client that resubmits the moment it sees its shed
+                // must land in the restarted shard's queue, not inside the
+                // drain window (the sweep only covers what was queued when
+                // the panic was observed).
                 let orphans: Vec<PendingReq> = {
                     let mut state = shard.state.lock().expect("frontend shard poisoned");
                     state.pending.drain(..).collect()
                 };
-                for p in orphans {
+                for p in drained.into_iter().chain(orphans) {
                     shared.deliver(p, Err(ShedReason::Overload));
                 }
             }

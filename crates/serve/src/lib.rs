@@ -6,10 +6,13 @@
 //! - [`ServeState`] — an immutable model snapshot bundling the inference
 //!   cache and the cluster-level total-causal-effect cache, built once per
 //!   model (per hot reload), reused by every request.
-//! - [`BatchScorer`] — scores whole batches of [`ScoreRequest`]s, reusing
-//!   scratch buffers across the batch and fanning shards out over threads.
-//!   Scores are bitwise-identical to `CauserModel::score_all` /
-//!   `score_items`; tests assert it with `f64::to_bits`.
+//! - [`BatchScorer`] — scores whole batches of [`ScoreRequest`]s, checking
+//!   a [`RequestPool`] of reusable request memory out per worker and fanning
+//!   shards out over threads. Stateless scores are bitwise-identical to
+//!   `CauserModel::score_all` / `score_items` (tests assert it with
+//!   `f64::to_bits`); warm stateful scores go through the T-collapsed
+//!   stream folds and match to ≤1e-12 with zero heap allocations per
+//!   request (certified by the counting-allocator gate).
 //! - [`BatchQueue`] — a bounded submission queue that drains on
 //!   size-or-timeout, so trickle traffic still gets a latency bound and
 //!   burst traffic gets full batches.
@@ -49,5 +52,5 @@ pub use frontend::{
 pub use queue::{BatchQueue, QueueConfig, SubmitError};
 pub use reload::ModelHandle;
 pub use retrieval::RetrievalConfig;
-pub use scorer::{BatchScorer, Ranked, ScoreRequest, ServeState};
+pub use scorer::{BatchScorer, Ranked, RequestPool, ScoreRequest, ServeState};
 pub use state_store::{StateStoreConfig, StoreStats, UserEncoding, UserStateStore};

@@ -33,6 +33,10 @@ pub(crate) mod rank {
     /// `serve.queue.state` — the single [`BatchQueue`](crate::BatchQueue)'s
     /// pending-request state.
     pub const QUEUE_STATE: u32 = 12;
+    /// `serve.scorer.pools` — a [`BatchScorer`](crate::BatchScorer)'s idle
+    /// request-pool list (checkout/checkin only; never held while scoring,
+    /// so it is lock-leaf by construction).
+    pub const SCORER_POOLS: u32 = 15;
     /// `serve.store.shard` — each [`UserStateStore`](crate::UserStateStore)
     /// shard's resident-entry map.
     pub const STORE_SHARD: u32 = 20;

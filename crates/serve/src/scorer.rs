@@ -1,17 +1,28 @@
 //! The batched top-K scorer.
 //!
 //! [`BatchScorer`] scores a whole batch of requests against one immutable
-//! [`ServeState`] snapshot. Per request it reuses the exact per-user scoring
-//! helpers of `causer-core` (`score_candidates_with_run`, `uniform_vh`), so
-//! batched scores are **bitwise-identical** to `CauserModel::score_all` —
-//! the batching wins come from work that is amortized, not approximated:
+//! [`ServeState`] snapshot. The **stateless** paths reuse the exact per-user
+//! scoring helpers of `causer-core` (`score_candidates_with_run`,
+//! `uniform_vh`), so batched stateless scores are **bitwise-identical** to
+//! `CauserModel::score_all`; the **stateful** path scores through the
+//! T-collapsed stream folds (`score_candidates_with_fold`), which
+//! re-associate eq. (10)'s sums and therefore carry an ≤1e-12 tolerance
+//! against the stateless golden path (asserted by the serve equivalence
+//! suites). The batching wins come from work that is amortized, not
+//! approximated:
 //!
 //! - the catalog→cluster grouping and the per-cluster `Ā` gathers live in
 //!   the model-level [`ClusterEffectCache`], built once per snapshot instead
 //!   of once per call;
 //! - the `Ŵ` and context matrices of every cluster group go through the
 //!   blocked `matmul_nt`/`matmul_tn` kernels with scratch buffers reused
-//!   across the whole batch (allocation-free steady state);
+//!   across the whole batch;
+//! - every request-scoped buffer — core scoring scratch, the deferred
+//!   encoder's step scratch, catalog score vectors, rank-selection index,
+//!   reply vectors — lives in a [`RequestPool`] checked out of the scorer
+//!   for the duration of a batch, so the warm stateful steady state performs
+//!   **zero heap allocations per request** (certified by the
+//!   counting-allocator gate in `crates/serve/tests/alloc_gate.rs`);
 //! - for the shared-context paths (the `-causal` variant), the per-user
 //!   context rows of the **whole batch** are stacked into one `B×d_e`
 //!   matrix and scored against the catalog with a single blocked
@@ -19,10 +30,12 @@
 //! - batches fan out over worker threads in contiguous shards (requests are
 //!   independent, so the fan-out cannot change any score).
 
+use crate::locks::rank;
 use crate::retrieval::{self, RetrievalConfig, RetrievalMetrics};
 use crate::state_store::{UserEncoding, UserStateStore};
-use causer_core::{CauserModel, ClusterEffectCache, InferenceCache, ScoreBufs};
+use causer_core::{CauserModel, ClusterEffectCache, EncodeScratch, InferenceCache, ScoreBufs};
 use causer_data::Step;
+use causer_sync::Mutex;
 use causer_tensor::{shard_ranges, Matrix};
 
 /// One scoring request: a user, their history, an optional restriction to a
@@ -60,6 +73,44 @@ pub struct Ranked {
     /// Id of the queue batch that carried the request (0 when scored
     /// outside a queue; stamped by the queue worker).
     pub batch: u64,
+}
+
+impl Ranked {
+    /// An empty reply slot, ready to be filled in place (`rank_into`
+    /// refills `items`/`scores` reusing their capacity).
+    fn blank() -> Self {
+        Ranked { items: Vec::new(), scores: Vec::new(), generation: 0, batch: 0 }
+    }
+}
+
+/// Per-worker pooled request memory: the core scoring scratch
+/// ([`ScoreBufs`]), the deferred encoder's step scratch
+/// ([`EncodeScratch`]), and every request-scoped vector the serving paths
+/// fill — catalog scores, pruned candidate ids/scores, the rank-selection
+/// index. One pool serves one worker for a whole batch and is returned to
+/// the scorer afterwards, so across batches the warm stateful path reuses
+/// all of it and performs zero heap allocations per request.
+#[derive(Default)]
+pub struct RequestPool {
+    /// Core scoring scratch (`Ŵ`, context, fold collapse, group buffers).
+    pub(crate) bufs: ScoreBufs,
+    /// Deferred-encoder scratch (RNN step, attention re-weight buffers).
+    pub(crate) scratch: EncodeScratch,
+    /// Catalog-sized score vector.
+    scores: Vec<f64>,
+    /// Pruned-path surviving candidate ids (cluster-segment order).
+    cand_all: Vec<usize>,
+    /// Pruned-path scores aligned with `cand_all`.
+    pruned: Vec<f64>,
+    /// Rank-selection index buffer.
+    idx: Vec<usize>,
+}
+
+impl RequestPool {
+    /// A fresh, empty pool (buffers grow to steady-state sizes on first use).
+    pub fn new() -> Self {
+        RequestPool::default()
+    }
 }
 
 /// An immutable, shareable model snapshot with every per-model cache the
@@ -159,13 +210,26 @@ impl ServeState {
 /// ```
 pub struct BatchScorer {
     threads: usize,
+    /// Idle request pools, checked out one per worker at batch start and
+    /// returned at batch end — the lock is never held while scoring, so it
+    /// nests with nothing (lock-leaf by construction).
+    // causer-lint: lock-rank(serve.scorer.pools, 15)
+    pools: Mutex<Vec<RequestPool>>,
 }
 
 impl BatchScorer {
     /// A scorer fanning each batch out over `threads` workers (clamped to
     /// at least 1; 1 scores inline on the caller's thread).
     pub fn new(threads: usize) -> Self {
-        BatchScorer { threads: threads.max(1) }
+        let threads = threads.max(1);
+        BatchScorer {
+            threads,
+            pools: Mutex::ranked(
+                "serve.scorer.pools",
+                rank::SCORER_POOLS,
+                Vec::with_capacity(threads),
+            ),
+        }
     }
 
     /// Worker threads this scorer fans batches out over.
@@ -173,23 +237,36 @@ impl BatchScorer {
         self.threads
     }
 
+    /// Take an idle pool (or start a fresh one — first batch only in the
+    /// steady state). The lock is released before any scoring happens.
+    fn checkout(&self) -> RequestPool {
+        self.pools.lock().expect("scorer pool list poisoned").pop().unwrap_or_default()
+    }
+
+    /// Return a pool for the next batch (capacity was pre-reserved, so the
+    /// push itself does not allocate in the steady state).
+    fn checkin(&self, pool: RequestPool) {
+        self.pools.lock().expect("scorer pool list poisoned").push(pool);
+    }
+
     /// Score a batch. `out[i]` answers `reqs[i]`; responses do not depend on
     /// the batch composition or the thread count.
     pub fn score_batch(&self, state: &ServeState, reqs: &[ScoreRequest]) -> Vec<Ranked> {
-        let mut out: Vec<Option<Ranked>> = (0..reqs.len()).map(|_| None).collect();
+        let mut out: Vec<Ranked> = (0..reqs.len()).map(|_| Ranked::blank()).collect();
         if !state.model.config.variant.use_causal() {
             // Ŵ ≡ 1: every user's context collapses to one row — stack the
             // whole batch and hit the catalog with a single blocked matmul.
             self.score_batch_uniform(state, reqs, &mut out);
         } else if self.threads == 1 || reqs.len() == 1 {
-            let mut bufs = ScoreBufs::new();
+            let mut pool = self.checkout();
             for (req, slot) in reqs.iter().zip(out.iter_mut()) {
-                *slot = Some(score_one(state, req, &mut bufs));
+                score_one(state, req, &mut pool, slot);
             }
+            self.checkin(pool);
         } else {
             let ranges = shard_ranges(reqs.len(), self.threads);
             std::thread::scope(|scope| {
-                let mut rest: &mut [Option<Ranked>] = &mut out;
+                let mut rest: &mut [Ranked] = &mut out;
                 let mut offset = 0;
                 for range in ranges {
                     let shard = &reqs[range.clone()];
@@ -197,21 +274,19 @@ impl BatchScorer {
                     rest = tail;
                     offset = range.end;
                     scope.spawn(move || {
-                        let mut bufs = ScoreBufs::new();
+                        let mut pool = self.checkout();
                         for (req, slot) in shard.iter().zip(slots.iter_mut()) {
-                            *slot = Some(score_one(state, req, &mut bufs));
+                            score_one(state, req, &mut pool, slot);
                         }
+                        self.checkin(pool);
                     });
                 }
             });
         }
-        out.into_iter()
-            .map(|r| {
-                let mut r = r.expect("every request scored");
-                r.generation = state.generation;
-                r
-            })
-            .collect()
+        for r in &mut out {
+            r.generation = state.generation;
+        }
+        out
     }
 
     /// Score a batch against a [`UserStateStore`] of per-user incremental
@@ -221,26 +296,48 @@ impl BatchScorer {
     /// re-encode in full and seed the store. Candidate-subset requests keep
     /// the stateless per-request path (their score slots differ).
     ///
-    /// Responses are bitwise-identical to [`BatchScorer::score_batch`] on
-    /// the scalar/sse2 kernel tiers (≤1e-12 on avx2): warm runs are exactly
-    /// the runs a full re-encode would rebuild, and both paths score through
-    /// the same `score_candidates_with_run`/`uniform_vh` helpers.
+    /// Stateful scoring goes through the T-collapsed stream folds
+    /// (`score_candidates_with_fold`), which re-associate eq. (10)'s
+    /// step-ordered sums: responses match [`BatchScorer::score_batch`] to
+    /// ≤1e-12 per score (the uniform Ŵ≡1 fallback stays bitwise). The
+    /// stateless path remains the golden reference; the serve equivalence
+    /// suites and the incremental bench assert the tolerance.
     pub fn score_batch_stateful(
         &self,
         state: &ServeState,
         store: &UserStateStore,
         reqs: &[ScoreRequest],
     ) -> Vec<Ranked> {
-        let mut out: Vec<Option<Ranked>> = (0..reqs.len()).map(|_| None).collect();
+        let mut out = Vec::new();
+        self.score_batch_stateful_into(state, store, reqs, &mut out);
+        out
+    }
+
+    /// [`BatchScorer::score_batch_stateful`] into a caller-owned reply
+    /// buffer: `out` is resized to `reqs.len()` and each slot is refilled in
+    /// place, reusing the `items`/`scores` capacity of whatever replies it
+    /// held before. Driving a warm steady-state loop through this entry
+    /// point performs zero heap allocations per request (the allocation
+    /// gate's certified window).
+    pub fn score_batch_stateful_into(
+        &self,
+        state: &ServeState,
+        store: &UserStateStore,
+        reqs: &[ScoreRequest],
+        out: &mut Vec<Ranked>,
+    ) {
+        out.truncate(reqs.len());
+        out.resize_with(reqs.len(), Ranked::blank);
         if self.threads == 1 || reqs.len() == 1 {
-            let mut bufs = ScoreBufs::new();
+            let mut pool = self.checkout();
             for (req, slot) in reqs.iter().zip(out.iter_mut()) {
-                *slot = Some(score_one_stateful(state, store, req, &mut bufs));
+                score_one_stateful(state, store, req, &mut pool, slot);
             }
+            self.checkin(pool);
         } else {
             let ranges = shard_ranges(reqs.len(), self.threads);
             std::thread::scope(|scope| {
-                let mut rest: &mut [Option<Ranked>] = &mut out;
+                let mut rest: &mut [Ranked] = &mut out[..];
                 let mut offset = 0;
                 for range in ranges {
                     let shard = &reqs[range.clone()];
@@ -248,89 +345,101 @@ impl BatchScorer {
                     rest = tail;
                     offset = range.end;
                     scope.spawn(move || {
-                        let mut bufs = ScoreBufs::new();
+                        let mut pool = self.checkout();
                         for (req, slot) in shard.iter().zip(slots.iter_mut()) {
-                            *slot = Some(score_one_stateful(state, store, req, &mut bufs));
+                            score_one_stateful(state, store, req, &mut pool, slot);
                         }
+                        self.checkin(pool);
                     });
                 }
             });
         }
-        out.into_iter()
-            .map(|r| {
-                let mut r = r.expect("every request scored");
-                r.generation = state.generation;
-                r
-            })
-            .collect()
+        for r in out.iter_mut() {
+            r.generation = state.generation;
+        }
     }
 
     /// The `-causal` fast path: one `uniform_vh` row per user, stacked into
     /// `B×d_e`, then `scores = VH · E_outᵀ` (+ bias) for the full catalog in
     /// one blocked `matmul_nt`. Requests with explicit candidate sets or an
     /// empty history keep the per-request path (their score slots differ).
-    fn score_batch_uniform(
-        &self,
-        state: &ServeState,
-        reqs: &[ScoreRequest],
-        out: &mut [Option<Ranked>],
-    ) {
+    fn score_batch_uniform(&self, state: &ServeState, reqs: &[ScoreRequest], out: &mut [Ranked]) {
         let model = &state.model;
         let mut vh_rows: Vec<Matrix> = Vec::new();
         let mut stacked: Vec<usize> = Vec::new(); // request index per row
-        let mut bufs = ScoreBufs::new();
+        let mut pool = self.checkout();
         for (i, req) in reqs.iter().enumerate() {
             let hist = model.clamp_history(&req.history);
             if req.candidates.is_some() || hist.is_empty() {
-                out[i] = Some(score_one(state, req, &mut bufs));
-            } else if let Some(run) = model.history_run(&state.ic, req.user, &hist, None) {
+                score_one(state, req, &mut pool, &mut out[i]);
+            } else if let Some(run) = model.history_run(&state.ic, req.user, hist, None) {
                 vh_rows.push(Matrix::row_vector(&model.uniform_vh(&run)));
                 stacked.push(i);
             } else {
                 // Unreachable for an unfiltered run over a non-empty history,
                 // but stay aligned with the per-user path: all-zero scores.
-                out[i] = Some(rank(&vec![0.0; model.config.num_items], None, req.k));
+                pool.scores.clear();
+                pool.scores.resize(model.config.num_items, 0.0);
+                rank_into(&pool.scores, None, req.k, &mut pool.idx, &mut out[i]);
             }
         }
         if stacked.is_empty() {
+            self.checkin(pool);
             return;
         }
         let vh = Matrix::vstack(&vh_rows.iter().collect::<Vec<_>>()); // B×d_e
         let dots = vh.matmul_nt(model.item_out_matrix()); // B×|V|
         let bias = model.item_bias_matrix();
         for (r, &i) in stacked.iter().enumerate() {
-            let scores: Vec<f64> =
-                dots.row(r).iter().enumerate().map(|(b, &d)| bias.get(b, 0) + d).collect();
-            out[i] = Some(rank(&scores, None, reqs[i].k));
+            pool.scores.clear();
+            pool.scores.extend(dots.row(r).iter().enumerate().map(|(b, &d)| bias.get(b, 0) + d));
+            rank_into(&pool.scores, None, reqs[i].k, &mut pool.idx, &mut out[i]);
         }
+        self.checkin(pool);
     }
 }
 
 /// Score one request end to end (the arithmetic of `score_all`(-subset),
-/// with the per-model caches and reusable scratch buffers of the engine).
+/// with the per-model caches and the worker's pooled scratch).
 /// Full-catalog requests consult the snapshot's [`RetrievalConfig`]: under
 /// a non-exact config, stage 1 may prune the catalog to the clusters
 /// reachable from the user's recent clusters before exact scoring.
-fn score_one(state: &ServeState, req: &ScoreRequest, bufs: &mut ScoreBufs) -> Ranked {
+fn score_one(state: &ServeState, req: &ScoreRequest, pool: &mut RequestPool, reply: &mut Ranked) {
     match &req.candidates {
         Some(cand) => {
-            let scores = state.model.score_items(&state.ic, req.user, &req.history, cand);
-            rank(&scores, Some(cand), req.k)
+            pool.scores.clear();
+            pool.scores.resize(cand.len(), 0.0);
+            let mut scores = std::mem::take(&mut pool.scores);
+            state.model.score_items_with(
+                &state.ic,
+                req.user,
+                &req.history,
+                cand,
+                &mut pool.bufs,
+                &mut scores,
+            );
+            rank_into(&scores, Some(cand), req.k, &mut pool.idx, reply);
+            pool.scores = scores;
         }
         None => {
             let hist = state.model.clamp_history(&req.history);
             if hist.is_empty() {
                 // Same all-zero early-out as `score_catalog`, taken here so
                 // empty histories never reach (or get counted by) stage 1.
-                return rank(&vec![0.0; state.model.config.num_items], None, req.k);
+                pool.scores.clear();
+                pool.scores.resize(state.model.config.num_items, 0.0);
+                rank_into(&pool.scores, None, req.k, &mut pool.idx, reply);
+                return;
             }
-            if let Some(selected) = retrieval::plan(state, &hist) {
-                let (cand, scores) = score_catalog_pruned(state, req.user, &hist, &selected, bufs);
-                retrieval::observe_candidates(state, cand.len());
-                rank_pruned(&cand, &scores, req.k)
+            if let Some(selected) = retrieval::plan(state, hist) {
+                score_catalog_pruned(state, req.user, hist, &selected, pool);
+                retrieval::observe_candidates(state, pool.cand_all.len());
+                rank_pruned_into(&pool.cand_all, &pool.pruned, req.k, &mut pool.idx, reply);
             } else {
-                let scores = score_catalog(state, req.user, &req.history, bufs);
-                rank(&scores, None, req.k)
+                score_catalog(state, req.user, &req.history, pool);
+                let scores = std::mem::take(&mut pool.scores);
+                rank_into(&scores, None, req.k, &mut pool.idx, reply);
+                pool.scores = scores;
             }
         }
     }
@@ -339,90 +448,116 @@ fn score_one(state: &ServeState, req: &ScoreRequest, bufs: &mut ScoreBufs) -> Ra
 /// Score one request through the state store. Empty (clamped) histories
 /// score all-zero without touching the store — the same early-out as the
 /// stateless path — so no entry is ever seeded for an empty history.
+// causer-lint: warm-path
 fn score_one_stateful(
     state: &ServeState,
     store: &UserStateStore,
     req: &ScoreRequest,
-    bufs: &mut ScoreBufs,
-) -> Ranked {
+    pool: &mut RequestPool,
+    reply: &mut Ranked,
+) {
     if req.candidates.is_some() {
-        return score_one(state, req, bufs);
+        score_one(state, req, pool, reply);
+        return;
     }
     let model = &state.model;
     let hist = model.clamp_history(&req.history);
     if hist.is_empty() {
-        return rank(&vec![0.0; model.config.num_items], None, req.k);
+        pool.scores.clear();
+        pool.scores.resize(model.config.num_items, 0.0);
+        rank_into(&pool.scores, None, req.k, &mut pool.idx, reply);
+        return;
     }
     // Stage 1 runs outside the store's critical section (it reads only the
     // snapshot); the store still advances every stream — pruning cuts the
     // *scoring* work, the incremental encoder already cut the encoding work.
-    if let Some(selected) = retrieval::plan(state, &hist) {
-        let ((cand, scores), _warm) = store.with_state(state, req.user, &req.history, |enc| {
-            score_catalog_pruned_from_encoding(state, enc, &selected, bufs)
+    if let Some(selected) = retrieval::plan(state, hist) {
+        let RequestPool { bufs, scratch, cand_all, pruned, .. } = pool;
+        store.with_state(state, req.user, &req.history, scratch, |enc, scratch| {
+            score_catalog_pruned_from_encoding(
+                state, enc, scratch, &selected, bufs, cand_all, pruned,
+            );
         });
-        retrieval::observe_candidates(state, cand.len());
-        return rank_pruned(&cand, &scores, req.k);
+        retrieval::observe_candidates(state, pool.cand_all.len());
+        rank_pruned_into(&pool.cand_all, &pool.pruned, req.k, &mut pool.idx, reply);
+        return;
     }
-    let (scores, _warm) = store.with_state(state, req.user, &req.history, |enc| {
-        score_catalog_from_encoding(state, enc, bufs)
+    let RequestPool { bufs, scratch, scores, .. } = pool;
+    store.with_state(state, req.user, &req.history, scratch, |enc, scratch| {
+        score_catalog_from_encoding(state, enc, scratch, bufs, scores);
     });
-    rank(&scores, None, req.k)
+    rank_into(&pool.scores, None, req.k, &mut pool.idx, reply);
 }
 
 /// Full-catalog scoring from a prepared per-user encoding — the same
-/// cluster-ascending order, fallback rule, and per-candidate arithmetic as
-/// [`score_catalog`], with every run read out of the encoding instead of
-/// re-encoded. Given bitwise-equal runs (the `StreamState` contract), the
-/// scores are bitwise-equal.
+/// cluster-ascending order and fallback rule as [`score_catalog`], scored
+/// through each stream's T-collapsed fold (`score_candidates_with_fold`):
+/// per-cluster cost independent of the stream length, ≤1e-12 per score
+/// against the stateless golden path. The Ŵ≡1 fallback row comes from the
+/// unfiltered stream's step-ordered `usum`/`alpha_sum` and stays bitwise.
+/// Streams are refreshed (re-weighted + re-folded) lazily, exactly when
+/// this consumer reads them; nothing here allocates.
+// causer-lint: warm-path
 fn score_catalog_from_encoding(
     state: &ServeState,
-    enc: &UserEncoding,
+    enc: &mut UserEncoding,
+    scratch: &mut EncodeScratch,
     bufs: &mut ScoreBufs,
-) -> Vec<f64> {
+    scores: &mut Vec<f64>,
+) {
     let model = &state.model;
-    let n = model.config.num_items;
-    let mut scores = vec![0.0f64; n];
+    scores.clear();
+    scores.resize(model.config.num_items, 0.0);
     if !model.config.variant.use_causal() {
-        if let Some(run) = enc.unfiltered_run() {
-            let vh = model.uniform_vh(run);
+        if let Some(fold) = enc.refreshed_unfiltered_fold(state, scratch) {
+            model.uniform_vh_into(fold, &mut bufs.fallback_vh);
             for (b, slot) in scores.iter_mut().enumerate() {
-                *slot = model.score_one_with_vh(&vh, b);
+                *slot = model.score_one_with_vh(&bufs.fallback_vh, b);
             }
         }
-        return scores;
+        return;
     }
-    let mut fallback_vh: Option<Option<Vec<f64>>> = None;
-    let mut out = Vec::new();
+    // `Some(has_row)` once the Ŵ≡1 fallback row has been computed into
+    // `bufs.fallback_vh` (shared by every filter-emptied cluster).
+    let mut fallback: Option<bool> = None;
     for (c, cand) in state.effects.members.iter().enumerate() {
         if cand.is_empty() {
             continue;
         }
-        let Some(run) = enc.cluster_run(c) else {
-            let vh = fallback_vh
-                .get_or_insert_with(|| enc.unfiltered_run().map(|run| model.uniform_vh(run)))
-                .clone();
-            if let Some(vh) = vh {
-                for &b in cand {
-                    scores[b] = model.score_one_with_vh(&vh, b);
-                }
+        if let Some(fold) = enc.refreshed_cluster_fold(state, c, scratch) {
+            let mut out = std::mem::take(&mut bufs.out);
+            out.clear();
+            out.resize(cand.len(), 0.0);
+            model.score_candidates_with_fold(
+                &state.ic,
+                fold,
+                cand,
+                &state.effects.member_assign[c],
+                bufs,
+                &mut out,
+            );
+            for (&b, &s) in cand.iter().zip(out.iter()) {
+                scores[b] = s;
             }
+            bufs.out = out;
             continue;
-        };
-        out.clear();
-        out.resize(cand.len(), 0.0);
-        model.score_candidates_with_run(
-            &state.ic,
-            run,
-            cand,
-            &state.effects.member_assign[c],
-            bufs,
-            &mut out,
-        );
-        for (&b, &s) in cand.iter().zip(out.iter()) {
-            scores[b] = s;
+        }
+        if fallback.is_none() {
+            let has = match enc.refreshed_unfiltered_fold(state, scratch) {
+                Some(fold) => {
+                    model.uniform_vh_into(fold, &mut bufs.fallback_vh);
+                    true
+                }
+                None => false,
+            };
+            fallback = Some(has);
+        }
+        if fallback == Some(true) {
+            for &b in cand {
+                scores[b] = model.score_one_with_vh(&bufs.fallback_vh, b);
+            }
         }
     }
-    scores
 }
 
 /// Stage 2 of two-stage retrieval, stateless: exact scoring restricted to
@@ -441,13 +576,13 @@ fn score_catalog_pruned(
     user: usize,
     hist: &[Step],
     selected: &[usize],
-    bufs: &mut ScoreBufs,
-) -> (Vec<usize>, Vec<f64>) {
+    pool: &mut RequestPool,
+) {
     let model = &state.model;
     let ic = &state.ic;
-    let total: usize = selected.iter().map(|&c| state.effects.members[c].len()).sum();
-    let mut cand_all = Vec::with_capacity(total);
-    let mut all = Vec::with_capacity(total);
+    let RequestPool { bufs, cand_all, pruned: all, .. } = pool;
+    cand_all.clear();
+    all.clear();
     let mut fallback_vh: Option<Option<Vec<f64>>> = None;
     for &c in selected {
         let cand = &state.effects.members[c];
@@ -481,24 +616,27 @@ fn score_catalog_pruned(
             }
         }
     }
-    (cand_all, all)
 }
 
 /// Stage 2 of two-stage retrieval from a prepared per-user encoding — the
-/// [`score_catalog_pruned`] arithmetic with every run read out of the
-/// encoding instead of re-encoded, mirroring how
-/// [`score_catalog_from_encoding`] mirrors [`score_catalog`].
+/// [`score_catalog_pruned`] coverage with fold-collapsed scoring, mirroring
+/// how [`score_catalog_from_encoding`] mirrors [`score_catalog`]. Surviving
+/// candidates land in `cand_all` (cluster-segment order) with scores in
+/// `all`; both are pooled and cleared in place.
+// causer-lint: warm-path
 fn score_catalog_pruned_from_encoding(
     state: &ServeState,
-    enc: &UserEncoding,
+    enc: &mut UserEncoding,
+    scratch: &mut EncodeScratch,
     selected: &[usize],
     bufs: &mut ScoreBufs,
-) -> (Vec<usize>, Vec<f64>) {
+    cand_all: &mut Vec<usize>,
+    all: &mut Vec<f64>,
+) {
     let model = &state.model;
-    let total: usize = selected.iter().map(|&c| state.effects.members[c].len()).sum();
-    let mut cand_all = Vec::with_capacity(total);
-    let mut all = Vec::with_capacity(total);
-    let mut fallback_vh: Option<Option<Vec<f64>>> = None;
+    cand_all.clear();
+    all.clear();
+    let mut fallback: Option<bool> = None;
     for &c in selected {
         let cand = &state.effects.members[c];
         if cand.is_empty() {
@@ -507,66 +645,68 @@ fn score_catalog_pruned_from_encoding(
         let start = all.len();
         all.resize(start + cand.len(), 0.0);
         cand_all.extend_from_slice(cand);
-        if let Some(run) = enc.cluster_run(c) {
-            model.score_candidates_with_run(
+        if let Some(fold) = enc.refreshed_cluster_fold(state, c, scratch) {
+            model.score_candidates_with_fold(
                 &state.ic,
-                run,
+                fold,
                 cand,
                 &state.effects.member_assign[c],
                 bufs,
                 &mut all[start..],
             );
-        } else {
-            let vh = fallback_vh
-                .get_or_insert_with(|| enc.unfiltered_run().map(|run| model.uniform_vh(run)))
-                .clone();
-            if let Some(vh) = vh {
-                for (slot, &b) in all[start..].iter_mut().zip(cand.iter()) {
-                    *slot = model.score_one_with_vh(&vh, b);
+            continue;
+        }
+        if fallback.is_none() {
+            let has = match enc.refreshed_unfiltered_fold(state, scratch) {
+                Some(fold) => {
+                    model.uniform_vh_into(fold, &mut bufs.fallback_vh);
+                    true
                 }
+                None => false,
+            };
+            fallback = Some(has);
+        }
+        if fallback == Some(true) {
+            for (slot, &b) in all[start..].iter_mut().zip(cand.iter()) {
+                *slot = model.score_one_with_vh(&bufs.fallback_vh, b);
             }
         }
     }
-    (cand_all, all)
 }
 
 /// Full-catalog scoring using the precomputed cluster grouping and gathered
 /// assignment rows of [`ClusterEffectCache`] — the same cluster-ascending
 /// order and per-candidate arithmetic as `CauserModel::score_all`, minus the
 /// per-call grouping/gather work.
-fn score_catalog(
-    state: &ServeState,
-    user: usize,
-    history: &[Step],
-    bufs: &mut ScoreBufs,
-) -> Vec<f64> {
+fn score_catalog(state: &ServeState, user: usize, history: &[Step], pool: &mut RequestPool) {
     let model = &state.model;
     let ic = &state.ic;
     let n = model.config.num_items;
     let hist = model.clamp_history(history);
-    let mut scores = vec![0.0f64; n];
+    let RequestPool { bufs, scores, .. } = pool;
+    scores.clear();
+    scores.resize(n, 0.0);
     if hist.is_empty() {
-        return scores;
+        return;
     }
     if !model.config.variant.use_causal() {
-        if let Some(run) = model.history_run(ic, user, &hist, None) {
+        if let Some(run) = model.history_run(ic, user, hist, None) {
             let vh = model.uniform_vh(&run);
             for (b, slot) in scores.iter_mut().enumerate() {
                 *slot = model.score_one_with_vh(&vh, b);
             }
         }
-        return scores;
+        return;
     }
     let mut fallback_vh: Option<Option<Vec<f64>>> = None;
-    let mut out = Vec::new();
     for (c, cand) in state.effects.members.iter().enumerate() {
         if cand.is_empty() {
             continue;
         }
-        let Some(run) = model.history_run(ic, user, &hist, Some(c)) else {
+        let Some(run) = model.history_run(ic, user, hist, Some(c)) else {
             let vh = fallback_vh
                 .get_or_insert_with(|| {
-                    model.history_run(ic, user, &hist, None).map(|run| model.uniform_vh(&run))
+                    model.history_run(ic, user, hist, None).map(|run| model.uniform_vh(&run))
                 })
                 .clone();
             if let Some(vh) = vh {
@@ -576,6 +716,7 @@ fn score_catalog(
             }
             continue;
         };
+        let mut out = std::mem::take(&mut bufs.out);
         out.clear();
         out.resize(cand.len(), 0.0);
         model.score_candidates_with_run(
@@ -589,8 +730,8 @@ fn score_catalog(
         for (&b, &s) in cand.iter().zip(out.iter()) {
             scores[b] = s;
         }
+        bufs.out = out;
     }
-    scores
 }
 
 /// Rank scores into a top-`k` response. With `cand` given, `scores[i]`
@@ -605,25 +746,33 @@ fn score_catalog(
 /// O(n log n) on the thousands of items it will discard. (The full-sort
 /// cost is *not* part of the exact-scoring contract; at 10× catalog scale
 /// it was ~85% of serve latency.)
-fn rank(scores: &[f64], cand: Option<&[usize]>, k: usize) -> Ranked {
+// causer-lint: warm-path
+fn rank_into(
+    scores: &[f64],
+    cand: Option<&[usize]>,
+    k: usize,
+    idx: &mut Vec<usize>,
+    out: &mut Ranked,
+) {
     let by = |&a: &usize, &b: &usize| {
         scores[b]
             .partial_cmp(&scores[a])
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.cmp(&b))
     };
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.clear();
+    idx.extend(0..scores.len());
     if k < idx.len() {
         idx.select_nth_unstable_by(k, by);
         idx.truncate(k);
     }
     idx.sort_unstable_by(by);
-    Ranked {
-        items: idx.iter().map(|&i| cand.map_or(i, |c| c[i])).collect(),
-        scores: idx.iter().map(|&i| scores[i]).collect(),
-        generation: 0,
-        batch: 0,
-    }
+    out.items.clear();
+    out.items.extend(idx.iter().map(|&i| cand.map_or(i, |c| c[i])));
+    out.scores.clear();
+    out.scores.extend(idx.iter().map(|&i| scores[i]));
+    out.generation = 0;
+    out.batch = 0;
 }
 
 /// Rank a pruned candidate set: top-`k` by score, ties broken by **lowest
@@ -640,23 +789,31 @@ fn rank(scores: &[f64], cand: Option<&[usize]>, k: usize) -> Ranked {
 /// select: an O(n) partition to the best `k`, then a sort of just those
 /// `k`. Identical output, and the pruned request stops paying
 /// O(n log n) on survivors it will discard anyway.
-fn rank_pruned(cand: &[usize], scores: &[f64], k: usize) -> Ranked {
+// causer-lint: warm-path
+fn rank_pruned_into(
+    cand: &[usize],
+    scores: &[f64],
+    k: usize,
+    idx: &mut Vec<usize>,
+    out: &mut Ranked,
+) {
     let by = |&a: &usize, &b: &usize| {
         scores[b]
             .partial_cmp(&scores[a])
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| cand[a].cmp(&cand[b]))
     };
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.clear();
+    idx.extend(0..scores.len());
     if k < idx.len() {
         idx.select_nth_unstable_by(k, by);
         idx.truncate(k);
     }
     idx.sort_unstable_by(by);
-    Ranked {
-        items: idx.iter().map(|&i| cand[i]).collect(),
-        scores: idx.iter().map(|&i| scores[i]).collect(),
-        generation: 0,
-        batch: 0,
-    }
+    out.items.clear();
+    out.items.extend(idx.iter().map(|&i| cand[i]));
+    out.scores.clear();
+    out.scores.extend(idx.iter().map(|&i| scores[i]));
+    out.generation = 0;
+    out.batch = 0;
 }

@@ -17,7 +17,15 @@
 //!   [`causer_core::CauserModel::history_run`] would rebuild from scratch
 //!   (bitwise on the scalar/sse2 kernel tiers, ≤1e-12 on avx2), so scoring
 //!   through the store cannot drift from `score_all`. The serve test suite
-//!   and the golden-metrics harness assert this on trained weights.
+//!   and the golden-metrics harness assert this on trained weights. Warm
+//!   validation is by (length, last-step digest, rolling FNV-1a checksum)
+//!   of the clamped prefix rather than a stored step-by-step copy: nothing
+//!   of the consumed history is retained beyond ~32 bytes per user, the
+//!   per-request probe is O(1) (length + last-step digest), appends fold
+//!   into the checksum in O(new items), and every 16th warm validation
+//!   re-walks the full prefix checksum so a rewritten history that happens
+//!   to preserve length and last step still falls back to a cold re-encode
+//!   within a bounded number of requests.
 //! - **Generation safety** — every entry is stamped with the
 //!   [`ServeState::generation`] that encoded it. A hot reload bumps the
 //!   generation; the stale entry is discarded on its next lookup and the
@@ -37,7 +45,7 @@
 //! untouched.
 
 use crate::scorer::ServeState;
-use causer_core::{HistoryRun, StreamState};
+use causer_core::{EncodeScratch, HistoryRun, StreamFold, StreamState};
 use causer_data::Step;
 use causer_obs::names as obs;
 use causer_sync::Mutex;
@@ -54,11 +62,16 @@ pub struct StateStoreConfig {
     /// Total approximate byte budget across all shards; each shard evicts
     /// LRU-first down to `max_bytes / shards`.
     pub max_bytes: usize,
+    /// Extra kept-step capacity reserved in every stream buffer when an
+    /// entry is cold-seeded. Warm appends within this headroom perform no
+    /// heap allocation (the window the allocation gate certifies); growth
+    /// beyond it falls back to amortized reallocation.
+    pub warm_headroom_steps: usize,
 }
 
 impl Default for StateStoreConfig {
     fn default() -> Self {
-        StateStoreConfig { shards: 16, max_bytes: 64 << 20 }
+        StateStoreConfig { shards: 16, max_bytes: 64 << 20, warm_headroom_steps: 64 }
     }
 }
 
@@ -102,23 +115,92 @@ impl UserEncoding {
     /// One `step_plain` per new step per stream that keeps it — the whole
     /// point of the store. Steps a cluster's filter empties are skipped for
     /// that stream (preserving the Ŵ≡1 fallback condition exactly).
-    fn advance(&mut self, state: &ServeState, user: usize, new_steps: &[Step]) {
+    ///
+    /// Appends are deferred: no stream is re-weighted here. A stream pays
+    /// its O(T) attention re-weight only when a request actually consumes it
+    /// (`refreshed_*` below), so appends to streams that retrieval prunes
+    /// away cost O(1) and back-to-back appends re-weight once.
+    // causer-lint: warm-path
+    fn advance(
+        &mut self,
+        state: &ServeState,
+        user: usize,
+        new_steps: &[Step],
+        scratch: &mut EncodeScratch,
+    ) {
         let model = &state.model;
         for (c, stream) in self.clusters.iter_mut().enumerate() {
-            model.advance_stream(&state.ic, user, Some(c), new_steps, stream);
+            model.advance_stream_with(&state.ic, user, Some(c), new_steps, stream, scratch);
         }
-        model.advance_stream(&state.ic, user, None, new_steps, &mut self.unfiltered);
+        model.advance_stream_with(&state.ic, user, None, new_steps, &mut self.unfiltered, scratch);
     }
 
-    /// The prepared run of cluster `c`'s filtered stream, or `None` when the
-    /// filter emptied every consumed step (scoring then falls back to the
-    /// unfiltered Ŵ≡1 run, exactly like the batch path).
+    /// Reserve kept-step headroom in every stream (see
+    /// `StateStoreConfig::warm_headroom_steps`).
+    fn reserve_steps(&mut self, additional: usize) {
+        for stream in &mut self.clusters {
+            stream.reserve_steps(additional);
+        }
+        self.unfiltered.reserve_steps(additional);
+    }
+
+    /// Re-weight + re-fold cluster `c`'s stream and return its T-collapsed
+    /// fold, or `None` when the filter emptied every consumed step (scoring
+    /// then falls back to the unfiltered Ŵ≡1 row, exactly like the batch
+    /// path). This is the consumer-driven half of the deferred append.
+    // causer-lint: warm-path
+    pub fn refreshed_cluster_fold(
+        &mut self,
+        state: &ServeState,
+        c: usize,
+        scratch: &mut EncodeScratch,
+    ) -> Option<&StreamFold> {
+        let model = &state.model;
+        let stream = self.clusters.get_mut(c)?;
+        model.refresh_stream(stream, scratch);
+        model.ensure_fold(stream);
+        stream.fold()
+    }
+
+    /// Re-weight the unfiltered Ŵ≡1 stream and return its fold (only the
+    /// step-ordered `usum`/`alpha_sum` half is refreshed — the causal
+    /// collapse is never needed on the fallback path). `None` only while
+    /// the encoding has consumed no steps at all.
+    // causer-lint: warm-path
+    pub fn refreshed_unfiltered_fold(
+        &mut self,
+        state: &ServeState,
+        scratch: &mut EncodeScratch,
+    ) -> Option<&StreamFold> {
+        state.model.refresh_stream(&mut self.unfiltered, scratch);
+        self.unfiltered.weights_fold()
+    }
+
+    /// Force-refresh every stream (tests / equivalence harnesses; the warm
+    /// path refreshes only what it consumes).
+    pub fn refresh_all(&mut self, state: &ServeState, scratch: &mut EncodeScratch) {
+        let model = &state.model;
+        for stream in &mut self.clusters {
+            model.refresh_stream(stream, scratch);
+            model.ensure_fold(stream);
+        }
+        model.refresh_stream(&mut self.unfiltered, scratch);
+        // The fallback scoring path needs only the fold, but `refresh_all`
+        // is the full-freshness harness entry — materialize the unfiltered
+        // run too so `unfiltered_run()` is valid afterwards.
+        model.ensure_run(&mut self.unfiltered);
+    }
+
+    /// The prepared run of cluster `c`'s filtered stream (requires the
+    /// stream to be fresh — on the deferred path call
+    /// [`UserEncoding::refreshed_cluster_fold`] first).
     pub fn cluster_run(&self, c: usize) -> Option<&HistoryRun> {
         self.clusters.get(c).and_then(StreamState::run)
     }
 
     /// The unfiltered Ŵ≡1 stream's prepared run (`None` only while the
-    /// encoding has consumed no steps at all).
+    /// encoding has consumed no steps at all; requires a prior refresh on
+    /// the deferred path).
     pub fn unfiltered_run(&self) -> Option<&HistoryRun> {
         self.unfiltered.run()
     }
@@ -130,16 +212,69 @@ impl UserEncoding {
     }
 }
 
-/// Fixed per-entry overhead charged on top of the streams: the consumed
-/// history's spine, the map slot, and bookkeeping.
+/// Fixed per-entry overhead charged on top of the streams: the map slot and
+/// bookkeeping (the consumed history itself is summarized in 24 bytes of
+/// length + checksums, not retained).
 const ENTRY_OVERHEAD: usize = 256;
+
+/// FNV-1a offset basis / prime (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold one little-endian `u64` into a running FNV-1a state.
+#[inline]
+fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fold one step (length-framed item list) into a running checksum.
+#[inline]
+fn fold_step(mut h: u64, step: &[usize]) -> u64 {
+    h = fnv1a_u64(h, step.len() as u64);
+    for &item in step {
+        h = fnv1a_u64(h, item as u64);
+    }
+    h
+}
+
+/// Rolling checksum over a step sequence, resumable: feeding steps one at a
+/// time produces the same value as one pass (the property warm appends rely
+/// on).
+fn fold_steps(mut h: u64, steps: &[Step]) -> u64 {
+    for step in steps {
+        h = fold_step(h, step);
+    }
+    h
+}
+
+/// Checksum of a single step from the offset basis (the "last step" probe).
+#[inline]
+fn step_digest(step: &[usize]) -> u64 {
+    fold_step(FNV_OFFSET, step)
+}
+
+/// Warm validations between full prefix-checksum verifications. The O(1)
+/// probe (length + last-step digest) catches every append-only history and
+/// almost every rewrite; a rewrite that preserves both is caught by the full
+/// rolling-checksum walk within this many warm hits, bounding how long a
+/// rewritten-middle history can keep scoring against stale streams.
+const VERIFY_PERIOD: u64 = 16;
 
 struct Entry {
     /// [`ServeState::generation`] under which this entry was encoded.
     generation: u64,
-    /// Every step the streams have consumed, in order — the prefix the next
-    /// request's clamped history must extend for the entry to be warm.
-    consumed: Vec<Step>,
+    /// Number of clamped steps the streams have consumed.
+    consumed_len: usize,
+    /// Rolling FNV-1a checksum over every consumed step, in order — the
+    /// O(1)-per-item replacement for the stored step-by-step prefix.
+    consumed_hash: u64,
+    /// Digest of the last consumed step alone: the O(1) per-request probe.
+    last_digest: u64,
+    /// Warm validations since the last full checksum verification.
+    probes: u64,
     encoding: UserEncoding,
     /// Bytes charged to the shard budget for this entry.
     bytes: usize,
@@ -149,8 +284,44 @@ struct Entry {
 
 impl Entry {
     fn recost(&mut self) {
-        let consumed: usize = self.consumed.iter().map(|s| 8 * s.len() + 24).sum();
-        self.bytes = self.encoding.approx_bytes() + consumed + ENTRY_OVERHEAD;
+        self.bytes = self.encoding.approx_bytes() + ENTRY_OVERHEAD;
+    }
+
+    /// Warm iff the request's clamped history extends what the streams
+    /// consumed: same generation, at least as long, and the same
+    /// last-consumed step — an O(1) check per request, independent of the
+    /// history length. Every [`VERIFY_PERIOD`]th warm validation also
+    /// re-walks the rolling FNV-1a checksum over the whole shared prefix,
+    /// so a rewritten-middle history (same length, same last step) reads as
+    /// cold within a bounded number of requests. Any mismatch triggers a
+    /// full re-encode; a false warm requires surviving both probes — for
+    /// the checksum, a 2^-64 collision.
+    // causer-lint: warm-path
+    fn is_warm(&mut self, generation: u64, clamped: &[Step]) -> bool {
+        if self.generation != generation || self.consumed_len > clamped.len() {
+            return false;
+        }
+        if self.consumed_len == 0 {
+            return true;
+        }
+        if self.last_digest != step_digest(&clamped[self.consumed_len - 1]) {
+            return false;
+        }
+        self.probes += 1;
+        if self.probes.is_multiple_of(VERIFY_PERIOD) {
+            return self.consumed_hash == fold_steps(FNV_OFFSET, &clamped[..self.consumed_len]);
+        }
+        true
+    }
+
+    /// Fold newly consumed steps into the running validation state.
+    // causer-lint: warm-path
+    fn absorb(&mut self, new_steps: &[Step]) {
+        self.consumed_hash = fold_steps(self.consumed_hash, new_steps);
+        self.consumed_len += new_steps.len();
+        if let Some(last) = new_steps.last() {
+            self.last_digest = step_digest(last);
+        }
     }
 }
 
@@ -199,6 +370,8 @@ pub struct UserStateStore {
     shards: Vec<Mutex<Shard>>,
     /// Per-shard byte budget (`max_bytes / shards`, at least 1).
     shard_budget: usize,
+    /// Kept-step headroom reserved at cold seed (see [`StateStoreConfig`]).
+    warm_headroom_steps: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -223,6 +396,7 @@ impl UserStateStore {
                 })
                 .collect(),
             shard_budget,
+            warm_headroom_steps: cfg.warm_headroom_steps,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -286,12 +460,19 @@ impl UserStateStore {
     /// `history` is the request's full history; clamping to the model
     /// window happens inside. A history longer than the window bypasses the
     /// store (see the module docs).
+    ///
+    /// `scratch` is the caller's pooled encoder scratch (one per scoring
+    /// worker); the closure receives the advanced encoding *mutably* plus
+    /// the same scratch, so it can lazily re-weight exactly the streams the
+    /// request consumes. On the warm path nothing here allocates.
+    // causer-lint: warm-path
     pub fn with_state<R>(
         &self,
         state: &ServeState,
         user: usize,
         history: &[Step],
-        score: impl FnOnce(&UserEncoding) -> R,
+        scratch: &mut EncodeScratch,
+        score: impl FnOnce(&mut UserEncoding, &mut EncodeScratch) -> R,
     ) -> (R, bool) {
         let started = self.metrics.as_ref().map(|_| Instant::now());
         let clamped = state.model.clamp_history(history);
@@ -299,19 +480,16 @@ impl UserStateStore {
             // The clamp window slid: the stored prefix can no longer match.
             // Score from a throwaway encoding; resident state stays as-is.
             let mut enc = UserEncoding::fresh(state);
-            enc.advance(state, user, &clamped);
+            enc.advance(state, user, clamped, scratch);
             self.misses.fetch_add(1, Ordering::SeqCst);
-            let result = score(&enc);
+            let result = score(&mut enc, scratch);
             self.observe(started, false);
             return (result, false);
         }
 
         let mut shard = self.shard_of(user).lock().expect("state-store shard poisoned");
         let generation = state.generation;
-        let warm = shard
-            .entries
-            .get(&user)
-            .is_some_and(|e| e.generation == generation && is_prefix(&e.consumed, &clamped));
+        let warm = shard.entries.get_mut(&user).is_some_and(|e| e.is_warm(generation, clamped));
         if warm {
             self.hits.fetch_add(1, Ordering::SeqCst);
         } else {
@@ -324,22 +502,35 @@ impl UserStateStore {
         let result = if warm {
             let entry = shard.entries.get_mut(&user).expect("warm entry vanished under lock");
             freed = entry.bytes;
-            let new_steps = clamped[entry.consumed.len()..].to_vec();
-            entry.encoding.advance(state, user, &new_steps);
-            entry.consumed.extend(new_steps);
+            let new_steps = &clamped[entry.consumed_len..];
+            entry.encoding.advance(state, user, new_steps, scratch);
+            entry.absorb(new_steps);
             entry.recost();
             entry.tick = tick;
             charged = entry.bytes;
-            score(&entry.encoding)
+            score(&mut entry.encoding, scratch)
         } else {
             // Cold: full re-encode over the clamped history, seeding the
-            // store (replacing any evicted/stale entry for this user).
+            // store (replacing any evicted/stale entry for this user) and
+            // reserving append headroom so the warm steady state that
+            // follows stays allocation-free.
             let mut encoding = UserEncoding::fresh(state);
-            encoding.advance(state, user, &clamped);
-            let mut entry = Entry { generation, consumed: clamped, encoding, bytes: 0, tick };
+            encoding.advance(state, user, clamped, scratch);
+            encoding.reserve_steps(self.warm_headroom_steps);
+            let mut entry = Entry {
+                generation,
+                consumed_len: 0,
+                consumed_hash: FNV_OFFSET,
+                last_digest: 0,
+                probes: 0,
+                encoding,
+                bytes: 0,
+                tick,
+            };
+            entry.absorb(clamped);
             entry.recost();
             charged = entry.bytes;
-            let result = score(&entry.encoding);
+            let result = score(&mut entry.encoding, scratch);
             freed = match shard.entries.insert(user, entry) {
                 Some(old) => old.bytes,
                 None => {
@@ -397,9 +588,4 @@ impl UserStateStore {
             m.cold_ms.observe(ms);
         }
     }
-}
-
-/// Is `prefix` an exact leading slice of `full`?
-fn is_prefix(prefix: &[Step], full: &[Step]) -> bool {
-    prefix.len() <= full.len() && prefix.iter().zip(full).all(|(a, b)| a == b)
 }

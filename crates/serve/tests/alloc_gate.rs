@@ -1,0 +1,177 @@
+//! The allocation-regression gate: warm steady-state serving performs
+//! **zero heap allocations per request**.
+//!
+//! This binary installs [`causer_alloc::CountingAlloc`] as its global
+//! allocator, seeds a [`UserStateStore`] with warm per-user state, runs
+//! enough warm rounds for every pooled buffer to reach its steady-state
+//! capacity, and then measures a long warm loop on the calling thread.
+//! If a single `alloc` or `realloc` lands inside the measured region the
+//! gate fails with the exact count — a `Vec::new` or `clone` slipped back
+//! into the warm path shows up here as a hard red build, not a latency
+//! regression found weeks later.
+//!
+//! `scripts/check.sh` runs this test as a HARD gate. The companion static
+//! rule is `causer-lint`'s `no-alloc-in-warm-path`; this test is the
+//! dynamic proof.
+//!
+//! Measurement is thread-local (see `causer-alloc`), so the scorer is
+//! pinned to `threads: 1` and driven through the caller-owned-buffer
+//! entry point [`BatchScorer::score_batch_stateful_into`] — the same code
+//! path the queue and frontend workers use per drained batch.
+
+use causer_alloc::{measure, CountingAlloc, Snapshot};
+use causer_core::{CauserConfig, CauserModel, CauserVariant, RnnKind};
+use causer_serve::{
+    BatchScorer, Ranked, ScoreRequest, ServeState, StateStoreConfig, UserStateStore,
+};
+use causer_tensor::init;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+const ITEMS: usize = 40;
+const USERS: usize = 8;
+const HIST_LEN: usize = 10;
+const WARMUP_ROUNDS: usize = 48;
+const MEASURED_ROUNDS: usize = 64;
+
+fn build_model(rnn: RnnKind, seed: u64) -> CauserModel {
+    let mut cfg = CauserConfig::new(USERS, ITEMS, 5);
+    cfg.k = 4;
+    cfg.d1 = 6;
+    cfg.d2 = 5;
+    cfg.user_dim = 3;
+    cfg.hidden_dim = 6;
+    cfg.item_out_dim = 5;
+    cfg.max_history = 64;
+    cfg.rnn = rnn;
+    cfg.variant = CauserVariant::Full;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features = init::uniform(&mut rng, ITEMS, 5, 1.0);
+    CauserModel::new(cfg, features, seed)
+}
+
+fn fixed_requests(seed: u64) -> Vec<ScoreRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..USERS)
+        .map(|user| {
+            let history: Vec<Vec<usize>> = (0..HIST_LEN)
+                .map(|_| {
+                    let m = rng.gen_range(1..3);
+                    (0..m).map(|_| rng.gen_range(0..ITEMS)).collect()
+                })
+                .collect();
+            ScoreRequest::top_k(user, history, 10)
+        })
+        .collect()
+}
+
+/// The shim must be live in this binary, otherwise every zero-allocation
+/// assertion below would pass vacuously under the default allocator.
+fn assert_shim_live() {
+    let (v, delta) = measure(|| Vec::<u8>::with_capacity(1024));
+    assert!(delta.allocs >= 1, "CountingAlloc is not installed: {delta:?}");
+    drop(v);
+}
+
+/// Drive the warm steady state and return the allocation delta across the
+/// measured rounds plus the number of requests those rounds served.
+fn measured_steady_state(rnn: RnnKind) -> (Snapshot, u64) {
+    let state = ServeState::build(build_model(rnn, 17));
+    let store = UserStateStore::new(StateStoreConfig::default());
+    let scorer = BatchScorer::new(1);
+    let reqs = fixed_requests(29);
+    let mut replies: Vec<Ranked> = Vec::new();
+
+    // Cold seed (allocates: fresh encodings, pool construction) and then
+    // warm rounds until every buffer has seen its high-water mark — this
+    // also crosses several VERIFY_PERIOD full-checksum walks, so the
+    // periodic re-verification path is inside the measured loop too.
+    for _ in 0..WARMUP_ROUNDS {
+        scorer.score_batch_stateful_into(&state, &store, &reqs, &mut replies);
+    }
+    let warm_before = store.stats();
+    assert_eq!(warm_before.misses, USERS as u64, "exactly one cold seed per user");
+
+    let ((), delta) = measure(|| {
+        for _ in 0..MEASURED_ROUNDS {
+            scorer.score_batch_stateful_into(&state, &store, &reqs, &mut replies);
+        }
+    });
+
+    // Every measured request was a warm hit; nothing got evicted.
+    let warm_after = store.stats();
+    assert_eq!(warm_after.misses, warm_before.misses, "a measured request went cold");
+    assert_eq!(warm_after.evictions, 0);
+
+    // The replies are real: correct shape, still matching the stateless
+    // golden path after the measured storm.
+    let want = scorer.score_batch(&state, &reqs);
+    for (got, w) in replies.iter().zip(&want) {
+        assert_eq!(got.items.len(), 10);
+        assert_eq!(got.items, w.items, "warm reply ranks diverged from stateless");
+        for (g, ws) in got.scores.iter().zip(&w.scores) {
+            let tol = 1e-12 * g.abs().max(ws.abs()).max(1.0);
+            assert!((g - ws).abs() <= tol, "warm reply score off by >1e-12: {g} vs {ws}");
+        }
+    }
+    (delta, (MEASURED_ROUNDS * USERS) as u64)
+}
+
+/// The gate proper: zero heap acquisitions per warm request, for both RNN
+/// cells (the LSTM carry doubles the per-stream state that must be pooled).
+#[test]
+fn warm_steady_state_serving_is_allocation_free() {
+    assert_shim_live();
+    for rnn in [RnnKind::Gru, RnnKind::Lstm] {
+        let (delta, requests) = measured_steady_state(rnn);
+        assert_eq!(
+            delta.acquisitions(),
+            0,
+            "{rnn:?}: {} heap acquisitions ({} allocs + {} reallocs, {} bytes) across {} warm \
+             requests — the zero-alloc steady-state contract is broken",
+            delta.acquisitions(),
+            delta.allocs,
+            delta.reallocs,
+            delta.bytes,
+            requests,
+        );
+        assert_eq!(delta.frees, 0, "{rnn:?}: warm path freed {} blocks", delta.frees);
+
+        // Publish the measured counters under the documented names so an
+        // obs-enabled run of this gate exports them alongside the serve
+        // family (see docs/OBSERVABILITY.md).
+        let obs = causer_obs::global();
+        obs.counter(causer_obs::names::SERVE_ALLOC_STEADY_ACQUISITIONS_TOTAL)
+            .add(delta.acquisitions());
+        obs.counter(causer_obs::names::SERVE_ALLOC_STEADY_BYTES_TOTAL).add(delta.bytes);
+        obs.gauge(causer_obs::names::SERVE_ALLOC_PER_REQUEST)
+            .set(delta.acquisitions() as f64 / requests as f64);
+    }
+}
+
+/// Regression guard for the gate itself: a deliberately cold store (every
+/// request re-encodes) must show nonzero acquisitions under this harness —
+/// proving the measured region actually sees the serving tier's traffic
+/// and the zero above is not an instrumentation blind spot.
+#[test]
+fn cold_path_is_visible_to_the_harness() {
+    assert_shim_live();
+    let state = ServeState::build(build_model(RnnKind::Gru, 17));
+    let scorer = BatchScorer::new(1);
+    let reqs = fixed_requests(31);
+    let mut replies: Vec<Ranked> = Vec::new();
+    // A budget of one byte evicts every entry immediately: each round is
+    // all cold re-encodes, which allocate fresh encoder state.
+    let store = UserStateStore::new(StateStoreConfig { max_bytes: 1, ..Default::default() });
+    scorer.score_batch_stateful_into(&state, &store, &reqs, &mut replies);
+    let ((), delta) = measure(|| {
+        scorer.score_batch_stateful_into(&state, &store, &reqs, &mut replies);
+    });
+    assert!(
+        delta.acquisitions() > 0,
+        "cold re-encodes invisible to the counting harness: {delta:?}"
+    );
+}

@@ -185,9 +185,21 @@ fn non_causal_variants_never_prune() {
     }
 }
 
+/// ≤1e-12 relative: the stateful path scores through the T-collapsed
+/// stream folds, which re-associate the Ŵ-weighted sums relative to the
+/// stateless re-encode (DESIGN.md §14), so bit equality is not the
+/// contract here — the pruned *candidate set* must still be identical.
+fn assert_close_eq(a: &Ranked, b: &Ranked, what: &str) {
+    assert_eq!(a.items, b.items, "{what}: candidate sets/order differ");
+    for (x, y) in a.scores.iter().zip(&b.scores) {
+        let tol = 1e-12 * x.abs().max(y.abs()).max(1.0);
+        assert!((x - y).abs() <= tol, "{what}: score off by >1e-12: {x} vs {y}");
+    }
+}
+
 #[test]
 fn stateful_pruned_matches_stateless_across_eviction_and_reload() {
-    // The store path must agree with the stateless pruned path bitwise —
+    // The store path must agree with the stateless pruned path to ≤1e-12 —
     // cold, warm, freshly evicted, and stale-generation entries alike.
     let retrieval = RetrievalConfig::pruned(0.5).with_max_clusters(3);
     let handle = ModelHandle::with_retrieval(build_model(CauserVariant::Full, 29), retrieval);
@@ -202,8 +214,8 @@ fn stateful_pruned_matches_stateless_across_eviction_and_reload() {
         .collect();
 
     for store_cfg in [
-        StateStoreConfig::default(),                  // warm appends
-        StateStoreConfig { shards: 1, max_bytes: 1 }, // every entry evicted
+        StateStoreConfig::default(), // warm appends
+        StateStoreConfig { shards: 1, max_bytes: 1, ..Default::default() }, // every entry evicted
     ] {
         let store = UserStateStore::new(store_cfg);
         let state = handle.snapshot();
@@ -211,7 +223,7 @@ fn stateful_pruned_matches_stateless_across_eviction_and_reload() {
         let stateless = scorer.score_batch(&state, &reqs);
         let stateful = scorer.score_batch_stateful(&state, &store, &reqs);
         for (x, y) in stateless.iter().zip(&stateful) {
-            assert_bitwise_eq(x, y, "stateful pruned vs stateless pruned");
+            assert_close_eq(x, y, "stateful pruned vs stateless pruned");
         }
     }
 
@@ -227,6 +239,6 @@ fn stateful_pruned_matches_stateless_across_eviction_and_reload() {
     let stateless = scorer.score_batch(&state, &reqs);
     let stateful = scorer.score_batch_stateful(&state, &store, &reqs);
     for (x, y) in stateless.iter().zip(&stateful) {
-        assert_bitwise_eq(x, y, "post-reload stateful vs stateless");
+        assert_close_eq(x, y, "post-reload stateful vs stateless");
     }
 }

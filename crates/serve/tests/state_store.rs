@@ -1,10 +1,12 @@
 //! Integration tests for the per-user incremental state store.
 //!
 //! The headline contract: scoring through a **warm** [`UserStateStore`]
-//! entry equals a full history re-encode — bitwise on the scalar/sse2
-//! kernel tiers, ≤1e-12 relative on avx2 — for every model variant, both
-//! RNN cells (the LSTM carry rides in the stream state), the empty-filter
-//! Ŵ≡1 fallback, and the post-eviction re-seed path. On top of that:
+//! entry equals a full history re-encode to ≤1e-12 relative on every
+//! kernel tier (the stateful path scores through the T-collapsed stream
+//! folds, which re-associate the Ŵ-weighted sums; see DESIGN.md §14) —
+//! for every model variant, both RNN cells (the LSTM carry rides in the
+//! stream state), the empty-filter Ŵ≡1 fallback, and the post-eviction
+//! re-seed path. On top of that:
 //! LRU/budget properties, clamp-window bypass, hot-reload generation
 //! safety, and an 8-producer stress mixing appends, scores, evictions, and
 //! reloads.
@@ -47,18 +49,17 @@ fn random_history(rng: &mut StdRng, len: usize) -> Vec<Vec<usize>> {
         .collect()
 }
 
-/// Bitwise on scalar/sse2; ≤1e-12 relative on avx2 (whose blocked kernels
-/// may reassociate across columns).
+/// ≤1e-12 relative on every tier: the stateful path's stream folds
+/// re-associate the Ŵ-weighted sums (and avx2's blocked kernels may
+/// reassociate across columns besides), so the contract is the issue's
+/// tolerance gate, not bit equality. Bitwise equivalence is enforced one
+/// layer down, where step order is actually preserved: the core crate's
+/// deferred-advance and uniform-fallback tests.
 fn assert_scores_match(got: &[f64], want: &[f64], what: &str) {
     assert_eq!(got.len(), want.len(), "{what}: length");
-    let bitwise = simd::active().name() != "avx2";
     for (i, (g, w)) in got.iter().zip(want).enumerate() {
-        if bitwise {
-            assert_eq!(g.to_bits(), w.to_bits(), "{what}: score {i} diverged: {g} vs {w}");
-        } else {
-            let tol = 1e-12 * g.abs().max(w.abs()).max(1.0);
-            assert!((g - w).abs() <= tol, "{what}: score {i} off by >1e-12: {g} vs {w}");
-        }
+        let tol = 1e-12 * g.abs().max(w.abs()).max(1.0);
+        assert!((g - w).abs() <= tol, "{what}: score {i} off by >1e-12: {g} vs {w}");
     }
 }
 
@@ -202,7 +203,11 @@ fn lru_evicts_least_recently_used_and_re_seed_scores_correctly() {
     let req = |user: usize| ScoreRequest::top_k(user, histories[user].clone(), ITEMS);
 
     // Find one entry's cost, then budget for two.
-    let probe = UserStateStore::new(StateStoreConfig { shards: 1, max_bytes: usize::MAX });
+    let probe = UserStateStore::new(StateStoreConfig {
+        shards: 1,
+        max_bytes: usize::MAX,
+        ..Default::default()
+    });
     scorer.score_batch_stateful(&state, &probe, &[req(0)]);
     let per_entry = probe.stats().bytes;
     assert!(per_entry > 0);
@@ -210,6 +215,7 @@ fn lru_evicts_least_recently_used_and_re_seed_scores_correctly() {
     let store = UserStateStore::new(StateStoreConfig {
         shards: 1,
         max_bytes: 2 * per_entry + per_entry / 2,
+        ..Default::default()
     });
     scorer.score_batch_stateful(&state, &store, &[req(0)]);
     scorer.score_batch_stateful(&state, &store, &[req(1)]);
@@ -280,7 +286,11 @@ fn eight_producer_stress_with_reloads_never_serves_stale_state() {
     };
     let handle = Arc::new(ModelHandle::new(mk(1)));
     // A tight budget so evictions interleave with appends and reloads.
-    let store = Arc::new(UserStateStore::new(StateStoreConfig { shards: 4, max_bytes: 64 << 10 }));
+    let store = Arc::new(UserStateStore::new(StateStoreConfig {
+        shards: 4,
+        max_bytes: 64 << 10,
+        ..Default::default()
+    }));
     std::thread::scope(|scope| {
         for p in 0..PRODUCERS {
             let handle = handle.clone();
@@ -441,7 +451,7 @@ mod properties {
             shards in 1usize..4,
         ) {
             let state = ServeState::build(wide_model(77));
-            let store = UserStateStore::new(StateStoreConfig { shards, max_bytes: BUDGET });
+            let store = UserStateStore::new(StateStoreConfig { shards, max_bytes: BUDGET, ..Default::default() });
             let scorer = BatchScorer::new(1);
             let mut rng = StdRng::seed_from_u64(5);
             let mut hists: Vec<Vec<Vec<usize>>> = vec![Vec::new(); 10];
@@ -476,7 +486,7 @@ mod properties {
             let state =
                 ServeState::build(build_model_cell(CauserVariant::Full, RnnKind::Gru, 53));
             // Tiny budget: evictions happen mid-sequence.
-            let store = UserStateStore::new(StateStoreConfig { shards: 1, max_bytes: 24 << 10 });
+            let store = UserStateStore::new(StateStoreConfig { shards: 1, max_bytes: 24 << 10, ..Default::default() });
             let scorer = BatchScorer::new(1);
             let mut rng = StdRng::seed_from_u64(9);
             let mut hists: Vec<Vec<Vec<usize>>> = vec![Vec::new(); 6];
@@ -491,13 +501,8 @@ mod properties {
                 let req = ScoreRequest::top_k(user, hists[user].clone(), ITEMS);
                 let got = scorer.score_batch_stateful(&state, &store, &[req.clone()]);
                 let want = scorer.score_batch(&state, &[req]);
-                let bitwise = simd::active().name() != "avx2";
                 for (g, w) in got[0].scores.iter().zip(&want[0].scores) {
-                    if bitwise {
-                        prop_assert_eq!(g.to_bits(), w.to_bits());
-                    } else {
-                        prop_assert!((g - w).abs() <= 1e-12 * g.abs().max(w.abs()).max(1.0));
-                    }
+                    prop_assert!((g - w).abs() <= 1e-12 * g.abs().max(w.abs()).max(1.0));
                 }
             }
         }

@@ -88,11 +88,33 @@ impl Matrix {
     }
 
     /// Reshape in place to a zeroed `rows×cols` matrix, keeping capacity.
-    fn reset_to(&mut self, rows: usize, cols: usize) {
+    pub fn reset_to(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
         self.data.clear();
         self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reserve buffer capacity for `additional` more rows at the current
+    /// column count, so that many subsequent `push_row`s (or a `reset_to`
+    /// within the reserved shape) perform no allocation.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.cols.max(1));
+    }
+
+    /// Reshape in place to `rows×cols` (keeping capacity) and fill from
+    /// `src`, which must hold exactly `rows*cols` row-major elements.
+    pub fn assign_from(&mut self, rows: usize, cols: usize, src: &[f64]) {
+        assert_eq!(
+            rows * cols,
+            src.len(),
+            "assign_from: shape {rows}x{cols} incompatible with {} elements",
+            src.len()
+        );
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.extend_from_slice(src);
     }
 
     /// Build element-wise from a function of `(row, col)`.

@@ -40,10 +40,10 @@ use std::arch::x86_64::{
     _mm256_blendv_pd, _mm256_castpd256_pd128, _mm256_castsi256_pd, _mm256_cmp_pd,
     _mm256_cvtepi32_epi64, _mm256_cvtpd_epi32, _mm256_div_pd, _mm256_extractf128_pd,
     _mm256_fmadd_pd, _mm256_fnmadd_pd, _mm256_loadu_pd, _mm256_max_pd, _mm256_min_pd,
-    _mm256_mul_pd, _mm256_round_pd, _mm256_set1_epi64x, _mm256_set1_pd, _mm256_setzero_pd,
-    _mm256_slli_epi64, _mm256_storeu_pd, _mm256_sub_pd, _mm256_xor_pd, _mm_add_pd, _mm_add_sd,
-    _mm_cvtsd_f64, _mm_srai_epi32, _mm_sub_epi32, _mm_unpackhi_pd, _CMP_GT_OQ, _CMP_LT_OQ,
-    _MM_FROUND_NO_EXC, _MM_FROUND_TO_NEAREST_INT,
+    _mm256_mul_pd, _mm256_round_pd, _mm256_set1_epi64x, _mm256_set1_pd, _mm256_set_pd,
+    _mm256_setzero_pd, _mm256_slli_epi64, _mm256_storeu_pd, _mm256_sub_pd, _mm256_xor_pd,
+    _mm_add_pd, _mm_add_sd, _mm_cvtsd_f64, _mm_srai_epi32, _mm_sub_epi32, _mm_unpackhi_pd,
+    _CMP_GT_OQ, _CMP_LT_OQ, _MM_FROUND_NO_EXC, _MM_FROUND_TO_NEAREST_INT,
 };
 
 use crate::matrix::{KC, MC, NC};
@@ -181,6 +181,58 @@ macro_rules! row_sweep {
     }};
 }
 
+/// Single-column (`n == 1`) fast path of [`matmul_nn`]: a matvec whose
+/// per-row arithmetic is **bitwise identical** to the microkernel's column
+/// tail — one ascending fused `mul_add` chain per `KC` reduction block,
+/// added to `out[i]` once per block. The general path is latency-bound
+/// here (each row is one serial FMA chain and the `4`-wide column vector
+/// never engages), so this path runs the *same* chains four rows per
+/// vector (row-lane FMAs, two vectors in flight): lanes are independent,
+/// so no element's sequence changes, only the wall clock.
+#[inline(always)]
+unsafe fn nn_matvec(a: &[f64], m: usize, k_dim: usize, b: &[f64], out: &mut [f64]) {
+    unsafe {
+        for kc in (0..k_dim).step_by(KC) {
+            let k_end = (kc + KC).min(k_dim);
+            let mut i = 0;
+            while i + 2 * W <= m {
+                let mut acc0 = _mm256_setzero_pd();
+                let mut acc1 = _mm256_setzero_pd();
+                for k in kc..k_end {
+                    let bv = _mm256_set1_pd(*b.get_unchecked(k));
+                    let av0 = _mm256_set_pd(
+                        *a.get_unchecked((i + 3) * k_dim + k),
+                        *a.get_unchecked((i + 2) * k_dim + k),
+                        *a.get_unchecked((i + 1) * k_dim + k),
+                        *a.get_unchecked(i * k_dim + k),
+                    );
+                    let av1 = _mm256_set_pd(
+                        *a.get_unchecked((i + 7) * k_dim + k),
+                        *a.get_unchecked((i + 6) * k_dim + k),
+                        *a.get_unchecked((i + 5) * k_dim + k),
+                        *a.get_unchecked((i + 4) * k_dim + k),
+                    );
+                    acc0 = _mm256_fmadd_pd(av0, bv, acc0);
+                    acc1 = _mm256_fmadd_pd(av1, bv, acc1);
+                }
+                let po = out.as_mut_ptr().add(i);
+                _mm256_storeu_pd(po, _mm256_add_pd(_mm256_loadu_pd(po), acc0));
+                let po = out.as_mut_ptr().add(i + W);
+                _mm256_storeu_pd(po, _mm256_add_pd(_mm256_loadu_pd(po), acc1));
+                i += 2 * W;
+            }
+            while i < m {
+                let mut s = 0.0;
+                for k in kc..k_end {
+                    s = a[i * k_dim + k].mul_add(b[k], s);
+                }
+                out[i] += s;
+                i += 1;
+            }
+        }
+    }
+}
+
 /// `out += a (m×k) · b (k×n)` with PR 1's `MC×KC×NC` blocking around the
 /// 8×4 FMA microkernel.
 #[target_feature(enable = "avx2", enable = "fma")]
@@ -193,6 +245,10 @@ pub(crate) unsafe fn matmul_nn(
     out: &mut [f64],
 ) {
     unsafe {
+        if n == 1 {
+            nn_matvec(a, m, k_dim, b, out);
+            return;
+        }
         for jc in (0..n).step_by(NC) {
             let j_end = (jc + NC).min(n);
             for ic in (0..m).step_by(MC) {
@@ -395,6 +451,53 @@ pub(crate) unsafe fn row_sums(x: &[f64], rows: usize, cols: usize, out: &mut [f6
                 j += 1;
             }
             out[i] = s;
+        }
+    }
+}
+
+/// `out[j] += Σ_t w[t] · x[t][j]` over a row-major `rows×cols` buffer, in
+/// ascending-`t` order per column with a separate multiply and add per term
+/// (`mul_pd`/`add_pd`, never fused). Columns are independent lanes, so the
+/// result is **bitwise identical** to the scalar twin — the lanes only
+/// change which column is updated when. Column blocks of up to 8 vectors
+/// keep the accumulators in registers across the whole `t` sweep.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn weighted_col_sums(
+    x: &[f64],
+    rows: usize,
+    cols: usize,
+    w: &[f64],
+    out: &mut [f64],
+) {
+    unsafe {
+        let mut jc = 0;
+        while jc + W <= cols {
+            // The loop guard keeps `(cols - jc) / W >= 1`.
+            let nvec = ((cols - jc) / W).min(8);
+            let mut acc = [_mm256_setzero_pd(); 8];
+            for (v, slot) in acc.iter_mut().enumerate().take(nvec) {
+                *slot = _mm256_loadu_pd(out.as_ptr().add(jc + v * W));
+            }
+            for t in 0..rows {
+                let wv = _mm256_set1_pd(*w.get_unchecked(t));
+                let base = x.as_ptr().add(t * cols + jc);
+                for (v, slot) in acc.iter_mut().enumerate().take(nvec) {
+                    let xv = _mm256_loadu_pd(base.add(v * W));
+                    *slot = _mm256_add_pd(*slot, _mm256_mul_pd(wv, xv));
+                }
+            }
+            for (v, slot) in acc.iter().enumerate().take(nvec) {
+                _mm256_storeu_pd(out.as_mut_ptr().add(jc + v * W), *slot);
+            }
+            jc += nvec * W;
+        }
+        // Column tail: the same two-rounding term in the same `t` order.
+        for j in jc..cols {
+            let mut s = out[j];
+            for t in 0..rows {
+                s += w[t] * x[t * cols + j];
+            }
+            out[j] = s;
         }
     }
 }

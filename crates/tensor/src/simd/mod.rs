@@ -412,6 +412,26 @@ pub fn dot_rows(a: &[f64], b: &[f64], rows: usize, cols: usize, out: &mut [f64])
     }
 }
 
+/// `out[j] += Σ_t w[t] · x[t][j]` over a row-major `rows×cols` buffer —
+/// the α-weighted context accumulation of the serving warm path. Every
+/// tier runs the same ascending-`t`, two-rounding sequence per column
+/// (`avx2` only widens the column lanes), so the result is bitwise
+/// identical across tiers.
+pub fn weighted_col_sums(x: &[f64], rows: usize, cols: usize, w: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), rows * cols);
+    debug_assert_eq!(w.len(), rows);
+    debug_assert_eq!(out.len(), cols);
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => {
+            count_intrinsic();
+            // SAFETY: tier implies CPUID-verified AVX2+FMA.
+            unsafe { avx2::weighted_col_sums(x, rows, cols, w, out) }
+        }
+        _ => scalar::weighted_col_sums(x, rows, cols, w, out),
+    }
+}
+
 /// Element-wise overflow-safe logistic sigmoid.
 pub fn sigmoid(x: &[f64], out: &mut [f64]) {
     debug_assert_eq!(x.len(), out.len());

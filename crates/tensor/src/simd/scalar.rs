@@ -43,6 +43,18 @@ pub(crate) fn dot_rows(a: &[f64], b: &[f64], rows: usize, cols: usize, out: &mut
     }
 }
 
+/// `out[j] += Σ_t w[t] · x[t][j]`: ascending-`t` order per column, one
+/// multiply and one add per term (two roundings — the canonical sequence
+/// every tier reproduces bitwise).
+pub(crate) fn weighted_col_sums(x: &[f64], rows: usize, cols: usize, w: &[f64], out: &mut [f64]) {
+    for (t, &wt) in w.iter().enumerate().take(rows) {
+        let row = &x[t * cols..(t + 1) * cols];
+        for (o, &v) in out.iter_mut().zip(row.iter()) {
+            *o += wt * v;
+        }
+    }
+}
+
 pub(crate) fn sigmoid(x: &[f64], out: &mut [f64]) {
     for (o, &v) in out.iter_mut().zip(x.iter()) {
         *o = stable_sigmoid(v);

@@ -39,6 +39,8 @@ fn rand_vec(rng: &mut StdRng, n: usize) -> Vec<f64> {
 const LENS: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 64, 130, 257];
 
 /// Shapes straddling the MC=64/KC=64/NC=256 tiles and the 8-row panel.
+/// The `n == 1` entries with many rows route `matmul_nn` through the
+/// vectorized matvec fast path (row lanes instead of column lanes).
 const SHAPES: &[(usize, usize, usize)] = &[
     (1, 1, 1),
     (7, 13, 5),
@@ -50,6 +52,9 @@ const SHAPES: &[(usize, usize, usize)] = &[
     (70, 129, 30),
     (128, 65, 256),
     (5, 300, 259),
+    (9, 32, 1),
+    (70, 65, 1),
+    (130, 64, 1),
 ];
 
 /// Every vector entry point's output under the given tier, over a fixed
@@ -226,7 +231,14 @@ fn avx2_outputs_are_row_independent() {
     with_tier_lock(|| {
         simd::force(Tier::Avx2).unwrap();
         let mut rng = StdRng::seed_from_u64(31);
-        for &(m, k, n) in &[(13usize, 37usize, 259usize), (8, 64, 256), (5, 7, 3)] {
+        // The n == 1 shapes pin the matvec fast path: a single-row call
+        // falls to its scalar tail while an 8-row batch runs the row-lane
+        // vectors, so equality here proves lane arithmetic ≡ the scalar
+        // `mul_add` chain per element (the incremental `h·V` append and the
+        // attention score matvec both rely on this).
+        for &(m, k, n) in
+            &[(13usize, 37usize, 259usize), (8, 64, 256), (5, 7, 3), (70, 65, 1), (130, 64, 1)]
+        {
             let a = init::uniform(&mut rng, m, k, 2.0);
             let bt = init::uniform(&mut rng, n, k, 2.0);
             let b = init::uniform(&mut rng, k, n, 2.0);
@@ -263,6 +275,48 @@ fn avx2_outputs_are_row_independent() {
                 let mut sm = vec![0.0; k];
                 simd::softmax_rows(xr, 1, k, &mut sm);
                 assert_eq!(sm, batched_sm[r * k..(r + 1) * k], "softmax row {r}");
+            }
+        }
+    });
+}
+
+/// `weighted_col_sums` is held to a stricter contract than the other
+/// vector entries: **bitwise** across every available tier, not just
+/// within tolerance. Each `out[j] += w[t]·x[t][j]` term is one multiply
+/// and one add in ascending-`t` order on every tier (wider tiers only
+/// widen the column lanes), which is what lets the serving re-weight fuse
+/// the Ŵ≡1 accumulators without materializing the scaled context rows.
+#[test]
+fn weighted_col_sums_is_bitwise_across_tiers() {
+    with_tier_lock(|| {
+        let mut rng = StdRng::seed_from_u64(51);
+        for &(rows, cols) in &[
+            (1usize, 1usize),
+            (1, 5),
+            (7, 3),
+            (3, 8),
+            (9, 24),
+            (100, 31),
+            (13, 64),
+            (5, 65),
+            (50, 130),
+        ] {
+            let x = rand_vec(&mut rng, rows * cols);
+            let w = rand_vec(&mut rng, rows);
+            let seed = rand_vec(&mut rng, cols); // nonzero start: `+=` semantics
+            simd::force(Tier::Scalar).unwrap();
+            let mut want = seed.clone();
+            simd::weighted_col_sums(&x, rows, cols, &w, &mut want);
+            for tier in Tier::available() {
+                simd::force(tier).unwrap();
+                let mut got = seed.clone();
+                simd::weighted_col_sums(&x, rows, cols, &w, &mut got);
+                for (j, (&a, &b)) in want.iter().zip(got.iter()).enumerate() {
+                    assert!(
+                        a.to_bits() == b.to_bits(),
+                        "weighted_col_sums {rows}x{cols} col {j} diverged on {tier}: {a:e} vs {b:e}"
+                    );
+                }
             }
         }
     });

@@ -61,6 +61,14 @@ cargo test -p causer-serve --release --features causer-tensor/sanitize --test fr
 cargo test -p causer-serve --release --test frontend -q \
     seeded_stress_exactly_one_outcome_per_request -- --exact
 
+# Allocation-regression gate: the warm steady-state serving loop must make
+# zero heap allocations per request. The counting global allocator is built
+# from this workspace (crates/alloc) with no external dependencies, so like
+# causer-lint there is no toolchain-missing escape hatch — a single heap
+# acquisition inside the measured warm loop fails the check. Pinned to one
+# test thread because the allocation counters are per-thread by design.
+cargo test -p causer-serve --release --test alloc_gate -q -- --test-threads=1
+
 # Runtime lock-order sanitizer: the causer-sync wrapper suite plus one run
 # of the frontend and state-store stress suites with every serve lock
 # recording per-thread acquisition stacks — a rank inversion panics at the

@@ -143,7 +143,8 @@ fn exported_metric_names_match_golden_schema() {
     // --- State store: one cold seed, one warm append, then a budget so
     // tight the entry is evicted — hits/misses/evictions counters, the
     // residency gauges, and both latency histograms must all register.
-    let store = UserStateStore::new(StateStoreConfig { shards: 1, max_bytes: 1 });
+    let store =
+        UserStateStore::new(StateStoreConfig { shards: 1, max_bytes: 1, ..Default::default() });
     let scorer = BatchScorer::new(1);
     let state = handle.snapshot();
     let prefix = &case.history[..case.history.len().saturating_sub(1).max(1)];
